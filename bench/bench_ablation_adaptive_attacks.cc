@@ -1,0 +1,26 @@
+// Extension study (DESIGN.md): attacks beyond the paper's four — the
+// defense-aware Adaptive attack (crafted to sit inside AsyncFilter's
+// accepted score envelope) and the Label-Flip data-poisoning attack (the
+// malicious update IS an honest update on corrupted data).
+//
+// Expected shape: both attacks are harder to *detect* than GD (they are
+// built to look benign), but also intrinsically weaker; AsyncFilter should
+// degrade gracefully rather than collapse, matching the paper's argument
+// that weak attackers admitted to the aggregate do limited damage.
+#include "bench_common.h"
+
+int main() {
+  fl::ExperimentConfig base =
+      bench::StandardConfig(data::Profile::kFashionMnist);
+  bench::GridSpec spec;
+  spec.title =
+      "Extension: defense-aware Adaptive and data-level Label-Flip attacks "
+      "(FashionMNIST)";
+  spec.csv_name = "ablation_adaptive_attacks.csv";
+  spec.attacks = {attacks::AttackKind::kAdaptive,
+                  attacks::AttackKind::kLabelFlip, attacks::AttackKind::kGd};
+  spec.defenses = bench::PaperDefenses();
+  spec.include_no_attack = true;
+  bench::RunAttackDefenseGrid(base, spec);
+  return 0;
+}

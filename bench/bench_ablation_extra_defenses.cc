@@ -1,0 +1,30 @@
+// Extension study (DESIGN.md): AsyncFilter against the wider defense
+// landscape the paper reviews in §2.3 — the clean-dataset asynchronous
+// defenses (Zeno++, AFLGuard) and classical synchronous robust aggregation
+// (Multi-Krum, Trimmed-Mean, Median, NNM) — under the two strongest attacks.
+//
+// The point the paper argues: clean-dataset methods are competitive but
+// assume data the server shouldn't have; synchronous aggregators suffer in
+// the asynchronous regime because they treat staleness variance as attack
+// signal. AsyncFilter needs neither assumption.
+#include "bench_common.h"
+
+int main() {
+  fl::ExperimentConfig base =
+      bench::StandardConfig(data::Profile::kFashionMnist);
+  bench::GridSpec spec;
+  spec.title =
+      "Extension: AsyncFilter vs clean-dataset and synchronous defenses "
+      "(FashionMNIST)";
+  spec.csv_name = "ablation_extra_defenses.csv";
+  spec.attacks = {attacks::AttackKind::kGd, attacks::AttackKind::kMinMax};
+  spec.defenses = {
+      fl::DefenseKind::kAsyncFilter, fl::DefenseKind::kZenoPlusPlus,
+      fl::DefenseKind::kAflGuard,    fl::DefenseKind::kFlTrust,
+      fl::DefenseKind::kMultiKrum,   fl::DefenseKind::kTrimmedMean,
+      fl::DefenseKind::kMedian,      fl::DefenseKind::kNnm,
+      fl::DefenseKind::kBucketing};
+  spec.include_no_attack = false;
+  bench::RunAttackDefenseGrid(base, spec);
+  return 0;
+}

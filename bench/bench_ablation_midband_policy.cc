@@ -1,0 +1,24 @@
+// Ablation (DESIGN.md): what should happen to the middle 3-means band?
+//
+// The paper says the middle group — weak attackers mixed with honest
+// non-IID clients — "is permitted to contribute to the aggregation at a
+// later stage". This bench compares the three readings implemented by
+// core::MidBandPolicy: aggregate it now (default), defer it into the next
+// buffer, or reject it outright. The accept policy should dominate: the mid
+// band is mostly honest data, and starving the aggregate of it costs
+// accuracy (which is exactly why the paper prefers 3-means over 2-means).
+#include "bench_common.h"
+
+int main() {
+  fl::ExperimentConfig base =
+      bench::StandardConfig(data::Profile::kFashionMnist);
+  bench::GridSpec spec;
+  spec.title = "Ablation: mid-band policy (FashionMNIST)";
+  spec.csv_name = "ablation_midband_policy.csv";
+  spec.attacks = bench::PaperAttacks();
+  spec.defenses = {fl::DefenseKind::kAsyncFilter,
+                   fl::DefenseKind::kAsyncFilterDeferMid,
+                   fl::DefenseKind::kAsyncFilterRejectMid};
+  bench::RunAttackDefenseGrid(base, spec);
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Ablation (DESIGN.md / suspicious_score.h): the two readings of Eq. 7.
+//
+// The paper's notation reuses k as both the client's staleness group and the
+// summation index, admitting (a) a literal cross-group normalisation and
+// (b) an across-peers normalisation. This bench runs AsyncFilter with each
+// scoring rule on FashionMNIST under GD and Min-Max. The literal reading is
+// expected to collapse toward FedBuff-level (or worse) accuracy: a poisoned
+// update is far from *every* group estimate, so the ratio washes the signal
+// out and the 3-means split becomes arbitrary.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/async_filter.h"
+#include "util/csv.h"
+#include "util/table.h"
+
+namespace {
+
+std::function<std::unique_ptr<defense::Defense>()> FilterWith(
+    core::ScoreNormalization normalization) {
+  return [normalization]() -> std::unique_ptr<defense::Defense> {
+    core::AsyncFilterOptions options;
+    options.normalization = normalization;
+    return std::make_unique<core::AsyncFilter>(options);
+  };
+}
+
+}  // namespace
+
+int main() {
+  const struct {
+    const char* name;
+    core::ScoreNormalization normalization;
+  } variants[] = {
+      {"group-rms (default)", core::ScoreNormalization::kGroupRms},
+      {"buffer-norm", core::ScoreNormalization::kBufferNorm},
+      {"Eq.7 literal cross-group", core::ScoreNormalization::kEq7CrossGroup},
+  };
+  const attacks::AttackKind attack_grid[] = {attacks::AttackKind::kGd,
+                                             attacks::AttackKind::kMinMax};
+
+  std::printf("== Ablation: Eq. 7 score normalisation (FashionMNIST) ==\n");
+  util::ConsoleTable table({"Normalisation", "GD", "Min-Max"});
+  util::CsvWriter csv("ablation_score_norm.csv");
+  csv.WriteHeader({"normalisation", "attack", "accuracy"});
+
+  for (const auto& variant : variants) {
+    std::vector<std::string> row{variant.name};
+    for (auto attack : attack_grid) {
+      fl::ExperimentConfig config =
+          bench::StandardConfig(data::Profile::kFashionMnist);
+      config.attack = attack;
+      config.defense_factory = FilterWith(variant.normalization);
+      double percent = fl::RunExperiment(config).final_accuracy * 100.0;
+      row.push_back(util::FormatFixed(percent) + "%");
+      csv.WriteRow({variant.name, attacks::AttackKindName(attack),
+                    util::FormatFixed(percent, 2)});
+      std::fprintf(stderr, "  [%s / %s] %.1f%%\n", variant.name,
+                   attacks::AttackKindName(attack), percent);
+    }
+    table.AddRow(std::move(row));
+  }
+  std::printf("%s", table.Render().c_str());
+  std::printf("CSV written to ablation_score_norm.csv\n");
+  return 0;
+}

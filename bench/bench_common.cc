@@ -1,0 +1,103 @@
+#include "bench_common.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/csv.h"
+#include "util/table.h"
+
+namespace bench {
+
+double ScaleFactor() {
+  const char* env = std::getenv("AF_BENCH_SCALE");
+  if (env == nullptr) {
+    return 1.0;
+  }
+  double scale = std::atof(env);
+  return std::clamp(scale > 0.0 ? scale : 1.0, 0.05, 10.0);
+}
+
+std::size_t ScaledRounds(std::size_t rounds) {
+  auto scaled = static_cast<std::size_t>(static_cast<double>(rounds) *
+                                         ScaleFactor());
+  return std::max<std::size_t>(scaled, 3);
+}
+
+std::uint64_t BenchSeed() {
+  const char* env = std::getenv("AF_BENCH_SEED");
+  return env != nullptr ? std::strtoull(env, nullptr, 10) : 7;
+}
+
+fl::ExperimentConfig StandardConfig(data::Profile profile) {
+  fl::ExperimentConfig config = fl::MakeDefaultConfig(profile, BenchSeed());
+  // Paper §5.1 scaled 2× down: 100→50 clients, buffer 40→20, 20→10
+  // attackers; staleness limit 20 and Zipf s = 1.2 stay as published.
+  config.num_clients = 50;
+  config.num_malicious = 10;
+  config.sim.buffer_goal = 20;
+  config.sim.staleness_limit = 20;
+  config.sim.zipf_s = 1.2;
+  config.dirichlet_alpha = 0.1;
+  config.sim.rounds = ScaledRounds(18);
+  return config;
+}
+
+std::vector<fl::DefenseKind> PaperDefenses() {
+  return {fl::DefenseKind::kFedBuff, fl::DefenseKind::kFlDetector,
+          fl::DefenseKind::kAsyncFilter};
+}
+
+std::vector<attacks::AttackKind> PaperAttacks() {
+  return {attacks::AttackKind::kGd, attacks::AttackKind::kLie,
+          attacks::AttackKind::kMinMax, attacks::AttackKind::kMinSum};
+}
+
+std::vector<std::vector<double>> RunAttackDefenseGrid(
+    const fl::ExperimentConfig& base, const GridSpec& spec) {
+  std::vector<attacks::AttackKind> attacks = spec.attacks;
+  if (spec.include_no_attack) {
+    attacks.push_back(attacks::AttackKind::kNone);
+  }
+
+  std::printf("== %s ==\n", spec.title.c_str());
+  std::printf("(clients=%zu malicious=%zu buffer=%zu staleness<=%zu "
+              "rounds=%zu dirichlet=%.2g zipf=%.2g seed=%llu)\n",
+              base.num_clients, base.num_malicious, base.sim.buffer_goal,
+              base.sim.staleness_limit, base.sim.rounds, base.dirichlet_alpha,
+              base.sim.zipf_s,
+              static_cast<unsigned long long>(base.sim.seed));
+
+  std::vector<std::string> header{"Method"};
+  for (auto attack : attacks) {
+    header.push_back(attacks::AttackKindName(attack));
+  }
+  util::ConsoleTable table(header);
+  util::CsvWriter csv(spec.csv_name);
+  csv.WriteHeader(header);
+
+  std::vector<std::vector<double>> accuracy;
+  for (auto defense : spec.defenses) {
+    std::vector<std::string> row{fl::DefenseKindName(defense)};
+    std::vector<double> row_acc;
+    for (auto attack : attacks) {
+      fl::ExperimentConfig config = base;
+      config.attack = attack;
+      config.defense = defense;
+      double percent = fl::RunExperiment(config).final_accuracy * 100.0;
+      row_acc.push_back(percent);
+      row.push_back(util::FormatFixed(percent) + "%");
+      std::fprintf(stderr, "  [%s / %s] %.1f%%\n",
+                   fl::DefenseKindName(defense), attacks::AttackKindName(attack),
+                   percent);
+    }
+    csv.WriteRow(row);
+    table.AddRow(std::move(row));
+    accuracy.push_back(std::move(row_acc));
+  }
+  std::printf("%s", table.Render().c_str());
+  std::printf("CSV written to %s\n\n", csv.path().c_str());
+  return accuracy;
+}
+
+}  // namespace bench

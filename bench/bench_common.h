@@ -1,0 +1,49 @@
+// Shared harness for the table/figure reproduction binaries.
+//
+// Each bench prints the same rows the paper reports (methods × attacks, test
+// accuracy in percent) and writes a CSV next to the working directory.
+// AF_BENCH_SCALE (default 1.0) scales round counts for quick smoke runs,
+// AF_BENCH_SEED overrides the default seed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fl/experiment.h"
+
+namespace bench {
+
+// AF_BENCH_SCALE env var, clamped to [0.05, 10]; default 1.0.
+double ScaleFactor();
+
+// rounds × AF_BENCH_SCALE, at least 3.
+std::size_t ScaledRounds(std::size_t rounds);
+
+// AF_BENCH_SEED env var; default 7.
+std::uint64_t BenchSeed();
+
+// The repo's standard evaluation population: the paper's 100-client /
+// buffer-40 setting scaled 2× down for single-core CPU budgets, with every
+// ratio preserved (20% malicious, 40% aggregation bound).
+fl::ExperimentConfig StandardConfig(data::Profile profile);
+
+struct GridSpec {
+  std::string title;        // e.g. "Table 2: AsyncFilter defends ... MNIST"
+  std::string csv_name;     // e.g. "table2_mnist.csv"
+  std::vector<attacks::AttackKind> attacks;
+  std::vector<fl::DefenseKind> defenses;
+  bool include_no_attack = true;
+};
+
+// Runs the full grid, prints the paper-shaped table and writes the CSV.
+// Returns accuracy[defense][attack] in percent.
+std::vector<std::vector<double>> RunAttackDefenseGrid(
+    const fl::ExperimentConfig& base, const GridSpec& spec);
+
+// The paper's three-method comparison.
+std::vector<fl::DefenseKind> PaperDefenses();
+
+// The paper's four untargeted attacks.
+std::vector<attacks::AttackKind> PaperAttacks();
+
+}  // namespace bench

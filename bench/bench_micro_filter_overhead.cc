@@ -1,0 +1,91 @@
+// Micro-benchmarks (google-benchmark): server-side overhead of the defense
+// itself, independent of client training. AsyncFilter's plug-and-play claim
+// implies the filter must be cheap next to an aggregation round; this
+// measures Process() latency against buffer size and model dimensionality,
+// with FLDetector and Multi-Krum for comparison.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "core/async_filter.h"
+#include "defense/fldetector.h"
+#include "defense/krum.h"
+#include "fl/types.h"
+#include "util/rng.h"
+
+namespace {
+
+std::vector<fl::ModelUpdate> MakeBuffer(std::size_t count, std::size_t dim,
+                                        std::uint64_t seed) {
+  auto rng = util::RngFactory(seed).Stream("micro");
+  std::normal_distribution<float> noise(0.0f, 1.0f);
+  std::uniform_int_distribution<std::size_t> tau(0, 5);
+  std::vector<fl::ModelUpdate> buffer(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    buffer[i].client_id = static_cast<int>(i);
+    buffer[i].staleness = tau(rng);
+    buffer[i].num_samples = 100;
+    buffer[i].delta.resize(dim);
+    for (float& x : buffer[i].delta) {
+      x = noise(rng);
+    }
+  }
+  return buffer;
+}
+
+void RunDefense(benchmark::State& state, defense::Defense& defense) {
+  const auto buffer_size = static_cast<std::size_t>(state.range(0));
+  const auto dim = static_cast<std::size_t>(state.range(1));
+  auto buffer = MakeBuffer(buffer_size, dim, 42);
+  std::vector<float> global(dim, 0.0f);
+  auto rng = util::RngFactory(1).Stream("server");
+  defense::FilterContext ctx;
+  ctx.global_model = global;
+  ctx.rng = &rng;
+  for (auto _ : state) {
+    ctx.round++;
+    auto result = defense.Process(ctx, buffer);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(buffer_size));
+}
+
+void BM_AsyncFilterProcess(benchmark::State& state) {
+  core::AsyncFilter filter;
+  RunDefense(state, filter);
+}
+
+void BM_FlDetectorProcess(benchmark::State& state) {
+  defense::FlDetector detector;
+  RunDefense(state, detector);
+}
+
+void BM_MultiKrumProcess(benchmark::State& state) {
+  defense::Krum krum(0.2, /*multi=*/true);
+  RunDefense(state, krum);
+}
+
+}  // namespace
+
+// Buffer size sweep at the LeNet-surrogate dimension, and dimension sweep at
+// the paper's buffer bound.
+BENCHMARK(BM_AsyncFilterProcess)
+    ->Args({20, 4704})
+    ->Args({40, 4704})
+    ->Args({80, 4704})
+    ->Args({160, 4704})
+    ->Args({40, 1000})
+    ->Args({40, 20000})
+    ->Args({40, 100000})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_FlDetectorProcess)
+    ->Args({40, 4704})
+    ->Args({40, 20000})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_MultiKrumProcess)
+    ->Args({40, 4704})
+    ->Args({40, 20000})
+    ->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

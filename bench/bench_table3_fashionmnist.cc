@@ -1,0 +1,17 @@
+// Reproduces paper Table 3: defense grid on the FashionMNIST-like workload.
+//
+// Expected shape (paper): GD/Min-Max/Min-Sum cost FedBuff 10-20%;
+// AsyncFilter recovers them while matching FedBuff without attack.
+#include "bench_common.h"
+
+int main() {
+  fl::ExperimentConfig base =
+      bench::StandardConfig(data::Profile::kFashionMnist);
+  bench::GridSpec spec;
+  spec.title = "Table 3: AsyncFilter defends against attacks on FashionMNIST";
+  spec.csv_name = "table3_fashionmnist.csv";
+  spec.attacks = bench::PaperAttacks();
+  spec.defenses = bench::PaperDefenses();
+  bench::RunAttackDefenseGrid(base, spec);
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Reproduces paper Table 4: defense grid on the CIFAR-10-like workload
+// (VGG surrogate, Adam optimiser, Table 1's larger partitions).
+//
+// Expected shape (paper): GD and LIE are the damaging attacks; AsyncFilter
+// improves both and roughly matches FedBuff elsewhere.
+#include "bench_common.h"
+
+int main() {
+  fl::ExperimentConfig base = bench::StandardConfig(data::Profile::kCifar10);
+  bench::GridSpec spec;
+  spec.title = "Table 4: AsyncFilter defends against attacks on CIFAR-10";
+  spec.csv_name = "table4_cifar10.csv";
+  spec.attacks = bench::PaperAttacks();
+  spec.defenses = bench::PaperDefenses();
+  bench::RunAttackDefenseGrid(base, spec);
+  return 0;
+}

@@ -1,0 +1,21 @@
+// Reproduces paper Table 8: doubled attacker presence (20 → 40 of 100, i.e.
+// 40% malicious) on CINIC-10.
+//
+// Expected shape (paper): FedBuff diverges under GD/LIE/Min-Max;
+// AsyncFilter lifts GD and LIE far off the floor.
+#include "bench_common.h"
+
+int main() {
+  fl::ExperimentConfig base = bench::StandardConfig(data::Profile::kCinic10);
+  base.num_malicious = base.num_clients * 2 / 5;  // 40%
+  base.sim.rounds = bench::ScaledRounds(22);
+  bench::GridSpec spec;
+  spec.title =
+      "Table 8: AsyncFilter is robust against doubled attackers on CINIC-10";
+  spec.csv_name = "table8_attackers_cinic10.csv";
+  spec.attacks = bench::PaperAttacks();
+  spec.defenses = bench::PaperDefenses();
+  spec.include_no_attack = false;
+  bench::RunAttackDefenseGrid(base, spec);
+  return 0;
+}

@@ -1,0 +1,21 @@
+// Reproduces paper Table 9: doubled attacker presence (40%) on FashionMNIST.
+//
+// Expected shape (paper): GD is the most damaging; AsyncFilter beats both
+// baselines on GD/Min-Max/Min-Sum and roughly ties on LIE.
+#include "bench_common.h"
+
+int main() {
+  fl::ExperimentConfig base =
+      bench::StandardConfig(data::Profile::kFashionMnist);
+  base.num_malicious = base.num_clients * 2 / 5;  // 40%
+  bench::GridSpec spec;
+  spec.title =
+      "Table 9: AsyncFilter is robust against doubled attackers on "
+      "FashionMNIST";
+  spec.csv_name = "table9_attackers_fashionmnist.csv";
+  spec.attacks = bench::PaperAttacks();
+  spec.defenses = bench::PaperDefenses();
+  spec.include_no_attack = false;
+  bench::RunAttackDefenseGrid(base, spec);
+  return 0;
+}

@@ -1,0 +1,25 @@
+#!/usr/bin/env python3
+"""Extracts the method×attack tables from bench_output.txt (markdown-style
+console tables) so EXPERIMENTS.md can quote measured values verbatim."""
+import re
+import sys
+
+def extract(path, title_fragment):
+    lines = open(path).read().splitlines()
+    out, capture = [], False
+    for line in lines:
+        if title_fragment in line:
+            capture = True
+            continue
+        if capture:
+            if line.startswith('|'):
+                out.append(line)
+            elif out:
+                break
+    return '\n'.join(out)
+
+if __name__ == '__main__':
+    for fragment in sys.argv[2:]:
+        print(f'### {fragment}')
+        print(extract(sys.argv[1], fragment))
+        print()

@@ -1,0 +1,65 @@
+#include "attacks/adaptive.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/vec_ops.h"
+#include "util/check.h"
+
+namespace attacks {
+
+AdaptiveAttack::AdaptiveAttack(double score_quantile)
+    : score_quantile_(score_quantile) {
+  AF_CHECK_GT(score_quantile, 0.0);
+  AF_CHECK_LE(score_quantile, 1.0);
+}
+
+std::vector<float> AdaptiveAttack::Craft(const AttackContext& context) {
+  AF_CHECK(context.colluder_updates != nullptr);
+  const auto& window = *context.colluder_updates;
+  if (window.size() < 3) {
+    return std::vector<float>(context.honest_update.begin(),
+                              context.honest_update.end());
+  }
+
+  // Replay the defense's statistics on the attacker's knowledge: the
+  // colluder mean stands in for the group expectation.
+  const std::vector<float> mean = stats::Mean(window);
+  std::vector<double> deviations;
+  deviations.reserve(window.size());
+  double sum_sq = 0.0;
+  for (const auto& u : window) {
+    const double d = stats::Distance(u, mean);
+    deviations.push_back(d);
+    sum_sq += d * d;
+  }
+  const double rms = std::sqrt(sum_sq / static_cast<double>(window.size()));
+  if (rms <= 1e-12) {
+    return mean;  // no spread to hide in
+  }
+
+  // Colluder scores under the defense's rule are d_i / rms; imitate the
+  // chosen quantile.
+  std::vector<double> scores = deviations;
+  for (double& s : scores) {
+    s /= rms;
+  }
+  std::sort(scores.begin(), scores.end());
+  const std::size_t index = std::min(
+      scores.size() - 1,
+      static_cast<std::size_t>(score_quantile_ *
+                               static_cast<double>(scores.size() - 1) + 0.5));
+  const double target_score = scores[index];
+  const double gamma = target_score * rms;
+
+  const double mean_norm = stats::L2Norm(mean);
+  std::vector<float> crafted = mean;
+  if (mean_norm > 1e-12) {
+    for (std::size_t i = 0; i < crafted.size(); ++i) {
+      crafted[i] = static_cast<float>(mean[i] - gamma * mean[i] / mean_norm);
+    }
+  }
+  return crafted;
+}
+
+}  // namespace attacks

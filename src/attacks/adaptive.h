@@ -1,0 +1,35 @@
+// Defense-aware adaptive attack (paper §3.2 lists "adaptive strategies" in
+// the defense goal).
+//
+// The attacker knows AsyncFilter's mechanism: updates are scored by their
+// distance to the group expectation relative to the peers' RMS deviation,
+// and the top k-means band is rejected. It therefore reverses the benign
+// direction but caps the deviation so its own replayed score stays at a
+// chosen quantile of the colluders' scores — large enough to bias the
+// aggregate, small enough to land in the accepted/mid bands.
+//
+// crafted = μ − (t · rms) · μ/‖μ‖, where μ and rms are the colluder
+// window's mean and RMS deviation and t is the target score quantile.
+#pragma once
+
+#include "attacks/attack.h"
+
+namespace attacks {
+
+class AdaptiveAttack : public Attack {
+ public:
+  // `score_quantile` ∈ (0, 1]: which quantile of the colluders' own
+  // suspicious scores the crafted update imitates. Higher = more damage,
+  // more detectable.
+  explicit AdaptiveAttack(double score_quantile = 0.9);
+
+  std::vector<float> Craft(const AttackContext& context) override;
+  std::string Name() const override { return "Adaptive"; }
+
+  double score_quantile() const { return score_quantile_; }
+
+ private:
+  double score_quantile_;
+};
+
+}  // namespace attacks

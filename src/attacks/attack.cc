@@ -1,0 +1,10 @@
+#include "attacks/attack.h"
+
+namespace attacks {
+
+std::vector<float> NoAttack::Craft(const AttackContext& context) {
+  return std::vector<float>(context.honest_update.begin(),
+                            context.honest_update.end());
+}
+
+}  // namespace attacks

@@ -1,0 +1,46 @@
+// Untargeted model-poisoning attack interface (paper §2.2).
+//
+// Threat model (paper §3.1): the attacker controls several malicious clients
+// holding in-distribution data; it knows those clients' local data, their
+// honest updates, the loss function, and the learning rate — and nothing
+// about the server or the benign clients. A crafted update therefore only
+// uses the malicious client's own honest update plus the colluders' recent
+// honest updates (attacks/coordinator.h).
+#pragma once
+
+#include <random>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace attacks {
+
+// Everything a malicious client knows when crafting its report.
+struct AttackContext {
+  // This client's honestly computed update (trained on its real local data).
+  std::span<const float> honest_update;
+  // Honest updates recently computed by colluding malicious clients
+  // (including this one); used to estimate benign-update statistics.
+  const std::vector<std::vector<float>>* colluder_updates = nullptr;
+  std::mt19937_64* rng = nullptr;
+};
+
+class Attack {
+ public:
+  virtual ~Attack() = default;
+
+  // Returns the poisoned update to send instead of the honest one.
+  virtual std::vector<float> Craft(const AttackContext& context) = 0;
+
+  virtual std::string Name() const = 0;
+};
+
+// Pass-through "attack" for the No-attack columns: malicious set is empty,
+// but keeping the object uniform simplifies the experiment grid.
+class NoAttack : public Attack {
+ public:
+  std::vector<float> Craft(const AttackContext& context) override;
+  std::string Name() const override { return "none"; }
+};
+
+}  // namespace attacks

@@ -1,0 +1,22 @@
+#include "attacks/coordinator.h"
+
+#include "util/check.h"
+
+namespace attacks {
+
+Coordinator::Coordinator(std::size_t window) : capacity_(window) {
+  AF_CHECK_GT(window, 0u);
+}
+
+void Coordinator::Absorb(const std::vector<float>& honest_update) {
+  window_.push_back(honest_update);
+  while (window_.size() > capacity_) {
+    window_.pop_front();
+  }
+}
+
+std::vector<std::vector<float>> Coordinator::Window() const {
+  return std::vector<std::vector<float>>(window_.begin(), window_.end());
+}
+
+}  // namespace attacks

@@ -1,0 +1,34 @@
+// Colluding-attacker knowledge pool.
+//
+// In asynchronous FL, malicious clients finish at different times, so the
+// "benign gradients" statistics the LIE / Min-Max / Min-Sum constructions
+// need are estimated from a sliding window of the colluders' own recent
+// honest updates — exactly the knowledge the threat model grants.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+namespace attacks {
+
+class Coordinator {
+ public:
+  explicit Coordinator(std::size_t window = 20);
+
+  // Records one colluder's honest update.
+  void Absorb(const std::vector<float>& honest_update);
+
+  // Snapshot of the current window, oldest first.
+  std::vector<std::vector<float>> Window() const;
+
+  std::size_t size() const { return window_.size(); }
+
+  void Reset() { window_.clear(); }
+
+ private:
+  std::size_t capacity_;
+  std::deque<std::vector<float>> window_;
+};
+
+}  // namespace attacks

@@ -1,0 +1,17 @@
+#include "attacks/gd.h"
+
+#include "util/check.h"
+
+namespace attacks {
+
+GdAttack::GdAttack(double scale) : scale_(scale) { AF_CHECK_GT(scale, 0.0); }
+
+std::vector<float> GdAttack::Craft(const AttackContext& context) {
+  std::vector<float> poisoned(context.honest_update.size());
+  for (std::size_t i = 0; i < poisoned.size(); ++i) {
+    poisoned[i] = static_cast<float>(-scale_ * context.honest_update[i]);
+  }
+  return poisoned;
+}
+
+}  // namespace attacks

@@ -1,0 +1,26 @@
+// Gradient Deviation (GD) attack (Fang et al., 2020; paper §2.2 & Thm. 1).
+//
+// The malicious client reverses its true model update so the aggregate is
+// pushed opposite the descent direction; a scale factor controls potency
+// (Theorem 1 analyses scale 1; larger scales model the "strong attack"
+// regime where FedBuff diverges on the harder datasets).
+#pragma once
+
+#include "attacks/attack.h"
+
+namespace attacks {
+
+class GdAttack : public Attack {
+ public:
+  explicit GdAttack(double scale = 1.5);
+
+  std::vector<float> Craft(const AttackContext& context) override;
+  std::string Name() const override { return "GD"; }
+
+  double scale() const { return scale_; }
+
+ private:
+  double scale_;
+};
+
+}  // namespace attacks

@@ -1,0 +1,47 @@
+#include "attacks/lie.h"
+
+#include <cmath>
+
+#include "stats/normal.h"
+#include "stats/vec_ops.h"
+#include "util/check.h"
+
+namespace attacks {
+
+LieAttack::LieAttack(std::size_t total_clients, std::size_t malicious_clients,
+                     double z_override) {
+  if (z_override > 0.0) {
+    z_ = z_override;
+    return;
+  }
+  AF_CHECK_GT(total_clients, malicious_clients);
+  const double n = static_cast<double>(total_clients);
+  const double m = static_cast<double>(malicious_clients);
+  const double s = std::floor(n / 2.0 + 1.0) - m;
+  double p = (n - m - s) / (n - m);
+  // Clamp away from {0,1}: with m close to n/2, the formula's operand leaves
+  // (0,1); the attack then uses a conservative small z.
+  p = std::min(std::max(p, 1e-4), 1.0 - 1e-4);
+  z_ = std::max(stats::NormalQuantile(p), 0.3);
+}
+
+std::vector<float> LieAttack::Craft(const AttackContext& context) {
+  AF_CHECK(context.colluder_updates != nullptr);
+  const auto& window = *context.colluder_updates;
+  if (window.size() < 2) {
+    // Not enough collusion data yet; fall back to the honest update so the
+    // attack stays silent rather than sending junk that is trivially caught.
+    return std::vector<float>(context.honest_update.begin(),
+                              context.honest_update.end());
+  }
+  std::vector<float> mean = stats::Mean(window);
+  std::vector<float> std_dev = stats::PerDimensionStd(window);
+  AF_CHECK_EQ(mean.size(), context.honest_update.size());
+  std::vector<float> poisoned(mean.size());
+  for (std::size_t i = 0; i < mean.size(); ++i) {
+    poisoned[i] = mean[i] - static_cast<float>(z_) * std_dev[i];
+  }
+  return poisoned;
+}
+
+}  // namespace attacks

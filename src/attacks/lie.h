@@ -1,0 +1,30 @@
+// Little-Is-Enough attack (Baruch et al., 2019; paper §2.2).
+//
+// Malicious updates are set to mean + z·std per dimension, where mean/std
+// are estimated over the colluders' honest updates and
+// z = Φ⁻¹((n − m − s)/(n − m)), s = ⌊n/2 + 1⌋ − m: the largest shift that
+// keeps the crafted update inside the benign spread for majority-style
+// defenses.
+#pragma once
+
+#include "attacks/attack.h"
+
+namespace attacks {
+
+class LieAttack : public Attack {
+ public:
+  // n = total clients, m = malicious clients; used only to derive z.
+  // z_override > 0 bypasses the formula (used by the adaptive-attack tests).
+  LieAttack(std::size_t total_clients, std::size_t malicious_clients,
+            double z_override = 0.0);
+
+  std::vector<float> Craft(const AttackContext& context) override;
+  std::string Name() const override { return "LIE"; }
+
+  double z() const { return z_; }
+
+ private:
+  double z_;
+};
+
+}  // namespace attacks

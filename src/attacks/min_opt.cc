@@ -1,0 +1,122 @@
+#include "attacks/min_opt.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/vec_ops.h"
+#include "util/check.h"
+
+namespace attacks {
+namespace {
+
+std::vector<float> Crafted(const std::vector<float>& mean,
+                           const std::vector<float>& delta, double gamma) {
+  std::vector<float> out(mean.size());
+  for (std::size_t i = 0; i < mean.size(); ++i) {
+    out[i] = mean[i] + static_cast<float>(gamma) * delta[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+MinOptAttack::MinOptAttack(MinOptVariant variant, double gamma_init,
+                           double tau)
+    : variant_(variant), gamma_init_(gamma_init), tau_(tau) {
+  AF_CHECK_GT(gamma_init, 0.0);
+  AF_CHECK_GT(tau, 0.0);
+}
+
+bool MinOptAttack::Feasible(const std::vector<std::vector<float>>& benign,
+                            const std::vector<float>& mean,
+                            const std::vector<float>& delta, double gamma,
+                            double envelope) const {
+  std::vector<float> crafted = Crafted(mean, delta, gamma);
+  if (variant_ == MinOptVariant::kMinMax) {
+    double worst = 0.0;
+    for (const auto& u : benign) {
+      worst = std::max(worst, stats::SquaredDistance(crafted, u));
+    }
+    return worst <= envelope;
+  }
+  double total = 0.0;
+  for (const auto& u : benign) {
+    total += stats::SquaredDistance(crafted, u);
+  }
+  return total <= envelope;
+}
+
+std::vector<float> MinOptAttack::Craft(const AttackContext& context) {
+  AF_CHECK(context.colluder_updates != nullptr);
+  const auto& benign = *context.colluder_updates;
+  if (benign.size() < 2) {
+    return std::vector<float>(context.honest_update.begin(),
+                              context.honest_update.end());
+  }
+
+  std::vector<float> mean = stats::Mean(benign);
+  // Perturbation direction: inverse unit vector of the benign mean.
+  double norm = stats::L2Norm(mean);
+  std::vector<float> delta(mean.size(), 0.0f);
+  if (norm > 1e-12) {
+    for (std::size_t i = 0; i < mean.size(); ++i) {
+      delta[i] = static_cast<float>(-mean[i] / norm);
+    }
+  } else {
+    // Degenerate mean; deviate along the honest update instead.
+    double hn = stats::L2Norm(context.honest_update);
+    if (hn <= 1e-12) {
+      return mean;
+    }
+    for (std::size_t i = 0; i < delta.size(); ++i) {
+      delta[i] = static_cast<float>(-context.honest_update[i] / hn);
+    }
+  }
+
+  // Envelope from the benign set.
+  double envelope = 0.0;
+  if (variant_ == MinOptVariant::kMinMax) {
+    for (std::size_t i = 0; i < benign.size(); ++i) {
+      for (std::size_t j = i + 1; j < benign.size(); ++j) {
+        envelope = std::max(envelope,
+                            stats::SquaredDistance(benign[i], benign[j]));
+      }
+    }
+  } else {
+    for (const auto& u : benign) {
+      double total = 0.0;
+      for (const auto& v : benign) {
+        total += stats::SquaredDistance(u, v);
+      }
+      envelope = std::max(envelope, total);
+    }
+  }
+
+  // Standard doubling + bisection search for the largest feasible γ.
+  double gamma = gamma_init_;
+  double step = gamma / 2.0;
+  // Shrink until feasible.
+  while (gamma > tau_ &&
+         !Feasible(benign, mean, delta, gamma, envelope)) {
+    gamma -= step;
+    step /= 2.0;
+    if (step < tau_ / 4.0) {
+      break;
+    }
+  }
+  if (!Feasible(benign, mean, delta, gamma, envelope)) {
+    gamma = 0.0;  // envelope too tight; send the mean itself
+  } else {
+    // Grow back as far as the envelope allows.
+    double grow = step;
+    while (grow > tau_) {
+      if (Feasible(benign, mean, delta, gamma + grow, envelope)) {
+        gamma += grow;
+      }
+      grow /= 2.0;
+    }
+  }
+  return Crafted(mean, delta, gamma);
+}
+
+}  // namespace attacks

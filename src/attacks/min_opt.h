@@ -1,0 +1,40 @@
+// Min-Max and Min-Sum attacks (Shejwalkar & Houmansadr, 2021; paper §2.2).
+//
+// Both craft "mean + γ·Δ" where Δ is a perturbation direction and γ is the
+// largest scale that keeps the crafted update within a distance envelope of
+// the benign updates:
+//   Min-Max: max_j ‖crafted − u_j‖² ≤ max_{i,j} ‖u_i − u_j‖²
+//   Min-Sum: Σ_j ‖crafted − u_j‖² ≤ max_i Σ_j ‖u_i − u_j‖²
+// γ is found by binary search. The standard "inverse unit vector"
+// perturbation Δ = −mean/‖mean‖ is used.
+#pragma once
+
+#include "attacks/attack.h"
+
+namespace attacks {
+
+enum class MinOptVariant { kMinMax, kMinSum };
+
+class MinOptAttack : public Attack {
+ public:
+  explicit MinOptAttack(MinOptVariant variant, double gamma_init = 10.0,
+                        double tau = 1e-3);
+
+  std::vector<float> Craft(const AttackContext& context) override;
+  std::string Name() const override {
+    return variant_ == MinOptVariant::kMinMax ? "Min-Max" : "Min-Sum";
+  }
+
+ private:
+  // True iff "mean + gamma·delta" satisfies the variant's envelope.
+  bool Feasible(const std::vector<std::vector<float>>& benign,
+                const std::vector<float>& mean,
+                const std::vector<float>& delta, double gamma,
+                double envelope) const;
+
+  MinOptVariant variant_;
+  double gamma_init_;
+  double tau_;  // binary-search termination width
+};
+
+}  // namespace attacks

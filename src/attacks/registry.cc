@@ -1,0 +1,101 @@
+#include "attacks/registry.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "attacks/adaptive.h"
+#include "attacks/gd.h"
+#include "attacks/lie.h"
+#include "attacks/min_opt.h"
+#include "util/check.h"
+
+namespace attacks {
+namespace {
+
+std::string Canonical(const std::string& name) {
+  std::string canon;
+  for (char c : name) {
+    if (c == '-' || c == '_' || c == ' ') {
+      continue;
+    }
+    canon.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  return canon;
+}
+
+}  // namespace
+
+AttackKind ParseAttackKind(const std::string& name) {
+  const std::string canon = Canonical(name);
+  if (canon == "none" || canon == "noattack" || canon.empty()) {
+    return AttackKind::kNone;
+  }
+  if (canon == "gd" || canon == "gradientdeviation") {
+    return AttackKind::kGd;
+  }
+  if (canon == "lie" || canon == "littleisenough") {
+    return AttackKind::kLie;
+  }
+  if (canon == "minmax") {
+    return AttackKind::kMinMax;
+  }
+  if (canon == "minsum") {
+    return AttackKind::kMinSum;
+  }
+  if (canon == "adaptive") {
+    return AttackKind::kAdaptive;
+  }
+  if (canon == "labelflip" || canon == "dataflip") {
+    return AttackKind::kLabelFlip;
+  }
+  AF_CHECK(false) << "unknown attack name: " << name;
+  return AttackKind::kNone;
+}
+
+const char* AttackKindName(AttackKind kind) {
+  switch (kind) {
+    case AttackKind::kNone:
+      return "No attack";
+    case AttackKind::kGd:
+      return "GD";
+    case AttackKind::kLie:
+      return "LIE";
+    case AttackKind::kMinMax:
+      return "Min-Max";
+    case AttackKind::kMinSum:
+      return "Min-Sum";
+    case AttackKind::kAdaptive:
+      return "Adaptive";
+    case AttackKind::kLabelFlip:
+      return "Label-Flip";
+  }
+  return "?";
+}
+
+std::unique_ptr<Attack> MakeAttack(AttackKind kind,
+                                   const AttackParams& params) {
+  switch (kind) {
+    case AttackKind::kNone:
+      return std::make_unique<NoAttack>();
+    case AttackKind::kGd:
+      return std::make_unique<GdAttack>(params.gd_scale);
+    case AttackKind::kLie:
+      return std::make_unique<LieAttack>(params.total_clients,
+                                         params.malicious_clients,
+                                         params.lie_z_override);
+    case AttackKind::kMinMax:
+      return std::make_unique<MinOptAttack>(MinOptVariant::kMinMax);
+    case AttackKind::kMinSum:
+      return std::make_unique<MinOptAttack>(MinOptVariant::kMinSum);
+    case AttackKind::kAdaptive:
+      return std::make_unique<AdaptiveAttack>(params.adaptive_score_quantile);
+    case AttackKind::kLabelFlip:
+      // Data-level poisoning: the malicious update IS the honest update on
+      // flipped labels; the experiment layer rewires the dataset.
+      return std::make_unique<NoAttack>();
+  }
+  AF_CHECK(false) << "unhandled attack kind";
+  return nullptr;
+}
+
+}  // namespace attacks

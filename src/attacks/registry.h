@@ -1,0 +1,32 @@
+// Attack construction by name, used by the experiment grid.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "attacks/attack.h"
+
+namespace attacks {
+
+// kLabelFlip is a *data*-poisoning attack: malicious clients train honestly
+// on label-flipped data, so Craft() is the identity and the experiment
+// layer swaps the dataset view (see fl::RunExperiment).
+enum class AttackKind { kNone, kGd, kLie, kMinMax, kMinSum, kAdaptive, kLabelFlip };
+
+// Parse "none" | "GD" | "LIE" | "Min-Max" | "Min-Sum" (case-insensitive,
+// '-'/'_' agnostic). Throws util::CheckError on unknown names.
+AttackKind ParseAttackKind(const std::string& name);
+
+const char* AttackKindName(AttackKind kind);
+
+struct AttackParams {
+  std::size_t total_clients = 100;
+  std::size_t malicious_clients = 20;
+  double gd_scale = 1.5;
+  double lie_z_override = 0.0;
+  double adaptive_score_quantile = 0.9;
+};
+
+std::unique_ptr<Attack> MakeAttack(AttackKind kind, const AttackParams& params);
+
+}  // namespace attacks

@@ -1,0 +1,262 @@
+#include "cluster/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace cluster {
+namespace {
+
+double SquaredDist(const std::vector<double>& a, const std::vector<double>& b) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+// k-means++ seeding.
+std::vector<std::vector<double>> SeedCentroids(
+    const std::vector<std::vector<double>>& points, std::size_t k,
+    std::mt19937_64& rng) {
+  std::vector<std::vector<double>> centroids;
+  centroids.reserve(k);
+  std::uniform_int_distribution<std::size_t> pick(0, points.size() - 1);
+  centroids.push_back(points[pick(rng)]);
+  std::vector<double> dist2(points.size());
+  while (centroids.size() < k) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      for (const auto& c : centroids) {
+        best = std::min(best, SquaredDist(points[i], c));
+      }
+      dist2[i] = best;
+      total += best;
+    }
+    if (total <= 0.0) {
+      // All points coincide with existing centroids; duplicate one.
+      centroids.push_back(points[pick(rng)]);
+      continue;
+    }
+    std::uniform_real_distribution<double> uniform(0.0, total);
+    double target = uniform(rng);
+    std::size_t chosen = points.size() - 1;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      acc += dist2[i];
+      if (acc >= target) {
+        chosen = i;
+        break;
+      }
+    }
+    centroids.push_back(points[chosen]);
+  }
+  return centroids;
+}
+
+KMeansResult RunOnce(const std::vector<std::vector<double>>& points,
+                     std::size_t k, std::mt19937_64& rng,
+                     std::size_t max_iterations) {
+  const std::size_t dim = points.front().size();
+  KMeansResult result;
+  result.centroids = SeedCentroids(points, k, rng);
+  result.assignment.assign(points.size(), 0);
+
+  for (std::size_t iter = 0; iter < max_iterations; ++iter) {
+    bool changed = false;
+    // Assign.
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      std::size_t best = 0;
+      double best_d = std::numeric_limits<double>::infinity();
+      for (std::size_t c = 0; c < k; ++c) {
+        double d = SquaredDist(points[i], result.centroids[c]);
+        if (d < best_d) {
+          best_d = d;
+          best = c;
+        }
+      }
+      if (result.assignment[i] != best) {
+        result.assignment[i] = best;
+        changed = true;
+      }
+    }
+    // Update.
+    std::vector<std::vector<double>> sums(k, std::vector<double>(dim, 0.0));
+    std::vector<std::size_t> counts(k, 0);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const std::size_t c = result.assignment[i];
+      ++counts[c];
+      for (std::size_t d = 0; d < dim; ++d) {
+        sums[c][d] += points[i][d];
+      }
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed an empty cluster on the point farthest from its centroid.
+        std::size_t farthest = 0;
+        double far_d = -1.0;
+        for (std::size_t i = 0; i < points.size(); ++i) {
+          double d = SquaredDist(points[i],
+                                 result.centroids[result.assignment[i]]);
+          if (d > far_d) {
+            far_d = d;
+            farthest = i;
+          }
+        }
+        result.centroids[c] = points[farthest];
+        changed = true;
+        continue;
+      }
+      for (std::size_t d = 0; d < dim; ++d) {
+        result.centroids[c][d] =
+            sums[c][d] / static_cast<double>(counts[c]);
+      }
+    }
+    result.iterations = iter + 1;
+    if (!changed) {
+      break;
+    }
+  }
+
+  result.inertia = 0.0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    result.inertia += SquaredDist(points[i],
+                                  result.centroids[result.assignment[i]]);
+  }
+  return result;
+}
+
+}  // namespace
+
+KMeansResult KMeans(const std::vector<std::vector<double>>& points,
+                    std::size_t k, std::mt19937_64& rng,
+                    const KMeansOptions& options) {
+  AF_CHECK(!points.empty());
+  AF_CHECK_GT(k, 0u);
+  const std::size_t dim = points.front().size();
+  for (const auto& p : points) {
+    AF_CHECK_EQ(p.size(), dim);
+  }
+
+  KMeansResult best;
+  best.inertia = std::numeric_limits<double>::infinity();
+  const std::size_t restarts = std::max<std::size_t>(1, options.restarts);
+  for (std::size_t r = 0; r < restarts; ++r) {
+    KMeansResult candidate = RunOnce(points, k, rng, options.max_iterations);
+    if (candidate.inertia < best.inertia) {
+      best = std::move(candidate);
+    }
+  }
+  return best;
+}
+
+KMeansResult KMeans1D(std::span<const double> values, std::size_t k,
+                      std::mt19937_64& rng, const KMeansOptions& options) {
+  std::vector<std::vector<double>> points;
+  points.reserve(values.size());
+  for (double v : values) {
+    points.push_back({v});
+  }
+  return KMeans(points, k, rng, options);
+}
+
+double Silhouette(const std::vector<std::vector<double>>& points,
+                  const KMeansResult& clustering) {
+  const std::size_t k = clustering.centroids.size();
+  if (k < 2 || points.size() < 2) {
+    return 0.0;
+  }
+  std::vector<std::size_t> counts(k, 0);
+  for (std::size_t c : clustering.assignment) {
+    ++counts[c];
+  }
+  for (std::size_t c = 0; c < k; ++c) {
+    if (counts[c] == 0) {
+      return 0.0;
+    }
+  }
+
+  double total = 0.0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    std::vector<double> mean_dist(k, 0.0);
+    for (std::size_t j = 0; j < points.size(); ++j) {
+      if (i == j) {
+        continue;
+      }
+      mean_dist[clustering.assignment[j]] +=
+          std::sqrt(SquaredDist(points[i], points[j]));
+    }
+    const std::size_t own = clustering.assignment[i];
+    double a = counts[own] > 1
+                   ? mean_dist[own] / static_cast<double>(counts[own] - 1)
+                   : 0.0;
+    double b = std::numeric_limits<double>::infinity();
+    for (std::size_t c = 0; c < k; ++c) {
+      if (c == own) {
+        continue;
+      }
+      b = std::min(b, mean_dist[c] / static_cast<double>(counts[c]));
+    }
+    double denom = std::max(a, b);
+    total += denom > 0.0 ? (b - a) / denom : 0.0;
+  }
+  return total / static_cast<double>(points.size());
+}
+
+std::size_t GapStatisticK(std::span<const double> values, std::size_t max_k,
+                          std::mt19937_64& rng,
+                          std::size_t reference_draws) {
+  AF_CHECK(!values.empty());
+  AF_CHECK_GE(max_k, 1u);
+  const auto [lo_it, hi_it] = std::minmax_element(values.begin(), values.end());
+  const double lo = *lo_it, hi = *hi_it;
+  if (hi - lo <= 1e-12) {
+    return 1;  // degenerate: all scores identical
+  }
+
+  auto log_inertia = [&](std::span<const double> vals, std::size_t k) {
+    KMeansResult r = KMeans1D(vals, k, rng);
+    return std::log(std::max(r.inertia, 1e-12));
+  };
+
+  std::vector<double> gaps(max_k + 1, 0.0);
+  std::vector<double> sks(max_k + 1, 0.0);
+  std::uniform_real_distribution<double> uniform(lo, hi);
+  for (std::size_t k = 1; k <= max_k; ++k) {
+    const double observed = log_inertia(values, k);
+    std::vector<double> reference_logs(reference_draws);
+    std::vector<double> ref(values.size());
+    for (std::size_t b = 0; b < reference_draws; ++b) {
+      for (double& v : ref) {
+        v = uniform(rng);
+      }
+      reference_logs[b] = log_inertia(ref, k);
+    }
+    double ref_mean = 0.0;
+    for (double r : reference_logs) {
+      ref_mean += r;
+    }
+    ref_mean /= static_cast<double>(reference_draws);
+    double ref_var = 0.0;
+    for (double r : reference_logs) {
+      ref_var += (r - ref_mean) * (r - ref_mean);
+    }
+    ref_var /= static_cast<double>(reference_draws);
+    gaps[k] = ref_mean - observed;
+    sks[k] = std::sqrt(ref_var * (1.0 + 1.0 / static_cast<double>(
+                                            reference_draws)));
+  }
+  // Standard rule: smallest k with gap(k) >= gap(k+1) - s(k+1).
+  for (std::size_t k = 1; k < max_k; ++k) {
+    if (gaps[k] >= gaps[k + 1] - sks[k + 1]) {
+      return k;
+    }
+  }
+  return max_k;
+}
+
+}  // namespace cluster

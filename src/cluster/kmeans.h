@@ -1,0 +1,50 @@
+// k-means clustering.
+//
+// AsyncFilter's attacker identification runs 3-means (and the Fig. 7
+// ablation 2-means) over 1-D suspicious scores; FLDetector runs k-means with
+// a gap statistic over 1-D per-client scores. Both paths share this module.
+#pragma once
+
+#include <cstddef>
+#include <random>
+#include <span>
+#include <vector>
+
+namespace cluster {
+
+struct KMeansResult {
+  std::vector<std::vector<double>> centroids;  // k × dim
+  std::vector<std::size_t> assignment;         // per-point centroid index
+  double inertia = 0.0;                        // sum of squared distances
+  std::size_t iterations = 0;
+};
+
+struct KMeansOptions {
+  std::size_t max_iterations = 100;
+  std::size_t restarts = 4;  // best-of-n k-means++ restarts
+};
+
+// General N-D k-means (k-means++ init, Lloyd iterations). Requires
+// points.size() >= 1; if k > #distinct points some clusters may be empty and
+// are re-seeded on the farthest point.
+KMeansResult KMeans(const std::vector<std::vector<double>>& points,
+                    std::size_t k, std::mt19937_64& rng,
+                    const KMeansOptions& options = {});
+
+// 1-D convenience wrapper.
+KMeansResult KMeans1D(std::span<const double> values, std::size_t k,
+                      std::mt19937_64& rng, const KMeansOptions& options = {});
+
+// Mean silhouette coefficient of a clustering (−1..1, higher = tighter);
+// returns 0 when any cluster is empty or k < 2.
+double Silhouette(const std::vector<std::vector<double>>& points,
+                  const KMeansResult& clustering);
+
+// Tibshirani gap statistic over 1-D values: picks k in [1, max_k] comparing
+// log-inertia against uniform reference draws. FLDetector uses this to
+// decide whether an attack is present (k = 1 vs k >= 2).
+std::size_t GapStatisticK(std::span<const double> values, std::size_t max_k,
+                          std::mt19937_64& rng,
+                          std::size_t reference_draws = 10);
+
+}  // namespace cluster

@@ -1,0 +1,179 @@
+#include "cluster/tsne.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace cluster {
+namespace {
+
+// Pairwise squared Euclidean distances (N×N, row-major).
+std::vector<double> PairwiseSquared(
+    const std::vector<std::vector<float>>& points) {
+  const std::size_t n = points.size();
+  std::vector<double> d2(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      double sum = 0.0;
+      for (std::size_t k = 0; k < points[i].size(); ++k) {
+        double d = static_cast<double>(points[i][k]) - points[j][k];
+        sum += d * d;
+      }
+      d2[i * n + j] = sum;
+      d2[j * n + i] = sum;
+    }
+  }
+  return d2;
+}
+
+// Binary-searches the Gaussian bandwidth for row i so the conditional
+// distribution's perplexity matches the target; fills p_cond row i.
+void FitRowPerplexity(const std::vector<double>& d2, std::size_t n,
+                      std::size_t i, double perplexity,
+                      std::vector<double>& p_cond) {
+  const double target_entropy = std::log(perplexity);
+  double beta = 1.0, beta_min = 0.0;
+  double beta_max = std::numeric_limits<double>::infinity();
+  std::vector<double> row(n, 0.0);
+  for (int iter = 0; iter < 50; ++iter) {
+    double sum = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      row[j] = (j == i) ? 0.0 : std::exp(-beta * d2[i * n + j]);
+      sum += row[j];
+    }
+    if (sum <= 0.0) {
+      sum = 1e-12;
+    }
+    double entropy = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (row[j] > 0.0) {
+        double p = row[j] / sum;
+        entropy -= p * std::log(p);
+      }
+    }
+    double diff = entropy - target_entropy;
+    if (std::abs(diff) < 1e-5) {
+      break;
+    }
+    if (diff > 0.0) {
+      beta_min = beta;
+      beta = std::isinf(beta_max) ? beta * 2.0 : 0.5 * (beta + beta_max);
+    } else {
+      beta_max = beta;
+      beta = 0.5 * (beta + beta_min);
+    }
+  }
+  double sum = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    row[j] = (j == i) ? 0.0 : std::exp(-beta * d2[i * n + j]);
+    sum += row[j];
+  }
+  if (sum <= 0.0) {
+    sum = 1e-12;
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    p_cond[i * n + j] = row[j] / sum;
+  }
+}
+
+}  // namespace
+
+std::vector<std::array<double, 2>> TsneEmbed(
+    const std::vector<std::vector<float>>& points, std::mt19937_64& rng,
+    const TsneOptions& options) {
+  AF_CHECK_GE(points.size(), 2u);
+  const std::size_t n = points.size();
+  const std::size_t dim = points.front().size();
+  for (const auto& p : points) {
+    AF_CHECK_EQ(p.size(), dim);
+  }
+  // Perplexity must be < n; clamp for small studies.
+  const double perplexity =
+      std::min(options.perplexity, static_cast<double>(n - 1) / 3.0);
+
+  std::vector<double> d2 = PairwiseSquared(points);
+  std::vector<double> p_cond(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    FitRowPerplexity(d2, n, i, std::max(perplexity, 2.0), p_cond);
+  }
+  // Symmetrise: p_ij = (p_{j|i} + p_{i|j}) / 2n, floored for stability.
+  std::vector<double> p(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      p[i * n + j] = std::max(
+          (p_cond[i * n + j] + p_cond[j * n + i]) / (2.0 * static_cast<double>(n)),
+          1e-12);
+    }
+  }
+
+  std::normal_distribution<double> init(0.0, 1e-4);
+  std::vector<std::array<double, 2>> y(n), y_vel(n, {0.0, 0.0});
+  for (auto& yi : y) {
+    yi = {init(rng), init(rng)};
+  }
+
+  const std::size_t exaggeration_end = options.iterations / 4;
+  std::vector<double> q(n * n, 0.0);
+  std::vector<std::array<double, 2>> grad(n);
+  for (std::size_t iter = 0; iter < options.iterations; ++iter) {
+    const double exaggeration =
+        iter < exaggeration_end ? options.early_exaggeration : 1.0;
+    const double momentum = iter < exaggeration_end
+                                ? options.initial_momentum
+                                : options.final_momentum;
+    // Student-t affinities in the embedding.
+    double q_sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        double dx = y[i][0] - y[j][0];
+        double dy = y[i][1] - y[j][1];
+        double w = 1.0 / (1.0 + dx * dx + dy * dy);
+        q[i * n + j] = w;
+        q[j * n + i] = w;
+        q_sum += 2.0 * w;
+      }
+    }
+    q_sum = std::max(q_sum, 1e-12);
+
+    for (auto& g : grad) {
+      g = {0.0, 0.0};
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (i == j) {
+          continue;
+        }
+        double w = q[i * n + j];
+        double q_ij = std::max(w / q_sum, 1e-12);
+        double mult = 4.0 * (exaggeration * p[i * n + j] - q_ij) * w;
+        grad[i][0] += mult * (y[i][0] - y[j][0]);
+        grad[i][1] += mult * (y[i][1] - y[j][1]);
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      for (int d = 0; d < 2; ++d) {
+        y_vel[i][d] =
+            momentum * y_vel[i][d] - options.learning_rate * grad[i][d];
+        y[i][d] += y_vel[i][d];
+      }
+    }
+    // Re-centre to remove drift.
+    double cx = 0.0, cy = 0.0;
+    for (const auto& yi : y) {
+      cx += yi[0];
+      cy += yi[1];
+    }
+    cx /= static_cast<double>(n);
+    cy /= static_cast<double>(n);
+    for (auto& yi : y) {
+      yi[0] -= cx;
+      yi[1] -= cy;
+    }
+  }
+  return y;
+}
+
+}  // namespace cluster

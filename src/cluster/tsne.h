@@ -1,0 +1,31 @@
+// Exact t-SNE (van der Maaten & Hinton, 2008).
+//
+// Used to regenerate the paper's Fig. 3 / Fig. 4 observation study: embed
+// per-round local updates into 2-D and show that same-staleness updates
+// cluster around a common centre. Exact O(N²) gradients are fine at the
+// study's scale (≤ a few hundred updates per round).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <random>
+#include <vector>
+
+namespace cluster {
+
+struct TsneOptions {
+  double perplexity = 20.0;
+  std::size_t iterations = 400;
+  double learning_rate = 100.0;
+  double early_exaggeration = 4.0;       // applied for the first quarter
+  double initial_momentum = 0.5;
+  double final_momentum = 0.8;
+};
+
+// Embeds `points` (N × D, rows = samples) into N × 2. Deterministic given
+// the RNG state.
+std::vector<std::array<double, 2>> TsneEmbed(
+    const std::vector<std::vector<float>>& points, std::mt19937_64& rng,
+    const TsneOptions& options = {});
+
+}  // namespace cluster

@@ -1,0 +1,146 @@
+#include "core/async_filter.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "cluster/kmeans.h"
+#include "core/suspicious_score.h"
+#include "util/check.h"
+
+namespace core {
+
+AsyncFilter::AsyncFilter(AsyncFilterOptions options) : options_(options) {
+  AF_CHECK_GE(options_.num_clusters, 2u);
+  AF_CHECK_LE(options_.num_clusters, 3u);
+}
+
+std::string AsyncFilter::Name() const {
+  if (options_.num_clusters == 2) {
+    return "AsyncFilter-2means";
+  }
+  return "AsyncFilter";
+}
+
+void AsyncFilter::Reset() {
+  bank_.Reset();
+  deferral_counts_.clear();
+}
+
+defense::AggregationResult AsyncFilter::Process(
+    const defense::FilterContext& context,
+    const std::vector<fl::ModelUpdate>& updates) {
+  AF_CHECK(!updates.empty());
+  AF_CHECK(context.rng != nullptr) << "AsyncFilter needs the server RNG";
+
+  // Step 1 (Eq. 4–5): fold the arrivals into their staleness groups'
+  // moving-average estimators. Alg. 1 absorbs before scoring.
+  if (!options_.absorb_only_accepted) {
+    for (const auto& update : updates) {
+      bank_.Absorb(update.staleness, update.delta);
+    }
+  } else {
+    // Ensure every staleness level has at least one observation so scoring
+    // is well-defined; the accepted ones are absorbed at the end.
+    for (const auto& update : updates) {
+      if (!bank_.HasGroup(update.staleness)) {
+        bank_.Absorb(update.staleness, update.delta);
+      }
+    }
+  }
+
+  // Step 2 (Eq. 6–7): suspicious scores.
+  const std::vector<double> scores =
+      ComputeSuspiciousScores(updates, bank_, options_.normalization);
+
+  std::vector<std::size_t> accepted;
+  std::vector<std::size_t> mid;
+  std::vector<std::size_t> rejected;
+
+  const std::size_t k = std::min<std::size_t>(options_.num_clusters,
+                                              updates.size());
+  if (ScoresDegenerate(scores) || k < 2) {
+    // Nothing to separate: everything is accepted (matches FedBuff).
+    accepted.resize(updates.size());
+    std::iota(accepted.begin(), accepted.end(), 0u);
+  } else {
+    // Step 3: k-means over the 1-D scores; order bands by centroid.
+    cluster::KMeansResult clustering =
+        cluster::KMeans1D(scores, k, *context.rng);
+    std::vector<std::size_t> band_order(k);
+    std::iota(band_order.begin(), band_order.end(), 0u);
+    std::sort(band_order.begin(), band_order.end(),
+              [&](std::size_t a, std::size_t b) {
+                return clustering.centroids[a][0] < clustering.centroids[b][0];
+              });
+    std::vector<std::size_t> band_rank(k);  // cluster id -> 0=low,…,k-1=high
+    for (std::size_t r = 0; r < k; ++r) {
+      band_rank[band_order[r]] = r;
+    }
+    for (std::size_t i = 0; i < updates.size(); ++i) {
+      const std::size_t rank = band_rank[clustering.assignment[i]];
+      if (rank == 0) {
+        accepted.push_back(i);
+      } else if (rank == k - 1) {
+        rejected.push_back(i);
+      } else {
+        mid.push_back(i);
+      }
+    }
+    if (accepted.empty()) {
+      // The "honest" band must never be empty; fall back to the mid band,
+      // then to everything (never stall the learning process).
+      if (!mid.empty()) {
+        accepted.swap(mid);
+      } else {
+        accepted.swap(rejected);
+      }
+    }
+  }
+
+  // Middle band disposition.
+  defense::AggregationResult result;
+  result.verdicts.assign(updates.size(), defense::Verdict::kAccepted);
+  for (std::size_t idx : rejected) {
+    result.verdicts[idx] = defense::Verdict::kRejected;
+  }
+  switch (options_.mid_band) {
+    case MidBandPolicy::kAccept:
+      accepted.insert(accepted.end(), mid.begin(), mid.end());
+      break;
+    case MidBandPolicy::kReject:
+      for (std::size_t idx : mid) {
+        result.verdicts[idx] = defense::Verdict::kRejected;
+        rejected.push_back(idx);
+      }
+      break;
+    case MidBandPolicy::kDefer:
+      for (std::size_t idx : mid) {
+        const auto& update = updates[idx];
+        const auto key = std::make_pair(update.client_id, update.base_round);
+        std::size_t& count = deferral_counts_[key];
+        if (count >= options_.max_deferrals) {
+          // Deferred too often — treat as rejected.
+          result.verdicts[idx] = defense::Verdict::kRejected;
+          rejected.push_back(idx);
+          deferral_counts_.erase(key);
+          continue;
+        }
+        ++count;
+        result.verdicts[idx] = defense::Verdict::kDeferred;
+        result.deferred.push_back(update);
+      }
+      break;
+  }
+  // Bound the deferral ledger (stale entries for long-gone updates).
+  if (deferral_counts_.size() > 4096) {
+    deferral_counts_.clear();
+  }
+
+  if (!accepted.empty()) {
+    result.aggregated_delta = defense::WeightedAverage(
+        updates, accepted, context.staleness_weighting);
+  }
+  return result;
+}
+
+}  // namespace core

@@ -1,0 +1,48 @@
+#include "core/staleness_groups.h"
+
+#include "util/check.h"
+
+namespace core {
+
+std::map<std::size_t, std::vector<std::size_t>> GroupByStaleness(
+    const std::vector<fl::ModelUpdate>& updates) {
+  std::map<std::size_t, std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < updates.size(); ++i) {
+    groups[updates[i].staleness].push_back(i);
+  }
+  return groups;
+}
+
+void MovingAverageBank::Absorb(std::size_t staleness,
+                               std::span<const float> delta) {
+  groups_[staleness].Add(delta);
+}
+
+bool MovingAverageBank::HasGroup(std::size_t staleness) const {
+  auto it = groups_.find(staleness);
+  return it != groups_.end() && !it->second.empty();
+}
+
+std::span<const float> MovingAverageBank::Estimate(std::size_t staleness) const {
+  auto it = groups_.find(staleness);
+  AF_CHECK(it != groups_.end()) << "no estimator for staleness " << staleness;
+  return it->second.mean();
+}
+
+std::vector<std::size_t> MovingAverageBank::Groups() const {
+  std::vector<std::size_t> keys;
+  keys.reserve(groups_.size());
+  for (const auto& [staleness, ma] : groups_) {
+    if (!ma.empty()) {
+      keys.push_back(staleness);
+    }
+  }
+  return keys;
+}
+
+std::size_t MovingAverageBank::ObservationCount(std::size_t staleness) const {
+  auto it = groups_.find(staleness);
+  return it == groups_.end() ? 0 : it->second.count();
+}
+
+}  // namespace core

@@ -1,0 +1,47 @@
+// Staleness-keyed moving-average estimators (paper Eq. 4–5).
+//
+// AsyncFilter's first step groups incoming updates by staleness τ; within a
+// group the variance introduced by differing base-model versions is
+// neutralised. Each group keeps a cross-round moving average
+//   MA(C_k) ← t/(t+1)·MA(C_k) + 1/(t+1)·ω_i
+// that serves as the group's expectation of a benign update.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "fl/types.h"
+#include "stats/running_stats.h"
+
+namespace core {
+
+// Staleness value → indices (into the buffer) of updates with that staleness.
+std::map<std::size_t, std::vector<std::size_t>> GroupByStaleness(
+    const std::vector<fl::ModelUpdate>& updates);
+
+// The server-resident bank of per-staleness moving averages.
+class MovingAverageBank {
+ public:
+  // Absorbs one observed update into its staleness group's estimator.
+  void Absorb(std::size_t staleness, std::span<const float> delta);
+
+  // True when group τ has at least one absorbed observation.
+  bool HasGroup(std::size_t staleness) const;
+
+  // Group estimate; HasGroup(staleness) must hold.
+  std::span<const float> Estimate(std::size_t staleness) const;
+
+  // All staleness levels with a non-empty estimator, ascending.
+  std::vector<std::size_t> Groups() const;
+
+  std::size_t ObservationCount(std::size_t staleness) const;
+
+  void Reset() { groups_.clear(); }
+
+ private:
+  std::map<std::size_t, stats::VectorMovingAverage> groups_;
+};
+
+}  // namespace core

@@ -1,0 +1,88 @@
+#include "core/suspicious_score.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "stats/vec_ops.h"
+#include "util/check.h"
+
+namespace core {
+
+std::vector<double> ComputeSuspiciousScores(
+    const std::vector<fl::ModelUpdate>& updates, const MovingAverageBank& bank,
+    ScoreNormalization normalization) {
+  const std::vector<std::size_t> groups = bank.Groups();
+  AF_CHECK(!groups.empty());
+
+  // Eq. 6: distance of every update to its own group's estimate.
+  std::vector<double> own(updates.size(), 0.0);
+  for (std::size_t i = 0; i < updates.size(); ++i) {
+    const auto& update = updates[i];
+    AF_CHECK(bank.HasGroup(update.staleness))
+        << "update staleness " << update.staleness << " not absorbed";
+    own[i] = stats::Distance(bank.Estimate(update.staleness), update.delta);
+  }
+
+  std::vector<double> scores(updates.size(), 0.0);
+  switch (normalization) {
+    case ScoreNormalization::kEq7CrossGroup: {
+      for (std::size_t i = 0; i < updates.size(); ++i) {
+        double sum_sq = 0.0;
+        for (std::size_t tau : groups) {
+          const double d =
+              stats::Distance(bank.Estimate(tau), updates[i].delta);
+          sum_sq += d * d;
+        }
+        scores[i] = sum_sq > 1e-24 ? own[i] / std::sqrt(sum_sq) : 0.0;
+      }
+      return scores;
+    }
+    case ScoreNormalization::kBufferNorm: {
+      double sum_sq = 0.0;
+      for (double d : own) {
+        sum_sq += d * d;
+      }
+      const double denom = std::sqrt(sum_sq);
+      for (std::size_t i = 0; i < updates.size(); ++i) {
+        scores[i] = denom > 1e-12 ? own[i] / denom : 0.0;
+      }
+      return scores;
+    }
+    case ScoreNormalization::kGroupRms:
+      break;
+  }
+
+  // kGroupRms: per-group RMS over the buffered peers; singleton groups use
+  // the buffer-wide RMS so they are judged on the common scale.
+  std::map<std::size_t, std::pair<double, std::size_t>> group_sq;  // τ → (Σd², n)
+  double buffer_sq = 0.0;
+  for (std::size_t i = 0; i < updates.size(); ++i) {
+    auto& [sum, count] = group_sq[updates[i].staleness];
+    sum += own[i] * own[i];
+    ++count;
+    buffer_sq += own[i] * own[i];
+  }
+  const double buffer_rms =
+      std::sqrt(buffer_sq / static_cast<double>(updates.size()));
+  for (std::size_t i = 0; i < updates.size(); ++i) {
+    const auto& [sum, count] = group_sq[updates[i].staleness];
+    double rms = count >= 2 ? std::sqrt(sum / static_cast<double>(count))
+                            : buffer_rms;
+    if (rms <= 1e-12) {
+      rms = buffer_rms > 1e-12 ? buffer_rms : 1.0;
+    }
+    scores[i] = own[i] / rms;
+  }
+  return scores;
+}
+
+bool ScoresDegenerate(const std::vector<double>& scores, double epsilon) {
+  if (scores.size() < 2) {
+    return true;
+  }
+  const auto [lo, hi] = std::minmax_element(scores.begin(), scores.end());
+  return (*hi - *lo) < epsilon;
+}
+
+}  // namespace core

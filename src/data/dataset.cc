@@ -1,0 +1,60 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace data {
+
+std::span<const float> Dataset::Sample(std::size_t index) const {
+  AF_CHECK_LT(index, size());
+  const std::size_t dim = sample_dim();
+  return std::span<const float>(features.data() + index * dim, dim);
+}
+
+Batch MakeBatch(const Dataset& dataset, std::span<const std::size_t> indices) {
+  AF_CHECK(!indices.empty());
+  const std::size_t dim = dataset.sample_dim();
+  tensor::Shape batch_shape;
+  batch_shape.push_back(indices.size());
+  for (std::size_t d : dataset.sample_shape) {
+    batch_shape.push_back(d);
+  }
+  Batch batch{tensor::Tensor(batch_shape), {}};
+  batch.labels.reserve(indices.size());
+  float* dst = batch.features.data().data();
+  for (std::size_t k = 0; k < indices.size(); ++k) {
+    std::span<const float> sample = dataset.Sample(indices[k]);
+    std::copy(sample.begin(), sample.end(), dst + k * dim);
+    batch.labels.push_back(dataset.labels[indices[k]]);
+  }
+  return batch;
+}
+
+std::vector<std::vector<std::size_t>> MakeMiniBatches(std::size_t n,
+                                                      std::size_t batch_size,
+                                                      std::mt19937_64& rng) {
+  AF_CHECK_GT(batch_size, 0u);
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::shuffle(order.begin(), order.end(), rng);
+  std::vector<std::vector<std::size_t>> batches;
+  for (std::size_t start = 0; start < n; start += batch_size) {
+    const std::size_t end = std::min(start + batch_size, n);
+    batches.emplace_back(order.begin() + start, order.begin() + end);
+  }
+  return batches;
+}
+
+std::vector<std::size_t> LabelHistogram(const Dataset& dataset,
+                                        std::span<const std::size_t> indices) {
+  std::vector<std::size_t> hist(dataset.num_classes, 0);
+  for (std::size_t idx : indices) {
+    AF_CHECK_LT(idx, dataset.size());
+    hist[static_cast<std::size_t>(dataset.labels[idx])]++;
+  }
+  return hist;
+}
+
+}  // namespace data

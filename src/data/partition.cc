@@ -1,0 +1,117 @@
+#include "data/partition.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "stats/dirichlet.h"
+#include "util/check.h"
+
+namespace data {
+namespace {
+
+// Per-label shuffled index pools with cycling.
+class LabelPools {
+ public:
+  LabelPools(const Dataset& dataset, std::mt19937_64& rng)
+      : pools_(dataset.num_classes), cursors_(dataset.num_classes, 0) {
+    for (std::size_t i = 0; i < dataset.size(); ++i) {
+      pools_[static_cast<std::size_t>(dataset.labels[i])].push_back(i);
+    }
+    for (auto& pool : pools_) {
+      std::shuffle(pool.begin(), pool.end(), rng);
+    }
+  }
+
+  bool LabelHasSamples(std::size_t label) const {
+    return !pools_[label].empty();
+  }
+
+  std::size_t Take(std::size_t label) {
+    auto& pool = pools_[label];
+    AF_CHECK(!pool.empty());
+    std::size_t idx = pool[cursors_[label] % pool.size()];
+    ++cursors_[label];
+    return idx;
+  }
+
+ private:
+  std::vector<std::vector<std::size_t>> pools_;
+  std::vector<std::size_t> cursors_;
+};
+
+}  // namespace
+
+Partition DirichletPartition(const Dataset& dataset, std::size_t num_clients,
+                             std::size_t partition_size, double alpha,
+                             std::mt19937_64& rng) {
+  AF_CHECK_GT(num_clients, 0u);
+  AF_CHECK_GT(partition_size, 0u);
+  AF_CHECK_GT(dataset.size(), 0u);
+  LabelPools pools(dataset, rng);
+
+  Partition partition(num_clients);
+  for (std::size_t c = 0; c < num_clients; ++c) {
+    std::vector<double> mixture =
+        stats::SampleSymmetricDirichlet(dataset.num_classes, alpha, rng);
+    // Zero out labels absent from the dataset and renormalise.
+    double total = 0.0;
+    for (std::size_t l = 0; l < mixture.size(); ++l) {
+      if (!pools.LabelHasSamples(l)) {
+        mixture[l] = 0.0;
+      }
+      total += mixture[l];
+    }
+    AF_CHECK_GT(total, 0.0) << "dataset has no samples for any label";
+    std::discrete_distribution<std::size_t> pick_label(mixture.begin(),
+                                                       mixture.end());
+    partition[c].reserve(partition_size);
+    for (std::size_t s = 0; s < partition_size; ++s) {
+      partition[c].push_back(pools.Take(pick_label(rng)));
+    }
+  }
+  return partition;
+}
+
+Partition IidPartition(const Dataset& dataset, std::size_t num_clients,
+                       std::size_t partition_size, std::mt19937_64& rng) {
+  AF_CHECK_GT(num_clients, 0u);
+  AF_CHECK_GT(dataset.size(), 0u);
+  std::uniform_int_distribution<std::size_t> pick(0, dataset.size() - 1);
+  Partition partition(num_clients);
+  for (auto& client : partition) {
+    client.reserve(partition_size);
+    for (std::size_t s = 0; s < partition_size; ++s) {
+      client.push_back(pick(rng));
+    }
+  }
+  return partition;
+}
+
+double MeanLabelSkew(const Dataset& dataset, const Partition& partition) {
+  AF_CHECK(!partition.empty());
+  std::vector<double> global(dataset.num_classes, 0.0);
+  for (std::int64_t label : dataset.labels) {
+    global[static_cast<std::size_t>(label)] += 1.0;
+  }
+  for (double& g : global) {
+    g /= static_cast<double>(dataset.size());
+  }
+
+  double total_tv = 0.0;
+  for (const auto& client : partition) {
+    std::vector<std::size_t> hist = LabelHistogram(dataset, client);
+    double tv = 0.0;
+    for (std::size_t l = 0; l < hist.size(); ++l) {
+      double p = client.empty()
+                     ? 0.0
+                     : static_cast<double>(hist[l]) /
+                           static_cast<double>(client.size());
+      tv += std::abs(p - global[l]);
+    }
+    total_tv += 0.5 * tv;
+  }
+  return total_tv / static_cast<double>(partition.size());
+}
+
+}  // namespace data

@@ -1,0 +1,37 @@
+#include "defense/aflguard.h"
+
+#include "stats/vec_ops.h"
+#include "util/check.h"
+
+namespace defense {
+
+AflGuard::AflGuard(double lambda) : lambda_(lambda) {
+  AF_CHECK_GT(lambda, 0.0);
+}
+
+AggregationResult AflGuard::Process(const FilterContext& context,
+                                    const std::vector<fl::ModelUpdate>& updates) {
+  AF_CHECK(!updates.empty());
+  AF_CHECK(!context.server_reference.empty())
+      << "AFLGuard requires a server reference update";
+  const double bound = lambda_ * stats::L2Norm(context.server_reference);
+
+  std::vector<std::size_t> accepted;
+  std::vector<std::size_t> rejected;
+  for (std::size_t i = 0; i < updates.size(); ++i) {
+    const double deviation =
+        stats::Distance(updates[i].delta, context.server_reference);
+    if (deviation <= bound) {
+      accepted.push_back(i);
+    } else {
+      rejected.push_back(i);
+    }
+  }
+  if (accepted.empty()) {
+    accepted.swap(rejected);  // degenerate round: keep learning
+  }
+  return MakeFilterResult(updates, accepted, rejected,
+                          context.staleness_weighting);
+}
+
+}  // namespace defense

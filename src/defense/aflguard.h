@@ -1,0 +1,25 @@
+// AFLGuard (Fang et al., ACSAC 2022) — clean-dataset baseline.
+//
+// A client update is benign iff it does not deviate too far from the
+// server's own clean update in magnitude and direction:
+//   ‖g_c − g_s‖ ≤ λ‖g_s‖.
+#pragma once
+
+#include "defense/defense.h"
+
+namespace defense {
+
+class AflGuard : public Defense {
+ public:
+  explicit AflGuard(double lambda = 2.0);
+
+  AggregationResult Process(const FilterContext& context,
+                            const std::vector<fl::ModelUpdate>& updates) override;
+  std::string Name() const override { return "AFLGuard"; }
+  bool RequiresServerReference() const override { return true; }
+
+ private:
+  double lambda_;
+};
+
+}  // namespace defense

@@ -1,0 +1,73 @@
+#include "defense/bucketing.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "defense/trimmed_mean.h"
+#include "stats/vec_ops.h"
+#include "util/check.h"
+
+namespace defense {
+
+Bucketing::Bucketing(std::size_t bucket_size, std::unique_ptr<Defense> inner)
+    : bucket_size_(bucket_size),
+      inner_(inner ? std::move(inner)
+                   : std::make_unique<CoordinateMedian>()) {
+  AF_CHECK_GT(bucket_size_, 0u);
+}
+
+std::string Bucketing::Name() const {
+  return "Bucketing(" + std::to_string(bucket_size_) + ")+" + inner_->Name();
+}
+
+void Bucketing::Reset() { inner_->Reset(); }
+
+AggregationResult Bucketing::Process(const FilterContext& context,
+                                     const std::vector<fl::ModelUpdate>& updates) {
+  AF_CHECK(!updates.empty());
+  AF_CHECK(context.rng != nullptr) << "Bucketing shuffles with the server RNG";
+
+  // Random permutation, then contiguous buckets of size s.
+  std::vector<std::size_t> order(updates.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::shuffle(order.begin(), order.end(), *context.rng);
+
+  std::vector<fl::ModelUpdate> bucket_means;
+  for (std::size_t start = 0; start < order.size(); start += bucket_size_) {
+    const std::size_t end = std::min(start + bucket_size_, order.size());
+    std::vector<std::vector<float>> members;
+    std::size_t samples = 0;
+    std::size_t staleness_sum = 0;
+    for (std::size_t k = start; k < end; ++k) {
+      const auto& u = updates[order[k]];
+      members.push_back(u.delta);
+      samples += u.num_samples;
+      staleness_sum += u.staleness;
+    }
+    fl::ModelUpdate mean;
+    mean.client_id = -static_cast<int>(start / bucket_size_) - 1;  // synthetic
+    mean.delta = stats::Mean(members);
+    mean.num_samples = samples;
+    mean.staleness = staleness_sum / (end - start);
+    bucket_means.push_back(std::move(mean));
+  }
+
+  AggregationResult inner_result = inner_->Process(context, bucket_means);
+
+  // Per-client verdicts: a client is rejected iff its bucket was rejected.
+  AggregationResult result;
+  result.aggregated_delta = std::move(inner_result.aggregated_delta);
+  result.verdicts.assign(updates.size(), Verdict::kAccepted);
+  for (std::size_t b = 0; b < bucket_means.size(); ++b) {
+    if (inner_result.verdicts[b] == Verdict::kRejected) {
+      const std::size_t start = b * bucket_size_;
+      const std::size_t end = std::min(start + bucket_size_, order.size());
+      for (std::size_t k = start; k < end; ++k) {
+        result.verdicts[order[k]] = Verdict::kRejected;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace defense

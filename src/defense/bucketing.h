@@ -1,0 +1,32 @@
+// Bucketing pre-aggregation (Karimireddy et al., 2020; paper §2.3).
+//
+// Randomly permutes the buffered updates into buckets of size s and
+// averages each bucket before handing the bucket means to an inner robust
+// aggregator; mixing shrinks heterogeneity so the inner rule (here
+// coordinate median) separates honest mass from attackers more reliably.
+#pragma once
+
+#include <memory>
+
+#include "defense/defense.h"
+
+namespace defense {
+
+class Bucketing : public Defense {
+ public:
+  // `bucket_size` = s; `inner` consumes the bucket means (defaults to
+  // coordinate median when null).
+  explicit Bucketing(std::size_t bucket_size = 2,
+                     std::unique_ptr<Defense> inner = nullptr);
+
+  AggregationResult Process(const FilterContext& context,
+                            const std::vector<fl::ModelUpdate>& updates) override;
+  std::string Name() const override;
+  void Reset() override;
+
+ private:
+  std::size_t bucket_size_;
+  std::unique_ptr<Defense> inner_;
+};
+
+}  // namespace defense

@@ -1,0 +1,57 @@
+// FLDetector baseline (Zhang et al., KDD 2022), adapted to the async buffer.
+//
+// The server predicts each client's update from its previous one plus an
+// L-BFGS Hessian-vector correction for how far the global model moved since,
+// scores clients by prediction error, and splits scores with k-means gated
+// by a gap statistic. Designed for synchronous FL — the paper uses it to
+// show staleness-unaware detection misfires in AFL, which this adaptation
+// reproduces: predictions use each client's true base round, but the method
+// still ignores staleness when normalising and clustering.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "defense/defense.h"
+
+namespace defense {
+
+struct FlDetectorOptions {
+  std::size_t lbfgs_window = 5;   // stored (s, y) curvature pairs
+  std::size_t score_window = 3;   // per-client score moving average
+  std::size_t max_k = 3;          // gap-statistic search range
+  std::size_t snapshot_window = 64;  // retained global-model versions
+};
+
+class FlDetector : public Defense {
+ public:
+  explicit FlDetector(FlDetectorOptions options = {});
+
+  AggregationResult Process(const FilterContext& context,
+                            const std::vector<fl::ModelUpdate>& updates) override;
+  std::string Name() const override { return "FLDetector"; }
+  void Reset() override;
+
+ private:
+  // Approximates H·v via L-BFGS two-loop recursion on the stored curvature
+  // pairs with the roles of s and y swapped (B-approximation).
+  std::vector<float> HessianVector(const std::vector<float>& v) const;
+
+  struct ClientHistory {
+    std::vector<float> last_update;
+    std::size_t last_base_round = 0;
+    std::deque<double> scores;  // rolling normalized scores
+  };
+
+  FlDetectorOptions options_;
+  std::deque<std::pair<std::vector<float>, std::vector<float>>> pairs_;  // (s, y)
+  std::unordered_map<std::size_t, std::vector<float>> global_snapshots_;
+  std::vector<float> prev_global_;
+  std::vector<float> prev_mean_update_;
+  bool has_prev_ = false;
+  std::unordered_map<int, ClientHistory> clients_;
+};
+
+}  // namespace defense

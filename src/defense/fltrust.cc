@@ -1,0 +1,43 @@
+#include "defense/fltrust.h"
+
+#include <algorithm>
+
+#include "stats/vec_ops.h"
+#include "util/check.h"
+
+namespace defense {
+
+AggregationResult FlTrust::Process(const FilterContext& context,
+                                   const std::vector<fl::ModelUpdate>& updates) {
+  AF_CHECK(!updates.empty());
+  AF_CHECK(!context.server_reference.empty())
+      << "FLtrust requires a server reference update";
+  const double server_norm = stats::L2Norm(context.server_reference);
+
+  AggregationResult result;
+  result.verdicts.assign(updates.size(), Verdict::kRejected);
+  std::vector<std::vector<float>> rescaled;
+  std::vector<double> trust;
+  for (std::size_t i = 0; i < updates.size(); ++i) {
+    const double cos =
+        stats::CosineSimilarity(context.server_reference, updates[i].delta);
+    const double score = std::max(cos, 0.0);  // ReLU-clipped trust
+    if (score <= 0.0) {
+      continue;
+    }
+    result.verdicts[i] = Verdict::kAccepted;
+    std::vector<float> scaled = updates[i].delta;
+    const double norm = stats::L2Norm(scaled);
+    if (norm > 1e-12 && server_norm > 1e-12) {
+      stats::Scale(scaled, server_norm / norm);
+    }
+    rescaled.push_back(std::move(scaled));
+    trust.push_back(score);
+  }
+  if (!rescaled.empty()) {
+    result.aggregated_delta = stats::WeightedMean(rescaled, trust);
+  }
+  return result;
+}
+
+}  // namespace defense

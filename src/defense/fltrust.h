@@ -1,0 +1,21 @@
+// FLtrust (Cao et al., NDSS 2021) — clean-dataset baseline (paper §2.3).
+//
+// The server trains its own update g₀ on a trusted root dataset; each client
+// update gets trust score TSᵢ = ReLU(cos(gᵢ, g₀)), is rescaled to ‖g₀‖, and
+// the aggregate is the TS-weighted mean. Synchronous by design — included
+// in the extension study for the same reason as Zeno++/AFLGuard.
+#pragma once
+
+#include "defense/defense.h"
+
+namespace defense {
+
+class FlTrust : public Defense {
+ public:
+  AggregationResult Process(const FilterContext& context,
+                            const std::vector<fl::ModelUpdate>& updates) override;
+  std::string Name() const override { return "FLtrust"; }
+  bool RequiresServerReference() const override { return true; }
+};
+
+}  // namespace defense

@@ -1,0 +1,25 @@
+#include "defense/staleness_weighting.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace defense {
+
+double StalenessDiscount(const StalenessWeightingConfig& config,
+                         std::size_t staleness) {
+  const double tau = static_cast<double>(staleness);
+  switch (config.kind) {
+    case StalenessWeighting::kNone:
+      return 1.0;
+    case StalenessWeighting::kInverseSqrt:
+      return 1.0 / std::sqrt(1.0 + tau);
+    case StalenessWeighting::kPolynomial:
+      AF_CHECK_GE(config.exponent, 0.0);
+      return std::pow(1.0 + tau, -config.exponent);
+  }
+  AF_CHECK(false) << "unhandled staleness weighting";
+  return 1.0;
+}
+
+}  // namespace defense

@@ -1,0 +1,29 @@
+// Staleness-discounted aggregation weights.
+//
+// The paper's Eq. 3 aggregates with abstract weights p_i; FedBuff (Nguyen
+// et al., 2022) instantiates them with a staleness discount s(τ) so stale
+// updates cannot whip the global model around. The simulator exposes the
+// choice through FilterContext so every defense aggregates consistently and
+// the discount itself can be ablated (bench_ablation_staleness_weighting).
+#pragma once
+
+#include <cstddef>
+
+namespace defense {
+
+enum class StalenessWeighting {
+  kNone,         // s(τ) = 1 — the paper's Eq. 3 read literally
+  kInverseSqrt,  // s(τ) = 1/√(1+τ) — FedBuff's default, ours too
+  kPolynomial,   // s(τ) = (1+τ)^-a with configurable exponent a
+};
+
+struct StalenessWeightingConfig {
+  StalenessWeighting kind = StalenessWeighting::kInverseSqrt;
+  double exponent = 1.0;  // kPolynomial only
+};
+
+// The discount s(τ) ∈ (0, 1].
+double StalenessDiscount(const StalenessWeightingConfig& config,
+                         std::size_t staleness);
+
+}  // namespace defense

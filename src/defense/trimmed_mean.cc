@@ -1,0 +1,73 @@
+#include "defense/trimmed_mean.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace defense {
+namespace {
+
+AggregationResult AllAccepted(const std::vector<fl::ModelUpdate>& updates,
+                              std::vector<float> aggregate) {
+  AggregationResult result;
+  result.verdicts.assign(updates.size(), Verdict::kAccepted);
+  result.aggregated_delta = std::move(aggregate);
+  return result;
+}
+
+}  // namespace
+
+TrimmedMean::TrimmedMean(double beta) : beta_(beta) {
+  AF_CHECK_GE(beta, 0.0);
+  AF_CHECK_LT(beta, 0.5);
+}
+
+AggregationResult TrimmedMean::Process(
+    const FilterContext& /*context*/,
+    const std::vector<fl::ModelUpdate>& updates) {
+  AF_CHECK(!updates.empty());
+  const std::size_t n = updates.size();
+  const std::size_t dim = updates.front().delta.size();
+  const std::size_t trim = static_cast<std::size_t>(beta_ * static_cast<double>(n));
+  AF_CHECK_LT(2 * trim, n) << "trim fraction removes every value";
+
+  std::vector<float> aggregate(dim, 0.0f);
+  std::vector<float> column(n);
+  for (std::size_t d = 0; d < dim; ++d) {
+    for (std::size_t i = 0; i < n; ++i) {
+      column[i] = updates[i].delta[d];
+    }
+    std::sort(column.begin(), column.end());
+    double sum = 0.0;
+    for (std::size_t i = trim; i < n - trim; ++i) {
+      sum += column[i];
+    }
+    aggregate[d] = static_cast<float>(sum / static_cast<double>(n - 2 * trim));
+  }
+  return AllAccepted(updates, std::move(aggregate));
+}
+
+AggregationResult CoordinateMedian::Process(
+    const FilterContext& /*context*/,
+    const std::vector<fl::ModelUpdate>& updates) {
+  AF_CHECK(!updates.empty());
+  const std::size_t n = updates.size();
+  const std::size_t dim = updates.front().delta.size();
+  std::vector<float> aggregate(dim, 0.0f);
+  std::vector<float> column(n);
+  for (std::size_t d = 0; d < dim; ++d) {
+    for (std::size_t i = 0; i < n; ++i) {
+      column[i] = updates[i].delta[d];
+    }
+    std::nth_element(column.begin(), column.begin() + n / 2, column.end());
+    float median = column[n / 2];
+    if (n % 2 == 0) {
+      float lower = *std::max_element(column.begin(), column.begin() + n / 2);
+      median = 0.5f * (median + lower);
+    }
+    aggregate[d] = median;
+  }
+  return AllAccepted(updates, std::move(aggregate));
+}
+
+}  // namespace defense

@@ -1,0 +1,32 @@
+// Coordinate-wise Trimmed-Mean and Median (Yin et al., 2018).
+//
+// Aggregation-rule defenses: they never reject a specific client, they make
+// the aggregate itself robust. Verdicts are therefore all-accepted and the
+// aggregated delta is computed coordinate-wise.
+#pragma once
+
+#include "defense/defense.h"
+
+namespace defense {
+
+class TrimmedMean : public Defense {
+ public:
+  // Trims ⌊beta · n⌋ values from each end of every coordinate.
+  explicit TrimmedMean(double beta = 0.2);
+
+  AggregationResult Process(const FilterContext& context,
+                            const std::vector<fl::ModelUpdate>& updates) override;
+  std::string Name() const override { return "Trimmed-Mean"; }
+
+ private:
+  double beta_;
+};
+
+class CoordinateMedian : public Defense {
+ public:
+  AggregationResult Process(const FilterContext& context,
+                            const std::vector<fl::ModelUpdate>& updates) override;
+  std::string Name() const override { return "Median"; }
+};
+
+}  // namespace defense

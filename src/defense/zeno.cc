@@ -1,0 +1,46 @@
+#include "defense/zeno.h"
+
+#include "stats/vec_ops.h"
+#include "util/check.h"
+
+namespace defense {
+
+ZenoPlusPlus::ZenoPlusPlus(double rho) : rho_(rho) { AF_CHECK_GE(rho, 0.0); }
+
+AggregationResult ZenoPlusPlus::Process(
+    const FilterContext& context, const std::vector<fl::ModelUpdate>& updates) {
+  AF_CHECK(!updates.empty());
+  AF_CHECK(!context.server_reference.empty())
+      << "Zeno++ requires a server reference update";
+  const double server_norm = stats::L2Norm(context.server_reference);
+
+  AggregationResult result;
+  result.verdicts.assign(updates.size(), Verdict::kRejected);
+  std::vector<std::vector<float>> normalized;
+  std::vector<double> weights;
+  for (std::size_t i = 0; i < updates.size(); ++i) {
+    const auto& delta = updates[i].delta;
+    const double cos = stats::CosineSimilarity(context.server_reference, delta);
+    const double client_norm = stats::L2Norm(delta);
+    const double score = cos * server_norm - rho_ * client_norm;
+    if (cos > 0.0 && score > 0.0) {
+      result.verdicts[i] = Verdict::kAccepted;
+      // Rescale to the server update's norm (Zeno++'s normalisation step).
+      std::vector<float> scaled = delta;
+      if (client_norm > 1e-12 && server_norm > 1e-12) {
+        stats::Scale(scaled, server_norm / client_norm);
+      }
+      normalized.push_back(std::move(scaled));
+      const double samples = static_cast<double>(
+          updates[i].num_samples > 0 ? updates[i].num_samples : 1);
+      weights.push_back(samples * StalenessDiscount(context.staleness_weighting,
+                                                    updates[i].staleness));
+    }
+  }
+  if (!normalized.empty()) {
+    result.aggregated_delta = stats::WeightedMean(normalized, weights);
+  }
+  return result;
+}
+
+}  // namespace defense

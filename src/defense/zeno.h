@@ -1,0 +1,30 @@
+// Zeno++ (Xie et al., ICML 2020) — clean-dataset baseline.
+//
+// The server trains its own update on a trusted root dataset each round and
+// accepts a client update only when its cosine similarity with the server
+// update is positive; accepted updates are rescaled to the server update's
+// norm. Included to quantify how far AsyncFilter gets *without* the clean-
+// dataset assumption these methods require (the simulator provisions the
+// root dataset — see Defense::RequiresServerReference()).
+#pragma once
+
+#include "defense/defense.h"
+
+namespace defense {
+
+class ZenoPlusPlus : public Defense {
+ public:
+  // `rho` adds a magnitude penalty: score = cos·‖g_s‖ − rho·‖g_c‖ must be
+  // positive; rho = 0 reduces to the pure cosine test.
+  explicit ZenoPlusPlus(double rho = 0.0);
+
+  AggregationResult Process(const FilterContext& context,
+                            const std::vector<fl::ModelUpdate>& updates) override;
+  std::string Name() const override { return "Zeno++"; }
+  bool RequiresServerReference() const override { return true; }
+
+ private:
+  double rho_;
+};
+
+}  // namespace defense

@@ -1,0 +1,309 @@
+#include "fl/experiment.h"
+
+#include <algorithm>
+#include <cctype>
+#include <numeric>
+
+#include "core/async_filter.h"
+#include "data/partition.h"
+#include "defense/aflguard.h"
+#include "defense/bucketing.h"
+#include "defense/fldetector.h"
+#include "defense/fltrust.h"
+#include "defense/krum.h"
+#include "defense/nnm.h"
+#include "defense/trimmed_mean.h"
+#include "defense/zeno.h"
+#include "util/check.h"
+
+namespace fl {
+
+const char* DefenseKindName(DefenseKind kind) {
+  switch (kind) {
+    case DefenseKind::kFedBuff:
+      return "FedBuff";
+    case DefenseKind::kFlDetector:
+      return "FLDetector";
+    case DefenseKind::kAsyncFilter:
+      return "AsyncFilter";
+    case DefenseKind::kAsyncFilter2Means:
+      return "AsyncFilter-2means";
+    case DefenseKind::kAsyncFilterDeferMid:
+      return "AsyncFilter-defermid";
+    case DefenseKind::kAsyncFilterRejectMid:
+      return "AsyncFilter-rejectmid";
+    case DefenseKind::kKrum:
+      return "Krum";
+    case DefenseKind::kMultiKrum:
+      return "Multi-Krum";
+    case DefenseKind::kTrimmedMean:
+      return "Trimmed-Mean";
+    case DefenseKind::kMedian:
+      return "Median";
+    case DefenseKind::kZenoPlusPlus:
+      return "Zeno++";
+    case DefenseKind::kAflGuard:
+      return "AFLGuard";
+    case DefenseKind::kNnm:
+      return "NNM";
+    case DefenseKind::kFlTrust:
+      return "FLtrust";
+    case DefenseKind::kBucketing:
+      return "Bucketing";
+  }
+  return "?";
+}
+
+DefenseKind ParseDefenseKind(const std::string& name) {
+  std::string canon;
+  for (char c : name) {
+    if (c == '-' || c == '_' || c == ' ' || c == '+') {
+      continue;
+    }
+    canon.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (canon == "fedbuff" || canon == "nodefense" || canon == "none") {
+    return DefenseKind::kFedBuff;
+  }
+  if (canon == "fldetector") {
+    return DefenseKind::kFlDetector;
+  }
+  if (canon == "asyncfilter" || canon == "asyncfilter3means") {
+    return DefenseKind::kAsyncFilter;
+  }
+  if (canon == "asyncfilter2means") {
+    return DefenseKind::kAsyncFilter2Means;
+  }
+  if (canon == "asyncfilterdefermid") {
+    return DefenseKind::kAsyncFilterDeferMid;
+  }
+  if (canon == "asyncfilterrejectmid") {
+    return DefenseKind::kAsyncFilterRejectMid;
+  }
+  if (canon == "krum") {
+    return DefenseKind::kKrum;
+  }
+  if (canon == "multikrum") {
+    return DefenseKind::kMultiKrum;
+  }
+  if (canon == "trimmedmean") {
+    return DefenseKind::kTrimmedMean;
+  }
+  if (canon == "median") {
+    return DefenseKind::kMedian;
+  }
+  if (canon == "zeno" || canon == "zenoplusplus") {
+    return DefenseKind::kZenoPlusPlus;
+  }
+  if (canon == "aflguard") {
+    return DefenseKind::kAflGuard;
+  }
+  if (canon == "nnm") {
+    return DefenseKind::kNnm;
+  }
+  if (canon == "fltrust") {
+    return DefenseKind::kFlTrust;
+  }
+  if (canon == "bucketing" || canon.rfind("bucketing", 0) == 0) {
+    return DefenseKind::kBucketing;
+  }
+  AF_CHECK(false) << "unknown defense name: " << name;
+  return DefenseKind::kFedBuff;
+}
+
+std::unique_ptr<defense::Defense> MakeDefense(DefenseKind kind) {
+  switch (kind) {
+    case DefenseKind::kFedBuff:
+      return std::make_unique<defense::NoDefense>();
+    case DefenseKind::kFlDetector:
+      return std::make_unique<defense::FlDetector>();
+    case DefenseKind::kAsyncFilter:
+      return std::make_unique<core::AsyncFilter>();
+    case DefenseKind::kAsyncFilter2Means: {
+      core::AsyncFilterOptions options;
+      options.num_clusters = 2;
+      return std::make_unique<core::AsyncFilter>(options);
+    }
+    case DefenseKind::kAsyncFilterDeferMid: {
+      core::AsyncFilterOptions options;
+      options.mid_band = core::MidBandPolicy::kDefer;
+      return std::make_unique<core::AsyncFilter>(options);
+    }
+    case DefenseKind::kAsyncFilterRejectMid: {
+      core::AsyncFilterOptions options;
+      options.mid_band = core::MidBandPolicy::kReject;
+      return std::make_unique<core::AsyncFilter>(options);
+    }
+    case DefenseKind::kKrum:
+      return std::make_unique<defense::Krum>(0.2, /*multi=*/false);
+    case DefenseKind::kMultiKrum:
+      return std::make_unique<defense::Krum>(0.2, /*multi=*/true);
+    case DefenseKind::kTrimmedMean:
+      return std::make_unique<defense::TrimmedMean>(0.2);
+    case DefenseKind::kMedian:
+      return std::make_unique<defense::CoordinateMedian>();
+    case DefenseKind::kZenoPlusPlus:
+      return std::make_unique<defense::ZenoPlusPlus>();
+    case DefenseKind::kAflGuard:
+      return std::make_unique<defense::AflGuard>();
+    case DefenseKind::kNnm:
+      return std::make_unique<defense::NearestNeighborMixing>(0.2);
+    case DefenseKind::kFlTrust:
+      return std::make_unique<defense::FlTrust>();
+    case DefenseKind::kBucketing:
+      return std::make_unique<defense::Bucketing>(2);
+  }
+  AF_CHECK(false) << "unhandled defense kind";
+  return nullptr;
+}
+
+nn::ModelSpec ModelForProfile(const data::Profile profile,
+                              std::size_t image_side) {
+  switch (profile) {
+    case data::Profile::kMnist:
+    case data::Profile::kFashionMnist:
+      return nn::MakeLeNet5Surrogate(image_side);
+    case data::Profile::kCifar10:
+    case data::Profile::kCinic10:
+      return nn::MakeVggSurrogate(image_side);
+  }
+  AF_CHECK(false) << "unhandled profile";
+  return nn::MakeLeNet5Surrogate(image_side);
+}
+
+ExperimentConfig MakeDefaultConfig(data::Profile profile, std::uint64_t seed) {
+  ExperimentConfig config;
+  config.profile = profile;
+  config.sim.seed = seed;
+  // Paper Table 1 with the repo's CPU scaling: partition sizes shrink by the
+  // same ratio everywhere (CIFAR/CINIC clients keep the larger share), local
+  // epochs and batch flavour follow the paper.
+  config.sim.local.epochs = 5;
+  switch (profile) {
+    case data::Profile::kMnist:
+      config.partition_size = 80;
+      config.sim.local.batch_size = 32;
+      config.sim.local.optimizer = {nn::OptimizerKind::kSgd, 0.01, 0.9, 0.0};
+      break;
+    case data::Profile::kFashionMnist:
+      config.partition_size = 100;
+      config.sim.local.batch_size = 32;
+      config.sim.local.optimizer = {nn::OptimizerKind::kSgd, 0.01, 0.9, 0.0};
+      break;
+    case data::Profile::kCifar10:
+      // 8×8 colour images keep the VGG surrogate CPU-tractable.
+      config.image_side = 8;
+      config.partition_size = 120;
+      config.sim.local.batch_size = 64;
+      config.sim.local.optimizer = {nn::OptimizerKind::kAdam, 0.0015, 0.0, 0.0};
+      break;
+    case data::Profile::kCinic10:
+      config.image_side = 8;
+      config.partition_size = 120;
+      config.sim.local.batch_size = 64;
+      config.sim.local.optimizer = {nn::OptimizerKind::kAdam, 0.0015, 0.0, 0.0};
+      break;
+  }
+  return config;
+}
+
+SimulationResult RunExperiment(const ExperimentConfig& config,
+                               Simulation::BufferObserver observer) {
+  AF_CHECK_GT(config.num_clients, 0u);
+  AF_CHECK_LE(config.num_malicious, config.num_clients);
+
+  util::RngFactory rngs(config.sim.seed);
+
+  // Dataset: a centralized pool plus a held-out test set from the same
+  // generator (same prototypes), mirroring the paper's "collected as a
+  // centralized dataset then partitioned" setup.
+  data::SyntheticSpec spec =
+      data::MakeProfileSpec(config.profile, config.image_side);
+  data::SyntheticGenerator generator(spec, config.sim.seed);
+  data::Dataset train = generator.Generate(config.train_pool, "train");
+  data::Dataset test = generator.Generate(config.test_samples, "test");
+
+  auto partition_rng = rngs.Stream("partition");
+  data::Partition partition =
+      config.iid ? data::IidPartition(train, config.num_clients,
+                                      config.partition_size, partition_rng)
+                 : data::DirichletPartition(train, config.num_clients,
+                                            config.partition_size,
+                                            config.dirichlet_alpha,
+                                            partition_rng);
+
+  nn::ModelSpec model = ModelForProfile(config.profile, config.image_side);
+
+  // Malicious subset (paper: sampled from the whole pool).
+  std::vector<int> ids(config.num_clients);
+  std::iota(ids.begin(), ids.end(), 0);
+  auto malicious_rng = rngs.Stream("malicious");
+  std::shuffle(ids.begin(), ids.end(), malicious_rng);
+  std::vector<int> malicious_ids(ids.begin(), ids.begin() + config.num_malicious);
+  if (config.attack == attacks::AttackKind::kNone) {
+    malicious_ids.clear();
+  }
+  std::vector<bool> is_malicious(config.num_clients, false);
+  for (int id : malicious_ids) {
+    is_malicious[static_cast<std::size_t>(id)] = true;
+  }
+
+  // Label-flip is data-level poisoning: malicious clients train honestly on
+  // a label-rotated view of the pool (l → (l+1) mod C).
+  data::Dataset train_flipped;
+  const bool label_flip = config.attack == attacks::AttackKind::kLabelFlip;
+  if (label_flip) {
+    train_flipped = train;
+    for (auto& label : train_flipped.labels) {
+      label = (label + 1) % static_cast<std::int64_t>(train.num_classes);
+    }
+  }
+
+  std::vector<std::unique_ptr<Client>> clients;
+  clients.reserve(config.num_clients);
+  for (std::size_t c = 0; c < config.num_clients; ++c) {
+    const data::Dataset* view =
+        (label_flip && is_malicious[c]) ? &train_flipped : &train;
+    clients.push_back(std::make_unique<Client>(
+        static_cast<int>(c), view, std::move(partition[c]), model,
+        config.sim.seed));
+  }
+
+  attacks::AttackParams attack_params;
+  attack_params.total_clients = config.num_clients;
+  attack_params.adaptive_score_quantile = config.adaptive_score_quantile;
+  attack_params.malicious_clients = std::max<std::size_t>(
+      config.num_malicious, 1);
+  attack_params.gd_scale = config.gd_scale;
+  auto attack = attacks::MakeAttack(config.attack, attack_params);
+  auto defense = config.defense_factory ? config.defense_factory()
+                                        : MakeDefense(config.defense);
+  AF_CHECK(defense != nullptr) << "defense factory returned null";
+
+  data::Dataset root;
+  if (defense->RequiresServerReference()) {
+    root = generator.Generate(config.sim.server_root_samples, "server-root");
+  }
+
+  util::ThreadPool pool(config.threads);
+  Simulation simulation(config.sim, model, std::move(clients), malicious_ids,
+                        std::move(attack), std::move(defense), &test,
+                        std::move(root), &pool);
+  if (observer) {
+    simulation.SetBufferObserver(std::move(observer));
+  }
+  return simulation.Run();
+}
+
+std::vector<double> RunRepeated(ExperimentConfig config,
+                                const std::vector<std::uint64_t>& seeds) {
+  std::vector<double> accuracies;
+  accuracies.reserve(seeds.size());
+  for (std::uint64_t seed : seeds) {
+    config.sim.seed = seed;
+    accuracies.push_back(RunExperiment(config).final_accuracy);
+  }
+  return accuracies;
+}
+
+}  // namespace fl

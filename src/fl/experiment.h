@@ -1,0 +1,89 @@
+// One-call experiment runner: dataset → partition → clients → attack →
+// defense → simulation. Every bench and example builds on this.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "attacks/registry.h"
+#include "data/synthetic.h"
+#include "defense/defense.h"
+#include "fl/simulation.h"
+
+namespace fl {
+
+// Defense selection for the experiment grid.
+enum class DefenseKind {
+  kFedBuff,           // NoDefense baseline
+  kFlDetector,        // synchronous SOTA baseline
+  kAsyncFilter,       // the paper's method (3-means, mid band aggregated)
+  kAsyncFilter2Means, // Fig. 7 ablation
+  kAsyncFilterDeferMid,   // mid-band policy ablation
+  kAsyncFilterRejectMid,  // mid-band policy ablation
+  kKrum,
+  kMultiKrum,
+  kTrimmedMean,
+  kMedian,
+  kZenoPlusPlus,
+  kAflGuard,
+  kNnm,
+  kFlTrust,
+  kBucketing,  // Bucketing(2) + coordinate median
+};
+
+const char* DefenseKindName(DefenseKind kind);
+DefenseKind ParseDefenseKind(const std::string& name);
+std::unique_ptr<defense::Defense> MakeDefense(DefenseKind kind);
+
+struct ExperimentConfig {
+  // Workload.
+  data::Profile profile = data::Profile::kFashionMnist;
+  std::size_t image_side = 12;  // profile-dependent default via MakeDefaultConfig
+  std::size_t train_pool = 6000;   // centralized samples partitions draw from
+  std::size_t test_samples = 1000;
+  std::size_t partition_size = 100;
+  double dirichlet_alpha = 0.1;
+  bool iid = false;
+
+  // Population.
+  std::size_t num_clients = 100;
+  std::size_t num_malicious = 20;
+
+  // Attack / defense.
+  attacks::AttackKind attack = attacks::AttackKind::kNone;
+  double gd_scale = 1.5;
+  double adaptive_score_quantile = 0.9;
+  DefenseKind defense = DefenseKind::kAsyncFilter;
+  // When set, overrides `defense`: lets callers plug a custom Defense
+  // implementation (the "plug-and-play" API surface; see
+  // examples/custom_defense.cpp and the score-normalisation ablation).
+  std::function<std::unique_ptr<defense::Defense>()> defense_factory;
+
+  // Async mechanics + local training.
+  SimulationConfig sim;
+
+  // Execution.
+  std::size_t threads = 0;  // 0 → hardware concurrency
+};
+
+// Paper-matched defaults per dataset profile (model family, optimizer — see
+// Table 1 — and our scaled partition sizes). `seed` feeds data generation,
+// partitioning, initial model, and the simulator.
+ExperimentConfig MakeDefaultConfig(data::Profile profile, std::uint64_t seed);
+
+// The model family a profile trains (LeNet surrogate vs VGG surrogate).
+nn::ModelSpec ModelForProfile(const data::Profile profile,
+                              std::size_t image_side);
+
+// Runs one experiment end to end. `observer`, when set, sees every
+// aggregation buffer (Fig. 3/4 study).
+SimulationResult RunExperiment(const ExperimentConfig& config,
+                               Simulation::BufferObserver observer = nullptr);
+
+// Convenience: run the same config across seeds; returns final accuracies.
+std::vector<double> RunRepeated(ExperimentConfig config,
+                                const std::vector<std::uint64_t>& seeds);
+
+}  // namespace fl

@@ -1,0 +1,49 @@
+#include "fl/metrics.h"
+
+namespace fl {
+
+void ConfusionCounts::Add(const ConfusionCounts& other) {
+  true_positive += other.true_positive;
+  false_positive += other.false_positive;
+  true_negative += other.true_negative;
+  false_negative += other.false_negative;
+}
+
+double ConfusionCounts::Precision() const {
+  const std::size_t denom = true_positive + false_positive;
+  return denom == 0 ? 0.0
+                    : static_cast<double>(true_positive) /
+                          static_cast<double>(denom);
+}
+
+double ConfusionCounts::Recall() const {
+  const std::size_t denom = true_positive + false_negative;
+  return denom == 0 ? 0.0
+                    : static_cast<double>(true_positive) /
+                          static_cast<double>(denom);
+}
+
+void FinalizeResult(SimulationResult& result) {
+  result.total_confusion = ConfusionCounts{};
+  result.total_dropped_stale = 0;
+  std::vector<double> evals;
+  for (const auto& record : result.rounds) {
+    result.total_confusion.Add(record.confusion);
+    result.total_dropped_stale += record.dropped_stale;
+    if (record.test_accuracy >= 0.0) {
+      evals.push_back(record.test_accuracy);
+    }
+  }
+  if (evals.empty()) {
+    result.final_accuracy = 0.0;
+    return;
+  }
+  const std::size_t take = evals.size() < 3 ? evals.size() : 3;
+  double sum = 0.0;
+  for (std::size_t i = evals.size() - take; i < evals.size(); ++i) {
+    sum += evals[i];
+  }
+  result.final_accuracy = sum / static_cast<double>(take);
+}
+
+}  // namespace fl

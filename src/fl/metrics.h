@@ -1,0 +1,49 @@
+// Per-round records and run-level summaries produced by the simulator.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace fl {
+
+// Detection bookkeeping treats "rejected" as the positive (attack) class.
+struct ConfusionCounts {
+  std::size_t true_positive = 0;   // malicious rejected
+  std::size_t false_positive = 0;  // benign rejected
+  std::size_t true_negative = 0;   // benign accepted/deferred
+  std::size_t false_negative = 0;  // malicious accepted/deferred
+
+  void Add(const ConfusionCounts& other);
+  double Precision() const;
+  double Recall() const;
+};
+
+struct RoundRecord {
+  std::size_t round = 0;
+  double sim_time = 0.0;        // simulated clock at aggregation
+  double test_accuracy = -1.0;  // -1 when this round was not evaluated
+  std::size_t buffered = 0;
+  std::size_t accepted = 0;
+  std::size_t rejected = 0;
+  std::size_t deferred = 0;
+  std::size_t dropped_stale = 0;  // arrivals over the staleness limit
+  double mean_staleness = 0.0;
+  // Wall-clock cost of Defense::Process for this round (server overhead).
+  long long defense_micros = 0;
+  ConfusionCounts confusion;
+};
+
+struct SimulationResult {
+  std::vector<RoundRecord> rounds;
+  // Mean of the last up-to-3 evaluated accuracies — the "final global model
+  // accuracy" reported in every paper table.
+  double final_accuracy = 0.0;
+  ConfusionCounts total_confusion;
+  std::size_t total_dropped_stale = 0;
+  std::vector<float> final_model;
+};
+
+// Fills the derived summary fields from `rounds`.
+void FinalizeResult(SimulationResult& result);
+
+}  // namespace fl

@@ -1,0 +1,294 @@
+#include "fl/simulation.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include <chrono>
+
+#include "stats/zipf.h"
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace fl {
+
+Simulation::Simulation(SimulationConfig config, const nn::ModelSpec& spec,
+                       std::vector<std::unique_ptr<Client>> clients,
+                       std::vector<int> malicious_ids,
+                       std::unique_ptr<attacks::Attack> attack,
+                       std::unique_ptr<defense::Defense> defense,
+                       const data::Dataset* test_set, data::Dataset server_root,
+                       util::ThreadPool* pool)
+    : config_(config),
+      spec_(spec),
+      clients_(std::move(clients)),
+      attack_(std::move(attack)),
+      coordinator_(config.attacker_window),
+      defense_(std::move(defense)),
+      test_set_(test_set),
+      server_root_(std::move(server_root)),
+      pool_(pool),
+      rngs_(config.seed),
+      participation_rng_(rngs_.Stream("participation")) {
+  AF_CHECK(!clients_.empty());
+  AF_CHECK_GT(config_.participation, 0.0);
+  AF_CHECK_LE(config_.participation, 1.0);
+  AF_CHECK_GT(config_.server_learning_rate, 0.0);
+  AF_CHECK(attack_ != nullptr);
+  AF_CHECK(defense_ != nullptr);
+  AF_CHECK(test_set_ != nullptr);
+  AF_CHECK(pool_ != nullptr);
+  AF_CHECK_GT(config_.buffer_goal, 0u);
+  AF_CHECK_LE(config_.buffer_goal, clients_.size())
+      << "aggregation bound exceeds client count";
+
+  malicious_.assign(clients_.size(), false);
+  for (int id : malicious_ids) {
+    AF_CHECK_GE(id, 0);
+    AF_CHECK_LT(static_cast<std::size_t>(id), clients_.size());
+    malicious_[static_cast<std::size_t>(id)] = true;
+  }
+
+  auto latency_rng = rngs_.Stream("latency");
+  latencies_ = stats::SampleClientLatencies(clients_.size(), config_.zipf_s,
+                                            config_.base_latency, latency_rng);
+  job_counters_.assign(clients_.size(), 0);
+
+  // Initial global model.
+  auto init = spec_.factory(config_.seed);
+  global_ = std::make_shared<const std::vector<float>>(init->GetFlatParams());
+
+  if (defense_->RequiresServerReference()) {
+    AF_CHECK_GT(server_root_.size(), 0u)
+        << defense_->Name() << " requires a server root dataset";
+    std::vector<std::size_t> all(server_root_.size());
+    std::iota(all.begin(), all.end(), 0u);
+    server_trainer_ = std::make_unique<Client>(-1, &server_root_,
+                                               std::move(all), spec_,
+                                               config_.seed ^ 0x5eedULL);
+  }
+}
+
+bool Simulation::IsMalicious(int client_id) const {
+  return malicious_[static_cast<std::size_t>(client_id)];
+}
+
+void Simulation::Dispatch(int client_id, double now) {
+  const std::size_t idx = static_cast<std::size_t>(client_id);
+  double start_delay = 0.0;
+  if (config_.participation < 1.0) {
+    std::uniform_real_distribution<double> uniform(0.0, 1.0);
+    if (uniform(participation_rng_) >= config_.participation) {
+      start_delay = latencies_[idx];  // sit out roughly one job's worth
+    }
+  }
+  Job job;
+  job.completion_time = now + start_delay + latencies_[idx];
+  job.client_id = client_id;
+  job.dispatch_round = round_;
+  job.job_index = job_counters_[idx]++;
+  job.base = global_;
+  events_.push(std::move(job));
+}
+
+std::vector<std::vector<float>> Simulation::TrainBatch(
+    const std::vector<Job>& batch) {
+  // Same-client jobs share a model instance; serialise them into waves so
+  // each wave touches each client at most once.
+  std::vector<std::vector<std::size_t>> waves;
+  std::vector<std::size_t> jobs_seen(clients_.size(), 0);
+  for (std::size_t j = 0; j < batch.size(); ++j) {
+    const std::size_t cid = static_cast<std::size_t>(batch[j].client_id);
+    const std::size_t wave = jobs_seen[cid]++;
+    if (waves.size() <= wave) {
+      waves.emplace_back();
+    }
+    waves[wave].push_back(j);
+  }
+
+  std::vector<std::vector<float>> honest(batch.size());
+  for (const auto& wave : waves) {
+    pool_->ParallelFor(wave.size(), [&](std::size_t w) {
+      const std::size_t j = wave[w];
+      const Job& job = batch[j];
+      const std::size_t cid = static_cast<std::size_t>(job.client_id);
+      const std::uint64_t stream_index =
+          (static_cast<std::uint64_t>(cid) << 32) | job.job_index;
+      auto rng = rngs_.Stream("client-train", stream_index);
+      honest[j] = clients_[cid]->TrainOnce(*job.base, config_.local, rng);
+    });
+  }
+  return honest;
+}
+
+std::vector<float> Simulation::ServerReferenceUpdate() {
+  AF_CHECK(server_trainer_ != nullptr);
+  auto rng = rngs_.Stream("server-reference", round_);
+  return server_trainer_->TrainOnce(*global_, config_.local, rng);
+}
+
+SimulationResult Simulation::Run() {
+  SimulationResult result;
+  auto server_rng = rngs_.Stream("server-defense");
+  auto eval_model = spec_.factory(config_.seed);
+
+  // Kick off every client (the paper's sampler selects all 100 each round).
+  for (std::size_t c = 0; c < clients_.size(); ++c) {
+    Dispatch(static_cast<int>(c), 0.0);
+  }
+
+  std::vector<ModelUpdate> buffer;
+  double now = 0.0;
+  std::size_t dropped_this_round = 0;
+
+  while (round_ < config_.rounds) {
+    // Collect arrivals until the buffer (plus pending batch) can aggregate.
+    std::vector<Job> batch;
+    while (buffer.size() + batch.size() < config_.buffer_goal) {
+      AF_CHECK(!events_.empty()) << "event queue drained";
+      Job job = events_.top();
+      events_.pop();
+      now = job.completion_time;
+      const std::size_t staleness = round_ - job.dispatch_round;
+      Dispatch(job.client_id, now);  // client immediately starts a new job
+      if (staleness > config_.staleness_limit) {
+        ++dropped_this_round;
+        continue;  // server refuses over-stale arrivals without training
+      }
+      batch.push_back(std::move(job));
+    }
+
+    // Local training for all arrivals in parallel.
+    const std::vector<std::vector<float>> honest = TrainBatch(batch);
+
+    // Sequential report processing in arrival order (attacker coordination
+    // must observe a deterministic order).
+    auto attack_rng = rngs_.Stream("attack", round_);
+    for (std::size_t j = 0; j < batch.size(); ++j) {
+      const Job& job = batch[j];
+      ModelUpdate update;
+      update.client_id = job.client_id;
+      update.base_round = job.dispatch_round;
+      update.arrival_round = round_;
+      update.staleness = round_ - job.dispatch_round;
+      update.num_samples =
+          clients_[static_cast<std::size_t>(job.client_id)]->num_samples();
+      if (IsMalicious(job.client_id)) {
+        coordinator_.Absorb(honest[j]);
+        const auto window = coordinator_.Window();
+        attacks::AttackContext ctx;
+        ctx.honest_update = honest[j];
+        ctx.colluder_updates = &window;
+        ctx.rng = &attack_rng;
+        update.delta = attack_->Craft(ctx);
+        update.is_malicious_truth = true;
+      } else {
+        update.delta = honest[j];
+      }
+      buffer.push_back(std::move(update));
+    }
+
+    AF_CHECK_GE(buffer.size(), config_.buffer_goal);
+
+    // Refresh staleness of deferred leftovers and drop over-stale ones.
+    std::vector<ModelUpdate> live;
+    live.reserve(buffer.size());
+    for (auto& update : buffer) {
+      update.staleness = round_ - update.base_round;
+      update.arrival_round = round_;
+      if (update.staleness > config_.staleness_limit) {
+        ++dropped_this_round;
+        continue;
+      }
+      live.push_back(std::move(update));
+    }
+    buffer.swap(live);
+    if (buffer.empty()) {
+      continue;  // everything went stale; keep collecting
+    }
+
+    if (observer_) {
+      observer_(round_, buffer);
+    }
+
+    // Defense + aggregation.
+    defense::FilterContext ctx;
+    ctx.round = round_;
+    ctx.global_model = *global_;
+    ctx.max_staleness = config_.staleness_limit;
+    ctx.staleness_weighting = config_.staleness_weighting;
+    ctx.rng = &server_rng;
+    std::vector<float> server_ref;
+    if (defense_->RequiresServerReference()) {
+      server_ref = ServerReferenceUpdate();
+      ctx.server_reference = server_ref;
+    }
+    const auto defense_start = std::chrono::steady_clock::now();
+    defense::AggregationResult agg = defense_->Process(ctx, buffer);
+    const auto defense_end = std::chrono::steady_clock::now();
+    AF_CHECK_EQ(agg.verdicts.size(), buffer.size());
+
+    RoundRecord record;
+    record.round = round_;
+    record.sim_time = now;
+    record.buffered = buffer.size();
+    record.dropped_stale = dropped_this_round;
+    dropped_this_round = 0;
+    double staleness_sum = 0.0;
+    for (std::size_t i = 0; i < buffer.size(); ++i) {
+      staleness_sum += static_cast<double>(buffer[i].staleness);
+      const bool rejected = agg.verdicts[i] == defense::Verdict::kRejected;
+      const bool malicious = buffer[i].is_malicious_truth;
+      if (rejected) {
+        ++record.rejected;
+        if (malicious) {
+          ++record.confusion.true_positive;
+        } else {
+          ++record.confusion.false_positive;
+        }
+      } else {
+        if (agg.verdicts[i] == defense::Verdict::kDeferred) {
+          ++record.deferred;
+        } else {
+          ++record.accepted;
+        }
+        if (malicious) {
+          ++record.confusion.false_negative;
+        } else {
+          ++record.confusion.true_negative;
+        }
+      }
+    }
+    record.mean_staleness =
+        staleness_sum / static_cast<double>(buffer.size());
+    record.defense_micros =
+        std::chrono::duration_cast<std::chrono::microseconds>(defense_end -
+                                                              defense_start)
+            .count();
+
+    if (!agg.aggregated_delta.empty()) {
+      AF_CHECK_EQ(agg.aggregated_delta.size(), global_->size());
+      auto next = std::make_shared<std::vector<float>>(*global_);
+      const float lr = static_cast<float>(config_.server_learning_rate);
+      for (std::size_t i = 0; i < next->size(); ++i) {
+        (*next)[i] += lr * agg.aggregated_delta[i];
+      }
+      global_ = std::move(next);
+    }
+    ++round_;
+    buffer = std::move(agg.deferred);
+
+    if (round_ % config_.eval_every == 0 || round_ == config_.rounds) {
+      record.test_accuracy =
+          EvaluateAccuracy(spec_, *eval_model, *global_, *test_set_);
+      AF_LOG(kDebug) << defense_->Name() << " round " << round_
+                     << " acc=" << record.test_accuracy;
+    }
+    result.rounds.push_back(record);
+  }
+
+  result.final_model = *global_;
+  FinalizeResult(result);
+  return result;
+}
+
+}  // namespace fl

@@ -1,0 +1,123 @@
+// Discrete-event asynchronous federated learning simulator.
+//
+// Plays the role PLATO plays in the paper: clients train continuously, the
+// server aggregates FedBuff-style whenever the buffer reaches the minimum
+// aggregation bound, staleness arises naturally from Zipf-distributed client
+// latencies, and the attached Defense decides what enters each aggregate.
+//
+// Timing is independent of training results, so arrivals between two
+// aggregations are popped first and their local training runs as one
+// parallel batch — bit-deterministic because every job draws from an RNG
+// stream derived from (seed, client, job index), and same-client jobs are
+// serialised into waves.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <queue>
+
+#include "attacks/attack.h"
+#include "attacks/coordinator.h"
+#include "defense/defense.h"
+#include "fl/client.h"
+#include "fl/metrics.h"
+#include "fl/types.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace fl {
+
+struct SimulationConfig {
+  std::size_t buffer_goal = 40;     // minimum aggregation bound Ω
+  std::size_t staleness_limit = 20; // server rejects staler arrivals
+  double zipf_s = 1.2;              // client speed heterogeneity
+  double base_latency = 1.0;        // fastest client's job duration
+  // FedAsync-style server mixing rate: w ← w + server_lr · aggregate.
+  double server_learning_rate = 1.0;
+  // Probability that a client starts its next job immediately after
+  // reporting; otherwise it rests for one latency period first (models
+  // devices that drop out of sampling rounds).
+  double participation = 1.0;
+  std::size_t rounds = 40;
+  LocalTrainConfig local;
+  std::size_t eval_every = 1;
+  std::uint64_t seed = 1;
+  std::size_t attacker_window = 20; // colluder knowledge pool size
+  // Aggregation-weight staleness discount (FedBuff's 1/sqrt(1+tau) default).
+  defense::StalenessWeightingConfig staleness_weighting;
+  // Root-dataset size for clean-dataset defenses (Zeno++/AFLGuard); the
+  // simulator only provisions it when the defense requires a reference.
+  std::size_t server_root_samples = 128;
+};
+
+class Simulation {
+ public:
+  // `clients` are all participants; ids in `malicious_ids` route their
+  // reports through `attack`. `defense` decides aggregation. `server_root`
+  // may be empty unless the defense requires a server reference update.
+  Simulation(SimulationConfig config, const nn::ModelSpec& spec,
+             std::vector<std::unique_ptr<Client>> clients,
+             std::vector<int> malicious_ids,
+             std::unique_ptr<attacks::Attack> attack,
+             std::unique_ptr<defense::Defense> defense,
+             const data::Dataset* test_set, data::Dataset server_root,
+             util::ThreadPool* pool);
+
+  // Optional observer invoked with the full buffer just before each
+  // aggregation (used by the Fig. 3/4 t-SNE study).
+  using BufferObserver =
+      std::function<void(std::size_t round, const std::vector<ModelUpdate>&)>;
+  void SetBufferObserver(BufferObserver observer) {
+    observer_ = std::move(observer);
+  }
+
+  SimulationResult Run();
+
+  const defense::Defense& defense() const { return *defense_; }
+
+ private:
+  struct Job {
+    double completion_time = 0.0;
+    int client_id = -1;
+    std::size_t dispatch_round = 0;
+    std::uint64_t job_index = 0;  // per-client counter, keys the RNG stream
+    std::shared_ptr<const std::vector<float>> base;
+  };
+  struct JobLater {
+    bool operator()(const Job& a, const Job& b) const {
+      if (a.completion_time != b.completion_time) {
+        return a.completion_time > b.completion_time;
+      }
+      return a.client_id > b.client_id;  // deterministic tie-break
+    }
+  };
+
+  void Dispatch(int client_id, double now);
+  bool IsMalicious(int client_id) const;
+  // Trains all jobs of `batch` in parallel waves; honest deltas by position.
+  std::vector<std::vector<float>> TrainBatch(const std::vector<Job>& batch);
+  std::vector<float> ServerReferenceUpdate();
+
+  SimulationConfig config_;
+  nn::ModelSpec spec_;  // copied: the simulation outlives caller temporaries
+  std::vector<std::unique_ptr<Client>> clients_;
+  std::vector<bool> malicious_;
+  std::unique_ptr<attacks::Attack> attack_;
+  attacks::Coordinator coordinator_;
+  std::unique_ptr<defense::Defense> defense_;
+  const data::Dataset* test_set_;
+  data::Dataset server_root_;
+  std::unique_ptr<Client> server_trainer_;  // for clean-dataset defenses
+  util::ThreadPool* pool_;
+
+  util::RngFactory rngs_;
+  std::mt19937_64 participation_rng_;
+  std::vector<double> latencies_;
+  std::vector<std::uint64_t> job_counters_;
+  std::priority_queue<Job, std::vector<Job>, JobLater> events_;
+  std::shared_ptr<const std::vector<float>> global_;
+  std::size_t round_ = 0;
+  BufferObserver observer_;
+};
+
+}  // namespace fl

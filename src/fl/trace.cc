@@ -1,0 +1,42 @@
+#include "fl/trace.h"
+
+#include "util/csv.h"
+
+namespace fl {
+
+void WriteRoundTraceCsv(const SimulationResult& result,
+                        const std::string& path) {
+  util::CsvWriter csv(path);
+  csv.WriteHeader({"round", "sim_time", "test_accuracy", "buffered",
+                   "accepted", "rejected", "deferred", "dropped_stale",
+                   "mean_staleness", "defense_micros", "true_positive", "false_positive",
+                   "true_negative", "false_negative"});
+  for (const auto& r : result.rounds) {
+    csv.WriteRow({std::to_string(r.round), util::FormatFixed(r.sim_time, 4),
+                  r.test_accuracy >= 0.0
+                      ? util::FormatFixed(r.test_accuracy, 4)
+                      : std::string{},
+                  std::to_string(r.buffered), std::to_string(r.accepted),
+                  std::to_string(r.rejected), std::to_string(r.deferred),
+                  std::to_string(r.dropped_stale),
+                  util::FormatFixed(r.mean_staleness, 3),
+                  std::to_string(r.defense_micros),
+                  std::to_string(r.confusion.true_positive),
+                  std::to_string(r.confusion.false_positive),
+                  std::to_string(r.confusion.true_negative),
+                  std::to_string(r.confusion.false_negative)});
+  }
+}
+
+void WriteSummaryCsv(const SimulationResult& result, const std::string& path) {
+  util::CsvWriter csv(path);
+  csv.WriteHeader({"final_accuracy", "rounds", "total_dropped_stale",
+                   "detection_precision", "detection_recall"});
+  csv.WriteRow({util::FormatFixed(result.final_accuracy, 4),
+                std::to_string(result.rounds.size()),
+                std::to_string(result.total_dropped_stale),
+                util::FormatFixed(result.total_confusion.Precision(), 4),
+                util::FormatFixed(result.total_confusion.Recall(), 4)});
+}
+
+}  // namespace fl

@@ -1,0 +1,21 @@
+// Simulation trace export: per-round records and a run summary as CSV, so
+// downstream tooling (plots, dashboards, notebooks) can consume runs without
+// linking the library.
+#pragma once
+
+#include <string>
+
+#include "fl/metrics.h"
+
+namespace fl {
+
+// One row per aggregation round: round, sim_time, test_accuracy (empty when
+// not evaluated), buffered/accepted/rejected/deferred/dropped counts, mean
+// staleness, and the round's detection confusion counts.
+void WriteRoundTraceCsv(const SimulationResult& result,
+                        const std::string& path);
+
+// Single-row summary: final accuracy, totals, detection precision/recall.
+void WriteSummaryCsv(const SimulationResult& result, const std::string& path);
+
+}  // namespace fl

@@ -1,0 +1,30 @@
+// Shared FL wire types.
+//
+// Header-only so attacks/ and defense/ can use the update type without
+// linking the simulator; everything the server-side modules see crosses
+// through here.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fl {
+
+// One client report: the flattened parameter delta
+// (local model after E epochs − the global model the client started from)
+// plus the metadata the server legitimately observes.
+struct ModelUpdate {
+  int client_id = -1;
+  std::size_t base_round = 0;     // global model version training started from
+  std::size_t arrival_round = 0;  // server round when buffered
+  std::size_t staleness = 0;      // arrival_round - base_round
+  std::size_t num_samples = 0;    // aggregation weight (FedAvg-style)
+  std::vector<float> delta;
+
+  // Ground truth for evaluation metrics ONLY. Defenses must never read it;
+  // the simulator uses it to compute detection precision/recall.
+  bool is_malicious_truth = false;
+};
+
+}  // namespace fl

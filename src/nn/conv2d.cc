@@ -1,0 +1,177 @@
+#include "nn/conv2d.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace nn {
+
+Conv2d::Conv2d(std::size_t in_channels, std::size_t out_channels,
+               std::size_t kernel, std::size_t padding, std::mt19937_64& rng)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      padding_(padding),
+      weight_({out_channels, in_channels, kernel, kernel}),
+      bias_({out_channels}),
+      grad_weight_({out_channels, in_channels, kernel, kernel}),
+      grad_bias_({out_channels}) {
+  AF_CHECK_GT(kernel, 0u);
+  const float fan_in =
+      static_cast<float>(in_channels * kernel * kernel);
+  const float bound = std::sqrt(6.0f / fan_in);
+  weight_.FillUniform(-bound, bound, rng);
+}
+
+void Conv2d::Im2Col(const tensor::Tensor& input, std::size_t n, std::size_t h,
+                    std::size_t w, std::vector<float>& cols) const {
+  const std::size_t ho = h + 2 * padding_ - kernel_ + 1;
+  const std::size_t wo = w + 2 * padding_ - kernel_ + 1;
+  const std::size_t patch = in_channels_ * kernel_ * kernel_;
+  cols.assign(patch * ho * wo, 0.0f);
+  for (std::size_t c = 0; c < in_channels_; ++c) {
+    for (std::size_t ki = 0; ki < kernel_; ++ki) {
+      for (std::size_t kj = 0; kj < kernel_; ++kj) {
+        const std::size_t row = (c * kernel_ + ki) * kernel_ + kj;
+        float* dst = cols.data() + row * ho * wo;
+        for (std::size_t oi = 0; oi < ho; ++oi) {
+          const long ii = static_cast<long>(oi + ki) - static_cast<long>(padding_);
+          if (ii < 0 || ii >= static_cast<long>(h)) {
+            continue;
+          }
+          for (std::size_t oj = 0; oj < wo; ++oj) {
+            const long jj =
+                static_cast<long>(oj + kj) - static_cast<long>(padding_);
+            if (jj < 0 || jj >= static_cast<long>(w)) {
+              continue;
+            }
+            dst[oi * wo + oj] = input.At(n, c, static_cast<std::size_t>(ii),
+                                         static_cast<std::size_t>(jj));
+          }
+        }
+      }
+    }
+  }
+}
+
+void Conv2d::Col2Im(const std::vector<float>& cols, std::size_t n,
+                    std::size_t h, std::size_t w,
+                    tensor::Tensor& grad_input) const {
+  const std::size_t ho = h + 2 * padding_ - kernel_ + 1;
+  const std::size_t wo = w + 2 * padding_ - kernel_ + 1;
+  for (std::size_t c = 0; c < in_channels_; ++c) {
+    for (std::size_t ki = 0; ki < kernel_; ++ki) {
+      for (std::size_t kj = 0; kj < kernel_; ++kj) {
+        const std::size_t row = (c * kernel_ + ki) * kernel_ + kj;
+        const float* src = cols.data() + row * ho * wo;
+        for (std::size_t oi = 0; oi < ho; ++oi) {
+          const long ii = static_cast<long>(oi + ki) - static_cast<long>(padding_);
+          if (ii < 0 || ii >= static_cast<long>(h)) {
+            continue;
+          }
+          for (std::size_t oj = 0; oj < wo; ++oj) {
+            const long jj =
+                static_cast<long>(oj + kj) - static_cast<long>(padding_);
+            if (jj < 0 || jj >= static_cast<long>(w)) {
+              continue;
+            }
+            grad_input.At(n, c, static_cast<std::size_t>(ii),
+                          static_cast<std::size_t>(jj)) += src[oi * wo + oj];
+          }
+        }
+      }
+    }
+  }
+}
+
+tensor::Tensor Conv2d::Forward(const tensor::Tensor& input) {
+  AF_CHECK_EQ(input.rank(), 4u);
+  AF_CHECK_EQ(input.dim(1), in_channels_);
+  const std::size_t batch = input.dim(0);
+  const std::size_t h = input.dim(2);
+  const std::size_t w = input.dim(3);
+  AF_CHECK_GE(h + 2 * padding_ + 1, kernel_ + 1) << "kernel larger than input";
+  const std::size_t ho = h + 2 * padding_ - kernel_ + 1;
+  const std::size_t wo = w + 2 * padding_ - kernel_ + 1;
+  const std::size_t patch = in_channels_ * kernel_ * kernel_;
+
+  cached_input_ = input;
+  tensor::Tensor out({batch, out_channels_, ho, wo});
+  const float* pw = weight_.data().data();
+  std::vector<float> cols;
+  for (std::size_t n = 0; n < batch; ++n) {
+    Im2Col(input, n, h, w, cols);
+    // out[n] = W (out×patch) * cols (patch×(ho*wo))
+    for (std::size_t oc = 0; oc < out_channels_; ++oc) {
+      float* orow = out.data().data() + ((n * out_channels_ + oc) * ho * wo);
+      const float b = bias_[oc];
+      for (std::size_t px = 0; px < ho * wo; ++px) {
+        orow[px] = b;
+      }
+      const float* wrow = pw + oc * patch;
+      for (std::size_t p = 0; p < patch; ++p) {
+        const float wv = wrow[p];
+        if (wv == 0.0f) {
+          continue;
+        }
+        const float* crow = cols.data() + p * ho * wo;
+        for (std::size_t px = 0; px < ho * wo; ++px) {
+          orow[px] += wv * crow[px];
+        }
+      }
+    }
+  }
+  return out;
+}
+
+tensor::Tensor Conv2d::Backward(const tensor::Tensor& grad_output) {
+  AF_CHECK_EQ(grad_output.rank(), 4u);
+  const std::size_t batch = cached_input_.dim(0);
+  const std::size_t h = cached_input_.dim(2);
+  const std::size_t w = cached_input_.dim(3);
+  const std::size_t ho = h + 2 * padding_ - kernel_ + 1;
+  const std::size_t wo = w + 2 * padding_ - kernel_ + 1;
+  const std::size_t patch = in_channels_ * kernel_ * kernel_;
+  AF_CHECK_EQ(grad_output.dim(0), batch);
+  AF_CHECK_EQ(grad_output.dim(1), out_channels_);
+  AF_CHECK_EQ(grad_output.dim(2), ho);
+  AF_CHECK_EQ(grad_output.dim(3), wo);
+
+  tensor::Tensor grad_input(cached_input_.shape());
+  float* pgw = grad_weight_.data().data();
+  const float* pw = weight_.data().data();
+  std::vector<float> cols;
+  std::vector<float> dcols(patch * ho * wo);
+  for (std::size_t n = 0; n < batch; ++n) {
+    Im2Col(cached_input_, n, h, w, cols);
+    std::fill(dcols.begin(), dcols.end(), 0.0f);
+    for (std::size_t oc = 0; oc < out_channels_; ++oc) {
+      const float* grow =
+          grad_output.data().data() + ((n * out_channels_ + oc) * ho * wo);
+      // Bias gradient: sum of the output-channel gradient map.
+      double gb = 0.0;
+      for (std::size_t px = 0; px < ho * wo; ++px) {
+        gb += grow[px];
+      }
+      grad_bias_[oc] += static_cast<float>(gb);
+
+      float* gwrow = pgw + oc * patch;
+      const float* wrow = pw + oc * patch;
+      for (std::size_t p = 0; p < patch; ++p) {
+        const float* crow = cols.data() + p * ho * wo;
+        float* dcrow = dcols.data() + p * ho * wo;
+        const float wv = wrow[p];
+        double gw = 0.0;
+        for (std::size_t px = 0; px < ho * wo; ++px) {
+          gw += static_cast<double>(grow[px]) * crow[px];
+          dcrow[px] += wv * grow[px];
+        }
+        gwrow[p] += static_cast<float>(gw);
+      }
+    }
+    Col2Im(dcols, n, h, w, grad_input);
+  }
+  return grad_input;
+}
+
+}  // namespace nn

@@ -1,0 +1,46 @@
+// 2-D convolution (stride 1, symmetric zero padding) via im2col + GEMM.
+//
+// Activations are NCHW; the weight is (out_channels, in_channels, k, k).
+#pragma once
+
+#include <random>
+
+#include "nn/layer.h"
+
+namespace nn {
+
+class Conv2d : public Layer {
+ public:
+  Conv2d(std::size_t in_channels, std::size_t out_channels, std::size_t kernel,
+         std::size_t padding, std::mt19937_64& rng);
+
+  tensor::Tensor Forward(const tensor::Tensor& input) override;
+  tensor::Tensor Backward(const tensor::Tensor& grad_output) override;
+
+  std::vector<tensor::Tensor*> Params() override { return {&weight_, &bias_}; }
+  std::vector<tensor::Tensor*> Grads() override {
+    return {&grad_weight_, &grad_bias_};
+  }
+
+  std::string Name() const override { return "Conv2d"; }
+
+ private:
+  // Expands one image (C, H, W) into a (C*k*k, Ho*Wo) patch matrix.
+  void Im2Col(const tensor::Tensor& input, std::size_t n, std::size_t h,
+              std::size_t w, std::vector<float>& cols) const;
+  // Scatters a (C*k*k, Ho*Wo) gradient matrix back into image gradients.
+  void Col2Im(const std::vector<float>& cols, std::size_t n, std::size_t h,
+              std::size_t w, tensor::Tensor& grad_input) const;
+
+  std::size_t in_channels_;
+  std::size_t out_channels_;
+  std::size_t kernel_;
+  std::size_t padding_;
+  tensor::Tensor weight_;       // (out, in, k, k)
+  tensor::Tensor bias_;         // (out)
+  tensor::Tensor grad_weight_;
+  tensor::Tensor grad_bias_;
+  tensor::Tensor cached_input_;  // (N, C, H, W)
+};
+
+}  // namespace nn

@@ -1,0 +1,56 @@
+#include "nn/dense.h"
+
+#include <cmath>
+
+#include "tensor/tensor_ops.h"
+#include "util/check.h"
+
+namespace nn {
+
+Dense::Dense(std::size_t in_features, std::size_t out_features,
+             std::mt19937_64& rng)
+    : in_features_(in_features),
+      out_features_(out_features),
+      weight_({out_features, in_features}),
+      bias_({out_features}),
+      grad_weight_({out_features, in_features}),
+      grad_bias_({out_features}) {
+  AF_CHECK_GT(in_features, 0u);
+  AF_CHECK_GT(out_features, 0u);
+  const float bound =
+      std::sqrt(6.0f / static_cast<float>(in_features));  // He-uniform
+  weight_.FillUniform(-bound, bound, rng);
+}
+
+tensor::Tensor Dense::Forward(const tensor::Tensor& input) {
+  AF_CHECK_EQ(input.rank(), 2u);
+  AF_CHECK_EQ(input.dim(1), in_features_);
+  cached_input_ = input;
+  tensor::Tensor out({input.dim(0), out_features_});
+  tensor::MatMulTransposeB(input, weight_, out);
+  tensor::AddRowBias(out, bias_);
+  return out;
+}
+
+tensor::Tensor Dense::Backward(const tensor::Tensor& grad_output) {
+  AF_CHECK_EQ(grad_output.rank(), 2u);
+  AF_CHECK_EQ(grad_output.dim(0), cached_input_.dim(0));
+  AF_CHECK_EQ(grad_output.dim(1), out_features_);
+
+  // dW += grad_out^T * input    ((out×B)·(B×in) = out×in)
+  tensor::Tensor dw({out_features_, in_features_});
+  tensor::MatMulTransposeA(grad_output, cached_input_, dw);
+  tensor::AddInPlace(grad_weight_, dw);
+
+  // db += column sums of grad_out.
+  tensor::Tensor db({out_features_});
+  tensor::SumRows(grad_output, db);
+  tensor::AddInPlace(grad_bias_, db);
+
+  // dX = grad_out * W    ((B×out)·(out×in) = B×in)
+  tensor::Tensor dx({grad_output.dim(0), in_features_});
+  tensor::MatMul(grad_output, weight_, dx);
+  return dx;
+}
+
+}  // namespace nn

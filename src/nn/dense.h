@@ -1,0 +1,38 @@
+// Fully connected layer: out = in * W^T + b, with W stored (out×in).
+#pragma once
+
+#include <random>
+
+#include "nn/layer.h"
+
+namespace nn {
+
+class Dense : public Layer {
+ public:
+  // He-uniform initialisation of W; b starts at zero.
+  Dense(std::size_t in_features, std::size_t out_features, std::mt19937_64& rng);
+
+  tensor::Tensor Forward(const tensor::Tensor& input) override;
+  tensor::Tensor Backward(const tensor::Tensor& grad_output) override;
+
+  std::vector<tensor::Tensor*> Params() override { return {&weight_, &bias_}; }
+  std::vector<tensor::Tensor*> Grads() override {
+    return {&grad_weight_, &grad_bias_};
+  }
+
+  std::string Name() const override { return "Dense"; }
+
+  std::size_t in_features() const { return in_features_; }
+  std::size_t out_features() const { return out_features_; }
+
+ private:
+  std::size_t in_features_;
+  std::size_t out_features_;
+  tensor::Tensor weight_;       // (out, in)
+  tensor::Tensor bias_;         // (out)
+  tensor::Tensor grad_weight_;  // (out, in)
+  tensor::Tensor grad_bias_;    // (out)
+  tensor::Tensor cached_input_;  // (batch, in)
+};
+
+}  // namespace nn

@@ -1,0 +1,22 @@
+#include "nn/flatten.h"
+
+#include "util/check.h"
+
+namespace nn {
+
+tensor::Tensor Flatten::Forward(const tensor::Tensor& input) {
+  AF_CHECK_GE(input.rank(), 2u);
+  cached_shape_ = input.shape();
+  tensor::Tensor out = input;
+  std::size_t batch = input.dim(0);
+  out.Reshape({batch, input.size() / batch});
+  return out;
+}
+
+tensor::Tensor Flatten::Backward(const tensor::Tensor& grad_output) {
+  tensor::Tensor dx = grad_output;
+  dx.Reshape(cached_shape_);
+  return dx;
+}
+
+}  // namespace nn

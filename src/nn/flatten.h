@@ -1,0 +1,18 @@
+// Flattens NCHW activations to (N, C*H*W) and restores the shape on backward.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace nn {
+
+class Flatten : public Layer {
+ public:
+  tensor::Tensor Forward(const tensor::Tensor& input) override;
+  tensor::Tensor Backward(const tensor::Tensor& grad_output) override;
+  std::string Name() const override { return "Flatten"; }
+
+ private:
+  tensor::Shape cached_shape_;
+};
+
+}  // namespace nn

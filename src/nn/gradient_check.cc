@@ -1,0 +1,61 @@
+#include "nn/gradient_check.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/loss.h"
+#include "util/check.h"
+
+namespace nn {
+namespace {
+
+double EvalLoss(Sequential& model, const tensor::Tensor& input,
+                std::span<const std::int64_t> labels) {
+  tensor::Tensor logits = model.Forward(input);
+  return SoftmaxCrossEntropy(logits, labels).loss;
+}
+
+}  // namespace
+
+GradientCheckResult CheckGradients(Sequential& model,
+                                   const tensor::Tensor& input,
+                                   std::span<const std::int64_t> labels,
+                                   double epsilon, std::size_t max_checks,
+                                   double noise_floor) {
+  model.ZeroGrads();
+  tensor::Tensor logits = model.Forward(input);
+  LossResult loss = SoftmaxCrossEntropy(logits, labels);
+  model.Backward(loss.grad_logits);
+  std::vector<float> analytic = model.GetFlatGrads();
+  std::vector<float> params = model.GetFlatParams();
+  AF_CHECK_EQ(analytic.size(), params.size());
+
+  GradientCheckResult result;
+  const std::size_t total = params.size();
+  const std::size_t stride = std::max<std::size_t>(1, total / max_checks);
+  for (std::size_t i = 0; i < total; i += stride) {
+    const float original = params[i];
+    params[i] = original + static_cast<float>(epsilon);
+    model.SetFlatParams(params);
+    double loss_plus = EvalLoss(model, input, labels);
+    params[i] = original - static_cast<float>(epsilon);
+    model.SetFlatParams(params);
+    double loss_minus = EvalLoss(model, input, labels);
+    params[i] = original;
+
+    double numeric = (loss_plus - loss_minus) / (2.0 * epsilon);
+    double magnitude = std::max(std::abs(numeric),
+                                static_cast<double>(std::abs(analytic[i])));
+    if (magnitude < noise_floor) {
+      ++result.skipped;
+      continue;
+    }
+    double rel = std::abs(numeric - analytic[i]) / magnitude;
+    result.max_relative_error = std::max(result.max_relative_error, rel);
+    ++result.checked;
+  }
+  model.SetFlatParams(params);
+  return result;
+}
+
+}  // namespace nn

@@ -1,0 +1,30 @@
+// Numerical gradient verification used by the layer tests.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "nn/sequential.h"
+
+namespace nn {
+
+struct GradientCheckResult {
+  double max_relative_error = 0.0;
+  std::size_t checked = 0;   // coordinates compared against the noise floor
+  std::size_t skipped = 0;   // coordinates below the float32 noise floor
+};
+
+// Compares the analytic gradient of the mean softmax-CE loss with central
+// finite differences. At most `max_checks` parameter coordinates are probed
+// (evenly strided across the flat parameter vector). Coordinates where both
+// gradients fall below `noise_floor` are skipped: with float32 forward
+// passes, a loss delta of ε·|grad| < ~1e-6 drowns in rounding and the
+// comparison would measure noise, not correctness.
+GradientCheckResult CheckGradients(Sequential& model,
+                                   const tensor::Tensor& input,
+                                   std::span<const std::int64_t> labels,
+                                   double epsilon = 1e-3,
+                                   std::size_t max_checks = 200,
+                                   double noise_floor = 2e-3);
+
+}  // namespace nn

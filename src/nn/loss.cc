@@ -1,0 +1,74 @@
+#include "nn/loss.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace nn {
+namespace {
+
+std::size_t ArgMaxRow(const tensor::Tensor& logits, std::size_t row) {
+  const std::size_t classes = logits.dim(1);
+  const float* p = logits.data().data() + row * classes;
+  return static_cast<std::size_t>(
+      std::max_element(p, p + classes) - p);
+}
+
+}  // namespace
+
+LossResult SoftmaxCrossEntropy(const tensor::Tensor& logits,
+                               std::span<const std::int64_t> labels) {
+  AF_CHECK_EQ(logits.rank(), 2u);
+  const std::size_t batch = logits.dim(0);
+  const std::size_t classes = logits.dim(1);
+  AF_CHECK_EQ(labels.size(), batch);
+  AF_CHECK_GT(batch, 0u);
+
+  LossResult result;
+  result.grad_logits = tensor::Tensor({batch, classes});
+  double total_loss = 0.0;
+  for (std::size_t i = 0; i < batch; ++i) {
+    const std::int64_t label = labels[i];
+    AF_CHECK_GE(label, 0);
+    AF_CHECK_LT(static_cast<std::size_t>(label), classes);
+    const float* row = logits.data().data() + i * classes;
+    float* grow = result.grad_logits.data().data() + i * classes;
+
+    float max_logit = *std::max_element(row, row + classes);
+    double denom = 0.0;
+    for (std::size_t c = 0; c < classes; ++c) {
+      denom += std::exp(static_cast<double>(row[c]) - max_logit);
+    }
+    const double log_denom = std::log(denom);
+    total_loss -= (static_cast<double>(row[label]) - max_logit - log_denom);
+
+    const double inv_batch = 1.0 / static_cast<double>(batch);
+    for (std::size_t c = 0; c < classes; ++c) {
+      double softmax =
+          std::exp(static_cast<double>(row[c]) - max_logit) / denom;
+      double grad = softmax - (static_cast<std::int64_t>(c) == label ? 1.0 : 0.0);
+      grow[c] = static_cast<float>(grad * inv_batch);
+    }
+    if (ArgMaxRow(logits, i) == static_cast<std::size_t>(label)) {
+      ++result.correct;
+    }
+  }
+  result.loss = total_loss / static_cast<double>(batch);
+  return result;
+}
+
+std::size_t CountCorrect(const tensor::Tensor& logits,
+                         std::span<const std::int64_t> labels) {
+  AF_CHECK_EQ(logits.rank(), 2u);
+  AF_CHECK_EQ(labels.size(), logits.dim(0));
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < logits.dim(0); ++i) {
+    if (ArgMaxRow(logits, i) == static_cast<std::size_t>(labels[i])) {
+      ++correct;
+    }
+  }
+  return correct;
+}
+
+}  // namespace nn

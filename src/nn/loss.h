@@ -1,0 +1,25 @@
+// Softmax cross-entropy over class logits, fused forward + backward.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "tensor/tensor.h"
+
+namespace nn {
+
+struct LossResult {
+  double loss = 0.0;           // mean cross-entropy over the batch
+  std::size_t correct = 0;     // argmax == label count
+  tensor::Tensor grad_logits;  // dL/dlogits, already divided by batch size
+};
+
+// logits: (batch, classes); labels: batch class indices in [0, classes).
+LossResult SoftmaxCrossEntropy(const tensor::Tensor& logits,
+                               std::span<const std::int64_t> labels);
+
+// Counts argmax-correct predictions without building gradients.
+std::size_t CountCorrect(const tensor::Tensor& logits,
+                         std::span<const std::int64_t> labels);
+
+}  // namespace nn

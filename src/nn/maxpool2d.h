@@ -1,0 +1,22 @@
+// 2×2-style max pooling with stride equal to the window size.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace nn {
+
+class MaxPool2d : public Layer {
+ public:
+  explicit MaxPool2d(std::size_t window);
+
+  tensor::Tensor Forward(const tensor::Tensor& input) override;
+  tensor::Tensor Backward(const tensor::Tensor& grad_output) override;
+  std::string Name() const override { return "MaxPool2d"; }
+
+ private:
+  std::size_t window_;
+  tensor::Shape cached_shape_;
+  std::vector<std::size_t> argmax_;  // flat input index of each output max
+};
+
+}  // namespace nn

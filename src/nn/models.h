@@ -1,0 +1,40 @@
+// Model factories for the paper's workloads.
+//
+// The paper trains LeNet-5 (MNIST, FashionMNIST) and VGG-16 (CIFAR-10,
+// CINIC-10). We build structurally faithful surrogates — conv/pool stacks
+// topped by dense classifiers — scaled to CPU-tractable sizes (DESIGN.md §1).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/sequential.h"
+
+namespace nn {
+
+// A model family: how to build a fresh instance and what inputs it expects.
+struct ModelSpec {
+  std::string name;
+  tensor::Shape sample_shape;  // per-sample shape, e.g. {1, 12, 12}
+  std::size_t num_classes = 10;
+  // Builds a freshly initialised instance; identical seeds yield identical
+  // initial parameters.
+  std::function<std::unique_ptr<Sequential>(std::uint64_t seed)> factory;
+};
+
+// LeNet-5 surrogate: conv(6)-pool-conv(12)-pool-dense(32)-dense(classes)
+// on single-channel `side`×`side` inputs (side divisible by 4).
+ModelSpec MakeLeNet5Surrogate(std::size_t side = 12, std::size_t classes = 10);
+
+// VGG surrogate: [conv(6) conv(6) pool][conv(12) pool]-dense(32)-dense(classes)
+// on 3-channel `side`×`side` inputs (side divisible by 4).
+ModelSpec MakeVggSurrogate(std::size_t side = 12, std::size_t classes = 10);
+
+// Plain MLP over flat features; used by the fast unit/property tests.
+ModelSpec MakeMlp(std::size_t input_dim, std::vector<std::size_t> hidden,
+                  std::size_t classes = 10);
+
+}  // namespace nn

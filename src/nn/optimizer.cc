@@ -1,0 +1,96 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace nn {
+
+SgdOptimizer::SgdOptimizer(double learning_rate, double momentum,
+                           double weight_decay)
+    : learning_rate_(learning_rate),
+      momentum_(momentum),
+      weight_decay_(weight_decay) {
+  AF_CHECK_GT(learning_rate, 0.0);
+  AF_CHECK_GE(momentum, 0.0);
+}
+
+void SgdOptimizer::Step(const std::vector<tensor::Tensor*>& params,
+                        const std::vector<tensor::Tensor*>& grads) {
+  AF_CHECK_EQ(params.size(), grads.size());
+  if (velocity_.size() != params.size()) {
+    velocity_.assign(params.size(), {});
+  }
+  for (std::size_t k = 0; k < params.size(); ++k) {
+    tensor::Tensor& p = *params[k];
+    const tensor::Tensor& g = *grads[k];
+    AF_CHECK_EQ(p.size(), g.size());
+    auto& vel = velocity_[k];
+    if (vel.size() != p.size()) {
+      vel.assign(p.size(), 0.0f);
+    }
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      float grad = g[i] + static_cast<float>(weight_decay_) * p[i];
+      vel[i] = static_cast<float>(momentum_) * vel[i] + grad;
+      p[i] -= static_cast<float>(learning_rate_) * vel[i];
+    }
+  }
+}
+
+AdamOptimizer::AdamOptimizer(double learning_rate, double beta1, double beta2,
+                             double epsilon, double weight_decay)
+    : learning_rate_(learning_rate),
+      beta1_(beta1),
+      beta2_(beta2),
+      epsilon_(epsilon),
+      weight_decay_(weight_decay) {
+  AF_CHECK_GT(learning_rate, 0.0);
+}
+
+void AdamOptimizer::Step(const std::vector<tensor::Tensor*>& params,
+                         const std::vector<tensor::Tensor*>& grads) {
+  AF_CHECK_EQ(params.size(), grads.size());
+  if (m_.size() != params.size()) {
+    m_.assign(params.size(), {});
+    v_.assign(params.size(), {});
+  }
+  ++step_;
+  const double bias1 = 1.0 - std::pow(beta1_, static_cast<double>(step_));
+  const double bias2 = 1.0 - std::pow(beta2_, static_cast<double>(step_));
+  for (std::size_t k = 0; k < params.size(); ++k) {
+    tensor::Tensor& p = *params[k];
+    const tensor::Tensor& g = *grads[k];
+    AF_CHECK_EQ(p.size(), g.size());
+    auto& m = m_[k];
+    auto& v = v_[k];
+    if (m.size() != p.size()) {
+      m.assign(p.size(), 0.0f);
+      v.assign(p.size(), 0.0f);
+    }
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      double grad = g[i] + weight_decay_ * p[i];
+      m[i] = static_cast<float>(beta1_ * m[i] + (1.0 - beta1_) * grad);
+      v[i] = static_cast<float>(beta2_ * v[i] + (1.0 - beta2_) * grad * grad);
+      double m_hat = m[i] / bias1;
+      double v_hat = v[i] / bias2;
+      p[i] -= static_cast<float>(learning_rate_ * m_hat /
+                                 (std::sqrt(v_hat) + epsilon_));
+    }
+  }
+}
+
+std::unique_ptr<Optimizer> MakeOptimizer(const OptimizerConfig& config) {
+  switch (config.kind) {
+    case OptimizerKind::kSgd:
+      return std::make_unique<SgdOptimizer>(config.learning_rate,
+                                            config.momentum,
+                                            config.weight_decay);
+    case OptimizerKind::kAdam:
+      return std::make_unique<AdamOptimizer>(config.learning_rate, 0.9, 0.999,
+                                             1e-8, config.weight_decay);
+  }
+  AF_CHECK(false) << "unknown optimizer kind";
+  return nullptr;
+}
+
+}  // namespace nn

@@ -1,0 +1,75 @@
+// Local optimizers matching the paper's Table 1: SGD with momentum for the
+// LeNet-5 tasks and Adam for the VGG tasks.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace nn {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  // Applies one update step; params/grads are index-aligned and must keep the
+  // same identity across calls (per-parameter state is keyed by index).
+  virtual void Step(const std::vector<tensor::Tensor*>& params,
+                    const std::vector<tensor::Tensor*>& grads) = 0;
+
+  virtual std::string Name() const = 0;
+};
+
+class SgdOptimizer : public Optimizer {
+ public:
+  SgdOptimizer(double learning_rate, double momentum = 0.0,
+               double weight_decay = 0.0);
+
+  void Step(const std::vector<tensor::Tensor*>& params,
+            const std::vector<tensor::Tensor*>& grads) override;
+
+  std::string Name() const override { return "SGD"; }
+
+ private:
+  double learning_rate_;
+  double momentum_;
+  double weight_decay_;
+  std::vector<std::vector<float>> velocity_;  // lazily sized per param
+};
+
+class AdamOptimizer : public Optimizer {
+ public:
+  AdamOptimizer(double learning_rate, double beta1 = 0.9, double beta2 = 0.999,
+                double epsilon = 1e-8, double weight_decay = 0.0);
+
+  void Step(const std::vector<tensor::Tensor*>& params,
+            const std::vector<tensor::Tensor*>& grads) override;
+
+  std::string Name() const override { return "Adam"; }
+
+ private:
+  double learning_rate_;
+  double beta1_;
+  double beta2_;
+  double epsilon_;
+  double weight_decay_;
+  std::size_t step_ = 0;
+  std::vector<std::vector<float>> m_;
+  std::vector<std::vector<float>> v_;
+};
+
+// Optimizer selection carried in experiment configs.
+enum class OptimizerKind { kSgd, kAdam };
+
+struct OptimizerConfig {
+  OptimizerKind kind = OptimizerKind::kSgd;
+  double learning_rate = 0.01;
+  double momentum = 0.9;  // SGD only
+  double weight_decay = 0.0;
+};
+
+std::unique_ptr<Optimizer> MakeOptimizer(const OptimizerConfig& config);
+
+}  // namespace nn

@@ -1,0 +1,29 @@
+#include "nn/relu.h"
+
+#include "util/check.h"
+
+namespace nn {
+
+tensor::Tensor ReLU::Forward(const tensor::Tensor& input) {
+  cached_input_ = input;
+  tensor::Tensor out = input;
+  for (float& x : out.vec()) {
+    if (x < 0.0f) {
+      x = 0.0f;
+    }
+  }
+  return out;
+}
+
+tensor::Tensor ReLU::Backward(const tensor::Tensor& grad_output) {
+  AF_CHECK_EQ(grad_output.size(), cached_input_.size());
+  tensor::Tensor dx = grad_output;
+  for (std::size_t i = 0; i < dx.size(); ++i) {
+    if (cached_input_[i] <= 0.0f) {
+      dx[i] = 0.0f;
+    }
+  }
+  return dx;
+}
+
+}  // namespace nn

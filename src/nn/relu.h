@@ -1,0 +1,18 @@
+// Elementwise ReLU.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace nn {
+
+class ReLU : public Layer {
+ public:
+  tensor::Tensor Forward(const tensor::Tensor& input) override;
+  tensor::Tensor Backward(const tensor::Tensor& grad_output) override;
+  std::string Name() const override { return "ReLU"; }
+
+ private:
+  tensor::Tensor cached_input_;
+};
+
+}  // namespace nn

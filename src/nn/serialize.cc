@@ -1,0 +1,51 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+#include "util/check.h"
+
+namespace nn {
+namespace {
+
+constexpr char kMagic[4] = {'A', 'F', 'P', 'M'};
+constexpr std::uint32_t kVersion = 1;
+
+}  // namespace
+
+void SaveFlatParams(const std::string& path, std::span<const float> params) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  AF_CHECK(out.good()) << "cannot open " << path << " for writing";
+  out.write(kMagic, sizeof(kMagic));
+  std::uint32_t version = kVersion;
+  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  std::uint64_t count = params.size();
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  out.write(reinterpret_cast<const char*>(params.data()),
+            static_cast<std::streamsize>(params.size() * sizeof(float)));
+  AF_CHECK(out.good()) << "write failed for " << path;
+}
+
+std::vector<float> LoadFlatParams(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  AF_CHECK(in.good()) << "cannot open " << path;
+  char magic[4] = {};
+  in.read(magic, sizeof(magic));
+  AF_CHECK(in.good() && std::memcmp(magic, kMagic, sizeof(kMagic)) == 0)
+      << path << " is not an AFPM parameter file";
+  std::uint32_t version = 0;
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  AF_CHECK(in.good()) << "truncated header in " << path;
+  AF_CHECK_EQ(version, kVersion) << "unsupported AFPM version in " << path;
+  std::uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  AF_CHECK(in.good()) << "truncated header in " << path;
+  std::vector<float> params(count);
+  in.read(reinterpret_cast<char*>(params.data()),
+          static_cast<std::streamsize>(count * sizeof(float)));
+  AF_CHECK(in.good()) << "truncated payload in " << path;
+  return params;
+}
+
+}  // namespace nn

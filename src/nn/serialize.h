@@ -1,0 +1,22 @@
+// Flat-parameter (de)serialization.
+//
+// Checkpoints the global model between runs (e.g. warm-starting a defense
+// study from a converged clean model). Format: little-endian binary,
+// magic "AFPM" + u32 version + u64 count + count float32s.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace nn {
+
+// Writes the flat parameter vector to `path`; throws util::CheckError on
+// I/O failure.
+void SaveFlatParams(const std::string& path, std::span<const float> params);
+
+// Reads a parameter vector written by SaveFlatParams; throws on missing
+// file, bad magic, unsupported version, or truncation.
+std::vector<float> LoadFlatParams(const std::string& path);
+
+}  // namespace nn

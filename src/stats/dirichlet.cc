@@ -1,0 +1,38 @@
+#include "stats/dirichlet.h"
+
+#include "util/check.h"
+
+namespace stats {
+
+std::vector<double> SampleDirichlet(const std::vector<double>& alphas,
+                                    std::mt19937_64& rng) {
+  AF_CHECK(!alphas.empty());
+  std::vector<double> sample(alphas.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < alphas.size(); ++i) {
+    AF_CHECK_GT(alphas[i], 0.0);
+    std::gamma_distribution<double> gamma(alphas[i], 1.0);
+    sample[i] = gamma(rng);
+    sum += sample[i];
+  }
+  if (sum <= 0.0) {
+    // Extremely small alphas can underflow every Gamma draw to 0; fall back
+    // to a one-hot on a uniformly chosen coordinate, which is the limiting
+    // behaviour of Dirichlet(alpha -> 0).
+    std::uniform_int_distribution<std::size_t> pick(0, alphas.size() - 1);
+    std::fill(sample.begin(), sample.end(), 0.0);
+    sample[pick(rng)] = 1.0;
+    return sample;
+  }
+  for (double& x : sample) {
+    x /= sum;
+  }
+  return sample;
+}
+
+std::vector<double> SampleSymmetricDirichlet(std::size_t k, double alpha,
+                                             std::mt19937_64& rng) {
+  return SampleDirichlet(std::vector<double>(k, alpha), rng);
+}
+
+}  // namespace stats

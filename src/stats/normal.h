@@ -1,0 +1,17 @@
+// Standard normal CDF and quantile (inverse CDF).
+//
+// The LIE attack sets its per-dimension perturbation budget to
+// z = Φ⁻¹((n − m − s)/(n − m)) (Baruch et al., 2019), which needs a
+// numerical inverse normal CDF.
+#pragma once
+
+namespace stats {
+
+// Φ(x): standard normal cumulative distribution function.
+double NormalCdf(double x);
+
+// Φ⁻¹(p) for p in (0, 1), via Acklam's rational approximation refined by one
+// Halley step (|relative error| < 1e-9).
+double NormalQuantile(double p);
+
+}  // namespace stats

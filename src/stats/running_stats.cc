@@ -1,0 +1,55 @@
+#include "stats/running_stats.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace stats {
+
+void RunningStats::Add(double x) {
+  ++count_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void VectorMovingAverage::Add(std::span<const float> v) {
+  if (count_ == 0) {
+    acc_.assign(v.begin(), v.end());
+    count_ = 1;
+    cache_valid_ = false;
+    return;
+  }
+  AF_CHECK_EQ(v.size(), acc_.size()) << "dimension change in moving average";
+  const double t = static_cast<double>(count_);
+  const double keep = t / (t + 1.0);
+  const double take = 1.0 / (t + 1.0);
+  for (std::size_t i = 0; i < acc_.size(); ++i) {
+    acc_[i] = keep * acc_[i] + take * v[i];
+  }
+  ++count_;
+  cache_valid_ = false;
+}
+
+std::span<const float> VectorMovingAverage::mean() const {
+  AF_CHECK_GT(count_, 0u) << "mean() before any observation";
+  if (!cache_valid_) {
+    cached_.resize(acc_.size());
+    for (std::size_t i = 0; i < acc_.size(); ++i) {
+      cached_[i] = static_cast<float>(acc_[i]);
+    }
+    cache_valid_ = true;
+  }
+  return cached_;
+}
+
+}  // namespace stats

@@ -1,0 +1,50 @@
+// Numerically stable scalar running statistics (Welford) plus the vector
+// moving-average estimator AsyncFilter keeps per staleness group (Eq. 5).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace stats {
+
+// Welford online mean/variance for scalars.
+class RunningStats {
+ public:
+  void Add(double x);
+  std::size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  // Population variance; 0 until two samples have been seen.
+  double variance() const;
+  double stddev() const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+// Running mean of equally-sized vectors, updated one observation at a time:
+//   MA <- t/(t+1) * MA + 1/(t+1) * v        (paper Eq. 5)
+// where t is the number of observations already absorbed. The estimator is
+// dimension-lazy: the first Add fixes the dimension.
+class VectorMovingAverage {
+ public:
+  // Adds one observation.
+  void Add(std::span<const float> v);
+
+  bool empty() const { return count_ == 0; }
+  std::size_t count() const { return count_; }
+
+  // The current estimate; must not be called before the first Add.
+  std::span<const float> mean() const;
+
+ private:
+  std::size_t count_ = 0;
+  std::vector<double> acc_;     // running mean kept in double
+  mutable std::vector<float> cached_;  // float view refreshed on demand
+  mutable bool cache_valid_ = false;
+};
+
+}  // namespace stats

@@ -1,0 +1,50 @@
+#include "stats/summary.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace stats {
+
+Summary Summarize(std::span<const double> values) {
+  AF_CHECK(!values.empty());
+  Summary s;
+  s.count = values.size();
+  double sum = 0.0;
+  s.min = values[0];
+  s.max = values[0];
+  for (double v : values) {
+    sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = sum / static_cast<double>(values.size());
+  if (values.size() >= 2) {
+    double sq = 0.0;
+    for (double v : values) {
+      sq += (v - s.mean) * (v - s.mean);
+    }
+    s.stddev = std::sqrt(sq / static_cast<double>(values.size() - 1));
+  }
+  s.median = Quantile(values, 0.5);
+  return s;
+}
+
+double Quantile(std::span<const double> values, double q) {
+  AF_CHECK(!values.empty());
+  AF_CHECK_GE(q, 0.0);
+  AF_CHECK_LE(q, 1.0);
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) {
+    return sorted[0];
+  }
+  double pos = q * static_cast<double>(sorted.size() - 1);
+  std::size_t lo = static_cast<std::size_t>(pos);
+  std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace stats

@@ -1,0 +1,26 @@
+// Batch summary statistics over small sample sets (per-table seed repeats,
+// Figure 6 error bars, clustering diagnostics).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace stats {
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  // sample stddev (n-1), 0 for n < 2
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+};
+
+// Computes the summary of a non-empty sample set.
+Summary Summarize(std::span<const double> values);
+
+// Linear-interpolated quantile, q in [0, 1].
+double Quantile(std::span<const double> values, double q);
+
+}  // namespace stats

@@ -1,0 +1,152 @@
+#include "stats/vec_ops.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace stats {
+
+double L2Norm(std::span<const float> v) {
+  double sum = 0.0;
+  for (float x : v) {
+    sum += static_cast<double>(x) * x;
+  }
+  return std::sqrt(sum);
+}
+
+double SquaredDistance(std::span<const float> a, std::span<const float> b) {
+  AF_CHECK_EQ(a.size(), b.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    double d = static_cast<double>(a[i]) - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+double Distance(std::span<const float> a, std::span<const float> b) {
+  return std::sqrt(SquaredDistance(a, b));
+}
+
+double Dot(std::span<const float> a, std::span<const float> b) {
+  AF_CHECK_EQ(a.size(), b.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    sum += static_cast<double>(a[i]) * b[i];
+  }
+  return sum;
+}
+
+double CosineSimilarity(std::span<const float> a, std::span<const float> b) {
+  double na = L2Norm(a);
+  double nb = L2Norm(b);
+  if (na <= 0.0 || nb <= 0.0) {
+    return 0.0;
+  }
+  return Dot(a, b) / (na * nb);
+}
+
+void Axpy(double alpha, std::span<const float> x, std::span<float> y) {
+  AF_CHECK_EQ(x.size(), y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    y[i] = static_cast<float>(y[i] + alpha * x[i]);
+  }
+}
+
+void Scale(std::span<float> v, double alpha) {
+  for (float& x : v) {
+    x = static_cast<float>(x * alpha);
+  }
+}
+
+std::vector<float> Mean(const std::vector<std::vector<float>>& vectors) {
+  AF_CHECK(!vectors.empty());
+  const std::size_t dim = vectors.front().size();
+  std::vector<double> acc(dim, 0.0);
+  for (const auto& v : vectors) {
+    AF_CHECK_EQ(v.size(), dim);
+    for (std::size_t i = 0; i < dim; ++i) {
+      acc[i] += v[i];
+    }
+  }
+  std::vector<float> mean(dim);
+  for (std::size_t i = 0; i < dim; ++i) {
+    mean[i] = static_cast<float>(acc[i] / static_cast<double>(vectors.size()));
+  }
+  return mean;
+}
+
+std::vector<float> WeightedMean(const std::vector<std::vector<float>>& vectors,
+                                std::span<const double> weights) {
+  AF_CHECK(!vectors.empty());
+  AF_CHECK_EQ(vectors.size(), weights.size());
+  const std::size_t dim = vectors.front().size();
+  double total = 0.0;
+  for (double w : weights) {
+    total += w;
+  }
+  AF_CHECK_GT(total, 0.0) << "weights must have positive sum";
+  std::vector<double> acc(dim, 0.0);
+  for (std::size_t k = 0; k < vectors.size(); ++k) {
+    AF_CHECK_EQ(vectors[k].size(), dim);
+    const double w = weights[k] / total;
+    for (std::size_t i = 0; i < dim; ++i) {
+      acc[i] += w * vectors[k][i];
+    }
+  }
+  std::vector<float> mean(dim);
+  for (std::size_t i = 0; i < dim; ++i) {
+    mean[i] = static_cast<float>(acc[i]);
+  }
+  return mean;
+}
+
+std::vector<float> PerDimensionStd(const std::vector<std::vector<float>>& vectors) {
+  AF_CHECK(!vectors.empty());
+  const std::size_t dim = vectors.front().size();
+  const double n = static_cast<double>(vectors.size());
+  std::vector<double> sum(dim, 0.0);
+  std::vector<double> sum_sq(dim, 0.0);
+  for (const auto& v : vectors) {
+    AF_CHECK_EQ(v.size(), dim);
+    for (std::size_t i = 0; i < dim; ++i) {
+      sum[i] += v[i];
+      sum_sq[i] += static_cast<double>(v[i]) * v[i];
+    }
+  }
+  std::vector<float> out(dim);
+  for (std::size_t i = 0; i < dim; ++i) {
+    double mean = sum[i] / n;
+    double var = sum_sq[i] / n - mean * mean;
+    out[i] = static_cast<float>(std::sqrt(var > 0.0 ? var : 0.0));
+  }
+  return out;
+}
+
+std::vector<float> Subtract(std::span<const float> a, std::span<const float> b) {
+  AF_CHECK_EQ(a.size(), b.size());
+  std::vector<float> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out[i] = a[i] - b[i];
+  }
+  return out;
+}
+
+std::vector<float> Add(std::span<const float> a, std::span<const float> b) {
+  AF_CHECK_EQ(a.size(), b.size());
+  std::vector<float> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out[i] = a[i] + b[i];
+  }
+  return out;
+}
+
+std::vector<float> Negate(std::span<const float> v) {
+  std::vector<float> out(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    out[i] = -v[i];
+  }
+  return out;
+}
+
+}  // namespace stats

@@ -1,0 +1,57 @@
+// Flat-vector numerics shared by the NN stack, the attacks and the defenses.
+//
+// Model updates cross the client/server boundary as flattened
+// std::vector<float>; every server-side statistic the paper computes (l2
+// distances, cosine similarity for Zeno++, per-dimension mean/std for LIE,
+// moving averages for AsyncFilter) reduces to the operations here.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace stats {
+
+// Euclidean norm ||v||_2. Accumulates in double for stability.
+double L2Norm(std::span<const float> v);
+
+// Squared Euclidean distance ||a - b||^2. Sizes must match.
+double SquaredDistance(std::span<const float> a, std::span<const float> b);
+
+// Euclidean distance ||a - b||.
+double Distance(std::span<const float> a, std::span<const float> b);
+
+// Inner product <a, b>.
+double Dot(std::span<const float> a, std::span<const float> b);
+
+// Cosine similarity; returns 0 when either vector is (numerically) zero.
+double CosineSimilarity(std::span<const float> a, std::span<const float> b);
+
+// y += alpha * x.
+void Axpy(double alpha, std::span<const float> x, std::span<float> y);
+
+// v *= alpha.
+void Scale(std::span<float> v, double alpha);
+
+// Element-wise mean of a set of equally-sized vectors. `vectors` must be
+// non-empty.
+std::vector<float> Mean(const std::vector<std::vector<float>>& vectors);
+
+// Weighted element-wise mean; `weights` need not be normalised but their sum
+// must be positive.
+std::vector<float> WeightedMean(const std::vector<std::vector<float>>& vectors,
+                                std::span<const double> weights);
+
+// Per-dimension (population) standard deviation across a set of vectors.
+std::vector<float> PerDimensionStd(const std::vector<std::vector<float>>& vectors);
+
+// out = a - b.
+std::vector<float> Subtract(std::span<const float> a, std::span<const float> b);
+
+// out = a + b.
+std::vector<float> Add(std::span<const float> a, std::span<const float> b);
+
+// out = -v.
+std::vector<float> Negate(std::span<const float> v);
+
+}  // namespace stats

@@ -1,0 +1,52 @@
+#include "stats/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace stats {
+
+ZipfSampler::ZipfSampler(std::size_t n, double s) : s_(s) {
+  AF_CHECK_GT(n, 0u);
+  AF_CHECK_GT(s, 0.0);
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (std::size_t r = 1; r <= n; ++r) {
+    acc += 1.0 / std::pow(static_cast<double>(r), s);
+    cdf_[r - 1] = acc;
+  }
+  for (double& c : cdf_) {
+    c /= acc;
+  }
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+std::size_t ZipfSampler::Sample(std::mt19937_64& rng) const {
+  std::uniform_real_distribution<double> uniform(0.0, 1.0);
+  double u = uniform(rng);
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin()) + 1;
+}
+
+double ZipfSampler::Probability(std::size_t rank) const {
+  AF_CHECK_GE(rank, 1u);
+  AF_CHECK_LE(rank, cdf_.size());
+  double upper = cdf_[rank - 1];
+  double lower = rank >= 2 ? cdf_[rank - 2] : 0.0;
+  return upper - lower;
+}
+
+std::vector<double> SampleClientLatencies(std::size_t num_clients, double s,
+                                          double base_latency,
+                                          std::mt19937_64& rng) {
+  AF_CHECK_GT(base_latency, 0.0);
+  ZipfSampler sampler(num_clients, s);
+  std::vector<double> latencies(num_clients);
+  for (auto& latency : latencies) {
+    latency = base_latency * static_cast<double>(sampler.Sample(rng));
+  }
+  return latencies;
+}
+
+}  // namespace stats

@@ -1,0 +1,43 @@
+// Zipf-distributed client speed model.
+//
+// The paper models client processing latency with a Zipf distribution
+// (s = 1.2 by default, 2.5 in the speed-heterogeneity study): most devices
+// are fast, a few are stragglers. We expose both a rank sampler and the
+// derived latency model the simulator uses.
+#pragma once
+
+#include <cstddef>
+#include <random>
+#include <vector>
+
+namespace stats {
+
+// Samples ranks r ∈ {1, ..., n} with P(r) ∝ 1 / r^s via inverse-CDF lookup.
+class ZipfSampler {
+ public:
+  // `n` is the support size, `s` the exponent (> 0). The paper uses s > 1 so
+  // the generalized harmonic series converges as n grows.
+  ZipfSampler(std::size_t n, double s);
+
+  // Draws one rank in [1, n].
+  std::size_t Sample(std::mt19937_64& rng) const;
+
+  // P(rank) for rank in [1, n].
+  double Probability(std::size_t rank) const;
+
+  std::size_t n() const { return cdf_.size(); }
+  double s() const { return s_; }
+
+ private:
+  double s_;
+  std::vector<double> cdf_;  // cdf_[r-1] = P(rank <= r)
+};
+
+// Assigns each of `num_clients` a fixed latency multiplier: client i's rank
+// is drawn once from Zipf(n=num_clients, s), and its latency is
+// base_latency * rank. High ranks (rare under Zipf) are the stragglers.
+std::vector<double> SampleClientLatencies(std::size_t num_clients, double s,
+                                          double base_latency,
+                                          std::mt19937_64& rng);
+
+}  // namespace stats

@@ -1,0 +1,30 @@
+// Dense kernels used by the NN layers.
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace tensor {
+
+// C = A (M×K) * B (K×N). C must be preallocated M×N; it is overwritten.
+void MatMul(const Tensor& a, const Tensor& b, Tensor& c);
+
+// C = A (M×K) * B^T where B is (N×K). C must be M×N.
+void MatMulTransposeB(const Tensor& a, const Tensor& b, Tensor& c);
+
+// C = A^T (K×M -> M rows of A are K) ... specifically: A is (K×M), B is
+// (K×N), C = A^T * B is (M×N).
+void MatMulTransposeA(const Tensor& a, const Tensor& b, Tensor& c);
+
+// out = a + b (same shape).
+void AddInto(const Tensor& a, const Tensor& b, Tensor& out);
+
+// a += b.
+void AddInPlace(Tensor& a, const Tensor& b);
+
+// Adds a row-vector bias (length N) to every row of a (M×N) matrix.
+void AddRowBias(Tensor& matrix, const Tensor& bias);
+
+// Sums the rows of a (M×N) matrix into out (length N).
+void SumRows(const Tensor& matrix, Tensor& out);
+
+}  // namespace tensor

@@ -1,0 +1,15 @@
+#include "util/check.h"
+
+namespace util::internal {
+
+void FailCheck(const char* condition, const char* file, int line,
+               const std::string& message) {
+  std::ostringstream out;
+  out << "Check failed: " << condition << " at " << file << ":" << line;
+  if (!message.empty()) {
+    out << " — " << message;
+  }
+  throw CheckError(out.str());
+}
+
+}  // namespace util::internal

@@ -1,0 +1,59 @@
+// Lightweight precondition / invariant checking.
+//
+// AF_CHECK is always on (including release builds): the simulator and the
+// defense modules are research code where silently corrupt state is far more
+// expensive than a branch. Violations throw util::CheckError so tests can
+// assert on them and callers can recover if they choose.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace util {
+
+// Error thrown when an AF_CHECK condition fails.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace internal {
+[[noreturn]] void FailCheck(const char* condition, const char* file, int line,
+                            const std::string& message);
+
+// Stream-collector so AF_CHECK(x) << "context" works.
+class CheckMessage {
+ public:
+  CheckMessage(const char* condition, const char* file, int line)
+      : condition_(condition), file_(file), line_(line) {}
+  [[noreturn]] ~CheckMessage() noexcept(false) {
+    FailCheck(condition_, file_, line_, stream_.str());
+  }
+  template <typename T>
+  CheckMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* condition_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace util
+
+#define AF_CHECK(condition)                                              \
+  if (condition) {                                                       \
+  } else                                                                 \
+    ::util::internal::CheckMessage(#condition, __FILE__, __LINE__)
+
+#define AF_CHECK_EQ(a, b) AF_CHECK((a) == (b)) << " (" << (a) << " vs " << (b) << ") "
+#define AF_CHECK_NE(a, b) AF_CHECK((a) != (b)) << " (" << (a) << " vs " << (b) << ") "
+#define AF_CHECK_LT(a, b) AF_CHECK((a) < (b)) << " (" << (a) << " vs " << (b) << ") "
+#define AF_CHECK_LE(a, b) AF_CHECK((a) <= (b)) << " (" << (a) << " vs " << (b) << ") "
+#define AF_CHECK_GT(a, b) AF_CHECK((a) > (b)) << " (" << (a) << " vs " << (b) << ") "
+#define AF_CHECK_GE(a, b) AF_CHECK((a) >= (b)) << " (" << (a) << " vs " << (b) << ") "

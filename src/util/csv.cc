@@ -1,0 +1,47 @@
+#include "util/csv.h"
+
+#include <iomanip>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace util {
+
+CsvWriter::CsvWriter(const std::string& path) : path_(path), out_(path) {
+  AF_CHECK(out_.good()) << "failed to open CSV file " << path;
+}
+
+std::string CsvWriter::EscapeCell(const std::string& cell) {
+  bool needs_quote = cell.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quote) {
+    return cell;
+  }
+  std::string escaped = "\"";
+  for (char c : cell) {
+    if (c == '"') {
+      escaped += '"';
+    }
+    escaped += c;
+  }
+  escaped += '"';
+  return escaped;
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) {
+      out_ << ',';
+    }
+    out_ << EscapeCell(cells[i]);
+  }
+  out_ << '\n';
+  out_.flush();
+}
+
+std::string FormatFixed(double value, int digits) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(digits) << value;
+  return out.str();
+}
+
+}  // namespace util

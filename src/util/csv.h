@@ -1,0 +1,37 @@
+// CSV writer used by the bench harness to persist every regenerated
+// table/figure series next to the console output.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace util {
+
+// Writes rows of string cells as RFC-4180-ish CSV (quotes cells containing
+// commas, quotes or newlines). The file is created/truncated on open.
+class CsvWriter {
+ public:
+  // Opens `path` for writing; throws CheckError on failure.
+  explicit CsvWriter(const std::string& path);
+
+  // Writes one row. Cells are escaped as needed.
+  void WriteRow(const std::vector<std::string>& cells);
+
+  // Convenience: header + numeric row helpers.
+  void WriteHeader(const std::vector<std::string>& names) { WriteRow(names); }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  static std::string EscapeCell(const std::string& cell);
+
+  std::string path_;
+  std::ofstream out_;
+};
+
+// Formats a double with fixed precision (default matches the paper's tables:
+// one decimal place for percentages).
+std::string FormatFixed(double value, int digits = 1);
+
+}  // namespace util

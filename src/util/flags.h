@@ -1,0 +1,39 @@
+// Minimal command-line flag parsing for the example/CLI binaries.
+//
+// Supports --key=value, --key value, and bare --switch (true). Unknown
+// flags are collected so the caller can reject typos; positional arguments
+// are preserved in order.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace util {
+
+class FlagParser {
+ public:
+  FlagParser(int argc, const char* const* argv);
+
+  bool Has(const std::string& name) const;
+
+  // Typed getters with defaults; throw CheckError when the stored value
+  // cannot be parsed as the requested type.
+  std::string GetString(const std::string& name,
+                        const std::string& fallback) const;
+  std::int64_t GetInt(const std::string& name, std::int64_t fallback) const;
+  double GetDouble(const std::string& name, double fallback) const;
+  bool GetBool(const std::string& name, bool fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  // Flag names that were parsed, in no particular order (for validation).
+  std::vector<std::string> Names() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace util

@@ -1,0 +1,40 @@
+// Minimal leveled logger for the simulator and benches.
+//
+// Not thread-aware beyond a single mutex: log volume in this project is one
+// line per FL round at most, so contention is irrelevant.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+// Global minimum level; messages below it are dropped. Default: kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+void EmitLog(LogLevel level, const std::string& message);
+
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { EmitLog(level_, stream_.str()); }
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+}  // namespace util
+
+#define AF_LOG(level) ::util::internal::LogMessage(::util::LogLevel::level)

@@ -1,0 +1,36 @@
+#include "util/rng.h"
+
+namespace util {
+
+std::uint64_t SplitMix64(std::uint64_t& state) {
+  state += 0x9E3779B97f4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t HashLabel(std::string_view label) {
+  // FNV-1a, then one SplitMix64 round to spread low-entropy labels.
+  std::uint64_t hash = 0xCBF29CE484222325ULL;
+  for (unsigned char c : label) {
+    hash ^= c;
+    hash *= 0x100000001B3ULL;
+  }
+  return SplitMix64(hash);
+}
+
+std::mt19937_64 RngFactory::Stream(std::string_view label,
+                                   std::uint64_t index) const {
+  std::uint64_t state = seed_;
+  state ^= HashLabel(label);
+  state ^= 0x9E3779B97F4A7C15ULL * (index + 1);
+  // Draw a few rounds so correlated (seed, label, index) triples decorrelate.
+  std::uint64_t s0 = SplitMix64(state);
+  std::uint64_t s1 = SplitMix64(state);
+  std::seed_seq seq{static_cast<std::uint32_t>(s0), static_cast<std::uint32_t>(s0 >> 32),
+                    static_cast<std::uint32_t>(s1), static_cast<std::uint32_t>(s1 >> 32)};
+  return std::mt19937_64(seq);
+}
+
+}  // namespace util

@@ -1,0 +1,41 @@
+// Deterministic random number generation for reproducible experiments.
+//
+// The paper stresses PLATO's "reproducible mode": the same clients and data
+// samples are selected across runs given the same seed. We mirror that by
+// deriving every stochastic component's generator from a single experiment
+// seed through SplitMix64, so adding/removing one consumer never perturbs
+// the streams handed to the others.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string_view>
+
+namespace util {
+
+// SplitMix64 step: maps any 64-bit state to a well-mixed output. Used both
+// as a standalone mixer and to seed std::mt19937_64 streams.
+std::uint64_t SplitMix64(std::uint64_t& state);
+
+// Hashes a label (e.g. "client/17/local-train") into a 64-bit stream id.
+std::uint64_t HashLabel(std::string_view label);
+
+// Factory for independent, deterministic random streams.
+//
+// Every consumer asks for a stream by (label, index); the returned engine is
+// a pure function of (experiment seed, label, index). Two factories with the
+// same seed hand out identical streams.
+class RngFactory {
+ public:
+  explicit RngFactory(std::uint64_t seed) : seed_(seed) {}
+
+  // Returns a fresh generator for the given stream label.
+  std::mt19937_64 Stream(std::string_view label, std::uint64_t index = 0) const;
+
+  std::uint64_t seed() const { return seed_; }
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace util

@@ -1,0 +1,30 @@
+// Aligned console table rendering, so each bench prints rows shaped like the
+// paper's tables (methods as rows, attacks as columns).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace util {
+
+// Accumulates a rectangular table of string cells and renders it with
+// column-aligned padding and a separator under the header.
+class ConsoleTable {
+ public:
+  explicit ConsoleTable(std::vector<std::string> header);
+
+  // Appends one data row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  // Renders the table to a single string (trailing newline included).
+  std::string Render() const;
+
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace util

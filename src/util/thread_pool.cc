@@ -1,0 +1,107 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <exception>
+
+#include "util/check.h"
+
+namespace util {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::thread::hardware_concurrency();
+    if (num_threads == 0) {
+      num_threads = 1;
+    }
+  }
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    AF_CHECK(!stopping_) << "submit after shutdown";
+    tasks_.push(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (stopping_ && tasks_.empty()) {
+        return;
+      }
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(std::size_t count,
+                             const std::function<void(std::size_t)>& body) {
+  if (count == 0) {
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  std::condition_variable done_cv;
+  std::mutex done_mutex;
+
+  // One task per worker; each pulls indices until exhausted. This keeps the
+  // queue small and balances uneven per-client training times. The waiter
+  // blocks until every shard has fully exited, so no shard can touch these
+  // stack-local synchronisation objects after ParallelFor returns.
+  std::size_t shards = std::min(count, workers_.size());
+  std::size_t active = shards;
+  for (std::size_t s = 0; s < shards; ++s) {
+    Submit([&] {
+      for (;;) {
+        std::size_t i = next.fetch_add(1);
+        if (i >= count) {
+          break;
+        }
+        try {
+          body(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) {
+            first_error = std::current_exception();
+          }
+        }
+      }
+      // Notify while holding the lock: the waiter re-checks the predicate
+      // only after reacquiring done_mutex, so the cv cannot be destroyed
+      // while this shard still touches it.
+      std::lock_guard<std::mutex> lock(done_mutex);
+      --active;
+      done_cv.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(done_mutex);
+  done_cv.wait(lock, [&] { return active == 0; });
+  if (first_error) {
+    std::rethrow_exception(first_error);
+  }
+}
+
+}  // namespace util

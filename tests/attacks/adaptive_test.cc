@@ -1,0 +1,105 @@
+#include "attacks/adaptive.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+#include "stats/vec_ops.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace attacks {
+namespace {
+
+std::vector<std::vector<float>> BenignWindow(std::size_t n, std::size_t dim,
+                                             std::uint64_t seed) {
+  auto rng = util::RngFactory(seed).Stream("benign");
+  std::normal_distribution<float> noise(1.0f, 0.4f);
+  std::vector<std::vector<float>> window(n, std::vector<float>(dim));
+  for (auto& u : window) {
+    for (float& x : u) {
+      x = noise(rng);
+    }
+  }
+  return window;
+}
+
+TEST(AdaptiveAttackTest, StaysWithinColluderScoreEnvelope) {
+  auto window = BenignWindow(20, 24, 1);
+  AdaptiveAttack attack(0.9);
+  AttackContext ctx;
+  ctx.honest_update = window[0];
+  ctx.colluder_updates = &window;
+  auto crafted = attack.Craft(ctx);
+
+  // Replay the score the defense would assign: distance to the window mean
+  // over the window's RMS deviation. The crafted update must not exceed the
+  // colluders' own maximum score.
+  auto mean = stats::Mean(window);
+  double sum_sq = 0.0, worst = 0.0;
+  for (const auto& u : window) {
+    double d = stats::Distance(u, mean);
+    sum_sq += d * d;
+    worst = std::max(worst, d);
+  }
+  double rms = std::sqrt(sum_sq / static_cast<double>(window.size()));
+  double crafted_score = stats::Distance(crafted, mean) / rms;
+  double worst_benign_score = worst / rms;
+  EXPECT_LE(crafted_score, worst_benign_score + 1e-6);
+  EXPECT_GT(crafted_score, 0.1);  // but it does deviate
+}
+
+TEST(AdaptiveAttackTest, OpposesTheBenignDirection) {
+  auto window = BenignWindow(15, 16, 2);
+  AdaptiveAttack attack(0.9);
+  AttackContext ctx;
+  ctx.honest_update = window[0];
+  ctx.colluder_updates = &window;
+  auto crafted = attack.Craft(ctx);
+  auto mean = stats::Mean(window);
+  // Crafted = mean − γ·mean/‖mean‖ shrinks the component along the mean.
+  EXPECT_LT(stats::Dot(crafted, mean), stats::Dot(mean, mean));
+}
+
+TEST(AdaptiveAttackTest, QuantileControlsAggressiveness) {
+  auto window = BenignWindow(25, 16, 3);
+  AttackContext ctx;
+  ctx.honest_update = window[0];
+  ctx.colluder_updates = &window;
+  auto mean = stats::Mean(window);
+  AdaptiveAttack timid(0.2);
+  AdaptiveAttack bold(1.0);
+  double timid_dev = stats::Distance(timid.Craft(ctx), mean);
+  double bold_dev = stats::Distance(bold.Craft(ctx), mean);
+  EXPECT_LT(timid_dev, bold_dev);
+}
+
+TEST(AdaptiveAttackTest, TinyWindowFallsBackToHonest) {
+  std::vector<std::vector<float>> window{{1.0f}, {1.1f}};
+  AdaptiveAttack attack(0.9);
+  std::vector<float> honest{2.0f};
+  AttackContext ctx;
+  ctx.honest_update = honest;
+  ctx.colluder_updates = &window;
+  EXPECT_EQ(attack.Craft(ctx), honest);
+}
+
+TEST(AdaptiveAttackTest, DegenerateWindowReturnsMean) {
+  std::vector<std::vector<float>> window(5, std::vector<float>{3.0f, 3.0f});
+  AdaptiveAttack attack(0.9);
+  AttackContext ctx;
+  ctx.honest_update = window[0];
+  ctx.colluder_updates = &window;
+  auto crafted = attack.Craft(ctx);
+  EXPECT_FLOAT_EQ(crafted[0], 3.0f);
+}
+
+TEST(AdaptiveAttackTest, InvalidQuantileThrows) {
+  EXPECT_THROW(AdaptiveAttack(0.0), util::CheckError);
+  EXPECT_THROW(AdaptiveAttack(1.5), util::CheckError);
+}
+
+}  // namespace
+}  // namespace attacks

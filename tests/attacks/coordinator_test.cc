@@ -1,0 +1,44 @@
+#include "attacks/coordinator.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace attacks {
+namespace {
+
+TEST(CoordinatorTest, AbsorbsUpToCapacity) {
+  Coordinator coordinator(3);
+  for (int i = 0; i < 5; ++i) {
+    coordinator.Absorb({static_cast<float>(i)});
+  }
+  EXPECT_EQ(coordinator.size(), 3u);
+  auto window = coordinator.Window();
+  ASSERT_EQ(window.size(), 3u);
+  // Oldest first; entries 0 and 1 were evicted.
+  EXPECT_FLOAT_EQ(window[0][0], 2.0f);
+  EXPECT_FLOAT_EQ(window[2][0], 4.0f);
+}
+
+TEST(CoordinatorTest, WindowIsASnapshot) {
+  Coordinator coordinator(4);
+  coordinator.Absorb({1.0f});
+  auto window = coordinator.Window();
+  coordinator.Absorb({2.0f});
+  EXPECT_EQ(window.size(), 1u);  // unchanged snapshot
+  EXPECT_EQ(coordinator.size(), 2u);
+}
+
+TEST(CoordinatorTest, ResetClears) {
+  Coordinator coordinator(4);
+  coordinator.Absorb({1.0f});
+  coordinator.Reset();
+  EXPECT_EQ(coordinator.size(), 0u);
+}
+
+TEST(CoordinatorTest, ZeroCapacityThrows) {
+  EXPECT_THROW(Coordinator(0), util::CheckError);
+}
+
+}  // namespace
+}  // namespace attacks

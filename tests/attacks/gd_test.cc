@@ -1,0 +1,46 @@
+#include "attacks/gd.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace attacks {
+namespace {
+
+TEST(GdAttackTest, ReversesAndScalesHonestUpdate) {
+  GdAttack attack(2.0);
+  std::vector<float> honest{1.0f, -2.0f, 0.5f};
+  AttackContext ctx;
+  ctx.honest_update = honest;
+  auto poisoned = attack.Craft(ctx);
+  EXPECT_FLOAT_EQ(poisoned[0], -2.0f);
+  EXPECT_FLOAT_EQ(poisoned[1], 4.0f);
+  EXPECT_FLOAT_EQ(poisoned[2], -1.0f);
+}
+
+TEST(GdAttackTest, ScaleOneIsExactReversal) {
+  // Theorem 1's model: the malicious client sends -δ.
+  GdAttack attack(1.0);
+  std::vector<float> honest{0.25f, -0.75f};
+  AttackContext ctx;
+  ctx.honest_update = honest;
+  auto poisoned = attack.Craft(ctx);
+  EXPECT_FLOAT_EQ(poisoned[0], -0.25f);
+  EXPECT_FLOAT_EQ(poisoned[1], 0.75f);
+}
+
+TEST(GdAttackTest, InvalidScaleThrows) {
+  EXPECT_THROW(GdAttack(0.0), util::CheckError);
+  EXPECT_THROW(GdAttack(-1.0), util::CheckError);
+}
+
+TEST(NoAttackTest, PassesHonestUpdateThrough) {
+  NoAttack attack;
+  std::vector<float> honest{1.0f, 2.0f};
+  AttackContext ctx;
+  ctx.honest_update = honest;
+  EXPECT_EQ(attack.Craft(ctx), honest);
+}
+
+}  // namespace
+}  // namespace attacks

@@ -1,0 +1,75 @@
+#include "attacks/lie.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/vec_ops.h"
+#include "util/rng.h"
+
+namespace attacks {
+namespace {
+
+TEST(LieAttackTest, ZMatchesFormulaRegime) {
+  // n=100, m=20: s = 51-20 = 31, p = (100-20-31)/80 = 0.6125 → z ≈ 0.286,
+  // floored at 0.3 by the implementation.
+  LieAttack attack(100, 20);
+  EXPECT_NEAR(attack.z(), 0.3, 1e-9);
+  // n=50, m=5: s = 26-5 = 21, p = (50-5-21)/45 ≈ 0.533 → z ≈ 0.084 → 0.3 floor.
+  LieAttack small(50, 5);
+  EXPECT_GE(small.z(), 0.3);
+}
+
+TEST(LieAttackTest, OverrideBypassesFormula) {
+  LieAttack attack(100, 20, 1.5);
+  EXPECT_DOUBLE_EQ(attack.z(), 1.5);
+}
+
+TEST(LieAttackTest, CraftIsMeanMinusZStd) {
+  LieAttack attack(100, 20, 2.0);
+  std::vector<std::vector<float>> window{{0.0f, 10.0f}, {2.0f, 10.0f}};
+  std::vector<float> honest{1.0f, 10.0f};
+  AttackContext ctx;
+  ctx.honest_update = honest;
+  ctx.colluder_updates = &window;
+  auto poisoned = attack.Craft(ctx);
+  // dim 0: mean 1, std 1 → 1 - 2·1 = -1. dim 1: mean 10, std 0 → 10.
+  EXPECT_FLOAT_EQ(poisoned[0], -1.0f);
+  EXPECT_FLOAT_EQ(poisoned[1], 10.0f);
+}
+
+TEST(LieAttackTest, SmallWindowFallsBackToHonest) {
+  LieAttack attack(100, 20);
+  std::vector<std::vector<float>> window{{5.0f}};
+  std::vector<float> honest{3.0f};
+  AttackContext ctx;
+  ctx.honest_update = honest;
+  ctx.colluder_updates = &window;
+  EXPECT_EQ(attack.Craft(ctx), honest);
+}
+
+TEST(LieAttackTest, SubtletyPropertyStaysNearBenignSpread) {
+  // LIE's defining property: each coordinate stays within z standard
+  // deviations of the benign mean.
+  util::RngFactory rngs(1);
+  auto rng = rngs.Stream("lie");
+  std::normal_distribution<float> noise(1.0f, 0.5f);
+  std::vector<std::vector<float>> window(20, std::vector<float>(16));
+  for (auto& u : window) {
+    for (float& x : u) {
+      x = noise(rng);
+    }
+  }
+  LieAttack attack(100, 20);
+  AttackContext ctx;
+  ctx.honest_update = window[0];
+  ctx.colluder_updates = &window;
+  auto poisoned = attack.Craft(ctx);
+  auto mean = stats::Mean(window);
+  auto sd = stats::PerDimensionStd(window);
+  for (std::size_t d = 0; d < poisoned.size(); ++d) {
+    EXPECT_LE(std::abs(poisoned[d] - mean[d]),
+              static_cast<float>(attack.z()) * sd[d] + 1e-5f);
+  }
+}
+
+}  // namespace
+}  // namespace attacks

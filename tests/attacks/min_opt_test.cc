@@ -1,0 +1,126 @@
+#include "attacks/min_opt.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/vec_ops.h"
+#include "util/rng.h"
+
+namespace attacks {
+namespace {
+
+std::vector<std::vector<float>> BenignWindow(std::size_t n, std::size_t dim,
+                                             std::uint64_t seed) {
+  util::RngFactory rngs(seed);
+  auto rng = rngs.Stream("benign");
+  std::normal_distribution<float> noise(1.0f, 0.3f);
+  std::vector<std::vector<float>> window(n, std::vector<float>(dim));
+  for (auto& u : window) {
+    for (float& x : u) {
+      x = noise(rng);
+    }
+  }
+  return window;
+}
+
+double MaxPairwiseSq(const std::vector<std::vector<float>>& v) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    for (std::size_t j = i + 1; j < v.size(); ++j) {
+      worst = std::max(worst, stats::SquaredDistance(v[i], v[j]));
+    }
+  }
+  return worst;
+}
+
+TEST(MinMaxAttackTest, SatisfiesDistanceEnvelope) {
+  auto window = BenignWindow(15, 32, 1);
+  MinOptAttack attack(MinOptVariant::kMinMax);
+  AttackContext ctx;
+  ctx.honest_update = window[0];
+  ctx.colluder_updates = &window;
+  auto poisoned = attack.Craft(ctx);
+  // Constraint: max_j ||poisoned - u_j||² ≤ max pairwise benign distance².
+  const double envelope = MaxPairwiseSq(window);
+  for (const auto& u : window) {
+    EXPECT_LE(stats::SquaredDistance(poisoned, u), envelope * (1.0 + 1e-6));
+  }
+}
+
+TEST(MinSumAttackTest, SatisfiesSumEnvelope) {
+  auto window = BenignWindow(15, 32, 2);
+  MinOptAttack attack(MinOptVariant::kMinSum);
+  AttackContext ctx;
+  ctx.honest_update = window[0];
+  ctx.colluder_updates = &window;
+  auto poisoned = attack.Craft(ctx);
+  double attack_sum = 0.0;
+  double worst_benign_sum = 0.0;
+  for (const auto& u : window) {
+    attack_sum += stats::SquaredDistance(poisoned, u);
+  }
+  for (const auto& u : window) {
+    double total = 0.0;
+    for (const auto& v : window) {
+      total += stats::SquaredDistance(u, v);
+    }
+    worst_benign_sum = std::max(worst_benign_sum, total);
+  }
+  EXPECT_LE(attack_sum, worst_benign_sum * (1.0 + 1e-6));
+}
+
+TEST(MinOptAttackTest, MovesOppositeToTheBenignMean) {
+  auto window = BenignWindow(10, 16, 3);
+  MinOptAttack attack(MinOptVariant::kMinMax);
+  AttackContext ctx;
+  ctx.honest_update = window[0];
+  ctx.colluder_updates = &window;
+  auto poisoned = attack.Craft(ctx);
+  auto mean = stats::Mean(window);
+  // The poisoned update is mean + γ·(−mean/‖mean‖): its norm along the mean
+  // direction must be strictly below the mean's.
+  EXPECT_LT(stats::Dot(poisoned, mean), stats::Dot(mean, mean));
+}
+
+TEST(MinOptAttackTest, UsesNonTrivialGamma) {
+  auto window = BenignWindow(10, 16, 4);
+  MinOptAttack attack(MinOptVariant::kMinMax);
+  AttackContext ctx;
+  ctx.honest_update = window[0];
+  ctx.colluder_updates = &window;
+  auto poisoned = attack.Craft(ctx);
+  auto mean = stats::Mean(window);
+  // γ must be materially positive (not a no-op sending the plain mean).
+  EXPECT_GT(stats::Distance(poisoned, mean), 0.1);
+}
+
+TEST(MinOptAttackTest, MinSumAllowsNoLargerDeviationThanMinMaxForbids) {
+  // Sanity relation: both attacks deviate from the mean, and both stay
+  // feasible within their own envelope definition.
+  auto window = BenignWindow(12, 24, 5);
+  AttackContext ctx;
+  ctx.honest_update = window[0];
+  ctx.colluder_updates = &window;
+  MinOptAttack min_max(MinOptVariant::kMinMax);
+  MinOptAttack min_sum(MinOptVariant::kMinSum);
+  auto mean = stats::Mean(window);
+  EXPECT_GT(stats::Distance(min_max.Craft(ctx), mean), 0.0);
+  EXPECT_GT(stats::Distance(min_sum.Craft(ctx), mean), 0.0);
+}
+
+TEST(MinOptAttackTest, TinyWindowFallsBackToHonest) {
+  std::vector<std::vector<float>> window{{1.0f}};
+  MinOptAttack attack(MinOptVariant::kMinSum);
+  std::vector<float> honest{2.0f};
+  AttackContext ctx;
+  ctx.honest_update = honest;
+  ctx.colluder_updates = &window;
+  EXPECT_EQ(attack.Craft(ctx), honest);
+}
+
+TEST(MinOptAttackTest, NamesReportVariant) {
+  EXPECT_EQ(MinOptAttack(MinOptVariant::kMinMax).Name(), "Min-Max");
+  EXPECT_EQ(MinOptAttack(MinOptVariant::kMinSum).Name(), "Min-Sum");
+}
+
+}  // namespace
+}  // namespace attacks

@@ -1,0 +1,69 @@
+#include "attacks/registry.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace attacks {
+namespace {
+
+TEST(ParseAttackKindTest, CanonicalNames) {
+  EXPECT_EQ(ParseAttackKind("none"), AttackKind::kNone);
+  EXPECT_EQ(ParseAttackKind("GD"), AttackKind::kGd);
+  EXPECT_EQ(ParseAttackKind("LIE"), AttackKind::kLie);
+  EXPECT_EQ(ParseAttackKind("Min-Max"), AttackKind::kMinMax);
+  EXPECT_EQ(ParseAttackKind("Min-Sum"), AttackKind::kMinSum);
+}
+
+TEST(ParseAttackKindTest, ToleratesCaseAndSeparators) {
+  EXPECT_EQ(ParseAttackKind("min_max"), AttackKind::kMinMax);
+  EXPECT_EQ(ParseAttackKind("MINSUM"), AttackKind::kMinSum);
+  EXPECT_EQ(ParseAttackKind("gradient-deviation"), AttackKind::kGd);
+  EXPECT_EQ(ParseAttackKind("little is enough"), AttackKind::kLie);
+}
+
+TEST(ParseAttackKindTest, ExtensionAttacks) {
+  EXPECT_EQ(ParseAttackKind("adaptive"), AttackKind::kAdaptive);
+  EXPECT_EQ(ParseAttackKind("label-flip"), AttackKind::kLabelFlip);
+  EXPECT_STREQ(AttackKindName(AttackKind::kAdaptive), "Adaptive");
+  EXPECT_STREQ(AttackKindName(AttackKind::kLabelFlip), "Label-Flip");
+  AttackParams params;
+  EXPECT_EQ(MakeAttack(AttackKind::kAdaptive, params)->Name(), "Adaptive");
+  // Label-flip is data-level: its update-level attack object is a no-op.
+  EXPECT_EQ(MakeAttack(AttackKind::kLabelFlip, params)->Name(), "none");
+}
+
+TEST(ParseAttackKindTest, UnknownThrows) {
+  EXPECT_THROW(ParseAttackKind("zeus"), util::CheckError);
+}
+
+TEST(AttackKindNameTest, RoundTripsDisplayNames) {
+  EXPECT_STREQ(AttackKindName(AttackKind::kNone), "No attack");
+  EXPECT_STREQ(AttackKindName(AttackKind::kGd), "GD");
+  EXPECT_STREQ(AttackKindName(AttackKind::kLie), "LIE");
+  EXPECT_STREQ(AttackKindName(AttackKind::kMinMax), "Min-Max");
+  EXPECT_STREQ(AttackKindName(AttackKind::kMinSum), "Min-Sum");
+}
+
+TEST(MakeAttackTest, BuildsEveryKind) {
+  AttackParams params;
+  for (AttackKind kind : {AttackKind::kNone, AttackKind::kGd, AttackKind::kLie,
+                          AttackKind::kMinMax, AttackKind::kMinSum}) {
+    auto attack = MakeAttack(kind, params);
+    ASSERT_NE(attack, nullptr);
+    EXPECT_FALSE(attack->Name().empty());
+  }
+}
+
+TEST(MakeAttackTest, ParamsReachTheAttack) {
+  AttackParams params;
+  params.gd_scale = 3.5;
+  auto gd = MakeAttack(AttackKind::kGd, params);
+  std::vector<float> honest{1.0f};
+  AttackContext ctx;
+  ctx.honest_update = honest;
+  EXPECT_FLOAT_EQ(gd->Craft(ctx)[0], -3.5f);
+}
+
+}  // namespace
+}  // namespace attacks

@@ -1,0 +1,152 @@
+#include "cluster/kmeans.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace cluster {
+namespace {
+
+std::mt19937_64 Rng(std::uint64_t seed = 1) {
+  return util::RngFactory(seed).Stream("km");
+}
+
+TEST(KMeansTest, SeparatesThreeObviousClusters1D) {
+  std::vector<double> values{0.0, 0.1, 0.05, 5.0, 5.1, 4.9, 10.0, 10.2, 9.8};
+  auto rng = Rng();
+  KMeansResult r = KMeans1D(values, 3, rng);
+  // All points of one block share an assignment.
+  EXPECT_EQ(r.assignment[0], r.assignment[1]);
+  EXPECT_EQ(r.assignment[0], r.assignment[2]);
+  EXPECT_EQ(r.assignment[3], r.assignment[4]);
+  EXPECT_EQ(r.assignment[6], r.assignment[7]);
+  EXPECT_NE(r.assignment[0], r.assignment[3]);
+  EXPECT_NE(r.assignment[3], r.assignment[6]);
+  EXPECT_LT(r.inertia, 0.2);
+}
+
+TEST(KMeansTest, CentroidsNearClusterMeans) {
+  std::vector<double> values{1.0, 1.2, 9.0, 9.2};
+  auto rng = Rng(2);
+  KMeansResult r = KMeans1D(values, 2, rng);
+  std::vector<double> centroids{r.centroids[0][0], r.centroids[1][0]};
+  std::sort(centroids.begin(), centroids.end());
+  EXPECT_NEAR(centroids[0], 1.1, 1e-9);
+  EXPECT_NEAR(centroids[1], 9.1, 1e-9);
+}
+
+TEST(KMeansTest, TwoDimensionalClusters) {
+  std::vector<std::vector<double>> points;
+  auto rng = Rng(3);
+  std::normal_distribution<double> noise(0.0, 0.1);
+  for (int c = 0; c < 2; ++c) {
+    for (int i = 0; i < 20; ++i) {
+      points.push_back({c * 10.0 + noise(rng), c * 10.0 + noise(rng)});
+    }
+  }
+  KMeansResult r = KMeans(points, 2, rng);
+  for (int i = 1; i < 20; ++i) {
+    EXPECT_EQ(r.assignment[i], r.assignment[0]);
+    EXPECT_EQ(r.assignment[20 + i], r.assignment[20]);
+  }
+  EXPECT_NE(r.assignment[0], r.assignment[20]);
+}
+
+TEST(KMeansTest, KEqualsNPointsGivesZeroInertia) {
+  std::vector<double> values{1.0, 2.0, 3.0};
+  auto rng = Rng(4);
+  KMeansResult r = KMeans1D(values, 3, rng);
+  EXPECT_NEAR(r.inertia, 0.0, 1e-12);
+}
+
+TEST(KMeansTest, IdenticalPointsHandled) {
+  std::vector<double> values(10, 4.2);
+  auto rng = Rng(5);
+  KMeansResult r = KMeans1D(values, 3, rng);
+  EXPECT_NEAR(r.inertia, 0.0, 1e-12);
+}
+
+TEST(KMeansTest, EmptyInputThrows) {
+  auto rng = Rng(6);
+  EXPECT_THROW(KMeans({}, 2, rng), util::CheckError);
+  EXPECT_THROW(KMeans({{1.0}}, 0, rng), util::CheckError);
+}
+
+TEST(KMeansTest, MismatchedDimensionsThrow) {
+  auto rng = Rng(7);
+  std::vector<std::vector<double>> points{{1.0, 2.0}, {3.0}};
+  EXPECT_THROW(KMeans(points, 1, rng), util::CheckError);
+}
+
+class KMeansInertiaTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(KMeansInertiaTest, InertiaIsNonIncreasingInK) {
+  // Best-of-restarts k-means must not get worse when allowed more
+  // centroids (a classic sanity property of the objective).
+  auto rng = Rng(20 + GetParam());
+  std::uniform_real_distribution<double> uniform(0.0, 10.0);
+  std::vector<double> values(40);
+  for (double& v : values) {
+    v = uniform(rng);
+  }
+  double prev = std::numeric_limits<double>::infinity();
+  for (std::size_t k = 1; k <= GetParam(); ++k) {
+    KMeansOptions options;
+    options.restarts = 8;
+    double inertia = KMeans1D(values, k, rng, options).inertia;
+    EXPECT_LE(inertia, prev * (1.0 + 1e-9));
+    prev = inertia;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(MaxK, KMeansInertiaTest, ::testing::Values(3u, 5u));
+
+TEST(SilhouetteTest, WellSeparatedClustersScoreHigh) {
+  std::vector<std::vector<double>> points{{0.0}, {0.1}, {10.0}, {10.1}};
+  auto rng = Rng(8);
+  KMeansResult r = KMeans(points, 2, rng);
+  EXPECT_GT(Silhouette(points, r), 0.9);
+}
+
+TEST(SilhouetteTest, SingleClusterScoresZero) {
+  std::vector<std::vector<double>> points{{0.0}, {1.0}};
+  auto rng = Rng(9);
+  KMeansResult r = KMeans(points, 1, rng);
+  EXPECT_DOUBLE_EQ(Silhouette(points, r), 0.0);
+}
+
+TEST(GapStatisticTest, DetectsNoStructureInUniformData) {
+  auto rng = Rng(10);
+  std::uniform_real_distribution<double> uniform(0.0, 1.0);
+  std::vector<double> values(60);
+  for (double& v : values) {
+    v = uniform(rng);
+  }
+  // Uniform 1-D data: the gap statistic should prefer k = 1 most of the time.
+  std::size_t k = GapStatisticK(values, 3, rng);
+  EXPECT_LE(k, 2u);
+}
+
+TEST(GapStatisticTest, DetectsTwoSeparatedBlobs) {
+  auto rng = Rng(11);
+  std::normal_distribution<double> a(0.0, 0.05), b(10.0, 0.05);
+  std::vector<double> values;
+  for (int i = 0; i < 30; ++i) {
+    values.push_back(a(rng));
+    values.push_back(b(rng));
+  }
+  EXPECT_GE(GapStatisticK(values, 3, rng), 2u);
+}
+
+TEST(GapStatisticTest, ConstantScoresGiveOneCluster) {
+  auto rng = Rng(12);
+  std::vector<double> values(20, 0.5);
+  EXPECT_EQ(GapStatisticK(values, 3, rng), 1u);
+}
+
+}  // namespace
+}  // namespace cluster

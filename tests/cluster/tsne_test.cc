@@ -1,0 +1,114 @@
+#include "cluster/tsne.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace cluster {
+namespace {
+
+double Dist2D(const std::array<double, 2>& a, const std::array<double, 2>& b) {
+  return std::hypot(a[0] - b[0], a[1] - b[1]);
+}
+
+TEST(TsneTest, OutputHasOnePointPerInput) {
+  util::RngFactory rngs(1);
+  auto rng = rngs.Stream("tsne");
+  std::vector<std::vector<float>> points(10, std::vector<float>(5, 0.0f));
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    points[i][0] = static_cast<float>(i);
+  }
+  TsneOptions options;
+  options.iterations = 50;
+  auto embedding = TsneEmbed(points, rng, options);
+  EXPECT_EQ(embedding.size(), 10u);
+  for (const auto& p : embedding) {
+    EXPECT_TRUE(std::isfinite(p[0]));
+    EXPECT_TRUE(std::isfinite(p[1]));
+  }
+}
+
+TEST(TsneTest, EmbeddingIsCentred) {
+  util::RngFactory rngs(2);
+  auto rng = rngs.Stream("tsne");
+  std::vector<std::vector<float>> points(12, std::vector<float>(4));
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    points[i][i % 4] = static_cast<float>(i);
+  }
+  TsneOptions options;
+  options.iterations = 60;
+  auto embedding = TsneEmbed(points, rng, options);
+  double cx = 0.0, cy = 0.0;
+  for (const auto& p : embedding) {
+    cx += p[0];
+    cy += p[1];
+  }
+  EXPECT_NEAR(cx / embedding.size(), 0.0, 1e-6);
+  EXPECT_NEAR(cy / embedding.size(), 0.0, 1e-6);
+}
+
+TEST(TsneTest, PreservesTwoWellSeparatedClusters) {
+  util::RngFactory rngs(3);
+  auto rng = rngs.Stream("tsne");
+  std::normal_distribution<float> noise(0.0f, 0.05f);
+  std::vector<std::vector<float>> points;
+  for (int c = 0; c < 2; ++c) {
+    for (int i = 0; i < 15; ++i) {
+      std::vector<float> p(8, static_cast<float>(c) * 20.0f);
+      for (float& x : p) {
+        x += noise(rng);
+      }
+      points.push_back(std::move(p));
+    }
+  }
+  auto embedding = TsneEmbed(points, rng);
+  // Mean intra-cluster distance ≪ inter-cluster distance in the embedding.
+  double intra = 0.0, inter = 0.0;
+  std::size_t n_intra = 0, n_inter = 0;
+  for (std::size_t i = 0; i < 30; ++i) {
+    for (std::size_t j = i + 1; j < 30; ++j) {
+      const bool same = (i < 15) == (j < 15);
+      (same ? intra : inter) += Dist2D(embedding[i], embedding[j]);
+      (same ? n_intra : n_inter) += 1;
+    }
+  }
+  EXPECT_LT(intra / n_intra, 0.5 * inter / n_inter);
+}
+
+TEST(TsneTest, DeterministicGivenRngState) {
+  std::vector<std::vector<float>> points(8, std::vector<float>(3));
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    points[i][0] = static_cast<float>(i * i);
+  }
+  TsneOptions options;
+  options.iterations = 40;
+  util::RngFactory rngs(4);
+  auto r1 = rngs.Stream("tsne");
+  auto r2 = rngs.Stream("tsne");
+  auto e1 = TsneEmbed(points, r1, options);
+  auto e2 = TsneEmbed(points, r2, options);
+  for (std::size_t i = 0; i < e1.size(); ++i) {
+    EXPECT_DOUBLE_EQ(e1[i][0], e2[i][0]);
+    EXPECT_DOUBLE_EQ(e1[i][1], e2[i][1]);
+  }
+}
+
+TEST(TsneTest, FewerThanTwoPointsThrows) {
+  util::RngFactory rngs(5);
+  auto rng = rngs.Stream("tsne");
+  std::vector<std::vector<float>> one{{1.0f}};
+  EXPECT_THROW(TsneEmbed(one, rng), util::CheckError);
+}
+
+TEST(TsneTest, MismatchedDimensionsThrow) {
+  util::RngFactory rngs(6);
+  auto rng = rngs.Stream("tsne");
+  std::vector<std::vector<float>> points{{1.0f, 2.0f}, {3.0f}};
+  EXPECT_THROW(TsneEmbed(points, rng), util::CheckError);
+}
+
+}  // namespace
+}  // namespace cluster

@@ -1,0 +1,104 @@
+#include "core/staleness_groups.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace core {
+namespace {
+
+fl::ModelUpdate Update(int client, std::size_t staleness,
+                       std::vector<float> delta) {
+  fl::ModelUpdate u;
+  u.client_id = client;
+  u.staleness = staleness;
+  u.delta = std::move(delta);
+  return u;
+}
+
+TEST(GroupByStalenessTest, GroupsIndicesByTau) {
+  std::vector<fl::ModelUpdate> updates;
+  updates.push_back(Update(0, 0, {1.0f}));
+  updates.push_back(Update(1, 2, {1.0f}));
+  updates.push_back(Update(2, 0, {1.0f}));
+  updates.push_back(Update(3, 5, {1.0f}));
+  auto groups = GroupByStaleness(updates);
+  ASSERT_EQ(groups.size(), 3u);
+  EXPECT_EQ(groups[0], (std::vector<std::size_t>{0, 2}));
+  EXPECT_EQ(groups[2], (std::vector<std::size_t>{1}));
+  EXPECT_EQ(groups[5], (std::vector<std::size_t>{3}));
+}
+
+TEST(GroupByStalenessTest, EmptyInputGivesNoGroups) {
+  EXPECT_TRUE(GroupByStaleness({}).empty());
+}
+
+TEST(MovingAverageBankTest, AbsorbCreatesGroup) {
+  MovingAverageBank bank;
+  EXPECT_FALSE(bank.HasGroup(3));
+  std::vector<float> v{1.0f, 2.0f};
+  bank.Absorb(3, v);
+  EXPECT_TRUE(bank.HasGroup(3));
+  EXPECT_EQ(bank.ObservationCount(3), 1u);
+  EXPECT_FLOAT_EQ(bank.Estimate(3)[0], 1.0f);
+}
+
+TEST(MovingAverageBankTest, GroupsAreIndependent) {
+  MovingAverageBank bank;
+  std::vector<float> a{0.0f};
+  std::vector<float> b{10.0f};
+  bank.Absorb(0, a);
+  bank.Absorb(1, b);
+  bank.Absorb(1, b);
+  EXPECT_FLOAT_EQ(bank.Estimate(0)[0], 0.0f);
+  EXPECT_FLOAT_EQ(bank.Estimate(1)[0], 10.0f);
+  EXPECT_EQ(bank.ObservationCount(0), 1u);
+  EXPECT_EQ(bank.ObservationCount(1), 2u);
+}
+
+TEST(MovingAverageBankTest, EstimateTracksRunningMean) {
+  MovingAverageBank bank;
+  for (float x : {2.0f, 4.0f, 6.0f}) {
+    std::vector<float> v{x};
+    bank.Absorb(7, v);
+  }
+  EXPECT_FLOAT_EQ(bank.Estimate(7)[0], 4.0f);
+}
+
+TEST(MovingAverageBankTest, GroupsListedAscending) {
+  MovingAverageBank bank;
+  std::vector<float> v{1.0f};
+  bank.Absorb(5, v);
+  bank.Absorb(1, v);
+  bank.Absorb(3, v);
+  EXPECT_EQ(bank.Groups(), (std::vector<std::size_t>{1, 3, 5}));
+}
+
+TEST(MovingAverageBankTest, EstimateOfMissingGroupThrows) {
+  MovingAverageBank bank;
+  EXPECT_THROW(bank.Estimate(0), util::CheckError);
+}
+
+TEST(MovingAverageBankTest, ResetClearsState) {
+  MovingAverageBank bank;
+  std::vector<float> v{1.0f};
+  bank.Absorb(0, v);
+  bank.Reset();
+  EXPECT_FALSE(bank.HasGroup(0));
+  EXPECT_TRUE(bank.Groups().empty());
+}
+
+TEST(MovingAverageBankTest, PersistsAcrossRoundsLikeEquationFive) {
+  // The bank is the server-resident estimator: observations from "round 1"
+  // keep influencing the estimate in "round 2" with weight t/(t+1).
+  MovingAverageBank bank;
+  std::vector<float> early{0.0f};
+  bank.Absorb(2, early);
+  bank.Absorb(2, early);
+  std::vector<float> late{9.0f};
+  bank.Absorb(2, late);
+  EXPECT_FLOAT_EQ(bank.Estimate(2)[0], 3.0f);  // (0+0+9)/3
+}
+
+}  // namespace
+}  // namespace core

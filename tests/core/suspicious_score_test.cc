@@ -1,0 +1,220 @@
+#include "core/suspicious_score.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "util/rng.h"
+
+namespace core {
+namespace {
+
+fl::ModelUpdate Update(int client, std::size_t staleness,
+                       std::vector<float> delta, bool malicious = false) {
+  fl::ModelUpdate u;
+  u.client_id = client;
+  u.staleness = staleness;
+  u.delta = std::move(delta);
+  u.is_malicious_truth = malicious;
+  return u;
+}
+
+TEST(SuspiciousScoreTest, OutlierGetsHighestScore) {
+  MovingAverageBank bank;
+  std::vector<fl::ModelUpdate> updates;
+  updates.push_back(Update(0, 0, {1.0f, 1.0f}));
+  updates.push_back(Update(1, 0, {1.1f, 0.9f}));
+  updates.push_back(Update(2, 0, {0.9f, 1.1f}));
+  updates.push_back(Update(3, 0, {-5.0f, -5.0f}));  // outlier
+  for (const auto& u : updates) {
+    bank.Absorb(u.staleness, u.delta);
+  }
+  auto scores = ComputeSuspiciousScores(updates, bank);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_LT(scores[i], scores[3]);
+  }
+}
+
+TEST(SuspiciousScoreTest, GroupRmsIsScaleInvariantAcrossGroupSizes) {
+  // Two groups with identical relative structure but different sizes must
+  // produce comparable score ranges (the flaw of sum-normalisation).
+  MovingAverageBank bank;
+  std::vector<fl::ModelUpdate> updates;
+  for (int i = 0; i < 10; ++i) {
+    updates.push_back(Update(i, 0, {static_cast<float>(i % 2)}));
+  }
+  for (int i = 0; i < 3; ++i) {
+    updates.push_back(Update(100 + i, 1, {static_cast<float>(i % 2)}));
+  }
+  for (const auto& u : updates) {
+    bank.Absorb(u.staleness, u.delta);
+  }
+  auto scores = ComputeSuspiciousScores(updates, bank);
+  double max_g0 = 0.0, max_g1 = 0.0;
+  for (std::size_t i = 0; i < 10; ++i) {
+    max_g0 = std::max(max_g0, scores[i]);
+  }
+  for (std::size_t i = 10; i < 13; ++i) {
+    max_g1 = std::max(max_g1, scores[i]);
+  }
+  EXPECT_NEAR(max_g0, max_g1, 0.5);
+}
+
+TEST(SuspiciousScoreTest, Eq7CrossGroupScoresBoundedByOne) {
+  MovingAverageBank bank;
+  std::vector<fl::ModelUpdate> updates;
+  updates.push_back(Update(0, 0, {1.0f}));
+  updates.push_back(Update(1, 1, {5.0f}));
+  updates.push_back(Update(2, 1, {4.0f}));
+  for (const auto& u : updates) {
+    bank.Absorb(u.staleness, u.delta);
+  }
+  auto scores = ComputeSuspiciousScores(updates, bank,
+                                        ScoreNormalization::kEq7CrossGroup);
+  for (double s : scores) {
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0 + 1e-9);
+  }
+}
+
+TEST(SuspiciousScoreTest, BufferNormScoresFormUnitVector) {
+  MovingAverageBank bank;
+  std::vector<fl::ModelUpdate> updates;
+  updates.push_back(Update(0, 0, {1.0f}));
+  updates.push_back(Update(1, 0, {3.0f}));
+  updates.push_back(Update(2, 0, {-2.0f}));
+  for (const auto& u : updates) {
+    bank.Absorb(u.staleness, u.delta);
+  }
+  auto scores = ComputeSuspiciousScores(updates, bank,
+                                        ScoreNormalization::kBufferNorm);
+  double sum_sq = 0.0;
+  for (double s : scores) {
+    sum_sq += s * s;
+  }
+  EXPECT_NEAR(sum_sq, 1.0, 1e-9);
+}
+
+TEST(SuspiciousScoreTest, SingletonGroupNotAutoFlagged) {
+  // A lone straggler whose update resembles its (historic) group estimate
+  // must not be scored as the worst element.
+  MovingAverageBank bank;
+  std::vector<float> historic{1.0f, 1.0f};
+  bank.Absorb(4, historic);  // from an earlier round
+  std::vector<fl::ModelUpdate> updates;
+  updates.push_back(Update(0, 0, {1.0f, 1.0f}));
+  updates.push_back(Update(1, 0, {1.2f, 0.8f}));
+  updates.push_back(Update(2, 0, {8.0f, 8.0f}, true));  // actual outlier
+  updates.push_back(Update(3, 4, {1.05f, 1.0f}));       // honest straggler
+  for (const auto& u : updates) {
+    bank.Absorb(u.staleness, u.delta);
+  }
+  auto scores = ComputeSuspiciousScores(updates, bank);
+  EXPECT_LT(scores[3], scores[2]);
+}
+
+TEST(ScoresDegenerateTest, DetectsFlatAndTinySets) {
+  EXPECT_TRUE(ScoresDegenerate({}));
+  EXPECT_TRUE(ScoresDegenerate({0.5}));
+  EXPECT_TRUE(ScoresDegenerate({0.5, 0.5, 0.5}));
+  EXPECT_FALSE(ScoresDegenerate({0.1, 0.9}));
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 1 as an empirical property: under a GD-style reversal attack with
+// non-IID clients, E[score_benign] ≤ E[score_malicious].
+// ---------------------------------------------------------------------------
+
+struct TheoremCase {
+  double heterogeneity;  // benign update dispersion
+  std::size_t staleness_levels;
+  std::uint64_t seed;
+};
+
+class TheoremOneTest
+    : public ::testing::TestWithParam<std::tuple<double, std::size_t, int>> {};
+
+TEST_P(TheoremOneTest, BenignExpectedScoreIsLower) {
+  const double heterogeneity = std::get<0>(GetParam());
+  const std::size_t staleness_levels = std::get<1>(GetParam());
+  const std::uint64_t seed = static_cast<std::uint64_t>(std::get<2>(GetParam()));
+  util::RngFactory rngs(seed);
+  auto rng = rngs.Stream("theorem1");
+
+  const std::size_t dim = 32;
+  const std::size_t rounds = 12;
+  const std::size_t per_round = 20;
+  const std::size_t malicious = 4;
+
+  MovingAverageBank bank;
+  double benign_total = 0.0, malicious_total = 0.0;
+  std::size_t benign_count = 0, malicious_count = 0;
+
+  // Per-staleness-group "true" update directions that drift per round,
+  // mimicking the optimisation trajectory.
+  std::normal_distribution<float> unit(0.0f, 1.0f);
+  std::vector<std::vector<float>> group_mean(staleness_levels,
+                                             std::vector<float>(dim));
+  for (auto& g : group_mean) {
+    for (float& x : g) {
+      x = unit(rng);
+    }
+  }
+
+  for (std::size_t round = 0; round < rounds; ++round) {
+    std::vector<fl::ModelUpdate> updates;
+    std::uniform_int_distribution<std::size_t> pick_tau(0, staleness_levels - 1);
+    for (std::size_t i = 0; i < per_round; ++i) {
+      const std::size_t tau = pick_tau(rng);
+      std::vector<float> honest(dim);
+      for (std::size_t d = 0; d < dim; ++d) {
+        honest[d] = group_mean[tau][d] +
+                    static_cast<float>(heterogeneity) * unit(rng);
+      }
+      const bool is_malicious = i < malicious;
+      fl::ModelUpdate u;
+      u.client_id = static_cast<int>(i);
+      u.staleness = tau;
+      u.is_malicious_truth = is_malicious;
+      if (is_malicious) {
+        u.delta.resize(dim);
+        for (std::size_t d = 0; d < dim; ++d) {
+          u.delta[d] = -honest[d];  // Theorem 1's -δ attack
+        }
+      } else {
+        u.delta = honest;
+      }
+      updates.push_back(std::move(u));
+    }
+    for (const auto& u : updates) {
+      bank.Absorb(u.staleness, u.delta);
+    }
+    auto scores = ComputeSuspiciousScores(updates, bank);
+    for (std::size_t i = 0; i < updates.size(); ++i) {
+      if (updates[i].is_malicious_truth) {
+        malicious_total += scores[i];
+        ++malicious_count;
+      } else {
+        benign_total += scores[i];
+        ++benign_count;
+      }
+    }
+    // Drift the trajectory slightly between rounds.
+    for (auto& g : group_mean) {
+      for (float& x : g) {
+        x = 0.9f * x + 0.1f * unit(rng);
+      }
+    }
+  }
+  EXPECT_LE(benign_total / benign_count, malicious_total / malicious_count)
+      << "Theorem 1 violated at heterogeneity " << heterogeneity;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, TheoremOneTest,
+    ::testing::Combine(::testing::Values(0.2, 0.5, 1.0),   // heterogeneity
+                       ::testing::Values(1u, 3u, 6u),      // staleness levels
+                       ::testing::Values(1, 2, 3)));       // seeds
+
+}  // namespace
+}  // namespace core

@@ -1,0 +1,127 @@
+#include "data/partition.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace data {
+namespace {
+
+Dataset TestPool(std::uint64_t seed = 1, std::size_t n = 2000) {
+  SyntheticGenerator gen(MakeProfileSpec(Profile::kMnist, 8), seed);
+  return gen.Generate(n, "train");
+}
+
+TEST(DirichletPartitionTest, ShapesAndBounds) {
+  Dataset pool = TestPool();
+  util::RngFactory rngs(2);
+  auto rng = rngs.Stream("p");
+  Partition p = DirichletPartition(pool, 10, 50, 0.1, rng);
+  ASSERT_EQ(p.size(), 10u);
+  for (const auto& client : p) {
+    EXPECT_EQ(client.size(), 50u);
+    for (std::size_t idx : client) {
+      EXPECT_LT(idx, pool.size());
+    }
+  }
+}
+
+TEST(DirichletPartitionTest, SeedDeterministic) {
+  Dataset pool = TestPool();
+  util::RngFactory rngs(3);
+  auto r1 = rngs.Stream("p");
+  auto r2 = rngs.Stream("p");
+  EXPECT_EQ(DirichletPartition(pool, 5, 20, 0.1, r1),
+            DirichletPartition(pool, 5, 20, 0.1, r2));
+}
+
+class DirichletSkewTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(DirichletSkewTest, SmallerAlphaMeansMoreSkew) {
+  // The paper's heterogeneity studies move α from 0.1 to 0.05/0.01 and
+  // expect increasingly non-IID partitions.
+  const double alpha = GetParam();
+  Dataset pool = TestPool();
+  util::RngFactory rngs(4);
+  auto rng = rngs.Stream("p");
+  Partition p = DirichletPartition(pool, 30, 60, alpha, rng);
+  const double skew = MeanLabelSkew(pool, p);
+  if (alpha <= 0.1) {
+    EXPECT_GT(skew, 0.5);
+  } else {
+    EXPECT_LT(skew, 0.45);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, DirichletSkewTest,
+                         ::testing::Values(0.01, 0.05, 0.1, 5.0, 100.0));
+
+TEST(DirichletPartitionTest, SkewOrderingAcrossAlphas) {
+  Dataset pool = TestPool();
+  util::RngFactory rngs(5);
+  auto r1 = rngs.Stream("p1");
+  auto r2 = rngs.Stream("p2");
+  double skew_001 = MeanLabelSkew(pool, DirichletPartition(pool, 40, 50, 0.01, r1));
+  double skew_10 = MeanLabelSkew(pool, DirichletPartition(pool, 40, 50, 10.0, r2));
+  EXPECT_GT(skew_001, skew_10 + 0.2);
+}
+
+TEST(IidPartitionTest, LowSkew) {
+  Dataset pool = TestPool();
+  util::RngFactory rngs(6);
+  auto rng = rngs.Stream("p");
+  Partition p = IidPartition(pool, 20, 100, rng);
+  EXPECT_LT(MeanLabelSkew(pool, p), 0.2);
+}
+
+TEST(IidPartitionTest, RespectsPartitionSize) {
+  Dataset pool = TestPool();
+  util::RngFactory rngs(7);
+  auto rng = rngs.Stream("p");
+  Partition p = IidPartition(pool, 3, 17, rng);
+  for (const auto& client : p) {
+    EXPECT_EQ(client.size(), 17u);
+  }
+}
+
+TEST(DirichletPartitionTest, InvalidArgumentsThrow) {
+  Dataset pool = TestPool();
+  util::RngFactory rngs(8);
+  auto rng = rngs.Stream("p");
+  EXPECT_THROW(DirichletPartition(pool, 0, 10, 0.1, rng), util::CheckError);
+  EXPECT_THROW(DirichletPartition(pool, 5, 0, 0.1, rng), util::CheckError);
+}
+
+TEST(DirichletPartitionTest, OversubscribedPoolCyclesWithReplacement) {
+  // Total demand (clients × partition size) far beyond the pool: the
+  // per-label cursors must cycle instead of running dry (PLATO-style
+  // with-replacement sampling).
+  Dataset pool = TestPool(3, 200);
+  util::RngFactory rngs(9);
+  auto rng = rngs.Stream("p");
+  Partition p = DirichletPartition(pool, 50, 100, 0.1, rng);
+  std::size_t total = 0;
+  for (const auto& client : p) {
+    total += client.size();
+    for (std::size_t idx : client) {
+      ASSERT_LT(idx, pool.size());
+    }
+  }
+  EXPECT_EQ(total, 5000u);
+}
+
+TEST(MeanLabelSkewTest, PerfectlyMatchingPartitionIsNearZero) {
+  Dataset pool = TestPool(2, 1000);
+  // One client holding the full dataset reproduces the global distribution.
+  Partition p(1);
+  p[0].resize(pool.size());
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    p[0][i] = i;
+  }
+  EXPECT_NEAR(MeanLabelSkew(pool, p), 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace data

@@ -1,0 +1,71 @@
+#include "defense/aflguard.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace defense {
+namespace {
+
+fl::ModelUpdate Update(int client, std::vector<float> delta) {
+  fl::ModelUpdate u;
+  u.client_id = client;
+  u.delta = std::move(delta);
+  u.num_samples = 10;
+  return u;
+}
+
+TEST(AflGuardTest, RequiresServerReference) {
+  AflGuard guard;
+  EXPECT_TRUE(guard.RequiresServerReference());
+  std::vector<fl::ModelUpdate> updates{Update(0, {1.0f})};
+  FilterContext ctx;
+  EXPECT_THROW(guard.Process(ctx, updates), util::CheckError);
+}
+
+TEST(AflGuardTest, AcceptsWithinLambdaBall) {
+  AflGuard guard(2.0);
+  std::vector<float> reference{1.0f, 0.0f};
+  std::vector<fl::ModelUpdate> updates;
+  updates.push_back(Update(0, {1.5f, 0.5f}));   // ‖Δ‖ ≈ 0.71 ≤ 2
+  updates.push_back(Update(1, {-5.0f, 0.0f}));  // ‖Δ‖ = 6 > 2
+  FilterContext ctx;
+  ctx.server_reference = reference;
+  auto result = guard.Process(ctx, updates);
+  EXPECT_EQ(result.verdicts[0], Verdict::kAccepted);
+  EXPECT_EQ(result.verdicts[1], Verdict::kRejected);
+}
+
+TEST(AflGuardTest, BoundScalesWithServerNorm) {
+  AflGuard guard(1.0);
+  std::vector<float> big_reference{10.0f, 0.0f};
+  std::vector<fl::ModelUpdate> updates{Update(0, {18.0f, 0.0f})};
+  FilterContext ctx;
+  ctx.server_reference = big_reference;
+  auto result = guard.Process(ctx, updates);
+  EXPECT_EQ(result.verdicts[0], Verdict::kAccepted);  // ‖Δ‖=8 ≤ λ‖g_s‖=10
+}
+
+TEST(AflGuardTest, NeverRejectsEverything) {
+  AflGuard guard(0.1);
+  std::vector<float> reference{1.0f};
+  std::vector<fl::ModelUpdate> updates;
+  updates.push_back(Update(0, {100.0f}));
+  updates.push_back(Update(1, {-100.0f}));
+  FilterContext ctx;
+  ctx.server_reference = reference;
+  auto result = guard.Process(ctx, updates);
+  bool any_accepted = false;
+  for (auto v : result.verdicts) {
+    any_accepted |= (v == Verdict::kAccepted);
+  }
+  EXPECT_TRUE(any_accepted);
+}
+
+TEST(AflGuardTest, InvalidLambdaThrows) {
+  EXPECT_THROW(AflGuard(0.0), util::CheckError);
+  EXPECT_THROW(AflGuard(-1.0), util::CheckError);
+}
+
+}  // namespace
+}  // namespace defense

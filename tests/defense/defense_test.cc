@@ -1,0 +1,112 @@
+#include "defense/defense.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace defense {
+namespace {
+
+fl::ModelUpdate Update(int client, std::vector<float> delta,
+                       std::size_t samples = 10, std::size_t staleness = 0) {
+  fl::ModelUpdate u;
+  u.client_id = client;
+  u.delta = std::move(delta);
+  u.num_samples = samples;
+  u.staleness = staleness;
+  return u;
+}
+
+TEST(WeightedAverageTest, UniformWeightsGiveMean) {
+  std::vector<fl::ModelUpdate> updates;
+  updates.push_back(Update(0, {0.0f, 2.0f}));
+  updates.push_back(Update(1, {2.0f, 4.0f}));
+  auto avg = WeightedAverage(updates, {0, 1});
+  EXPECT_FLOAT_EQ(avg[0], 1.0f);
+  EXPECT_FLOAT_EQ(avg[1], 3.0f);
+}
+
+TEST(WeightedAverageTest, SampleCountsWeight) {
+  std::vector<fl::ModelUpdate> updates;
+  updates.push_back(Update(0, {0.0f}, 30));
+  updates.push_back(Update(1, {4.0f}, 10));
+  auto avg = WeightedAverage(updates, {0, 1});
+  EXPECT_FLOAT_EQ(avg[0], 1.0f);
+}
+
+TEST(WeightedAverageTest, StalenessDiscountDampsStaleUpdates) {
+  // FedBuff weighting s(τ)=1/√(1+τ): a τ=3 update contributes half the
+  // weight of a fresh one with equal samples.
+  std::vector<fl::ModelUpdate> updates;
+  updates.push_back(Update(0, {0.0f}, 10, 0));
+  updates.push_back(Update(1, {3.0f}, 10, 3));
+  auto avg = WeightedAverage(updates, {0, 1});
+  EXPECT_NEAR(avg[0], 3.0 * 0.5 / 1.5, 1e-6);
+}
+
+TEST(WeightedAverageTest, SubsetSelection) {
+  std::vector<fl::ModelUpdate> updates;
+  updates.push_back(Update(0, {1.0f}));
+  updates.push_back(Update(1, {100.0f}));
+  updates.push_back(Update(2, {3.0f}));
+  auto avg = WeightedAverage(updates, {0, 2});
+  EXPECT_FLOAT_EQ(avg[0], 2.0f);
+}
+
+TEST(WeightedAverageTest, EmptySelectionThrows) {
+  std::vector<fl::ModelUpdate> updates;
+  updates.push_back(Update(0, {1.0f}));
+  EXPECT_THROW(WeightedAverage(updates, {}), util::CheckError);
+}
+
+TEST(WeightedAverageTest, ZeroSampleCountTreatedAsOne) {
+  std::vector<fl::ModelUpdate> updates;
+  updates.push_back(Update(0, {2.0f}, 0));
+  auto avg = WeightedAverage(updates, {0});
+  EXPECT_FLOAT_EQ(avg[0], 2.0f);
+}
+
+TEST(MakeFilterResultTest, VerdictsAlignedWithSplit) {
+  std::vector<fl::ModelUpdate> updates;
+  updates.push_back(Update(0, {1.0f}));
+  updates.push_back(Update(1, {2.0f}));
+  updates.push_back(Update(2, {3.0f}));
+  auto result = MakeFilterResult(updates, {0, 2}, {1});
+  EXPECT_EQ(result.verdicts[0], Verdict::kAccepted);
+  EXPECT_EQ(result.verdicts[1], Verdict::kRejected);
+  EXPECT_EQ(result.verdicts[2], Verdict::kAccepted);
+  EXPECT_FLOAT_EQ(result.aggregated_delta[0], 2.0f);
+}
+
+TEST(MakeFilterResultTest, IncompleteSplitThrows) {
+  std::vector<fl::ModelUpdate> updates;
+  updates.push_back(Update(0, {1.0f}));
+  updates.push_back(Update(1, {2.0f}));
+  EXPECT_THROW(MakeFilterResult(updates, {0}, {}), util::CheckError);
+}
+
+TEST(MakeFilterResultTest, AllRejectedLeavesEmptyAggregate) {
+  std::vector<fl::ModelUpdate> updates;
+  updates.push_back(Update(0, {1.0f}));
+  auto result = MakeFilterResult(updates, {}, {0});
+  EXPECT_TRUE(result.aggregated_delta.empty());
+}
+
+TEST(NoDefenseTest, AcceptsEverything) {
+  NoDefense defense;
+  std::vector<fl::ModelUpdate> updates;
+  updates.push_back(Update(0, {1.0f}));
+  updates.push_back(Update(1, {-50.0f}));
+  FilterContext ctx;
+  auto result = defense.Process(ctx, updates);
+  for (auto v : result.verdicts) {
+    EXPECT_EQ(v, Verdict::kAccepted);
+  }
+  EXPECT_EQ(defense.Name(), "FedBuff");
+  EXPECT_FALSE(defense.RequiresServerReference());
+}
+
+}  // namespace
+}  // namespace defense

@@ -1,0 +1,128 @@
+#include "defense/fldetector.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "util/rng.h"
+
+namespace defense {
+namespace {
+
+class FlDetectorTest : public ::testing::Test {
+ protected:
+  std::mt19937_64 rng_ = util::RngFactory(5).Stream("fld");
+  std::vector<float> global_ = std::vector<float>(8, 0.0f);
+
+  FilterContext Context(std::size_t round) {
+    FilterContext ctx;
+    ctx.round = round;
+    ctx.global_model = global_;
+    ctx.rng = &rng_;
+    return ctx;
+  }
+
+  // Consistent clients drift linearly; inconsistent ones flip sign each
+  // round — exactly the prediction-error signal FLDetector keys on.
+  std::vector<fl::ModelUpdate> Round(std::size_t round, std::size_t benign,
+                                     std::size_t flippers) {
+    std::normal_distribution<float> noise(0.0f, 0.02f);
+    std::vector<fl::ModelUpdate> updates;
+    for (std::size_t i = 0; i < benign + flippers; ++i) {
+      fl::ModelUpdate u;
+      u.client_id = static_cast<int>(i);
+      u.num_samples = 10;
+      u.staleness = 0;
+      u.base_round = round;
+      u.delta.resize(8);
+      const bool flip = i >= benign && (round % 2 == 1);
+      for (auto& x : u.delta) {
+        x = (flip ? -1.0f : 1.0f) * (0.5f + noise(rng_));
+      }
+      u.is_malicious_truth = i >= benign;
+      updates.push_back(std::move(u));
+    }
+    return updates;
+  }
+};
+
+TEST_F(FlDetectorTest, FirstRoundAcceptsEverything) {
+  FlDetector detector;
+  auto updates = Round(0, 8, 2);
+  auto result = detector.Process(Context(0), updates);
+  // No history → neutral scores → no split worth making.
+  std::size_t rejected = 0;
+  for (auto v : result.verdicts) {
+    rejected += (v == Verdict::kRejected) ? 1 : 0;
+  }
+  EXPECT_EQ(rejected, 0u);
+}
+
+TEST_F(FlDetectorTest, FlagsInconsistentClientsOverTime) {
+  FlDetector detector;
+  std::size_t malicious_rejections = 0;
+  std::size_t benign_rejections = 0;
+  for (std::size_t round = 0; round < 8; ++round) {
+    auto updates = Round(round, 8, 4);
+    auto result = detector.Process(Context(round), updates);
+    // Advance the "global model" to keep snapshots realistic.
+    for (auto& g : global_) {
+      g += 0.4f;
+    }
+    for (std::size_t i = 0; i < updates.size(); ++i) {
+      if (result.verdicts[i] == Verdict::kRejected) {
+        (updates[i].is_malicious_truth ? malicious_rejections
+                                       : benign_rejections)++;
+      }
+    }
+  }
+  EXPECT_GT(malicious_rejections, benign_rejections);
+  EXPECT_GT(malicious_rejections, 4u);
+}
+
+TEST_F(FlDetectorTest, StableClientsStayAccepted) {
+  FlDetector detector;
+  std::size_t rejected_total = 0;
+  for (std::size_t round = 0; round < 6; ++round) {
+    auto updates = Round(round, 10, 0);
+    auto result = detector.Process(Context(round), updates);
+    for (auto v : result.verdicts) {
+      rejected_total += (v == Verdict::kRejected) ? 1 : 0;
+    }
+  }
+  // Benign-only traffic: occasional noise splits allowed, wholesale
+  // rejection not.
+  EXPECT_LT(rejected_total, 12u);
+}
+
+TEST_F(FlDetectorTest, ResetForgetsHistory) {
+  FlDetector detector;
+  for (std::size_t round = 0; round < 3; ++round) {
+    auto updates = Round(round, 6, 2);
+    detector.Process(Context(round), updates);
+  }
+  detector.Reset();
+  auto updates = Round(0, 6, 2);
+  auto result = detector.Process(Context(0), updates);
+  std::size_t rejected = 0;
+  for (auto v : result.verdicts) {
+    rejected += (v == Verdict::kRejected) ? 1 : 0;
+  }
+  EXPECT_EQ(rejected, 0u);  // back to the no-history state
+}
+
+TEST_F(FlDetectorTest, NeverRejectsEntireBuffer) {
+  FlDetector detector;
+  for (std::size_t round = 0; round < 6; ++round) {
+    auto updates = Round(round, 2, 8);  // malicious majority
+    auto result = detector.Process(Context(round), updates);
+    bool any_accepted = false;
+    for (auto v : result.verdicts) {
+      any_accepted |= (v == Verdict::kAccepted);
+    }
+    EXPECT_TRUE(any_accepted);
+  }
+}
+
+}  // namespace
+}  // namespace defense

@@ -1,0 +1,76 @@
+#include "defense/fltrust.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/vec_ops.h"
+#include "util/check.h"
+
+namespace defense {
+namespace {
+
+fl::ModelUpdate Update(int client, std::vector<float> delta) {
+  fl::ModelUpdate u;
+  u.client_id = client;
+  u.delta = std::move(delta);
+  u.num_samples = 10;
+  return u;
+}
+
+TEST(FlTrustTest, RequiresServerReference) {
+  FlTrust fltrust;
+  EXPECT_TRUE(fltrust.RequiresServerReference());
+  std::vector<fl::ModelUpdate> updates{Update(0, {1.0f})};
+  FilterContext ctx;
+  EXPECT_THROW(fltrust.Process(ctx, updates), util::CheckError);
+}
+
+TEST(FlTrustTest, ReluClipsNegativeCosine) {
+  FlTrust fltrust;
+  std::vector<float> reference{1.0f, 0.0f};
+  std::vector<fl::ModelUpdate> updates;
+  updates.push_back(Update(0, {2.0f, 0.1f}));    // aligned → trusted
+  updates.push_back(Update(1, {-1.0f, 0.0f}));   // reversed → zero trust
+  FilterContext ctx;
+  ctx.server_reference = reference;
+  auto result = fltrust.Process(ctx, updates);
+  EXPECT_EQ(result.verdicts[0], Verdict::kAccepted);
+  EXPECT_EQ(result.verdicts[1], Verdict::kRejected);
+}
+
+TEST(FlTrustTest, AggregateRescaledToServerNorm) {
+  FlTrust fltrust;
+  std::vector<float> reference{0.0f, 2.0f};  // norm 2
+  std::vector<fl::ModelUpdate> updates{Update(0, {0.0f, 20.0f})};
+  FilterContext ctx;
+  ctx.server_reference = reference;
+  auto result = fltrust.Process(ctx, updates);
+  ASSERT_FALSE(result.aggregated_delta.empty());
+  EXPECT_NEAR(stats::L2Norm(result.aggregated_delta), 2.0, 1e-5);
+}
+
+TEST(FlTrustTest, HigherCosineGetsMoreWeight) {
+  FlTrust fltrust;
+  std::vector<float> reference{1.0f, 0.0f};
+  std::vector<fl::ModelUpdate> updates;
+  updates.push_back(Update(0, {1.0f, 0.0f}));  // cos 1
+  updates.push_back(Update(1, {1.0f, 1.0f}));  // cos ≈ 0.707
+  FilterContext ctx;
+  ctx.server_reference = reference;
+  auto result = fltrust.Process(ctx, updates);
+  // Weighted mean tilts toward the cos-1 update: first coordinate close to
+  // the rescaled aligned update's 1.0.
+  EXPECT_GT(result.aggregated_delta[0], 0.8f);
+}
+
+TEST(FlTrustTest, AllOpposedYieldsEmptyAggregate) {
+  FlTrust fltrust;
+  std::vector<float> reference{1.0f};
+  std::vector<fl::ModelUpdate> updates{Update(0, {-1.0f}), Update(1, {-2.0f})};
+  FilterContext ctx;
+  ctx.server_reference = reference;
+  auto result = fltrust.Process(ctx, updates);
+  EXPECT_TRUE(result.aggregated_delta.empty());
+}
+
+}  // namespace
+}  // namespace defense

@@ -1,0 +1,99 @@
+#include "defense/krum.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace defense {
+namespace {
+
+std::vector<fl::ModelUpdate> Cluster(std::size_t benign, std::size_t outliers,
+                                     std::uint64_t seed = 1) {
+  auto rng = util::RngFactory(seed).Stream("krum");
+  std::normal_distribution<float> noise(0.0f, 0.1f);
+  std::vector<fl::ModelUpdate> updates;
+  for (std::size_t i = 0; i < benign; ++i) {
+    fl::ModelUpdate u;
+    u.client_id = static_cast<int>(i);
+    u.delta = {1.0f + noise(rng), 1.0f + noise(rng)};
+    u.num_samples = 10;
+    updates.push_back(std::move(u));
+  }
+  for (std::size_t i = 0; i < outliers; ++i) {
+    fl::ModelUpdate u;
+    u.client_id = static_cast<int>(benign + i);
+    u.delta = {-20.0f + noise(rng), 30.0f + noise(rng)};
+    u.num_samples = 10;
+    u.is_malicious_truth = true;
+    updates.push_back(std::move(u));
+  }
+  return updates;
+}
+
+TEST(KrumTest, SingleKrumSelectsFromDenseCluster) {
+  Krum krum(0.2, /*multi=*/false);
+  auto updates = Cluster(8, 2);
+  FilterContext ctx;
+  auto result = krum.Process(ctx, updates);
+  std::size_t accepted = 0;
+  for (std::size_t i = 0; i < updates.size(); ++i) {
+    if (result.verdicts[i] == Verdict::kAccepted) {
+      ++accepted;
+      EXPECT_FALSE(updates[i].is_malicious_truth);
+    }
+  }
+  EXPECT_EQ(accepted, 1u);
+}
+
+TEST(KrumTest, MultiKrumRejectsOutliers) {
+  Krum krum(0.2, /*multi=*/true);
+  auto updates = Cluster(8, 2);
+  FilterContext ctx;
+  auto result = krum.Process(ctx, updates);
+  for (std::size_t i = 0; i < updates.size(); ++i) {
+    if (updates[i].is_malicious_truth) {
+      EXPECT_EQ(result.verdicts[i], Verdict::kRejected);
+    }
+  }
+  // n - m = 10 - 2 accepted.
+  std::size_t accepted = 0;
+  for (auto v : result.verdicts) {
+    accepted += (v == Verdict::kAccepted) ? 1 : 0;
+  }
+  EXPECT_EQ(accepted, 8u);
+}
+
+TEST(KrumTest, AggregateIsCleanUnderAttack) {
+  Krum krum(0.2, /*multi=*/true);
+  auto updates = Cluster(8, 2);
+  FilterContext ctx;
+  auto result = krum.Process(ctx, updates);
+  ASSERT_FALSE(result.aggregated_delta.empty());
+  EXPECT_NEAR(result.aggregated_delta[0], 1.0f, 0.2f);
+}
+
+TEST(KrumTest, TinyBufferDegradesToMean) {
+  Krum krum(0.2, /*multi=*/false);
+  auto updates = Cluster(2, 0);
+  FilterContext ctx;
+  auto result = krum.Process(ctx, updates);
+  for (auto v : result.verdicts) {
+    EXPECT_EQ(v, Verdict::kAccepted);
+  }
+}
+
+TEST(KrumTest, InvalidFractionThrows) {
+  EXPECT_THROW(Krum(0.5), util::CheckError);
+  EXPECT_THROW(Krum(-0.1), util::CheckError);
+}
+
+TEST(KrumTest, NamesDistinguishVariants) {
+  EXPECT_EQ(Krum(0.2, false).Name(), "Krum");
+  EXPECT_EQ(Krum(0.2, true).Name(), "Multi-Krum");
+}
+
+}  // namespace
+}  // namespace defense

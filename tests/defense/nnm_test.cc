@@ -1,0 +1,66 @@
+#include "defense/nnm.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace defense {
+namespace {
+
+fl::ModelUpdate Update(int client, std::vector<float> delta) {
+  fl::ModelUpdate u;
+  u.client_id = client;
+  u.delta = std::move(delta);
+  u.num_samples = 10;
+  return u;
+}
+
+TEST(NnmTest, IdenticalUpdatesUnchanged) {
+  NearestNeighborMixing nnm(0.2);
+  std::vector<fl::ModelUpdate> updates;
+  for (int i = 0; i < 5; ++i) {
+    updates.push_back(Update(i, {2.0f, -1.0f}));
+  }
+  FilterContext ctx;
+  auto result = nnm.Process(ctx, updates);
+  EXPECT_FLOAT_EQ(result.aggregated_delta[0], 2.0f);
+  EXPECT_FLOAT_EQ(result.aggregated_delta[1], -1.0f);
+}
+
+TEST(NnmTest, MixingShrinksOutlierInfluence) {
+  NearestNeighborMixing nnm(0.2);
+  std::vector<fl::ModelUpdate> updates;
+  for (int i = 0; i < 8; ++i) {
+    updates.push_back(Update(i, {1.0f}));
+  }
+  updates.push_back(Update(8, {101.0f}));
+  updates.push_back(Update(9, {99.0f}));
+  FilterContext ctx;
+  auto result = nnm.Process(ctx, updates);
+  // Plain mean would be 21; mixing each update with its n-m-1 = 7 nearest
+  // neighbours pulls the poisoned rows toward the benign mass.
+  EXPECT_LT(result.aggregated_delta[0], 21.0f);
+}
+
+TEST(NnmTest, AllVerdictsAccepted) {
+  NearestNeighborMixing nnm(0.2);
+  std::vector<fl::ModelUpdate> updates;
+  for (int i = 0; i < 4; ++i) {
+    updates.push_back(Update(i, {static_cast<float>(i)}));
+  }
+  FilterContext ctx;
+  auto result = nnm.Process(ctx, updates);
+  for (auto v : result.verdicts) {
+    EXPECT_EQ(v, Verdict::kAccepted);
+  }
+}
+
+TEST(NnmTest, InvalidFractionThrows) {
+  EXPECT_THROW(NearestNeighborMixing(0.5), util::CheckError);
+}
+
+}  // namespace
+}  // namespace defense

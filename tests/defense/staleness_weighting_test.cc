@@ -1,0 +1,59 @@
+#include "defense/staleness_weighting.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace defense {
+namespace {
+
+TEST(StalenessWeightingTest, NoneIsAlwaysOne) {
+  StalenessWeightingConfig config{StalenessWeighting::kNone, 0.0};
+  for (std::size_t tau : {0u, 1u, 5u, 100u}) {
+    EXPECT_DOUBLE_EQ(StalenessDiscount(config, tau), 1.0);
+  }
+}
+
+TEST(StalenessWeightingTest, InverseSqrtMatchesFedBuff) {
+  StalenessWeightingConfig config;  // defaults to kInverseSqrt
+  EXPECT_DOUBLE_EQ(StalenessDiscount(config, 0), 1.0);
+  EXPECT_DOUBLE_EQ(StalenessDiscount(config, 3), 0.5);
+  EXPECT_NEAR(StalenessDiscount(config, 8), 1.0 / 3.0, 1e-12);
+}
+
+TEST(StalenessWeightingTest, PolynomialExponentControlsDecay) {
+  StalenessWeightingConfig linear{StalenessWeighting::kPolynomial, 1.0};
+  StalenessWeightingConfig quadratic{StalenessWeighting::kPolynomial, 2.0};
+  EXPECT_DOUBLE_EQ(StalenessDiscount(linear, 3), 0.25);
+  EXPECT_DOUBLE_EQ(StalenessDiscount(quadratic, 3), 0.0625);
+}
+
+TEST(StalenessWeightingTest, ZeroExponentPolynomialIsFlat) {
+  StalenessWeightingConfig flat{StalenessWeighting::kPolynomial, 0.0};
+  EXPECT_DOUBLE_EQ(StalenessDiscount(flat, 17), 1.0);
+}
+
+TEST(StalenessWeightingTest, DiscountIsMonotonicallyDecreasing) {
+  for (auto kind :
+       {StalenessWeighting::kInverseSqrt, StalenessWeighting::kPolynomial}) {
+    StalenessWeightingConfig config{kind, 1.5};
+    double prev = 2.0;
+    for (std::size_t tau = 0; tau < 30; ++tau) {
+      double d = StalenessDiscount(config, tau);
+      EXPECT_LT(d, prev);
+      EXPECT_GT(d, 0.0);
+      EXPECT_LE(d, 1.0);
+      prev = d;
+    }
+  }
+}
+
+TEST(StalenessWeightingTest, NegativePolynomialExponentThrows) {
+  StalenessWeightingConfig config{StalenessWeighting::kPolynomial, -1.0};
+  EXPECT_THROW(StalenessDiscount(config, 1), util::CheckError);
+}
+
+}  // namespace
+}  // namespace defense

@@ -1,0 +1,98 @@
+#include "defense/trimmed_mean.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace defense {
+namespace {
+
+fl::ModelUpdate Update(int client, std::vector<float> delta) {
+  fl::ModelUpdate u;
+  u.client_id = client;
+  u.delta = std::move(delta);
+  u.num_samples = 10;
+  return u;
+}
+
+TEST(TrimmedMeanTest, DropsExtremesPerCoordinate) {
+  TrimmedMean tm(0.25);  // trims 1 from each end of 5
+  std::vector<fl::ModelUpdate> updates;
+  updates.push_back(Update(0, {1.0f}));
+  updates.push_back(Update(1, {2.0f}));
+  updates.push_back(Update(2, {3.0f}));
+  updates.push_back(Update(3, {4.0f}));
+  updates.push_back(Update(4, {1000.0f}));  // poisoned coordinate
+  FilterContext ctx;
+  auto result = tm.Process(ctx, updates);
+  EXPECT_FLOAT_EQ(result.aggregated_delta[0], 3.0f);  // mean of {2,3,4}
+}
+
+TEST(TrimmedMeanTest, ZeroBetaIsPlainMean) {
+  TrimmedMean tm(0.0);
+  std::vector<fl::ModelUpdate> updates;
+  updates.push_back(Update(0, {1.0f, 10.0f}));
+  updates.push_back(Update(1, {3.0f, 20.0f}));
+  FilterContext ctx;
+  auto result = tm.Process(ctx, updates);
+  EXPECT_FLOAT_EQ(result.aggregated_delta[0], 2.0f);
+  EXPECT_FLOAT_EQ(result.aggregated_delta[1], 15.0f);
+}
+
+TEST(TrimmedMeanTest, AllVerdictsAccepted) {
+  TrimmedMean tm(0.2);
+  std::vector<fl::ModelUpdate> updates;
+  for (int i = 0; i < 6; ++i) {
+    updates.push_back(Update(i, {static_cast<float>(i)}));
+  }
+  FilterContext ctx;
+  auto result = tm.Process(ctx, updates);
+  for (auto v : result.verdicts) {
+    EXPECT_EQ(v, Verdict::kAccepted);
+  }
+}
+
+TEST(TrimmedMeanTest, InvalidBetaThrows) {
+  EXPECT_THROW(TrimmedMean(0.5), util::CheckError);
+  EXPECT_THROW(TrimmedMean(-0.01), util::CheckError);
+}
+
+TEST(CoordinateMedianTest, OddCountExactMedian) {
+  CoordinateMedian median;
+  std::vector<fl::ModelUpdate> updates;
+  updates.push_back(Update(0, {1.0f, -5.0f}));
+  updates.push_back(Update(1, {9.0f, 0.0f}));
+  updates.push_back(Update(2, {2.0f, 100.0f}));
+  FilterContext ctx;
+  auto result = median.Process(ctx, updates);
+  EXPECT_FLOAT_EQ(result.aggregated_delta[0], 2.0f);
+  EXPECT_FLOAT_EQ(result.aggregated_delta[1], 0.0f);
+}
+
+TEST(CoordinateMedianTest, EvenCountAveragesMiddlePair) {
+  CoordinateMedian median;
+  std::vector<fl::ModelUpdate> updates;
+  for (float v : {1.0f, 2.0f, 3.0f, 10.0f}) {
+    updates.push_back(Update(0, {v}));
+  }
+  FilterContext ctx;
+  auto result = median.Process(ctx, updates);
+  EXPECT_FLOAT_EQ(result.aggregated_delta[0], 2.5f);
+}
+
+TEST(CoordinateMedianTest, RobustToMinorityPoison) {
+  CoordinateMedian median;
+  std::vector<fl::ModelUpdate> updates;
+  for (int i = 0; i < 7; ++i) {
+    updates.push_back(Update(i, {1.0f}));
+  }
+  for (int i = 0; i < 3; ++i) {
+    updates.push_back(Update(7 + i, {-100.0f}));
+  }
+  FilterContext ctx;
+  auto result = median.Process(ctx, updates);
+  EXPECT_FLOAT_EQ(result.aggregated_delta[0], 1.0f);
+}
+
+}  // namespace
+}  // namespace defense

@@ -1,0 +1,76 @@
+#include "defense/zeno.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/vec_ops.h"
+#include "util/check.h"
+
+namespace defense {
+namespace {
+
+fl::ModelUpdate Update(int client, std::vector<float> delta) {
+  fl::ModelUpdate u;
+  u.client_id = client;
+  u.delta = std::move(delta);
+  u.num_samples = 10;
+  return u;
+}
+
+TEST(ZenoTest, RequiresServerReference) {
+  ZenoPlusPlus zeno;
+  EXPECT_TRUE(zeno.RequiresServerReference());
+  std::vector<fl::ModelUpdate> updates{Update(0, {1.0f})};
+  FilterContext ctx;  // no reference set
+  EXPECT_THROW(zeno.Process(ctx, updates), util::CheckError);
+}
+
+TEST(ZenoTest, AcceptsAlignedRejectsOpposed) {
+  ZenoPlusPlus zeno;
+  std::vector<float> reference{1.0f, 1.0f};
+  std::vector<fl::ModelUpdate> updates;
+  updates.push_back(Update(0, {0.9f, 1.1f}));    // aligned
+  updates.push_back(Update(1, {-1.0f, -1.0f})); // reversed (GD-style)
+  FilterContext ctx;
+  ctx.server_reference = reference;
+  auto result = zeno.Process(ctx, updates);
+  EXPECT_EQ(result.verdicts[0], Verdict::kAccepted);
+  EXPECT_EQ(result.verdicts[1], Verdict::kRejected);
+}
+
+TEST(ZenoTest, AcceptedUpdatesAreRescaledToServerNorm) {
+  ZenoPlusPlus zeno;
+  std::vector<float> reference{3.0f, 4.0f};  // norm 5
+  std::vector<fl::ModelUpdate> updates;
+  updates.push_back(Update(0, {30.0f, 40.0f}));  // same direction, norm 50
+  FilterContext ctx;
+  ctx.server_reference = reference;
+  auto result = zeno.Process(ctx, updates);
+  ASSERT_FALSE(result.aggregated_delta.empty());
+  EXPECT_NEAR(stats::L2Norm(result.aggregated_delta), 5.0, 1e-4);
+}
+
+TEST(ZenoTest, OrthogonalUpdateRejected) {
+  ZenoPlusPlus zeno;
+  std::vector<float> reference{1.0f, 0.0f};
+  std::vector<fl::ModelUpdate> updates{Update(0, {0.0f, 1.0f})};
+  FilterContext ctx;
+  ctx.server_reference = reference;
+  auto result = zeno.Process(ctx, updates);
+  EXPECT_EQ(result.verdicts[0], Verdict::kRejected);
+  EXPECT_TRUE(result.aggregated_delta.empty());
+}
+
+TEST(ZenoTest, RhoPenalisesHugeUpdates) {
+  ZenoPlusPlus zeno(0.5);
+  std::vector<float> reference{1.0f, 0.0f};
+  std::vector<fl::ModelUpdate> updates;
+  updates.push_back(Update(0, {100.0f, 0.0f}));  // aligned but enormous
+  FilterContext ctx;
+  ctx.server_reference = reference;
+  auto result = zeno.Process(ctx, updates);
+  // score = cos·‖g_s‖ − ρ·‖g_c‖ = 1·1 − 0.5·100 < 0 → rejected.
+  EXPECT_EQ(result.verdicts[0], Verdict::kRejected);
+}
+
+}  // namespace
+}  // namespace defense

@@ -1,0 +1,116 @@
+#include "fl/client.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "data/synthetic.h"
+#include "stats/vec_ops.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace fl {
+namespace {
+
+class ClientTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data::SyntheticGenerator gen(
+        data::MakeProfileSpec(data::Profile::kMnist, 8), 3);
+    train_ = gen.Generate(400, "train");
+    test_ = gen.Generate(200, "test");
+    spec_ = nn::MakeMlp(train_.sample_dim(), {16});
+    // MLP expects flat samples.
+    train_.sample_shape = {train_.sample_dim()};
+    test_.sample_shape = {test_.sample_dim()};
+  }
+
+  LocalTrainConfig Config() {
+    LocalTrainConfig config;
+    config.epochs = 2;
+    config.batch_size = 32;
+    config.optimizer = {nn::OptimizerKind::kSgd, 0.05, 0.9, 0.0};
+    return config;
+  }
+
+  std::vector<std::size_t> Partition(std::size_t n) {
+    std::vector<std::size_t> p(n);
+    std::iota(p.begin(), p.end(), 0u);
+    return p;
+  }
+
+  data::Dataset train_;
+  data::Dataset test_;
+  nn::ModelSpec spec_;
+};
+
+TEST_F(ClientTest, DeltaHasModelDimension) {
+  Client client(0, &train_, Partition(100), spec_, 1);
+  auto model = spec_.factory(1);
+  auto base = model->GetFlatParams();
+  auto rng = util::RngFactory(2).Stream("train");
+  auto delta = client.TrainOnce(base, Config(), rng);
+  EXPECT_EQ(delta.size(), base.size());
+  EXPECT_GT(stats::L2Norm(delta), 0.0);
+}
+
+TEST_F(ClientTest, TrainingIsRngDeterministic) {
+  Client a(0, &train_, Partition(100), spec_, 1);
+  Client b(0, &train_, Partition(100), spec_, 1);
+  auto base = spec_.factory(1)->GetFlatParams();
+  auto r1 = util::RngFactory(9).Stream("train");
+  auto r2 = util::RngFactory(9).Stream("train");
+  EXPECT_EQ(a.TrainOnce(base, Config(), r1), b.TrainOnce(base, Config(), r2));
+}
+
+TEST_F(ClientTest, RepeatedJobsFromSameBaseAreIndependent) {
+  // The optimizer is rebuilt per job: training twice from the same base with
+  // the same rng stream yields the same delta (no state leakage).
+  Client client(0, &train_, Partition(100), spec_, 1);
+  auto base = spec_.factory(1)->GetFlatParams();
+  auto r1 = util::RngFactory(10).Stream("t");
+  auto delta1 = client.TrainOnce(base, Config(), r1);
+  auto r2 = util::RngFactory(10).Stream("t");
+  auto delta2 = client.TrainOnce(base, Config(), r2);
+  EXPECT_EQ(delta1, delta2);
+}
+
+TEST_F(ClientTest, TrainingReducesLocalLoss) {
+  Client client(0, &train_, Partition(200), spec_, 1);
+  auto model = spec_.factory(1);
+  auto base = model->GetFlatParams();
+  auto rng = util::RngFactory(3).Stream("train");
+  auto delta = client.TrainOnce(base, Config(), rng);
+
+  // Accuracy on the client's own data should improve after applying delta.
+  auto trained = base;
+  for (std::size_t i = 0; i < trained.size(); ++i) {
+    trained[i] += delta[i];
+  }
+  double before = EvaluateAccuracy(spec_, *model, base, train_);
+  double after = EvaluateAccuracy(spec_, *model, trained, train_);
+  EXPECT_GT(after, before + 0.1);
+}
+
+TEST_F(ClientTest, EmptyPartitionThrows) {
+  EXPECT_THROW(Client(0, &train_, {}, spec_, 1), util::CheckError);
+}
+
+TEST_F(ClientTest, NumSamplesReflectsPartition) {
+  Client client(4, &train_, Partition(37), spec_, 1);
+  EXPECT_EQ(client.num_samples(), 37u);
+  EXPECT_EQ(client.id(), 4);
+}
+
+TEST_F(ClientTest, EvaluateAccuracyBoundsAndDeterminism) {
+  auto model = spec_.factory(1);
+  auto params = model->GetFlatParams();
+  double acc1 = EvaluateAccuracy(spec_, *model, params, test_);
+  double acc2 = EvaluateAccuracy(spec_, *model, params, test_);
+  EXPECT_GE(acc1, 0.0);
+  EXPECT_LE(acc1, 1.0);
+  EXPECT_DOUBLE_EQ(acc1, acc2);
+}
+
+}  // namespace
+}  // namespace fl

@@ -1,0 +1,88 @@
+// System-level integration tests: the paper's headline claims at miniature
+// scale. These are the slowest tests in the suite (a few seconds each).
+#include <gtest/gtest.h>
+
+#include "fl/experiment.h"
+
+namespace fl {
+namespace {
+
+ExperimentConfig BaseConfig(std::uint64_t seed) {
+  ExperimentConfig config =
+      MakeDefaultConfig(data::Profile::kFashionMnist, seed);
+  config.num_clients = 30;
+  config.num_malicious = 6;
+  config.train_pool = 2000;
+  config.test_samples = 400;
+  config.partition_size = 60;
+  config.sim.buffer_goal = 12;
+  config.sim.rounds = 14;
+  config.sim.local.epochs = 3;
+  config.threads = 2;
+  return config;
+}
+
+TEST(IntegrationTest, AsyncFilterBeatsFedBuffUnderGdAttack) {
+  ExperimentConfig config = BaseConfig(41);
+  config.attack = attacks::AttackKind::kGd;
+  config.gd_scale = 3.0;
+  config.num_malicious = 9;
+
+  config.defense = DefenseKind::kFedBuff;
+  double undefended = RunExperiment(config).final_accuracy;
+  config.defense = DefenseKind::kAsyncFilter;
+  double defended = RunExperiment(config).final_accuracy;
+  EXPECT_GT(defended, undefended - 0.02)
+      << "AsyncFilter must not lose to no-defense under GD";
+}
+
+TEST(IntegrationTest, AsyncFilterPreservesCleanAccuracy) {
+  // Defense goal 1 (paper §3.2): with all-benign clients AsyncFilter must
+  // match FedBuff's accuracy.
+  ExperimentConfig config = BaseConfig(42);
+  config.sim.rounds = 18;  // past the steep part of the curve, less variance
+  config.attack = attacks::AttackKind::kNone;
+  config.defense = DefenseKind::kFedBuff;
+  double fedbuff = RunExperiment(config).final_accuracy;
+  config.defense = DefenseKind::kAsyncFilter;
+  double asyncfilter = RunExperiment(config).final_accuracy;
+  EXPECT_GT(asyncfilter, fedbuff - 0.1);
+}
+
+TEST(IntegrationTest, AsyncFilterDetectsGdAttackersWithSignal) {
+  ExperimentConfig config = BaseConfig(43);
+  config.attack = attacks::AttackKind::kGd;
+  config.gd_scale = 2.0;
+  config.defense = DefenseKind::kAsyncFilter;
+  SimulationResult result = RunExperiment(config);
+  // Detection must be materially better than random rejection: the malicious
+  // share of the population is 20%, so precision must beat that baseline.
+  EXPECT_GT(result.total_confusion.Precision(), 0.25);
+  EXPECT_GT(result.total_confusion.Recall(), 0.2);
+}
+
+TEST(IntegrationTest, GdAttackActuallyHurtsUndefendedTraining) {
+  // The threat model is only meaningful if the attack works.
+  ExperimentConfig config = BaseConfig(44);
+  config.defense = DefenseKind::kFedBuff;
+  config.attack = attacks::AttackKind::kNone;
+  double clean = RunExperiment(config).final_accuracy;
+  config.attack = attacks::AttackKind::kGd;
+  config.gd_scale = 3.0;
+  config.num_malicious = 9;  // 30%
+  double attacked = RunExperiment(config).final_accuracy;
+  EXPECT_LT(attacked, clean - 0.05);
+}
+
+TEST(IntegrationTest, StalenessLimitControlsDrops) {
+  ExperimentConfig config = BaseConfig(45);
+  config.sim.rounds = 8;
+  config.sim.staleness_limit = 0;  // only fresh updates allowed
+  SimulationResult strict = RunExperiment(config);
+  config.sim.staleness_limit = 20;
+  SimulationResult loose = RunExperiment(config);
+  EXPECT_GT(strict.total_dropped_stale, loose.total_dropped_stale);
+}
+
+}  // namespace
+}  // namespace fl

@@ -1,0 +1,80 @@
+#include "fl/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace fl {
+namespace {
+
+TEST(ConfusionCountsTest, PrecisionRecall) {
+  ConfusionCounts c;
+  c.true_positive = 8;
+  c.false_positive = 2;
+  c.false_negative = 8;
+  c.true_negative = 80;
+  EXPECT_DOUBLE_EQ(c.Precision(), 0.8);
+  EXPECT_DOUBLE_EQ(c.Recall(), 0.5);
+}
+
+TEST(ConfusionCountsTest, EmptyDenominatorsGiveZero) {
+  ConfusionCounts c;
+  EXPECT_DOUBLE_EQ(c.Precision(), 0.0);
+  EXPECT_DOUBLE_EQ(c.Recall(), 0.0);
+}
+
+TEST(ConfusionCountsTest, AddAccumulates) {
+  ConfusionCounts a, b;
+  a.true_positive = 1;
+  b.true_positive = 2;
+  b.false_negative = 3;
+  a.Add(b);
+  EXPECT_EQ(a.true_positive, 3u);
+  EXPECT_EQ(a.false_negative, 3u);
+}
+
+TEST(FinalizeResultTest, FinalAccuracyIsMeanOfLastThreeEvals) {
+  SimulationResult result;
+  for (double acc : {0.1, 0.2, -1.0, 0.4, 0.6, 0.8}) {  // -1 = not evaluated
+    RoundRecord r;
+    r.test_accuracy = acc;
+    result.rounds.push_back(r);
+  }
+  FinalizeResult(result);
+  EXPECT_NEAR(result.final_accuracy, (0.4 + 0.6 + 0.8) / 3.0, 1e-12);
+}
+
+TEST(FinalizeResultTest, FewerThanThreeEvalsAveragesWhatExists) {
+  SimulationResult result;
+  RoundRecord r;
+  r.test_accuracy = 0.5;
+  result.rounds.push_back(r);
+  FinalizeResult(result);
+  EXPECT_DOUBLE_EQ(result.final_accuracy, 0.5);
+}
+
+TEST(FinalizeResultTest, NoEvalsGivesZero) {
+  SimulationResult result;
+  RoundRecord r;
+  r.test_accuracy = -1.0;
+  result.rounds.push_back(r);
+  FinalizeResult(result);
+  EXPECT_DOUBLE_EQ(result.final_accuracy, 0.0);
+}
+
+TEST(FinalizeResultTest, AggregatesConfusionAndDrops) {
+  SimulationResult result;
+  for (int i = 0; i < 3; ++i) {
+    RoundRecord r;
+    r.confusion.true_positive = 2;
+    r.confusion.false_positive = 1;
+    r.dropped_stale = 4;
+    r.test_accuracy = 0.5;
+    result.rounds.push_back(r);
+  }
+  FinalizeResult(result);
+  EXPECT_EQ(result.total_confusion.true_positive, 6u);
+  EXPECT_EQ(result.total_confusion.false_positive, 3u);
+  EXPECT_EQ(result.total_dropped_stale, 12u);
+}
+
+}  // namespace
+}  // namespace fl

@@ -1,0 +1,79 @@
+#include "fl/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace fl {
+namespace {
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+SimulationResult FakeResult() {
+  SimulationResult result;
+  for (std::size_t r = 0; r < 3; ++r) {
+    RoundRecord record;
+    record.round = r;
+    record.sim_time = static_cast<double>(r) * 1.5;
+    record.test_accuracy = r == 1 ? -1.0 : 0.5 + 0.1 * static_cast<double>(r);
+    record.buffered = 20;
+    record.accepted = 15;
+    record.rejected = 3;
+    record.deferred = 2;
+    record.dropped_stale = r;
+    record.mean_staleness = 1.25;
+    record.defense_micros = 7;
+    record.confusion.true_positive = 2;
+    record.confusion.false_positive = 1;
+    record.confusion.true_negative = 14;
+    record.confusion.false_negative = 3;
+    result.rounds.push_back(record);
+  }
+  FinalizeResult(result);
+  return result;
+}
+
+class TraceTest : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "trace_test.csv";
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(TraceTest, RoundTraceHasHeaderAndOneRowPerRound) {
+  WriteRoundTraceCsv(FakeResult(), path_);
+  std::string contents = ReadAll(path_);
+  std::size_t lines = static_cast<std::size_t>(
+      std::count(contents.begin(), contents.end(), '\n'));
+  EXPECT_EQ(lines, 4u);  // header + 3 rounds
+  EXPECT_NE(contents.find("round,sim_time,test_accuracy"), std::string::npos);
+  EXPECT_NE(contents.find("0,0.0000,0.5000,20,15,3,2,0,1.250,7,2,1,14,3"),
+            std::string::npos);
+}
+
+TEST_F(TraceTest, UnevaluatedRoundsHaveEmptyAccuracyCell) {
+  WriteRoundTraceCsv(FakeResult(), path_);
+  std::string contents = ReadAll(path_);
+  EXPECT_NE(contents.find("1,1.5000,,20,15,3,2,1,1.250,7"), std::string::npos);
+}
+
+TEST_F(TraceTest, SummaryHoldsFinalAccuracyAndDetection) {
+  SimulationResult result = FakeResult();
+  WriteSummaryCsv(result, path_);
+  std::string contents = ReadAll(path_);
+  EXPECT_NE(contents.find("final_accuracy,rounds,total_dropped_stale"),
+            std::string::npos);
+  // Precision = 2·2 / (2·2 + 1·2)... per-round counts are aggregated: TP=6,
+  // FP=3 → precision 0.6667.
+  EXPECT_NE(contents.find("0.6667"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fl

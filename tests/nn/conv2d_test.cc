@@ -1,0 +1,142 @@
+#include "nn/conv2d.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace nn {
+namespace {
+
+std::mt19937_64 Rng(std::uint64_t seed = 1) {
+  return util::RngFactory(seed).Stream("test");
+}
+
+TEST(Conv2dTest, OutputShapeWithPadding) {
+  auto rng = Rng();
+  Conv2d conv(1, 4, 3, 1, rng);
+  tensor::Tensor in({2, 1, 8, 8});
+  tensor::Tensor out = conv.Forward(in);
+  EXPECT_EQ(out.dim(0), 2u);
+  EXPECT_EQ(out.dim(1), 4u);
+  EXPECT_EQ(out.dim(2), 8u);  // same padding
+  EXPECT_EQ(out.dim(3), 8u);
+}
+
+TEST(Conv2dTest, OutputShapeWithoutPadding) {
+  auto rng = Rng();
+  Conv2d conv(1, 2, 3, 0, rng);
+  tensor::Tensor in({1, 1, 5, 5});
+  tensor::Tensor out = conv.Forward(in);
+  EXPECT_EQ(out.dim(2), 3u);
+  EXPECT_EQ(out.dim(3), 3u);
+}
+
+TEST(Conv2dTest, IdentityKernelReproducesInput) {
+  auto rng = Rng();
+  Conv2d conv(1, 1, 3, 1, rng);
+  // Kernel = delta at centre, bias = 0.
+  conv.Params()[0]->Fill(0.0f);
+  (*conv.Params()[0])[4] = 1.0f;  // centre of 3×3
+  conv.Params()[1]->Fill(0.0f);
+  tensor::Tensor in({1, 1, 4, 4});
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    in[i] = static_cast<float>(i);
+  }
+  tensor::Tensor out = conv.Forward(in);
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    EXPECT_FLOAT_EQ(out[i], in[i]);
+  }
+}
+
+TEST(Conv2dTest, AveragingKernelComputesLocalMean) {
+  auto rng = Rng();
+  Conv2d conv(1, 1, 3, 0, rng);
+  conv.Params()[0]->Fill(1.0f / 9.0f);
+  conv.Params()[1]->Fill(0.0f);
+  tensor::Tensor in({1, 1, 3, 3});
+  in.Fill(2.0f);
+  tensor::Tensor out = conv.Forward(in);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_NEAR(out[0], 2.0f, 1e-6);
+}
+
+TEST(Conv2dTest, BiasIsAddedPerChannel) {
+  auto rng = Rng();
+  Conv2d conv(1, 2, 1, 0, rng);
+  conv.Params()[0]->Fill(0.0f);
+  (*conv.Params()[1])[0] = 1.5f;
+  (*conv.Params()[1])[1] = -2.5f;
+  tensor::Tensor in({1, 1, 2, 2});
+  tensor::Tensor out = conv.Forward(in);
+  EXPECT_FLOAT_EQ(out.At(0, 0, 0, 0), 1.5f);
+  EXPECT_FLOAT_EQ(out.At(0, 1, 1, 1), -2.5f);
+}
+
+TEST(Conv2dTest, BackwardReturnsInputShapedGradient) {
+  auto rng = Rng();
+  Conv2d conv(2, 3, 3, 1, rng);
+  tensor::Tensor in({2, 2, 4, 4});
+  in.FillNormal(0.0f, 1.0f, rng);
+  tensor::Tensor out = conv.Forward(in);
+  tensor::Tensor grad_out(out.shape());
+  grad_out.Fill(1.0f);
+  tensor::Tensor grad_in = conv.Backward(grad_out);
+  EXPECT_EQ(grad_in.shape(), in.shape());
+}
+
+TEST(Conv2dTest, BiasGradientIsSumOfOutputGradients) {
+  auto rng = Rng();
+  Conv2d conv(1, 1, 3, 1, rng);
+  tensor::Tensor in({1, 1, 4, 4});
+  conv.Forward(in);
+  tensor::Tensor grad_out({1, 1, 4, 4});
+  grad_out.Fill(0.5f);
+  conv.Backward(grad_out);
+  EXPECT_NEAR((*conv.Grads()[1])[0], 8.0f, 1e-5);  // 16 cells × 0.5
+}
+
+TEST(Conv2dTest, OneByOneConvEqualsPerPixelDense) {
+  // A 1×1 convolution is a Dense layer applied at every pixel; verify the
+  // two implementations agree on shared weights.
+  auto rng = Rng(5);
+  Conv2d conv(3, 2, 1, 0, rng);
+  tensor::Tensor in({1, 3, 2, 2});
+  in.FillNormal(0.0f, 1.0f, rng);
+  tensor::Tensor out = conv.Forward(in);
+  const auto& w = conv.Params()[0]->vec();   // (2, 3, 1, 1)
+  const auto& b = conv.Params()[1]->vec();   // (2)
+  for (std::size_t oc = 0; oc < 2; ++oc) {
+    for (std::size_t px = 0; px < 4; ++px) {
+      float expected = b[oc];
+      for (std::size_t ic = 0; ic < 3; ++ic) {
+        expected += w[oc * 3 + ic] * in[ic * 4 + px];
+      }
+      EXPECT_NEAR(out[oc * 4 + px], expected, 1e-5);
+    }
+  }
+}
+
+TEST(Conv2dTest, TranslationEquivariance) {
+  // Shifting the input by one pixel shifts the (interior of the) output by
+  // the same amount — the defining property of a convolution.
+  auto rng = Rng(6);
+  Conv2d conv(1, 1, 3, 1, rng);
+  tensor::Tensor a({1, 1, 6, 6});
+  a.FillNormal(0.0f, 1.0f, rng);
+  tensor::Tensor b({1, 1, 6, 6});
+  for (std::size_t i = 0; i < 6; ++i) {
+    for (std::size_t j = 0; j + 1 < 6; ++j) {
+      b.At(0, 0, i, j + 1) = a.At(0, 0, i, j);
+    }
+  }
+  tensor::Tensor oa = conv.Forward(a);
+  tensor::Tensor ob = conv.Forward(b);
+  for (std::size_t i = 1; i + 1 < 6; ++i) {
+    for (std::size_t j = 1; j + 2 < 6; ++j) {
+      EXPECT_NEAR(ob.At(0, 0, i, j + 1), oa.At(0, 0, i, j), 1e-5);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nn

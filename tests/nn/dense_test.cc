@@ -1,0 +1,104 @@
+#include "nn/dense.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace nn {
+namespace {
+
+std::mt19937_64 Rng(std::uint64_t seed = 1) {
+  return util::RngFactory(seed).Stream("test");
+}
+
+TEST(DenseTest, OutputShape) {
+  auto rng = Rng();
+  Dense layer(4, 3, rng);
+  tensor::Tensor in({2, 4});
+  tensor::Tensor out = layer.Forward(in);
+  EXPECT_EQ(out.dim(0), 2u);
+  EXPECT_EQ(out.dim(1), 3u);
+}
+
+TEST(DenseTest, ZeroWeightsGiveBiasOutput) {
+  auto rng = Rng();
+  Dense layer(2, 2, rng);
+  // Overwrite params: W = 0, b = {1, 2}.
+  layer.Params()[0]->Fill(0.0f);
+  (*layer.Params()[1])[0] = 1.0f;
+  (*layer.Params()[1])[1] = 2.0f;
+  tensor::Tensor in({1, 2}, {5.0f, 7.0f});
+  tensor::Tensor out = layer.Forward(in);
+  EXPECT_FLOAT_EQ(out[0], 1.0f);
+  EXPECT_FLOAT_EQ(out[1], 2.0f);
+}
+
+TEST(DenseTest, KnownLinearMap) {
+  auto rng = Rng();
+  Dense layer(2, 1, rng);
+  // W = [[2, 3]] (out×in), b = [1]: y = 2x0 + 3x1 + 1.
+  (*layer.Params()[0])[0] = 2.0f;
+  (*layer.Params()[0])[1] = 3.0f;
+  (*layer.Params()[1])[0] = 1.0f;
+  tensor::Tensor in({1, 2}, {10.0f, 100.0f});
+  EXPECT_FLOAT_EQ(layer.Forward(in)[0], 321.0f);
+}
+
+TEST(DenseTest, BackwardShapesAndInputGradient) {
+  auto rng = Rng();
+  Dense layer(2, 2, rng);
+  (*layer.Params()[0]) = tensor::Tensor({2, 2}, {1.0f, 2.0f, 3.0f, 4.0f});
+  layer.Params()[1]->Fill(0.0f);
+  tensor::Tensor in({1, 2}, {1.0f, 1.0f});
+  layer.Forward(in);
+  tensor::Tensor grad_out({1, 2}, {1.0f, 0.0f});
+  tensor::Tensor grad_in = layer.Backward(grad_out);
+  // dX = grad_out * W → row 0 of W.
+  EXPECT_FLOAT_EQ(grad_in[0], 1.0f);
+  EXPECT_FLOAT_EQ(grad_in[1], 2.0f);
+}
+
+TEST(DenseTest, GradientsAccumulateAcrossBackwardCalls) {
+  auto rng = Rng();
+  Dense layer(2, 1, rng);
+  tensor::Tensor in({1, 2}, {1.0f, 2.0f});
+  tensor::Tensor grad_out({1, 1}, {1.0f});
+  layer.Forward(in);
+  layer.Backward(grad_out);
+  layer.Forward(in);
+  layer.Backward(grad_out);
+  // dW = in accumulated twice.
+  EXPECT_FLOAT_EQ((*layer.Grads()[0])[0], 2.0f);
+  EXPECT_FLOAT_EQ((*layer.Grads()[0])[1], 4.0f);
+  EXPECT_FLOAT_EQ((*layer.Grads()[1])[0], 2.0f);
+  layer.ZeroGrads();
+  EXPECT_FLOAT_EQ((*layer.Grads()[0])[0], 0.0f);
+}
+
+TEST(DenseTest, InitializationIsBoundedAndSeedStable) {
+  auto rng1 = Rng(9);
+  auto rng2 = Rng(9);
+  Dense a(16, 8, rng1);
+  Dense b(16, 8, rng2);
+  const auto& wa = a.Params()[0]->vec();
+  const auto& wb = b.Params()[0]->vec();
+  for (std::size_t i = 0; i < wa.size(); ++i) {
+    EXPECT_FLOAT_EQ(wa[i], wb[i]);
+    EXPECT_LE(std::abs(wa[i]), std::sqrt(6.0f / 16.0f) + 1e-6f);
+  }
+  // Bias starts at zero.
+  for (float v : a.Params()[1]->vec()) {
+    EXPECT_FLOAT_EQ(v, 0.0f);
+  }
+}
+
+TEST(DenseTest, WrongInputWidthThrows) {
+  auto rng = Rng();
+  Dense layer(4, 3, rng);
+  tensor::Tensor in({2, 5});
+  EXPECT_THROW(layer.Forward(in), util::CheckError);
+}
+
+}  // namespace
+}  // namespace nn

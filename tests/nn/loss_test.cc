@@ -1,0 +1,86 @@
+#include "nn/loss.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace nn {
+namespace {
+
+TEST(SoftmaxCrossEntropyTest, UniformLogitsGiveLogC) {
+  tensor::Tensor logits({1, 4});
+  std::vector<std::int64_t> labels{2};
+  LossResult r = SoftmaxCrossEntropy(logits, labels);
+  EXPECT_NEAR(r.loss, std::log(4.0), 1e-9);
+}
+
+TEST(SoftmaxCrossEntropyTest, ConfidentCorrectPredictionHasLowLoss) {
+  tensor::Tensor logits({1, 3}, {10.0f, 0.0f, 0.0f});
+  std::vector<std::int64_t> labels{0};
+  LossResult r = SoftmaxCrossEntropy(logits, labels);
+  EXPECT_LT(r.loss, 1e-3);
+  EXPECT_EQ(r.correct, 1u);
+}
+
+TEST(SoftmaxCrossEntropyTest, ConfidentWrongPredictionHasHighLoss) {
+  tensor::Tensor logits({1, 3}, {10.0f, 0.0f, 0.0f});
+  std::vector<std::int64_t> labels{1};
+  LossResult r = SoftmaxCrossEntropy(logits, labels);
+  EXPECT_GT(r.loss, 5.0);
+  EXPECT_EQ(r.correct, 0u);
+}
+
+TEST(SoftmaxCrossEntropyTest, GradientSumsToZeroPerRow) {
+  tensor::Tensor logits({2, 5}, {1, 2, 3, 4, 5, -1, 0, 1, 0, -1});
+  std::vector<std::int64_t> labels{0, 4};
+  LossResult r = SoftmaxCrossEntropy(logits, labels);
+  for (std::size_t row = 0; row < 2; ++row) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < 5; ++c) {
+      sum += r.grad_logits.At(row, c);
+    }
+    EXPECT_NEAR(sum, 0.0, 1e-6);
+  }
+}
+
+TEST(SoftmaxCrossEntropyTest, GradientMatchesSoftmaxMinusOneHot) {
+  tensor::Tensor logits({1, 2}, {0.0f, 0.0f});
+  std::vector<std::int64_t> labels{0};
+  LossResult r = SoftmaxCrossEntropy(logits, labels);
+  EXPECT_NEAR(r.grad_logits[0], -0.5, 1e-6);  // (0.5 - 1) / batch 1
+  EXPECT_NEAR(r.grad_logits[1], 0.5, 1e-6);
+}
+
+TEST(SoftmaxCrossEntropyTest, GradientScaledByBatchSize) {
+  tensor::Tensor logits({2, 2});
+  std::vector<std::int64_t> labels{0, 0};
+  LossResult r = SoftmaxCrossEntropy(logits, labels);
+  EXPECT_NEAR(r.grad_logits[0], -0.25, 1e-6);  // (0.5 - 1) / 2
+}
+
+TEST(SoftmaxCrossEntropyTest, LargeLogitsAreStable) {
+  tensor::Tensor logits({1, 3}, {1000.0f, 999.0f, 0.0f});
+  std::vector<std::int64_t> labels{0};
+  LossResult r = SoftmaxCrossEntropy(logits, labels);
+  EXPECT_TRUE(std::isfinite(r.loss));
+  EXPECT_LT(r.loss, 1.0);
+}
+
+TEST(SoftmaxCrossEntropyTest, InvalidLabelThrows) {
+  tensor::Tensor logits({1, 3});
+  std::vector<std::int64_t> bad{3};
+  EXPECT_THROW(SoftmaxCrossEntropy(logits, bad), util::CheckError);
+  std::vector<std::int64_t> negative{-1};
+  EXPECT_THROW(SoftmaxCrossEntropy(logits, negative), util::CheckError);
+}
+
+TEST(CountCorrectTest, CountsArgmaxMatches) {
+  tensor::Tensor logits({3, 2}, {1.0f, 0.0f, 0.0f, 1.0f, 2.0f, 1.0f});
+  std::vector<std::int64_t> labels{0, 1, 1};
+  EXPECT_EQ(CountCorrect(logits, labels), 2u);
+}
+
+}  // namespace
+}  // namespace nn

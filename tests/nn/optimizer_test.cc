@@ -1,0 +1,105 @@
+#include "nn/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace nn {
+namespace {
+
+// One scalar parameter/gradient pair.
+struct Scalar {
+  tensor::Tensor param{tensor::Shape{1}};
+  tensor::Tensor grad{tensor::Shape{1}};
+  std::vector<tensor::Tensor*> params() { return {&param}; }
+  std::vector<tensor::Tensor*> grads() { return {&grad}; }
+};
+
+TEST(SgdTest, PlainStepMovesAgainstGradient) {
+  Scalar s;
+  s.param[0] = 1.0f;
+  s.grad[0] = 2.0f;
+  SgdOptimizer sgd(0.1, 0.0);
+  sgd.Step(s.params(), s.grads());
+  EXPECT_NEAR(s.param[0], 0.8f, 1e-6);
+}
+
+TEST(SgdTest, MomentumAccumulatesVelocity) {
+  Scalar s;
+  s.grad[0] = 1.0f;
+  SgdOptimizer sgd(0.1, 0.9);
+  sgd.Step(s.params(), s.grads());  // v=1, p=-0.1
+  EXPECT_NEAR(s.param[0], -0.1f, 1e-6);
+  sgd.Step(s.params(), s.grads());  // v=1.9, p=-0.29
+  EXPECT_NEAR(s.param[0], -0.29f, 1e-6);
+}
+
+TEST(SgdTest, WeightDecayShrinksParameter) {
+  Scalar s;
+  s.param[0] = 1.0f;
+  s.grad[0] = 0.0f;
+  SgdOptimizer sgd(0.1, 0.0, 0.5);
+  sgd.Step(s.params(), s.grads());
+  EXPECT_NEAR(s.param[0], 0.95f, 1e-6);  // grad_eff = 0.5
+}
+
+TEST(SgdTest, ConvergesOnQuadratic) {
+  // Minimise f(x) = (x-3)²; grad = 2(x-3).
+  Scalar s;
+  s.param[0] = 0.0f;
+  SgdOptimizer sgd(0.1, 0.9);
+  for (int i = 0; i < 200; ++i) {
+    s.grad[0] = 2.0f * (s.param[0] - 3.0f);
+    sgd.Step(s.params(), s.grads());
+  }
+  EXPECT_NEAR(s.param[0], 3.0f, 1e-3);
+}
+
+TEST(AdamTest, FirstStepIsScaledLearningRate) {
+  Scalar s;
+  s.grad[0] = 123.0f;  // Adam's bias-corrected first step ≈ lr, sign(grad)
+  AdamOptimizer adam(0.01);
+  adam.Step(s.params(), s.grads());
+  EXPECT_NEAR(s.param[0], -0.01f, 1e-4);
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  Scalar s;
+  s.param[0] = -5.0f;
+  AdamOptimizer adam(0.1);
+  for (int i = 0; i < 500; ++i) {
+    s.grad[0] = 2.0f * (s.param[0] - 1.0f);
+    adam.Step(s.params(), s.grads());
+  }
+  EXPECT_NEAR(s.param[0], 1.0f, 1e-2);
+}
+
+TEST(AdamTest, HandlesZeroGradient) {
+  Scalar s;
+  s.param[0] = 2.0f;
+  AdamOptimizer adam(0.1);
+  adam.Step(s.params(), s.grads());
+  EXPECT_NEAR(s.param[0], 2.0f, 1e-6);
+}
+
+TEST(MakeOptimizerTest, BuildsConfiguredKind) {
+  OptimizerConfig sgd_config{OptimizerKind::kSgd, 0.01, 0.9, 0.0};
+  OptimizerConfig adam_config{OptimizerKind::kAdam, 0.001, 0.0, 0.0};
+  EXPECT_EQ(MakeOptimizer(sgd_config)->Name(), "SGD");
+  EXPECT_EQ(MakeOptimizer(adam_config)->Name(), "Adam");
+}
+
+TEST(OptimizerTest, MultipleParamsSteppedIndependently) {
+  Scalar a, b;
+  a.grad[0] = 1.0f;
+  b.grad[0] = -1.0f;
+  SgdOptimizer sgd(0.5, 0.0);
+  std::vector<tensor::Tensor*> params{&a.param, &b.param};
+  std::vector<tensor::Tensor*> grads{&a.grad, &b.grad};
+  sgd.Step(params, grads);
+  EXPECT_NEAR(a.param[0], -0.5f, 1e-6);
+  EXPECT_NEAR(b.param[0], 0.5f, 1e-6);
+}
+
+}  // namespace
+}  // namespace nn

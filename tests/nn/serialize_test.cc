@@ -1,0 +1,66 @@
+#include "nn/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "nn/models.h"
+#include "util/check.h"
+
+namespace nn {
+namespace {
+
+class SerializeTest : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "params_test.afpm";
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(SerializeTest, RoundTripsExactly) {
+  std::vector<float> params{1.5f, -2.25f, 0.0f, 3.14159f};
+  SaveFlatParams(path_, params);
+  EXPECT_EQ(LoadFlatParams(path_), params);
+}
+
+TEST_F(SerializeTest, EmptyVectorRoundTrips) {
+  SaveFlatParams(path_, {});
+  EXPECT_TRUE(LoadFlatParams(path_).empty());
+}
+
+TEST_F(SerializeTest, RealModelRoundTrips) {
+  auto model = MakeLeNet5Surrogate(8).factory(3);
+  std::vector<float> params = model->GetFlatParams();
+  SaveFlatParams(path_, params);
+  std::vector<float> loaded = LoadFlatParams(path_);
+  ASSERT_EQ(loaded.size(), params.size());
+  model->SetFlatParams(loaded);  // must be accepted verbatim
+  EXPECT_EQ(model->GetFlatParams(), params);
+}
+
+TEST_F(SerializeTest, MissingFileThrows) {
+  EXPECT_THROW(LoadFlatParams("/nonexistent/params.afpm"), util::CheckError);
+}
+
+TEST_F(SerializeTest, BadMagicThrows) {
+  std::ofstream out(path_, std::ios::binary);
+  out << "NOTMAGIC-and-some-garbage";
+  out.close();
+  EXPECT_THROW(LoadFlatParams(path_), util::CheckError);
+}
+
+TEST_F(SerializeTest, TruncatedPayloadThrows) {
+  SaveFlatParams(path_, std::vector<float>(100, 1.0f));
+  // Chop the file mid-payload.
+  std::ifstream in(path_, std::ios::binary);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+  out.write(contents.data(), static_cast<std::streamsize>(contents.size() / 2));
+  out.close();
+  EXPECT_THROW(LoadFlatParams(path_), util::CheckError);
+}
+
+}  // namespace
+}  // namespace nn

@@ -1,0 +1,87 @@
+#include "stats/dirichlet.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace stats {
+namespace {
+
+TEST(DirichletTest, SamplesLieOnSimplex) {
+  util::RngFactory rngs(1);
+  auto rng = rngs.Stream("dir");
+  for (int i = 0; i < 50; ++i) {
+    auto sample = SampleSymmetricDirichlet(10, 0.5, rng);
+    double total = 0.0;
+    for (double x : sample) {
+      EXPECT_GE(x, 0.0);
+      total += x;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(DirichletTest, AsymmetricAlphasShiftMass) {
+  util::RngFactory rngs(2);
+  auto rng = rngs.Stream("dir");
+  std::vector<double> alphas{10.0, 0.1, 0.1};
+  double first_mass = 0.0;
+  const int n = 300;
+  for (int i = 0; i < n; ++i) {
+    first_mass += SampleDirichlet(alphas, rng)[0];
+  }
+  EXPECT_GT(first_mass / n, 0.8);  // E[x_0] = 10/10.2 ≈ 0.98
+}
+
+TEST(DirichletTest, NonPositiveAlphaThrows) {
+  util::RngFactory rngs(3);
+  auto rng = rngs.Stream("dir");
+  EXPECT_THROW(SampleDirichlet({1.0, 0.0}, rng), util::CheckError);
+  EXPECT_THROW(SampleDirichlet({}, rng), util::CheckError);
+}
+
+class DirichletConcentrationTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(DirichletConcentrationTest, SmallAlphaConcentratesOnFewLabels) {
+  // The paper's non-IID knob: with α ≤ 0.1 each client's mass collapses onto
+  // a handful of labels. Measure the mean max-coordinate.
+  const double alpha = GetParam();
+  util::RngFactory rngs(4);
+  auto rng = rngs.Stream("dir");
+  double mean_max = 0.0;
+  const int n = 200;
+  for (int i = 0; i < n; ++i) {
+    auto s = SampleSymmetricDirichlet(10, alpha, rng);
+    mean_max += *std::max_element(s.begin(), s.end());
+  }
+  mean_max /= n;
+  if (alpha <= 0.1) {
+    EXPECT_GT(mean_max, 0.6);
+  } else {
+    EXPECT_LT(mean_max, 0.5);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, DirichletConcentrationTest,
+                         ::testing::Values(0.01, 0.05, 0.1, 1.0, 10.0));
+
+TEST(DirichletTest, TinyAlphaDegeneratesToOneHot) {
+  // Gamma draws can all underflow at extreme concentrations; the sampler
+  // must still return a valid simplex point.
+  util::RngFactory rngs(5);
+  auto rng = rngs.Stream("dir");
+  for (int i = 0; i < 20; ++i) {
+    auto s = SampleSymmetricDirichlet(10, 1e-8, rng);
+    double total = 0.0;
+    for (double x : s) {
+      total += x;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace stats

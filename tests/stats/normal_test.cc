@@ -1,0 +1,49 @@
+#include "stats/normal.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace stats {
+namespace {
+
+TEST(NormalCdfTest, KnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.0), 0.8413447460685429, 1e-9);
+  EXPECT_NEAR(NormalCdf(-1.96), 0.024997895148220435, 1e-9);
+}
+
+TEST(NormalQuantileTest, KnownValues) {
+  EXPECT_NEAR(NormalQuantile(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(NormalQuantile(0.975), 1.959963984540054, 1e-6);
+  EXPECT_NEAR(NormalQuantile(0.84134474606), 1.0, 1e-6);
+}
+
+TEST(NormalQuantileTest, TailsAreAccurate) {
+  EXPECT_NEAR(NormalQuantile(1e-6), -4.753424308822899, 1e-5);
+  EXPECT_NEAR(NormalQuantile(1.0 - 1e-6), 4.753424308822899, 1e-5);
+}
+
+TEST(NormalQuantileTest, InverseOfCdf) {
+  for (double x : {-2.5, -1.0, -0.3, 0.0, 0.7, 1.8, 3.0}) {
+    EXPECT_NEAR(NormalQuantile(NormalCdf(x)), x, 1e-7);
+  }
+}
+
+TEST(NormalQuantileTest, OutOfDomainThrows) {
+  EXPECT_THROW(NormalQuantile(0.0), util::CheckError);
+  EXPECT_THROW(NormalQuantile(1.0), util::CheckError);
+  EXPECT_THROW(NormalQuantile(-0.5), util::CheckError);
+}
+
+TEST(NormalQuantileTest, Monotonic) {
+  double prev = NormalQuantile(0.01);
+  for (double p = 0.02; p < 1.0; p += 0.01) {
+    double q = NormalQuantile(p);
+    EXPECT_GT(q, prev);
+    prev = q;
+  }
+}
+
+}  // namespace
+}  // namespace stats

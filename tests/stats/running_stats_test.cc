@@ -1,0 +1,92 @@
+#include "stats/running_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace stats {
+namespace {
+
+TEST(RunningStatsTest, MeanAndVarianceMatchBatch) {
+  RunningStats rs;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    rs.Add(x);
+  }
+  EXPECT_EQ(rs.count(), 8u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  EXPECT_NEAR(rs.variance(), 4.0, 1e-12);  // classic population-variance set
+  EXPECT_NEAR(rs.stddev(), 2.0, 1e-12);
+}
+
+TEST(RunningStatsTest, SingleSampleHasZeroVariance) {
+  RunningStats rs;
+  rs.Add(3.0);
+  EXPECT_DOUBLE_EQ(rs.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, EmptyStatsAreZero) {
+  RunningStats rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+}
+
+TEST(VectorMovingAverageTest, FirstObservationIsTheMean) {
+  VectorMovingAverage ma;
+  std::vector<float> v{1.0f, 2.0f};
+  ma.Add(v);
+  EXPECT_EQ(ma.count(), 1u);
+  EXPECT_FLOAT_EQ(ma.mean()[0], 1.0f);
+  EXPECT_FLOAT_EQ(ma.mean()[1], 2.0f);
+}
+
+TEST(VectorMovingAverageTest, ImplementsPaperEquationFive) {
+  // MA ← t/(t+1)·MA + 1/(t+1)·ω is exactly a running arithmetic mean.
+  VectorMovingAverage ma;
+  std::vector<float> a{0.0f};
+  std::vector<float> b{3.0f};
+  std::vector<float> c{6.0f};
+  ma.Add(a);
+  ma.Add(b);
+  EXPECT_FLOAT_EQ(ma.mean()[0], 1.5f);
+  ma.Add(c);
+  EXPECT_FLOAT_EQ(ma.mean()[0], 3.0f);
+  EXPECT_EQ(ma.count(), 3u);
+}
+
+TEST(VectorMovingAverageTest, MeanBeforeAddThrows) {
+  VectorMovingAverage ma;
+  EXPECT_TRUE(ma.empty());
+  EXPECT_THROW(ma.mean(), util::CheckError);
+}
+
+TEST(VectorMovingAverageTest, DimensionChangeThrows) {
+  VectorMovingAverage ma;
+  std::vector<float> v2{1.0f, 2.0f};
+  std::vector<float> v3{1.0f, 2.0f, 3.0f};
+  ma.Add(v2);
+  EXPECT_THROW(ma.Add(v3), util::CheckError);
+}
+
+TEST(VectorMovingAverageTest, MeanIsStableAcrossRepeatedReads) {
+  VectorMovingAverage ma;
+  std::vector<float> v{2.5f};
+  ma.Add(v);
+  auto first = ma.mean();
+  auto second = ma.mean();
+  EXPECT_EQ(first.data(), second.data());  // cached view
+  EXPECT_FLOAT_EQ(second[0], 2.5f);
+}
+
+TEST(VectorMovingAverageTest, ManyObservationsConvergeToTrueMean) {
+  VectorMovingAverage ma;
+  for (int i = 0; i < 1000; ++i) {
+    std::vector<float> v{static_cast<float>(i % 2)};  // alternating 0/1
+    ma.Add(v);
+  }
+  EXPECT_NEAR(ma.mean()[0], 0.5f, 1e-3);
+}
+
+}  // namespace
+}  // namespace stats

@@ -1,0 +1,54 @@
+#include "stats/summary.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace stats {
+namespace {
+
+TEST(SummaryTest, BasicStatistics) {
+  std::vector<double> values{1.0, 2.0, 3.0, 4.0, 5.0};
+  Summary s = Summarize(values);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.5), 1e-12);  // sample stddev
+}
+
+TEST(SummaryTest, SingleValue) {
+  std::vector<double> values{7.0};
+  Summary s = Summarize(values);
+  EXPECT_DOUBLE_EQ(s.mean, 7.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.median, 7.0);
+}
+
+TEST(SummaryTest, EmptyThrows) {
+  EXPECT_THROW(Summarize({}), util::CheckError);
+}
+
+TEST(QuantileTest, EndpointsAndMidpoint) {
+  std::vector<double> values{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(Quantile(values, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(Quantile(values, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(Quantile(values, 0.5), 25.0);  // linear interpolation
+}
+
+TEST(QuantileTest, UnsortedInputHandled) {
+  std::vector<double> values{30.0, 10.0, 40.0, 20.0};
+  EXPECT_DOUBLE_EQ(Quantile(values, 0.5), 25.0);
+}
+
+TEST(QuantileTest, OutOfRangeThrows) {
+  std::vector<double> values{1.0};
+  EXPECT_THROW(Quantile(values, -0.1), util::CheckError);
+  EXPECT_THROW(Quantile(values, 1.1), util::CheckError);
+}
+
+}  // namespace
+}  // namespace stats

@@ -1,0 +1,119 @@
+#include "stats/vec_ops.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace stats {
+namespace {
+
+TEST(VecOpsTest, L2NormOfUnitVectors) {
+  std::vector<float> v{3.0f, 4.0f};
+  EXPECT_DOUBLE_EQ(L2Norm(v), 5.0);
+  std::vector<float> zero(10, 0.0f);
+  EXPECT_DOUBLE_EQ(L2Norm(zero), 0.0);
+}
+
+TEST(VecOpsTest, DistanceMatchesHandComputation) {
+  std::vector<float> a{1.0f, 2.0f, 3.0f};
+  std::vector<float> b{4.0f, 6.0f, 3.0f};
+  EXPECT_DOUBLE_EQ(SquaredDistance(a, b), 25.0);
+  EXPECT_DOUBLE_EQ(Distance(a, b), 5.0);
+}
+
+TEST(VecOpsTest, DistanceIsSymmetricAndZeroOnSelf) {
+  std::vector<float> a{0.5f, -1.5f, 2.0f};
+  std::vector<float> b{-0.25f, 0.75f, 1.0f};
+  EXPECT_DOUBLE_EQ(Distance(a, b), Distance(b, a));
+  EXPECT_DOUBLE_EQ(Distance(a, a), 0.0);
+}
+
+TEST(VecOpsTest, SizeMismatchThrows) {
+  std::vector<float> a{1.0f};
+  std::vector<float> b{1.0f, 2.0f};
+  EXPECT_THROW(SquaredDistance(a, b), util::CheckError);
+  EXPECT_THROW(Dot(a, b), util::CheckError);
+}
+
+TEST(VecOpsTest, DotProduct) {
+  std::vector<float> a{1.0f, 2.0f, 3.0f};
+  std::vector<float> b{4.0f, -5.0f, 6.0f};
+  EXPECT_DOUBLE_EQ(Dot(a, b), 12.0);
+}
+
+TEST(VecOpsTest, CosineSimilarityKnownAngles) {
+  std::vector<float> x{1.0f, 0.0f};
+  std::vector<float> y{0.0f, 2.0f};
+  std::vector<float> neg_x{-3.0f, 0.0f};
+  EXPECT_NEAR(CosineSimilarity(x, x), 1.0, 1e-12);
+  EXPECT_NEAR(CosineSimilarity(x, y), 0.0, 1e-12);
+  EXPECT_NEAR(CosineSimilarity(x, neg_x), -1.0, 1e-12);
+}
+
+TEST(VecOpsTest, CosineSimilarityZeroVectorIsZero) {
+  std::vector<float> zero{0.0f, 0.0f};
+  std::vector<float> v{1.0f, 1.0f};
+  EXPECT_DOUBLE_EQ(CosineSimilarity(zero, v), 0.0);
+}
+
+TEST(VecOpsTest, AxpyAccumulates) {
+  std::vector<float> x{1.0f, 2.0f};
+  std::vector<float> y{10.0f, 20.0f};
+  Axpy(2.0, x, y);
+  EXPECT_FLOAT_EQ(y[0], 12.0f);
+  EXPECT_FLOAT_EQ(y[1], 24.0f);
+}
+
+TEST(VecOpsTest, ScaleMultiplies) {
+  std::vector<float> v{1.0f, -2.0f};
+  Scale(v, -0.5);
+  EXPECT_FLOAT_EQ(v[0], -0.5f);
+  EXPECT_FLOAT_EQ(v[1], 1.0f);
+}
+
+TEST(VecOpsTest, MeanOfVectors) {
+  std::vector<std::vector<float>> vs{{1.0f, 2.0f}, {3.0f, 6.0f}};
+  auto mean = Mean(vs);
+  EXPECT_FLOAT_EQ(mean[0], 2.0f);
+  EXPECT_FLOAT_EQ(mean[1], 4.0f);
+}
+
+TEST(VecOpsTest, MeanOfEmptySetThrows) {
+  EXPECT_THROW(Mean({}), util::CheckError);
+}
+
+TEST(VecOpsTest, WeightedMeanRespectsWeights) {
+  std::vector<std::vector<float>> vs{{0.0f}, {10.0f}};
+  std::vector<double> weights{1.0, 3.0};
+  auto mean = WeightedMean(vs, weights);
+  EXPECT_FLOAT_EQ(mean[0], 7.5f);
+}
+
+TEST(VecOpsTest, WeightedMeanZeroWeightSumThrows) {
+  std::vector<std::vector<float>> vs{{1.0f}};
+  std::vector<double> weights{0.0};
+  EXPECT_THROW(WeightedMean(vs, weights), util::CheckError);
+}
+
+TEST(VecOpsTest, PerDimensionStdMatchesPopulationFormula) {
+  std::vector<std::vector<float>> vs{{1.0f, 5.0f}, {3.0f, 5.0f}};
+  auto sd = PerDimensionStd(vs);
+  EXPECT_FLOAT_EQ(sd[0], 1.0f);  // values {1,3}: mean 2, var 1
+  EXPECT_FLOAT_EQ(sd[1], 0.0f);
+}
+
+TEST(VecOpsTest, AddSubtractNegateElementwise) {
+  std::vector<float> a{1.0f, 2.0f};
+  std::vector<float> b{0.5f, -1.0f};
+  auto sum = Add(a, b);
+  auto diff = Subtract(a, b);
+  auto neg = Negate(a);
+  EXPECT_FLOAT_EQ(sum[0], 1.5f);
+  EXPECT_FLOAT_EQ(diff[1], 3.0f);
+  EXPECT_FLOAT_EQ(neg[0], -1.0f);
+}
+
+}  // namespace
+}  // namespace stats

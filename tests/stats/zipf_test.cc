@@ -1,0 +1,107 @@
+#include "stats/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace stats {
+namespace {
+
+TEST(ZipfSamplerTest, ProbabilitiesSumToOne) {
+  ZipfSampler sampler(50, 1.2);
+  double total = 0.0;
+  for (std::size_t r = 1; r <= 50; ++r) {
+    total += sampler.Probability(r);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(ZipfSamplerTest, ProbabilityDecreasesWithRank) {
+  ZipfSampler sampler(20, 1.2);
+  for (std::size_t r = 1; r < 20; ++r) {
+    EXPECT_GT(sampler.Probability(r), sampler.Probability(r + 1));
+  }
+}
+
+TEST(ZipfSamplerTest, RatioMatchesPowerLaw) {
+  ZipfSampler sampler(100, 2.0);
+  // P(1)/P(2) = 2^s.
+  EXPECT_NEAR(sampler.Probability(1) / sampler.Probability(2), 4.0, 1e-9);
+}
+
+TEST(ZipfSamplerTest, SamplesStayInSupport) {
+  ZipfSampler sampler(10, 1.2);
+  util::RngFactory rngs(3);
+  auto rng = rngs.Stream("zipf");
+  for (int i = 0; i < 1000; ++i) {
+    std::size_t r = sampler.Sample(rng);
+    EXPECT_GE(r, 1u);
+    EXPECT_LE(r, 10u);
+  }
+}
+
+TEST(ZipfSamplerTest, EmpiricalFrequencyTracksTheory) {
+  ZipfSampler sampler(10, 1.2);
+  util::RngFactory rngs(4);
+  auto rng = rngs.Stream("zipf");
+  std::vector<std::size_t> counts(11, 0);
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    counts[sampler.Sample(rng)]++;
+  }
+  EXPECT_NEAR(static_cast<double>(counts[1]) / n, sampler.Probability(1), 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, sampler.Probability(2), 0.02);
+}
+
+TEST(ZipfSamplerTest, InvalidParametersThrow) {
+  EXPECT_THROW(ZipfSampler(0, 1.2), util::CheckError);
+  EXPECT_THROW(ZipfSampler(10, 0.0), util::CheckError);
+}
+
+class ZipfSkewTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfSkewTest, HigherExponentConcentratesMassOnFastRanks) {
+  const double s = GetParam();
+  ZipfSampler sampler(100, s);
+  // With s > 1 the head (ranks 1-5) should hold most probability mass, more
+  // so as s grows (the paper's s = 2.5 study).
+  double head = 0.0;
+  for (std::size_t r = 1; r <= 5; ++r) {
+    head += sampler.Probability(r);
+  }
+  EXPECT_GT(head, s >= 2.0 ? 0.85 : 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, ZipfSkewTest,
+                         ::testing::Values(1.2, 2.0, 2.5, 3.0));
+
+TEST(SampleClientLatenciesTest, LatenciesAreMultiplesOfBase) {
+  util::RngFactory rngs(5);
+  auto rng = rngs.Stream("lat");
+  auto latencies = SampleClientLatencies(64, 1.2, 0.5, rng);
+  ASSERT_EQ(latencies.size(), 64u);
+  for (double latency : latencies) {
+    EXPECT_GE(latency, 0.5);
+    double ratio = latency / 0.5;
+    EXPECT_NEAR(ratio, std::round(ratio), 1e-9);
+  }
+}
+
+TEST(SampleClientLatenciesTest, MajorityOfClientsAreFast) {
+  util::RngFactory rngs(6);
+  auto rng = rngs.Stream("lat");
+  auto latencies = SampleClientLatencies(200, 1.2, 1.0, rng);
+  std::size_t fast = 0;
+  for (double latency : latencies) {
+    if (latency <= 5.0) {
+      ++fast;
+    }
+  }
+  EXPECT_GT(fast, 95u);  // Zipf(1.2): ranks 1-5 carry ~57% of the mass
+}
+
+}  // namespace
+}  // namespace stats

@@ -1,0 +1,100 @@
+#include "tensor/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace tensor {
+namespace {
+
+TEST(TensorTest, NumElements) {
+  EXPECT_EQ(NumElements({}), 0u);
+  EXPECT_EQ(NumElements({5}), 5u);
+  EXPECT_EQ(NumElements({2, 3, 4}), 24u);
+  EXPECT_EQ(NumElements({2, 0, 4}), 0u);
+}
+
+TEST(TensorTest, ShapeConstructionZeroInitialises) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.size(), 6u);
+  EXPECT_EQ(t.rank(), 2u);
+  EXPECT_EQ(t.dim(0), 2u);
+  EXPECT_EQ(t.dim(1), 3u);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_FLOAT_EQ(t[i], 0.0f);
+  }
+}
+
+TEST(TensorTest, DataConstructionChecksSize) {
+  EXPECT_NO_THROW(Tensor({2, 2}, {1.0f, 2.0f, 3.0f, 4.0f}));
+  EXPECT_THROW(Tensor({2, 2}, {1.0f}), util::CheckError);
+}
+
+TEST(TensorTest, TwoDimAccessorRowMajor) {
+  Tensor t({2, 3}, {0, 1, 2, 3, 4, 5});
+  EXPECT_FLOAT_EQ(t.At(0, 2), 2.0f);
+  EXPECT_FLOAT_EQ(t.At(1, 0), 3.0f);
+  t.At(1, 1) = 9.0f;
+  EXPECT_FLOAT_EQ(t[4], 9.0f);
+}
+
+TEST(TensorTest, FourDimAccessorNchw) {
+  Tensor t({2, 3, 4, 5});
+  t.At(1, 2, 3, 4) = 1.5f;
+  EXPECT_FLOAT_EQ(t[((1 * 3 + 2) * 4 + 3) * 5 + 4], 1.5f);
+}
+
+TEST(TensorTest, AccessorRankMismatchThrows) {
+  Tensor t({6});
+  EXPECT_THROW(t.At(0, 0), util::CheckError);
+  EXPECT_THROW(t.At(0, 0, 0, 0), util::CheckError);
+}
+
+TEST(TensorTest, ReshapePreservesDataAndChecksCount) {
+  Tensor t({2, 3}, {0, 1, 2, 3, 4, 5});
+  t.Reshape({3, 2});
+  EXPECT_FLOAT_EQ(t.At(2, 1), 5.0f);
+  EXPECT_THROW(t.Reshape({4, 2}), util::CheckError);
+}
+
+TEST(TensorTest, FillSetsEveryElement) {
+  Tensor t({3, 3});
+  t.Fill(2.5f);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_FLOAT_EQ(t[i], 2.5f);
+  }
+}
+
+TEST(TensorTest, FillUniformRespectsBounds) {
+  util::RngFactory rngs(1);
+  auto rng = rngs.Stream("t");
+  Tensor t({1000});
+  t.FillUniform(-0.5f, 0.5f, rng);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_GE(t[i], -0.5f);
+    EXPECT_LE(t[i], 0.5f);
+  }
+}
+
+TEST(TensorTest, FillNormalHasRequestedMoments) {
+  util::RngFactory rngs(2);
+  auto rng = rngs.Stream("t");
+  Tensor t({20000});
+  t.FillNormal(1.0f, 2.0f, rng);
+  double mean = 0.0;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    mean += t[i];
+  }
+  mean /= static_cast<double>(t.size());
+  EXPECT_NEAR(mean, 1.0, 0.1);
+}
+
+TEST(TensorTest, DefaultTensorIsEmpty) {
+  Tensor t;
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.rank(), 0u);
+}
+
+}  // namespace
+}  // namespace tensor

@@ -1,0 +1,67 @@
+#include "util/check.h"
+
+#include <gtest/gtest.h>
+
+namespace util {
+namespace {
+
+TEST(CheckTest, PassingConditionDoesNotThrow) {
+  EXPECT_NO_THROW(AF_CHECK(1 + 1 == 2));
+}
+
+TEST(CheckTest, FailingConditionThrowsCheckError) {
+  EXPECT_THROW(AF_CHECK(false), CheckError);
+}
+
+TEST(CheckTest, MessageContainsConditionAndContext) {
+  try {
+    AF_CHECK(2 < 1) << "custom context " << 42;
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 < 1"), std::string::npos);
+    EXPECT_NE(what.find("custom context 42"), std::string::npos);
+    EXPECT_NE(what.find("check_test.cc"), std::string::npos);
+  }
+}
+
+TEST(CheckTest, ComparisonMacrosIncludeValues) {
+  try {
+    int a = 3, b = 7;
+    AF_CHECK_EQ(a, b);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("3"), std::string::npos);
+    EXPECT_NE(what.find("7"), std::string::npos);
+  }
+}
+
+TEST(CheckTest, ComparisonMacroSemantics) {
+  EXPECT_NO_THROW(AF_CHECK_EQ(4, 4));
+  EXPECT_NO_THROW(AF_CHECK_NE(4, 5));
+  EXPECT_NO_THROW(AF_CHECK_LT(4, 5));
+  EXPECT_NO_THROW(AF_CHECK_LE(5, 5));
+  EXPECT_NO_THROW(AF_CHECK_GT(6, 5));
+  EXPECT_NO_THROW(AF_CHECK_GE(5, 5));
+  EXPECT_THROW(AF_CHECK_NE(4, 4), CheckError);
+  EXPECT_THROW(AF_CHECK_LT(5, 5), CheckError);
+  EXPECT_THROW(AF_CHECK_GT(5, 5), CheckError);
+}
+
+TEST(CheckTest, CheckIsActiveInReleaseBuilds) {
+  // The project compiles tests with the same flags as the library; this
+  // documents that AF_CHECK must not be compiled out by NDEBUG.
+  bool executed = false;
+  auto probe = [&]() {
+    AF_CHECK([&] {
+      executed = true;
+      return true;
+    }());
+  };
+  probe();
+  EXPECT_TRUE(executed);
+}
+
+}  // namespace
+}  // namespace util

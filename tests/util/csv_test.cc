@@ -1,0 +1,66 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace util {
+namespace {
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+class CsvWriterTest : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "csv_test.csv";
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(CsvWriterTest, WritesPlainRows) {
+  {
+    CsvWriter writer(path_);
+    writer.WriteHeader({"a", "b"});
+    writer.WriteRow({"1", "2"});
+  }
+  EXPECT_EQ(ReadAll(path_), "a,b\n1,2\n");
+}
+
+TEST_F(CsvWriterTest, QuotesCellsWithCommas) {
+  CsvWriter writer(path_);
+  writer.WriteRow({"x,y", "plain"});
+  EXPECT_EQ(ReadAll(path_), "\"x,y\",plain\n");
+}
+
+TEST_F(CsvWriterTest, EscapesEmbeddedQuotes) {
+  CsvWriter writer(path_);
+  writer.WriteRow({"say \"hi\""});
+  EXPECT_EQ(ReadAll(path_), "\"say \"\"hi\"\"\"\n");
+}
+
+TEST_F(CsvWriterTest, QuotesNewlines) {
+  CsvWriter writer(path_);
+  writer.WriteRow({"two\nlines"});
+  EXPECT_EQ(ReadAll(path_), "\"two\nlines\"\n");
+}
+
+TEST_F(CsvWriterTest, UnwritablePathThrows) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir/foo.csv"), CheckError);
+}
+
+TEST(FormatFixedTest, RoundsToRequestedDigits) {
+  EXPECT_EQ(FormatFixed(86.456), "86.5");
+  EXPECT_EQ(FormatFixed(86.456, 2), "86.46");
+  EXPECT_EQ(FormatFixed(-1.25, 1), "-1.2");  // banker-ish; documents behaviour
+  EXPECT_EQ(FormatFixed(7.0, 0), "7");
+}
+
+}  // namespace
+}  // namespace util

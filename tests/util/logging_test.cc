@@ -1,0 +1,36 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace util {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void TearDown() override { SetLogLevel(LogLevel::kInfo); }
+};
+
+TEST_F(LoggingTest, LevelRoundTrips) {
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+}
+
+TEST_F(LoggingTest, DefaultLevelIsInfo) {
+  EXPECT_EQ(GetLogLevel(), LogLevel::kInfo);
+}
+
+TEST_F(LoggingTest, EmittingBelowThresholdDoesNotCrash) {
+  SetLogLevel(LogLevel::kError);
+  EXPECT_NO_THROW(AF_LOG(kDebug) << "suppressed " << 1);
+  EXPECT_NO_THROW(AF_LOG(kInfo) << "suppressed");
+}
+
+TEST_F(LoggingTest, EmittingAboveThresholdDoesNotCrash) {
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_NO_THROW(AF_LOG(kWarn) << "visible " << 3.14);
+}
+
+}  // namespace
+}  // namespace util

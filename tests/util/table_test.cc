@@ -1,0 +1,46 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace util {
+namespace {
+
+TEST(ConsoleTableTest, RendersHeaderSeparatorAndRows) {
+  ConsoleTable table({"Attack", "Acc"});
+  table.AddRow({"GD", "93.0"});
+  const std::string out = table.Render();
+  EXPECT_NE(out.find("| Attack | Acc  |"), std::string::npos);
+  EXPECT_NE(out.find("|--------|------|"), std::string::npos);
+  EXPECT_NE(out.find("| GD     | 93.0 |"), std::string::npos);
+}
+
+TEST(ConsoleTableTest, ColumnsWidenToLongestCell) {
+  ConsoleTable table({"m"});
+  table.AddRow({"longer-cell"});
+  const std::string out = table.Render();
+  EXPECT_NE(out.find("| m           |"), std::string::npos);
+  EXPECT_NE(out.find("| longer-cell |"), std::string::npos);
+}
+
+TEST(ConsoleTableTest, MismatchedRowArityThrows) {
+  ConsoleTable table({"a", "b"});
+  EXPECT_THROW(table.AddRow({"only-one"}), CheckError);
+}
+
+TEST(ConsoleTableTest, EmptyHeaderThrows) {
+  EXPECT_THROW(ConsoleTable({}), CheckError);
+}
+
+TEST(ConsoleTableTest, AccessorsExposeContents) {
+  ConsoleTable table({"h"});
+  table.AddRow({"r1"});
+  table.AddRow({"r2"});
+  EXPECT_EQ(table.header().size(), 1u);
+  EXPECT_EQ(table.rows().size(), 2u);
+  EXPECT_EQ(table.rows()[1][0], "r2");
+}
+
+}  // namespace
+}  // namespace util
