@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/af_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/af_bench_common.dir/bench_common.cc.o.d"
+  "libaf_bench_common.a"
+  "libaf_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/af_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libaf_bench_common.a"
+)

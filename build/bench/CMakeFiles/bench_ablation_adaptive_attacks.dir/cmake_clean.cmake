@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_adaptive_attacks.dir/bench_ablation_adaptive_attacks.cc.o"
+  "CMakeFiles/bench_ablation_adaptive_attacks.dir/bench_ablation_adaptive_attacks.cc.o.d"
+  "bench_ablation_adaptive_attacks"
+  "bench_ablation_adaptive_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_adaptive_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_extra_defenses.dir/bench_ablation_extra_defenses.cc.o"
+  "CMakeFiles/bench_ablation_extra_defenses.dir/bench_ablation_extra_defenses.cc.o.d"
+  "bench_ablation_extra_defenses"
+  "bench_ablation_extra_defenses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_extra_defenses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_staleness_weighting.dir/bench_ablation_staleness_weighting.cc.o"
+  "CMakeFiles/bench_ablation_staleness_weighting.dir/bench_ablation_staleness_weighting.cc.o.d"
+  "bench_ablation_staleness_weighting"
+  "bench_ablation_staleness_weighting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_staleness_weighting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_filter_overhead.dir/bench_micro_filter_overhead.cc.o"
+  "CMakeFiles/bench_micro_filter_overhead.dir/bench_micro_filter_overhead.cc.o.d"
+  "bench_micro_filter_overhead"
+  "bench_micro_filter_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_filter_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table10_speed_fashionmnist.dir/bench_table10_speed_fashionmnist.cc.o"
+  "CMakeFiles/bench_table10_speed_fashionmnist.dir/bench_table10_speed_fashionmnist.cc.o.d"
+  "bench_table10_speed_fashionmnist"
+  "bench_table10_speed_fashionmnist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table10_speed_fashionmnist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_mnist.dir/bench_table2_mnist.cc.o"
+  "CMakeFiles/bench_table2_mnist.dir/bench_table2_mnist.cc.o.d"
+  "bench_table2_mnist"
+  "bench_table2_mnist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_mnist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

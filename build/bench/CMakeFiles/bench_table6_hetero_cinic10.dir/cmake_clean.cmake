@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_hetero_cinic10.dir/bench_table6_hetero_cinic10.cc.o"
+  "CMakeFiles/bench_table6_hetero_cinic10.dir/bench_table6_hetero_cinic10.cc.o.d"
+  "bench_table6_hetero_cinic10"
+  "bench_table6_hetero_cinic10.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_hetero_cinic10.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_table6_hetero_cinic10.
+# This may be replaced when dependencies are built.

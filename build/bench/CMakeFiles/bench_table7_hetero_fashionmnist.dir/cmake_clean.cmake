@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_hetero_fashionmnist.dir/bench_table7_hetero_fashionmnist.cc.o"
+  "CMakeFiles/bench_table7_hetero_fashionmnist.dir/bench_table7_hetero_fashionmnist.cc.o.d"
+  "bench_table7_hetero_fashionmnist"
+  "bench_table7_hetero_fashionmnist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_hetero_fashionmnist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table9_attackers_fashionmnist.dir/bench_table9_attackers_fashionmnist.cc.o"
+  "CMakeFiles/bench_table9_attackers_fashionmnist.dir/bench_table9_attackers_fashionmnist.cc.o.d"
+  "bench_table9_attackers_fashionmnist"
+  "bench_table9_attackers_fashionmnist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table9_attackers_fashionmnist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_defense.dir/custom_defense.cpp.o"
+  "CMakeFiles/custom_defense.dir/custom_defense.cpp.o.d"
+  "custom_defense"
+  "custom_defense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heterogeneity_study.dir/heterogeneity_study.cpp.o"
+  "CMakeFiles/heterogeneity_study.dir/heterogeneity_study.cpp.o.d"
+  "heterogeneity_study"
+  "heterogeneity_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heterogeneity_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

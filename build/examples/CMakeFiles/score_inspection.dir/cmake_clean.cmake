@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/score_inspection.dir/score_inspection.cpp.o"
+  "CMakeFiles/score_inspection.dir/score_inspection.cpp.o.d"
+  "score_inspection"
+  "score_inspection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/score_inspection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for score_inspection.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attacks/adaptive.cc" "src/attacks/CMakeFiles/af_attacks.dir/adaptive.cc.o" "gcc" "src/attacks/CMakeFiles/af_attacks.dir/adaptive.cc.o.d"
+  "/root/repo/src/attacks/attack.cc" "src/attacks/CMakeFiles/af_attacks.dir/attack.cc.o" "gcc" "src/attacks/CMakeFiles/af_attacks.dir/attack.cc.o.d"
+  "/root/repo/src/attacks/coordinator.cc" "src/attacks/CMakeFiles/af_attacks.dir/coordinator.cc.o" "gcc" "src/attacks/CMakeFiles/af_attacks.dir/coordinator.cc.o.d"
+  "/root/repo/src/attacks/gd.cc" "src/attacks/CMakeFiles/af_attacks.dir/gd.cc.o" "gcc" "src/attacks/CMakeFiles/af_attacks.dir/gd.cc.o.d"
+  "/root/repo/src/attacks/lie.cc" "src/attacks/CMakeFiles/af_attacks.dir/lie.cc.o" "gcc" "src/attacks/CMakeFiles/af_attacks.dir/lie.cc.o.d"
+  "/root/repo/src/attacks/min_opt.cc" "src/attacks/CMakeFiles/af_attacks.dir/min_opt.cc.o" "gcc" "src/attacks/CMakeFiles/af_attacks.dir/min_opt.cc.o.d"
+  "/root/repo/src/attacks/registry.cc" "src/attacks/CMakeFiles/af_attacks.dir/registry.cc.o" "gcc" "src/attacks/CMakeFiles/af_attacks.dir/registry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/af_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/af_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/af_attacks.dir/adaptive.cc.o"
+  "CMakeFiles/af_attacks.dir/adaptive.cc.o.d"
+  "CMakeFiles/af_attacks.dir/attack.cc.o"
+  "CMakeFiles/af_attacks.dir/attack.cc.o.d"
+  "CMakeFiles/af_attacks.dir/coordinator.cc.o"
+  "CMakeFiles/af_attacks.dir/coordinator.cc.o.d"
+  "CMakeFiles/af_attacks.dir/gd.cc.o"
+  "CMakeFiles/af_attacks.dir/gd.cc.o.d"
+  "CMakeFiles/af_attacks.dir/lie.cc.o"
+  "CMakeFiles/af_attacks.dir/lie.cc.o.d"
+  "CMakeFiles/af_attacks.dir/min_opt.cc.o"
+  "CMakeFiles/af_attacks.dir/min_opt.cc.o.d"
+  "CMakeFiles/af_attacks.dir/registry.cc.o"
+  "CMakeFiles/af_attacks.dir/registry.cc.o.d"
+  "libaf_attacks.a"
+  "libaf_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/af_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

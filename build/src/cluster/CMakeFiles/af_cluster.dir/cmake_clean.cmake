@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/af_cluster.dir/kmeans.cc.o"
+  "CMakeFiles/af_cluster.dir/kmeans.cc.o.d"
+  "CMakeFiles/af_cluster.dir/tsne.cc.o"
+  "CMakeFiles/af_cluster.dir/tsne.cc.o.d"
+  "libaf_cluster.a"
+  "libaf_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/af_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/async_filter.cc" "src/core/CMakeFiles/af_core.dir/async_filter.cc.o" "gcc" "src/core/CMakeFiles/af_core.dir/async_filter.cc.o.d"
+  "/root/repo/src/core/staleness_groups.cc" "src/core/CMakeFiles/af_core.dir/staleness_groups.cc.o" "gcc" "src/core/CMakeFiles/af_core.dir/staleness_groups.cc.o.d"
+  "/root/repo/src/core/suspicious_score.cc" "src/core/CMakeFiles/af_core.dir/suspicious_score.cc.o" "gcc" "src/core/CMakeFiles/af_core.dir/suspicious_score.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/defense/CMakeFiles/af_defense.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/af_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/af_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/af_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

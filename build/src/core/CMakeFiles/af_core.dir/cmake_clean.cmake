@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/af_core.dir/async_filter.cc.o"
+  "CMakeFiles/af_core.dir/async_filter.cc.o.d"
+  "CMakeFiles/af_core.dir/staleness_groups.cc.o"
+  "CMakeFiles/af_core.dir/staleness_groups.cc.o.d"
+  "CMakeFiles/af_core.dir/suspicious_score.cc.o"
+  "CMakeFiles/af_core.dir/suspicious_score.cc.o.d"
+  "libaf_core.a"
+  "libaf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/af_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/af_data.dir/dataset.cc.o"
+  "CMakeFiles/af_data.dir/dataset.cc.o.d"
+  "CMakeFiles/af_data.dir/partition.cc.o"
+  "CMakeFiles/af_data.dir/partition.cc.o.d"
+  "CMakeFiles/af_data.dir/synthetic.cc.o"
+  "CMakeFiles/af_data.dir/synthetic.cc.o.d"
+  "libaf_data.a"
+  "libaf_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/af_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

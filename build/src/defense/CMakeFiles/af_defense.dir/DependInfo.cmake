@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/defense/aflguard.cc" "src/defense/CMakeFiles/af_defense.dir/aflguard.cc.o" "gcc" "src/defense/CMakeFiles/af_defense.dir/aflguard.cc.o.d"
+  "/root/repo/src/defense/bucketing.cc" "src/defense/CMakeFiles/af_defense.dir/bucketing.cc.o" "gcc" "src/defense/CMakeFiles/af_defense.dir/bucketing.cc.o.d"
+  "/root/repo/src/defense/defense.cc" "src/defense/CMakeFiles/af_defense.dir/defense.cc.o" "gcc" "src/defense/CMakeFiles/af_defense.dir/defense.cc.o.d"
+  "/root/repo/src/defense/fldetector.cc" "src/defense/CMakeFiles/af_defense.dir/fldetector.cc.o" "gcc" "src/defense/CMakeFiles/af_defense.dir/fldetector.cc.o.d"
+  "/root/repo/src/defense/fltrust.cc" "src/defense/CMakeFiles/af_defense.dir/fltrust.cc.o" "gcc" "src/defense/CMakeFiles/af_defense.dir/fltrust.cc.o.d"
+  "/root/repo/src/defense/krum.cc" "src/defense/CMakeFiles/af_defense.dir/krum.cc.o" "gcc" "src/defense/CMakeFiles/af_defense.dir/krum.cc.o.d"
+  "/root/repo/src/defense/nnm.cc" "src/defense/CMakeFiles/af_defense.dir/nnm.cc.o" "gcc" "src/defense/CMakeFiles/af_defense.dir/nnm.cc.o.d"
+  "/root/repo/src/defense/staleness_weighting.cc" "src/defense/CMakeFiles/af_defense.dir/staleness_weighting.cc.o" "gcc" "src/defense/CMakeFiles/af_defense.dir/staleness_weighting.cc.o.d"
+  "/root/repo/src/defense/trimmed_mean.cc" "src/defense/CMakeFiles/af_defense.dir/trimmed_mean.cc.o" "gcc" "src/defense/CMakeFiles/af_defense.dir/trimmed_mean.cc.o.d"
+  "/root/repo/src/defense/zeno.cc" "src/defense/CMakeFiles/af_defense.dir/zeno.cc.o" "gcc" "src/defense/CMakeFiles/af_defense.dir/zeno.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/af_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/af_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/af_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/af_defense.dir/aflguard.cc.o"
+  "CMakeFiles/af_defense.dir/aflguard.cc.o.d"
+  "CMakeFiles/af_defense.dir/bucketing.cc.o"
+  "CMakeFiles/af_defense.dir/bucketing.cc.o.d"
+  "CMakeFiles/af_defense.dir/defense.cc.o"
+  "CMakeFiles/af_defense.dir/defense.cc.o.d"
+  "CMakeFiles/af_defense.dir/fldetector.cc.o"
+  "CMakeFiles/af_defense.dir/fldetector.cc.o.d"
+  "CMakeFiles/af_defense.dir/fltrust.cc.o"
+  "CMakeFiles/af_defense.dir/fltrust.cc.o.d"
+  "CMakeFiles/af_defense.dir/krum.cc.o"
+  "CMakeFiles/af_defense.dir/krum.cc.o.d"
+  "CMakeFiles/af_defense.dir/nnm.cc.o"
+  "CMakeFiles/af_defense.dir/nnm.cc.o.d"
+  "CMakeFiles/af_defense.dir/staleness_weighting.cc.o"
+  "CMakeFiles/af_defense.dir/staleness_weighting.cc.o.d"
+  "CMakeFiles/af_defense.dir/trimmed_mean.cc.o"
+  "CMakeFiles/af_defense.dir/trimmed_mean.cc.o.d"
+  "CMakeFiles/af_defense.dir/zeno.cc.o"
+  "CMakeFiles/af_defense.dir/zeno.cc.o.d"
+  "libaf_defense.a"
+  "libaf_defense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/af_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for af_defense.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/af_fl.dir/client.cc.o"
+  "CMakeFiles/af_fl.dir/client.cc.o.d"
+  "CMakeFiles/af_fl.dir/experiment.cc.o"
+  "CMakeFiles/af_fl.dir/experiment.cc.o.d"
+  "CMakeFiles/af_fl.dir/metrics.cc.o"
+  "CMakeFiles/af_fl.dir/metrics.cc.o.d"
+  "CMakeFiles/af_fl.dir/simulation.cc.o"
+  "CMakeFiles/af_fl.dir/simulation.cc.o.d"
+  "CMakeFiles/af_fl.dir/trace.cc.o"
+  "CMakeFiles/af_fl.dir/trace.cc.o.d"
+  "libaf_fl.a"
+  "libaf_fl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/af_fl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

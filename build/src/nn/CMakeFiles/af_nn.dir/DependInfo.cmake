@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/conv2d.cc" "src/nn/CMakeFiles/af_nn.dir/conv2d.cc.o" "gcc" "src/nn/CMakeFiles/af_nn.dir/conv2d.cc.o.d"
+  "/root/repo/src/nn/dense.cc" "src/nn/CMakeFiles/af_nn.dir/dense.cc.o" "gcc" "src/nn/CMakeFiles/af_nn.dir/dense.cc.o.d"
+  "/root/repo/src/nn/flatten.cc" "src/nn/CMakeFiles/af_nn.dir/flatten.cc.o" "gcc" "src/nn/CMakeFiles/af_nn.dir/flatten.cc.o.d"
+  "/root/repo/src/nn/gradient_check.cc" "src/nn/CMakeFiles/af_nn.dir/gradient_check.cc.o" "gcc" "src/nn/CMakeFiles/af_nn.dir/gradient_check.cc.o.d"
+  "/root/repo/src/nn/loss.cc" "src/nn/CMakeFiles/af_nn.dir/loss.cc.o" "gcc" "src/nn/CMakeFiles/af_nn.dir/loss.cc.o.d"
+  "/root/repo/src/nn/maxpool2d.cc" "src/nn/CMakeFiles/af_nn.dir/maxpool2d.cc.o" "gcc" "src/nn/CMakeFiles/af_nn.dir/maxpool2d.cc.o.d"
+  "/root/repo/src/nn/models.cc" "src/nn/CMakeFiles/af_nn.dir/models.cc.o" "gcc" "src/nn/CMakeFiles/af_nn.dir/models.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/nn/CMakeFiles/af_nn.dir/optimizer.cc.o" "gcc" "src/nn/CMakeFiles/af_nn.dir/optimizer.cc.o.d"
+  "/root/repo/src/nn/relu.cc" "src/nn/CMakeFiles/af_nn.dir/relu.cc.o" "gcc" "src/nn/CMakeFiles/af_nn.dir/relu.cc.o.d"
+  "/root/repo/src/nn/sequential.cc" "src/nn/CMakeFiles/af_nn.dir/sequential.cc.o" "gcc" "src/nn/CMakeFiles/af_nn.dir/sequential.cc.o.d"
+  "/root/repo/src/nn/serialize.cc" "src/nn/CMakeFiles/af_nn.dir/serialize.cc.o" "gcc" "src/nn/CMakeFiles/af_nn.dir/serialize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/af_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/af_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/af_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/af_nn.dir/conv2d.cc.o"
+  "CMakeFiles/af_nn.dir/conv2d.cc.o.d"
+  "CMakeFiles/af_nn.dir/dense.cc.o"
+  "CMakeFiles/af_nn.dir/dense.cc.o.d"
+  "CMakeFiles/af_nn.dir/flatten.cc.o"
+  "CMakeFiles/af_nn.dir/flatten.cc.o.d"
+  "CMakeFiles/af_nn.dir/gradient_check.cc.o"
+  "CMakeFiles/af_nn.dir/gradient_check.cc.o.d"
+  "CMakeFiles/af_nn.dir/loss.cc.o"
+  "CMakeFiles/af_nn.dir/loss.cc.o.d"
+  "CMakeFiles/af_nn.dir/maxpool2d.cc.o"
+  "CMakeFiles/af_nn.dir/maxpool2d.cc.o.d"
+  "CMakeFiles/af_nn.dir/models.cc.o"
+  "CMakeFiles/af_nn.dir/models.cc.o.d"
+  "CMakeFiles/af_nn.dir/optimizer.cc.o"
+  "CMakeFiles/af_nn.dir/optimizer.cc.o.d"
+  "CMakeFiles/af_nn.dir/relu.cc.o"
+  "CMakeFiles/af_nn.dir/relu.cc.o.d"
+  "CMakeFiles/af_nn.dir/sequential.cc.o"
+  "CMakeFiles/af_nn.dir/sequential.cc.o.d"
+  "CMakeFiles/af_nn.dir/serialize.cc.o"
+  "CMakeFiles/af_nn.dir/serialize.cc.o.d"
+  "libaf_nn.a"
+  "libaf_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/af_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

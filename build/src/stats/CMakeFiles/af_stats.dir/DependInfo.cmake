@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/dirichlet.cc" "src/stats/CMakeFiles/af_stats.dir/dirichlet.cc.o" "gcc" "src/stats/CMakeFiles/af_stats.dir/dirichlet.cc.o.d"
+  "/root/repo/src/stats/normal.cc" "src/stats/CMakeFiles/af_stats.dir/normal.cc.o" "gcc" "src/stats/CMakeFiles/af_stats.dir/normal.cc.o.d"
+  "/root/repo/src/stats/running_stats.cc" "src/stats/CMakeFiles/af_stats.dir/running_stats.cc.o" "gcc" "src/stats/CMakeFiles/af_stats.dir/running_stats.cc.o.d"
+  "/root/repo/src/stats/summary.cc" "src/stats/CMakeFiles/af_stats.dir/summary.cc.o" "gcc" "src/stats/CMakeFiles/af_stats.dir/summary.cc.o.d"
+  "/root/repo/src/stats/vec_ops.cc" "src/stats/CMakeFiles/af_stats.dir/vec_ops.cc.o" "gcc" "src/stats/CMakeFiles/af_stats.dir/vec_ops.cc.o.d"
+  "/root/repo/src/stats/zipf.cc" "src/stats/CMakeFiles/af_stats.dir/zipf.cc.o" "gcc" "src/stats/CMakeFiles/af_stats.dir/zipf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/af_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/af_stats.dir/dirichlet.cc.o"
+  "CMakeFiles/af_stats.dir/dirichlet.cc.o.d"
+  "CMakeFiles/af_stats.dir/normal.cc.o"
+  "CMakeFiles/af_stats.dir/normal.cc.o.d"
+  "CMakeFiles/af_stats.dir/running_stats.cc.o"
+  "CMakeFiles/af_stats.dir/running_stats.cc.o.d"
+  "CMakeFiles/af_stats.dir/summary.cc.o"
+  "CMakeFiles/af_stats.dir/summary.cc.o.d"
+  "CMakeFiles/af_stats.dir/vec_ops.cc.o"
+  "CMakeFiles/af_stats.dir/vec_ops.cc.o.d"
+  "CMakeFiles/af_stats.dir/zipf.cc.o"
+  "CMakeFiles/af_stats.dir/zipf.cc.o.d"
+  "libaf_stats.a"
+  "libaf_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/af_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/af_util.dir/check.cc.o"
+  "CMakeFiles/af_util.dir/check.cc.o.d"
+  "CMakeFiles/af_util.dir/csv.cc.o"
+  "CMakeFiles/af_util.dir/csv.cc.o.d"
+  "CMakeFiles/af_util.dir/flags.cc.o"
+  "CMakeFiles/af_util.dir/flags.cc.o.d"
+  "CMakeFiles/af_util.dir/logging.cc.o"
+  "CMakeFiles/af_util.dir/logging.cc.o.d"
+  "CMakeFiles/af_util.dir/rng.cc.o"
+  "CMakeFiles/af_util.dir/rng.cc.o.d"
+  "CMakeFiles/af_util.dir/table.cc.o"
+  "CMakeFiles/af_util.dir/table.cc.o.d"
+  "CMakeFiles/af_util.dir/thread_pool.cc.o"
+  "CMakeFiles/af_util.dir/thread_pool.cc.o.d"
+  "libaf_util.a"
+  "libaf_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/af_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attacks_tests.dir/attacks/adaptive_test.cc.o"
+  "CMakeFiles/attacks_tests.dir/attacks/adaptive_test.cc.o.d"
+  "CMakeFiles/attacks_tests.dir/attacks/coordinator_test.cc.o"
+  "CMakeFiles/attacks_tests.dir/attacks/coordinator_test.cc.o.d"
+  "CMakeFiles/attacks_tests.dir/attacks/gd_test.cc.o"
+  "CMakeFiles/attacks_tests.dir/attacks/gd_test.cc.o.d"
+  "CMakeFiles/attacks_tests.dir/attacks/lie_test.cc.o"
+  "CMakeFiles/attacks_tests.dir/attacks/lie_test.cc.o.d"
+  "CMakeFiles/attacks_tests.dir/attacks/min_opt_test.cc.o"
+  "CMakeFiles/attacks_tests.dir/attacks/min_opt_test.cc.o.d"
+  "CMakeFiles/attacks_tests.dir/attacks/registry_test.cc.o"
+  "CMakeFiles/attacks_tests.dir/attacks/registry_test.cc.o.d"
+  "attacks_tests"
+  "attacks_tests.pdb"
+  "attacks_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attacks_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

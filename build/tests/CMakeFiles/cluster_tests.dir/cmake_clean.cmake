@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_tests.dir/cluster/kmeans_test.cc.o"
+  "CMakeFiles/cluster_tests.dir/cluster/kmeans_test.cc.o.d"
+  "CMakeFiles/cluster_tests.dir/cluster/tsne_test.cc.o"
+  "CMakeFiles/cluster_tests.dir/cluster/tsne_test.cc.o.d"
+  "cluster_tests"
+  "cluster_tests.pdb"
+  "cluster_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/async_filter_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/async_filter_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/filter_vs_attacks_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/filter_vs_attacks_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/staleness_groups_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/staleness_groups_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/suspicious_score_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/suspicious_score_test.cc.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/data/dataset_test.cc" "tests/CMakeFiles/data_tests.dir/data/dataset_test.cc.o" "gcc" "tests/CMakeFiles/data_tests.dir/data/dataset_test.cc.o.d"
+  "/root/repo/tests/data/partition_test.cc" "tests/CMakeFiles/data_tests.dir/data/partition_test.cc.o" "gcc" "tests/CMakeFiles/data_tests.dir/data/partition_test.cc.o.d"
+  "/root/repo/tests/data/synthetic_test.cc" "tests/CMakeFiles/data_tests.dir/data/synthetic_test.cc.o" "gcc" "tests/CMakeFiles/data_tests.dir/data/synthetic_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fl/CMakeFiles/af_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/af_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/defense/CMakeFiles/af_defense.dir/DependInfo.cmake"
+  "/root/repo/build/src/attacks/CMakeFiles/af_attacks.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/af_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/af_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/af_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/af_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/af_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/af_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_tests.dir/data/dataset_test.cc.o"
+  "CMakeFiles/data_tests.dir/data/dataset_test.cc.o.d"
+  "CMakeFiles/data_tests.dir/data/partition_test.cc.o"
+  "CMakeFiles/data_tests.dir/data/partition_test.cc.o.d"
+  "CMakeFiles/data_tests.dir/data/synthetic_test.cc.o"
+  "CMakeFiles/data_tests.dir/data/synthetic_test.cc.o.d"
+  "data_tests"
+  "data_tests.pdb"
+  "data_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/defense/aflguard_test.cc" "tests/CMakeFiles/defense_tests.dir/defense/aflguard_test.cc.o" "gcc" "tests/CMakeFiles/defense_tests.dir/defense/aflguard_test.cc.o.d"
+  "/root/repo/tests/defense/bucketing_test.cc" "tests/CMakeFiles/defense_tests.dir/defense/bucketing_test.cc.o" "gcc" "tests/CMakeFiles/defense_tests.dir/defense/bucketing_test.cc.o.d"
+  "/root/repo/tests/defense/defense_test.cc" "tests/CMakeFiles/defense_tests.dir/defense/defense_test.cc.o" "gcc" "tests/CMakeFiles/defense_tests.dir/defense/defense_test.cc.o.d"
+  "/root/repo/tests/defense/fldetector_test.cc" "tests/CMakeFiles/defense_tests.dir/defense/fldetector_test.cc.o" "gcc" "tests/CMakeFiles/defense_tests.dir/defense/fldetector_test.cc.o.d"
+  "/root/repo/tests/defense/fltrust_test.cc" "tests/CMakeFiles/defense_tests.dir/defense/fltrust_test.cc.o" "gcc" "tests/CMakeFiles/defense_tests.dir/defense/fltrust_test.cc.o.d"
+  "/root/repo/tests/defense/krum_test.cc" "tests/CMakeFiles/defense_tests.dir/defense/krum_test.cc.o" "gcc" "tests/CMakeFiles/defense_tests.dir/defense/krum_test.cc.o.d"
+  "/root/repo/tests/defense/nnm_test.cc" "tests/CMakeFiles/defense_tests.dir/defense/nnm_test.cc.o" "gcc" "tests/CMakeFiles/defense_tests.dir/defense/nnm_test.cc.o.d"
+  "/root/repo/tests/defense/staleness_weighting_test.cc" "tests/CMakeFiles/defense_tests.dir/defense/staleness_weighting_test.cc.o" "gcc" "tests/CMakeFiles/defense_tests.dir/defense/staleness_weighting_test.cc.o.d"
+  "/root/repo/tests/defense/trimmed_mean_test.cc" "tests/CMakeFiles/defense_tests.dir/defense/trimmed_mean_test.cc.o" "gcc" "tests/CMakeFiles/defense_tests.dir/defense/trimmed_mean_test.cc.o.d"
+  "/root/repo/tests/defense/zeno_test.cc" "tests/CMakeFiles/defense_tests.dir/defense/zeno_test.cc.o" "gcc" "tests/CMakeFiles/defense_tests.dir/defense/zeno_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fl/CMakeFiles/af_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/af_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/defense/CMakeFiles/af_defense.dir/DependInfo.cmake"
+  "/root/repo/build/src/attacks/CMakeFiles/af_attacks.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/af_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/af_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/af_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/af_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/af_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/af_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

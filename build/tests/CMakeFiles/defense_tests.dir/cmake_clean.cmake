@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/defense_tests.dir/defense/aflguard_test.cc.o"
+  "CMakeFiles/defense_tests.dir/defense/aflguard_test.cc.o.d"
+  "CMakeFiles/defense_tests.dir/defense/bucketing_test.cc.o"
+  "CMakeFiles/defense_tests.dir/defense/bucketing_test.cc.o.d"
+  "CMakeFiles/defense_tests.dir/defense/defense_test.cc.o"
+  "CMakeFiles/defense_tests.dir/defense/defense_test.cc.o.d"
+  "CMakeFiles/defense_tests.dir/defense/fldetector_test.cc.o"
+  "CMakeFiles/defense_tests.dir/defense/fldetector_test.cc.o.d"
+  "CMakeFiles/defense_tests.dir/defense/fltrust_test.cc.o"
+  "CMakeFiles/defense_tests.dir/defense/fltrust_test.cc.o.d"
+  "CMakeFiles/defense_tests.dir/defense/krum_test.cc.o"
+  "CMakeFiles/defense_tests.dir/defense/krum_test.cc.o.d"
+  "CMakeFiles/defense_tests.dir/defense/nnm_test.cc.o"
+  "CMakeFiles/defense_tests.dir/defense/nnm_test.cc.o.d"
+  "CMakeFiles/defense_tests.dir/defense/staleness_weighting_test.cc.o"
+  "CMakeFiles/defense_tests.dir/defense/staleness_weighting_test.cc.o.d"
+  "CMakeFiles/defense_tests.dir/defense/trimmed_mean_test.cc.o"
+  "CMakeFiles/defense_tests.dir/defense/trimmed_mean_test.cc.o.d"
+  "CMakeFiles/defense_tests.dir/defense/zeno_test.cc.o"
+  "CMakeFiles/defense_tests.dir/defense/zeno_test.cc.o.d"
+  "defense_tests"
+  "defense_tests.pdb"
+  "defense_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/defense_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fl_tests.dir/fl/client_test.cc.o"
+  "CMakeFiles/fl_tests.dir/fl/client_test.cc.o.d"
+  "CMakeFiles/fl_tests.dir/fl/experiment_test.cc.o"
+  "CMakeFiles/fl_tests.dir/fl/experiment_test.cc.o.d"
+  "CMakeFiles/fl_tests.dir/fl/integration_test.cc.o"
+  "CMakeFiles/fl_tests.dir/fl/integration_test.cc.o.d"
+  "CMakeFiles/fl_tests.dir/fl/metrics_test.cc.o"
+  "CMakeFiles/fl_tests.dir/fl/metrics_test.cc.o.d"
+  "CMakeFiles/fl_tests.dir/fl/simulation_test.cc.o"
+  "CMakeFiles/fl_tests.dir/fl/simulation_test.cc.o.d"
+  "CMakeFiles/fl_tests.dir/fl/trace_test.cc.o"
+  "CMakeFiles/fl_tests.dir/fl/trace_test.cc.o.d"
+  "fl_tests"
+  "fl_tests.pdb"
+  "fl_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fl_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/nn/conv2d_test.cc" "tests/CMakeFiles/nn_tests.dir/nn/conv2d_test.cc.o" "gcc" "tests/CMakeFiles/nn_tests.dir/nn/conv2d_test.cc.o.d"
+  "/root/repo/tests/nn/dense_test.cc" "tests/CMakeFiles/nn_tests.dir/nn/dense_test.cc.o" "gcc" "tests/CMakeFiles/nn_tests.dir/nn/dense_test.cc.o.d"
+  "/root/repo/tests/nn/gradient_check_test.cc" "tests/CMakeFiles/nn_tests.dir/nn/gradient_check_test.cc.o" "gcc" "tests/CMakeFiles/nn_tests.dir/nn/gradient_check_test.cc.o.d"
+  "/root/repo/tests/nn/loss_test.cc" "tests/CMakeFiles/nn_tests.dir/nn/loss_test.cc.o" "gcc" "tests/CMakeFiles/nn_tests.dir/nn/loss_test.cc.o.d"
+  "/root/repo/tests/nn/maxpool2d_test.cc" "tests/CMakeFiles/nn_tests.dir/nn/maxpool2d_test.cc.o" "gcc" "tests/CMakeFiles/nn_tests.dir/nn/maxpool2d_test.cc.o.d"
+  "/root/repo/tests/nn/models_test.cc" "tests/CMakeFiles/nn_tests.dir/nn/models_test.cc.o" "gcc" "tests/CMakeFiles/nn_tests.dir/nn/models_test.cc.o.d"
+  "/root/repo/tests/nn/optimizer_test.cc" "tests/CMakeFiles/nn_tests.dir/nn/optimizer_test.cc.o" "gcc" "tests/CMakeFiles/nn_tests.dir/nn/optimizer_test.cc.o.d"
+  "/root/repo/tests/nn/relu_flatten_test.cc" "tests/CMakeFiles/nn_tests.dir/nn/relu_flatten_test.cc.o" "gcc" "tests/CMakeFiles/nn_tests.dir/nn/relu_flatten_test.cc.o.d"
+  "/root/repo/tests/nn/sequential_test.cc" "tests/CMakeFiles/nn_tests.dir/nn/sequential_test.cc.o" "gcc" "tests/CMakeFiles/nn_tests.dir/nn/sequential_test.cc.o.d"
+  "/root/repo/tests/nn/serialize_test.cc" "tests/CMakeFiles/nn_tests.dir/nn/serialize_test.cc.o" "gcc" "tests/CMakeFiles/nn_tests.dir/nn/serialize_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fl/CMakeFiles/af_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/af_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/defense/CMakeFiles/af_defense.dir/DependInfo.cmake"
+  "/root/repo/build/src/attacks/CMakeFiles/af_attacks.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/af_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/af_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/af_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/af_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/af_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/af_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

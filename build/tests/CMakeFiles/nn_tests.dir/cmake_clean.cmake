@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_tests.dir/nn/conv2d_test.cc.o"
+  "CMakeFiles/nn_tests.dir/nn/conv2d_test.cc.o.d"
+  "CMakeFiles/nn_tests.dir/nn/dense_test.cc.o"
+  "CMakeFiles/nn_tests.dir/nn/dense_test.cc.o.d"
+  "CMakeFiles/nn_tests.dir/nn/gradient_check_test.cc.o"
+  "CMakeFiles/nn_tests.dir/nn/gradient_check_test.cc.o.d"
+  "CMakeFiles/nn_tests.dir/nn/loss_test.cc.o"
+  "CMakeFiles/nn_tests.dir/nn/loss_test.cc.o.d"
+  "CMakeFiles/nn_tests.dir/nn/maxpool2d_test.cc.o"
+  "CMakeFiles/nn_tests.dir/nn/maxpool2d_test.cc.o.d"
+  "CMakeFiles/nn_tests.dir/nn/models_test.cc.o"
+  "CMakeFiles/nn_tests.dir/nn/models_test.cc.o.d"
+  "CMakeFiles/nn_tests.dir/nn/optimizer_test.cc.o"
+  "CMakeFiles/nn_tests.dir/nn/optimizer_test.cc.o.d"
+  "CMakeFiles/nn_tests.dir/nn/relu_flatten_test.cc.o"
+  "CMakeFiles/nn_tests.dir/nn/relu_flatten_test.cc.o.d"
+  "CMakeFiles/nn_tests.dir/nn/sequential_test.cc.o"
+  "CMakeFiles/nn_tests.dir/nn/sequential_test.cc.o.d"
+  "CMakeFiles/nn_tests.dir/nn/serialize_test.cc.o"
+  "CMakeFiles/nn_tests.dir/nn/serialize_test.cc.o.d"
+  "nn_tests"
+  "nn_tests.pdb"
+  "nn_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/stats/dirichlet_test.cc" "tests/CMakeFiles/stats_tests.dir/stats/dirichlet_test.cc.o" "gcc" "tests/CMakeFiles/stats_tests.dir/stats/dirichlet_test.cc.o.d"
+  "/root/repo/tests/stats/normal_test.cc" "tests/CMakeFiles/stats_tests.dir/stats/normal_test.cc.o" "gcc" "tests/CMakeFiles/stats_tests.dir/stats/normal_test.cc.o.d"
+  "/root/repo/tests/stats/running_stats_test.cc" "tests/CMakeFiles/stats_tests.dir/stats/running_stats_test.cc.o" "gcc" "tests/CMakeFiles/stats_tests.dir/stats/running_stats_test.cc.o.d"
+  "/root/repo/tests/stats/summary_test.cc" "tests/CMakeFiles/stats_tests.dir/stats/summary_test.cc.o" "gcc" "tests/CMakeFiles/stats_tests.dir/stats/summary_test.cc.o.d"
+  "/root/repo/tests/stats/vec_ops_test.cc" "tests/CMakeFiles/stats_tests.dir/stats/vec_ops_test.cc.o" "gcc" "tests/CMakeFiles/stats_tests.dir/stats/vec_ops_test.cc.o.d"
+  "/root/repo/tests/stats/zipf_test.cc" "tests/CMakeFiles/stats_tests.dir/stats/zipf_test.cc.o" "gcc" "tests/CMakeFiles/stats_tests.dir/stats/zipf_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fl/CMakeFiles/af_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/af_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/defense/CMakeFiles/af_defense.dir/DependInfo.cmake"
+  "/root/repo/build/src/attacks/CMakeFiles/af_attacks.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/af_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/af_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/af_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/af_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/af_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/af_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_tests.dir/stats/dirichlet_test.cc.o"
+  "CMakeFiles/stats_tests.dir/stats/dirichlet_test.cc.o.d"
+  "CMakeFiles/stats_tests.dir/stats/normal_test.cc.o"
+  "CMakeFiles/stats_tests.dir/stats/normal_test.cc.o.d"
+  "CMakeFiles/stats_tests.dir/stats/running_stats_test.cc.o"
+  "CMakeFiles/stats_tests.dir/stats/running_stats_test.cc.o.d"
+  "CMakeFiles/stats_tests.dir/stats/summary_test.cc.o"
+  "CMakeFiles/stats_tests.dir/stats/summary_test.cc.o.d"
+  "CMakeFiles/stats_tests.dir/stats/vec_ops_test.cc.o"
+  "CMakeFiles/stats_tests.dir/stats/vec_ops_test.cc.o.d"
+  "CMakeFiles/stats_tests.dir/stats/zipf_test.cc.o"
+  "CMakeFiles/stats_tests.dir/stats/zipf_test.cc.o.d"
+  "stats_tests"
+  "stats_tests.pdb"
+  "stats_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

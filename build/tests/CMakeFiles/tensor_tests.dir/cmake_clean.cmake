@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tensor_tests.dir/tensor/tensor_ops_test.cc.o"
+  "CMakeFiles/tensor_tests.dir/tensor/tensor_ops_test.cc.o.d"
+  "CMakeFiles/tensor_tests.dir/tensor/tensor_test.cc.o"
+  "CMakeFiles/tensor_tests.dir/tensor/tensor_test.cc.o.d"
+  "tensor_tests"
+  "tensor_tests.pdb"
+  "tensor_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tensor_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_tests.dir/util/check_test.cc.o"
+  "CMakeFiles/util_tests.dir/util/check_test.cc.o.d"
+  "CMakeFiles/util_tests.dir/util/csv_test.cc.o"
+  "CMakeFiles/util_tests.dir/util/csv_test.cc.o.d"
+  "CMakeFiles/util_tests.dir/util/flags_test.cc.o"
+  "CMakeFiles/util_tests.dir/util/flags_test.cc.o.d"
+  "CMakeFiles/util_tests.dir/util/logging_test.cc.o"
+  "CMakeFiles/util_tests.dir/util/logging_test.cc.o.d"
+  "CMakeFiles/util_tests.dir/util/rng_test.cc.o"
+  "CMakeFiles/util_tests.dir/util/rng_test.cc.o.d"
+  "CMakeFiles/util_tests.dir/util/table_test.cc.o"
+  "CMakeFiles/util_tests.dir/util/table_test.cc.o.d"
+  "CMakeFiles/util_tests.dir/util/thread_pool_test.cc.o"
+  "CMakeFiles/util_tests.dir/util/thread_pool_test.cc.o.d"
+  "util_tests"
+  "util_tests.pdb"
+  "util_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
