@@ -1,9 +1,14 @@
 #include "bench_common.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/csv.h"
 #include "util/table.h"
 
@@ -76,6 +81,18 @@ std::vector<std::vector<double>> RunAttackDefenseGrid(
   util::CsvWriter csv(spec.csv_name);
   csv.WriteHeader(header);
 
+  struct CellRecord {
+    const char* defense;
+    const char* attack;
+    double accuracy_percent;
+    double wall_seconds;
+    std::size_t rounds;
+    fl::LatencySummary defense_latency;
+  };
+  std::vector<CellRecord> cells;
+  const auto grid_start = std::chrono::steady_clock::now();
+  std::size_t total_rounds = 0;
+
   std::vector<std::vector<double>> accuracy;
   for (auto defense : spec.defenses) {
     std::vector<std::string> row{fl::DefenseKindName(defense)};
@@ -84,12 +101,22 @@ std::vector<std::vector<double>> RunAttackDefenseGrid(
       fl::ExperimentConfig config = base;
       config.attack = attack;
       config.defense = defense;
-      double percent = fl::RunExperiment(config).final_accuracy * 100.0;
+      const auto cell_start = std::chrono::steady_clock::now();
+      fl::SimulationResult result = fl::RunExperiment(config);
+      const double cell_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        cell_start)
+              .count();
+      double percent = result.final_accuracy * 100.0;
+      total_rounds += result.rounds.size();
+      cells.push_back({fl::DefenseKindName(defense),
+                       attacks::AttackKindName(attack), percent, cell_seconds,
+                       result.rounds.size(), result.defense_latency});
       row_acc.push_back(percent);
       row.push_back(util::FormatFixed(percent) + "%");
-      std::fprintf(stderr, "  [%s / %s] %.1f%%\n",
+      std::fprintf(stderr, "  [%s / %s] %.1f%% (%.1fs)\n",
                    fl::DefenseKindName(defense), attacks::AttackKindName(attack),
-                   percent);
+                   percent, cell_seconds);
     }
     csv.WriteRow(row);
     table.AddRow(std::move(row));
@@ -97,6 +124,78 @@ std::vector<std::vector<double>> RunAttackDefenseGrid(
   }
   std::printf("%s", table.Render().c_str());
   std::printf("CSV written to %s\n\n", csv.path().c_str());
+
+  // Machine-readable perf record: BENCH_<csv stem>.json next to the CSV.
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    grid_start)
+          .count();
+  std::string stem = spec.csv_name;
+  if (auto dot = stem.rfind('.'); dot != std::string::npos) {
+    stem.resize(dot);
+  }
+  const std::string bench_json_path = "BENCH_" + stem + ".json";
+  obs::JsonWriter json;
+  json.BeginObject();
+  json.Key("name").String(stem);
+  json.Key("title").String(spec.title);
+  json.Key("wall_seconds").Number(wall_seconds);
+  json.Key("total_rounds").UInt(total_rounds);
+  json.Key("rounds_per_sec")
+      .Number(wall_seconds > 0.0
+                  ? static_cast<double>(total_rounds) / wall_seconds
+                  : 0.0);
+  json.Key("scale").Number(ScaleFactor());
+  json.Key("seed").UInt(BenchSeed());
+  json.Key("config").BeginObject();
+  json.Key("clients").UInt(base.num_clients);
+  json.Key("malicious").UInt(base.num_malicious);
+  json.Key("buffer_goal").UInt(base.sim.buffer_goal);
+  json.Key("staleness_limit").UInt(base.sim.staleness_limit);
+  json.Key("rounds").UInt(base.sim.rounds);
+  json.Key("dirichlet_alpha").Number(base.dirichlet_alpha);
+  json.Key("zipf_s").Number(base.sim.zipf_s);
+  json.EndObject();
+  json.Key("cells").BeginArray();
+  for (const CellRecord& cell : cells) {
+    json.BeginObject();
+    json.Key("defense").String(cell.defense);
+    json.Key("attack").String(cell.attack);
+    json.Key("accuracy_percent").Number(cell.accuracy_percent);
+    json.Key("wall_seconds").Number(cell.wall_seconds);
+    json.Key("rounds").UInt(cell.rounds);
+    json.Key("defense_latency").BeginObject();
+    json.Key("total_micros").Int(cell.defense_latency.total_micros);
+    json.Key("p50_micros").Number(cell.defense_latency.p50_micros);
+    json.Key("p95_micros").Number(cell.defense_latency.p95_micros);
+    json.Key("p99_micros").Number(cell.defense_latency.p99_micros);
+    json.EndObject();
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  {
+    std::ofstream out(bench_json_path, std::ios::trunc);
+    if (out) {
+      out << json.str() << '\n';
+      std::printf("perf record written to %s\n\n", bench_json_path.c_str());
+    } else {
+      std::fprintf(stderr, "warning: cannot write %s\n",
+                   bench_json_path.c_str());
+    }
+  }
+
+  // Optional observability dumps (see bench_common.h).
+  if (const char* trace_out = std::getenv("AF_TRACE_OUT");
+      trace_out != nullptr && trace_out[0] != '\0') {
+    obs::TraceRecorder::Global().WriteChromeTrace(trace_out);
+    std::printf("trace written to %s\n", trace_out);
+  }
+  if (const char* metrics_out = std::getenv("AF_METRICS_OUT");
+      metrics_out != nullptr && metrics_out[0] != '\0') {
+    obs::DefaultRegistry().WriteJson(metrics_out);
+    std::printf("metrics snapshot written to %s\n", metrics_out);
+  }
   return accuracy;
 }
 

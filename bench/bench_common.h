@@ -4,6 +4,13 @@
 // accuracy in percent) and writes a CSV next to the working directory.
 // AF_BENCH_SCALE (default 1.0) scales round counts for quick smoke runs,
 // AF_BENCH_SEED overrides the default seed.
+//
+// Every grid run additionally emits a machine-readable BENCH_<name>.json
+// (wall time, rounds/sec, per-cell accuracy and defense-latency percentiles)
+// so the perf trajectory across PRs can be tracked without parsing console
+// output. Observability env hooks: AF_TRACE=1 enables span collection,
+// AF_TRACE_OUT=FILE writes the Chrome trace at grid end, AF_METRICS_OUT=FILE
+// writes a metrics-registry snapshot, AF_LOG_LEVEL sets verbosity.
 #pragma once
 
 #include <string>
@@ -35,8 +42,9 @@ struct GridSpec {
   bool include_no_attack = true;
 };
 
-// Runs the full grid, prints the paper-shaped table and writes the CSV.
-// Returns accuracy[defense][attack] in percent.
+// Runs the full grid, prints the paper-shaped table, writes the CSV and the
+// BENCH_<csv stem>.json perf record. Returns accuracy[defense][attack] in
+// percent.
 std::vector<std::vector<double>> RunAttackDefenseGrid(
     const fl::ExperimentConfig& base, const GridSpec& spec);
 

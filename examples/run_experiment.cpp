@@ -15,14 +15,27 @@
 //   --trace FILE      per-round CSV        --summary FILE  run summary CSV
 //   --save-model FILE final global model checkpoint (AFPM binary)
 //   --quiet           suppress per-round output
+//
+// Observability (see docs/OBSERVABILITY.md):
+//   --jsonl FILE       per-round telemetry as JSON lines
+//   --trace-out FILE   Chrome trace-event JSON of the run's internal spans
+//                      (open in chrome://tracing or ui.perfetto.dev);
+//                      implicitly enables span collection
+//   --metrics-out FILE metrics-registry snapshot JSON (counters, gauges,
+//                      latency histograms with p50/p95/p99)
+//   --log-level LVL    trace | debug | info | warn | error
 #include <cstdio>
 #include <string>
 
 #include "fl/experiment.h"
+#include "fl/telemetry.h"
 #include "fl/trace.h"
 #include "nn/serialize.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/flags.h"
+#include "util/logging.h"
 
 namespace {
 
@@ -48,6 +61,16 @@ data::Profile ParseProfile(const std::string& name) {
 int main(int argc, char** argv) {
   util::FlagParser flags(argc, argv);
   try {
+    if (flags.Has("log-level")) {
+      const std::string name = flags.GetString("log-level", "info");
+      const auto level = util::ParseLogLevel(name);
+      AF_CHECK(level.has_value()) << "unknown --log-level: " << name;
+      util::SetLogLevel(*level);
+    }
+    if (flags.Has("trace-out")) {
+      obs::TraceRecorder::Global().SetEnabled(true);
+    }
+
     const data::Profile profile =
         ParseProfile(flags.GetString("profile", "fashionmnist"));
     const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed", 7));
@@ -100,13 +123,31 @@ int main(int argc, char** argv) {
     if (flags.Has("summary")) {
       fl::WriteSummaryCsv(result, flags.GetString("summary", ""));
     }
+    if (flags.Has("jsonl")) {
+      fl::WriteRoundsJsonl(result, flags.GetString("jsonl", ""));
+      std::printf("round telemetry written to %s\n",
+                  flags.GetString("jsonl", "").c_str());
+    }
+    if (flags.Has("trace-out")) {
+      const std::string path = flags.GetString("trace-out", "");
+      obs::TraceRecorder::Global().WriteChromeTrace(path);
+      std::printf("trace (%zu spans) written to %s — open in "
+                  "chrome://tracing or ui.perfetto.dev\n",
+                  obs::TraceRecorder::Global().SpanCount(), path.c_str());
+    }
+    if (flags.Has("metrics-out")) {
+      const std::string path = flags.GetString("metrics-out", "");
+      obs::DefaultRegistry().WriteJson(path);
+      std::printf("metrics snapshot written to %s\n", path.c_str());
+    }
     if (flags.Has("save-model")) {
       nn::SaveFlatParams(flags.GetString("save-model", ""), result.final_model);
       std::printf("model checkpoint written to %s (%zu params)\n",
                   flags.GetString("save-model", "").c_str(),
                   result.final_model.size());
     }
-  } catch (const util::CheckError& e) {
+  } catch (const std::exception& e) {
+    // util::CheckError and the observability writers' std::runtime_error.
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace cluster {
@@ -67,6 +68,7 @@ KMeansResult RunOnce(const std::vector<std::vector<double>>& points,
   result.assignment.assign(points.size(), 0);
 
   for (std::size_t iter = 0; iter < max_iterations; ++iter) {
+    AF_TRACE_SPAN("kmeans.iter");
     bool changed = false;
     // Assign.
     for (std::size_t i = 0; i < points.size(); ++i) {
@@ -135,6 +137,7 @@ KMeansResult RunOnce(const std::vector<std::vector<double>>& points,
 KMeansResult KMeans(const std::vector<std::vector<double>>& points,
                     std::size_t k, std::mt19937_64& rng,
                     const KMeansOptions& options) {
+  AF_TRACE_SPAN("kmeans.run");
   AF_CHECK(!points.empty());
   AF_CHECK_GT(k, 0u);
   const std::size_t dim = points.front().size();

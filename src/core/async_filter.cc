@@ -5,6 +5,7 @@
 
 #include "cluster/kmeans.h"
 #include "core/suspicious_score.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace core {
@@ -29,28 +30,35 @@ void AsyncFilter::Reset() {
 defense::AggregationResult AsyncFilter::Process(
     const defense::FilterContext& context,
     const std::vector<fl::ModelUpdate>& updates) {
+  AF_TRACE_SPAN("filter.process");
   AF_CHECK(!updates.empty());
   AF_CHECK(context.rng != nullptr) << "AsyncFilter needs the server RNG";
 
   // Step 1 (Eq. 4–5): fold the arrivals into their staleness groups'
   // moving-average estimators. Alg. 1 absorbs before scoring.
-  if (!options_.absorb_only_accepted) {
-    for (const auto& update : updates) {
-      bank_.Absorb(update.staleness, update.delta);
-    }
-  } else {
-    // Ensure every staleness level has at least one observation so scoring
-    // is well-defined; the accepted ones are absorbed at the end.
-    for (const auto& update : updates) {
-      if (!bank_.HasGroup(update.staleness)) {
+  {
+    AF_TRACE_SPAN("filter.absorb");
+    if (!options_.absorb_only_accepted) {
+      for (const auto& update : updates) {
         bank_.Absorb(update.staleness, update.delta);
+      }
+    } else {
+      // Ensure every staleness level has at least one observation so scoring
+      // is well-defined; the accepted ones are absorbed at the end.
+      for (const auto& update : updates) {
+        if (!bank_.HasGroup(update.staleness)) {
+          bank_.Absorb(update.staleness, update.delta);
+        }
       }
     }
   }
 
   // Step 2 (Eq. 6–7): suspicious scores.
-  const std::vector<double> scores =
-      ComputeSuspiciousScores(updates, bank_, options_.normalization);
+  std::vector<double> scores;
+  {
+    AF_TRACE_SPAN("filter.score");
+    scores = ComputeSuspiciousScores(updates, bank_, options_.normalization);
+  }
 
   std::vector<std::size_t> accepted;
   std::vector<std::size_t> mid;
@@ -64,6 +72,7 @@ defense::AggregationResult AsyncFilter::Process(
     std::iota(accepted.begin(), accepted.end(), 0u);
   } else {
     // Step 3: k-means over the 1-D scores; order bands by centroid.
+    AF_TRACE_SPAN("filter.cluster");
     cluster::KMeansResult clustering =
         cluster::KMeans1D(scores, k, *context.rng);
     std::vector<std::size_t> band_order(k);

@@ -1,5 +1,7 @@
 #include "core/staleness_groups.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace core {
@@ -15,7 +17,16 @@ std::map<std::size_t, std::vector<std::size_t>> GroupByStaleness(
 
 void MovingAverageBank::Absorb(std::size_t staleness,
                                std::span<const float> delta) {
+  AF_TRACE_SPAN("staleness.absorb");
+  const std::size_t groups_before = groups_.size();
   groups_[staleness].Add(delta);
+  if (groups_.size() != groups_before) {
+    // Registry traffic only when a new staleness level appears (a handful of
+    // times per run), so the per-update absorb path stays pure vector math.
+    obs::DefaultRegistry()
+        .GetGauge("filter.staleness_groups")
+        .Set(static_cast<double>(groups_.size()));
+  }
 }
 
 bool MovingAverageBank::HasGroup(std::size_t staleness) const {

@@ -1,6 +1,7 @@
 #include "fl/client.h"
 
 #include "nn/loss.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace fl {
@@ -19,6 +20,7 @@ Client::Client(int id, const data::Dataset* dataset,
 std::vector<float> Client::TrainOnce(std::span<const float> base_params,
                                      const LocalTrainConfig& config,
                                      std::mt19937_64& rng) {
+  AF_TRACE_SPAN("client.train");
   model_->SetFlatParams(base_params);
   std::unique_ptr<nn::Optimizer> optimizer = nn::MakeOptimizer(config.optimizer);
 
@@ -52,6 +54,7 @@ std::vector<float> Client::TrainOnce(std::span<const float> base_params,
 double EvaluateAccuracy(const nn::ModelSpec& spec, nn::Sequential& model,
                         std::span<const float> params,
                         const data::Dataset& dataset, std::size_t batch_size) {
+  AF_TRACE_SPAN("eval.batch_accuracy");
   AF_CHECK_GT(dataset.size(), 0u);
   AF_CHECK_EQ(dataset.num_classes, spec.num_classes);
   model.SetFlatParams(params);

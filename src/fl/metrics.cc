@@ -1,5 +1,7 @@
 #include "fl/metrics.h"
 
+#include "obs/metrics.h"
+
 namespace fl {
 
 void ConfusionCounts::Add(const ConfusionCounts& other) {
@@ -26,14 +28,23 @@ double ConfusionCounts::Recall() const {
 void FinalizeResult(SimulationResult& result) {
   result.total_confusion = ConfusionCounts{};
   result.total_dropped_stale = 0;
+  result.defense_latency = LatencySummary{};
+  obs::Histogram latency;  // exponential μs buckets, [1, 2^31]
   std::vector<double> evals;
   for (const auto& record : result.rounds) {
     result.total_confusion.Add(record.confusion);
     result.total_dropped_stale += record.dropped_stale;
+    result.defense_latency.total_micros += record.defense_micros;
+    latency.Record(static_cast<double>(record.defense_micros));
     if (record.test_accuracy >= 0.0) {
       evals.push_back(record.test_accuracy);
     }
   }
+  result.defense_latency.samples = latency.Count();
+  result.defense_latency.p50_micros = latency.Percentile(0.50);
+  result.defense_latency.p95_micros = latency.Percentile(0.95);
+  result.defense_latency.p99_micros = latency.Percentile(0.99);
+  result.defense_latency.max_micros = latency.Max();
   if (evals.empty()) {
     result.final_accuracy = 0.0;
     return;

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstddef>
+#include <map>
 #include <vector>
 
 namespace fl {
@@ -30,7 +31,20 @@ struct RoundRecord {
   double mean_staleness = 0.0;
   // Wall-clock cost of Defense::Process for this round (server overhead).
   long long defense_micros = 0;
+  // Staleness τ → number of buffered updates with that τ this round.
+  std::map<std::size_t, std::size_t> staleness_histogram;
   ConfusionCounts confusion;
+};
+
+// Distribution summary of the per-round Defense::Process wall-clock cost
+// (the paper's Table 10 "server overhead" claim, now with tails).
+struct LatencySummary {
+  long long total_micros = 0;
+  std::size_t samples = 0;
+  double p50_micros = 0.0;
+  double p95_micros = 0.0;
+  double p99_micros = 0.0;
+  double max_micros = 0.0;
 };
 
 struct SimulationResult {
@@ -40,6 +54,7 @@ struct SimulationResult {
   double final_accuracy = 0.0;
   ConfusionCounts total_confusion;
   std::size_t total_dropped_stale = 0;
+  LatencySummary defense_latency;
   std::vector<float> final_model;
 };
 

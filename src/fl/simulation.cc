@@ -1,10 +1,11 @@
 #include "fl/simulation.h"
 
 #include <algorithm>
+#include <chrono>
 #include <numeric>
 
-#include <chrono>
-
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "stats/zipf.h"
 #include "util/check.h"
 #include "util/logging.h"
@@ -107,7 +108,9 @@ std::vector<std::vector<float>> Simulation::TrainBatch(
 
   std::vector<std::vector<float>> honest(batch.size());
   for (const auto& wave : waves) {
+    AF_TRACE_SPAN("train.wave");
     pool_->ParallelFor(wave.size(), [&](std::size_t w) {
+      AF_TRACE_SPAN("train.job");
       const std::size_t j = wave[w];
       const Job& job = batch[j];
       const std::size_t cid = static_cast<std::size_t>(job.client_id);
@@ -121,15 +124,29 @@ std::vector<std::vector<float>> Simulation::TrainBatch(
 }
 
 std::vector<float> Simulation::ServerReferenceUpdate() {
+  AF_TRACE_SPAN("server.reference");
   AF_CHECK(server_trainer_ != nullptr);
   auto rng = rngs_.Stream("server-reference", round_);
   return server_trainer_->TrainOnce(*global_, config_.local, rng);
 }
 
 SimulationResult Simulation::Run() {
+  AF_TRACE_SPAN("sim.run");
   SimulationResult result;
   auto server_rng = rngs_.Stream("server-defense");
   auto eval_model = spec_.factory(config_.seed);
+
+  // Run-level metrics; labelled by defense so grid runs stay separable.
+  const obs::Labels metric_labels{{"defense", defense_->Name()}};
+  obs::MetricsRegistry& registry = obs::DefaultRegistry();
+  obs::Histogram& defense_latency_us =
+      registry.GetHistogram("defense.latency_us", metric_labels);
+  obs::Histogram& staleness_hist =
+      registry.GetHistogram("sim.update_staleness", metric_labels,
+                            {.first_bound = 1.0, .growth = 2.0,
+                             .bucket_count = 12});
+  obs::Counter& rounds_counter = registry.GetCounter("sim.rounds",
+                                                     metric_labels);
 
   // Kick off every client (the paper's sampler selects all 100 each round).
   for (std::size_t c = 0; c < clients_.size(); ++c) {
@@ -223,7 +240,11 @@ SimulationResult Simulation::Run() {
       ctx.server_reference = server_ref;
     }
     const auto defense_start = std::chrono::steady_clock::now();
-    defense::AggregationResult agg = defense_->Process(ctx, buffer);
+    defense::AggregationResult agg;
+    {
+      AF_TRACE_SPAN("defense.process");
+      agg = defense_->Process(ctx, buffer);
+    }
     const auto defense_end = std::chrono::steady_clock::now();
     AF_CHECK_EQ(agg.verdicts.size(), buffer.size());
 
@@ -236,6 +257,8 @@ SimulationResult Simulation::Run() {
     double staleness_sum = 0.0;
     for (std::size_t i = 0; i < buffer.size(); ++i) {
       staleness_sum += static_cast<double>(buffer[i].staleness);
+      ++record.staleness_histogram[buffer[i].staleness];
+      staleness_hist.Record(static_cast<double>(buffer[i].staleness));
       const bool rejected = agg.verdicts[i] == defense::Verdict::kRejected;
       const bool malicious = buffer[i].is_malicious_truth;
       if (rejected) {
@@ -264,6 +287,8 @@ SimulationResult Simulation::Run() {
         std::chrono::duration_cast<std::chrono::microseconds>(defense_end -
                                                               defense_start)
             .count();
+    defense_latency_us.Record(static_cast<double>(record.defense_micros));
+    rounds_counter.Increment();
 
     if (!agg.aggregated_delta.empty()) {
       AF_CHECK_EQ(agg.aggregated_delta.size(), global_->size());
@@ -278,11 +303,20 @@ SimulationResult Simulation::Run() {
     buffer = std::move(agg.deferred);
 
     if (round_ % config_.eval_every == 0 || round_ == config_.rounds) {
+      AF_TRACE_SPAN("eval.accuracy");
       record.test_accuracy =
           EvaluateAccuracy(spec_, *eval_model, *global_, *test_set_);
       AF_LOG(kDebug) << defense_->Name() << " round " << round_
                      << " acc=" << record.test_accuracy;
     }
+    registry.GetCounter("sim.updates_accepted", metric_labels)
+        .Increment(record.accepted);
+    registry.GetCounter("sim.updates_rejected", metric_labels)
+        .Increment(record.rejected);
+    registry.GetCounter("sim.updates_deferred", metric_labels)
+        .Increment(record.deferred);
+    registry.GetCounter("sim.updates_dropped_stale", metric_labels)
+        .Increment(record.dropped_stale);
     result.rounds.push_back(record);
   }
 

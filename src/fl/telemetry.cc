@@ -1,0 +1,91 @@
+#include "fl/telemetry.h"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "obs/json.h"
+
+namespace fl {
+namespace {
+
+void AppendConfusion(obs::JsonWriter& json, const ConfusionCounts& confusion) {
+  json.Key("confusion").BeginObject();
+  json.Key("tp").UInt(confusion.true_positive);
+  json.Key("fp").UInt(confusion.false_positive);
+  json.Key("tn").UInt(confusion.true_negative);
+  json.Key("fn").UInt(confusion.false_negative);
+  json.EndObject();
+}
+
+std::string RoundJson(const RoundRecord& r) {
+  obs::JsonWriter json;
+  json.BeginObject();
+  json.Key("round").UInt(r.round);
+  json.Key("sim_time").Number(r.sim_time);
+  json.Key("test_accuracy");
+  if (r.test_accuracy >= 0.0) {
+    json.Number(r.test_accuracy);
+  } else {
+    json.Null();
+  }
+  json.Key("buffered").UInt(r.buffered);
+  json.Key("accepted").UInt(r.accepted);
+  json.Key("rejected").UInt(r.rejected);
+  json.Key("deferred").UInt(r.deferred);
+  json.Key("dropped_stale").UInt(r.dropped_stale);
+  json.Key("mean_staleness").Number(r.mean_staleness);
+  json.Key("defense_micros").Int(r.defense_micros);
+  json.Key("staleness_histogram").BeginObject();
+  for (const auto& [staleness, count] : r.staleness_histogram) {
+    json.Key(std::to_string(staleness)).UInt(count);
+  }
+  json.EndObject();
+  AppendConfusion(json, r.confusion);
+  json.EndObject();
+  return json.TakeString();
+}
+
+}  // namespace
+
+void WriteRoundsJsonl(const SimulationResult& result,
+                      const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("cannot open telemetry output: " + path);
+  }
+  for (const RoundRecord& r : result.rounds) {
+    out << RoundJson(r) << '\n';
+  }
+}
+
+std::string RunSummaryJson(const SimulationResult& result) {
+  obs::JsonWriter json;
+  json.BeginObject();
+  json.Key("final_accuracy").Number(result.final_accuracy);
+  json.Key("rounds").UInt(result.rounds.size());
+  json.Key("total_dropped_stale").UInt(result.total_dropped_stale);
+  json.Key("detection_precision").Number(result.total_confusion.Precision());
+  json.Key("detection_recall").Number(result.total_confusion.Recall());
+  AppendConfusion(json, result.total_confusion);
+  json.Key("defense_latency").BeginObject();
+  json.Key("total_micros").Int(result.defense_latency.total_micros);
+  json.Key("samples").UInt(result.defense_latency.samples);
+  json.Key("p50_micros").Number(result.defense_latency.p50_micros);
+  json.Key("p95_micros").Number(result.defense_latency.p95_micros);
+  json.Key("p99_micros").Number(result.defense_latency.p99_micros);
+  json.Key("max_micros").Number(result.defense_latency.max_micros);
+  json.EndObject();
+  json.EndObject();
+  return json.TakeString();
+}
+
+void WriteRunSummaryJson(const SimulationResult& result,
+                         const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("cannot open telemetry output: " + path);
+  }
+  out << RunSummaryJson(result) << '\n';
+}
+
+}  // namespace fl

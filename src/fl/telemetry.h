@@ -1,0 +1,30 @@
+// Structured run telemetry: machine-readable JSON exports of a simulation,
+// complementing the CSVs in fl/trace.h.
+//
+// JSONL (one JSON object per line, one line per aggregation round) is the
+// format multidimensional-time-series consumers (FLANDERS-style detectors,
+// pandas.read_json(lines=True), jq) ingest directly; the run summary JSON is
+// what the bench harness embeds into its BENCH_<name>.json trajectory files.
+#pragma once
+
+#include <string>
+
+#include "fl/metrics.h"
+
+namespace fl {
+
+// One line per round:
+//   {"round":0,"sim_time":…,"test_accuracy":…|null,"buffered":…,
+//    "accepted":…,"rejected":…,"deferred":…,"dropped_stale":…,
+//    "mean_staleness":…,"defense_micros":…,
+//    "staleness_histogram":{"0":12,"3":5,…},
+//    "confusion":{"tp":…,"fp":…,"tn":…,"fn":…}}
+void WriteRoundsJsonl(const SimulationResult& result, const std::string& path);
+
+// The run-level summary as a single JSON object (final accuracy, confusion
+// totals, precision/recall, defense-latency percentiles).
+std::string RunSummaryJson(const SimulationResult& result);
+void WriteRunSummaryJson(const SimulationResult& result,
+                         const std::string& path);
+
+}  // namespace fl

@@ -31,12 +31,18 @@ void WriteRoundTraceCsv(const SimulationResult& result,
 void WriteSummaryCsv(const SimulationResult& result, const std::string& path) {
   util::CsvWriter csv(path);
   csv.WriteHeader({"final_accuracy", "rounds", "total_dropped_stale",
-                   "detection_precision", "detection_recall"});
+                   "detection_precision", "detection_recall",
+                   "defense_total_micros", "defense_p50_micros",
+                   "defense_p95_micros", "defense_p99_micros"});
   csv.WriteRow({util::FormatFixed(result.final_accuracy, 4),
                 std::to_string(result.rounds.size()),
                 std::to_string(result.total_dropped_stale),
                 util::FormatFixed(result.total_confusion.Precision(), 4),
-                util::FormatFixed(result.total_confusion.Recall(), 4)});
+                util::FormatFixed(result.total_confusion.Recall(), 4),
+                std::to_string(result.defense_latency.total_micros),
+                util::FormatFixed(result.defense_latency.p50_micros, 1),
+                util::FormatFixed(result.defense_latency.p95_micros, 1),
+                util::FormatFixed(result.defense_latency.p99_micros, 1)});
 }
 
 }  // namespace fl

@@ -1,0 +1,372 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace obs {
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(static_cast<char>(c));
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) {
+    return "null";
+  }
+  char buf[32];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  if (ec != std::errc{}) {
+    return "null";
+  }
+  return std::string(buf, ptr);
+}
+
+void JsonWriter::Comma() {
+  if (needs_comma_.back()) {
+    out_.push_back(',');
+  }
+  needs_comma_.back() = true;
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  Comma();
+  out_.push_back('{');
+  needs_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  out_.push_back('}');
+  needs_comma_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  Comma();
+  out_.push_back('[');
+  needs_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  out_.push_back(']');
+  needs_comma_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view name) {
+  Comma();
+  out_.push_back('"');
+  out_ += JsonEscape(name);
+  out_ += "\":";
+  needs_comma_.back() = false;  // the value that follows carries no comma
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(std::string_view value) {
+  Comma();
+  out_.push_back('"');
+  out_ += JsonEscape(value);
+  out_.push_back('"');
+  return *this;
+}
+
+JsonWriter& JsonWriter::Number(double value) {
+  Comma();
+  out_ += JsonNumber(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Int(std::int64_t value) {
+  Comma();
+  out_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::UInt(std::uint64_t value) {
+  Comma();
+  out_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool value) {
+  Comma();
+  out_ += value ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  Comma();
+  out_ += "null";
+  return *this;
+}
+
+namespace {
+
+// Recursive-descent JSON syntax checker.
+class Linter {
+ public:
+  explicit Linter(std::string_view text) : text_(text) {}
+
+  bool Run(std::string* error) {
+    SkipWs();
+    if (!Value()) {
+      Fail("invalid value");
+    } else {
+      SkipWs();
+      if (!failed_ && pos_ != text_.size()) {
+        Fail("trailing characters after value");
+      }
+    }
+    if (failed_ && error != nullptr) {
+      *error = "offset " + std::to_string(fail_pos_) + ": " + reason_;
+    }
+    return !failed_;
+  }
+
+ private:
+  void Fail(const char* reason) {
+    if (!failed_) {
+      failed_ = true;
+      fail_pos_ = pos_;
+      reason_ = reason;
+    }
+  }
+
+  bool Eof() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+
+  void SkipWs() {
+    while (!Eof() && (Peek() == ' ' || Peek() == '\t' || Peek() == '\n' ||
+                      Peek() == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) {
+      return false;
+    }
+    pos_ += word.size();
+    return true;
+  }
+
+  bool StringValue() {
+    if (Eof() || Peek() != '"') {
+      return false;
+    }
+    ++pos_;
+    while (!Eof()) {
+      char c = text_[pos_++];
+      if (c == '"') {
+        return true;
+      }
+      if (c == '\\') {
+        if (Eof()) {
+          break;
+        }
+        char esc = text_[pos_++];
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            if (Eof() || !std::isxdigit(static_cast<unsigned char>(Peek()))) {
+              Fail("bad \\u escape");
+              return false;
+            }
+            ++pos_;
+          }
+        } else if (std::string_view("\"\\/bfnrt").find(esc) ==
+                   std::string_view::npos) {
+          Fail("bad escape character");
+          return false;
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        Fail("raw control character in string");
+        return false;
+      }
+    }
+    Fail("unterminated string");
+    return false;
+  }
+
+  bool NumberValue() {
+    std::size_t start = pos_;
+    if (!Eof() && Peek() == '-') {
+      ++pos_;
+    }
+    std::size_t digits = 0;
+    while (!Eof() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+      ++pos_;
+      ++digits;
+    }
+    if (digits == 0) {
+      pos_ = start;
+      return false;
+    }
+    if (!Eof() && Peek() == '.') {
+      ++pos_;
+      std::size_t frac = 0;
+      while (!Eof() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        ++pos_;
+        ++frac;
+      }
+      if (frac == 0) {
+        Fail("digit expected after decimal point");
+        return false;
+      }
+    }
+    if (!Eof() && (Peek() == 'e' || Peek() == 'E')) {
+      ++pos_;
+      if (!Eof() && (Peek() == '+' || Peek() == '-')) {
+        ++pos_;
+      }
+      std::size_t exp = 0;
+      while (!Eof() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        ++pos_;
+        ++exp;
+      }
+      if (exp == 0) {
+        Fail("digit expected in exponent");
+        return false;
+      }
+    }
+    return true;
+  }
+
+  bool ObjectValue() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (!Eof() && Peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      SkipWs();
+      if (!StringValue()) {
+        Fail("object key expected");
+        return false;
+      }
+      SkipWs();
+      if (Eof() || Peek() != ':') {
+        Fail("':' expected");
+        return false;
+      }
+      ++pos_;
+      SkipWs();
+      if (!Value()) {
+        Fail("object value expected");
+        return false;
+      }
+      SkipWs();
+      if (!Eof() && Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (!Eof() && Peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      Fail("',' or '}' expected");
+      return false;
+    }
+  }
+
+  bool ArrayValue() {
+    ++pos_;  // '['
+    SkipWs();
+    if (!Eof() && Peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      SkipWs();
+      if (!Value()) {
+        Fail("array element expected");
+        return false;
+      }
+      SkipWs();
+      if (!Eof() && Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (!Eof() && Peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      Fail("',' or ']' expected");
+      return false;
+    }
+  }
+
+  bool Value() {
+    if (Eof()) {
+      return false;
+    }
+    switch (Peek()) {
+      case '{':
+        return ObjectValue();
+      case '[':
+        return ArrayValue();
+      case '"':
+        return StringValue();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return NumberValue();
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+  std::size_t fail_pos_ = 0;
+  std::string reason_;
+};
+
+}  // namespace
+
+bool JsonLint(std::string_view text, std::string* error) {
+  return Linter(text).Run(error);
+}
+
+}  // namespace obs

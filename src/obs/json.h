@@ -1,0 +1,65 @@
+// Minimal JSON emission + syntax checking shared by the observability layer.
+//
+// The streaming writer covers everything the repo emits (metrics snapshots,
+// Chrome trace files, per-round JSONL telemetry, bench summaries) without a
+// third-party dependency; the linter lets tests and tools validate emitted
+// files without building a DOM.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace obs {
+
+// Escapes `s` for inclusion inside a JSON string literal (no surrounding
+// quotes added).
+std::string JsonEscape(std::string_view s);
+
+// Streaming JSON writer. Callers are responsible for structural correctness
+// (Key only inside objects, matching Begin/End); commas are inserted
+// automatically. Non-finite doubles are emitted as null so files stay
+// parseable.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+  JsonWriter& Key(std::string_view name);
+  JsonWriter& String(std::string_view value);
+  JsonWriter& Number(double value);
+  JsonWriter& Int(std::int64_t value);
+  JsonWriter& UInt(std::uint64_t value);
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+
+  const std::string& str() const { return out_; }
+
+  // Returns the emitted text and resets the writer for reuse.
+  std::string TakeString() {
+    std::string out = std::move(out_);
+    out_.clear();
+    needs_comma_.assign(1, false);
+    return out;
+  }
+
+ private:
+  void Comma();
+
+  std::string out_;
+  // One entry per open container: whether the next value needs a comma.
+  std::vector<bool> needs_comma_{false};
+};
+
+// Shortest-round-trip formatting for a double (to_chars); non-finite values
+// become "null".
+std::string JsonNumber(double value);
+
+// True when `text` is one syntactically valid JSON value (with optional
+// surrounding whitespace). On failure fills `error` (when non-null) with a
+// byte offset + reason. Pure syntax check — no DOM, no semantic limits.
+bool JsonLint(std::string_view text, std::string* error = nullptr);
+
+}  // namespace obs

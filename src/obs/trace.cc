@@ -1,0 +1,138 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <stdexcept>
+
+#include "obs/json.h"
+
+namespace obs {
+
+TraceRecorder::TraceRecorder(TraceRecorderOptions options)
+    : options_(options) {
+  if (options_.shard_count == 0 || options_.shard_capacity == 0) {
+    throw std::invalid_argument("trace recorder needs shards and capacity");
+  }
+  shards_ = std::vector<Shard>(options_.shard_count);
+  for (Shard& shard : shards_) {
+    shard.ring.resize(options_.shard_capacity);
+  }
+}
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder* recorder = [] {
+    auto* r = new TraceRecorder();
+    const char* env = std::getenv("AF_TRACE");
+    if (env != nullptr && env[0] != '\0' && env[0] != '0') {
+      r->SetEnabled(true);
+    }
+    return r;
+  }();
+  return *recorder;
+}
+
+std::uint32_t TraceRecorder::CurrentThreadId() {
+  static std::atomic<std::uint32_t> next_id{0};
+  thread_local std::uint32_t id =
+      next_id.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+void TraceRecorder::Record(const char* name, std::uint64_t begin_ns,
+                           std::uint64_t end_ns) {
+  const std::uint32_t tid = CurrentThreadId();
+  Shard& shard = shards_[tid % shards_.size()];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  if (shard.filled == shard.ring.size()) {
+    ++shard.dropped;  // overwriting the oldest entry
+  } else {
+    ++shard.filled;
+  }
+  shard.ring[shard.next] = SpanEvent{name, tid, begin_ns, end_ns};
+  shard.next = (shard.next + 1) % shard.ring.size();
+}
+
+std::vector<SpanEvent> TraceRecorder::Snapshot() const {
+  std::vector<SpanEvent> events;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    // Oldest-first: the ring's live region ends at `next`.
+    const std::size_t capacity = shard.ring.size();
+    const std::size_t start =
+        (shard.next + capacity - shard.filled) % capacity;
+    for (std::size_t i = 0; i < shard.filled; ++i) {
+      events.push_back(shard.ring[(start + i) % capacity]);
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const SpanEvent& a, const SpanEvent& b) {
+              return a.begin_ns < b.begin_ns;
+            });
+  return events;
+}
+
+std::uint64_t TraceRecorder::DroppedCount() const {
+  std::uint64_t dropped = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    dropped += shard.dropped;
+  }
+  return dropped;
+}
+
+std::size_t TraceRecorder::SpanCount() const {
+  std::size_t count = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    count += shard.filled;
+  }
+  return count;
+}
+
+void TraceRecorder::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.next = 0;
+    shard.filled = 0;
+    shard.dropped = 0;
+  }
+}
+
+void TraceRecorder::WriteChromeTrace(const std::string& path) const {
+  const std::vector<SpanEvent> events = Snapshot();
+  std::uint64_t epoch = 0;
+  if (!events.empty()) {
+    epoch = events.front().begin_ns;  // Snapshot() sorts by begin time
+  }
+
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("traceEvents").BeginArray();
+  for (const SpanEvent& event : events) {
+    json.BeginObject();
+    json.Key("name").String(event.name != nullptr ? event.name : "?");
+    json.Key("cat").String("af");
+    json.Key("ph").String("X");
+    json.Key("ts").Number(static_cast<double>(event.begin_ns - epoch) / 1e3);
+    json.Key("dur").Number(
+        static_cast<double>(event.end_ns - event.begin_ns) / 1e3);
+    json.Key("pid").Int(1);
+    json.Key("tid").Int(static_cast<std::int64_t>(event.thread_id));
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("displayTimeUnit").String("ms");
+  json.Key("otherData").BeginObject();
+  json.Key("dropped_spans").UInt(DroppedCount());
+  json.EndObject();
+  json.EndObject();
+
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("cannot open trace output: " + path);
+  }
+  out << json.str() << '\n';
+}
+
+}  // namespace obs

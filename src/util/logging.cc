@@ -1,16 +1,53 @@
 #include "util/logging.h"
 
 #include <atomic>
+#include <cctype>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <ctime>
 
 namespace util {
 namespace {
 
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
 std::mutex g_log_mutex;
+std::once_flag g_env_once;
 
-const char* LevelName(LogLevel level) {
+// AF_LOG_LEVEL is consulted once, lazily, so an explicit SetLogLevel()
+// call before any logging still wins over the environment.
+void InitLevelFromEnv() {
+  const char* env = std::getenv("AF_LOG_LEVEL");
+  if (env == nullptr) {
+    return;
+  }
+  if (auto level = ParseLogLevel(env)) {
+    g_min_level = static_cast<int>(*level);
+  } else {
+    std::fprintf(stderr, "[WARN] unrecognised AF_LOG_LEVEL '%s' ignored\n",
+                 env);
+  }
+}
+
+void FormatTimestamp(char* buf, std::size_t size) {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t seconds = std::chrono::system_clock::to_time_t(now);
+  const auto millis = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          now.time_since_epoch())
+                          .count() %
+                      1000;
+  std::tm tm{};
+  localtime_r(&seconds, &tm);
+  const std::size_t used = std::strftime(buf, size, "%Y-%m-%d %H:%M:%S", &tm);
+  std::snprintf(buf + used, size - used, ".%03d", static_cast<int>(millis));
+}
+
+}  // namespace
+
+const char* LogLevelName(LogLevel level) {
   switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
     case LogLevel::kDebug:
       return "DEBUG";
     case LogLevel::kInfo:
@@ -23,20 +60,53 @@ const char* LevelName(LogLevel level) {
   return "?";
 }
 
-}  // namespace
+std::optional<LogLevel> ParseLogLevel(const std::string& name) {
+  std::string canon;
+  canon.reserve(name.size());
+  for (char c : name) {
+    canon.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (canon == "trace") {
+    return LogLevel::kTrace;
+  }
+  if (canon == "debug") {
+    return LogLevel::kDebug;
+  }
+  if (canon == "info") {
+    return LogLevel::kInfo;
+  }
+  if (canon == "warn" || canon == "warning") {
+    return LogLevel::kWarn;
+  }
+  if (canon == "error") {
+    return LogLevel::kError;
+  }
+  return std::nullopt;
+}
 
-void SetLogLevel(LogLevel level) { g_min_level = static_cast<int>(level); }
+void SetLogLevel(LogLevel level) {
+  std::call_once(g_env_once, [] {});  // mark env as consulted: explicit wins
+  g_min_level = static_cast<int>(level);
+}
 
-LogLevel GetLogLevel() { return static_cast<LogLevel>(g_min_level.load()); }
+LogLevel GetLogLevel() {
+  std::call_once(g_env_once, InitLevelFromEnv);
+  return static_cast<LogLevel>(g_min_level.load());
+}
 
 namespace internal {
 
 void EmitLog(LogLevel level, const std::string& message) {
+  std::call_once(g_env_once, InitLevelFromEnv);
   if (static_cast<int>(level) < g_min_level.load(std::memory_order_relaxed)) {
     return;
   }
+  char timestamp[40];
+  FormatTimestamp(timestamp, sizeof(timestamp));
   std::lock_guard<std::mutex> lock(g_log_mutex);
-  std::fprintf(stderr, "[%s] %s\n", LevelName(level), message.c_str());
+  std::fprintf(stderr, "[%s] [%s] %s\n", timestamp, LogLevelName(level),
+               message.c_str());
 }
 
 }  // namespace internal

@@ -2,19 +2,31 @@
 //
 // Not thread-aware beyond a single mutex: log volume in this project is one
 // line per FL round at most, so contention is irrelevant.
+//
+// Lines carry a wall-clock timestamp: `[2026-08-06 12:00:00.123] [INFO] …`.
+// The minimum level comes from (highest precedence first) SetLogLevel(),
+// the AF_LOG_LEVEL environment variable (trace|debug|info|warn|error, read
+// once at first use), or the kInfo default. kTrace is chattier than kDebug
+// and is what the observability span layer logs at in its debug mode.
 #pragma once
 
 #include <mutex>
+#include <optional>
 #include <sstream>
 #include <string>
 
 namespace util {
 
-enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4 };
 
 // Global minimum level; messages below it are dropped. Default: kInfo.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+// "trace"/"debug"/"info"/"warn"("warning")/"error", case-insensitive.
+// Returns nullopt for anything else.
+std::optional<LogLevel> ParseLogLevel(const std::string& name);
+const char* LogLevelName(LogLevel level);
 
 namespace internal {
 void EmitLog(LogLevel level, const std::string& message);

@@ -1,8 +1,11 @@
 #include "util/thread_pool.h"
 
 #include <atomic>
+#include <chrono>
 #include <exception>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace util {
@@ -32,6 +35,24 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  // Queue-wait telemetry piggybacks on the tracing switch: when tracing is
+  // off, Submit costs one branch extra; when on, each task records the time
+  // it sat in the queue into the default registry.
+  if (obs::TraceRecorder::Global().enabled()) {
+    const auto enqueued = std::chrono::steady_clock::now();
+    task = [inner = std::move(task), enqueued] {
+      const auto waited = std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - enqueued);
+      // Looked up per task, not cached: DefaultRegistry().Reset() must not
+      // leave a dangling reference behind (Submit volume is a handful of
+      // tasks per round, so the map lookup is noise).
+      obs::DefaultRegistry()
+          .GetHistogram("threadpool.queue_wait_us")
+          .Record(static_cast<double>(waited.count()) / 1e3);
+      AF_TRACE_SPAN("threadpool.task");
+      inner();
+    };
+  }
   {
     std::lock_guard<std::mutex> lock(mutex_);
     AF_CHECK(!stopping_) << "submit after shutdown";

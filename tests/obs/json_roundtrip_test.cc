@@ -1,0 +1,74 @@
+// Property-style check: anything JsonWriter emits must pass JsonLint, across
+// nesting depths, escapes, and awkward numbers.
+#include "obs/json.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+
+namespace obs {
+namespace {
+
+TEST(JsonRoundtripTest, DeeplyNestedStructuresLint) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("levels").BeginArray();
+  for (int i = 0; i < 10; ++i) {
+    json.BeginObject();
+    json.Key("depth").Int(i);
+    json.Key("children").BeginArray().Int(i).Int(i + 1).EndArray();
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("empty_object").BeginObject().EndObject();
+  json.Key("empty_array").BeginArray().EndArray();
+  json.EndObject();
+  std::string error;
+  EXPECT_TRUE(JsonLint(json.str(), &error)) << error << "\n" << json.str();
+}
+
+TEST(JsonRoundtripTest, EveryControlCharacterIsEscaped) {
+  std::string nasty;
+  for (char c = 1; c < 0x20; ++c) {
+    nasty.push_back(c);
+  }
+  nasty += "\"\\/ plain text";
+  JsonWriter json;
+  json.BeginObject();
+  json.Key(nasty).String(nasty);
+  json.EndObject();
+  std::string error;
+  EXPECT_TRUE(JsonLint(json.str(), &error)) << error << "\n" << json.str();
+}
+
+TEST(JsonRoundtripTest, AwkwardNumbersLint) {
+  JsonWriter json;
+  json.BeginArray();
+  json.Number(0.0);
+  json.Number(-0.0);
+  json.Number(1e-300);
+  json.Number(1e300);
+  json.Number(std::numeric_limits<double>::quiet_NaN());       // -> null
+  json.Number(-std::numeric_limits<double>::infinity());       // -> null
+  json.Int(std::numeric_limits<long long>::min());
+  json.UInt(std::numeric_limits<unsigned long long>::max());
+  json.EndArray();
+  std::string error;
+  EXPECT_TRUE(JsonLint(json.str(), &error)) << error << "\n" << json.str();
+}
+
+TEST(JsonRoundtripTest, TakeStringResetsTheWriter) {
+  JsonWriter json;
+  json.BeginObject().Key("a").Int(1).EndObject();
+  const std::string first = json.TakeString();
+  EXPECT_TRUE(JsonLint(first));
+  json.BeginArray().Bool(false).EndArray();
+  const std::string second = json.TakeString();
+  EXPECT_TRUE(JsonLint(second));
+  EXPECT_EQ(first, "{\"a\":1}");
+  EXPECT_EQ(second, "[false]");
+}
+
+}  // namespace
+}  // namespace obs

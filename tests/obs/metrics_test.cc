@@ -1,0 +1,233 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <thread>
+
+#include "obs/json.h"
+#include "util/thread_pool.h"
+
+namespace obs {
+namespace {
+
+TEST(CounterTest, IncrementAccumulates) {
+  Counter counter;
+  EXPECT_EQ(counter.Value(), 0u);
+  counter.Increment();
+  counter.Increment(41);
+  EXPECT_EQ(counter.Value(), 42u);
+}
+
+TEST(CounterTest, ConcurrentIncrementsFromThreadPoolAreExact) {
+  Counter counter;
+  util::ThreadPool pool(4);
+  constexpr std::size_t kTasks = 64;
+  constexpr std::size_t kPerTask = 1000;
+  pool.ParallelFor(kTasks, [&](std::size_t) {
+    for (std::size_t i = 0; i < kPerTask; ++i) {
+      counter.Increment();
+    }
+  });
+  EXPECT_EQ(counter.Value(), kTasks * kPerTask);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge gauge;
+  gauge.Set(2.5);
+  EXPECT_DOUBLE_EQ(gauge.Value(), 2.5);
+  gauge.Add(-1.0);
+  EXPECT_DOUBLE_EQ(gauge.Value(), 1.5);
+}
+
+TEST(GaugeTest, ConcurrentAddsFromThreadPoolAreExact) {
+  Gauge gauge;
+  util::ThreadPool pool(4);
+  pool.ParallelFor(64, [&](std::size_t) {
+    for (int i = 0; i < 100; ++i) {
+      gauge.Add(0.5);
+    }
+  });
+  EXPECT_DOUBLE_EQ(gauge.Value(), 64 * 100 * 0.5);
+}
+
+TEST(HistogramTest, ExponentialBucketBounds) {
+  Histogram h({.first_bound = 1.0, .growth = 2.0, .bucket_count = 4});
+  EXPECT_DOUBLE_EQ(h.BucketUpperBound(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.BucketUpperBound(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.BucketUpperBound(2), 4.0);
+  EXPECT_DOUBLE_EQ(h.BucketUpperBound(3), 8.0);
+  EXPECT_TRUE(std::isinf(h.BucketUpperBound(4)));  // overflow bucket
+}
+
+TEST(HistogramTest, RecordLandsInTheRightBucket) {
+  Histogram h({.first_bound = 1.0, .growth = 2.0, .bucket_count = 4});
+  h.Record(0.5);   // bucket 0: (-inf, 1]
+  h.Record(1.0);   // bucket 0 (bound is inclusive)
+  h.Record(1.5);   // bucket 1: (1, 2]
+  h.Record(7.9);   // bucket 3: (4, 8]
+  h.Record(100.0); // overflow
+  EXPECT_EQ(h.BucketValue(0), 2u);
+  EXPECT_EQ(h.BucketValue(1), 1u);
+  EXPECT_EQ(h.BucketValue(2), 0u);
+  EXPECT_EQ(h.BucketValue(3), 1u);
+  EXPECT_EQ(h.BucketValue(4), 1u);
+  EXPECT_EQ(h.Count(), 5u);
+  EXPECT_DOUBLE_EQ(h.Sum(), 0.5 + 1.0 + 1.5 + 7.9 + 100.0);
+  EXPECT_DOUBLE_EQ(h.Min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.Max(), 100.0);
+}
+
+TEST(HistogramTest, EmptyHistogramReportsZeros) {
+  Histogram h;
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.Min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Max(), 0.0);
+}
+
+TEST(HistogramTest, PercentilesBracketTheDistribution) {
+  Histogram h;
+  // 1000 samples uniform over (0, 1000].
+  for (int i = 1; i <= 1000; ++i) {
+    h.Record(static_cast<double>(i));
+  }
+  const double p50 = h.Percentile(0.50);
+  const double p95 = h.Percentile(0.95);
+  const double p99 = h.Percentile(0.99);
+  // Exponential buckets are coarse; accept the true value within one
+  // bucket's width (factor-of-2 bounds around the exact percentile).
+  EXPECT_GE(p50, 250.0);
+  EXPECT_LE(p50, 1000.0);
+  EXPECT_GE(p95, 512.0);
+  EXPECT_LE(p95, 1000.0);
+  EXPECT_GE(p99, p95);
+  EXPECT_LE(p99, 1000.0);  // clamped to observed max
+  EXPECT_LE(h.Percentile(1.0), 1000.0);
+  EXPECT_GE(h.Percentile(0.0), 0.0);
+}
+
+TEST(HistogramTest, SingleValuePercentilesCollapseToIt) {
+  Histogram h;
+  h.Record(37.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.5), 37.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.99), 37.0);
+}
+
+TEST(HistogramTest, ConcurrentRecordsFromThreadPoolCountExactly) {
+  Histogram h;
+  util::ThreadPool pool(4);
+  constexpr std::size_t kTasks = 32;
+  constexpr std::size_t kPerTask = 500;
+  pool.ParallelFor(kTasks, [&](std::size_t t) {
+    for (std::size_t i = 0; i < kPerTask; ++i) {
+      h.Record(static_cast<double>(t * kPerTask + i + 1));
+    }
+  });
+  EXPECT_EQ(h.Count(), kTasks * kPerTask);
+  std::uint64_t bucket_total = 0;
+  for (std::size_t i = 0; i < h.BucketCount(); ++i) {
+    bucket_total += h.BucketValue(i);
+  }
+  EXPECT_EQ(bucket_total, kTasks * kPerTask);
+  // Sum of 1..N.
+  const double n = static_cast<double>(kTasks * kPerTask);
+  EXPECT_DOUBLE_EQ(h.Sum(), n * (n + 1.0) / 2.0);
+}
+
+TEST(RegistryTest, SameNameAndLabelsReturnSameInstance) {
+  MetricsRegistry registry;
+  Counter& a = registry.GetCounter("hits", {{"path", "/x"}});
+  Counter& b = registry.GetCounter("hits", {{"path", "/x"}});
+  Counter& c = registry.GetCounter("hits", {{"path", "/y"}});
+  EXPECT_EQ(&a, &b);
+  EXPECT_NE(&a, &c);
+  EXPECT_EQ(registry.MetricCount(), 2u);
+}
+
+TEST(RegistryTest, KindMismatchThrows) {
+  MetricsRegistry registry;
+  registry.GetCounter("x");
+  EXPECT_THROW(registry.GetGauge("x"), std::logic_error);
+  EXPECT_THROW(registry.GetHistogram("x"), std::logic_error);
+}
+
+TEST(RegistryTest, ConcurrentLookupsAndRecordsAreSafe) {
+  MetricsRegistry registry;
+  util::ThreadPool pool(4);
+  pool.ParallelFor(64, [&](std::size_t i) {
+    registry.GetCounter("shared").Increment();
+    registry.GetHistogram("latency").Record(static_cast<double>(i + 1));
+    registry.GetGauge("level", {{"shard", std::to_string(i % 4)}})
+        .Set(static_cast<double>(i));
+  });
+  EXPECT_EQ(registry.GetCounter("shared").Value(), 64u);
+  EXPECT_EQ(registry.GetHistogram("latency").Count(), 64u);
+  EXPECT_EQ(registry.MetricCount(), 2u + 4u);
+}
+
+TEST(RegistryTest, SnapshotJsonIsValidAndComplete) {
+  MetricsRegistry registry;
+  registry.GetCounter("sim.rounds", {{"defense", "AsyncFilter"}}).Increment(18);
+  registry.GetGauge("filter.staleness_groups").Set(5.0);
+  Histogram& h = registry.GetHistogram("defense.latency_us");
+  h.Record(120.0);
+  h.Record(450.0);
+  h.Record(9000.0);
+
+  const std::string json = registry.SnapshotJson();
+  std::string error;
+  EXPECT_TRUE(JsonLint(json, &error)) << error << "\n" << json;
+  EXPECT_NE(json.find("\"sim.rounds\""), std::string::npos);
+  EXPECT_NE(json.find("\"AsyncFilter\""), std::string::npos);
+  EXPECT_NE(json.find("\"filter.staleness_groups\""), std::string::npos);
+  EXPECT_NE(json.find("\"defense.latency_us\""), std::string::npos);
+  EXPECT_NE(json.find("\"p95\""), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\""), std::string::npos);
+}
+
+TEST(RegistryTest, ResetDropsEverything) {
+  MetricsRegistry registry;
+  registry.GetCounter("a").Increment();
+  registry.GetGauge("b").Set(1.0);
+  registry.Reset();
+  EXPECT_EQ(registry.MetricCount(), 0u);
+  EXPECT_EQ(registry.GetCounter("a").Value(), 0u);
+}
+
+TEST(JsonWriterTest, NestedStructuresAndEscaping) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("quote\"and\\slash").String("line\nbreak\ttab");
+  json.Key("values").BeginArray().Int(-3).Number(1.5).Bool(true).Null()
+      .EndArray();
+  json.EndObject();
+  std::string error;
+  EXPECT_TRUE(JsonLint(json.str(), &error)) << error << "\n" << json.str();
+  EXPECT_EQ(json.str(),
+            "{\"quote\\\"and\\\\slash\":\"line\\nbreak\\ttab\","
+            "\"values\":[-3,1.5,true,null]}");
+}
+
+TEST(JsonLintTest, AcceptsValidRejectsBroken) {
+  EXPECT_TRUE(JsonLint("{\"a\":[1,2.5e-3,\"x\",null,false]}"));
+  EXPECT_TRUE(JsonLint("  [ ]  "));
+  EXPECT_FALSE(JsonLint("{\"a\":}"));
+  EXPECT_FALSE(JsonLint("[1,2,]"));
+  EXPECT_FALSE(JsonLint("{\"a\":1} extra"));
+  EXPECT_FALSE(JsonLint("\"unterminated"));
+  EXPECT_FALSE(JsonLint("01abc"));
+  std::string error;
+  EXPECT_FALSE(JsonLint("{\"a\" 1}", &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(JsonNumberTest, NonFiniteBecomesNull) {
+  EXPECT_EQ(JsonNumber(std::nan("")), "null");
+  EXPECT_EQ(JsonNumber(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(JsonNumber(0.25), "0.25");
+}
+
+}  // namespace
+}  // namespace obs

@@ -1,0 +1,146 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "obs/json.h"
+#include "util/thread_pool.h"
+
+namespace obs {
+namespace {
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// The global recorder is process-wide state; keep it clean between tests.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TraceRecorder::Global().SetEnabled(false);
+    TraceRecorder::Global().Clear();
+  }
+  void TearDown() override {
+    TraceRecorder::Global().SetEnabled(false);
+    TraceRecorder::Global().Clear();
+  }
+};
+
+TEST_F(TraceTest, DisabledRecorderCollectsNothing) {
+  {
+    AF_TRACE_SPAN("should.not.appear");
+  }
+  EXPECT_EQ(TraceRecorder::Global().SpanCount(), 0u);
+}
+
+TEST_F(TraceTest, EnabledRecorderCollectsScopedSpans) {
+  TraceRecorder::Global().SetEnabled(true);
+  {
+    AF_TRACE_SPAN("outer");
+    AF_TRACE_SPAN("inner");
+  }
+  TraceRecorder::Global().SetEnabled(false);
+  const auto events = TraceRecorder::Global().Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  // Sorted by begin time: outer starts first and ends last.
+  EXPECT_STREQ(events[0].name, "outer");
+  EXPECT_STREQ(events[1].name, "inner");
+  EXPECT_LE(events[0].begin_ns, events[1].begin_ns);
+  EXPECT_GE(events[0].end_ns, events[1].end_ns);
+  EXPECT_GE(events[0].end_ns, events[0].begin_ns);
+}
+
+TEST_F(TraceTest, SpansFromWorkerThreadsCarryDistinctThreadIds) {
+  TraceRecorder::Global().SetEnabled(true);
+  util::ThreadPool pool(3);
+  pool.ParallelFor(12, [&](std::size_t) {
+    AF_TRACE_SPAN("worker.span");
+  });
+  TraceRecorder::Global().SetEnabled(false);
+  const auto events = TraceRecorder::Global().Snapshot();
+  // ≥ 12: the pool itself records threadpool.task spans while tracing is on.
+  EXPECT_GE(events.size(), 12u);
+  std::size_t named = 0;
+  for (const auto& event : events) {
+    if (std::string_view(event.name) == "worker.span") {
+      ++named;
+    }
+  }
+  EXPECT_EQ(named, 12u);
+}
+
+TEST_F(TraceTest, RingBufferWrapsAndCountsDrops) {
+  TraceRecorder recorder({.shard_count = 1, .shard_capacity = 4});
+  for (int i = 0; i < 10; ++i) {
+    recorder.Record("span", static_cast<std::uint64_t>(i),
+                    static_cast<std::uint64_t>(i + 1));
+  }
+  EXPECT_EQ(recorder.SpanCount(), 4u);
+  EXPECT_EQ(recorder.DroppedCount(), 6u);
+  const auto events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // The oldest entries were overwritten; the newest four survive.
+  EXPECT_EQ(events.front().begin_ns, 6u);
+  EXPECT_EQ(events.back().begin_ns, 9u);
+  recorder.Clear();
+  EXPECT_EQ(recorder.SpanCount(), 0u);
+  EXPECT_EQ(recorder.DroppedCount(), 0u);
+}
+
+TEST_F(TraceTest, ChromeTraceExportIsValidJsonWithExpectedFields) {
+  TraceRecorder recorder;
+  recorder.Record("defense.process", 1000, 5000);
+  recorder.Record("kmeans.iter", 2000, 2500);
+  const std::string path = ::testing::TempDir() + "chrome_trace_test.json";
+  recorder.WriteChromeTrace(path);
+
+  const std::string contents = ReadAll(path);
+  std::remove(path.c_str());
+  std::string error;
+  ASSERT_TRUE(JsonLint(contents, &error)) << error << "\n" << contents;
+  EXPECT_NE(contents.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(contents.find("\"defense.process\""), std::string::npos);
+  EXPECT_NE(contents.find("\"kmeans.iter\""), std::string::npos);
+  EXPECT_NE(contents.find("\"ph\":\"X\""), std::string::npos);
+  // Timestamps are normalised: the earliest span starts at ts 0 and the
+  // second starts 1μs later.
+  EXPECT_NE(contents.find("\"ts\":0"), std::string::npos);
+  EXPECT_NE(contents.find("\"ts\":1"), std::string::npos);
+  EXPECT_NE(contents.find("\"dur\":4"), std::string::npos);
+  EXPECT_NE(contents.find("\"dropped_spans\":0"), std::string::npos);
+}
+
+TEST_F(TraceTest, EmptyRecorderStillWritesValidTraceFile) {
+  TraceRecorder recorder;
+  const std::string path = ::testing::TempDir() + "chrome_trace_empty.json";
+  recorder.WriteChromeTrace(path);
+  const std::string contents = ReadAll(path);
+  std::remove(path.c_str());
+  std::string error;
+  EXPECT_TRUE(JsonLint(contents, &error)) << error;
+  EXPECT_NE(contents.find("\"traceEvents\":[]"), std::string::npos);
+}
+
+TEST_F(TraceTest, ConcurrentRecordingNeverLosesUnwrappedSpans) {
+  TraceRecorder recorder;  // default capacity far exceeds this load
+  util::ThreadPool pool(4);
+  constexpr std::size_t kSpansPerTask = 200;
+  pool.ParallelFor(16, [&](std::size_t) {
+    for (std::size_t i = 0; i < kSpansPerTask; ++i) {
+      const std::uint64_t now = TraceRecorder::NowNs();
+      recorder.Record("hammer", now, now + 10);
+    }
+  });
+  EXPECT_EQ(recorder.SpanCount(), 16u * kSpansPerTask);
+  EXPECT_EQ(recorder.DroppedCount(), 0u);
+}
+
+}  // namespace
+}  // namespace obs
