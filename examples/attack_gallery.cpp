@@ -3,14 +3,27 @@
 // running AsyncFilter, on the FashionMNIST-like workload. Prints final
 // accuracy plus AsyncFilter's detection precision/recall per attack.
 //
-//   ./attack_gallery [seed]
+//   ./attack_gallery [--seed=N]
 #include <cstdio>
 #include <cstdlib>
 
 #include "fl/experiment.h"
+#include "util/flags.h"
 
 int main(int argc, char** argv) {
-  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 7;
+  util::FlagParser flags(argc, argv);
+  std::uint64_t seed = 7;
+  try {
+    flags.RejectUnknown({"seed"});
+    if (!flags.positional().empty()) {
+      seed = std::strtoull(flags.positional()[0].c_str(), nullptr, 10);
+    }
+    seed = static_cast<std::uint64_t>(
+        flags.GetInt("seed", static_cast<std::int64_t>(seed)));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
 
   fl::ExperimentConfig base =
       fl::MakeDefaultConfig(data::Profile::kFashionMnist, seed);

@@ -7,13 +7,14 @@
 // c × median-norm are rescaled down to the bound (a common industrial
 // baseline). It is compared against FedBuff and AsyncFilter under GD.
 //
-//   ./custom_defense [seed]
+//   ./custom_defense [--seed=N]
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 
 #include "fl/experiment.h"
 #include "stats/vec_ops.h"
+#include "util/flags.h"
 
 namespace {
 
@@ -61,7 +62,19 @@ class NormClipDefense : public defense::Defense {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 7;
+  util::FlagParser flags(argc, argv);
+  std::uint64_t seed = 7;
+  try {
+    flags.RejectUnknown({"seed"});
+    if (!flags.positional().empty()) {
+      seed = std::strtoull(flags.positional()[0].c_str(), nullptr, 10);
+    }
+    seed = static_cast<std::uint64_t>(
+        flags.GetInt("seed", static_cast<std::int64_t>(seed)));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
 
   fl::ExperimentConfig base =
       fl::MakeDefaultConfig(data::Profile::kFashionMnist, seed);

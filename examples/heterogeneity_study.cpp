@@ -2,17 +2,30 @@
 // skew across clients, and what that does to AsyncFilter vs FedBuff under
 // the GD attack. Mirrors the paper's §5.3 narrative as a runnable script.
 //
-//   ./heterogeneity_study [seed]
+//   ./heterogeneity_study [--seed=N]
 #include <cstdio>
 #include <cstdlib>
 
 #include "data/partition.h"
 #include "data/synthetic.h"
 #include "fl/experiment.h"
+#include "util/flags.h"
 #include "util/rng.h"
 
 int main(int argc, char** argv) {
-  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 7;
+  util::FlagParser flags(argc, argv);
+  std::uint64_t seed = 7;
+  try {
+    flags.RejectUnknown({"seed"});
+    if (!flags.positional().empty()) {
+      seed = std::strtoull(flags.positional()[0].c_str(), nullptr, 10);
+    }
+    seed = static_cast<std::uint64_t>(
+        flags.GetInt("seed", static_cast<std::int64_t>(seed)));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
 
   std::printf("%-8s %-12s %-12s %-14s\n", "alpha", "label-skew", "FedBuff",
               "AsyncFilter");

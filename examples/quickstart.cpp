@@ -4,14 +4,27 @@
 // undefended under the GD poisoning attack, once with AsyncFilter plugged in
 // — and prints the round-by-round test accuracy of both.
 //
-//   ./quickstart [seed]
+//   ./quickstart [--seed=N]
 #include <cstdio>
 #include <cstdlib>
 
 #include "fl/experiment.h"
+#include "util/flags.h"
 
 int main(int argc, char** argv) {
-  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 7;
+  util::FlagParser flags(argc, argv);
+  std::uint64_t seed = 7;
+  try {
+    flags.RejectUnknown({"seed"});
+    if (!flags.positional().empty()) {
+      seed = std::strtoull(flags.positional()[0].c_str(), nullptr, 10);
+    }
+    seed = static_cast<std::uint64_t>(
+        flags.GetInt("seed", static_cast<std::int64_t>(seed)));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
 
   // A scaled-down version of the paper's default setting (§5.1): Dirichlet
   // non-IID partitions, Zipf client speeds, FedBuff-style buffered

@@ -16,6 +16,14 @@
 //   --save-model FILE final global model checkpoint (AFPM binary)
 //   --quiet           suppress per-round output
 //
+// Distributed mode (see docs/NETWORK.md):
+//   --transport       inproc | tcp                        [inproc]
+//   --port            server port (tcp only; 0 = ephemeral loopback)
+//   --fault-drop, --fault-delay, --fault-duplicate, --fault-truncate
+//                     per-frame fault probabilities on client uplinks
+//   --fault-delay-ms  mean injected delay in milliseconds
+//   --fault-kill      fraction of clients whose connection dies mid-run
+//
 // Observability (see docs/OBSERVABILITY.md):
 //   --jsonl FILE       per-round telemetry as JSON lines
 //   --trace-out FILE   Chrome trace-event JSON of the run's internal spans
@@ -61,6 +69,14 @@ data::Profile ParseProfile(const std::string& name) {
 int main(int argc, char** argv) {
   util::FlagParser flags(argc, argv);
   try {
+    flags.RejectUnknown({
+        "profile", "attack", "defense", "clients", "malicious", "buffer",
+        "rounds", "staleness-limit", "dirichlet", "zipf", "seed", "gd-scale",
+        "threads", "partition", "trace", "summary", "save-model", "quiet",
+        "jsonl", "trace-out", "metrics-out", "log-level", "transport", "port",
+        "fault-drop", "fault-delay", "fault-duplicate", "fault-truncate",
+        "fault-delay-ms", "fault-kill",
+    });
     if (flags.Has("log-level")) {
       const std::string name = flags.GetString("log-level", "info");
       const auto level = util::ParseLogLevel(name);
@@ -94,14 +110,27 @@ int main(int argc, char** argv) {
     config.defense =
         fl::ParseDefenseKind(flags.GetString("defense", "asyncfilter"));
 
+    config.transport =
+        fl::ParseTransportKind(flags.GetString("transport", "inproc"));
+    config.net.port =
+        static_cast<std::uint16_t>(flags.GetInt("port", 0));
+    config.net.faults.drop_prob = flags.GetDouble("fault-drop", 0.0);
+    config.net.faults.delay_prob = flags.GetDouble("fault-delay", 0.0);
+    config.net.faults.duplicate_prob = flags.GetDouble("fault-duplicate", 0.0);
+    config.net.faults.truncate_prob = flags.GetDouble("fault-truncate", 0.0);
+    config.net.faults.delay_ms = flags.GetDouble("fault-delay-ms", 5.0);
+    config.net.faults.kill_fraction = flags.GetDouble("fault-kill", 0.0);
+    config.net.faults.seed = seed;
+
     const bool quiet = flags.GetBool("quiet", false);
     std::printf("profile=%s attack=%s defense=%s clients=%zu malicious=%zu "
-                "rounds=%zu seed=%llu\n",
+                "rounds=%zu seed=%llu transport=%s\n",
                 data::ProfileName(profile),
                 attacks::AttackKindName(config.attack),
                 fl::DefenseKindName(config.defense), config.num_clients,
                 config.num_malicious, config.sim.rounds,
-                static_cast<unsigned long long>(seed));
+                static_cast<unsigned long long>(seed),
+                fl::TransportKindName(config.transport));
 
     fl::SimulationResult result = fl::RunExperiment(config);
     if (!quiet) {
@@ -115,6 +144,10 @@ int main(int argc, char** argv) {
     std::printf("final accuracy %.4f  detection precision %.2f recall %.2f\n",
                 result.final_accuracy, result.total_confusion.Precision(),
                 result.total_confusion.Recall());
+    if (result.evicted_clients > 0) {
+      std::printf("evicted clients: %zu (aggregated from survivors)\n",
+                  result.evicted_clients);
+    }
 
     if (flags.Has("trace")) {
       fl::WriteRoundTraceCsv(result, flags.GetString("trace", ""));

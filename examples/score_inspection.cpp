@@ -4,7 +4,7 @@
 // buffer and prints the benign/malicious score separation — the quantity
 // Theorem 1 reasons about.
 //
-//   ./score_inspection [seed]
+//   ./score_inspection [--seed=N]
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -12,9 +12,22 @@
 #include "core/staleness_groups.h"
 #include "core/suspicious_score.h"
 #include "fl/experiment.h"
+#include "util/flags.h"
 
 int main(int argc, char** argv) {
-  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 7;
+  util::FlagParser flags(argc, argv);
+  std::uint64_t seed = 7;
+  try {
+    flags.RejectUnknown({"seed"});
+    if (!flags.positional().empty()) {
+      seed = std::strtoull(flags.positional()[0].c_str(), nullptr, 10);
+    }
+    seed = static_cast<std::uint64_t>(
+        flags.GetInt("seed", static_cast<std::int64_t>(seed)));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
 
   fl::ExperimentConfig config =
       fl::MakeDefaultConfig(data::Profile::kFashionMnist, seed);

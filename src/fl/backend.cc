@@ -1,0 +1,55 @@
+#include "fl/backend.h"
+
+#include "obs/trace.h"
+#include "util/check.h"
+
+namespace fl {
+
+InprocBackend::InprocBackend(std::vector<std::unique_ptr<Client>> clients,
+                             util::ThreadPool* pool, std::uint64_t seed,
+                             LocalTrainConfig local)
+    : clients_(std::move(clients)),
+      pool_(pool),
+      rngs_(seed),
+      local_(local) {
+  AF_CHECK(!clients_.empty());
+  AF_CHECK(pool_ != nullptr);
+}
+
+std::size_t InprocBackend::NumSamples(int client_id) const {
+  return clients_[static_cast<std::size_t>(client_id)]->num_samples();
+}
+
+std::vector<std::vector<float>> InprocBackend::Train(
+    const std::vector<TrainJob>& jobs) {
+  // Same-client jobs share a model instance; serialise them into waves so
+  // each wave touches each client at most once.
+  std::vector<std::vector<std::size_t>> waves;
+  std::vector<std::size_t> jobs_seen(clients_.size(), 0);
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    const std::size_t cid = static_cast<std::size_t>(jobs[j].client_id);
+    const std::size_t wave = jobs_seen[cid]++;
+    if (waves.size() <= wave) {
+      waves.emplace_back();
+    }
+    waves[wave].push_back(j);
+  }
+
+  std::vector<std::vector<float>> honest(jobs.size());
+  for (const auto& wave : waves) {
+    AF_TRACE_SPAN("train.wave");
+    pool_->ParallelFor(wave.size(), [&](std::size_t w) {
+      AF_TRACE_SPAN("train.job");
+      const std::size_t j = wave[w];
+      const TrainJob& job = jobs[j];
+      const std::size_t cid = static_cast<std::size_t>(job.client_id);
+      const std::uint64_t stream_index =
+          (static_cast<std::uint64_t>(cid) << 32) | job.job_index;
+      auto rng = rngs_.Stream("client-train", stream_index);
+      honest[j] = clients_[cid]->TrainOnce(*job.base, local_, rng);
+    });
+  }
+  return honest;
+}
+
+}  // namespace fl

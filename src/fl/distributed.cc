@@ -1,0 +1,447 @@
+#include "fl/distributed.h"
+
+#include <chrono>
+#include <deque>
+#include <map>
+#include <thread>
+#include <utility>
+
+#include "net/server.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/check.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace fl {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t NowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          Clock::now().time_since_epoch())
+          .count());
+}
+
+void SleepMs(double ms) {
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
+
+// How long an idle worker waits for its next job before assuming the server
+// died without saying Shutdown. Slow clients legitimately idle across many
+// aggregation rounds, so this is generous.
+constexpr int kWorkerIdleTimeoutMs = 10 * 60 * 1000;
+
+// ---------------------------------------------------------------------
+// Client worker: one thread per client, blocking I/O over loopback TCP.
+
+struct WorkerContext {
+  int client_id = -1;
+  Client* client = nullptr;
+  std::uint64_t seed = 0;
+  LocalTrainConfig local;
+  std::uint16_t port = 0;
+  TransportOptions options;
+};
+
+// Sends `update_frame` through the fault injector and waits for the
+// server's Ack, resending on the retry schedule. Returns false when the
+// worker must die (connection intentionally killed, truncated, or the
+// server never acked). Broadcast frames that arrive while waiting are
+// parked in `inbox`.
+bool SendUpdateReliably(const WorkerContext& ctx, net::Connection& conn,
+                        net::FaultInjector& injector,
+                        const net::Frame& update_frame,
+                        std::uint64_t job_index,
+                        std::deque<net::Frame>& inbox,
+                        std::uint64_t& data_frames_sent,
+                        std::mt19937_64& backoff_rng, bool& saw_shutdown) {
+  obs::Counter& resends =
+      obs::DefaultRegistry().GetCounter("net.update_resends");
+  obs::Counter& faults = obs::DefaultRegistry().GetCounter(
+      "net.faults_injected", {{"kind", "any"}});
+  const bool inject = ctx.options.faults.Any();
+
+  for (int attempt = 0; attempt < ctx.options.retry.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      resends.Increment();
+      SleepMs(net::BackoffDelayMs(ctx.options.retry, attempt - 1,
+                                  backoff_rng));
+    }
+    // Doomed connections die after their allotted number of data frames.
+    if (injector.doomed() && data_frames_sent >= injector.kill_after_frame()) {
+      AF_LOG(kInfo) << "net: fault injector killing client "
+                    << ctx.client_id << "'s connection";
+      conn.Close();
+      return false;
+    }
+    auto action = net::FaultInjector::Action::kDeliver;
+    if (inject) {
+      action = injector.NextAction();
+      if (action != net::FaultInjector::Action::kDeliver) {
+        faults.Increment();
+      }
+    }
+    ++data_frames_sent;
+    switch (action) {
+      case net::FaultInjector::Action::kDrop:
+        break;  // never hits the wire; the ack timeout triggers a resend
+      case net::FaultInjector::Action::kTruncate: {
+        // A frame prefix then a hard close: the server sees a stream that
+        // dies mid-frame and evicts us.
+        const std::vector<std::uint8_t> bytes = EncodeFrame(update_frame);
+        conn.SendBytes(std::span(bytes).first(bytes.size() / 2),
+                       ctx.options.io_timeout_ms);
+        conn.Close();
+        return false;
+      }
+      case net::FaultInjector::Action::kDelay:
+        SleepMs(injector.delay_ms());
+        conn.SendFrame(update_frame, ctx.options.io_timeout_ms);
+        break;
+      case net::FaultInjector::Action::kDuplicate:
+        conn.SendFrame(update_frame, ctx.options.io_timeout_ms);
+        conn.SendFrame(update_frame, ctx.options.io_timeout_ms);
+        break;
+      case net::FaultInjector::Action::kDeliver:
+        conn.SendFrame(update_frame, ctx.options.io_timeout_ms);
+        break;
+    }
+
+    // Await the receipt; anything else that arrives is parked.
+    const auto deadline =
+        Clock::now() + std::chrono::milliseconds(ctx.options.ack_timeout_ms);
+    while (true) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            deadline - Clock::now())
+                            .count();
+      if (left <= 0) {
+        break;  // resend
+      }
+      net::Frame in;
+      const auto status = conn.TryRecvFrame(&in, static_cast<int>(left));
+      if (status == net::Connection::RecvStatus::kTimeout) {
+        break;  // resend
+      }
+      if (status == net::Connection::RecvStatus::kEof) {
+        return false;  // server closed on us
+      }
+      if (in.type == net::MessageType::kAck) {
+        if (net::DecodeAck(in).value == job_index) {
+          return true;
+        }
+        continue;  // stale receipt for an earlier job
+      }
+      if (in.type == net::MessageType::kShutdown) {
+        saw_shutdown = true;
+        return true;  // run is over; the update no longer matters
+      }
+      inbox.push_back(std::move(in));
+    }
+  }
+  AF_LOG(kWarn) << "net: client " << ctx.client_id << " gave up on job "
+                << job_index << " after "
+                << ctx.options.retry.max_attempts << " attempts";
+  conn.Close();
+  return false;
+}
+
+void RunWorker(WorkerContext ctx) {
+  try {
+    net::FaultInjector injector(ctx.options.faults, ctx.client_id);
+    std::uint64_t jitter_state =
+        ctx.seed ^ (0xc0ffee123ull + static_cast<std::uint64_t>(
+                                         ctx.client_id));
+    std::mt19937_64 backoff_rng(util::SplitMix64(jitter_state));
+
+    net::Connection conn = net::ConnectWithRetry(
+        ctx.port, ctx.options.retry,
+        ctx.seed ^ static_cast<std::uint64_t>(ctx.client_id));
+    // Handshake: identify ourselves.
+    conn.SendFrame(net::EncodeAck(
+                       {static_cast<std::uint64_t>(ctx.client_id)}),
+                   ctx.options.io_timeout_ms);
+
+    // Training jobs draw from the same streams as the in-process backend,
+    // which is what makes tcp and inproc runs bit-identical.
+    util::RngFactory rngs(ctx.seed);
+    std::deque<net::Frame> inbox;
+    std::uint64_t data_frames_sent = 0;
+    bool saw_shutdown = false;
+
+    while (!saw_shutdown) {
+      net::Frame frame;
+      if (!inbox.empty()) {
+        frame = std::move(inbox.front());
+        inbox.pop_front();
+      } else if (!conn.RecvFrame(&frame, kWorkerIdleTimeoutMs)) {
+        break;  // server closed the connection
+      }
+      if (frame.type == net::MessageType::kShutdown) {
+        break;
+      }
+      if (frame.type != net::MessageType::kModelBroadcast) {
+        continue;  // stray ack from a resolved resend race
+      }
+      const net::ModelBroadcastMsg job = net::DecodeModelBroadcast(frame);
+      const std::uint64_t stream_index =
+          (static_cast<std::uint64_t>(ctx.client_id) << 32) | job.job_index;
+      auto rng = rngs.Stream("client-train", stream_index);
+      net::ClientUpdateMsg update;
+      update.client_id = ctx.client_id;
+      update.job_index = job.job_index;
+      update.base_round = job.round;
+      update.num_samples = ctx.client->num_samples();
+      {
+        AF_TRACE_SPAN("net.worker.train");
+        update.delta = ctx.client->TrainOnce(job.params, ctx.local, rng);
+      }
+      if (!SendUpdateReliably(ctx, conn, injector,
+                              net::EncodeClientUpdate(update), job.job_index,
+                              inbox, data_frames_sent, backoff_rng,
+                              saw_shutdown)) {
+        return;
+      }
+    }
+  } catch (const std::exception& e) {
+    AF_LOG(kWarn) << "net: worker for client " << ctx.client_id
+                  << " terminated: " << e.what();
+  }
+}
+
+// ---------------------------------------------------------------------
+// TcpBackend: executes the simulator's training batches over the wire.
+
+class TcpBackend : public TrainBackend {
+ public:
+  TcpBackend(net::Server* server, std::vector<std::size_t> num_samples,
+             const TransportOptions& options)
+      : server_(server),
+        num_samples_(std::move(num_samples)),
+        alive_(num_samples_.size(), true),
+        alive_count_(num_samples_.size()),
+        options_(options),
+        rtt_us_(obs::DefaultRegistry().GetHistogram("net.job_rtt_us")) {
+    server_->SetUpdateHandler(
+        [this](int client_id, net::ClientUpdateMsg msg) {
+          OnUpdate(client_id, std::move(msg));
+        });
+    server_->SetDisconnectHandler(
+        [this](int client_id) { OnDisconnect(client_id); });
+  }
+
+  // The server outlives the backend (the driver polls it again during
+  // shutdown); the handlers must not.
+  ~TcpBackend() override {
+    server_->SetUpdateHandler(nullptr);
+    server_->SetDisconnectHandler(nullptr);
+  }
+
+  std::vector<std::vector<float>> Train(
+      const std::vector<TrainJob>& jobs) override {
+    AF_TRACE_SPAN("net.backend.train");
+    std::vector<std::vector<float>> deltas(jobs.size());
+    current_deltas_ = &deltas;
+    outstanding_.clear();
+
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+      const TrainJob& job = jobs[j];
+      if (!alive_[static_cast<std::size_t>(job.client_id)]) {
+        continue;  // lost between scheduling and training
+      }
+      net::ModelBroadcastMsg msg;
+      msg.round = job.dispatch_round;
+      msg.job_index = job.job_index;
+      msg.params = *job.base;
+      if (!server_->SendTo(job.client_id, net::EncodeModelBroadcast(msg))) {
+        MarkDead(job.client_id);
+        continue;
+      }
+      outstanding_[{job.client_id, job.job_index}] = {j, NowNs()};
+    }
+
+    const auto deadline =
+        Clock::now() + std::chrono::milliseconds(options_.job_timeout_ms);
+    while (!outstanding_.empty() && Clock::now() < deadline) {
+      server_->PollOnce(20);
+    }
+    // Anyone still silent blew the job deadline: cut them loose.
+    std::vector<int> laggards;
+    for (const auto& [key, value] : outstanding_) {
+      laggards.push_back(key.first);
+    }
+    for (int client_id : laggards) {
+      server_->Evict(client_id, "job deadline exceeded");
+    }
+    // Push out any still-queued acks so workers stop resending while the
+    // driver is busy aggregating/evaluating.
+    server_->Flush(options_.io_timeout_ms);
+    current_deltas_ = nullptr;
+    return deltas;
+  }
+
+  std::size_t ClientCount() const override { return num_samples_.size(); }
+  std::size_t NumSamples(int client_id) const override {
+    return num_samples_[static_cast<std::size_t>(client_id)];
+  }
+  bool IsAlive(int client_id) const override {
+    return alive_[static_cast<std::size_t>(client_id)];
+  }
+  std::size_t AliveCount() const override { return alive_count_; }
+
+ private:
+  struct Pending {
+    std::size_t position = 0;
+    std::uint64_t sent_ns = 0;
+  };
+
+  void MarkDead(int client_id) {
+    const auto idx = static_cast<std::size_t>(client_id);
+    if (alive_[idx]) {
+      alive_[idx] = false;
+      --alive_count_;
+    }
+    for (auto it = outstanding_.begin(); it != outstanding_.end();) {
+      it = it->first.first == client_id ? outstanding_.erase(it)
+                                        : std::next(it);
+    }
+  }
+
+  void OnUpdate(int client_id, net::ClientUpdateMsg msg) {
+    auto it = outstanding_.find({client_id, msg.job_index});
+    if (it == outstanding_.end()) {
+      return;  // late copy of an already-settled job
+    }
+    AF_CHECK_EQ(msg.num_samples, NumSamples(client_id))
+        << "client " << client_id << " reported inconsistent sample count";
+    rtt_us_.Record(static_cast<double>(NowNs() - it->second.sent_ns) / 1e3);
+    AF_CHECK(current_deltas_ != nullptr);
+    (*current_deltas_)[it->second.position] = std::move(msg.delta);
+    outstanding_.erase(it);
+  }
+
+  void OnDisconnect(int client_id) { MarkDead(client_id); }
+
+  net::Server* server_;
+  std::vector<std::size_t> num_samples_;
+  std::vector<bool> alive_;
+  std::size_t alive_count_ = 0;
+  TransportOptions options_;
+  obs::Histogram& rtt_us_;
+  std::map<std::pair<int, std::uint64_t>, Pending> outstanding_;
+  std::vector<std::vector<float>>* current_deltas_ = nullptr;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// Driver
+
+struct DistributedDriver::Impl {
+  SimulationConfig config;
+  nn::ModelSpec spec;
+  std::vector<std::unique_ptr<Client>> clients;
+  std::vector<int> malicious_ids;
+  std::unique_ptr<attacks::Attack> attack;
+  std::unique_ptr<defense::Defense> defense;
+  const data::Dataset* test_set = nullptr;
+  data::Dataset server_root;
+  TransportOptions transport;
+
+  std::unique_ptr<net::Server> server;
+  std::vector<std::thread> workers;
+
+  void JoinWorkers() {
+    if (server != nullptr) {
+      server->BroadcastShutdown();
+      server->Flush(1000);
+    }
+    for (auto& worker : workers) {
+      if (worker.joinable()) {
+        worker.join();
+      }
+    }
+    workers.clear();
+  }
+};
+
+DistributedDriver::DistributedDriver(
+    SimulationConfig config, const nn::ModelSpec& spec,
+    std::vector<std::unique_ptr<Client>> clients,
+    std::vector<int> malicious_ids, std::unique_ptr<attacks::Attack> attack,
+    std::unique_ptr<defense::Defense> defense, const data::Dataset* test_set,
+    data::Dataset server_root, TransportOptions transport)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->config = config;
+  impl_->spec = spec;
+  impl_->clients = std::move(clients);
+  impl_->malicious_ids = std::move(malicious_ids);
+  impl_->attack = std::move(attack);
+  impl_->defense = std::move(defense);
+  impl_->test_set = test_set;
+  impl_->server_root = std::move(server_root);
+  impl_->transport = transport;
+  AF_CHECK(!impl_->clients.empty());
+}
+
+DistributedDriver::~DistributedDriver() {
+  try {
+    impl_->JoinWorkers();
+  } catch (...) {
+    // Destructor must not throw; workers exit on their idle timeout.
+  }
+}
+
+SimulationResult DistributedDriver::Run() {
+  AF_TRACE_SPAN("net.driver.run");
+  Impl& impl = *impl_;
+
+  net::ServerOptions server_options;
+  server_options.port = impl.transport.port;
+  server_options.io_timeout_ms = impl.transport.io_timeout_ms;
+  impl.server = std::make_unique<net::Server>(server_options);
+  AF_LOG(kInfo) << "net: server listening on 127.0.0.1:"
+                << impl.server->port();
+
+  std::vector<std::size_t> num_samples;
+  num_samples.reserve(impl.clients.size());
+  for (const auto& client : impl.clients) {
+    num_samples.push_back(client->num_samples());
+  }
+
+  for (std::size_t c = 0; c < impl.clients.size(); ++c) {
+    WorkerContext ctx;
+    ctx.client_id = static_cast<int>(c);
+    ctx.client = impl.clients[c].get();
+    ctx.seed = impl.config.seed;
+    ctx.local = impl.config.local;
+    ctx.port = impl.server->port();
+    ctx.options = impl.transport;
+    impl.workers.emplace_back(RunWorker, std::move(ctx));
+  }
+
+  SimulationResult result;
+  try {
+    AF_CHECK(impl.server->WaitForClients(
+        impl.clients.size(), impl.transport.handshake_timeout_ms))
+        << "only " << impl.server->ConnectedCount() << " of "
+        << impl.clients.size() << " clients completed the handshake";
+
+    TcpBackend backend(impl.server.get(), std::move(num_samples),
+                       impl.transport);
+    Simulation simulation(impl.config, impl.spec, &backend,
+                          impl.malicious_ids, std::move(impl.attack),
+                          std::move(impl.defense), impl.test_set,
+                          std::move(impl.server_root));
+    result = simulation.Run();
+  } catch (...) {
+    impl.JoinWorkers();
+    throw;
+  }
+  impl.JoinWorkers();
+  return result;
+}
+
+}  // namespace fl

@@ -18,6 +18,32 @@
 
 namespace fl {
 
+const char* TransportKindName(TransportKind kind) {
+  switch (kind) {
+    case TransportKind::kInproc:
+      return "inproc";
+    case TransportKind::kTcp:
+      return "tcp";
+  }
+  return "?";
+}
+
+TransportKind ParseTransportKind(const std::string& name) {
+  std::string canon;
+  for (char c : name) {
+    canon.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (canon == "inproc" || canon == "local" || canon == "threads") {
+    return TransportKind::kInproc;
+  }
+  if (canon == "tcp" || canon == "net" || canon == "distributed") {
+    return TransportKind::kTcp;
+  }
+  AF_CHECK(false) << "unknown transport name: " << name
+                  << " (expected inproc or tcp)";
+  return TransportKind::kInproc;
+}
+
 const char* DefenseKindName(DefenseKind kind) {
   switch (kind) {
     case DefenseKind::kFedBuff:
@@ -283,6 +309,18 @@ SimulationResult RunExperiment(const ExperimentConfig& config,
   data::Dataset root;
   if (defense->RequiresServerReference()) {
     root = generator.Generate(config.sim.server_root_samples, "server-root");
+  }
+
+  if (config.transport == TransportKind::kTcp) {
+    // The distributed driver owns scheduling end to end; the buffer observer
+    // hook is an in-process-only affordance.
+    AF_CHECK(observer == nullptr)
+        << "buffer observers are not supported with --transport=tcp";
+    DistributedDriver driver(config.sim, model, std::move(clients),
+                             malicious_ids, std::move(attack),
+                             std::move(defense), &test, std::move(root),
+                             config.net);
+    return driver.Run();
   }
 
   util::ThreadPool pool(config.threads);

@@ -10,9 +10,20 @@
 #include "attacks/registry.h"
 #include "data/synthetic.h"
 #include "defense/defense.h"
+#include "fl/distributed.h"
 #include "fl/simulation.h"
 
 namespace fl {
+
+// How local training jobs are executed: in-process thread-pool waves, or
+// client workers behind a loopback TCP transport (see docs/NETWORK.md).
+enum class TransportKind {
+  kInproc,
+  kTcp,
+};
+
+const char* TransportKindName(TransportKind kind);
+TransportKind ParseTransportKind(const std::string& name);
 
 // Defense selection for the experiment grid.
 enum class DefenseKind {
@@ -66,6 +77,8 @@ struct ExperimentConfig {
 
   // Execution.
   std::size_t threads = 0;  // 0 → hardware concurrency
+  TransportKind transport = TransportKind::kInproc;
+  TransportOptions net;  // only consulted when transport == kTcp
 };
 
 // Paper-matched defaults per dataset profile (model family, optimizer — see

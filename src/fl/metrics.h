@@ -54,6 +54,9 @@ struct SimulationResult {
   double final_accuracy = 0.0;
   ConfusionCounts total_confusion;
   std::size_t total_dropped_stale = 0;
+  // Clients that disconnected mid-run (distributed mode only; the server
+  // kept aggregating from the survivors).
+  std::size_t evicted_clients = 0;
   LatencySummary defense_latency;
   std::vector<float> final_model;
 };

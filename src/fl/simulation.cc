@@ -13,6 +13,31 @@
 namespace fl {
 
 Simulation::Simulation(SimulationConfig config, const nn::ModelSpec& spec,
+                       TrainBackend* backend, std::vector<int> malicious_ids,
+                       std::unique_ptr<attacks::Attack> attack,
+                       std::unique_ptr<defense::Defense> defense,
+                       const data::Dataset* test_set, data::Dataset server_root)
+    : config_(config),
+      spec_(spec),
+      backend_(backend),
+      attack_(std::move(attack)),
+      coordinator_(config.attacker_window),
+      defense_(std::move(defense)),
+      test_set_(test_set),
+      server_root_(std::move(server_root)),
+      rngs_(config.seed),
+      participation_rng_(rngs_.Stream("participation")) {
+  AF_CHECK(backend_ != nullptr);
+  malicious_.assign(backend_->ClientCount(), false);
+  for (int id : malicious_ids) {
+    AF_CHECK_GE(id, 0);
+    AF_CHECK_LT(static_cast<std::size_t>(id), malicious_.size());
+    malicious_[static_cast<std::size_t>(id)] = true;
+  }
+  Init();
+}
+
+Simulation::Simulation(SimulationConfig config, const nn::ModelSpec& spec,
                        std::vector<std::unique_ptr<Client>> clients,
                        std::vector<int> malicious_ids,
                        std::unique_ptr<attacks::Attack> attack,
@@ -21,38 +46,45 @@ Simulation::Simulation(SimulationConfig config, const nn::ModelSpec& spec,
                        util::ThreadPool* pool)
     : config_(config),
       spec_(spec),
-      clients_(std::move(clients)),
       attack_(std::move(attack)),
       coordinator_(config.attacker_window),
       defense_(std::move(defense)),
       test_set_(test_set),
       server_root_(std::move(server_root)),
-      pool_(pool),
       rngs_(config.seed),
       participation_rng_(rngs_.Stream("participation")) {
-  AF_CHECK(!clients_.empty());
+  AF_CHECK(!clients.empty());
+  AF_CHECK(pool != nullptr);
+  malicious_.assign(clients.size(), false);
+  for (int id : malicious_ids) {
+    AF_CHECK_GE(id, 0);
+    AF_CHECK_LT(static_cast<std::size_t>(id), malicious_.size());
+    malicious_[static_cast<std::size_t>(id)] = true;
+  }
+  owned_backend_ = std::make_unique<InprocBackend>(std::move(clients), pool,
+                                                   config_.seed,
+                                                   config_.local);
+  backend_ = owned_backend_.get();
+  Init();
+}
+
+void Simulation::Init() {
+  AF_CHECK_GT(backend_->ClientCount(), 0u);
   AF_CHECK_GT(config_.participation, 0.0);
   AF_CHECK_LE(config_.participation, 1.0);
   AF_CHECK_GT(config_.server_learning_rate, 0.0);
   AF_CHECK(attack_ != nullptr);
   AF_CHECK(defense_ != nullptr);
   AF_CHECK(test_set_ != nullptr);
-  AF_CHECK(pool_ != nullptr);
   AF_CHECK_GT(config_.buffer_goal, 0u);
-  AF_CHECK_LE(config_.buffer_goal, clients_.size())
+  AF_CHECK_LE(config_.buffer_goal, backend_->ClientCount())
       << "aggregation bound exceeds client count";
 
-  malicious_.assign(clients_.size(), false);
-  for (int id : malicious_ids) {
-    AF_CHECK_GE(id, 0);
-    AF_CHECK_LT(static_cast<std::size_t>(id), clients_.size());
-    malicious_[static_cast<std::size_t>(id)] = true;
-  }
-
   auto latency_rng = rngs_.Stream("latency");
-  latencies_ = stats::SampleClientLatencies(clients_.size(), config_.zipf_s,
+  latencies_ = stats::SampleClientLatencies(backend_->ClientCount(),
+                                            config_.zipf_s,
                                             config_.base_latency, latency_rng);
-  job_counters_.assign(clients_.size(), 0);
+  job_counters_.assign(backend_->ClientCount(), 0);
 
   // Initial global model.
   auto init = spec_.factory(config_.seed);
@@ -73,7 +105,16 @@ bool Simulation::IsMalicious(int client_id) const {
   return malicious_[static_cast<std::size_t>(client_id)];
 }
 
+std::size_t Simulation::EffectiveGoal() const {
+  const std::size_t alive = backend_->AliveCount();
+  AF_CHECK_GT(alive, 0u) << "every client disconnected; cannot aggregate";
+  return std::min(config_.buffer_goal, alive);
+}
+
 void Simulation::Dispatch(int client_id, double now) {
+  if (!backend_->IsAlive(client_id)) {
+    return;  // evicted clients are no longer scheduled
+  }
   const std::size_t idx = static_cast<std::size_t>(client_id);
   double start_delay = 0.0;
   if (config_.participation < 1.0) {
@@ -89,38 +130,6 @@ void Simulation::Dispatch(int client_id, double now) {
   job.job_index = job_counters_[idx]++;
   job.base = global_;
   events_.push(std::move(job));
-}
-
-std::vector<std::vector<float>> Simulation::TrainBatch(
-    const std::vector<Job>& batch) {
-  // Same-client jobs share a model instance; serialise them into waves so
-  // each wave touches each client at most once.
-  std::vector<std::vector<std::size_t>> waves;
-  std::vector<std::size_t> jobs_seen(clients_.size(), 0);
-  for (std::size_t j = 0; j < batch.size(); ++j) {
-    const std::size_t cid = static_cast<std::size_t>(batch[j].client_id);
-    const std::size_t wave = jobs_seen[cid]++;
-    if (waves.size() <= wave) {
-      waves.emplace_back();
-    }
-    waves[wave].push_back(j);
-  }
-
-  std::vector<std::vector<float>> honest(batch.size());
-  for (const auto& wave : waves) {
-    AF_TRACE_SPAN("train.wave");
-    pool_->ParallelFor(wave.size(), [&](std::size_t w) {
-      AF_TRACE_SPAN("train.job");
-      const std::size_t j = wave[w];
-      const Job& job = batch[j];
-      const std::size_t cid = static_cast<std::size_t>(job.client_id);
-      const std::uint64_t stream_index =
-          (static_cast<std::uint64_t>(cid) << 32) | job.job_index;
-      auto rng = rngs_.Stream("client-train", stream_index);
-      honest[j] = clients_[cid]->TrainOnce(*job.base, config_.local, rng);
-    });
-  }
-  return honest;
 }
 
 std::vector<float> Simulation::ServerReferenceUpdate() {
@@ -149,7 +158,7 @@ SimulationResult Simulation::Run() {
                                                      metric_labels);
 
   // Kick off every client (the paper's sampler selects all 100 each round).
-  for (std::size_t c = 0; c < clients_.size(); ++c) {
+  for (std::size_t c = 0; c < backend_->ClientCount(); ++c) {
     Dispatch(static_cast<int>(c), 0.0);
   }
 
@@ -158,53 +167,77 @@ SimulationResult Simulation::Run() {
   std::size_t dropped_this_round = 0;
 
   while (round_ < config_.rounds) {
-    // Collect arrivals until the buffer (plus pending batch) can aggregate.
-    std::vector<Job> batch;
-    while (buffer.size() + batch.size() < config_.buffer_goal) {
-      AF_CHECK(!events_.empty()) << "event queue drained";
-      Job job = events_.top();
-      events_.pop();
-      now = job.completion_time;
-      const std::size_t staleness = round_ - job.dispatch_round;
-      Dispatch(job.client_id, now);  // client immediately starts a new job
-      if (staleness > config_.staleness_limit) {
-        ++dropped_this_round;
-        continue;  // server refuses over-stale arrivals without training
-      }
-      batch.push_back(std::move(job));
-    }
-
-    // Local training for all arrivals in parallel.
-    const std::vector<std::vector<float>> honest = TrainBatch(batch);
-
-    // Sequential report processing in arrival order (attacker coordination
-    // must observe a deterministic order).
     auto attack_rng = rngs_.Stream("attack", round_);
-    for (std::size_t j = 0; j < batch.size(); ++j) {
-      const Job& job = batch[j];
-      ModelUpdate update;
-      update.client_id = job.client_id;
-      update.base_round = job.dispatch_round;
-      update.arrival_round = round_;
-      update.staleness = round_ - job.dispatch_round;
-      update.num_samples =
-          clients_[static_cast<std::size_t>(job.client_id)]->num_samples();
-      if (IsMalicious(job.client_id)) {
-        coordinator_.Absorb(honest[j]);
-        const auto window = coordinator_.Window();
-        attacks::AttackContext ctx;
-        ctx.honest_update = honest[j];
-        ctx.colluder_updates = &window;
-        ctx.rng = &attack_rng;
-        update.delta = attack_->Craft(ctx);
-        update.is_malicious_truth = true;
-      } else {
-        update.delta = honest[j];
+
+    // Fill the buffer up to the aggregation bound. Normally one pass; a
+    // client evicted mid-batch loses its jobs, so the loop may take another
+    // pass over the survivors.
+    while (buffer.size() < EffectiveGoal()) {
+      const std::size_t goal = EffectiveGoal();
+      std::vector<Job> batch;
+      while (buffer.size() + batch.size() < goal) {
+        AF_CHECK(!events_.empty()) << "event queue drained";
+        Job job = events_.top();
+        events_.pop();
+        now = job.completion_time;
+        if (!backend_->IsAlive(job.client_id)) {
+          continue;  // job of an evicted client; nothing to re-dispatch
+        }
+        const std::size_t staleness = round_ - job.dispatch_round;
+        Dispatch(job.client_id, now);  // client immediately starts a new job
+        if (staleness > config_.staleness_limit) {
+          ++dropped_this_round;
+          continue;  // server refuses over-stale arrivals without training
+        }
+        batch.push_back(std::move(job));
       }
-      buffer.push_back(std::move(update));
+
+      // Local training for all arrivals — thread pool or wire round-trips,
+      // depending on the backend.
+      std::vector<TrainJob> train_jobs;
+      train_jobs.reserve(batch.size());
+      for (const Job& job : batch) {
+        train_jobs.push_back({job.client_id, job.job_index,
+                              job.dispatch_round, job.base});
+      }
+      const std::vector<std::vector<float>> honest =
+          backend_->Train(train_jobs);
+      AF_CHECK_EQ(honest.size(), batch.size());
+
+      // Sequential report processing in arrival order (attacker coordination
+      // must observe a deterministic order).
+      for (std::size_t j = 0; j < batch.size(); ++j) {
+        const Job& job = batch[j];
+        if (honest[j].empty()) {
+          // Client evicted mid-round: aggregate from the survivors.
+          AF_LOG(kWarn) << "sim: client " << job.client_id
+                        << " lost mid-round " << round_
+                        << "; continuing with survivors";
+          continue;
+        }
+        ModelUpdate update;
+        update.client_id = job.client_id;
+        update.base_round = job.dispatch_round;
+        update.arrival_round = round_;
+        update.staleness = round_ - job.dispatch_round;
+        update.num_samples = backend_->NumSamples(job.client_id);
+        if (IsMalicious(job.client_id)) {
+          coordinator_.Absorb(honest[j]);
+          const auto window = coordinator_.Window();
+          attacks::AttackContext ctx;
+          ctx.honest_update = honest[j];
+          ctx.colluder_updates = &window;
+          ctx.rng = &attack_rng;
+          update.delta = attack_->Craft(ctx);
+          update.is_malicious_truth = true;
+        } else {
+          update.delta = honest[j];
+        }
+        buffer.push_back(std::move(update));
+      }
     }
 
-    AF_CHECK_GE(buffer.size(), config_.buffer_goal);
+    AF_CHECK_GE(buffer.size(), EffectiveGoal());
 
     // Refresh staleness of deferred leftovers and drop over-stale ones.
     std::vector<ModelUpdate> live;
@@ -321,6 +354,7 @@ SimulationResult Simulation::Run() {
   }
 
   result.final_model = *global_;
+  result.evicted_clients = backend_->ClientCount() - backend_->AliveCount();
   FinalizeResult(result);
   return result;
 }

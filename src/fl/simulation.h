@@ -1,4 +1,4 @@
-// Discrete-event asynchronous federated learning simulator.
+// Discrete-event asynchronous federated learning server loop.
 //
 // Plays the role PLATO plays in the paper: clients train continuously, the
 // server aggregates FedBuff-style whenever the buffer reaches the minimum
@@ -6,10 +6,15 @@
 // latencies, and the attached Defense decides what enters each aggregate.
 //
 // Timing is independent of training results, so arrivals between two
-// aggregations are popped first and their local training runs as one
-// parallel batch — bit-deterministic because every job draws from an RNG
-// stream derived from (seed, client, job index), and same-client jobs are
-// serialised into waves.
+// aggregations are popped first and their local training runs as one batch
+// through a TrainBackend — the thread-pool inproc backend or the TCP
+// distributed backend (fl/distributed.h). Both are bit-deterministic
+// because every job draws from an RNG stream derived from
+// (seed, client, job index).
+//
+// Clients can disappear mid-round (a TCP client dropping its connection):
+// the backend reports their jobs as lost, the server logs the eviction,
+// stops scheduling them, and keeps aggregating from the survivors.
 #pragma once
 
 #include <functional>
@@ -19,6 +24,7 @@
 #include "attacks/attack.h"
 #include "attacks/coordinator.h"
 #include "defense/defense.h"
+#include "fl/backend.h"
 #include "fl/client.h"
 #include "fl/metrics.h"
 #include "fl/types.h"
@@ -52,9 +58,19 @@ struct SimulationConfig {
 
 class Simulation {
  public:
-  // `clients` are all participants; ids in `malicious_ids` route their
-  // reports through `attack`. `defense` decides aggregation. `server_root`
-  // may be empty unless the defense requires a server reference update.
+  // Transport-agnostic form: `backend` executes training jobs and must
+  // outlive the simulation. Ids in `malicious_ids` route their reports
+  // through `attack`. `defense` decides aggregation. `server_root` may be
+  // empty unless the defense requires a server reference update.
+  Simulation(SimulationConfig config, const nn::ModelSpec& spec,
+             TrainBackend* backend, std::vector<int> malicious_ids,
+             std::unique_ptr<attacks::Attack> attack,
+             std::unique_ptr<defense::Defense> defense,
+             const data::Dataset* test_set, data::Dataset server_root);
+
+  // Convenience in-process form: owns an InprocBackend over `clients`
+  // trained on `pool`. Behaviour is identical to the original
+  // single-process simulator.
   Simulation(SimulationConfig config, const nn::ModelSpec& spec,
              std::vector<std::unique_ptr<Client>> clients,
              std::vector<int> malicious_ids,
@@ -92,15 +108,18 @@ class Simulation {
     }
   };
 
+  void Init();
   void Dispatch(int client_id, double now);
   bool IsMalicious(int client_id) const;
-  // Trains all jobs of `batch` in parallel waves; honest deltas by position.
-  std::vector<std::vector<float>> TrainBatch(const std::vector<Job>& batch);
+  // Smaller of the configured aggregation bound and the surviving
+  // population, so the loop still terminates after evictions.
+  std::size_t EffectiveGoal() const;
   std::vector<float> ServerReferenceUpdate();
 
   SimulationConfig config_;
   nn::ModelSpec spec_;  // copied: the simulation outlives caller temporaries
-  std::vector<std::unique_ptr<Client>> clients_;
+  std::unique_ptr<TrainBackend> owned_backend_;  // inproc convenience form
+  TrainBackend* backend_;
   std::vector<bool> malicious_;
   std::unique_ptr<attacks::Attack> attack_;
   attacks::Coordinator coordinator_;
@@ -108,7 +127,6 @@ class Simulation {
   const data::Dataset* test_set_;
   data::Dataset server_root_;
   std::unique_ptr<Client> server_trainer_;  // for clean-dataset defenses
-  util::ThreadPool* pool_;
 
   util::RngFactory rngs_;
   std::mt19937_64 participation_rng_;

@@ -1,0 +1,42 @@
+#include "net/fault_injector.h"
+
+#include "util/rng.h"
+
+namespace net {
+
+FaultInjector::FaultInjector(const FaultConfig& config, int client_id)
+    : config_(config) {
+  // Per-client stream: mixing the id through SplitMix64 keeps neighbouring
+  // client ids decorrelated.
+  std::uint64_t state =
+      config.seed ^ (0x9e3779b97f4a7c15ull * (static_cast<std::uint64_t>(
+                                                  client_id) + 1));
+  rng_.seed(util::SplitMix64(state));
+
+  if (config_.kill_fraction > 0.0) {
+    std::uniform_real_distribution<double> uniform(0.0, 1.0);
+    doomed_ = uniform(rng_) < config_.kill_fraction;
+    std::uniform_int_distribution<std::uint64_t> frames(1, 5);
+    kill_after_frame_ = frames(rng_);
+  }
+}
+
+FaultInjector::Action FaultInjector::NextAction() {
+  std::uniform_real_distribution<double> uniform(0.0, 1.0);
+  if (config_.drop_prob > 0.0 && uniform(rng_) < config_.drop_prob) {
+    return Action::kDrop;
+  }
+  if (config_.truncate_prob > 0.0 && uniform(rng_) < config_.truncate_prob) {
+    return Action::kTruncate;
+  }
+  if (config_.duplicate_prob > 0.0 &&
+      uniform(rng_) < config_.duplicate_prob) {
+    return Action::kDuplicate;
+  }
+  if (config_.delay_prob > 0.0 && uniform(rng_) < config_.delay_prob) {
+    return Action::kDelay;
+  }
+  return Action::kDeliver;
+}
+
+}  // namespace net

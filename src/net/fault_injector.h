@@ -1,0 +1,61 @@
+// Seeded wire-fault injection for the distributed run mode.
+//
+// A FaultInjector sits on a client's uplink (the client → server data path)
+// and decides, per outbound data frame, whether to deliver it, silently
+// drop it, delay it, send it twice, or truncate it mid-frame and hard-close
+// the connection. Independently, a configurable fraction of clients are
+// "doomed": their connection dies permanently after a seeded number of
+// data frames, exercising the server's mid-round eviction path.
+//
+// Everything is a pure function of (seed, client_id, frame sequence), so a
+// faulty run is exactly reproducible.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace net {
+
+struct FaultConfig {
+  double drop_prob = 0.0;       // frame silently not sent (sender retries)
+  double delay_prob = 0.0;      // frame sent after `delay_ms`
+  double duplicate_prob = 0.0;  // frame sent twice (receiver must dedup)
+  double truncate_prob = 0.0;   // a frame prefix is sent, then hard-close
+  // Fraction of clients whose connection is killed mid-run (per-client
+  // Bernoulli draw, seeded — the doomed set is reproducible).
+  double kill_fraction = 0.0;
+  double delay_ms = 5.0;
+  std::uint64_t seed = 1;
+
+  bool Any() const {
+    return drop_prob > 0.0 || delay_prob > 0.0 || duplicate_prob > 0.0 ||
+           truncate_prob > 0.0 || kill_fraction > 0.0;
+  }
+};
+
+class FaultInjector {
+ public:
+  enum class Action { kDeliver, kDrop, kDelay, kDuplicate, kTruncate };
+
+  FaultInjector(const FaultConfig& config, int client_id);
+
+  // Fate of the next outbound data frame. Draws are ordered
+  // drop → truncate → duplicate → delay, each consuming one uniform.
+  Action NextAction();
+
+  double delay_ms() const { return config_.delay_ms; }
+
+  // True when this client's connection is scheduled to die.
+  bool doomed() const { return doomed_; }
+  // Data-frame count after which a doomed connection hard-closes (≥ 1, so
+  // every doomed client gets at least one update through first).
+  std::uint64_t kill_after_frame() const { return kill_after_frame_; }
+
+ private:
+  FaultConfig config_;
+  std::mt19937_64 rng_;
+  bool doomed_ = false;
+  std::uint64_t kill_after_frame_ = 0;
+};
+
+}  // namespace net

@@ -1,0 +1,175 @@
+#include "net/frame.h"
+
+#include <cstring>
+
+#include "nn/serialize.h"
+#include "obs/trace.h"
+#include "util/check.h"
+
+namespace net {
+namespace {
+
+template <typename T>
+void AppendRaw(std::vector<std::uint8_t>& out, const T& value) {
+  const auto* bytes = reinterpret_cast<const std::uint8_t*>(&value);
+  out.insert(out.end(), bytes, bytes + sizeof(T));
+}
+
+// Reads sizeof(T) bytes at `*offset`, advancing it; checks bounds first.
+template <typename T>
+T ReadRaw(std::span<const std::uint8_t> bytes, std::size_t* offset) {
+  AF_CHECK_LE(*offset + sizeof(T), bytes.size()) << "truncated payload field";
+  T value;
+  std::memcpy(&value, bytes.data() + *offset, sizeof(T));
+  *offset += sizeof(T);
+  return value;
+}
+
+bool KnownType(std::uint16_t type) {
+  switch (static_cast<MessageType>(type)) {
+    case MessageType::kModelBroadcast:
+    case MessageType::kClientUpdate:
+    case MessageType::kAck:
+    case MessageType::kShutdown:
+      return true;
+  }
+  return false;
+}
+
+void CheckType(const Frame& frame, MessageType expected) {
+  AF_CHECK(frame.type == expected)
+      << "expected " << MessageTypeName(expected) << " frame, got "
+      << MessageTypeName(frame.type);
+}
+
+void CheckFullyConsumed(const Frame& frame, std::size_t offset) {
+  AF_CHECK_EQ(offset, frame.payload.size())
+      << "trailing bytes in " << MessageTypeName(frame.type) << " payload";
+}
+
+}  // namespace
+
+const char* MessageTypeName(MessageType type) {
+  switch (type) {
+    case MessageType::kModelBroadcast:
+      return "ModelBroadcast";
+    case MessageType::kClientUpdate:
+      return "ClientUpdate";
+    case MessageType::kAck:
+      return "Ack";
+    case MessageType::kShutdown:
+      return "Shutdown";
+  }
+  return "?";
+}
+
+std::vector<std::uint8_t> EncodeFrame(const Frame& frame) {
+  AF_TRACE_SPAN("net.frame.encode");
+  AF_CHECK_LE(frame.payload.size(), kMaxFramePayload) << "payload too large";
+  std::vector<std::uint8_t> out;
+  out.reserve(kFrameHeaderBytes + frame.payload.size());
+  AppendRaw(out, kFrameMagic);
+  AppendRaw(out, kFrameVersion);
+  AppendRaw(out, static_cast<std::uint16_t>(frame.type));
+  AppendRaw(out, static_cast<std::uint64_t>(frame.payload.size()));
+  out.insert(out.end(), frame.payload.begin(), frame.payload.end());
+  return out;
+}
+
+std::size_t DecodeFrame(std::span<const std::uint8_t> buffer, Frame* out) {
+  AF_CHECK(out != nullptr);
+  if (buffer.size() < kFrameHeaderBytes) {
+    return 0;
+  }
+  AF_TRACE_SPAN("net.frame.decode");
+  std::size_t offset = 0;
+  const auto magic = ReadRaw<std::uint32_t>(buffer, &offset);
+  AF_CHECK_EQ(magic, kFrameMagic) << "bad frame magic";
+  const auto version = ReadRaw<std::uint16_t>(buffer, &offset);
+  AF_CHECK_EQ(version, kFrameVersion) << "unsupported frame version";
+  const auto type = ReadRaw<std::uint16_t>(buffer, &offset);
+  AF_CHECK(KnownType(type)) << "unknown frame type " << type;
+  const auto length = ReadRaw<std::uint64_t>(buffer, &offset);
+  AF_CHECK_LE(length, kMaxFramePayload)
+      << "frame length " << length << " exceeds limit";
+  if (buffer.size() - kFrameHeaderBytes < length) {
+    return 0;  // whole header but partial payload: wait for more bytes
+  }
+  out->type = static_cast<MessageType>(type);
+  out->payload.assign(buffer.begin() + kFrameHeaderBytes,
+                      buffer.begin() + kFrameHeaderBytes +
+                          static_cast<std::ptrdiff_t>(length));
+  return kFrameHeaderBytes + static_cast<std::size_t>(length);
+}
+
+Frame EncodeModelBroadcast(const ModelBroadcastMsg& msg) {
+  Frame frame;
+  frame.type = MessageType::kModelBroadcast;
+  frame.payload.reserve(2 * sizeof(std::uint64_t) +
+                        nn::FlatParamsWireSize(msg.params.size()));
+  AppendRaw(frame.payload, msg.round);
+  AppendRaw(frame.payload, msg.job_index);
+  nn::AppendFlatParams(frame.payload, msg.params);
+  return frame;
+}
+
+ModelBroadcastMsg DecodeModelBroadcast(const Frame& frame) {
+  CheckType(frame, MessageType::kModelBroadcast);
+  ModelBroadcastMsg msg;
+  std::size_t offset = 0;
+  msg.round = ReadRaw<std::uint64_t>(frame.payload, &offset);
+  msg.job_index = ReadRaw<std::uint64_t>(frame.payload, &offset);
+  msg.params = nn::ParseFlatParams(frame.payload, &offset);
+  CheckFullyConsumed(frame, offset);
+  return msg;
+}
+
+Frame EncodeClientUpdate(const ClientUpdateMsg& msg) {
+  Frame frame;
+  frame.type = MessageType::kClientUpdate;
+  frame.payload.reserve(sizeof(std::int32_t) + 3 * sizeof(std::uint64_t) +
+                        nn::FlatParamsWireSize(msg.delta.size()));
+  AppendRaw(frame.payload, msg.client_id);
+  AppendRaw(frame.payload, msg.job_index);
+  AppendRaw(frame.payload, msg.base_round);
+  AppendRaw(frame.payload, msg.num_samples);
+  nn::AppendFlatParams(frame.payload, msg.delta);
+  return frame;
+}
+
+ClientUpdateMsg DecodeClientUpdate(const Frame& frame) {
+  CheckType(frame, MessageType::kClientUpdate);
+  ClientUpdateMsg msg;
+  std::size_t offset = 0;
+  msg.client_id = ReadRaw<std::int32_t>(frame.payload, &offset);
+  msg.job_index = ReadRaw<std::uint64_t>(frame.payload, &offset);
+  msg.base_round = ReadRaw<std::uint64_t>(frame.payload, &offset);
+  msg.num_samples = ReadRaw<std::uint64_t>(frame.payload, &offset);
+  msg.delta = nn::ParseFlatParams(frame.payload, &offset);
+  CheckFullyConsumed(frame, offset);
+  return msg;
+}
+
+Frame EncodeAck(const AckMsg& msg) {
+  Frame frame;
+  frame.type = MessageType::kAck;
+  AppendRaw(frame.payload, msg.value);
+  return frame;
+}
+
+AckMsg DecodeAck(const Frame& frame) {
+  CheckType(frame, MessageType::kAck);
+  AckMsg msg;
+  std::size_t offset = 0;
+  msg.value = ReadRaw<std::uint64_t>(frame.payload, &offset);
+  CheckFullyConsumed(frame, offset);
+  return msg;
+}
+
+Frame MakeShutdownFrame() {
+  Frame frame;
+  frame.type = MessageType::kShutdown;
+  return frame;
+}
+
+}  // namespace net

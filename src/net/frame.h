@@ -1,0 +1,94 @@
+// Wire protocol for the distributed run mode.
+//
+// Every message is one frame: a fixed 16-byte little-endian header
+//
+//   u32 magic   "AFNT"
+//   u16 version (currently 1)
+//   u16 type    MessageType
+//   u64 length  payload bytes that follow
+//
+// followed by `length` payload bytes. Parameter payloads reuse the AFPM
+// block from nn/serialize, so model bytes are identical on disk and on the
+// wire. Decoding is incremental (stream-friendly): DecodeFrame reports how
+// many bytes it consumed, or 0 when the buffer does not yet hold a whole
+// frame. Malformed input — bad magic, unknown version, absurd length —
+// throws util::CheckError; it never reads past the buffer.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace net {
+
+enum class MessageType : std::uint16_t {
+  kModelBroadcast = 1,  // server → client: base params for one training job
+  kClientUpdate = 2,    // client → server: the resulting delta
+  kAck = 3,             // both ways: connection hello / update receipt
+  kShutdown = 4,        // server → client: run over, close cleanly
+};
+
+const char* MessageTypeName(MessageType type);
+
+inline constexpr std::uint32_t kFrameMagic = 0x544E4641u;  // "AFNT" (LE)
+inline constexpr std::uint16_t kFrameVersion = 1;
+inline constexpr std::size_t kFrameHeaderBytes = 16;
+// Upper bound on a payload; anything larger is a corrupt or hostile length
+// field (the biggest legitimate payload is one model, well under this).
+inline constexpr std::uint64_t kMaxFramePayload = 1ull << 30;
+
+struct Frame {
+  MessageType type = MessageType::kAck;
+  std::vector<std::uint8_t> payload;
+};
+
+// Header + payload as one contiguous byte vector.
+std::vector<std::uint8_t> EncodeFrame(const Frame& frame);
+
+// Attempts to decode one frame from the start of `buffer`. Returns the
+// number of bytes consumed (header + payload) and fills `out`, or returns 0
+// when the buffer holds only a frame prefix. Throws util::CheckError on bad
+// magic, unsupported version, unknown type, or an oversized length field.
+std::size_t DecodeFrame(std::span<const std::uint8_t> buffer, Frame* out);
+
+// --- Typed payloads ---------------------------------------------------
+// Decoders validate the frame type and payload framing; truncated or
+// trailing bytes throw util::CheckError.
+
+// One training job: "train from these base params". `round` is the server
+// round the job was dispatched in, `job_index` the per-client job counter
+// that keys the client's deterministic RNG stream.
+struct ModelBroadcastMsg {
+  std::uint64_t round = 0;
+  std::uint64_t job_index = 0;
+  std::vector<float> params;
+};
+
+// The client's report for one job.
+struct ClientUpdateMsg {
+  std::int32_t client_id = -1;
+  std::uint64_t job_index = 0;
+  std::uint64_t base_round = 0;
+  std::uint64_t num_samples = 0;
+  std::vector<float> delta;
+};
+
+// Hello (value = client id, sent once after connecting) or update receipt
+// (value = acknowledged job_index).
+struct AckMsg {
+  std::uint64_t value = 0;
+};
+
+Frame EncodeModelBroadcast(const ModelBroadcastMsg& msg);
+ModelBroadcastMsg DecodeModelBroadcast(const Frame& frame);
+
+Frame EncodeClientUpdate(const ClientUpdateMsg& msg);
+ClientUpdateMsg DecodeClientUpdate(const Frame& frame);
+
+Frame EncodeAck(const AckMsg& msg);
+AckMsg DecodeAck(const Frame& frame);
+
+Frame MakeShutdownFrame();
+
+}  // namespace net

@@ -1,0 +1,364 @@
+#include "net/server.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+
+#include "obs/trace.h"
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace net {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t NowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          Clock::now().time_since_epoch())
+          .count());
+}
+
+void SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  AF_CHECK_GE(flags, 0) << "fcntl failed: " << util::ErrnoMessage(errno);
+  AF_CHECK_GE(::fcntl(fd, F_SETFL, flags | O_NONBLOCK), 0)
+      << "fcntl failed: " << util::ErrnoMessage(errno);
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options)
+    : options_(options),
+      listener_(options.port),
+      frames_received_(obs::DefaultRegistry().GetCounter(
+          "net.server.frames_received")),
+      frames_sent_(obs::DefaultRegistry().GetCounter(
+          "net.server.frames_sent")),
+      bytes_in_(obs::DefaultRegistry().GetCounter("net.server.bytes_in")),
+      bytes_out_(obs::DefaultRegistry().GetCounter("net.server.bytes_out")),
+      evictions_(obs::DefaultRegistry().GetCounter("net.server.evictions")),
+      duplicates_(obs::DefaultRegistry().GetCounter(
+          "net.server.duplicate_updates")),
+      tick_us_(obs::DefaultRegistry().GetHistogram("net.server.tick_us")) {
+  SetNonBlocking(listener_.fd());
+}
+
+Server::~Server() = default;
+
+void Server::SetUpdateHandler(UpdateHandler handler) {
+  on_update_ = std::move(handler);
+}
+void Server::SetConnectHandler(ClientHandler handler) {
+  on_connect_ = std::move(handler);
+}
+void Server::SetDisconnectHandler(ClientHandler handler) {
+  on_disconnect_ = std::move(handler);
+}
+
+void Server::AcceptPending() {
+  while (true) {
+    const int fd = ::accept(listener_.fd(), nullptr, nullptr);
+    if (fd < 0) {
+      AF_CHECK(errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)
+          << "accept failed: " << util::ErrnoMessage(errno);
+      return;
+    }
+    SetNonBlocking(fd);
+    auto conn = std::make_unique<Conn>();
+    conn->fd.reset(fd);
+    conn->last_progress_ns = NowNs();
+    conns_.push_back(std::move(conn));
+  }
+}
+
+bool Server::HandleFrame(Conn& conn, const Frame& frame) {
+  frames_received_.Increment();
+  if (conn.client_id < 0) {
+    // First frame must be the hello Ack carrying the client id.
+    if (frame.type != MessageType::kAck) {
+      AF_LOG(kWarn) << "net: connection sent " << MessageTypeName(frame.type)
+                    << " before handshake; closing";
+      return false;
+    }
+    const AckMsg hello = DecodeAck(frame);
+    const int client_id = static_cast<int>(hello.value);
+    if (by_client_.count(client_id) > 0) {
+      AF_LOG(kWarn) << "net: duplicate handshake for client " << client_id
+                    << "; closing new connection";
+      return false;
+    }
+    conn.client_id = client_id;
+    by_client_[client_id] = &conn;
+    if (on_connect_) {
+      on_connect_(client_id);
+    }
+    return true;
+  }
+  switch (frame.type) {
+    case MessageType::kClientUpdate: {
+      ClientUpdateMsg msg = DecodeClientUpdate(frame);
+      if (msg.client_id != conn.client_id) {
+        AF_LOG(kWarn) << "net: client " << conn.client_id
+                      << " sent update claiming id " << msg.client_id
+                      << "; closing";
+        return false;
+      }
+      // Ack every copy so the sender stops retrying; deliver only the
+      // first. Queue-only (no immediate flush): a flush failure here would
+      // destroy `conn` while ReadConn is still using it.
+      QueueFrame(conn, EncodeAck({msg.job_index}));
+      if (!conn.delivered_jobs.insert(msg.job_index).second) {
+        duplicates_.Increment();
+        return true;
+      }
+      if (on_update_) {
+        on_update_(conn.client_id, std::move(msg));
+      }
+      return true;
+    }
+    case MessageType::kAck:
+      return true;  // stray receipt; harmless
+    case MessageType::kShutdown:
+      return false;  // client says goodbye
+    case MessageType::kModelBroadcast:
+      AF_LOG(kWarn) << "net: client " << conn.client_id
+                    << " sent a server-only frame; closing";
+      return false;
+  }
+  return false;
+}
+
+bool Server::ReadConn(Conn& conn) {
+  while (true) {
+    std::uint8_t chunk[16384];
+    const ssize_t n = ::recv(conn.fd.get(), chunk, sizeof(chunk), 0);
+    if (n == 0) {
+      return false;  // EOF
+    }
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+        break;  // drained
+      }
+      return false;  // ECONNRESET etc.
+    }
+    conn.in.insert(conn.in.end(), chunk, chunk + n);
+    bytes_in_.Increment(static_cast<std::uint64_t>(n));
+    conn.last_progress_ns = NowNs();
+  }
+  // Decode every complete frame; a malformed stream kills the connection.
+  while (true) {
+    Frame frame;
+    std::size_t consumed = 0;
+    try {
+      consumed = DecodeFrame(conn.in, &frame);
+    } catch (const util::CheckError& e) {
+      AF_LOG(kWarn) << "net: malformed frame from client " << conn.client_id
+                    << ": " << e.what();
+      return false;
+    }
+    if (consumed == 0) {
+      return true;
+    }
+    conn.in.erase(conn.in.begin(),
+                  conn.in.begin() + static_cast<std::ptrdiff_t>(consumed));
+    if (!HandleFrame(conn, frame)) {
+      return false;
+    }
+  }
+}
+
+void Server::QueueFrame(Conn& conn, const Frame& frame) {
+  const std::vector<std::uint8_t> bytes = EncodeFrame(frame);
+  conn.out.insert(conn.out.end(), bytes.begin(), bytes.end());
+  frames_sent_.Increment();
+}
+
+bool Server::WriteConn(Conn& conn) {
+  while (conn.out_offset < conn.out.size()) {
+    const ssize_t n =
+        ::send(conn.fd.get(), conn.out.data() + conn.out_offset,
+               conn.out.size() - conn.out_offset, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+        return true;  // kernel buffer full; retry next tick
+      }
+      return false;  // EPIPE / ECONNRESET
+    }
+    conn.out_offset += static_cast<std::size_t>(n);
+    bytes_out_.Increment(static_cast<std::uint64_t>(n));
+    conn.last_progress_ns = NowNs();
+  }
+  conn.out.clear();
+  conn.out_offset = 0;
+  return true;
+}
+
+void Server::CloseConn(std::size_t index, const char* reason) {
+  Conn& conn = *conns_[index];
+  if (conn.client_id >= 0) {
+    AF_LOG(kInfo) << "net: client " << conn.client_id
+                  << " disconnected (" << reason << ")";
+    by_client_.erase(conn.client_id);
+    evictions_.Increment();
+    if (on_disconnect_) {
+      on_disconnect_(conn.client_id);
+    }
+  }
+  conns_.erase(conns_.begin() + static_cast<std::ptrdiff_t>(index));
+}
+
+void Server::PollOnce(int timeout_ms) {
+  AF_TRACE_SPAN("net.server.poll");
+  const auto tick_start = Clock::now();
+
+  std::vector<pollfd> pfds;
+  pfds.reserve(conns_.size() + 1);
+  pfds.push_back({listener_.fd(), POLLIN, 0});
+  for (const auto& conn : conns_) {
+    short events = POLLIN;
+    if (conn->out_offset < conn->out.size()) {
+      events |= POLLOUT;
+    }
+    pfds.push_back({conn->fd.get(), events, 0});
+  }
+
+  const int ready = ::poll(pfds.data(), pfds.size(), timeout_ms);
+  AF_CHECK_GE(ready, 0) << "poll failed: " << util::ErrnoMessage(errno);
+
+  if (pfds[0].revents & POLLIN) {
+    AcceptPending();
+  }
+
+  // Walk connections backwards so CloseConn's erase cannot shift unvisited
+  // entries. pfds was sized before AcceptPending, so new conns wait a tick.
+  const std::size_t polled = pfds.size() - 1;
+  for (std::size_t i = polled; i-- > 0;) {
+    Conn& conn = *conns_[i];
+    const short revents = pfds[i + 1].revents;
+    if (revents & (POLLERR | POLLNVAL)) {
+      CloseConn(i, "socket error");
+      continue;
+    }
+    if (revents & POLLIN) {
+      if (!ReadConn(conn)) {
+        CloseConn(i, "peer closed or malformed stream");
+        continue;
+      }
+    } else if (revents & POLLHUP) {
+      // Only treat HUP as fatal once the read side is drained.
+      CloseConn(i, "hangup");
+      continue;
+    }
+    // Always attempt a write: reads may have queued acks this tick.
+    if (!WriteConn(conn)) {
+      CloseConn(i, "write failed");
+      continue;
+    }
+    const bool stalled_read = !conn.in.empty();
+    const bool stalled_write = conn.out_offset < conn.out.size();
+    if ((stalled_read || stalled_write) && options_.io_timeout_ms >= 0) {
+      const std::uint64_t idle_ns = NowNs() - conn.last_progress_ns;
+      if (idle_ns / 1000000 >
+          static_cast<std::uint64_t>(options_.io_timeout_ms)) {
+        CloseConn(i, stalled_read ? "read stalled mid-frame"
+                                  : "write stalled");
+        continue;
+      }
+    }
+  }
+
+  tick_us_.Record(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                            tick_start)
+          .count());
+}
+
+bool Server::SendTo(int client_id, const Frame& frame) {
+  auto it = by_client_.find(client_id);
+  if (it == by_client_.end()) {
+    return false;
+  }
+  Conn& conn = *it->second;
+  QueueFrame(conn, frame);
+  // Opportunistic immediate flush keeps broadcasts prompt without waiting a
+  // tick.
+  if (!WriteConn(conn)) {
+    for (std::size_t i = 0; i < conns_.size(); ++i) {
+      if (conns_[i].get() == &conn) {
+        CloseConn(i, "write failed");
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void Server::BroadcastShutdown() {
+  const Frame frame = MakeShutdownFrame();
+  // Snapshot ids first: SendTo may evict (erase from by_client_) on a dead
+  // socket, which would invalidate a live iterator.
+  std::vector<int> ids;
+  ids.reserve(by_client_.size());
+  for (const auto& [id, conn] : by_client_) {
+    ids.push_back(id);
+  }
+  for (int id : ids) {
+    SendTo(id, frame);
+  }
+}
+
+bool Server::Flush(int timeout_ms) {
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (true) {
+    bool pending = false;
+    for (const auto& conn : conns_) {
+      if (conn->out_offset < conn->out.size()) {
+        pending = true;
+        break;
+      }
+    }
+    if (!pending) {
+      return true;
+    }
+    if (Clock::now() >= deadline) {
+      return false;
+    }
+    PollOnce(10);
+  }
+}
+
+bool Server::WaitForClients(std::size_t count, int timeout_ms) {
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (by_client_.size() < count) {
+    if (Clock::now() >= deadline) {
+      return false;
+    }
+    PollOnce(20);
+  }
+  return true;
+}
+
+void Server::Evict(int client_id, const char* reason) {
+  auto it = by_client_.find(client_id);
+  if (it == by_client_.end()) {
+    return;
+  }
+  for (std::size_t i = 0; i < conns_.size(); ++i) {
+    if (conns_[i].get() == it->second) {
+      CloseConn(i, reason);
+      return;
+    }
+  }
+}
+
+bool Server::IsConnected(int client_id) const {
+  return by_client_.count(client_id) > 0;
+}
+
+}  // namespace net

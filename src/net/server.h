@@ -1,0 +1,121 @@
+// poll()-driven TCP server event loop for the distributed run mode.
+//
+// Single-threaded reactor: the driver thread calls PollOnce() to pump one
+// tick — accept new connections, drain readable sockets into per-connection
+// buffers, decode complete frames, flush pending writes — and registers
+// callbacks for the three application events (client handshake, client
+// update, disconnect). All sockets are non-blocking; a connection that
+// stays stalled mid-frame or mid-write past `io_timeout_ms` is evicted.
+//
+// Protocol state machine per connection:
+//
+//   accepted ──Ack{client_id}──▶ identified ──ClientUpdate*──▶ ...
+//       │                            │
+//       └── anything else / malformed / stalled / EOF ──▶ closed (+callback)
+//
+// Duplicate ClientUpdates (the fault injector's kDuplicate, or a client
+// resending an unacked update) are detected by per-connection job_index
+// bookkeeping: every copy is re-acked, only the first is delivered.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "net/frame.h"
+#include "net/socket.h"
+#include "obs/metrics.h"
+
+namespace net {
+
+struct ServerOptions {
+  std::uint16_t port = 0;   // 0 → ephemeral loopback port
+  // A connection with a partially received frame or unflushed writes older
+  // than this is considered dead.
+  int io_timeout_ms = 10000;
+};
+
+class Server {
+ public:
+  using UpdateHandler = std::function<void(int client_id, ClientUpdateMsg)>;
+  using ClientHandler = std::function<void(int client_id)>;
+
+  explicit Server(ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  std::uint16_t port() const { return listener_.port(); }
+
+  void SetUpdateHandler(UpdateHandler handler);
+  void SetConnectHandler(ClientHandler handler);     // after handshake
+  void SetDisconnectHandler(ClientHandler handler);  // any close/eviction
+
+  // One reactor tick; blocks at most `timeout_ms` waiting for readiness.
+  void PollOnce(int timeout_ms);
+
+  // Queues `frame` for the identified client; an immediate non-blocking
+  // write is attempted, the remainder flushes on later ticks. Returns false
+  // when the client is not connected.
+  bool SendTo(int client_id, const Frame& frame);
+
+  // Queues a Shutdown frame to every identified client.
+  void BroadcastShutdown();
+
+  // Pumps the loop until every queued byte is flushed (or `timeout_ms`
+  // passes). Returns true when fully flushed.
+  bool Flush(int timeout_ms);
+
+  // Pumps the loop until `count` clients have completed their handshake.
+  bool WaitForClients(std::size_t count, int timeout_ms);
+
+  // Drops the client's connection (e.g. job deadline exceeded). Fires the
+  // disconnect handler.
+  void Evict(int client_id, const char* reason);
+
+  bool IsConnected(int client_id) const;
+  std::size_t ConnectedCount() const { return by_client_.size(); }
+
+ private:
+  struct Conn {
+    util::UniqueFd fd;
+    int client_id = -1;  // -1 until the hello Ack arrives
+    std::vector<std::uint8_t> in;
+    std::vector<std::uint8_t> out;
+    std::size_t out_offset = 0;  // already-written prefix of `out`
+    std::uint64_t last_progress_ns = 0;
+    std::set<std::uint64_t> delivered_jobs;  // dedup of resent updates
+  };
+
+  void AcceptPending();
+  // Appends the encoded frame to the connection's write queue (no flush).
+  void QueueFrame(Conn& conn, const Frame& frame);
+  // Reads and processes one connection; returns false when it must close.
+  bool ReadConn(Conn& conn);
+  bool HandleFrame(Conn& conn, const Frame& frame);
+  // Attempts to write pending bytes; returns false on a dead socket.
+  bool WriteConn(Conn& conn);
+  void CloseConn(std::size_t index, const char* reason);
+
+  ServerOptions options_;
+  Listener listener_;
+  std::vector<std::unique_ptr<Conn>> conns_;
+  std::map<int, Conn*> by_client_;
+  UpdateHandler on_update_;
+  ClientHandler on_connect_;
+  ClientHandler on_disconnect_;
+
+  obs::Counter& frames_received_;
+  obs::Counter& frames_sent_;
+  obs::Counter& bytes_in_;
+  obs::Counter& bytes_out_;
+  obs::Counter& evictions_;
+  obs::Counter& duplicates_;
+  obs::Histogram& tick_us_;
+};
+
+}  // namespace net

@@ -1,0 +1,88 @@
+// Loopback TCP primitives: RAII listener/connection, frame-granular
+// blocking I/O with poll()-based deadlines, and bounded exponential-backoff
+// retry for connects.
+//
+// Connection is what the client workers use (blocking sends/receives with
+// timeouts); the server side keeps raw non-blocking fds inside net::Server
+// and only borrows the framing helpers here.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "net/frame.h"
+#include "util/fd.h"
+
+namespace net {
+
+// Bounded retry schedule: attempt i sleeps
+// min(initial_backoff_ms · multiplier^i, max_backoff_ms) · (1 ± jitter).
+struct RetryConfig {
+  int max_attempts = 5;
+  double initial_backoff_ms = 10.0;
+  double multiplier = 2.0;
+  double max_backoff_ms = 2000.0;
+  double jitter = 0.25;  // uniform fraction around the nominal delay
+};
+
+// Backoff before retry number `attempt` (0-based); jitter drawn from `rng`.
+double BackoffDelayMs(const RetryConfig& config, int attempt,
+                      std::mt19937_64& rng);
+
+// A connected TCP stream socket (blocking mode). All deadlines are enforced
+// with poll(); hitting one throws util::CheckError.
+class Connection {
+ public:
+  Connection() = default;
+  explicit Connection(util::UniqueFd fd);
+
+  bool open() const { return fd_.valid(); }
+  int fd() const { return fd_.get(); }
+  void Close() { fd_.reset(); }
+
+  // Sends the whole buffer; throws on error or when `timeout_ms` elapses
+  // with the kernel buffer still full. timeout_ms < 0 → no deadline.
+  void SendBytes(std::span<const std::uint8_t> bytes, int timeout_ms);
+  void SendFrame(const Frame& frame, int timeout_ms);
+
+  enum class RecvStatus { kFrame, kTimeout, kEof };
+
+  // Receives exactly one frame, or reports an elapsed deadline / clean EOF
+  // at a frame boundary. Throws on socket error or a malformed/partial
+  // frame cut off by EOF. timeout_ms < 0 → wait forever.
+  RecvStatus TryRecvFrame(Frame* out, int timeout_ms);
+
+  // TryRecvFrame that treats a timeout as an error (throws). Returns false
+  // on clean EOF.
+  bool RecvFrame(Frame* out, int timeout_ms);
+
+ private:
+  util::UniqueFd fd_;
+  std::vector<std::uint8_t> inbox_;  // received bytes not yet framed
+};
+
+// Listening socket bound to 127.0.0.1; port 0 picks an ephemeral port.
+class Listener {
+ public:
+  explicit Listener(std::uint16_t port);
+
+  std::uint16_t port() const { return port_; }
+  int fd() const { return fd_.get(); }
+
+  // Accepts one pending connection (call after poll() readiness or expect
+  // blocking). The returned fd is left in blocking mode.
+  util::UniqueFd Accept();
+
+ private:
+  util::UniqueFd fd_;
+  std::uint16_t port_ = 0;
+};
+
+// Connects to 127.0.0.1:`port`, retrying per `retry` with seeded jitter.
+// Throws util::CheckError when every attempt fails.
+Connection ConnectWithRetry(std::uint16_t port, const RetryConfig& retry,
+                            std::uint64_t seed);
+
+}  // namespace net

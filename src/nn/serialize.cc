@@ -1,6 +1,5 @@
 #include "nn/serialize.h"
 
-#include <cstdint>
 #include <cstring>
 #include <fstream>
 
@@ -11,41 +10,87 @@ namespace {
 
 constexpr char kMagic[4] = {'A', 'F', 'P', 'M'};
 constexpr std::uint32_t kVersion = 1;
+constexpr std::size_t kHeaderBytes =
+    sizeof(kMagic) + sizeof(std::uint32_t) + sizeof(std::uint64_t);
+
+template <typename T>
+void AppendRaw(std::vector<std::uint8_t>& out, const T& value) {
+  const auto* bytes = reinterpret_cast<const std::uint8_t*>(&value);
+  out.insert(out.end(), bytes, bytes + sizeof(T));
+}
+
+template <typename T>
+T ReadRaw(std::span<const std::uint8_t> bytes, std::size_t offset) {
+  T value;
+  std::memcpy(&value, bytes.data() + offset, sizeof(T));
+  return value;
+}
 
 }  // namespace
 
+std::size_t FlatParamsWireSize(std::size_t count) {
+  return kHeaderBytes + count * sizeof(float);
+}
+
+void AppendFlatParams(std::vector<std::uint8_t>& out,
+                      std::span<const float> params) {
+  out.reserve(out.size() + FlatParamsWireSize(params.size()));
+  out.insert(out.end(), kMagic, kMagic + sizeof(kMagic));
+  AppendRaw(out, kVersion);
+  AppendRaw(out, static_cast<std::uint64_t>(params.size()));
+  const auto* data = reinterpret_cast<const std::uint8_t*>(params.data());
+  out.insert(out.end(), data, data + params.size() * sizeof(float));
+}
+
+std::vector<float> ParseFlatParams(std::span<const std::uint8_t> bytes,
+                                   std::size_t* offset) {
+  AF_CHECK(offset != nullptr);
+  AF_CHECK_LE(*offset, bytes.size()) << "parse offset past end of buffer";
+  std::span<const std::uint8_t> rest = bytes.subspan(*offset);
+  AF_CHECK_GE(rest.size(), kHeaderBytes) << "truncated AFPM header";
+  AF_CHECK(std::memcmp(rest.data(), kMagic, sizeof(kMagic)) == 0)
+      << "bad AFPM magic";
+  const auto version = ReadRaw<std::uint32_t>(rest, sizeof(kMagic));
+  AF_CHECK_EQ(version, kVersion) << "unsupported AFPM version";
+  const auto count =
+      ReadRaw<std::uint64_t>(rest, sizeof(kMagic) + sizeof(version));
+  // Bounds-check before allocating: a corrupt count must not trigger an
+  // attempted multi-terabyte allocation.
+  const std::size_t available = rest.size() - kHeaderBytes;
+  AF_CHECK_LE(count, available / sizeof(float))
+      << "truncated AFPM payload: header declares " << count
+      << " floats but only " << available << " bytes follow";
+  std::vector<float> params(static_cast<std::size_t>(count));
+  if (!params.empty()) {
+    std::memcpy(params.data(), rest.data() + kHeaderBytes,
+                params.size() * sizeof(float));
+  }
+  *offset += FlatParamsWireSize(params.size());
+  return params;
+}
+
 void SaveFlatParams(const std::string& path, std::span<const float> params) {
+  std::vector<std::uint8_t> buffer;
+  AppendFlatParams(buffer, params);
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   AF_CHECK(out.good()) << "cannot open " << path << " for writing";
-  out.write(kMagic, sizeof(kMagic));
-  std::uint32_t version = kVersion;
-  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
-  std::uint64_t count = params.size();
-  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
-  out.write(reinterpret_cast<const char*>(params.data()),
-            static_cast<std::streamsize>(params.size() * sizeof(float)));
+  out.write(reinterpret_cast<const char*>(buffer.data()),
+            static_cast<std::streamsize>(buffer.size()));
   AF_CHECK(out.good()) << "write failed for " << path;
 }
 
 std::vector<float> LoadFlatParams(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   AF_CHECK(in.good()) << "cannot open " << path;
-  char magic[4] = {};
-  in.read(magic, sizeof(magic));
-  AF_CHECK(in.good() && std::memcmp(magic, kMagic, sizeof(kMagic)) == 0)
-      << path << " is not an AFPM parameter file";
-  std::uint32_t version = 0;
-  in.read(reinterpret_cast<char*>(&version), sizeof(version));
-  AF_CHECK(in.good()) << "truncated header in " << path;
-  AF_CHECK_EQ(version, kVersion) << "unsupported AFPM version in " << path;
-  std::uint64_t count = 0;
-  in.read(reinterpret_cast<char*>(&count), sizeof(count));
-  AF_CHECK(in.good()) << "truncated header in " << path;
-  std::vector<float> params(count);
-  in.read(reinterpret_cast<char*>(params.data()),
-          static_cast<std::streamsize>(count * sizeof(float)));
-  AF_CHECK(in.good()) << "truncated payload in " << path;
-  return params;
+  std::vector<std::uint8_t> buffer(
+      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  AF_CHECK(!in.bad()) << "read failed for " << path;
+  std::size_t offset = 0;
+  try {
+    return ParseFlatParams(buffer, &offset);
+  } catch (const util::CheckError& e) {
+    throw util::CheckError(std::string(e.what()) + " [file: " + path + "]");
+  }
 }
 
 }  // namespace nn

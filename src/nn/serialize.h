@@ -1,10 +1,14 @@
 // Flat-parameter (de)serialization.
 //
 // Checkpoints the global model between runs (e.g. warm-starting a defense
-// study from a converged clean model). Format: little-endian binary,
-// magic "AFPM" + u32 version + u64 count + count float32s.
+// study from a converged clean model) and frames parameter payloads for the
+// net/ wire protocol. Format: little-endian binary, magic "AFPM" +
+// u32 version + u64 count + count float32s — identical on disk and on the
+// wire, so a captured frame payload is a valid checkpoint body.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
@@ -18,5 +22,21 @@ void SaveFlatParams(const std::string& path, std::span<const float> params);
 // Reads a parameter vector written by SaveFlatParams; throws on missing
 // file, bad magic, unsupported version, or truncation.
 std::vector<float> LoadFlatParams(const std::string& path);
+
+// Appends the AFPM block (magic + version + count + float payload) for
+// `params` to `out`. The buffer form backs both the file checkpoints above
+// and net/ frame payloads.
+void AppendFlatParams(std::vector<std::uint8_t>& out,
+                      std::span<const float> params);
+
+// Parses one AFPM block starting at `*offset` in `bytes` and advances
+// `*offset` past it. Validates the declared count against the bytes actually
+// present before allocating, so a corrupt count throws util::CheckError
+// instead of attempting a huge allocation.
+std::vector<float> ParseFlatParams(std::span<const std::uint8_t> bytes,
+                                   std::size_t* offset);
+
+// Bytes AppendFlatParams emits for `count` parameters (header included).
+std::size_t FlatParamsWireSize(std::size_t count);
 
 }  // namespace nn

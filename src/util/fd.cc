@@ -1,0 +1,23 @@
+#include "util/fd.h"
+
+#include <unistd.h>
+
+#include <cstring>
+
+namespace util {
+
+void UniqueFd::reset(int fd) {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+  fd_ = fd;
+}
+
+std::string ErrnoMessage(int err) {
+  char buf[128] = {};
+  // GNU strerror_r may return a static string instead of filling buf.
+  const char* text = ::strerror_r(err, buf, sizeof(buf));
+  return std::string(text) + " (errno " + std::to_string(err) + ")";
+}
+
+}  // namespace util

@@ -1,0 +1,50 @@
+// POSIX file-descriptor RAII and errno formatting.
+//
+// The net/ transport layer deals in raw sockets; UniqueFd guarantees no
+// descriptor leaks on any error path (exceptions included), and
+// ErrnoMessage turns errno values into readable strings for CheckError
+// messages without the strerror thread-safety footgun.
+#pragma once
+
+#include <string>
+
+namespace util {
+
+// Move-only owner of an open file descriptor; closes it on destruction.
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) : fd_(fd) {}
+  ~UniqueFd() { reset(); }
+
+  UniqueFd(UniqueFd&& other) noexcept : fd_(other.release()) {}
+  UniqueFd& operator=(UniqueFd&& other) noexcept {
+    if (this != &other) {
+      reset(other.release());
+    }
+    return *this;
+  }
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+
+  // Gives up ownership without closing.
+  int release() {
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+  // Closes the current descriptor (if any) and adopts `fd`.
+  void reset(int fd = -1);
+
+ private:
+  int fd_ = -1;
+};
+
+// "<errno name/text> (errno <n>)" for the given errno value.
+std::string ErrnoMessage(int err);
+
+}  // namespace util

@@ -100,4 +100,17 @@ std::vector<std::string> FlagParser::Names() const {
   return names;
 }
 
+void FlagParser::RejectUnknown(const std::vector<std::string>& known) const {
+  std::string unknown;
+  for (const auto& [name, value] : values_) {
+    if (std::find(known.begin(), known.end(), name) == known.end()) {
+      if (!unknown.empty()) {
+        unknown += ", ";
+      }
+      unknown += "--" + name;
+    }
+  }
+  AF_CHECK(unknown.empty()) << "unknown flag(s): " << unknown;
+}
+
 }  // namespace util

@@ -31,6 +31,11 @@ class FlagParser {
   // Flag names that were parsed, in no particular order (for validation).
   std::vector<std::string> Names() const;
 
+  // Throws CheckError naming every parsed flag not in `known` — call once
+  // after listing the flags a binary accepts, so typos fail loudly instead
+  // of silently running with defaults.
+  void RejectUnknown(const std::vector<std::string>& known) const;
+
  private:
   std::map<std::string, std::string> values_;
   std::vector<std::string> positional_;

@@ -1,0 +1,94 @@
+// End-to-end tests of the distributed run mode (--transport=tcp): the same
+// simulation round-tripped over real loopback TCP connections must match the
+// in-process run, and must degrade gracefully when the fault injector turns
+// the wire hostile. These are the slowest tests in the suite.
+#include <gtest/gtest.h>
+
+#include "fl/experiment.h"
+
+namespace fl {
+namespace {
+
+ExperimentConfig SmallConfig(std::uint64_t seed) {
+  ExperimentConfig config =
+      MakeDefaultConfig(data::Profile::kFashionMnist, seed);
+  config.num_clients = 20;
+  config.num_malicious = 4;
+  config.train_pool = 1500;
+  config.test_samples = 300;
+  config.partition_size = 50;
+  config.sim.buffer_goal = 8;
+  config.sim.rounds = 10;
+  config.sim.local.epochs = 2;
+  config.threads = 2;
+  return config;
+}
+
+TEST(DistributedTest, TcpMatchesInprocUnderLieAttack) {
+  // The acceptance bar for the transport: a 10-round FedBuff + AsyncFilter
+  // run under the LIE attack must reach the same accuracy over TCP as in
+  // process. Scheduling, attack crafting, and RNG streams all live on the
+  // server side, so with a quiet wire the runs are bit-identical — the
+  // tolerance below is pure paranoia, not an expected gap.
+  ExperimentConfig config = SmallConfig(61);
+  config.attack = attacks::AttackKind::kLie;
+  config.defense = DefenseKind::kAsyncFilter;
+
+  config.transport = TransportKind::kInproc;
+  const SimulationResult inproc = RunExperiment(config);
+
+  config.transport = TransportKind::kTcp;
+  const SimulationResult tcp = RunExperiment(config);
+
+  ASSERT_EQ(tcp.rounds.size(), inproc.rounds.size());
+  EXPECT_NEAR(tcp.final_accuracy, inproc.final_accuracy, 1e-6);
+  EXPECT_EQ(tcp.final_model, inproc.final_model);  // bit-exact
+  EXPECT_EQ(tcp.evicted_clients, 0u);
+}
+
+TEST(DistributedTest, SurvivesFaultyWireWithSameResult) {
+  // Drops are resent, duplicates deduped, delays absorbed — none of them may
+  // change what the server aggregates.
+  ExperimentConfig config = SmallConfig(62);
+  config.attack = attacks::AttackKind::kLie;
+  config.defense = DefenseKind::kAsyncFilter;
+  config.sim.rounds = 6;
+
+  config.transport = TransportKind::kInproc;
+  const SimulationResult inproc = RunExperiment(config);
+
+  config.transport = TransportKind::kTcp;
+  config.net.faults.drop_prob = 0.1;
+  config.net.faults.duplicate_prob = 0.1;
+  config.net.faults.delay_prob = 0.1;
+  config.net.faults.delay_ms = 2.0;
+  config.net.faults.seed = 62;
+  const SimulationResult tcp = RunExperiment(config);
+
+  EXPECT_EQ(tcp.final_model, inproc.final_model);
+  EXPECT_EQ(tcp.evicted_clients, 0u);
+}
+
+TEST(DistributedTest, CompletesWhenFifthOfClientsDieMidRun) {
+  // The graceful-degradation bar: kill 20% of the client connections mid-run
+  // and the server must still finish every round, aggregating from the
+  // survivors.
+  ExperimentConfig config = SmallConfig(63);
+  config.attack = attacks::AttackKind::kLie;
+  config.defense = DefenseKind::kAsyncFilter;
+  config.transport = TransportKind::kTcp;
+  config.net.faults.kill_fraction = 0.2;
+  config.net.faults.seed = 63;
+  config.net.job_timeout_ms = 30000;
+
+  const SimulationResult result = RunExperiment(config);
+
+  EXPECT_EQ(result.rounds.size(), config.sim.rounds);
+  EXPECT_GE(result.evicted_clients, 1u);
+  EXPECT_LT(result.evicted_clients, config.num_clients);
+  // The run must still have learned something (random guessing is 0.1).
+  EXPECT_GT(result.final_accuracy, 0.1);
+}
+
+}  // namespace
+}  // namespace fl

@@ -1,0 +1,108 @@
+#include "net/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+namespace net {
+namespace {
+
+TEST(FaultInjectorTest, QuietConfigAlwaysDelivers) {
+  FaultConfig config;  // all probabilities zero
+  EXPECT_FALSE(config.Any());
+  FaultInjector injector(config, /*client_id=*/3);
+  EXPECT_FALSE(injector.doomed());
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(injector.NextAction(), FaultInjector::Action::kDeliver);
+  }
+}
+
+TEST(FaultInjectorTest, CertainDropAlwaysDrops) {
+  FaultConfig config;
+  config.drop_prob = 1.0;
+  FaultInjector injector(config, 0);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(injector.NextAction(), FaultInjector::Action::kDrop);
+  }
+}
+
+TEST(FaultInjectorTest, SameSeedSameClientSameFate) {
+  FaultConfig config;
+  config.drop_prob = 0.2;
+  config.delay_prob = 0.2;
+  config.duplicate_prob = 0.2;
+  config.truncate_prob = 0.05;
+  config.kill_fraction = 0.5;
+  config.seed = 42;
+
+  FaultInjector a(config, 7);
+  FaultInjector b(config, 7);
+  EXPECT_EQ(a.doomed(), b.doomed());
+  EXPECT_EQ(a.kill_after_frame(), b.kill_after_frame());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextAction(), b.NextAction());
+  }
+}
+
+TEST(FaultInjectorTest, DistinctClientsGetDistinctStreams) {
+  FaultConfig config;
+  config.drop_prob = 0.5;
+  config.seed = 9;
+  FaultInjector a(config, 0);
+  FaultInjector b(config, 1);
+  int differing = 0;
+  for (int i = 0; i < 100; ++i) {
+    differing += a.NextAction() != b.NextAction();
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(FaultInjectorTest, KillFractionDoomsRoughlyThatShare) {
+  FaultConfig config;
+  config.kill_fraction = 0.3;
+  config.seed = 11;
+  int doomed = 0;
+  const int n = 1000;
+  for (int id = 0; id < n; ++id) {
+    FaultInjector injector(config, id);
+    if (injector.doomed()) {
+      ++doomed;
+      EXPECT_GE(injector.kill_after_frame(), 1u);
+      EXPECT_LE(injector.kill_after_frame(), 5u);
+    }
+  }
+  EXPECT_GT(doomed, n * 0.2);
+  EXPECT_LT(doomed, n * 0.4);
+}
+
+TEST(FaultInjectorTest, MixedProbabilitiesApproximateTheirRates) {
+  FaultConfig config;
+  config.drop_prob = 0.25;
+  config.duplicate_prob = 0.25;
+  config.seed = 5;
+  FaultInjector injector(config, 2);
+  std::map<FaultInjector::Action, int> counts;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[injector.NextAction()];
+  }
+  EXPECT_NEAR(counts[FaultInjector::Action::kDrop] / double(n), 0.25, 0.05);
+  EXPECT_GT(counts[FaultInjector::Action::kDuplicate], 0);
+  EXPECT_GT(counts[FaultInjector::Action::kDeliver], 0);
+  EXPECT_EQ(counts[FaultInjector::Action::kDelay], 0);
+  EXPECT_EQ(counts[FaultInjector::Action::kTruncate], 0);
+}
+
+TEST(FaultInjectorTest, AnyReflectsEveryKnob) {
+  FaultConfig config;
+  EXPECT_FALSE(config.Any());
+  config.kill_fraction = 0.1;
+  EXPECT_TRUE(config.Any());
+  config.kill_fraction = 0.0;
+  config.truncate_prob = 0.1;
+  EXPECT_TRUE(config.Any());
+}
+
+}  // namespace
+}  // namespace net

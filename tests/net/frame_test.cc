@@ -1,0 +1,139 @@
+#include "net/frame.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "util/check.h"
+
+namespace net {
+namespace {
+
+std::vector<std::uint8_t> Corrupted(const Frame& frame, std::size_t at,
+                                    std::uint8_t value) {
+  std::vector<std::uint8_t> bytes = EncodeFrame(frame);
+  bytes[at] = value;
+  return bytes;
+}
+
+TEST(FrameTest, RoundTripsEveryMessageType) {
+  ModelBroadcastMsg broadcast;
+  broadcast.round = 7;
+  broadcast.job_index = 42;
+  broadcast.params = {1.5f, -2.0f, 0.0f, 3.25f};
+
+  ClientUpdateMsg update;
+  update.client_id = 13;
+  update.job_index = 42;
+  update.base_round = 7;
+  update.num_samples = 100;
+  update.delta = {-0.5f, 0.25f};
+
+  AckMsg ack{99};
+
+  for (const Frame& frame :
+       {EncodeModelBroadcast(broadcast), EncodeClientUpdate(update),
+        EncodeAck(ack), MakeShutdownFrame()}) {
+    const std::vector<std::uint8_t> bytes = EncodeFrame(frame);
+    Frame decoded;
+    ASSERT_EQ(DecodeFrame(bytes, &decoded), bytes.size());
+    EXPECT_EQ(decoded.type, frame.type);
+    EXPECT_EQ(decoded.payload, frame.payload);
+  }
+
+  const ModelBroadcastMsg b2 = DecodeModelBroadcast(EncodeModelBroadcast(broadcast));
+  EXPECT_EQ(b2.round, broadcast.round);
+  EXPECT_EQ(b2.job_index, broadcast.job_index);
+  EXPECT_EQ(b2.params, broadcast.params);
+
+  const ClientUpdateMsg u2 = DecodeClientUpdate(EncodeClientUpdate(update));
+  EXPECT_EQ(u2.client_id, update.client_id);
+  EXPECT_EQ(u2.job_index, update.job_index);
+  EXPECT_EQ(u2.base_round, update.base_round);
+  EXPECT_EQ(u2.num_samples, update.num_samples);
+  EXPECT_EQ(u2.delta, update.delta);
+
+  EXPECT_EQ(DecodeAck(EncodeAck(ack)).value, ack.value);
+}
+
+TEST(FrameTest, PartialFrameConsumesNothing) {
+  const std::vector<std::uint8_t> bytes = EncodeFrame(EncodeAck({5}));
+  Frame out;
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_EQ(DecodeFrame(std::span(bytes).first(len), &out), 0u)
+        << "prefix of " << len << " bytes decoded as a whole frame";
+  }
+  EXPECT_EQ(DecodeFrame(bytes, &out), bytes.size());
+}
+
+TEST(FrameTest, BadMagicThrows) {
+  const auto bytes = Corrupted(EncodeAck({5}), 0, 0xFF);
+  Frame out;
+  EXPECT_THROW(DecodeFrame(bytes, &out), util::CheckError);
+}
+
+TEST(FrameTest, WrongVersionThrows) {
+  const auto bytes = Corrupted(EncodeAck({5}), 4, 0x7F);  // version low byte
+  Frame out;
+  EXPECT_THROW(DecodeFrame(bytes, &out), util::CheckError);
+}
+
+TEST(FrameTest, UnknownTypeThrows) {
+  const auto bytes = Corrupted(EncodeAck({5}), 6, 0x66);  // type low byte
+  Frame out;
+  EXPECT_THROW(DecodeFrame(bytes, &out), util::CheckError);
+}
+
+TEST(FrameTest, OversizedLengthThrows) {
+  std::vector<std::uint8_t> bytes = EncodeFrame(EncodeAck({5}));
+  const std::uint64_t absurd = kMaxFramePayload + 1;
+  std::memcpy(bytes.data() + 8, &absurd, sizeof(absurd));
+  Frame out;
+  EXPECT_THROW(DecodeFrame(bytes, &out), util::CheckError);
+}
+
+TEST(FrameTest, TypedDecoderRejectsWrongFrameType) {
+  EXPECT_THROW(DecodeAck(EncodeModelBroadcast({})), util::CheckError);
+  EXPECT_THROW(DecodeModelBroadcast(EncodeAck({1})), util::CheckError);
+  EXPECT_THROW(DecodeClientUpdate(MakeShutdownFrame()), util::CheckError);
+}
+
+TEST(FrameTest, TypedDecoderRejectsTruncatedPayload) {
+  Frame frame = EncodeClientUpdate(
+      {.client_id = 1, .job_index = 2, .base_round = 3, .num_samples = 4,
+       .delta = {1.0f, 2.0f, 3.0f}});
+  frame.payload.resize(frame.payload.size() / 2);
+  EXPECT_THROW(DecodeClientUpdate(frame), util::CheckError);
+}
+
+TEST(FrameTest, TypedDecoderRejectsTrailingBytes) {
+  Frame frame = EncodeAck({17});
+  frame.payload.push_back(0);
+  EXPECT_THROW(DecodeAck(frame), util::CheckError);
+}
+
+TEST(FrameTest, EmptyModelRoundTrips) {
+  const ModelBroadcastMsg msg = DecodeModelBroadcast(EncodeModelBroadcast({}));
+  EXPECT_TRUE(msg.params.empty());
+}
+
+TEST(FrameTest, DecodesBackToBackFramesIncrementally) {
+  std::vector<std::uint8_t> stream = EncodeFrame(EncodeAck({1}));
+  const std::vector<std::uint8_t> second =
+      EncodeFrame(EncodeModelBroadcast({.round = 2, .job_index = 3,
+                                        .params = {4.0f}}));
+  stream.insert(stream.end(), second.begin(), second.end());
+
+  Frame out;
+  const std::size_t first_len = DecodeFrame(stream, &out);
+  ASSERT_GT(first_len, 0u);
+  EXPECT_EQ(out.type, MessageType::kAck);
+  const std::size_t second_len =
+      DecodeFrame(std::span(stream).subspan(first_len), &out);
+  EXPECT_EQ(first_len + second_len, stream.size());
+  EXPECT_EQ(out.type, MessageType::kModelBroadcast);
+}
+
+}  // namespace
+}  // namespace net

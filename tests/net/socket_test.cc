@@ -1,0 +1,195 @@
+#include "net/socket.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "net/server.h"
+#include "util/check.h"
+
+namespace net {
+namespace {
+
+TEST(BackoffTest, GrowsGeometricallyAndCaps) {
+  RetryConfig config;
+  config.initial_backoff_ms = 10.0;
+  config.multiplier = 2.0;
+  config.max_backoff_ms = 50.0;
+  config.jitter = 0.0;
+  std::mt19937_64 rng(1);
+  EXPECT_DOUBLE_EQ(BackoffDelayMs(config, 0, rng), 10.0);
+  EXPECT_DOUBLE_EQ(BackoffDelayMs(config, 1, rng), 20.0);
+  EXPECT_DOUBLE_EQ(BackoffDelayMs(config, 2, rng), 40.0);
+  EXPECT_DOUBLE_EQ(BackoffDelayMs(config, 3, rng), 50.0);
+  EXPECT_DOUBLE_EQ(BackoffDelayMs(config, 10, rng), 50.0);
+}
+
+TEST(BackoffTest, JitterStaysWithinFraction) {
+  RetryConfig config;
+  config.initial_backoff_ms = 100.0;
+  config.jitter = 0.25;
+  std::mt19937_64 rng(7);
+  for (int i = 0; i < 100; ++i) {
+    const double delay = BackoffDelayMs(config, 0, rng);
+    EXPECT_GE(delay, 75.0);
+    EXPECT_LE(delay, 125.0);
+  }
+}
+
+TEST(SocketTest, FrameRoundTripOverLoopback) {
+  Listener listener(0);
+  ASSERT_GT(listener.port(), 0);
+
+  std::thread peer([&listener] {
+    Connection server_side(listener.Accept());
+    Frame frame;
+    ASSERT_TRUE(server_side.RecvFrame(&frame, 2000));
+    const AckMsg hello = DecodeAck(frame);
+    server_side.SendFrame(EncodeAck({hello.value + 1}), 2000);
+  });
+
+  Connection client = ConnectWithRetry(listener.port(), RetryConfig{}, 3);
+  client.SendFrame(EncodeAck({41}), 2000);
+  Frame reply;
+  ASSERT_TRUE(client.RecvFrame(&reply, 2000));
+  EXPECT_EQ(DecodeAck(reply).value, 42u);
+  peer.join();
+}
+
+TEST(SocketTest, RecvTimesOutOnSilentPeer) {
+  Listener listener(0);
+  Connection client = ConnectWithRetry(listener.port(), RetryConfig{}, 3);
+  util::UniqueFd server_side = listener.Accept();  // connected, says nothing
+  Frame frame;
+  EXPECT_EQ(client.TryRecvFrame(&frame, 50), Connection::RecvStatus::kTimeout);
+  EXPECT_THROW(client.RecvFrame(&frame, 50), util::CheckError);
+}
+
+TEST(SocketTest, CleanEofAtFrameBoundary) {
+  Listener listener(0);
+  Connection client = ConnectWithRetry(listener.port(), RetryConfig{}, 3);
+  {
+    Connection server_side(listener.Accept());
+    server_side.SendFrame(EncodeAck({1}), 2000);
+  }  // peer closes after one whole frame
+  Frame frame;
+  ASSERT_TRUE(client.RecvFrame(&frame, 2000));
+  EXPECT_EQ(frame.type, MessageType::kAck);
+  EXPECT_FALSE(client.RecvFrame(&frame, 2000));  // clean EOF
+}
+
+TEST(SocketTest, EofMidFrameThrows) {
+  Listener listener(0);
+  Connection client = ConnectWithRetry(listener.port(), RetryConfig{}, 3);
+  {
+    Connection server_side(listener.Accept());
+    const std::vector<std::uint8_t> bytes = EncodeFrame(EncodeAck({1}));
+    server_side.SendBytes(std::span(bytes).first(bytes.size() - 3), 2000);
+  }  // hard close mid-frame
+  Frame frame;
+  EXPECT_THROW(client.RecvFrame(&frame, 2000), util::CheckError);
+}
+
+TEST(SocketTest, ConnectRetryFailsAfterBoundedAttempts) {
+  // Grab an ephemeral port, then close the listener so nothing answers.
+  std::uint16_t dead_port;
+  {
+    Listener listener(0);
+    dead_port = listener.port();
+  }
+  RetryConfig retry;
+  retry.max_attempts = 2;
+  retry.initial_backoff_ms = 1.0;
+  retry.max_backoff_ms = 2.0;
+  EXPECT_THROW(ConnectWithRetry(dead_port, retry, 3), util::CheckError);
+}
+
+TEST(ServerTest, HandshakeUpdateAckAndDedup) {
+  Server server(ServerOptions{.port = 0, .io_timeout_ms = 2000});
+  std::vector<std::pair<int, std::uint64_t>> delivered;
+  server.SetUpdateHandler([&](int client_id, ClientUpdateMsg msg) {
+    delivered.emplace_back(client_id, msg.job_index);
+  });
+
+  std::atomic<int> acks_received{0};
+  std::thread client_thread([&acks_received, port = server.port()] {
+    Connection conn = ConnectWithRetry(port, RetryConfig{}, 3);
+    conn.SendFrame(EncodeAck({7}), 2000);  // hello: client_id = 7
+    ClientUpdateMsg update;
+    update.client_id = 7;
+    update.job_index = 1;
+    update.num_samples = 10;
+    update.delta = {0.5f};
+    const Frame frame = EncodeClientUpdate(update);
+    conn.SendFrame(frame, 2000);
+    conn.SendFrame(frame, 2000);  // duplicate: must be re-acked, not re-delivered
+    Frame ack;
+    while (acks_received < 2 &&
+           conn.TryRecvFrame(&ack, 5000) == Connection::RecvStatus::kFrame) {
+      EXPECT_EQ(DecodeAck(ack).value, 1u);
+      ++acks_received;
+    }
+  });
+
+  ASSERT_TRUE(server.WaitForClients(1, 5000));
+  EXPECT_TRUE(server.IsConnected(7));
+  // Keep pumping until the client has both receipts: the duplicate may
+  // arrive a tick after the original.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (acks_received < 2 && std::chrono::steady_clock::now() < deadline) {
+    server.PollOnce(20);
+  }
+  client_thread.join();
+
+  EXPECT_EQ(acks_received, 2);
+  ASSERT_EQ(delivered.size(), 1u);  // duplicate filtered
+  EXPECT_EQ(delivered[0], (std::pair<int, std::uint64_t>{7, 1}));
+}
+
+TEST(ServerTest, EvictFiresDisconnectHandler) {
+  Server server(ServerOptions{});
+  std::vector<int> gone;
+  server.SetDisconnectHandler([&](int client_id) { gone.push_back(client_id); });
+
+  std::thread client_thread([port = server.port()] {
+    Connection conn = ConnectWithRetry(port, RetryConfig{}, 3);
+    conn.SendFrame(EncodeAck({3}), 2000);
+    Frame frame;  // wait for the server to cut us off
+    while (conn.TryRecvFrame(&frame, 100) != Connection::RecvStatus::kEof) {
+    }
+  });
+
+  ASSERT_TRUE(server.WaitForClients(1, 5000));
+  server.Evict(3, "test eviction");
+  EXPECT_FALSE(server.IsConnected(3));
+  ASSERT_EQ(gone.size(), 1u);
+  EXPECT_EQ(gone[0], 3);
+  client_thread.join();
+}
+
+TEST(ServerTest, MalformedHelloClosesConnection) {
+  Server server(ServerOptions{});
+  std::thread client_thread([port = server.port()] {
+    Connection conn = ConnectWithRetry(port, RetryConfig{}, 3);
+    // First frame must be an Ack hello; a ClientUpdate is a protocol error.
+    conn.SendFrame(EncodeClientUpdate({.client_id = 1, .job_index = 0,
+                                       .num_samples = 1, .delta = {}}),
+                   2000);
+    Frame frame;
+    while (conn.TryRecvFrame(&frame, 100) != Connection::RecvStatus::kEof) {
+    }
+  });
+
+  for (int tick = 0; tick < 25; ++tick) {
+    server.PollOnce(10);  // let the bad hello arrive and be rejected
+  }
+  EXPECT_EQ(server.ConnectedCount(), 0u);
+  client_thread.join();
+}
+
+}  // namespace
+}  // namespace net

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 
 #include "nn/models.h"
@@ -60,6 +61,67 @@ TEST_F(SerializeTest, TruncatedPayloadThrows) {
   out.write(contents.data(), static_cast<std::streamsize>(contents.size() / 2));
   out.close();
   EXPECT_THROW(LoadFlatParams(path_), util::CheckError);
+}
+
+TEST_F(SerializeTest, TruncatedHeaderThrows) {
+  std::ofstream out(path_, std::ios::binary);
+  out << "AFPM";  // magic only, no version/count
+  out.close();
+  EXPECT_THROW(LoadFlatParams(path_), util::CheckError);
+}
+
+TEST_F(SerializeTest, HugeDeclaredCountThrowsInsteadOfAllocating) {
+  // A corrupt (or hostile) count field must be rejected by comparing it
+  // against the bytes actually present — not by attempting the allocation.
+  std::vector<std::uint8_t> bytes;
+  AppendFlatParams(bytes, std::vector<float>{1.0f, 2.0f});
+  const std::uint64_t absurd = ~std::uint64_t{0} / sizeof(float);
+  std::memcpy(bytes.data() + 8, &absurd, sizeof(absurd));  // count field
+  std::ofstream out(path_, std::ios::binary);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  out.close();
+  EXPECT_THROW(LoadFlatParams(path_), util::CheckError);
+
+  std::size_t offset = 0;
+  EXPECT_THROW(ParseFlatParams(bytes, &offset), util::CheckError);
+}
+
+TEST_F(SerializeTest, BufferFormRoundTripsAndTracksOffset) {
+  const std::vector<float> first{1.0f, -2.5f};
+  const std::vector<float> second{3.0f};
+  std::vector<std::uint8_t> bytes;
+  AppendFlatParams(bytes, first);
+  AppendFlatParams(bytes, second);
+  EXPECT_EQ(bytes.size(),
+            FlatParamsWireSize(first.size()) + FlatParamsWireSize(second.size()));
+
+  std::size_t offset = 0;
+  EXPECT_EQ(ParseFlatParams(bytes, &offset), first);
+  EXPECT_EQ(offset, FlatParamsWireSize(first.size()));
+  EXPECT_EQ(ParseFlatParams(bytes, &offset), second);
+  EXPECT_EQ(offset, bytes.size());
+}
+
+TEST_F(SerializeTest, BufferFormCorruptMagicThrows) {
+  std::vector<std::uint8_t> bytes;
+  AppendFlatParams(bytes, std::vector<float>{1.0f});
+  bytes[0] = 'X';
+  std::size_t offset = 0;
+  EXPECT_THROW(ParseFlatParams(bytes, &offset), util::CheckError);
+}
+
+TEST_F(SerializeTest, FileAndWireBytesAreIdentical) {
+  const std::vector<float> params{0.5f, 1.5f, -3.0f};
+  SaveFlatParams(path_, params);
+  std::ifstream in(path_, std::ios::binary);
+  std::string file_bytes((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  std::vector<std::uint8_t> wire_bytes;
+  AppendFlatParams(wire_bytes, params);
+  ASSERT_EQ(file_bytes.size(), wire_bytes.size());
+  EXPECT_EQ(std::memcmp(file_bytes.data(), wire_bytes.data(),
+                        wire_bytes.size()), 0);
 }
 
 }  // namespace

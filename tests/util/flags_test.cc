@@ -73,5 +73,25 @@ TEST(FlagParserTest, NamesListsAllFlags) {
   EXPECT_EQ(names.size(), 2u);
 }
 
+TEST(FlagParserTest, RejectUnknownPassesKnownFlags) {
+  auto flags = Parse({"--rounds=20", "--quiet"});
+  EXPECT_NO_THROW(flags.RejectUnknown({"rounds", "quiet", "seed"}));
+}
+
+TEST(FlagParserTest, RejectUnknownThrowsNamingOffenders) {
+  auto flags = Parse({"--rounds=20", "--ronuds=21"});
+  try {
+    flags.RejectUnknown({"rounds"});
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("--ronuds"), std::string::npos);
+  }
+}
+
+TEST(FlagParserTest, RejectUnknownIgnoresPositionals) {
+  auto flags = Parse({"7", "--seed=3"});
+  EXPECT_NO_THROW(flags.RejectUnknown({"seed"}));
+}
+
 }  // namespace
 }  // namespace util
