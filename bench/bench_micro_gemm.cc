@@ -1,0 +1,334 @@
+// Micro-benchmark for the blocked SGEMM core (tensor/gemm.h) against the
+// seed's naive triple-loop MatMul, plus the reduction kernels behind the
+// defense distance math and an end-to-end training-step throughput record.
+//
+// Emits BENCH_gemm.json (see docs/PERFORMANCE.md for the schema) so the
+// kernel perf trajectory is tracked per PR alongside the table/figure
+// records. `--smoke` shrinks repetitions for CI; `--out=FILE` redirects the
+// JSON; `--threads=N` sizes the pool used for the multi-threaded columns.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "nn/loss.h"
+#include "nn/models.h"
+#include "obs/json.h"
+#include "tensor/gemm.h"
+#include "tensor/kernels.h"
+#include "tensor/tensor.h"
+#include "util/flags.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// The seed repo's tensor::MatMul before this PR: ikj loop order with the
+// `av == 0.0f` skip, kept verbatim as the baseline the speedup is measured
+// against.
+void SeedMatMul(const float* a, const float* b, float* c, std::size_t m,
+                std::size_t n, std::size_t k) {
+  for (std::size_t i = 0; i < m; ++i) {
+    float* crow = c + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      crow[j] = 0.0f;
+    }
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float av = a[i * k + kk];
+      if (av == 0.0f) {
+        continue;
+      }
+      const float* brow = b + kk * n;
+      for (std::size_t j = 0; j < n; ++j) {
+        crow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
+// Median-of-`runs` wall time of fn(), each run `reps` back-to-back calls.
+template <typename Fn>
+double MedianSecondsPerCall(std::size_t runs, std::size_t reps, Fn&& fn) {
+  std::vector<double> times;
+  times.reserve(runs);
+  for (std::size_t r = 0; r < runs; ++r) {
+    const auto start = Clock::now();
+    for (std::size_t i = 0; i < reps; ++i) {
+      fn();
+    }
+    times.push_back(SecondsSince(start) / static_cast<double>(reps));
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+struct GemmCase {
+  const char* label;  // which layer/pass this shape stands in for
+  std::size_t m, n, k;
+};
+
+// LeNet-surrogate working set (batch 64) plus a square reference point.
+// 64×120×400 is the acceptance shape from ISSUE 3.
+const GemmCase kCases[] = {
+    {"fc1_forward_64x120x400", 64, 120, 400},
+    {"fc1_dgrad_64x400x120", 64, 400, 120},
+    {"fc1_wgrad_120x400x64", 120, 400, 64},
+    {"conv2_forward_12x9216x150", 12, 9216, 150},
+    {"square_256", 256, 256, 256},
+};
+
+struct GemmResult {
+  GemmCase shape;
+  double seed_sec = 0.0;
+  double blocked_sec = 0.0;
+  double blocked_mt_sec = 0.0;
+};
+
+struct ReductionResult {
+  const char* op;
+  std::size_t n;
+  double sec = 0.0;
+  double gbytes_per_sec = 0.0;
+};
+
+struct TrainResult {
+  std::string model;
+  std::size_t batch = 0;
+  std::size_t steps = 0;
+  double wall_seconds = 0.0;
+  double steps_per_sec = 0.0;
+  double samples_per_sec = 0.0;
+};
+
+double Gflops(const GemmCase& s, double sec) {
+  return sec > 0.0
+             ? 2.0 * static_cast<double>(s.m) * s.n * s.k / sec / 1e9
+             : 0.0;
+}
+
+GemmResult BenchGemm(const GemmCase& shape, bool smoke,
+                     util::ThreadPool& pool, std::mt19937_64& rng) {
+  std::normal_distribution<float> dist(0.0f, 1.0f);
+  std::vector<float> a(shape.m * shape.k), b(shape.k * shape.n);
+  std::vector<float> c(shape.m * shape.n);
+  for (float& x : a) {
+    x = dist(rng);
+  }
+  for (float& x : b) {
+    x = dist(rng);
+  }
+
+  // Size repetitions so each measured run lasts long enough to time
+  // reliably (~60ms full, ~6ms smoke) without letting big shapes crawl.
+  const double target = smoke ? 0.006 : 0.06;
+  const std::size_t runs = smoke ? 3 : 7;
+  auto reps_for = [&](double sec_per_call) {
+    const double reps = target / std::max(sec_per_call, 1e-9);
+    return std::max<std::size_t>(1, static_cast<std::size_t>(reps));
+  };
+  // One untimed warm-up call calibrates reps and touches the buffers.
+  const auto warm = Clock::now();
+  SeedMatMul(a.data(), b.data(), c.data(), shape.m, shape.n, shape.k);
+  const double warm_sec = std::max(SecondsSince(warm), 1e-9);
+
+  GemmResult result{shape};
+  result.seed_sec = MedianSecondsPerCall(runs, reps_for(warm_sec), [&] {
+    SeedMatMul(a.data(), b.data(), c.data(), shape.m, shape.n, shape.k);
+  });
+  const double est_blocked = warm_sec / 4.0;  // reps guess; self-corrects fast
+  result.blocked_sec = MedianSecondsPerCall(runs, reps_for(est_blocked), [&] {
+    tensor::Sgemm(tensor::Op::kNone, tensor::Op::kNone, shape.m, shape.n,
+                  shape.k, a.data(), shape.k, b.data(), shape.n, c.data(),
+                  shape.n);
+  });
+  result.blocked_mt_sec =
+      MedianSecondsPerCall(runs, reps_for(result.blocked_sec), [&] {
+        tensor::Sgemm(tensor::Op::kNone, tensor::Op::kNone, shape.m, shape.n,
+                      shape.k, a.data(), shape.k, b.data(), shape.n, c.data(),
+                      shape.n, nullptr, 0.0f, &pool);
+      });
+  std::printf(
+      "  %-28s seed %8.2f ms (%6.2f GF/s)  blocked %8.2f ms (%6.2f GF/s)  "
+      "x%-5.1f  mt %8.2f ms (x%.1f)\n",
+      shape.label, result.seed_sec * 1e3, Gflops(shape, result.seed_sec),
+      result.blocked_sec * 1e3, Gflops(shape, result.blocked_sec),
+      result.seed_sec / result.blocked_sec, result.blocked_mt_sec * 1e3,
+      result.seed_sec / result.blocked_mt_sec);
+  return result;
+}
+
+ReductionResult BenchReduction(const char* op, std::size_t n, bool smoke,
+                               std::mt19937_64& rng) {
+  std::normal_distribution<float> dist(0.0f, 1.0f);
+  std::vector<float> a(n), b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = dist(rng);
+    b[i] = dist(rng);
+  }
+  const std::size_t runs = smoke ? 3 : 7;
+  const std::size_t reps = (smoke ? 400000u : 4000000u) / std::max<std::size_t>(n, 1) + 1;
+  volatile double sink = 0.0;
+  ReductionResult result{op, n};
+  if (std::string(op) == "dot") {
+    result.sec = MedianSecondsPerCall(
+        runs, reps, [&] { sink = tensor::kernels::Dot(a.data(), b.data(), n); });
+  } else {
+    result.sec = MedianSecondsPerCall(runs, reps, [&] {
+      sink = tensor::kernels::SquaredDistance(a.data(), b.data(), n);
+    });
+  }
+  (void)sink;
+  // Two float streams in.
+  result.gbytes_per_sec =
+      result.sec > 0.0
+          ? 2.0 * static_cast<double>(n) * sizeof(float) / result.sec / 1e9
+          : 0.0;
+  std::printf("  %-28s n=%-8zu %8.1f ns/call  %6.2f GB/s\n", op, n,
+              result.sec * 1e9, result.gbytes_per_sec);
+  return result;
+}
+
+TrainResult BenchTrainingStep(bool smoke, std::mt19937_64& rng) {
+  const nn::ModelSpec spec = nn::MakeLeNet5Surrogate();
+  auto model = spec.factory(/*seed=*/17);
+  const std::size_t batch = 32;
+  tensor::Shape shape{batch};
+  shape.insert(shape.end(), spec.sample_shape.begin(),
+               spec.sample_shape.end());
+  tensor::Tensor input(shape);
+  input.FillNormal(0.0f, 1.0f, rng);
+  std::vector<std::int64_t> labels(batch);
+  std::uniform_int_distribution<std::int64_t> label_dist(
+      0, static_cast<std::int64_t>(spec.num_classes) - 1);
+  for (std::int64_t& l : labels) {
+    l = label_dist(rng);
+  }
+
+  auto step = [&] {
+    model->ZeroGrads();
+    tensor::Tensor logits = model->Forward(input);
+    nn::LossResult loss = nn::SoftmaxCrossEntropy(logits, labels);
+    model->Backward(loss.grad_logits);
+  };
+  step();  // warm-up: sizes the Conv2d arenas outside the timed region
+
+  const std::size_t steps = smoke ? 5 : 50;
+  const auto start = Clock::now();
+  for (std::size_t i = 0; i < steps; ++i) {
+    step();
+  }
+  TrainResult result;
+  result.model = spec.name;
+  result.batch = batch;
+  result.steps = steps;
+  result.wall_seconds = SecondsSince(start);
+  result.steps_per_sec =
+      result.wall_seconds > 0.0 ? steps / result.wall_seconds : 0.0;
+  result.samples_per_sec = result.steps_per_sec * static_cast<double>(batch);
+  std::printf(
+      "  %s batch=%zu: %.1f steps/s, %.0f samples/s over %zu steps (%.2fs)\n",
+      result.model.c_str(), batch, result.steps_per_sec,
+      result.samples_per_sec, steps, result.wall_seconds);
+  return result;
+}
+
+const char* IsaName() {
+  return tensor::kernels::ActiveIsa() == tensor::kernels::Isa::kAvx2
+             ? "avx2"
+             : "scalar";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::FlagParser flags(argc, argv);
+  flags.RejectUnknown({"smoke", "out", "threads"});
+  const bool smoke = flags.GetBool("smoke", false);
+  const std::string out_path = flags.GetString("out", "BENCH_gemm.json");
+  const std::size_t threads =
+      static_cast<std::size_t>(flags.GetInt("threads", 4));
+
+  util::ThreadPool pool(threads);
+  std::mt19937_64 rng(20240806);
+
+  std::printf("bench_micro_gemm (isa=%s, mt threads=%zu%s)\n", IsaName(),
+              pool.size(), smoke ? ", smoke" : "");
+  std::printf("GEMM: blocked SGEMM vs seed triple loop\n");
+  std::vector<GemmResult> gemm_results;
+  for (const GemmCase& shape : kCases) {
+    gemm_results.push_back(BenchGemm(shape, smoke, pool, rng));
+  }
+  std::printf("Reduction kernels (defense distance math)\n");
+  std::vector<ReductionResult> red_results;
+  red_results.push_back(BenchReduction("dot", 4704, smoke, rng));
+  red_results.push_back(BenchReduction("squared_distance", 4704, smoke, rng));
+  red_results.push_back(
+      BenchReduction("squared_distance", 100000, smoke, rng));
+  std::printf("Training step (LeNet surrogate, full fwd+loss+bwd)\n");
+  const TrainResult train = BenchTrainingStep(smoke, rng);
+
+  obs::JsonWriter json;
+  json.BeginObject();
+  json.Key("name").String("gemm");
+  json.Key("smoke").Bool(smoke);
+  json.Key("isa").String(IsaName());
+  json.Key("mt_threads").UInt(pool.size());
+  json.Key("gemm").BeginArray();
+  for (const GemmResult& r : gemm_results) {
+    json.BeginObject();
+    json.Key("label").String(r.shape.label);
+    json.Key("m").UInt(r.shape.m);
+    json.Key("n").UInt(r.shape.n);
+    json.Key("k").UInt(r.shape.k);
+    json.Key("seed_ms").Number(r.seed_sec * 1e3);
+    json.Key("blocked_ms").Number(r.blocked_sec * 1e3);
+    json.Key("blocked_mt_ms").Number(r.blocked_mt_sec * 1e3);
+    json.Key("seed_gflops").Number(Gflops(r.shape, r.seed_sec));
+    json.Key("blocked_gflops").Number(Gflops(r.shape, r.blocked_sec));
+    json.Key("blocked_mt_gflops").Number(Gflops(r.shape, r.blocked_mt_sec));
+    json.Key("speedup").Number(r.blocked_sec > 0.0
+                                   ? r.seed_sec / r.blocked_sec
+                                   : 0.0);
+    json.Key("speedup_mt").Number(r.blocked_mt_sec > 0.0
+                                      ? r.seed_sec / r.blocked_mt_sec
+                                      : 0.0);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("reductions").BeginArray();
+  for (const ReductionResult& r : red_results) {
+    json.BeginObject();
+    json.Key("op").String(r.op);
+    json.Key("n").UInt(r.n);
+    json.Key("ns_per_call").Number(r.sec * 1e9);
+    json.Key("gbytes_per_sec").Number(r.gbytes_per_sec);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("training_step").BeginObject();
+  json.Key("model").String(train.model);
+  json.Key("batch").UInt(train.batch);
+  json.Key("steps").UInt(train.steps);
+  json.Key("wall_seconds").Number(train.wall_seconds);
+  json.Key("steps_per_sec").Number(train.steps_per_sec);
+  json.Key("samples_per_sec").Number(train.samples_per_sec);
+  json.EndObject();
+  json.EndObject();
+
+  std::ofstream out(out_path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << json.str() << '\n';
+  std::printf("perf record written to %s\n", out_path.c_str());
+  return 0;
+}

@@ -141,6 +141,7 @@ int main(int argc, char** argv) {
                     r.deferred, r.dropped_stale);
       }
     }
+    std::printf("wall clock %.2fs\n", result.wall_seconds);
     std::printf("final accuracy %.4f  detection precision %.2f recall %.2f\n",
                 result.final_accuracy, result.total_confusion.Precision(),
                 result.total_confusion.Recall());

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <chrono>
 #include <numeric>
 
 #include "core/async_filter.h"
@@ -238,6 +239,14 @@ SimulationResult RunExperiment(const ExperimentConfig& config,
   AF_CHECK_GT(config.num_clients, 0u);
   AF_CHECK_LE(config.num_malicious, config.num_clients);
 
+  const auto wall_start = std::chrono::steady_clock::now();
+  auto stamp_wall = [wall_start](SimulationResult result) {
+    result.wall_seconds = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - wall_start)
+                              .count();
+    return result;
+  };
+
   util::RngFactory rngs(config.sim.seed);
 
   // Dataset: a centralized pool plus a held-out test set from the same
@@ -320,7 +329,7 @@ SimulationResult RunExperiment(const ExperimentConfig& config,
                              malicious_ids, std::move(attack),
                              std::move(defense), &test, std::move(root),
                              config.net);
-    return driver.Run();
+    return stamp_wall(driver.Run());
   }
 
   util::ThreadPool pool(config.threads);
@@ -330,7 +339,7 @@ SimulationResult RunExperiment(const ExperimentConfig& config,
   if (observer) {
     simulation.SetBufferObserver(std::move(observer));
   }
-  return simulation.Run();
+  return stamp_wall(simulation.Run());
 }
 
 std::vector<double> RunRepeated(ExperimentConfig config,

@@ -57,6 +57,9 @@ struct SimulationResult {
   // Clients that disconnected mid-run (distributed mode only; the server
   // kept aggregating from the survivors).
   std::size_t evicted_clients = 0;
+  // End-to-end RunExperiment wall time (dataset synthesis through final
+  // eval), the number the GEMM-core perf work moves.
+  double wall_seconds = 0.0;
   LatencySummary defense_latency;
   std::vector<float> final_model;
 };

@@ -63,6 +63,7 @@ std::string RunSummaryJson(const SimulationResult& result) {
   json.BeginObject();
   json.Key("final_accuracy").Number(result.final_accuracy);
   json.Key("rounds").UInt(result.rounds.size());
+  json.Key("wall_seconds").Number(result.wall_seconds);
   json.Key("total_dropped_stale").UInt(result.total_dropped_stale);
   json.Key("detection_precision").Number(result.total_confusion.Precision());
   json.Key("detection_recall").Number(result.total_confusion.Recall());

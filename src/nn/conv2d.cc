@@ -1,10 +1,33 @@
 #include "nn/conv2d.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <functional>
 
+#include "tensor/gemm.h"
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace nn {
+namespace {
+
+// Runs body(n) for every sample in the batch, fanned out over the shared
+// compute pool when one is installed (tensor::SetComputePool). Every body
+// writes a disjoint slice, so the fan-out is deterministic.
+void ForEachSample(std::size_t batch,
+                   const std::function<void(std::size_t)>& body) {
+  util::ThreadPool* pool = tensor::ComputePool();
+  if (pool != nullptr && batch > 1) {
+    pool->ParallelFor(batch, body);
+  } else {
+    for (std::size_t n = 0; n < batch; ++n) {
+      body(n);
+    }
+  }
+}
+
+}  // namespace
 
 Conv2d::Conv2d(std::size_t in_channels, std::size_t out_channels,
                std::size_t kernel, std::size_t padding, std::mt19937_64& rng)
@@ -23,60 +46,77 @@ Conv2d::Conv2d(std::size_t in_channels, std::size_t out_channels,
   weight_.FillUniform(-bound, bound, rng);
 }
 
-void Conv2d::Im2Col(const tensor::Tensor& input, std::size_t n, std::size_t h,
-                    std::size_t w, std::vector<float>& cols) const {
+void Conv2d::Im2ColSample(const tensor::Tensor& input, std::size_t n,
+                          std::size_t h, std::size_t w, float* dst,
+                          std::size_t ld) const {
   const std::size_t ho = h + 2 * padding_ - kernel_ + 1;
   const std::size_t wo = w + 2 * padding_ - kernel_ + 1;
-  const std::size_t patch = in_channels_ * kernel_ * kernel_;
-  cols.assign(patch * ho * wo, 0.0f);
+  const float* in = input.data().data();
+  const long pad = static_cast<long>(padding_);
   for (std::size_t c = 0; c < in_channels_; ++c) {
     for (std::size_t ki = 0; ki < kernel_; ++ki) {
       for (std::size_t kj = 0; kj < kernel_; ++kj) {
         const std::size_t row = (c * kernel_ + ki) * kernel_ + kj;
-        float* dst = cols.data() + row * ho * wo;
+        float* drow = dst + row * ld;
+        // Valid output columns: 0 <= oj + kj - pad < w. Out-of-range
+        // positions are padding and get explicit zeros (the arena is
+        // reused, so every position must be written).
+        const long lo = std::max(0L, pad - static_cast<long>(kj));
+        const long hi = std::min(static_cast<long>(wo),
+                                 static_cast<long>(w) + pad -
+                                     static_cast<long>(kj));
         for (std::size_t oi = 0; oi < ho; ++oi) {
-          const long ii = static_cast<long>(oi + ki) - static_cast<long>(padding_);
-          if (ii < 0 || ii >= static_cast<long>(h)) {
+          float* d = drow + oi * wo;
+          const long ii = static_cast<long>(oi + ki) - pad;
+          if (ii < 0 || ii >= static_cast<long>(h) || hi <= lo) {
+            std::fill(d, d + wo, 0.0f);
             continue;
           }
-          for (std::size_t oj = 0; oj < wo; ++oj) {
-            const long jj =
-                static_cast<long>(oj + kj) - static_cast<long>(padding_);
-            if (jj < 0 || jj >= static_cast<long>(w)) {
-              continue;
-            }
-            dst[oi * wo + oj] = input.At(n, c, static_cast<std::size_t>(ii),
-                                         static_cast<std::size_t>(jj));
-          }
+          std::fill(d, d + lo, 0.0f);
+          const float* s =
+              in + ((n * in_channels_ + c) * h + static_cast<std::size_t>(ii)) *
+                       w +
+              static_cast<std::size_t>(lo + static_cast<long>(kj) - pad);
+          std::memcpy(d + lo, s,
+                      static_cast<std::size_t>(hi - lo) * sizeof(float));
+          std::fill(d + hi, d + wo, 0.0f);
         }
       }
     }
   }
 }
 
-void Conv2d::Col2Im(const std::vector<float>& cols, std::size_t n,
-                    std::size_t h, std::size_t w,
-                    tensor::Tensor& grad_input) const {
+void Conv2d::Col2ImSample(const float* src, std::size_t ld, std::size_t n,
+                          std::size_t h, std::size_t w,
+                          tensor::Tensor& grad_input) const {
   const std::size_t ho = h + 2 * padding_ - kernel_ + 1;
   const std::size_t wo = w + 2 * padding_ - kernel_ + 1;
+  float* out = grad_input.data().data();
+  const long pad = static_cast<long>(padding_);
   for (std::size_t c = 0; c < in_channels_; ++c) {
     for (std::size_t ki = 0; ki < kernel_; ++ki) {
       for (std::size_t kj = 0; kj < kernel_; ++kj) {
         const std::size_t row = (c * kernel_ + ki) * kernel_ + kj;
-        const float* src = cols.data() + row * ho * wo;
+        const float* srow = src + row * ld;
+        const long lo = std::max(0L, pad - static_cast<long>(kj));
+        const long hi = std::min(static_cast<long>(wo),
+                                 static_cast<long>(w) + pad -
+                                     static_cast<long>(kj));
+        if (hi <= lo) {
+          continue;
+        }
         for (std::size_t oi = 0; oi < ho; ++oi) {
-          const long ii = static_cast<long>(oi + ki) - static_cast<long>(padding_);
+          const long ii = static_cast<long>(oi + ki) - pad;
           if (ii < 0 || ii >= static_cast<long>(h)) {
             continue;
           }
-          for (std::size_t oj = 0; oj < wo; ++oj) {
-            const long jj =
-                static_cast<long>(oj + kj) - static_cast<long>(padding_);
-            if (jj < 0 || jj >= static_cast<long>(w)) {
-              continue;
-            }
-            grad_input.At(n, c, static_cast<std::size_t>(ii),
-                          static_cast<std::size_t>(jj)) += src[oi * wo + oj];
+          const float* s = srow + oi * wo;
+          float* o =
+              out +
+              ((n * in_channels_ + c) * h + static_cast<std::size_t>(ii)) * w +
+              static_cast<std::size_t>(lo + static_cast<long>(kj) - pad);
+          for (long oj = lo; oj < hi; ++oj) {
+            o[oj - lo] += s[oj];
           }
         }
       }
@@ -94,33 +134,43 @@ tensor::Tensor Conv2d::Forward(const tensor::Tensor& input) {
   const std::size_t ho = h + 2 * padding_ - kernel_ + 1;
   const std::size_t wo = w + 2 * padding_ - kernel_ + 1;
   const std::size_t patch = in_channels_ * kernel_ * kernel_;
+  const std::size_t howo = ho * wo;
+  const std::size_t ld = batch * howo;
 
   cached_input_ = input;
+
+  // Whole-batch im2col into the reused arena: sample n owns columns
+  // [n·howo, (n+1)·howo) of the (patch × N·Ho·Wo) matrix.
+  if (cols_.size() < patch * ld) {
+    cols_.resize(patch * ld);
+  }
+  ForEachSample(batch, [&](std::size_t n) {
+    Im2ColSample(input, n, h, w, cols_.data() + n * howo, ld);
+  });
+
+  // out_flat (out × N·Ho·Wo) = W (out × patch) · cols (patch × N·Ho·Wo):
+  // one GEMM for the whole batch.
+  if (out_flat_.size() < out_channels_ * ld) {
+    out_flat_.resize(out_channels_ * ld);
+  }
+  tensor::Sgemm(tensor::Op::kNone, tensor::Op::kNone, out_channels_, ld, patch,
+                weight_.data().data(), patch, cols_.data(), ld,
+                out_flat_.data(), ld, nullptr, 0.0f, tensor::ComputePool());
+
+  // Scatter channel-major GEMM output into NCHW and add the channel bias.
   tensor::Tensor out({batch, out_channels_, ho, wo});
-  const float* pw = weight_.data().data();
-  std::vector<float> cols;
-  for (std::size_t n = 0; n < batch; ++n) {
-    Im2Col(input, n, h, w, cols);
-    // out[n] = W (out×patch) * cols (patch×(ho*wo))
+  float* po = out.data().data();
+  const float* pb = bias_.data().data();
+  ForEachSample(batch, [&](std::size_t n) {
     for (std::size_t oc = 0; oc < out_channels_; ++oc) {
-      float* orow = out.data().data() + ((n * out_channels_ + oc) * ho * wo);
-      const float b = bias_[oc];
-      for (std::size_t px = 0; px < ho * wo; ++px) {
-        orow[px] = b;
-      }
-      const float* wrow = pw + oc * patch;
-      for (std::size_t p = 0; p < patch; ++p) {
-        const float wv = wrow[p];
-        if (wv == 0.0f) {
-          continue;
-        }
-        const float* crow = cols.data() + p * ho * wo;
-        for (std::size_t px = 0; px < ho * wo; ++px) {
-          orow[px] += wv * crow[px];
-        }
+      const float* s = out_flat_.data() + oc * ld + n * howo;
+      float* d = po + (n * out_channels_ + oc) * howo;
+      const float b = pb[oc];
+      for (std::size_t px = 0; px < howo; ++px) {
+        d[px] = s[px] + b;
       }
     }
-  }
+  });
   return out;
 }
 
@@ -132,45 +182,59 @@ tensor::Tensor Conv2d::Backward(const tensor::Tensor& grad_output) {
   const std::size_t ho = h + 2 * padding_ - kernel_ + 1;
   const std::size_t wo = w + 2 * padding_ - kernel_ + 1;
   const std::size_t patch = in_channels_ * kernel_ * kernel_;
+  const std::size_t howo = ho * wo;
+  const std::size_t ld = batch * howo;
   AF_CHECK_EQ(grad_output.dim(0), batch);
   AF_CHECK_EQ(grad_output.dim(1), out_channels_);
   AF_CHECK_EQ(grad_output.dim(2), ho);
   AF_CHECK_EQ(grad_output.dim(3), wo);
 
-  tensor::Tensor grad_input(cached_input_.shape());
-  float* pgw = grad_weight_.data().data();
-  const float* pw = weight_.data().data();
-  std::vector<float> cols;
-  std::vector<float> dcols(patch * ho * wo);
-  for (std::size_t n = 0; n < batch; ++n) {
-    Im2Col(cached_input_, n, h, w, cols);
-    std::fill(dcols.begin(), dcols.end(), 0.0f);
-    for (std::size_t oc = 0; oc < out_channels_; ++oc) {
-      const float* grow =
-          grad_output.data().data() + ((n * out_channels_ + oc) * ho * wo);
-      // Bias gradient: sum of the output-channel gradient map.
-      double gb = 0.0;
-      for (std::size_t px = 0; px < ho * wo; ++px) {
-        gb += grow[px];
-      }
-      grad_bias_[oc] += static_cast<float>(gb);
-
-      float* gwrow = pgw + oc * patch;
-      const float* wrow = pw + oc * patch;
-      for (std::size_t p = 0; p < patch; ++p) {
-        const float* crow = cols.data() + p * ho * wo;
-        float* dcrow = dcols.data() + p * ho * wo;
-        const float wv = wrow[p];
-        double gw = 0.0;
-        for (std::size_t px = 0; px < ho * wo; ++px) {
-          gw += static_cast<double>(grow[px]) * crow[px];
-          dcrow[px] += wv * grow[px];
-        }
-        gwrow[p] += static_cast<float>(gw);
-      }
-    }
-    Col2Im(dcols, n, h, w, grad_input);
+  // Gather NCHW gradients into the channel-major layout the GEMMs need.
+  if (gout_flat_.size() < out_channels_ * ld) {
+    gout_flat_.resize(out_channels_ * ld);
   }
+  const float* pg = grad_output.data().data();
+  ForEachSample(batch, [&](std::size_t n) {
+    for (std::size_t oc = 0; oc < out_channels_; ++oc) {
+      std::memcpy(gout_flat_.data() + oc * ld + n * howo,
+                  pg + (n * out_channels_ + oc) * howo, howo * sizeof(float));
+    }
+  });
+
+  // Bias gradient: per-channel sum of the gradient maps (double
+  // accumulation, ascending sample-major order).
+  for (std::size_t oc = 0; oc < out_channels_; ++oc) {
+    const float* row = gout_flat_.data() + oc * ld;
+    double gb = 0.0;
+    for (std::size_t i = 0; i < ld; ++i) {
+      gb += row[i];
+    }
+    grad_bias_[oc] += static_cast<float>(gb);
+  }
+
+  // cols_ still holds im2col(cached_input_) from the forward pass — the
+  // arena doubles as the cached patch matrix, so backward re-runs no im2col.
+  AF_CHECK_GE(cols_.size(), patch * ld) << "Backward before Forward";
+
+  // dW (out × patch) += gout_flat · colsᵀ, accumulated in place.
+  tensor::Sgemm(tensor::Op::kNone, tensor::Op::kTranspose, out_channels_,
+                patch, ld, gout_flat_.data(), ld, cols_.data(), ld,
+                grad_weight_.data().data(), patch, nullptr, 1.0f,
+                tensor::ComputePool());
+
+  // dcols (patch × N·Ho·Wo) = Wᵀ · gout_flat.
+  if (dcols_.size() < patch * ld) {
+    dcols_.resize(patch * ld);
+  }
+  tensor::Sgemm(tensor::Op::kTranspose, tensor::Op::kNone, patch, ld,
+                out_channels_, weight_.data().data(), patch, gout_flat_.data(),
+                ld, dcols_.data(), ld, nullptr, 0.0f, tensor::ComputePool());
+
+  // dX: scatter the patch gradients back per sample (disjoint images).
+  tensor::Tensor grad_input(cached_input_.shape());
+  ForEachSample(batch, [&](std::size_t n) {
+    Col2ImSample(dcols_.data() + n * howo, ld, n, h, w, grad_input);
+  });
   return grad_input;
 }
 

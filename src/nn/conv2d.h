@@ -1,9 +1,25 @@
-// 2-D convolution (stride 1, symmetric zero padding) via im2col + GEMM.
+// 2-D convolution (stride 1, symmetric zero padding) via whole-batch
+// im2col + one GEMM per pass.
 //
 // Activations are NCHW; the weight is (out_channels, in_channels, k, k).
+//
+// Forward expands the entire batch into one (C·k·k) × (N·Ho·Wo) patch
+// matrix and runs a single blocked GEMM against the weight; backward runs
+// one GEMM for dW (accumulated in place) and one for the patch gradients,
+// which col2im scatters back per sample. The per-sample im2col/col2im and
+// NCHW scatter loops fan out over tensor::ComputePool() when one is set.
+//
+// Scratch memory: the patch matrices live in per-layer arena buffers that
+// are reused across batches (grow-only, freed with the layer). Upper
+// bound: 2·patch·N·Ho·Wo floats for the im2col/col2im arenas plus
+// 2·out_channels·N·Ho·Wo floats for the flattened activations — batch-scaled
+// where the seed per-sample path kept only 2·patch·Ho·Wo, which is the
+// price of whole-batch GEMM operands (~a few MB at this repo's model and
+// batch sizes).
 #pragma once
 
 #include <random>
+#include <vector>
 
 #include "nn/layer.h"
 
@@ -25,12 +41,16 @@ class Conv2d : public Layer {
   std::string Name() const override { return "Conv2d"; }
 
  private:
-  // Expands one image (C, H, W) into a (C*k*k, Ho*Wo) patch matrix.
-  void Im2Col(const tensor::Tensor& input, std::size_t n, std::size_t h,
-              std::size_t w, std::vector<float>& cols) const;
-  // Scatters a (C*k*k, Ho*Wo) gradient matrix back into image gradients.
-  void Col2Im(const std::vector<float>& cols, std::size_t n, std::size_t h,
-              std::size_t w, tensor::Tensor& grad_input) const;
+  // Writes sample n's (C·k·k) × (Ho·Wo) patch block into the batch patch
+  // matrix at `dst` (row stride `ld`); every position is written, so the
+  // arena needs no pre-zeroing.
+  void Im2ColSample(const tensor::Tensor& input, std::size_t n, std::size_t h,
+                    std::size_t w, float* dst, std::size_t ld) const;
+  // Accumulates sample n's patch-gradient block (read from `src`, row
+  // stride `ld`) back into image gradients.
+  void Col2ImSample(const float* src, std::size_t ld, std::size_t n,
+                    std::size_t h, std::size_t w,
+                    tensor::Tensor& grad_input) const;
 
   std::size_t in_channels_;
   std::size_t out_channels_;
@@ -41,6 +61,12 @@ class Conv2d : public Layer {
   tensor::Tensor grad_weight_;
   tensor::Tensor grad_bias_;
   tensor::Tensor cached_input_;  // (N, C, H, W)
+
+  // Reused arenas (see the class comment for the memory bound).
+  std::vector<float> cols_;      // (patch, N·Ho·Wo) im2col of the input
+  std::vector<float> dcols_;     // (patch, N·Ho·Wo) patch gradients
+  std::vector<float> out_flat_;  // (out, N·Ho·Wo) channel-major activations
+  std::vector<float> gout_flat_; // (out, N·Ho·Wo) channel-major out-grads
 };
 
 }  // namespace nn

@@ -2,7 +2,8 @@
 
 #include <cmath>
 
-#include "tensor/tensor_ops.h"
+#include "tensor/gemm.h"
+#include "tensor/kernels.h"
 #include "util/check.h"
 
 namespace nn {
@@ -27,8 +28,9 @@ tensor::Tensor Dense::Forward(const tensor::Tensor& input) {
   AF_CHECK_EQ(input.dim(1), in_features_);
   cached_input_ = input;
   tensor::Tensor out({input.dim(0), out_features_});
-  tensor::MatMulTransposeB(input, weight_, out);
-  tensor::AddRowBias(out, bias_);
+  // out = X·Wᵀ + bias, with the bias-add fused into the GEMM epilogue.
+  tensor::Gemm(tensor::Op::kNone, tensor::Op::kTranspose, input, weight_, out,
+               bias_.data().data());
   return out;
 }
 
@@ -37,19 +39,18 @@ tensor::Tensor Dense::Backward(const tensor::Tensor& grad_output) {
   AF_CHECK_EQ(grad_output.dim(0), cached_input_.dim(0));
   AF_CHECK_EQ(grad_output.dim(1), out_features_);
 
-  // dW += grad_out^T * input    ((out×B)·(B×in) = out×in)
-  tensor::Tensor dw({out_features_, in_features_});
-  tensor::MatMulTransposeA(grad_output, cached_input_, dw);
-  tensor::AddInPlace(grad_weight_, dw);
+  // dW += grad_outᵀ · input ((out×B)·(B×in)), accumulated straight into the
+  // gradient buffer by the GEMM epilogue (beta = 1) — no scratch tensor.
+  tensor::Gemm(tensor::Op::kTranspose, tensor::Op::kNone, grad_output,
+               cached_input_, grad_weight_, nullptr, 1.0f);
 
   // db += column sums of grad_out.
-  tensor::Tensor db({out_features_});
-  tensor::SumRows(grad_output, db);
-  tensor::AddInPlace(grad_bias_, db);
+  tensor::kernels::SumRowsAccum(grad_output.data().data(), grad_output.dim(0),
+                                out_features_, grad_bias_.data().data());
 
-  // dX = grad_out * W    ((B×out)·(out×in) = B×in)
+  // dX = grad_out · W ((B×out)·(out×in)).
   tensor::Tensor dx({grad_output.dim(0), in_features_});
-  tensor::MatMul(grad_output, weight_, dx);
+  tensor::Gemm(tensor::Op::kNone, tensor::Op::kNone, grad_output, weight_, dx);
   return dx;
 }
 

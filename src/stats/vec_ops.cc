@@ -2,26 +2,24 @@
 
 #include <cmath>
 
+#include "tensor/kernels.h"
 #include "util/check.h"
 
 namespace stats {
 
+// The reductions below are the inner loops of Krum, k-means, Zeno++,
+// FLtrust, and AsyncFilter scoring; they dispatch to the unrolled
+// multi-accumulator kernels shared with the GEMM core (tensor/kernels.h),
+// which keep the double accumulation but break the dependency chain and
+// pick up AVX2+FMA when the CPU has it.
+
 double L2Norm(std::span<const float> v) {
-  double sum = 0.0;
-  for (float x : v) {
-    sum += static_cast<double>(x) * x;
-  }
-  return std::sqrt(sum);
+  return std::sqrt(tensor::kernels::SumSquares(v.data(), v.size()));
 }
 
 double SquaredDistance(std::span<const float> a, std::span<const float> b) {
   AF_CHECK_EQ(a.size(), b.size());
-  double sum = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    double d = static_cast<double>(a[i]) - b[i];
-    sum += d * d;
-  }
-  return sum;
+  return tensor::kernels::SquaredDistance(a.data(), b.data(), a.size());
 }
 
 double Distance(std::span<const float> a, std::span<const float> b) {
@@ -30,11 +28,7 @@ double Distance(std::span<const float> a, std::span<const float> b) {
 
 double Dot(std::span<const float> a, std::span<const float> b) {
   AF_CHECK_EQ(a.size(), b.size());
-  double sum = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    sum += static_cast<double>(a[i]) * b[i];
-  }
-  return sum;
+  return tensor::kernels::Dot(a.data(), b.data(), a.size());
 }
 
 double CosineSimilarity(std::span<const float> a, std::span<const float> b) {
@@ -48,15 +42,11 @@ double CosineSimilarity(std::span<const float> a, std::span<const float> b) {
 
 void Axpy(double alpha, std::span<const float> x, std::span<float> y) {
   AF_CHECK_EQ(x.size(), y.size());
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    y[i] = static_cast<float>(y[i] + alpha * x[i]);
-  }
+  tensor::kernels::Axpy(alpha, x.data(), y.data(), x.size());
 }
 
 void Scale(std::span<float> v, double alpha) {
-  for (float& x : v) {
-    x = static_cast<float>(x * alpha);
-  }
+  tensor::kernels::Scale(v.data(), alpha, v.size());
 }
 
 std::vector<float> Mean(const std::vector<std::vector<float>>& vectors) {
@@ -135,9 +125,7 @@ std::vector<float> Subtract(std::span<const float> a, std::span<const float> b) 
 std::vector<float> Add(std::span<const float> a, std::span<const float> b) {
   AF_CHECK_EQ(a.size(), b.size());
   std::vector<float> out(a.size());
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    out[i] = a[i] + b[i];
-  }
+  tensor::kernels::Add(a.data(), b.data(), out.data(), a.size());
   return out;
 }
 

@@ -1,0 +1,418 @@
+#include "tensor/kernels.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define AF_KERNELS_X86 1
+#include <immintrin.h>
+#else
+#define AF_KERNELS_X86 0
+#endif
+
+namespace tensor::kernels {
+namespace {
+
+// -1 = no override; otherwise a static_cast<int>(Isa).
+std::atomic<int> g_forced_isa{-1};
+
+Isa DetectIsa() {
+  if (const char* env = std::getenv("AF_KERNEL_ISA"); env != nullptr) {
+    const std::string v(env);
+    if (v == "scalar") {
+      return Isa::kScalar;
+    }
+    if (v == "avx2") {
+      return Avx2Available() ? Isa::kAvx2 : Isa::kScalar;
+    }
+    // anything else (incl. "auto") falls through to detection
+  }
+  return Avx2Available() ? Isa::kAvx2 : Isa::kScalar;
+}
+
+}  // namespace
+
+bool Avx2Available() {
+#if AF_KERNELS_X86
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+Isa ActiveIsa() {
+  const int forced = g_forced_isa.load(std::memory_order_relaxed);
+  if (forced >= 0) {
+    return static_cast<Isa>(forced);
+  }
+  static const Isa detected = DetectIsa();
+  return detected;
+}
+
+void ForceIsa(Isa isa) {
+  if (isa == Isa::kAvx2 && !Avx2Available()) {
+    isa = Isa::kScalar;
+  }
+  g_forced_isa.store(static_cast<int>(isa), std::memory_order_relaxed);
+}
+
+void ResetForcedIsa() {
+  g_forced_isa.store(-1, std::memory_order_relaxed);
+}
+
+// ---- scalar reductions ----------------------------------------------------
+//
+// Four independent double accumulator lanes (lane j takes i ≡ j mod 4), the
+// tail joins lane order 0,1,2,..., and the lanes combine as (s0+s1)+(s2+s3).
+// The fixed order makes results reproducible; the independent lanes break
+// the add dependency chain so the loop pipelines.
+
+namespace {
+
+double DotScalar(const float* a, const float* b, std::size_t n) {
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    s0 += static_cast<double>(a[i]) * b[i];
+    s1 += static_cast<double>(a[i + 1]) * b[i + 1];
+    s2 += static_cast<double>(a[i + 2]) * b[i + 2];
+    s3 += static_cast<double>(a[i + 3]) * b[i + 3];
+  }
+  double tail = 0.0;
+  for (; i < n; ++i) {
+    tail += static_cast<double>(a[i]) * b[i];
+  }
+  return (s0 + s1) + (s2 + s3) + tail;
+}
+
+double SumSquaresScalar(const float* v, std::size_t n) {
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    s0 += static_cast<double>(v[i]) * v[i];
+    s1 += static_cast<double>(v[i + 1]) * v[i + 1];
+    s2 += static_cast<double>(v[i + 2]) * v[i + 2];
+    s3 += static_cast<double>(v[i + 3]) * v[i + 3];
+  }
+  double tail = 0.0;
+  for (; i < n; ++i) {
+    tail += static_cast<double>(v[i]) * v[i];
+  }
+  return (s0 + s1) + (s2 + s3) + tail;
+}
+
+double SquaredDistanceScalar(const float* a, const float* b, std::size_t n) {
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const double d0 = static_cast<double>(a[i]) - b[i];
+    const double d1 = static_cast<double>(a[i + 1]) - b[i + 1];
+    const double d2 = static_cast<double>(a[i + 2]) - b[i + 2];
+    const double d3 = static_cast<double>(a[i + 3]) - b[i + 3];
+    s0 += d0 * d0;
+    s1 += d1 * d1;
+    s2 += d2 * d2;
+    s3 += d3 * d3;
+  }
+  double tail = 0.0;
+  for (; i < n; ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    tail += d * d;
+  }
+  return (s0 + s1) + (s2 + s3) + tail;
+}
+
+void AxpyScalar(double alpha, const float* x, float* y, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] = static_cast<float>(y[i] + alpha * x[i]);
+  }
+}
+
+void ScaleScalar(float* v, double alpha, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<float>(v[i] * alpha);
+  }
+}
+
+// ---- AVX2 reductions ------------------------------------------------------
+//
+// Same lane structure as the scalar path but with 4-wide double vectors
+// (floats widened via cvtps_pd), so every product still rounds exactly once
+// in double. Lane combination order is fixed: ((l0+l1)+(l2+l3)) per vector,
+// vectors low-to-high, then the scalar tail.
+
+#if AF_KERNELS_X86
+
+__attribute__((target("avx2,fma"))) double HSumFixed(__m256d v) {
+  alignas(32) double lane[4];
+  _mm256_store_pd(lane, v);
+  return (lane[0] + lane[1]) + (lane[2] + lane[3]);
+}
+
+__attribute__((target("avx2,fma"))) double DotAvx2(const float* a,
+                                                   const float* b,
+                                                   std::size_t n) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256d a0 = _mm256_cvtps_pd(_mm_loadu_ps(a + i));
+    const __m256d b0 = _mm256_cvtps_pd(_mm_loadu_ps(b + i));
+    const __m256d a1 = _mm256_cvtps_pd(_mm_loadu_ps(a + i + 4));
+    const __m256d b1 = _mm256_cvtps_pd(_mm_loadu_ps(b + i + 4));
+    acc0 = _mm256_fmadd_pd(a0, b0, acc0);
+    acc1 = _mm256_fmadd_pd(a1, b1, acc1);
+  }
+  double sum = HSumFixed(acc0) + HSumFixed(acc1);
+  for (; i < n; ++i) {
+    sum += static_cast<double>(a[i]) * b[i];
+  }
+  return sum;
+}
+
+__attribute__((target("avx2,fma"))) double SumSquaresAvx2(const float* v,
+                                                          std::size_t n) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256d v0 = _mm256_cvtps_pd(_mm_loadu_ps(v + i));
+    const __m256d v1 = _mm256_cvtps_pd(_mm_loadu_ps(v + i + 4));
+    acc0 = _mm256_fmadd_pd(v0, v0, acc0);
+    acc1 = _mm256_fmadd_pd(v1, v1, acc1);
+  }
+  double sum = HSumFixed(acc0) + HSumFixed(acc1);
+  for (; i < n; ++i) {
+    sum += static_cast<double>(v[i]) * v[i];
+  }
+  return sum;
+}
+
+__attribute__((target("avx2,fma"))) double SquaredDistanceAvx2(
+    const float* a, const float* b, std::size_t n) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256d d0 =
+        _mm256_sub_pd(_mm256_cvtps_pd(_mm_loadu_ps(a + i)),
+                      _mm256_cvtps_pd(_mm_loadu_ps(b + i)));
+    const __m256d d1 =
+        _mm256_sub_pd(_mm256_cvtps_pd(_mm_loadu_ps(a + i + 4)),
+                      _mm256_cvtps_pd(_mm_loadu_ps(b + i + 4)));
+    acc0 = _mm256_fmadd_pd(d0, d0, acc0);
+    acc1 = _mm256_fmadd_pd(d1, d1, acc1);
+  }
+  double sum = HSumFixed(acc0) + HSumFixed(acc1);
+  for (; i < n; ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+__attribute__((target("avx2,fma"))) void AxpyAvx2(double alpha, const float* x,
+                                                  float* y, std::size_t n) {
+  const __m256d va = _mm256_set1_pd(alpha);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d xv = _mm256_cvtps_pd(_mm_loadu_ps(x + i));
+    const __m256d yv = _mm256_cvtps_pd(_mm_loadu_ps(y + i));
+    _mm_storeu_ps(y + i, _mm256_cvtpd_ps(_mm256_fmadd_pd(va, xv, yv)));
+  }
+  for (; i < n; ++i) {
+    y[i] = static_cast<float>(y[i] + alpha * x[i]);
+  }
+}
+
+__attribute__((target("avx2,fma"))) void ScaleAvx2(float* v, double alpha,
+                                                   std::size_t n) {
+  const __m256d va = _mm256_set1_pd(alpha);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d vv = _mm256_cvtps_pd(_mm_loadu_ps(v + i));
+    _mm_storeu_ps(v + i, _mm256_cvtpd_ps(_mm256_mul_pd(vv, va)));
+  }
+  for (; i < n; ++i) {
+    v[i] = static_cast<float>(v[i] * alpha);
+  }
+}
+
+#endif  // AF_KERNELS_X86
+
+}  // namespace
+
+double Dot(const float* a, const float* b, std::size_t n) {
+#if AF_KERNELS_X86
+  if (ActiveIsa() == Isa::kAvx2) {
+    return DotAvx2(a, b, n);
+  }
+#endif
+  return DotScalar(a, b, n);
+}
+
+double SumSquares(const float* v, std::size_t n) {
+#if AF_KERNELS_X86
+  if (ActiveIsa() == Isa::kAvx2) {
+    return SumSquaresAvx2(v, n);
+  }
+#endif
+  return SumSquaresScalar(v, n);
+}
+
+double SquaredDistance(const float* a, const float* b, std::size_t n) {
+#if AF_KERNELS_X86
+  if (ActiveIsa() == Isa::kAvx2) {
+    return SquaredDistanceAvx2(a, b, n);
+  }
+#endif
+  return SquaredDistanceScalar(a, b, n);
+}
+
+void Axpy(double alpha, const float* x, float* y, std::size_t n) {
+#if AF_KERNELS_X86
+  if (ActiveIsa() == Isa::kAvx2) {
+    AxpyAvx2(alpha, x, y, n);
+    return;
+  }
+#endif
+  AxpyScalar(alpha, x, y, n);
+}
+
+void Scale(float* v, double alpha, std::size_t n) {
+#if AF_KERNELS_X86
+  if (ActiveIsa() == Isa::kAvx2) {
+    ScaleAvx2(v, alpha, n);
+    return;
+  }
+#endif
+  ScaleScalar(v, alpha, n);
+}
+
+void Add(const float* a, const float* b, float* out, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    out[i] = a[i] + b[i];
+    out[i + 1] = a[i + 1] + b[i + 1];
+    out[i + 2] = a[i + 2] + b[i + 2];
+    out[i + 3] = a[i + 3] + b[i + 3];
+  }
+  for (; i < n; ++i) {
+    out[i] = a[i] + b[i];
+  }
+}
+
+void AddInPlace(float* a, const float* b, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    a[i] += b[i];
+    a[i + 1] += b[i + 1];
+    a[i + 2] += b[i + 2];
+    a[i + 3] += b[i + 3];
+  }
+  for (; i < n; ++i) {
+    a[i] += b[i];
+  }
+}
+
+void AddBias(float* row, const float* bias, std::size_t n) {
+  AddInPlace(row, bias, n);
+}
+
+void SumRowsAccum(const float* m, std::size_t rows, std::size_t cols,
+                  float* out) {
+  for (std::size_t i = 0; i < rows; ++i) {
+    AddInPlace(out, m + i * cols, cols);
+  }
+}
+
+// ---- SGEMM micro-kernel ---------------------------------------------------
+
+namespace {
+
+void MicroKernelScalar(std::size_t kc, const float* ap, const float* bp,
+                       float* acc) {
+  float c[kMr * kNr] = {};
+  for (std::size_t p = 0; p < kc; ++p) {
+    const float* brow = bp + p * kNr;
+    const float* acol = ap + p * kMr;
+    for (std::size_t r = 0; r < kMr; ++r) {
+      const float a = acol[r];
+      float* crow = c + r * kNr;
+      for (std::size_t j = 0; j < kNr; ++j) {
+        crow[j] += a * brow[j];
+      }
+    }
+  }
+  std::memcpy(acc, c, sizeof(c));
+}
+
+#if AF_KERNELS_X86
+
+__attribute__((target("avx2,fma"))) void MicroKernelAvx2(std::size_t kc,
+                                                         const float* ap,
+                                                         const float* bp,
+                                                         float* acc) {
+  __m256 c00 = _mm256_setzero_ps(), c01 = _mm256_setzero_ps();
+  __m256 c10 = _mm256_setzero_ps(), c11 = _mm256_setzero_ps();
+  __m256 c20 = _mm256_setzero_ps(), c21 = _mm256_setzero_ps();
+  __m256 c30 = _mm256_setzero_ps(), c31 = _mm256_setzero_ps();
+  __m256 c40 = _mm256_setzero_ps(), c41 = _mm256_setzero_ps();
+  __m256 c50 = _mm256_setzero_ps(), c51 = _mm256_setzero_ps();
+  for (std::size_t p = 0; p < kc; ++p) {
+    const __m256 b0 = _mm256_loadu_ps(bp + p * kNr);
+    const __m256 b1 = _mm256_loadu_ps(bp + p * kNr + 8);
+    const float* acol = ap + p * kMr;
+    __m256 a;
+    a = _mm256_broadcast_ss(acol + 0);
+    c00 = _mm256_fmadd_ps(a, b0, c00);
+    c01 = _mm256_fmadd_ps(a, b1, c01);
+    a = _mm256_broadcast_ss(acol + 1);
+    c10 = _mm256_fmadd_ps(a, b0, c10);
+    c11 = _mm256_fmadd_ps(a, b1, c11);
+    a = _mm256_broadcast_ss(acol + 2);
+    c20 = _mm256_fmadd_ps(a, b0, c20);
+    c21 = _mm256_fmadd_ps(a, b1, c21);
+    a = _mm256_broadcast_ss(acol + 3);
+    c30 = _mm256_fmadd_ps(a, b0, c30);
+    c31 = _mm256_fmadd_ps(a, b1, c31);
+    a = _mm256_broadcast_ss(acol + 4);
+    c40 = _mm256_fmadd_ps(a, b0, c40);
+    c41 = _mm256_fmadd_ps(a, b1, c41);
+    a = _mm256_broadcast_ss(acol + 5);
+    c50 = _mm256_fmadd_ps(a, b0, c50);
+    c51 = _mm256_fmadd_ps(a, b1, c51);
+  }
+  _mm256_storeu_ps(acc + 0 * kNr, c00);
+  _mm256_storeu_ps(acc + 0 * kNr + 8, c01);
+  _mm256_storeu_ps(acc + 1 * kNr, c10);
+  _mm256_storeu_ps(acc + 1 * kNr + 8, c11);
+  _mm256_storeu_ps(acc + 2 * kNr, c20);
+  _mm256_storeu_ps(acc + 2 * kNr + 8, c21);
+  _mm256_storeu_ps(acc + 3 * kNr, c30);
+  _mm256_storeu_ps(acc + 3 * kNr + 8, c31);
+  _mm256_storeu_ps(acc + 4 * kNr, c40);
+  _mm256_storeu_ps(acc + 4 * kNr + 8, c41);
+  _mm256_storeu_ps(acc + 5 * kNr, c50);
+  _mm256_storeu_ps(acc + 5 * kNr + 8, c51);
+}
+
+#endif  // AF_KERNELS_X86
+
+}  // namespace
+
+void MicroKernel(std::size_t kc, const float* ap, const float* bp,
+                 float* acc) {
+#if AF_KERNELS_X86
+  if (ActiveIsa() == Isa::kAvx2) {
+    MicroKernelAvx2(kc, ap, bp, acc);
+    return;
+  }
+#endif
+  MicroKernelScalar(kc, ap, bp, acc);
+}
+
+}  // namespace tensor::kernels

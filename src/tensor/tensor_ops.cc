@@ -1,105 +1,38 @@
 #include "tensor/tensor_ops.h"
 
+#include "tensor/gemm.h"
+#include "tensor/kernels.h"
 #include "util/check.h"
 
 namespace tensor {
 
+// The MatMul* entry points are thin shims over the blocked SGEMM core
+// (gemm.h). The seed implementations special-cased zero elements of A
+// (`if (av == 0.0f) continue;`) — that branch de-vectorized the hot loop
+// and silently suppressed NaN/Inf propagation from the other operand, so
+// the shims deliberately do full IEEE dense math.
+
 void MatMul(const Tensor& a, const Tensor& b, Tensor& c) {
-  AF_CHECK_EQ(a.rank(), 2u);
-  AF_CHECK_EQ(b.rank(), 2u);
-  AF_CHECK_EQ(c.rank(), 2u);
-  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
-  AF_CHECK_EQ(b.dim(0), k);
-  AF_CHECK_EQ(c.dim(0), m);
-  AF_CHECK_EQ(c.dim(1), n);
-  const float* pa = a.data().data();
-  const float* pb = b.data().data();
-  float* pc = c.data().data();
-  // ikj loop order: streams B and C rows, vectorises well at -O2.
-  for (std::size_t i = 0; i < m; ++i) {
-    float* crow = pc + i * n;
-    for (std::size_t j = 0; j < n; ++j) {
-      crow[j] = 0.0f;
-    }
-    for (std::size_t kk = 0; kk < k; ++kk) {
-      const float av = pa[i * k + kk];
-      if (av == 0.0f) {
-        continue;
-      }
-      const float* brow = pb + kk * n;
-      for (std::size_t j = 0; j < n; ++j) {
-        crow[j] += av * brow[j];
-      }
-    }
-  }
+  Gemm(Op::kNone, Op::kNone, a, b, c);
 }
 
 void MatMulTransposeB(const Tensor& a, const Tensor& b, Tensor& c) {
-  AF_CHECK_EQ(a.rank(), 2u);
-  AF_CHECK_EQ(b.rank(), 2u);
-  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
-  AF_CHECK_EQ(b.dim(1), k);
-  AF_CHECK_EQ(c.dim(0), m);
-  AF_CHECK_EQ(c.dim(1), n);
-  const float* pa = a.data().data();
-  const float* pb = b.data().data();
-  float* pc = c.data().data();
-  for (std::size_t i = 0; i < m; ++i) {
-    const float* arow = pa + i * k;
-    float* crow = pc + i * n;
-    for (std::size_t j = 0; j < n; ++j) {
-      const float* brow = pb + j * k;
-      float acc = 0.0f;
-      for (std::size_t kk = 0; kk < k; ++kk) {
-        acc += arow[kk] * brow[kk];
-      }
-      crow[j] = acc;
-    }
-  }
+  Gemm(Op::kNone, Op::kTranspose, a, b, c);
 }
 
 void MatMulTransposeA(const Tensor& a, const Tensor& b, Tensor& c) {
-  AF_CHECK_EQ(a.rank(), 2u);
-  AF_CHECK_EQ(b.rank(), 2u);
-  const std::size_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
-  AF_CHECK_EQ(b.dim(0), k);
-  AF_CHECK_EQ(c.dim(0), m);
-  AF_CHECK_EQ(c.dim(1), n);
-  const float* pa = a.data().data();
-  const float* pb = b.data().data();
-  float* pc = c.data().data();
-  for (std::size_t i = 0; i < m * n; ++i) {
-    pc[i] = 0.0f;
-  }
-  for (std::size_t kk = 0; kk < k; ++kk) {
-    const float* arow = pa + kk * m;
-    const float* brow = pb + kk * n;
-    for (std::size_t i = 0; i < m; ++i) {
-      const float av = arow[i];
-      if (av == 0.0f) {
-        continue;
-      }
-      float* crow = pc + i * n;
-      for (std::size_t j = 0; j < n; ++j) {
-        crow[j] += av * brow[j];
-      }
-    }
-  }
+  Gemm(Op::kTranspose, Op::kNone, a, b, c);
 }
 
 void AddInto(const Tensor& a, const Tensor& b, Tensor& out) {
   AF_CHECK_EQ(a.size(), b.size());
   AF_CHECK_EQ(a.size(), out.size());
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    out[i] = a[i] + b[i];
-  }
+  kernels::Add(a.data().data(), b.data().data(), out.data().data(), a.size());
 }
 
 void AddInPlace(Tensor& a, const Tensor& b) {
   AF_CHECK_EQ(a.size(), b.size());
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    a[i] += b[i];
-  }
+  kernels::AddInPlace(a.data().data(), b.data().data(), a.size());
 }
 
 void AddRowBias(Tensor& matrix, const Tensor& bias) {
@@ -109,10 +42,7 @@ void AddRowBias(Tensor& matrix, const Tensor& bias) {
   float* p = matrix.data().data();
   const float* pb = bias.data().data();
   for (std::size_t i = 0; i < m; ++i) {
-    float* row = p + i * n;
-    for (std::size_t j = 0; j < n; ++j) {
-      row[j] += pb[j];
-    }
+    kernels::AddBias(p + i * n, pb, n);
   }
 }
 
@@ -121,14 +51,7 @@ void SumRows(const Tensor& matrix, Tensor& out) {
   const std::size_t m = matrix.dim(0), n = matrix.dim(1);
   AF_CHECK_EQ(out.size(), n);
   out.Fill(0.0f);
-  const float* p = matrix.data().data();
-  float* po = out.data().data();
-  for (std::size_t i = 0; i < m; ++i) {
-    const float* row = p + i * n;
-    for (std::size_t j = 0; j < n; ++j) {
-      po[j] += row[j];
-    }
-  }
+  kernels::SumRowsAccum(matrix.data().data(), m, n, out.data().data());
 }
 
 }  // namespace tensor

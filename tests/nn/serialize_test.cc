@@ -14,7 +14,13 @@ namespace {
 
 class SerializeTest : public ::testing::Test {
  protected:
-  std::string path_ = ::testing::TempDir() + "params_test.afpm";
+  // Unique per test: ctest runs each case as its own process in parallel,
+  // so a shared fixed name races between cases.
+  std::string path_ = ::testing::TempDir() +
+                      ::testing::UnitTest::GetInstance()
+                          ->current_test_info()
+                          ->name() +
+                      "_params_test.afpm";
   void TearDown() override { std::remove(path_.c_str()); }
 };
 

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <random>
 
+#include "tensor/kernels.h"
 #include "util/check.h"
 
 namespace stats {
@@ -102,6 +104,49 @@ TEST(VecOpsTest, PerDimensionStdMatchesPopulationFormula) {
   auto sd = PerDimensionStd(vs);
   EXPECT_FLOAT_EQ(sd[0], 1.0f);  // values {1,3}: mean 2, var 1
   EXPECT_FLOAT_EQ(sd[1], 0.0f);
+}
+
+// The reductions dispatch to the unrolled multi-accumulator kernels
+// (tensor/kernels.h); check them against a sequential naive loop across
+// lengths that exercise every tail case, on every available ISA path.
+TEST(VecOpsTest, UnrolledKernelsMatchNaiveAcrossLengthsAndIsas) {
+  std::mt19937_64 rng(4242);
+  std::normal_distribution<float> dist(0.0f, 1.0f);
+  std::vector<tensor::kernels::Isa> isas{tensor::kernels::Isa::kScalar};
+  if (tensor::kernels::Avx2Available()) {
+    isas.push_back(tensor::kernels::Isa::kAvx2);
+  }
+  for (std::size_t n : {0u, 1u, 2u, 3u, 4u, 5u, 7u, 8u, 9u, 63u, 1023u}) {
+    std::vector<float> a(n), b(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      a[i] = dist(rng);
+      b[i] = dist(rng);
+    }
+    double naive_dot = 0.0, naive_sq = 0.0, naive_ss = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      naive_dot += static_cast<double>(a[i]) * b[i];
+      const double d = static_cast<double>(a[i]) - b[i];
+      naive_sq += d * d;
+      naive_ss += static_cast<double>(a[i]) * a[i];
+    }
+    const double tol = 1e-10 * (static_cast<double>(n) + 1.0);
+    for (tensor::kernels::Isa isa : isas) {
+      tensor::kernels::ForceIsa(isa);
+      EXPECT_NEAR(Dot(a, b), naive_dot, tol) << "n=" << n;
+      EXPECT_NEAR(SquaredDistance(a, b), naive_sq, tol) << "n=" << n;
+      EXPECT_NEAR(L2Norm(a), std::sqrt(naive_ss), tol) << "n=" << n;
+
+      std::vector<float> y = b;
+      Axpy(0.75, a, y);
+      std::vector<float> scaled = a;
+      Scale(scaled, -1.25);
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_FLOAT_EQ(y[i], static_cast<float>(b[i] + 0.75 * a[i]));
+        EXPECT_FLOAT_EQ(scaled[i], static_cast<float>(a[i] * -1.25));
+      }
+      tensor::kernels::ResetForcedIsa();
+    }
+  }
 }
 
 TEST(VecOpsTest, AddSubtractNegateElementwise) {
