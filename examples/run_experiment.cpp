@@ -32,9 +32,23 @@
 //   --metrics-out FILE metrics-registry snapshot JSON (counters, gauges,
 //                      latency histograms with p50/p95/p99)
 //   --log-level LVL    trace | debug | info | warn | error
+//
+// Resumable runs (see docs/API.md "Checkpoints"):
+//   --checkpoint FILE        crash-safe simulation checkpoint path
+//   --checkpoint-every N     write it every N completed rounds   [5]
+//   --resume                 restore from --checkpoint if it exists
+//   --summary-json FILE      run summary as one JSON object
+//   --list-defenses          print every registered defense name and exit
+//
+// SIGTERM/SIGINT request a final checkpoint (when --checkpoint is set) and a
+// graceful early exit; SIGKILL mid-run loses at most the rounds since the
+// last periodic checkpoint.
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <string>
 
+#include "defense/registry.h"
 #include "fl/experiment.h"
 #include "fl/telemetry.h"
 #include "fl/trace.h"
@@ -64,6 +78,12 @@ data::Profile ParseProfile(const std::string& name) {
   return data::Profile::kFashionMnist;
 }
 
+std::atomic<bool> g_stop{false};
+
+void HandleStopSignal(int /*signum*/) {
+  g_stop.store(true, std::memory_order_relaxed);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -75,8 +95,15 @@ int main(int argc, char** argv) {
         "threads", "partition", "trace", "summary", "save-model", "quiet",
         "jsonl", "trace-out", "metrics-out", "log-level", "transport", "port",
         "fault-drop", "fault-delay", "fault-duplicate", "fault-truncate",
-        "fault-delay-ms", "fault-kill",
+        "fault-delay-ms", "fault-kill", "checkpoint", "checkpoint-every",
+        "resume", "summary-json", "list-defenses",
     });
+    if (flags.GetBool("list-defenses", false)) {
+      for (const std::string& name : defense::ListNames()) {
+        std::printf("%s\n", name.c_str());
+      }
+      return 0;
+    }
     if (flags.Has("log-level")) {
       const std::string name = flags.GetString("log-level", "info");
       const auto level = util::ParseLogLevel(name);
@@ -107,8 +134,27 @@ int main(int argc, char** argv) {
     config.gd_scale = flags.GetDouble("gd-scale", config.gd_scale);
     config.threads = static_cast<std::size_t>(flags.GetInt("threads", 0));
     config.attack = attacks::ParseAttackKind(flags.GetString("attack", "none"));
-    config.defense =
-        fl::ParseDefenseKind(flags.GetString("defense", "asyncfilter"));
+    // --defense resolves through the string-keyed defense registry, so any
+    // self-registered defense is reachable without touching this file;
+    // unknown names fail fast (before dataset synthesis) with the full list.
+    const std::string defense_name =
+        flags.GetString("defense", "asyncfilter");
+    AF_CHECK(defense::Registry::Global().Has(defense_name))
+        << "unknown --defense: " << defense_name
+        << " (try --list-defenses)";
+    config.defense_factory = [defense_name] {
+      return defense::Make(defense_name);
+    };
+
+    if (flags.Has("checkpoint")) {
+      config.checkpoint_path = flags.GetString("checkpoint", "");
+      config.checkpoint_every =
+          static_cast<std::size_t>(flags.GetInt("checkpoint-every", 5));
+      config.resume = flags.GetBool("resume", false);
+      config.stop_flag = &g_stop;
+      std::signal(SIGTERM, HandleStopSignal);
+      std::signal(SIGINT, HandleStopSignal);
+    }
 
     config.transport =
         fl::ParseTransportKind(flags.GetString("transport", "inproc"));
@@ -126,13 +172,17 @@ int main(int argc, char** argv) {
     std::printf("profile=%s attack=%s defense=%s clients=%zu malicious=%zu "
                 "rounds=%zu seed=%llu transport=%s\n",
                 data::ProfileName(profile),
-                attacks::AttackKindName(config.attack),
-                fl::DefenseKindName(config.defense), config.num_clients,
-                config.num_malicious, config.sim.rounds,
+                attacks::AttackKindName(config.attack), defense_name.c_str(),
+                config.num_clients, config.num_malicious, config.sim.rounds,
                 static_cast<unsigned long long>(seed),
                 fl::TransportKindName(config.transport));
 
     fl::SimulationResult result = fl::RunExperiment(config);
+    if (result.interrupted) {
+      std::printf("interrupted after %zu rounds; rerun with --resume to "
+                  "continue from %s\n",
+                  result.rounds.size(), config.checkpoint_path.c_str());
+    }
     if (!quiet) {
       for (const auto& r : result.rounds) {
         std::printf("round %3zu  acc=%6.3f  accepted=%zu rejected=%zu "
@@ -156,6 +206,11 @@ int main(int argc, char** argv) {
     }
     if (flags.Has("summary")) {
       fl::WriteSummaryCsv(result, flags.GetString("summary", ""));
+    }
+    if (flags.Has("summary-json")) {
+      const std::string path = flags.GetString("summary-json", "");
+      fl::WriteRunSummaryJson(result, path);
+      std::printf("run summary written to %s\n", path.c_str());
     }
     if (flags.Has("jsonl")) {
       fl::WriteRoundsJsonl(result, flags.GetString("jsonl", ""));

@@ -19,4 +19,12 @@ std::vector<std::vector<float>> Coordinator::Window() const {
   return std::vector<std::vector<float>>(window_.begin(), window_.end());
 }
 
+void Coordinator::RestoreWindow(std::vector<std::vector<float>> window) {
+  window_.assign(std::make_move_iterator(window.begin()),
+                 std::make_move_iterator(window.end()));
+  while (window_.size() > capacity_) {
+    window_.pop_front();
+  }
+}
+
 }  // namespace attacks

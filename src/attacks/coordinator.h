@@ -26,6 +26,11 @@ class Coordinator {
 
   void Reset() { window_.clear(); }
 
+  // Checkpoint support: replaces the window wholesale (entries oldest
+  // first, as Window() returns them); excess entries beyond the capacity
+  // are trimmed from the front.
+  void RestoreWindow(std::vector<std::vector<float>> window);
+
  private:
   std::size_t capacity_;
   std::deque<std::vector<float>> window_;

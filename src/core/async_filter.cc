@@ -5,10 +5,55 @@
 
 #include "cluster/kmeans.h"
 #include "core/suspicious_score.h"
+#include "defense/registry.h"
 #include "obs/trace.h"
 #include "util/check.h"
 
 namespace core {
+namespace {
+
+// Self-registration: any binary that links AsyncFilter can build it (and
+// its ablation variants) by name through defense::Registry.
+AsyncFilterOptions VariantOptions(std::size_t clusters, MidBandPolicy policy) {
+  AsyncFilterOptions options;
+  options.num_clusters = clusters;
+  options.mid_band = policy;
+  return options;
+}
+
+const defense::RegistryEntry kRegisterAsyncFilter{
+    "asyncfilter",
+    {"asyncfilter3means"},
+    [](const defense::DefenseParams&) {
+      return std::make_unique<AsyncFilter>();
+    }};
+const defense::RegistryEntry kRegisterAsyncFilter2Means{
+    "asyncfilter2means",
+    {},
+    [](const defense::DefenseParams&) {
+      return std::make_unique<AsyncFilter>(
+          VariantOptions(2, MidBandPolicy::kAccept));
+    }};
+const defense::RegistryEntry kRegisterAsyncFilterDeferMid{
+    "asyncfilterdefermid",
+    {},
+    [](const defense::DefenseParams&) {
+      return std::make_unique<AsyncFilter>(
+          VariantOptions(3, MidBandPolicy::kDefer));
+    }};
+const defense::RegistryEntry kRegisterAsyncFilterRejectMid{
+    "asyncfilterrejectmid",
+    {},
+    [](const defense::DefenseParams&) {
+      return std::make_unique<AsyncFilter>(
+          VariantOptions(3, MidBandPolicy::kReject));
+    }};
+
+}  // namespace
+
+void EnsureAsyncFilterRegistered() {
+  // Static initialization of this translation unit did the actual work.
+}
 
 AsyncFilter::AsyncFilter(AsyncFilterOptions options) : options_(options) {
   AF_CHECK_GE(options_.num_clusters, 2u);
@@ -25,6 +70,27 @@ std::string AsyncFilter::Name() const {
 void AsyncFilter::Reset() {
   bank_.Reset();
   deferral_counts_.clear();
+}
+
+void AsyncFilter::SaveState(util::serial::Writer& w) const {
+  bank_.Save(w);
+  w.U64(deferral_counts_.size());
+  for (const auto& [key, count] : deferral_counts_) {
+    w.I64(key.first);
+    w.U64(key.second);
+    w.U64(count);
+  }
+}
+
+void AsyncFilter::LoadState(util::serial::Reader& r) {
+  bank_.Load(r);
+  deferral_counts_.clear();
+  const std::uint64_t n = r.U64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const int client = static_cast<int>(r.I64());
+    const std::size_t base_round = r.U64();
+    deferral_counts_[{client, base_round}] = r.U64();
+  }
 }
 
 defense::AggregationResult AsyncFilter::Process(

@@ -49,6 +49,12 @@ struct AsyncFilterOptions {
   std::size_t max_deferrals = 2;
 };
 
+// No-op whose only job is to force this translation unit — and with it the
+// static defense::Registry entries for AsyncFilter and its ablation
+// variants — into static-library links. Call once before querying the
+// registry from a layer that does not otherwise reference AsyncFilter.
+void EnsureAsyncFilterRegistered();
+
 class AsyncFilter : public defense::Defense {
  public:
   explicit AsyncFilter(AsyncFilterOptions options = {});
@@ -59,6 +65,10 @@ class AsyncFilter : public defense::Defense {
 
   std::string Name() const override;
   void Reset() override;
+  // Cross-round state: the per-staleness moving-average bank and the
+  // deferral ledger. Options are configuration, not state.
+  void SaveState(util::serial::Writer& w) const override;
+  void LoadState(util::serial::Reader& r) override;
 
   const MovingAverageBank& bank() const { return bank_; }
 

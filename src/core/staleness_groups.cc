@@ -56,4 +56,23 @@ std::size_t MovingAverageBank::ObservationCount(std::size_t staleness) const {
   return it == groups_.end() ? 0 : it->second.count();
 }
 
+void MovingAverageBank::Save(util::serial::Writer& w) const {
+  w.U64(groups_.size());
+  for (const auto& [staleness, ma] : groups_) {
+    w.U64(staleness);
+    w.U64(ma.count());
+    w.DoubleVec(ma.accumulator());
+  }
+}
+
+void MovingAverageBank::Load(util::serial::Reader& r) {
+  groups_.clear();
+  const std::uint64_t n = r.U64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint64_t staleness = r.U64();
+    const std::uint64_t count = r.U64();
+    groups_[staleness].RestoreState(count, r.DoubleVec());
+  }
+}
+
 }  // namespace core

@@ -14,6 +14,7 @@
 
 #include "fl/types.h"
 #include "stats/running_stats.h"
+#include "util/serial.h"
 
 namespace core {
 
@@ -39,6 +40,12 @@ class MovingAverageBank {
   std::size_t ObservationCount(std::size_t staleness) const;
 
   void Reset() { groups_.clear(); }
+
+  // Checkpoint support: serializes every group's exact double-precision
+  // accumulator (std::map order, so the bytes are canonical). Load replaces
+  // the bank's contents wholesale.
+  void Save(util::serial::Writer& w) const;
+  void Load(util::serial::Reader& r);
 
  private:
   std::map<std::size_t, stats::VectorMovingAverage> groups_;

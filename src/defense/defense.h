@@ -15,6 +15,7 @@
 
 #include "defense/staleness_weighting.h"
 #include "fl/types.h"
+#include "util/serial.h"
 
 namespace defense {
 
@@ -59,6 +60,23 @@ class Defense {
   // Defenses carrying cross-round state (AsyncFilter's moving averages,
   // FLDetector's histories) reset here between independent runs.
   virtual void Reset() {}
+
+  // Checkpoint hooks — the counterpart of Reset() for resumable runs.
+  //
+  // SaveState appends every piece of cross-round state to `w`; LoadState
+  // reads back exactly the bytes SaveState wrote, restoring the defense to
+  // a bit-identical point (a resumed simulation must produce the same
+  // verdicts and aggregates as an uninterrupted one). Contract:
+  //   * Load(Save(x)) must leave the defense indistinguishable from x —
+  //     serialize floating-point state bit-exactly (util::serial does),
+  //     and serialize unordered containers in a canonical (sorted) order.
+  //   * Constructor parameters/options are NOT state: the simulator
+  //     recreates the defense from its configuration before LoadState runs.
+  //   * Stateless defenses keep the default no-ops; a defense with
+  //     cross-round state that skips these hooks forfeits bit-identical
+  //     resume (the checkpoint layer cannot see its state).
+  virtual void SaveState(util::serial::Writer& /*w*/) const {}
+  virtual void LoadState(util::serial::Reader& /*r*/) {}
 
   // True for clean-dataset defenses (Zeno++/AFLGuard); the simulator then
   // provisions a root dataset and fills FilterContext::server_reference.

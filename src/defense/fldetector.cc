@@ -23,6 +23,74 @@ void FlDetector::Reset() {
   clients_.clear();
 }
 
+void FlDetector::SaveState(util::serial::Writer& w) const {
+  w.U64(pairs_.size());
+  for (const auto& [s, y] : pairs_) {
+    w.FloatVec(s);
+    w.FloatVec(y);
+  }
+  std::vector<std::size_t> snapshot_rounds;
+  snapshot_rounds.reserve(global_snapshots_.size());
+  for (const auto& [round, model] : global_snapshots_) {
+    snapshot_rounds.push_back(round);
+  }
+  std::sort(snapshot_rounds.begin(), snapshot_rounds.end());
+  w.U64(snapshot_rounds.size());
+  for (std::size_t round : snapshot_rounds) {
+    w.U64(round);
+    w.FloatVec(global_snapshots_.at(round));
+  }
+  w.FloatVec(prev_global_);
+  w.FloatVec(prev_mean_update_);
+  w.U8(has_prev_ ? 1 : 0);
+  std::vector<int> client_ids;
+  client_ids.reserve(clients_.size());
+  for (const auto& [id, history] : clients_) {
+    client_ids.push_back(id);
+  }
+  std::sort(client_ids.begin(), client_ids.end());
+  w.U64(client_ids.size());
+  for (int id : client_ids) {
+    const ClientHistory& history = clients_.at(id);
+    w.I64(id);
+    w.FloatVec(history.last_update);
+    w.U64(history.last_base_round);
+    w.U64(history.scores.size());
+    for (double score : history.scores) {
+      w.F64(score);
+    }
+  }
+}
+
+void FlDetector::LoadState(util::serial::Reader& r) {
+  Reset();
+  const std::uint64_t num_pairs = r.U64();
+  for (std::uint64_t i = 0; i < num_pairs; ++i) {
+    auto s = r.FloatVec();
+    auto y = r.FloatVec();
+    pairs_.emplace_back(std::move(s), std::move(y));
+  }
+  const std::uint64_t num_snapshots = r.U64();
+  for (std::uint64_t i = 0; i < num_snapshots; ++i) {
+    const std::size_t round = r.U64();
+    global_snapshots_[round] = r.FloatVec();
+  }
+  prev_global_ = r.FloatVec();
+  prev_mean_update_ = r.FloatVec();
+  has_prev_ = r.U8() != 0;
+  const std::uint64_t num_clients = r.U64();
+  for (std::uint64_t i = 0; i < num_clients; ++i) {
+    const int id = static_cast<int>(r.I64());
+    ClientHistory& history = clients_[id];
+    history.last_update = r.FloatVec();
+    history.last_base_round = r.U64();
+    const std::uint64_t num_scores = r.U64();
+    for (std::uint64_t j = 0; j < num_scores; ++j) {
+      history.scores.push_back(r.F64());
+    }
+  }
+}
+
 std::vector<float> FlDetector::HessianVector(const std::vector<float>& v) const {
   // Two-loop recursion with (s, y) swapped approximates the Hessian B ≈ H
   // rather than its inverse.

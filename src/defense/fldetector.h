@@ -33,6 +33,11 @@ class FlDetector : public Defense {
                             const std::vector<fl::ModelUpdate>& updates) override;
   std::string Name() const override { return "FLDetector"; }
   void Reset() override;
+  // Cross-round state: L-BFGS curvature pairs, retained global snapshots,
+  // previous-round aggregates, and per-client histories. Unordered maps are
+  // serialized key-sorted so identical states produce identical bytes.
+  void SaveState(util::serial::Writer& w) const override;
+  void LoadState(util::serial::Reader& r) override;
 
  private:
   // Approximates H·v via L-BFGS two-loop recursion on the stored curvature

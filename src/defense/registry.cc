@@ -1,0 +1,179 @@
+#include "defense/registry.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <mutex>
+
+#include "defense/aflguard.h"
+#include "defense/bucketing.h"
+#include "defense/fldetector.h"
+#include "defense/fltrust.h"
+#include "defense/krum.h"
+#include "defense/nnm.h"
+#include "defense/trimmed_mean.h"
+#include "defense/zeno.h"
+#include "util/check.h"
+
+namespace defense {
+namespace {
+
+std::string Canonical(const std::string& name) {
+  std::string canon;
+  for (char c : name) {
+    if (c == '-' || c == '_' || c == ' ' || c == '+') {
+      continue;
+    }
+    canon.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  return canon;
+}
+
+struct Entry {
+  std::string display_name;  // registration-time spelling
+  DefenseFactory factory;
+};
+
+struct Table {
+  mutable std::mutex mu;
+  // canonical key → entry; aliases map to the same factory but are flagged
+  // so ListNames() only reports canonical spellings.
+  std::map<std::string, Entry> entries;
+  std::map<std::string, std::string> aliases;  // canonical alias → canonical key
+};
+
+Table& GlobalTable() {
+  static Table* table = new Table();
+  return *table;
+}
+
+}  // namespace
+
+Registry& Registry::Global() {
+  static Registry* registry = [] {
+    auto* r = new Registry();
+    // defense/-local builtins. AsyncFilter and its ablation variants live a
+    // layer up (core/) and register themselves from core/async_filter.cc.
+    r->Register("fedbuff", {"nodefense", "none"},
+                [](const DefenseParams&) {
+                  return std::make_unique<NoDefense>();
+                });
+    r->Register("fldetector", {},
+                [](const DefenseParams&) {
+                  return std::make_unique<FlDetector>();
+                });
+    r->Register("krum", {},
+                [](const DefenseParams& p) {
+                  return std::make_unique<Krum>(p.byzantine_fraction,
+                                                /*multi=*/false);
+                });
+    r->Register("multikrum", {},
+                [](const DefenseParams& p) {
+                  return std::make_unique<Krum>(p.byzantine_fraction,
+                                                /*multi=*/true);
+                });
+    r->Register("trimmedmean", {},
+                [](const DefenseParams& p) {
+                  return std::make_unique<TrimmedMean>(p.byzantine_fraction);
+                });
+    r->Register("median", {},
+                [](const DefenseParams&) {
+                  return std::make_unique<CoordinateMedian>();
+                });
+    r->Register("zeno", {"zenoplusplus"},
+                [](const DefenseParams&) {
+                  return std::make_unique<ZenoPlusPlus>();
+                });
+    r->Register("aflguard", {},
+                [](const DefenseParams&) {
+                  return std::make_unique<AflGuard>();
+                });
+    r->Register("nnm", {},
+                [](const DefenseParams& p) {
+                  return std::make_unique<NearestNeighborMixing>(
+                      p.byzantine_fraction);
+                });
+    r->Register("fltrust", {},
+                [](const DefenseParams&) {
+                  return std::make_unique<FlTrust>();
+                });
+    r->Register("bucketing", {},
+                [](const DefenseParams& p) {
+                  return std::make_unique<Bucketing>(p.bucket_size);
+                });
+    return r;
+  }();
+  return *registry;
+}
+
+void Registry::Register(const std::string& name,
+                        std::vector<std::string> aliases,
+                        DefenseFactory factory) {
+  AF_CHECK(factory != nullptr) << "registry: null factory for " << name;
+  const std::string key = Canonical(name);
+  AF_CHECK(!key.empty()) << "registry: empty defense name";
+  Table& table = GlobalTable();
+  std::lock_guard<std::mutex> lock(table.mu);
+  table.entries[key] = Entry{name, std::move(factory)};
+  for (const std::string& alias : aliases) {
+    table.aliases[Canonical(alias)] = key;
+  }
+}
+
+std::unique_ptr<Defense> Registry::Make(const std::string& name,
+                                        const DefenseParams& params) const {
+  Table& table = GlobalTable();
+  DefenseFactory factory;
+  {
+    std::lock_guard<std::mutex> lock(table.mu);
+    std::string key = Canonical(name);
+    auto alias = table.aliases.find(key);
+    if (alias != table.aliases.end()) {
+      key = alias->second;
+    }
+    auto it = table.entries.find(key);
+    if (it == table.entries.end()) {
+      std::string known;
+      for (const auto& [k, entry] : table.entries) {
+        if (!known.empty()) {
+          known += ", ";
+        }
+        known += k;
+      }
+      AF_CHECK(false) << "unknown defense name: " << name
+                      << " (known: " << known << ")";
+    }
+    factory = it->second.factory;
+  }
+  auto defense = factory(params);
+  AF_CHECK(defense != nullptr) << "registry: factory for " << name
+                               << " returned null";
+  return defense;
+}
+
+bool Registry::Has(const std::string& name) const {
+  Table& table = GlobalTable();
+  std::lock_guard<std::mutex> lock(table.mu);
+  const std::string key = Canonical(name);
+  return table.entries.count(key) > 0 || table.aliases.count(key) > 0;
+}
+
+std::vector<std::string> Registry::ListNames() const {
+  Table& table = GlobalTable();
+  std::lock_guard<std::mutex> lock(table.mu);
+  std::vector<std::string> names;
+  names.reserve(table.entries.size());
+  for (const auto& [key, entry] : table.entries) {
+    names.push_back(key);
+  }
+  return names;  // std::map iteration → already sorted
+}
+
+std::unique_ptr<Defense> Make(const std::string& name,
+                              const DefenseParams& params) {
+  return Registry::Global().Make(name, params);
+}
+
+std::vector<std::string> ListNames() { return Registry::Global().ListNames(); }
+
+}  // namespace defense

@@ -1,0 +1,75 @@
+// Defense construction by name — the defense-side mirror of
+// attacks/registry.h.
+//
+// Every Defense the system knows is reachable through one string-keyed
+// table: `Make("asyncfilter", params)` builds it, `ListNames()` enumerates
+// what is available, and `Register()` lets a new defense plug itself in
+// from its own translation unit with zero example-side wiring (the
+// run_experiment `--defense` flag and `--list-defenses` both route through
+// here). Names are matched case-insensitively with '-', '_', ' ' and '+'
+// stripped, so "Trimmed-Mean", "trimmed_mean" and "trimmedmean" all
+// resolve to the same entry.
+//
+// The defenses defined in defense/ register themselves eagerly; defenses
+// living in higher layers (core::AsyncFilter and its ablation variants)
+// register from their own .cc via a RegistryEntry at static-init time.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "defense/defense.h"
+
+namespace defense {
+
+// Tuning knobs a factory may consult; one struct keeps the factory
+// signature stable as defenses gain parameters (mirrors attacks::AttackParams).
+struct DefenseParams {
+  // Assumed Byzantine fraction (Krum/Multi-Krum/Trimmed-Mean/NNM).
+  double byzantine_fraction = 0.2;
+  // Updates per bucket for the Bucketing wrapper.
+  std::size_t bucket_size = 2;
+};
+
+using DefenseFactory =
+    std::function<std::unique_ptr<Defense>(const DefenseParams&)>;
+
+class Registry {
+ public:
+  // The process-wide table, pre-populated with the defense/ builtins.
+  static Registry& Global();
+
+  // Registers `factory` under a canonical name plus aliases. Re-registering
+  // an existing name replaces it (lets tests stub entries).
+  void Register(const std::string& name, std::vector<std::string> aliases,
+                DefenseFactory factory);
+
+  // Builds the named defense; throws util::CheckError on unknown names
+  // (the message lists what is available).
+  std::unique_ptr<Defense> Make(const std::string& name,
+                                const DefenseParams& params = {}) const;
+
+  bool Has(const std::string& name) const;
+
+  // Canonical (registration-time) names, sorted; aliases are not listed.
+  std::vector<std::string> ListNames() const;
+};
+
+// Convenience free functions over Registry::Global().
+std::unique_ptr<Defense> Make(const std::string& name,
+                              const DefenseParams& params = {});
+std::vector<std::string> ListNames();
+
+// Registers a defense at static-initialization time:
+//   static const defense::RegistryEntry kReg{"mydefense", {"alias"},
+//       [](const defense::DefenseParams&) { return std::make_unique<My>(); }};
+struct RegistryEntry {
+  RegistryEntry(const std::string& name, std::vector<std::string> aliases,
+                DefenseFactory factory) {
+    Registry::Global().Register(name, std::move(aliases), std::move(factory));
+  }
+};
+
+}  // namespace defense

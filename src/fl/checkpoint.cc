@@ -1,0 +1,102 @@
+#include "fl/checkpoint.h"
+
+#include <sys/stat.h>
+
+#include <chrono>
+#include <cstring>
+#include <span>
+
+#include "obs/metrics.h"
+#include "util/check.h"
+#include "util/logging.h"
+#include "util/serial.h"
+
+namespace fl {
+namespace {
+
+constexpr char kMagic[4] = {'A', 'F', 'C', 'K'};
+
+std::uint64_t Fnv1a(std::span<const std::uint8_t> bytes) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (std::uint8_t byte : bytes) {
+    hash ^= byte;
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+}  // namespace
+
+void SaveCheckpoint(const std::string& path, const Simulation& sim) {
+  AF_CHECK(!path.empty()) << "checkpoint: empty path";
+  const auto start = std::chrono::steady_clock::now();
+
+  util::serial::Writer payload;
+  sim.SaveState(payload);
+  const std::uint64_t checksum = Fnv1a(payload.buffer());
+
+  util::serial::Writer file;
+  file.Raw(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(kMagic), sizeof(kMagic)));
+  file.U32(kCheckpointVersion);
+  file.U64(payload.size());
+  file.U64(checksum);
+  file.Raw(payload.buffer());
+  util::serial::AtomicWriteFile(path, file.buffer());
+
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  const auto millis =
+      std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count();
+  obs::MetricsRegistry& registry = obs::DefaultRegistry();
+  registry.GetCounter("checkpoint.writes").Increment();
+  registry.GetCounter("checkpoint.bytes").Increment(file.size());
+  registry.GetHistogram("checkpoint.write_ms")
+      .Record(static_cast<double>(millis));
+  AF_LOG(kDebug) << "checkpoint: wrote " << file.size() << " bytes to "
+                 << path << " at round " << sim.current_round() << " ("
+                 << millis << " ms)";
+}
+
+bool RestoreCheckpoint(const std::string& path, Simulation& sim) {
+  if (!CheckpointExists(path)) {
+    return false;
+  }
+  const std::vector<std::uint8_t> bytes = util::serial::ReadFileBytes(path);
+  util::serial::Reader header(bytes);
+
+  char magic[4] = {};
+  std::span<const std::uint8_t> tail = header.Tail();
+  AF_CHECK_GE(tail.size(), sizeof(magic)) << "checkpoint: file too short";
+  std::memcpy(magic, tail.data(), sizeof(magic));
+  header.Skip(sizeof(magic));
+  AF_CHECK(std::memcmp(magic, kMagic, sizeof(magic)) == 0)
+      << "checkpoint: bad magic in " << path;
+  const std::uint32_t version = header.U32();
+  AF_CHECK_EQ(version, kCheckpointVersion)
+      << "checkpoint: unsupported format version in " << path;
+  const std::uint64_t payload_size = header.U64();
+  const std::uint64_t checksum = header.U64();
+  AF_CHECK_EQ(payload_size, header.remaining())
+      << "checkpoint: payload size mismatch in " << path;
+
+  std::span<const std::uint8_t> payload = header.Tail();
+  AF_CHECK_EQ(Fnv1a(payload), checksum)
+      << "checkpoint: checksum mismatch in " << path;
+
+  util::serial::Reader reader(payload);
+  sim.LoadState(reader);
+  AF_CHECK(reader.AtEnd()) << "checkpoint: " << reader.remaining()
+                           << " unread payload bytes in " << path;
+  obs::DefaultRegistry().GetCounter("checkpoint.restores").Increment();
+  AF_LOG(kInfo) << "checkpoint: restored " << path << " at round "
+                << sim.current_round();
+  return true;
+}
+
+bool CheckpointExists(const std::string& path) {
+  struct stat st{};
+  return !path.empty() && ::stat(path.c_str(), &st) == 0 &&
+         S_ISREG(st.st_mode);
+}
+
+}  // namespace fl

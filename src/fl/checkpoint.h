@@ -1,0 +1,47 @@
+// Crash-safe on-disk checkpoints for resumable simulation runs.
+//
+// Container format ("AFCK"), little-endian:
+//
+//   magic   "AFCK"                        4 bytes
+//   u32     format version (currently 1)
+//   u64     payload size in bytes
+//   u64     FNV-1a checksum of the payload
+//   bytes   payload — Simulation::SaveState output; model parameters inside
+//           it use the AFPM framing shared with nn/serialize and the net/
+//           wire protocol
+//
+// Files are written atomically (temp + fsync + rename, via
+// util::serial::AtomicWriteFile), so a crash mid-write leaves the previous
+// checkpoint intact. Version bumps are append-only at the container level:
+// readers reject versions they do not know rather than guessing.
+//
+// Restoring into a Simulation built from the same ExperimentSpec resumes
+// the run bit-identically — the final SimulationResult matches an
+// uninterrupted run exactly (timing fields excepted).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "fl/simulation.h"
+
+namespace fl {
+
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+// Serializes `sim` (which must be at a round boundary — Run() calls this
+// between rounds) and writes it crash-safely to `path`. Throws
+// util::CheckError on I/O failure.
+void SaveCheckpoint(const std::string& path, const Simulation& sim);
+
+// Restores `sim` from `path`. Returns false when no checkpoint exists at
+// `path` (fresh start); throws util::CheckError on a corrupt file, a
+// version mismatch, or a checkpoint taken from a different experiment
+// (seed/population/model/defense are verified before any state changes).
+bool RestoreCheckpoint(const std::string& path, Simulation& sim);
+
+// True when `path` names an existing regular file (the sweep driver's
+// cheap "is there anything to resume" probe).
+bool CheckpointExists(const std::string& path);
+
+}  // namespace fl

@@ -431,10 +431,16 @@ SimulationResult DistributedDriver::Run() {
 
     TcpBackend backend(impl.server.get(), std::move(num_samples),
                        impl.transport);
-    Simulation simulation(impl.config, impl.spec, &backend,
-                          impl.malicious_ids, std::move(impl.attack),
-                          std::move(impl.defense), impl.test_set,
-                          std::move(impl.server_root));
+    ExperimentSpec sim_spec;
+    sim_spec.sim = impl.config;
+    sim_spec.model = impl.spec;
+    sim_spec.backend = &backend;
+    sim_spec.malicious_ids = impl.malicious_ids;
+    sim_spec.attack = std::move(impl.attack);
+    sim_spec.defense = std::move(impl.defense);
+    sim_spec.test_set = impl.test_set;
+    sim_spec.server_root = std::move(impl.server_root);
+    Simulation simulation(std::move(sim_spec));
     result = simulation.Run();
   } catch (...) {
     impl.JoinWorkers();

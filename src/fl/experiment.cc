@@ -7,17 +7,22 @@
 
 #include "core/async_filter.h"
 #include "data/partition.h"
-#include "defense/aflguard.h"
-#include "defense/bucketing.h"
-#include "defense/fldetector.h"
-#include "defense/fltrust.h"
-#include "defense/krum.h"
-#include "defense/nnm.h"
-#include "defense/trimmed_mean.h"
-#include "defense/zeno.h"
+#include "defense/registry.h"
+#include "fl/checkpoint.h"
 #include "util/check.h"
 
 namespace fl {
+namespace {
+
+// Static-library builds only pull async_filter.o into a link when one of
+// its symbols is referenced; this reference makes the AsyncFilter registry
+// entries available wherever the experiment layer is linked.
+const bool kAsyncFilterLinked = [] {
+  core::EnsureAsyncFilterRegistered();
+  return true;
+}();
+
+}  // namespace
 
 const char* TransportKindName(TransportKind kind) {
   switch (kind) {
@@ -139,49 +144,10 @@ DefenseKind ParseDefenseKind(const std::string& name) {
 }
 
 std::unique_ptr<defense::Defense> MakeDefense(DefenseKind kind) {
-  switch (kind) {
-    case DefenseKind::kFedBuff:
-      return std::make_unique<defense::NoDefense>();
-    case DefenseKind::kFlDetector:
-      return std::make_unique<defense::FlDetector>();
-    case DefenseKind::kAsyncFilter:
-      return std::make_unique<core::AsyncFilter>();
-    case DefenseKind::kAsyncFilter2Means: {
-      core::AsyncFilterOptions options;
-      options.num_clusters = 2;
-      return std::make_unique<core::AsyncFilter>(options);
-    }
-    case DefenseKind::kAsyncFilterDeferMid: {
-      core::AsyncFilterOptions options;
-      options.mid_band = core::MidBandPolicy::kDefer;
-      return std::make_unique<core::AsyncFilter>(options);
-    }
-    case DefenseKind::kAsyncFilterRejectMid: {
-      core::AsyncFilterOptions options;
-      options.mid_band = core::MidBandPolicy::kReject;
-      return std::make_unique<core::AsyncFilter>(options);
-    }
-    case DefenseKind::kKrum:
-      return std::make_unique<defense::Krum>(0.2, /*multi=*/false);
-    case DefenseKind::kMultiKrum:
-      return std::make_unique<defense::Krum>(0.2, /*multi=*/true);
-    case DefenseKind::kTrimmedMean:
-      return std::make_unique<defense::TrimmedMean>(0.2);
-    case DefenseKind::kMedian:
-      return std::make_unique<defense::CoordinateMedian>();
-    case DefenseKind::kZenoPlusPlus:
-      return std::make_unique<defense::ZenoPlusPlus>();
-    case DefenseKind::kAflGuard:
-      return std::make_unique<defense::AflGuard>();
-    case DefenseKind::kNnm:
-      return std::make_unique<defense::NearestNeighborMixing>(0.2);
-    case DefenseKind::kFlTrust:
-      return std::make_unique<defense::FlTrust>();
-    case DefenseKind::kBucketing:
-      return std::make_unique<defense::Bucketing>(2);
-  }
-  AF_CHECK(false) << "unhandled defense kind";
-  return nullptr;
+  // One source of truth: the enum's display name resolves through the same
+  // canonicalization the registry applies, so the grid enum and the
+  // string-keyed path can never drift apart.
+  return defense::Make(DefenseKindName(kind));
 }
 
 nn::ModelSpec ModelForProfile(const data::Profile profile,
@@ -322,9 +288,12 @@ SimulationResult RunExperiment(const ExperimentConfig& config,
 
   if (config.transport == TransportKind::kTcp) {
     // The distributed driver owns scheduling end to end; the buffer observer
-    // hook is an in-process-only affordance.
+    // hook is an in-process-only affordance, and checkpointing mid-run
+    // worker state is not supported over the wire.
     AF_CHECK(observer == nullptr)
         << "buffer observers are not supported with --transport=tcp";
+    AF_CHECK(config.checkpoint_path.empty() && !config.resume)
+        << "checkpoint/resume requires --transport=inproc";
     DistributedDriver driver(config.sim, model, std::move(clients),
                              malicious_ids, std::move(attack),
                              std::move(defense), &test, std::move(root),
@@ -333,13 +302,33 @@ SimulationResult RunExperiment(const ExperimentConfig& config,
   }
 
   util::ThreadPool pool(config.threads);
-  Simulation simulation(config.sim, model, std::move(clients), malicious_ids,
-                        std::move(attack), std::move(defense), &test,
-                        std::move(root), &pool);
+  ExperimentSpec sim_spec;
+  sim_spec.sim = config.sim;
+  sim_spec.model = model;
+  sim_spec.clients = std::move(clients);
+  sim_spec.pool = &pool;
+  sim_spec.malicious_ids = std::move(malicious_ids);
+  sim_spec.attack = std::move(attack);
+  sim_spec.defense = std::move(defense);
+  sim_spec.test_set = &test;
+  sim_spec.server_root = std::move(root);
+  auto simulation = BuildSimulation(std::move(sim_spec));
   if (observer) {
-    simulation.SetBufferObserver(std::move(observer));
+    simulation->SetBufferObserver(std::move(observer));
   }
-  return stamp_wall(simulation.Run());
+  if (!config.checkpoint_path.empty() || config.stop_flag != nullptr) {
+    CheckpointPolicy policy;
+    policy.path = config.checkpoint_path;
+    policy.every = config.checkpoint_every;
+    policy.stop = config.stop_flag;
+    simulation->SetCheckpointPolicy(std::move(policy));
+  }
+  if (config.resume) {
+    AF_CHECK(!config.checkpoint_path.empty())
+        << "--resume needs a checkpoint path";
+    RestoreCheckpoint(config.checkpoint_path, *simulation);
+  }
+  return stamp_wall(simulation->Run());
 }
 
 std::vector<double> RunRepeated(ExperimentConfig config,

@@ -2,6 +2,7 @@
 // defense → simulation. Every bench and example builds on this.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <string>
@@ -79,6 +80,17 @@ struct ExperimentConfig {
   std::size_t threads = 0;  // 0 → hardware concurrency
   TransportKind transport = TransportKind::kInproc;
   TransportOptions net;  // only consulted when transport == kTcp
+
+  // Resumable runs (inproc transport only; see fl/checkpoint.h). When
+  // `checkpoint_path` is set the simulation writes a crash-safe checkpoint
+  // every `checkpoint_every` completed rounds (0 → only on a stop request),
+  // and `resume` restores from an existing checkpoint before running.
+  // `stop_flag`, typically flipped by a SIGTERM handler, requests a final
+  // checkpoint and a graceful early return.
+  std::string checkpoint_path;
+  std::size_t checkpoint_every = 0;
+  bool resume = false;
+  const std::atomic<bool>* stop_flag = nullptr;
 };
 
 // Paper-matched defaults per dataset profile (model family, optimizer — see

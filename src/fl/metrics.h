@@ -60,6 +60,10 @@ struct SimulationResult {
   // End-to-end RunExperiment wall time (dataset synthesis through final
   // eval), the number the GEMM-core perf work moves.
   double wall_seconds = 0.0;
+  // True when Run() stopped early on a graceful-stop request (SIGTERM via
+  // CheckpointPolicy::stop); the rounds completed so far are reported and,
+  // when a checkpoint path is configured, a final checkpoint was written.
+  bool interrupted = false;
   LatencySummary defense_latency;
   std::vector<float> final_model;
 };

@@ -3,7 +3,11 @@
 #include <algorithm>
 #include <chrono>
 #include <numeric>
+#include <sstream>
+#include <unordered_map>
 
+#include "fl/checkpoint.h"
+#include "nn/serialize.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "stats/zipf.h"
@@ -12,30 +16,74 @@
 
 namespace fl {
 
-Simulation::Simulation(SimulationConfig config, const nn::ModelSpec& spec,
-                       TrainBackend* backend, std::vector<int> malicious_ids,
-                       std::unique_ptr<attacks::Attack> attack,
-                       std::unique_ptr<defense::Defense> defense,
-                       const data::Dataset* test_set, data::Dataset server_root)
-    : config_(config),
-      spec_(spec),
-      backend_(backend),
-      attack_(std::move(attack)),
-      coordinator_(config.attacker_window),
-      defense_(std::move(defense)),
-      test_set_(test_set),
-      server_root_(std::move(server_root)),
-      rngs_(config.seed),
-      participation_rng_(rngs_.Stream("participation")) {
-  AF_CHECK(backend_ != nullptr);
+Simulation::Simulation(ExperimentSpec spec)
+    : config_(spec.sim),
+      spec_(spec.model),
+      attack_(std::move(spec.attack)),
+      coordinator_(spec.sim.attacker_window),
+      defense_(std::move(spec.defense)),
+      test_set_(spec.test_set),
+      server_root_(std::move(spec.server_root)),
+      rngs_(spec.sim.seed),
+      participation_rng_(rngs_.Stream("participation")),
+      server_rng_(rngs_.Stream("server-defense")) {
+  if (spec.backend != nullptr) {
+    AF_CHECK(spec.clients.empty())
+        << "ExperimentSpec: set either `backend` or `clients`+`pool`, not both";
+    AF_CHECK(spec.pool == nullptr)
+        << "ExperimentSpec: `pool` belongs to the clients form";
+    backend_ = spec.backend;
+  } else {
+    AF_CHECK(!spec.clients.empty())
+        << "ExperimentSpec: one of `backend` or `clients` must be set";
+    AF_CHECK(spec.pool != nullptr)
+        << "ExperimentSpec: the clients form needs a thread `pool`";
+    owned_backend_ = std::make_unique<InprocBackend>(
+        std::move(spec.clients), spec.pool, config_.seed, config_.local);
+    backend_ = owned_backend_.get();
+  }
   malicious_.assign(backend_->ClientCount(), false);
-  for (int id : malicious_ids) {
+  for (int id : spec.malicious_ids) {
     AF_CHECK_GE(id, 0);
     AF_CHECK_LT(static_cast<std::size_t>(id), malicious_.size());
     malicious_[static_cast<std::size_t>(id)] = true;
   }
   Init();
 }
+
+namespace {
+
+ExperimentSpec MakeSpec(SimulationConfig config, const nn::ModelSpec& model,
+                        std::vector<int> malicious_ids,
+                        std::unique_ptr<attacks::Attack> attack,
+                        std::unique_ptr<defense::Defense> defense,
+                        const data::Dataset* test_set,
+                        data::Dataset server_root) {
+  ExperimentSpec spec;
+  spec.sim = config;
+  spec.model = model;
+  spec.malicious_ids = std::move(malicious_ids);
+  spec.attack = std::move(attack);
+  spec.defense = std::move(defense);
+  spec.test_set = test_set;
+  spec.server_root = std::move(server_root);
+  return spec;
+}
+
+}  // namespace
+
+Simulation::Simulation(SimulationConfig config, const nn::ModelSpec& spec,
+                       TrainBackend* backend, std::vector<int> malicious_ids,
+                       std::unique_ptr<attacks::Attack> attack,
+                       std::unique_ptr<defense::Defense> defense,
+                       const data::Dataset* test_set, data::Dataset server_root)
+    : Simulation([&] {
+        ExperimentSpec s =
+            MakeSpec(config, spec, std::move(malicious_ids), std::move(attack),
+                     std::move(defense), test_set, std::move(server_root));
+        s.backend = backend;
+        return s;
+      }()) {}
 
 Simulation::Simulation(SimulationConfig config, const nn::ModelSpec& spec,
                        std::vector<std::unique_ptr<Client>> clients,
@@ -44,31 +92,21 @@ Simulation::Simulation(SimulationConfig config, const nn::ModelSpec& spec,
                        std::unique_ptr<defense::Defense> defense,
                        const data::Dataset* test_set, data::Dataset server_root,
                        util::ThreadPool* pool)
-    : config_(config),
-      spec_(spec),
-      attack_(std::move(attack)),
-      coordinator_(config.attacker_window),
-      defense_(std::move(defense)),
-      test_set_(test_set),
-      server_root_(std::move(server_root)),
-      rngs_(config.seed),
-      participation_rng_(rngs_.Stream("participation")) {
-  AF_CHECK(!clients.empty());
-  AF_CHECK(pool != nullptr);
-  malicious_.assign(clients.size(), false);
-  for (int id : malicious_ids) {
-    AF_CHECK_GE(id, 0);
-    AF_CHECK_LT(static_cast<std::size_t>(id), malicious_.size());
-    malicious_[static_cast<std::size_t>(id)] = true;
-  }
-  owned_backend_ = std::make_unique<InprocBackend>(std::move(clients), pool,
-                                                   config_.seed,
-                                                   config_.local);
-  backend_ = owned_backend_.get();
-  Init();
+    : Simulation([&] {
+        ExperimentSpec s =
+            MakeSpec(config, spec, std::move(malicious_ids), std::move(attack),
+                     std::move(defense), test_set, std::move(server_root));
+        s.clients = std::move(clients);
+        s.pool = pool;
+        return s;
+      }()) {}
+
+std::unique_ptr<Simulation> BuildSimulation(ExperimentSpec spec) {
+  return std::make_unique<Simulation>(std::move(spec));
 }
 
 void Simulation::Init() {
+  AF_CHECK(backend_ != nullptr);
   AF_CHECK_GT(backend_->ClientCount(), 0u);
   AF_CHECK_GT(config_.participation, 0.0);
   AF_CHECK_LE(config_.participation, 1.0);
@@ -139,11 +177,14 @@ std::vector<float> Simulation::ServerReferenceUpdate() {
   return server_trainer_->TrainOnce(*global_, config_.local, rng);
 }
 
+void Simulation::WriteCheckpoint() const {
+  SaveCheckpoint(checkpoint_.path, *this);
+}
+
 SimulationResult Simulation::Run() {
   AF_TRACE_SPAN("sim.run");
-  SimulationResult result;
-  auto server_rng = rngs_.Stream("server-defense");
   auto eval_model = spec_.factory(config_.seed);
+  bool interrupted = false;
 
   // Run-level metrics; labelled by defense so grid runs stay separable.
   const obs::Labels metric_labels{{"defense", defense_->Name()}};
@@ -158,13 +199,13 @@ SimulationResult Simulation::Run() {
                                                      metric_labels);
 
   // Kick off every client (the paper's sampler selects all 100 each round).
-  for (std::size_t c = 0; c < backend_->ClientCount(); ++c) {
-    Dispatch(static_cast<int>(c), 0.0);
+  // A restored run skips this: its event queue, RNG positions, and job
+  // counters came out of the checkpoint.
+  if (!resumed_) {
+    for (std::size_t c = 0; c < backend_->ClientCount(); ++c) {
+      Dispatch(static_cast<int>(c), 0.0);
+    }
   }
-
-  std::vector<ModelUpdate> buffer;
-  double now = 0.0;
-  std::size_t dropped_this_round = 0;
 
   while (round_ < config_.rounds) {
     auto attack_rng = rngs_.Stream("attack", round_);
@@ -172,21 +213,21 @@ SimulationResult Simulation::Run() {
     // Fill the buffer up to the aggregation bound. Normally one pass; a
     // client evicted mid-batch loses its jobs, so the loop may take another
     // pass over the survivors.
-    while (buffer.size() < EffectiveGoal()) {
+    while (buffer_.size() < EffectiveGoal()) {
       const std::size_t goal = EffectiveGoal();
       std::vector<Job> batch;
-      while (buffer.size() + batch.size() < goal) {
+      while (buffer_.size() + batch.size() < goal) {
         AF_CHECK(!events_.empty()) << "event queue drained";
         Job job = events_.top();
         events_.pop();
-        now = job.completion_time;
+        now_ = job.completion_time;
         if (!backend_->IsAlive(job.client_id)) {
           continue;  // job of an evicted client; nothing to re-dispatch
         }
         const std::size_t staleness = round_ - job.dispatch_round;
-        Dispatch(job.client_id, now);  // client immediately starts a new job
+        Dispatch(job.client_id, now_);  // client immediately starts a new job
         if (staleness > config_.staleness_limit) {
-          ++dropped_this_round;
+          ++dropped_this_round_;
           continue;  // server refuses over-stale arrivals without training
         }
         batch.push_back(std::move(job));
@@ -233,31 +274,31 @@ SimulationResult Simulation::Run() {
         } else {
           update.delta = honest[j];
         }
-        buffer.push_back(std::move(update));
+        buffer_.push_back(std::move(update));
       }
     }
 
-    AF_CHECK_GE(buffer.size(), EffectiveGoal());
+    AF_CHECK_GE(buffer_.size(), EffectiveGoal());
 
     // Refresh staleness of deferred leftovers and drop over-stale ones.
     std::vector<ModelUpdate> live;
-    live.reserve(buffer.size());
-    for (auto& update : buffer) {
+    live.reserve(buffer_.size());
+    for (auto& update : buffer_) {
       update.staleness = round_ - update.base_round;
       update.arrival_round = round_;
       if (update.staleness > config_.staleness_limit) {
-        ++dropped_this_round;
+        ++dropped_this_round_;
         continue;
       }
       live.push_back(std::move(update));
     }
-    buffer.swap(live);
-    if (buffer.empty()) {
+    buffer_.swap(live);
+    if (buffer_.empty()) {
       continue;  // everything went stale; keep collecting
     }
 
     if (observer_) {
-      observer_(round_, buffer);
+      observer_(round_, buffer_);
     }
 
     // Defense + aggregation.
@@ -266,7 +307,7 @@ SimulationResult Simulation::Run() {
     ctx.global_model = *global_;
     ctx.max_staleness = config_.staleness_limit;
     ctx.staleness_weighting = config_.staleness_weighting;
-    ctx.rng = &server_rng;
+    ctx.rng = &server_rng_;
     std::vector<float> server_ref;
     if (defense_->RequiresServerReference()) {
       server_ref = ServerReferenceUpdate();
@@ -276,24 +317,24 @@ SimulationResult Simulation::Run() {
     defense::AggregationResult agg;
     {
       AF_TRACE_SPAN("defense.process");
-      agg = defense_->Process(ctx, buffer);
+      agg = defense_->Process(ctx, buffer_);
     }
     const auto defense_end = std::chrono::steady_clock::now();
-    AF_CHECK_EQ(agg.verdicts.size(), buffer.size());
+    AF_CHECK_EQ(agg.verdicts.size(), buffer_.size());
 
     RoundRecord record;
     record.round = round_;
-    record.sim_time = now;
-    record.buffered = buffer.size();
-    record.dropped_stale = dropped_this_round;
-    dropped_this_round = 0;
+    record.sim_time = now_;
+    record.buffered = buffer_.size();
+    record.dropped_stale = dropped_this_round_;
+    dropped_this_round_ = 0;
     double staleness_sum = 0.0;
-    for (std::size_t i = 0; i < buffer.size(); ++i) {
-      staleness_sum += static_cast<double>(buffer[i].staleness);
-      ++record.staleness_histogram[buffer[i].staleness];
-      staleness_hist.Record(static_cast<double>(buffer[i].staleness));
+    for (std::size_t i = 0; i < buffer_.size(); ++i) {
+      staleness_sum += static_cast<double>(buffer_[i].staleness);
+      ++record.staleness_histogram[buffer_[i].staleness];
+      staleness_hist.Record(static_cast<double>(buffer_[i].staleness));
       const bool rejected = agg.verdicts[i] == defense::Verdict::kRejected;
-      const bool malicious = buffer[i].is_malicious_truth;
+      const bool malicious = buffer_[i].is_malicious_truth;
       if (rejected) {
         ++record.rejected;
         if (malicious) {
@@ -315,7 +356,7 @@ SimulationResult Simulation::Run() {
       }
     }
     record.mean_staleness =
-        staleness_sum / static_cast<double>(buffer.size());
+        staleness_sum / static_cast<double>(buffer_.size());
     record.defense_micros =
         std::chrono::duration_cast<std::chrono::microseconds>(defense_end -
                                                               defense_start)
@@ -333,7 +374,7 @@ SimulationResult Simulation::Run() {
       global_ = std::move(next);
     }
     ++round_;
-    buffer = std::move(agg.deferred);
+    buffer_ = std::move(agg.deferred);
 
     if (round_ % config_.eval_every == 0 || round_ == config_.rounds) {
       AF_TRACE_SPAN("eval.accuracy");
@@ -350,13 +391,321 @@ SimulationResult Simulation::Run() {
         .Increment(record.deferred);
     registry.GetCounter("sim.updates_dropped_stale", metric_labels)
         .Increment(record.dropped_stale);
-    result.rounds.push_back(record);
+    partial_.rounds.push_back(record);
+
+    // Checkpoint hooks — the state is at a clean round boundary here.
+    const bool stop_requested =
+        checkpoint_.stop != nullptr &&
+        checkpoint_.stop->load(std::memory_order_relaxed);
+    if (!checkpoint_.path.empty()) {
+      const bool periodic = checkpoint_.every > 0 &&
+                            round_ % checkpoint_.every == 0 &&
+                            round_ < config_.rounds;
+      if (stop_requested || periodic) {
+        WriteCheckpoint();
+      }
+    }
+    if (stop_requested && round_ < config_.rounds) {
+      AF_LOG(kInfo) << "sim: stop requested after round " << round_
+                    << (checkpoint_.path.empty()
+                            ? "; no checkpoint path configured"
+                            : "; checkpoint written");
+      interrupted = true;
+      break;
+    }
   }
 
+  SimulationResult result = std::move(partial_);
+  partial_ = SimulationResult{};
   result.final_model = *global_;
   result.evicted_clients = backend_->ClientCount() - backend_->AliveCount();
+  result.interrupted = interrupted;
   FinalizeResult(result);
   return result;
+}
+
+namespace {
+
+// RNG engine state round-trips exactly through the standard's text
+// representation (decimal integers, no floating point involved).
+std::string EncodeRng(const std::mt19937_64& rng) {
+  std::ostringstream out;
+  out << rng;
+  return out.str();
+}
+
+void DecodeRng(const std::string& text, std::mt19937_64& rng) {
+  std::istringstream in(text);
+  in >> rng;
+  AF_CHECK(!in.fail()) << "checkpoint: corrupt RNG state";
+}
+
+void SaveUpdate(util::serial::Writer& w, const ModelUpdate& update) {
+  w.I64(update.client_id);
+  w.U64(update.base_round);
+  w.U64(update.arrival_round);
+  w.U64(update.staleness);
+  w.U64(update.num_samples);
+  w.U8(update.is_malicious_truth ? 1 : 0);
+  w.FloatVec(update.delta);
+}
+
+ModelUpdate LoadUpdate(util::serial::Reader& r) {
+  ModelUpdate update;
+  update.client_id = static_cast<int>(r.I64());
+  update.base_round = r.U64();
+  update.arrival_round = r.U64();
+  update.staleness = r.U64();
+  update.num_samples = r.U64();
+  update.is_malicious_truth = r.U8() != 0;
+  update.delta = r.FloatVec();
+  return update;
+}
+
+void SaveRecord(util::serial::Writer& w, const RoundRecord& record) {
+  w.U64(record.round);
+  w.F64(record.sim_time);
+  w.F64(record.test_accuracy);
+  w.U64(record.buffered);
+  w.U64(record.accepted);
+  w.U64(record.rejected);
+  w.U64(record.deferred);
+  w.U64(record.dropped_stale);
+  w.F64(record.mean_staleness);
+  w.I64(record.defense_micros);
+  w.U64(record.staleness_histogram.size());
+  for (const auto& [staleness, count] : record.staleness_histogram) {
+    w.U64(staleness);
+    w.U64(count);
+  }
+  w.U64(record.confusion.true_positive);
+  w.U64(record.confusion.false_positive);
+  w.U64(record.confusion.true_negative);
+  w.U64(record.confusion.false_negative);
+}
+
+RoundRecord LoadRecord(util::serial::Reader& r) {
+  RoundRecord record;
+  record.round = r.U64();
+  record.sim_time = r.F64();
+  record.test_accuracy = r.F64();
+  record.buffered = r.U64();
+  record.accepted = r.U64();
+  record.rejected = r.U64();
+  record.deferred = r.U64();
+  record.dropped_stale = r.U64();
+  record.mean_staleness = r.F64();
+  record.defense_micros = r.I64();
+  const std::uint64_t histogram_size = r.U64();
+  for (std::uint64_t i = 0; i < histogram_size; ++i) {
+    const std::size_t staleness = r.U64();
+    record.staleness_histogram[staleness] = r.U64();
+  }
+  record.confusion.true_positive = r.U64();
+  record.confusion.false_positive = r.U64();
+  record.confusion.true_negative = r.U64();
+  record.confusion.false_negative = r.U64();
+  return record;
+}
+
+}  // namespace
+
+void Simulation::SaveState(util::serial::Writer& w) const {
+  // Identity block: LoadState refuses a checkpoint from a different setup.
+  w.U64(config_.seed);
+  w.U64(config_.rounds);
+  w.U64(backend_->ClientCount());
+  w.U64(global_->size());
+  w.Str(defense_->Name());
+
+  // Scheduler scalars.
+  w.U64(round_);
+  w.F64(now_);
+  w.U64(dropped_this_round_);
+
+  // Model pool: the global model plus every distinct base model still
+  // referenced by an in-flight job, deduplicated by identity so shared
+  // snapshots serialize once. Parameter payloads use the AFPM framing
+  // shared with nn/serialize and the net/ wire protocol.
+  std::vector<Job> jobs;
+  {
+    auto queue = events_;  // copies are cheap: jobs share base pointers
+    while (!queue.empty()) {
+      jobs.push_back(queue.top());
+      queue.pop();
+    }
+  }
+  std::vector<const std::vector<float>*> pool;
+  std::unordered_map<const void*, std::uint64_t> pool_index;
+  pool.push_back(global_.get());
+  pool_index[global_.get()] = 0;
+  for (const Job& job : jobs) {
+    if (pool_index.emplace(job.base.get(), pool.size()).second) {
+      pool.push_back(job.base.get());
+    }
+  }
+  w.U64(pool.size());
+  for (const std::vector<float>* params : pool) {
+    std::vector<std::uint8_t> block;
+    nn::AppendFlatParams(block, *params);
+    w.U64(block.size());
+    w.Raw(block);
+  }
+
+  // Event queue (ascending completion time — the queue's pop order).
+  w.U64(jobs.size());
+  for (const Job& job : jobs) {
+    w.F64(job.completion_time);
+    w.I64(job.client_id);
+    w.U64(job.dispatch_round);
+    w.U64(job.job_index);
+    w.U64(pool_index.at(job.base.get()));
+  }
+
+  // Per-client job counters (RNG stream positions for future jobs).
+  w.U64(job_counters_.size());
+  for (std::uint64_t counter : job_counters_) {
+    w.U64(counter);
+  }
+
+  // Long-lived RNG engines.
+  w.Str(EncodeRng(participation_rng_));
+  w.Str(EncodeRng(server_rng_));
+
+  // Colluder knowledge pool (oldest first).
+  const auto window = coordinator_.Window();
+  w.U64(window.size());
+  for (const auto& update : window) {
+    w.FloatVec(update);
+  }
+
+  // Deferred buffer carried into the next round.
+  w.U64(buffer_.size());
+  for (const ModelUpdate& update : buffer_) {
+    SaveUpdate(w, update);
+  }
+
+  // Round records completed so far.
+  w.U64(partial_.rounds.size());
+  for (const RoundRecord& record : partial_.rounds) {
+    SaveRecord(w, record);
+  }
+
+  // Defense cross-round state, length-framed so a defense that reads the
+  // wrong byte count fails loudly at the frame boundary.
+  util::serial::Writer defense_state;
+  defense_->SaveState(defense_state);
+  w.U64(defense_state.size());
+  w.Raw(defense_state.buffer());
+}
+
+void Simulation::LoadState(util::serial::Reader& r) {
+  // Identity block.
+  const std::uint64_t seed = r.U64();
+  const std::uint64_t rounds = r.U64();
+  const std::uint64_t client_count = r.U64();
+  const std::uint64_t param_count = r.U64();
+  const std::string defense_name = r.Str();
+  AF_CHECK_EQ(seed, config_.seed) << "checkpoint: seed mismatch";
+  AF_CHECK_EQ(rounds, config_.rounds) << "checkpoint: round-count mismatch";
+  AF_CHECK_EQ(client_count, backend_->ClientCount())
+      << "checkpoint: client-count mismatch";
+  AF_CHECK_EQ(param_count, global_->size())
+      << "checkpoint: model-size mismatch";
+  AF_CHECK_EQ(defense_name, defense_->Name())
+      << "checkpoint: defense mismatch";
+
+  round_ = r.U64();
+  now_ = r.F64();
+  dropped_this_round_ = r.U64();
+
+  // Model pool.
+  const std::uint64_t pool_size = r.U64();
+  AF_CHECK_GT(pool_size, 0u) << "checkpoint: empty model pool";
+  std::vector<std::shared_ptr<const std::vector<float>>> pool;
+  pool.reserve(pool_size);
+  for (std::uint64_t i = 0; i < pool_size; ++i) {
+    const std::uint64_t block_size = r.U64();
+    std::span<const std::uint8_t> tail = r.Tail();
+    AF_CHECK_LE(block_size, tail.size()) << "checkpoint: truncated model pool";
+    std::size_t offset = 0;
+    auto params = nn::ParseFlatParams(tail.subspan(0, block_size), &offset);
+    AF_CHECK_EQ(offset, block_size) << "checkpoint: model block trailing bytes";
+    AF_CHECK_EQ(params.size(), global_->size())
+        << "checkpoint: pooled model size mismatch";
+    pool.push_back(
+        std::make_shared<const std::vector<float>>(std::move(params)));
+    r.Skip(block_size);
+  }
+  global_ = pool[0];
+
+  // Event queue.
+  events_ = decltype(events_){};
+  const std::uint64_t num_jobs = r.U64();
+  for (std::uint64_t i = 0; i < num_jobs; ++i) {
+    Job job;
+    job.completion_time = r.F64();
+    job.client_id = static_cast<int>(r.I64());
+    job.dispatch_round = r.U64();
+    job.job_index = r.U64();
+    const std::uint64_t base_index = r.U64();
+    AF_CHECK_LT(base_index, pool.size()) << "checkpoint: bad base index";
+    job.base = pool[base_index];
+    events_.push(std::move(job));
+  }
+
+  // Job counters.
+  const std::uint64_t num_counters = r.U64();
+  AF_CHECK_EQ(num_counters, job_counters_.size())
+      << "checkpoint: job-counter count mismatch";
+  for (auto& counter : job_counters_) {
+    counter = r.U64();
+  }
+
+  DecodeRng(r.Str(), participation_rng_);
+  DecodeRng(r.Str(), server_rng_);
+
+  // Colluder knowledge pool.
+  const std::uint64_t window_size = r.U64();
+  std::vector<std::vector<float>> window;
+  window.reserve(window_size);
+  for (std::uint64_t i = 0; i < window_size; ++i) {
+    window.push_back(r.FloatVec());
+  }
+  coordinator_.RestoreWindow(std::move(window));
+
+  // Deferred buffer.
+  buffer_.clear();
+  const std::uint64_t buffer_size = r.U64();
+  buffer_.reserve(buffer_size);
+  for (std::uint64_t i = 0; i < buffer_size; ++i) {
+    buffer_.push_back(LoadUpdate(r));
+  }
+
+  // Completed round records.
+  partial_ = SimulationResult{};
+  const std::uint64_t num_records = r.U64();
+  partial_.rounds.reserve(num_records);
+  for (std::uint64_t i = 0; i < num_records; ++i) {
+    partial_.rounds.push_back(LoadRecord(r));
+  }
+  AF_CHECK_EQ(partial_.rounds.size(), round_)
+      << "checkpoint: record/round mismatch";
+
+  // Defense state.
+  defense_->Reset();
+  const std::uint64_t defense_bytes = r.U64();
+  std::span<const std::uint8_t> tail = r.Tail();
+  AF_CHECK_LE(defense_bytes, tail.size())
+      << "checkpoint: truncated defense state";
+  util::serial::Reader defense_reader(tail.subspan(0, defense_bytes));
+  defense_->LoadState(defense_reader);
+  AF_CHECK(defense_reader.AtEnd())
+      << "checkpoint: defense state has " << defense_reader.remaining()
+      << " unread bytes (Save/Load mismatch in " << defense_->Name() << ")";
+  r.Skip(defense_bytes);
+
+  resumed_ = true;
 }
 
 }  // namespace fl

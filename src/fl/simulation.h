@@ -15,8 +15,16 @@
 // Clients can disappear mid-round (a TCP client dropping its connection):
 // the backend reports their jobs as lost, the server logs the eviction,
 // stops scheduling them, and keeps aggregating from the survivors.
+//
+// Runs are resumable: the complete mid-run state (event queue, RNG stream
+// positions, deferred buffer, defense state, round records) serializes
+// through SaveState/LoadState, and fl/checkpoint.h wraps that in a
+// crash-safe on-disk format. A run checkpointed, killed, and restored
+// produces a bit-identical SimulationResult to one that ran straight
+// through.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <queue>
@@ -29,6 +37,7 @@
 #include "fl/metrics.h"
 #include "fl/types.h"
 #include "util/rng.h"
+#include "util/serial.h"
 #include "util/thread_pool.h"
 
 namespace fl {
@@ -56,21 +65,60 @@ struct SimulationConfig {
   std::size_t server_root_samples = 128;
 };
 
+// Everything a Simulation is built from, by name. Exactly one execution
+// form must be set:
+//   * `backend` — a caller-owned TrainBackend that outlives the simulation
+//     (the tcp transport uses this), with `clients` empty; or
+//   * `clients` + `pool` — the simulation owns an InprocBackend over the
+//     clients, executed on the caller-owned thread pool.
+// `malicious_ids` route their reports through `attack`; `defense` decides
+// aggregation; `server_root` may be empty unless the defense declares
+// RequiresServerReference().
+struct ExperimentSpec {
+  SimulationConfig sim;
+  nn::ModelSpec model;
+
+  // Execution (pick one form).
+  TrainBackend* backend = nullptr;
+  std::vector<std::unique_ptr<Client>> clients;
+  util::ThreadPool* pool = nullptr;
+
+  // Adversary.
+  std::vector<int> malicious_ids;
+  std::unique_ptr<attacks::Attack> attack;
+
+  // Server policy.
+  std::unique_ptr<defense::Defense> defense;
+
+  // Datasets: held-out evaluation set (required, caller-owned) and the
+  // server's simulated clean root (owned by the simulation; only needed for
+  // clean-dataset defenses).
+  const data::Dataset* test_set = nullptr;
+  data::Dataset server_root;
+};
+
+// Crash-safe checkpointing during Run() (see fl/checkpoint.h for the
+// on-disk format). With an empty path nothing is ever written; `stop` lets
+// a signal handler request a final checkpoint + graceful early return.
+struct CheckpointPolicy {
+  std::string path;       // checkpoint file; empty → checkpointing disabled
+  std::size_t every = 0;  // write every N completed rounds (0 → only on stop)
+  const std::atomic<bool>* stop = nullptr;  // graceful-stop request flag
+};
+
 class Simulation {
  public:
-  // Transport-agnostic form: `backend` executes training jobs and must
-  // outlive the simulation. Ids in `malicious_ids` route their reports
-  // through `attack`. `defense` decides aggregation. `server_root` may be
-  // empty unless the defense requires a server reference update.
+  // The one constructor: named fields instead of positional soup.
+  explicit Simulation(ExperimentSpec spec);
+
+  // Deprecated positional forms, kept as thin shims for one release.
+  [[deprecated("use fl::ExperimentSpec + fl::BuildSimulation")]]
   Simulation(SimulationConfig config, const nn::ModelSpec& spec,
              TrainBackend* backend, std::vector<int> malicious_ids,
              std::unique_ptr<attacks::Attack> attack,
              std::unique_ptr<defense::Defense> defense,
              const data::Dataset* test_set, data::Dataset server_root);
-
-  // Convenience in-process form: owns an InprocBackend over `clients`
-  // trained on `pool`. Behaviour is identical to the original
-  // single-process simulator.
+  [[deprecated("use fl::ExperimentSpec + fl::BuildSimulation")]]
   Simulation(SimulationConfig config, const nn::ModelSpec& spec,
              std::vector<std::unique_ptr<Client>> clients,
              std::vector<int> malicious_ids,
@@ -87,7 +135,23 @@ class Simulation {
     observer_ = std::move(observer);
   }
 
+  void SetCheckpointPolicy(CheckpointPolicy policy) {
+    checkpoint_ = std::move(policy);
+  }
+
   SimulationResult Run();
+
+  // Checkpoint payload: serializes/restores the complete mid-run state at a
+  // round boundary (global model, event queue, per-client job counters, RNG
+  // stream positions, deferred buffer, attacker window, defense state,
+  // per-round records). LoadState must run on a Simulation built from the
+  // same ExperimentSpec (seed, population, model, defense) — the framing in
+  // fl/checkpoint.h verifies that before any state is touched.
+  void SaveState(util::serial::Writer& w) const;
+  void LoadState(util::serial::Reader& r);
+
+  // Rounds completed so far (== number of aggregations recorded).
+  std::size_t current_round() const { return round_; }
 
   const defense::Defense& defense() const { return *defense_; }
 
@@ -115,11 +179,13 @@ class Simulation {
   // population, so the loop still terminates after evictions.
   std::size_t EffectiveGoal() const;
   std::vector<float> ServerReferenceUpdate();
+  // Writes a crash-safe checkpoint to checkpoint_.path.
+  void WriteCheckpoint() const;
 
   SimulationConfig config_;
   nn::ModelSpec spec_;  // copied: the simulation outlives caller temporaries
   std::unique_ptr<TrainBackend> owned_backend_;  // inproc convenience form
-  TrainBackend* backend_;
+  TrainBackend* backend_ = nullptr;
   std::vector<bool> malicious_;
   std::unique_ptr<attacks::Attack> attack_;
   attacks::Coordinator coordinator_;
@@ -130,12 +196,24 @@ class Simulation {
 
   util::RngFactory rngs_;
   std::mt19937_64 participation_rng_;
+  std::mt19937_64 server_rng_;  // defense RNG; advances across rounds
   std::vector<double> latencies_;
   std::vector<std::uint64_t> job_counters_;
   std::priority_queue<Job, std::vector<Job>, JobLater> events_;
   std::shared_ptr<const std::vector<float>> global_;
   std::size_t round_ = 0;
+  double now_ = 0.0;                    // simulated clock at last arrival
+  std::vector<ModelUpdate> buffer_;     // deferred leftovers between rounds
+  std::size_t dropped_this_round_ = 0;
+  SimulationResult partial_;            // round records accumulated so far
+  bool resumed_ = false;                // LoadState ran; skip initial kickoff
+  CheckpointPolicy checkpoint_;
   BufferObserver observer_;
 };
+
+// Builds a simulation from a spec. The factory form keeps call sites
+// allocation-agnostic (the engine is move-hostile: it hands out pointers to
+// internal state through the backend).
+std::unique_ptr<Simulation> BuildSimulation(ExperimentSpec spec);
 
 }  // namespace fl

@@ -40,6 +40,15 @@ void VectorMovingAverage::Add(std::span<const float> v) {
   cache_valid_ = false;
 }
 
+void VectorMovingAverage::RestoreState(std::size_t count,
+                                       std::vector<double> accumulator) {
+  AF_CHECK((count == 0) == accumulator.empty())
+      << "moving-average restore: count/accumulator mismatch";
+  count_ = count;
+  acc_ = std::move(accumulator);
+  cache_valid_ = false;
+}
+
 std::span<const float> VectorMovingAverage::mean() const {
   AF_CHECK_GT(count_, 0u) << "mean() before any observation";
   if (!cache_valid_) {

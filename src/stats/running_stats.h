@@ -40,6 +40,12 @@ class VectorMovingAverage {
   // The current estimate; must not be called before the first Add.
   std::span<const float> mean() const;
 
+  // Checkpoint access: the exact double-precision accumulator. Restoring
+  // (count, accumulator) reproduces the estimator bit-identically — the
+  // float view in mean() is derived, so only these two fields are state.
+  const std::vector<double>& accumulator() const { return acc_; }
+  void RestoreState(std::size_t count, std::vector<double> accumulator);
+
  private:
   std::size_t count_ = 0;
   std::vector<double> acc_;     // running mean kept in double

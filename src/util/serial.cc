@@ -1,0 +1,199 @@
+#include "util/serial.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/check.h"
+#include "util/fd.h"
+
+namespace util::serial {
+
+namespace {
+
+template <typename T>
+void AppendLe(std::vector<std::uint8_t>& out, T v) {
+  static_assert(std::is_integral_v<T> && std::is_unsigned_v<T>);
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+}  // namespace
+
+void Writer::U8(std::uint8_t v) { buffer_.push_back(v); }
+void Writer::U32(std::uint32_t v) { AppendLe(buffer_, v); }
+void Writer::U64(std::uint64_t v) { AppendLe(buffer_, v); }
+void Writer::I64(std::int64_t v) { AppendLe(buffer_, static_cast<std::uint64_t>(v)); }
+
+void Writer::F64(double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  AppendLe(buffer_, bits);
+}
+
+void Writer::Str(const std::string& s) {
+  U64(s.size());
+  const auto* data = reinterpret_cast<const std::uint8_t*>(s.data());
+  buffer_.insert(buffer_.end(), data, data + s.size());
+}
+
+void Writer::FloatVec(std::span<const float> v) {
+  U64(v.size());
+  const auto* data = reinterpret_cast<const std::uint8_t*>(v.data());
+  buffer_.insert(buffer_.end(), data, data + v.size() * sizeof(float));
+}
+
+void Writer::DoubleVec(std::span<const double> v) {
+  U64(v.size());
+  const auto* data = reinterpret_cast<const std::uint8_t*>(v.data());
+  buffer_.insert(buffer_.end(), data, data + v.size() * sizeof(double));
+}
+
+void Writer::Raw(std::span<const std::uint8_t> bytes) {
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+}
+
+void Reader::Require(std::size_t n) const {
+  AF_CHECK_LE(n, bytes_.size() - offset_)
+      << "serial: truncated input (need " << n << " bytes at offset "
+      << offset_ << " of " << bytes_.size() << ")";
+}
+
+std::uint8_t Reader::U8() {
+  Require(1);
+  return bytes_[offset_++];
+}
+
+std::uint32_t Reader::U32() {
+  Require(4);
+  std::uint32_t v = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(bytes_[offset_ + i]) << (8 * i);
+  }
+  offset_ += 4;
+  return v;
+}
+
+std::uint64_t Reader::U64() {
+  Require(8);
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(bytes_[offset_ + i]) << (8 * i);
+  }
+  offset_ += 8;
+  return v;
+}
+
+std::int64_t Reader::I64() { return static_cast<std::int64_t>(U64()); }
+
+double Reader::F64() {
+  const std::uint64_t bits = U64();
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string Reader::Str() {
+  const std::uint64_t n = U64();
+  Require(n);
+  std::string s(reinterpret_cast<const char*>(bytes_.data() + offset_), n);
+  offset_ += n;
+  return s;
+}
+
+std::vector<float> Reader::FloatVec() {
+  const std::uint64_t n = U64();
+  Require(n * sizeof(float));
+  std::vector<float> v(n);
+  if (n > 0) {
+    std::memcpy(v.data(), bytes_.data() + offset_, n * sizeof(float));
+  }
+  offset_ += n * sizeof(float);
+  return v;
+}
+
+std::vector<double> Reader::DoubleVec() {
+  const std::uint64_t n = U64();
+  Require(n * sizeof(double));
+  std::vector<double> v(n);
+  if (n > 0) {
+    std::memcpy(v.data(), bytes_.data() + offset_, n * sizeof(double));
+  }
+  offset_ += n * sizeof(double);
+  return v;
+}
+
+void Reader::Skip(std::size_t n) {
+  Require(n);
+  offset_ += n;
+}
+
+std::vector<std::uint8_t> ReadFileBytes(const std::string& path) {
+  UniqueFd fd(::open(path.c_str(), O_RDONLY));
+  AF_CHECK(fd.valid()) << "serial: cannot open " << path << ": "
+                       << ErrnoMessage(errno);
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t chunk[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd.get(), chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      AF_CHECK(false) << "serial: read " << path << ": " << ErrnoMessage(errno);
+    }
+    if (n == 0) {
+      break;
+    }
+    bytes.insert(bytes.end(), chunk, chunk + n);
+  }
+  return bytes;
+}
+
+namespace {
+
+void WriteAll(int fd, const std::uint8_t* data, std::size_t size,
+              const std::string& path) {
+  std::size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      AF_CHECK(false) << "serial: write " << path << ": "
+                      << ErrnoMessage(errno);
+    }
+    written += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+void AtomicWriteFile(const std::string& path,
+                     std::span<const std::uint8_t> bytes) {
+  const std::string tmp = path + ".tmp";
+  {
+    UniqueFd fd(::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644));
+    AF_CHECK(fd.valid()) << "serial: cannot create " << tmp << ": "
+                         << ErrnoMessage(errno);
+    WriteAll(fd.get(), bytes.data(), bytes.size(), tmp);
+    AF_CHECK_EQ(::fsync(fd.get()), 0)
+        << "serial: fsync " << tmp << ": " << ErrnoMessage(errno);
+  }
+  AF_CHECK_EQ(::rename(tmp.c_str(), path.c_str()), 0)
+      << "serial: rename " << tmp << " -> " << path << ": "
+      << ErrnoMessage(errno);
+  // Persist the rename itself: fsync the containing directory.
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  UniqueFd dirfd(::open(dir.empty() ? "/" : dir.c_str(), O_RDONLY | O_DIRECTORY));
+  if (dirfd.valid()) {
+    ::fsync(dirfd.get());  // best effort; some filesystems reject dir fsync
+  }
+}
+
+}  // namespace util::serial

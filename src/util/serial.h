@@ -1,0 +1,84 @@
+// Little-endian binary serialization primitives and crash-safe file I/O.
+//
+// The checkpoint subsystem (fl/checkpoint.h) needs a byte format that every
+// layer can contribute to without owning the container: defenses append
+// their cross-round state through Defense::SaveState(Writer&), the
+// simulator frames the whole thing, and the file hits disk atomically
+// (temp file + fsync + rename) so a crash mid-write never destroys the
+// previous checkpoint. Floating-point values round-trip bit-exactly
+// (doubles travel as their IEEE-754 bit pattern, never through text).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace util::serial {
+
+// Append-only little-endian byte sink.
+class Writer {
+ public:
+  void U8(std::uint8_t v);
+  void U32(std::uint32_t v);
+  void U64(std::uint64_t v);
+  void I64(std::int64_t v);
+  // IEEE-754 bit pattern; bit-exact round trip, NaN payloads included.
+  void F64(double v);
+  // u64 length prefix + raw bytes.
+  void Str(const std::string& s);
+  // u64 count prefix + raw float32 payload.
+  void FloatVec(std::span<const float> v);
+  // u64 count prefix + raw float64 payload.
+  void DoubleVec(std::span<const double> v);
+  // Raw bytes, no framing — for embedding externally-framed blocks (AFPM).
+  void Raw(std::span<const std::uint8_t> bytes);
+
+  const std::vector<std::uint8_t>& buffer() const { return buffer_; }
+  std::vector<std::uint8_t> Take() { return std::move(buffer_); }
+  std::size_t size() const { return buffer_.size(); }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+};
+
+// Bounds-checked reader over a byte span; throws util::CheckError on
+// truncation or on length prefixes exceeding the bytes actually present.
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  std::uint8_t U8();
+  std::uint32_t U32();
+  std::uint64_t U64();
+  std::int64_t I64();
+  double F64();
+  std::string Str();
+  std::vector<float> FloatVec();
+  std::vector<double> DoubleVec();
+
+  std::size_t offset() const { return offset_; }
+  std::size_t remaining() const { return bytes_.size() - offset_; }
+  bool AtEnd() const { return offset_ == bytes_.size(); }
+  // The unread tail (for externally-framed blocks); Skip advances past it.
+  std::span<const std::uint8_t> Tail() const { return bytes_.subspan(offset_); }
+  void Skip(std::size_t n);
+
+ private:
+  void Require(std::size_t n) const;
+
+  std::span<const std::uint8_t> bytes_;
+  std::size_t offset_ = 0;
+};
+
+// Reads a whole file; throws util::CheckError when it cannot be opened.
+std::vector<std::uint8_t> ReadFileBytes(const std::string& path);
+
+// Crash-safe whole-file write: writes `<path>.tmp`, fsyncs it, atomically
+// renames over `path`, then fsyncs the parent directory. A reader never
+// observes a partial file: either the old content or the new one.
+void AtomicWriteFile(const std::string& path,
+                     std::span<const std::uint8_t> bytes);
+
+}  // namespace util::serial

@@ -1,0 +1,94 @@
+#include "defense/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/async_filter.h"
+#include "util/check.h"
+
+namespace defense {
+namespace {
+
+TEST(DefenseRegistryTest, BuildsEveryListedName) {
+  core::EnsureAsyncFilterRegistered();
+  const auto names = ListNames();
+  EXPECT_GE(names.size(), 12u);
+  for (const auto& name : names) {
+    auto built = Make(name);
+    ASSERT_NE(built, nullptr) << name;
+    EXPECT_FALSE(built->Name().empty()) << name;
+  }
+}
+
+TEST(DefenseRegistryTest, ListIsSortedAndContainsTheGrid) {
+  core::EnsureAsyncFilterRegistered();
+  const auto names = ListNames();
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  for (const char* expected :
+       {"fedbuff", "fldetector", "asyncfilter", "krum", "multikrum",
+        "trimmedmean", "median", "zeno", "aflguard", "nnm", "fltrust",
+        "bucketing"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+  }
+}
+
+TEST(DefenseRegistryTest, NamesAreCanonicalized) {
+  // Separators and case are ignored: these all hit the same entries.
+  EXPECT_EQ(Make("Trimmed-Mean")->Name(), Make("trimmed_mean")->Name());
+  EXPECT_EQ(Make("Zeno++")->Name(), Make("zeno")->Name());
+  EXPECT_EQ(Make("FedBuff")->Name(), Make("nodefense")->Name());
+}
+
+TEST(DefenseRegistryTest, AsyncFilterVariantsSelfRegister) {
+  core::EnsureAsyncFilterRegistered();
+  EXPECT_EQ(Make("asyncfilter")->Name(), "AsyncFilter");
+  EXPECT_EQ(Make("asyncfilter3means")->Name(), "AsyncFilter");  // alias
+  EXPECT_EQ(Make("asyncfilter2means")->Name(), "AsyncFilter-2means");
+  EXPECT_NE(Make("asyncfilterdefermid"), nullptr);
+  EXPECT_NE(Make("asyncfilterrejectmid"), nullptr);
+}
+
+TEST(DefenseRegistryTest, UnknownNameThrowsAndListsKnownNames) {
+  EXPECT_FALSE(Registry::Global().Has("definitely-not-a-defense"));
+  try {
+    Make("definitely-not-a-defense");
+    FAIL() << "expected CheckError";
+  } catch (const util::CheckError& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("fedbuff"), std::string::npos) << message;
+  }
+}
+
+TEST(DefenseRegistryTest, ParamsReachTheFactory) {
+  DefenseParams params;
+  params.byzantine_fraction = 0.4;
+  auto defense = Make("krum", params);
+  ASSERT_NE(defense, nullptr);
+  // Behavioural knob plumbed through; construction succeeding with a
+  // non-default fraction is the contract here.
+  EXPECT_FALSE(defense->Name().empty());
+}
+
+TEST(DefenseRegistryTest, ReRegisteringReplaces) {
+  struct Probe : NoDefense {
+    std::string Name() const override { return "probe"; }
+  };
+  Registry::Global().Register(
+      "registry-test-probe", {"registry-test-alias"},
+      [](const DefenseParams&) { return std::make_unique<Probe>(); });
+  EXPECT_EQ(Make("registry-test-probe")->Name(), "probe");
+  EXPECT_EQ(Make("registry-test-alias")->Name(), "probe");
+
+  struct Probe2 : NoDefense {
+    std::string Name() const override { return "probe2"; }
+  };
+  Registry::Global().Register(
+      "registry-test-probe", {},
+      [](const DefenseParams&) { return std::make_unique<Probe2>(); });
+  EXPECT_EQ(Make("registry-test-probe")->Name(), "probe2");
+}
+
+}  // namespace
+}  // namespace defense

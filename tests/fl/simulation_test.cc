@@ -59,6 +59,26 @@ class SimulationTest : public ::testing::Test {
     return config;
   }
 
+  // Consumes parts.clients; NoDefense unless the caller overrides it.
+  std::unique_ptr<Simulation> BuildSim(
+      Parts& parts, SimulationConfig config, util::ThreadPool* pool,
+      std::vector<int> malicious = {},
+      attacks::AttackKind attack = attacks::AttackKind::kNone) {
+    attacks::AttackParams params;
+    params.total_clients = parts.clients.size();
+    params.malicious_clients = std::max<std::size_t>(malicious.size(), 1);
+    ExperimentSpec spec;
+    spec.sim = config;
+    spec.model = parts.spec;
+    spec.clients = std::move(parts.clients);
+    spec.pool = pool;
+    spec.malicious_ids = std::move(malicious);
+    spec.attack = attacks::MakeAttack(attack, params);
+    spec.defense = std::make_unique<defense::NoDefense>();
+    spec.test_set = &parts.test;
+    return BuildSimulation(std::move(spec));
+  }
+
   SimulationResult RunOnce(std::uint64_t seed,
                            std::vector<int> malicious = {},
                            attacks::AttackKind attack = attacks::AttackKind::kNone,
@@ -67,14 +87,7 @@ class SimulationTest : public ::testing::Test {
     SimulationConfig config = SmallConfig(seed);
     config.rounds = rounds;
     util::ThreadPool pool(2);
-    attacks::AttackParams params;
-    params.total_clients = 12;
-    params.malicious_clients = std::max<std::size_t>(malicious.size(), 1);
-    Simulation sim(config, parts.spec, std::move(parts.clients), malicious,
-                   attacks::MakeAttack(attack, params),
-                   std::make_unique<defense::NoDefense>(), &parts.test,
-                   data::Dataset{}, &pool);
-    return sim.Run();
+    return BuildSim(parts, config, &pool, std::move(malicious), attack)->Run();
   }
 };
 
@@ -140,18 +153,14 @@ TEST_F(SimulationTest, StalenessNeverExceedsLimit) {
   config.staleness_limit = 2;
   config.rounds = 8;
   util::ThreadPool pool(2);
-  attacks::AttackParams params;
   std::size_t max_staleness_seen = 0;
-  Simulation sim(config, parts.spec, std::move(parts.clients), {},
-                 attacks::MakeAttack(attacks::AttackKind::kNone, params),
-                 std::make_unique<defense::NoDefense>(), &parts.test,
-                 data::Dataset{}, &pool);
-  sim.SetBufferObserver([&](std::size_t, const std::vector<ModelUpdate>& buf) {
+  auto sim = BuildSim(parts, config, &pool);
+  sim->SetBufferObserver([&](std::size_t, const std::vector<ModelUpdate>& buf) {
     for (const auto& u : buf) {
       max_staleness_seen = std::max(max_staleness_seen, u.staleness);
     }
   });
-  sim.Run();
+  sim->Run();
   EXPECT_LE(max_staleness_seen, 2u);
 }
 
@@ -159,15 +168,11 @@ TEST_F(SimulationTest, ObserverSeesEveryAggregation) {
   Parts& parts = MakeParts(12, 10);
   SimulationConfig config = SmallConfig(10);
   util::ThreadPool pool(2);
-  attacks::AttackParams params;
-  Simulation sim(config, parts.spec, std::move(parts.clients), {},
-                 attacks::MakeAttack(attacks::AttackKind::kNone, params),
-                 std::make_unique<defense::NoDefense>(), &parts.test,
-                 data::Dataset{}, &pool);
+  auto sim = BuildSim(parts, config, &pool);
   std::size_t calls = 0;
-  sim.SetBufferObserver(
+  sim->SetBufferObserver(
       [&](std::size_t, const std::vector<ModelUpdate>&) { ++calls; });
-  sim.Run();
+  sim->Run();
   EXPECT_EQ(calls, config.rounds);
 }
 
@@ -177,18 +182,14 @@ TEST_F(SimulationTest, ZipfSpeedsProduceStaleness) {
   config.rounds = 10;
   config.zipf_s = 1.2;
   util::ThreadPool pool(2);
-  attacks::AttackParams params;
-  Simulation sim(config, parts.spec, std::move(parts.clients), {},
-                 attacks::MakeAttack(attacks::AttackKind::kNone, params),
-                 std::make_unique<defense::NoDefense>(), &parts.test,
-                 data::Dataset{}, &pool);
+  auto sim = BuildSim(parts, config, &pool);
   bool saw_stale_update = false;
-  sim.SetBufferObserver([&](std::size_t, const std::vector<ModelUpdate>& buf) {
+  sim->SetBufferObserver([&](std::size_t, const std::vector<ModelUpdate>& buf) {
     for (const auto& u : buf) {
       saw_stale_update |= (u.staleness > 0);
     }
   });
-  sim.Run();
+  sim->Run();
   EXPECT_TRUE(saw_stale_update);
 }
 
@@ -197,20 +198,11 @@ TEST_F(SimulationTest, ServerLearningRateScalesTheStep) {
   SimulationConfig config = SmallConfig(12);
   config.rounds = 1;
   util::ThreadPool pool(2);
-  attacks::AttackParams params;
-  Simulation sim_full(config, parts.spec, std::move(parts.clients), {},
-                      attacks::MakeAttack(attacks::AttackKind::kNone, params),
-                      std::make_unique<defense::NoDefense>(), &parts.test,
-                      data::Dataset{}, &pool);
-  SimulationResult full = sim_full.Run();
+  SimulationResult full = BuildSim(parts, config, &pool)->Run();
 
   Parts& parts2 = MakeParts(12, 12);
   config.server_learning_rate = 0.5;
-  Simulation sim_half(config, parts2.spec, std::move(parts2.clients), {},
-                      attacks::MakeAttack(attacks::AttackKind::kNone, params),
-                      std::make_unique<defense::NoDefense>(), &parts2.test,
-                      data::Dataset{}, &pool);
-  SimulationResult half = sim_half.Run();
+  SimulationResult half = BuildSim(parts2, config, &pool)->Run();
 
   // Same seed → same aggregate; the applied step is exactly halved.
   auto init = parts2.spec.factory(config.seed)->GetFlatParams();
@@ -227,20 +219,11 @@ TEST_F(SimulationTest, PartialParticipationSlowsTheClock) {
   SimulationConfig config = SmallConfig(13);
   config.rounds = 4;
   util::ThreadPool pool(2);
-  attacks::AttackParams params;
-  Simulation sim(config, parts.spec, std::move(parts.clients), {},
-                 attacks::MakeAttack(attacks::AttackKind::kNone, params),
-                 std::make_unique<defense::NoDefense>(), &parts.test,
-                 data::Dataset{}, &pool);
-  SimulationResult always = sim.Run();
+  SimulationResult always = BuildSim(parts, config, &pool)->Run();
 
   Parts& parts2 = MakeParts(12, 13);
   config.participation = 0.5;
-  Simulation sim_half(config, parts2.spec, std::move(parts2.clients), {},
-                      attacks::MakeAttack(attacks::AttackKind::kNone, params),
-                      std::make_unique<defense::NoDefense>(), &parts2.test,
-                      data::Dataset{}, &pool);
-  SimulationResult sometimes = sim_half.Run();
+  SimulationResult sometimes = BuildSim(parts2, config, &pool)->Run();
 
   // Resting clients make every aggregation arrive later in simulated time.
   EXPECT_GT(sometimes.rounds.back().sim_time, always.rounds.back().sim_time);
@@ -251,6 +234,30 @@ TEST_F(SimulationTest, DefenseOverheadIsRecorded) {
   for (const auto& record : result.rounds) {
     EXPECT_GE(record.defense_micros, 0);
   }
+}
+
+// The deprecated positional constructor still works (shim over the spec
+// form); its call sites are expected to migrate to fl::ExperimentSpec.
+TEST_F(SimulationTest, DeprecatedPositionalConstructorStillRuns) {
+  Parts& parts = MakeParts(12, 15);
+  SimulationConfig config = SmallConfig(15);
+  config.rounds = 2;
+  util::ThreadPool pool(2);
+  attacks::AttackParams params;
+  params.total_clients = 12;
+#if defined(__GNUC__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+  Simulation sim(config, parts.spec, std::move(parts.clients), {},
+                 attacks::MakeAttack(attacks::AttackKind::kNone, params),
+                 std::make_unique<defense::NoDefense>(), &parts.test,
+                 data::Dataset{}, &pool);
+#if defined(__GNUC__)
+#pragma GCC diagnostic pop
+#endif
+  SimulationResult result = sim.Run();
+  EXPECT_EQ(result.rounds.size(), 2u);
 }
 
 }  // namespace

@@ -1,0 +1,118 @@
+#include "util/serial.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "util/check.h"
+
+namespace util::serial {
+namespace {
+
+TEST(SerialTest, ScalarsRoundTrip) {
+  Writer w;
+  w.U8(0xAB);
+  w.U32(0xDEADBEEFu);
+  w.U64(0x0123456789ABCDEFull);
+  w.I64(-42);
+  w.F64(3.14159);
+  Reader r(w.buffer());
+  EXPECT_EQ(r.U8(), 0xAB);
+  EXPECT_EQ(r.U32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.U64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.I64(), -42);
+  EXPECT_DOUBLE_EQ(r.F64(), 3.14159);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerialTest, DoublesRoundTripBitExactly) {
+  const double values[] = {0.0, -0.0, 1e-308, -1e308,
+                           std::numeric_limits<double>::infinity(),
+                           std::numeric_limits<double>::quiet_NaN(),
+                           0.1 + 0.2};
+  Writer w;
+  for (double v : values) {
+    w.F64(v);
+  }
+  Reader r(w.buffer());
+  for (double v : values) {
+    const double got = r.F64();
+    if (std::isnan(v)) {
+      EXPECT_TRUE(std::isnan(got));
+    } else {
+      EXPECT_EQ(got, v);
+      // Distinguishes -0.0 from 0.0.
+      EXPECT_EQ(std::signbit(got), std::signbit(v));
+    }
+  }
+}
+
+TEST(SerialTest, StringsAndVectorsRoundTrip) {
+  Writer w;
+  w.Str("hello\0world");
+  w.Str("");
+  w.FloatVec(std::vector<float>{1.5f, -2.25f, 0.0f});
+  w.DoubleVec(std::vector<double>{1e-9, 7.0});
+  Reader r(w.buffer());
+  EXPECT_EQ(r.Str(), "hello");
+  EXPECT_EQ(r.Str(), "");
+  EXPECT_EQ(r.FloatVec(), (std::vector<float>{1.5f, -2.25f, 0.0f}));
+  EXPECT_EQ(r.DoubleVec(), (std::vector<double>{1e-9, 7.0}));
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerialTest, TruncatedReadThrows) {
+  Writer w;
+  w.U32(7);
+  Reader r(w.buffer());
+  EXPECT_THROW(r.U64(), util::CheckError);
+}
+
+TEST(SerialTest, CorruptLengthPrefixThrowsInsteadOfAllocating) {
+  Writer w;
+  w.U64(std::numeric_limits<std::uint64_t>::max());  // absurd element count
+  Reader r(w.buffer());
+  EXPECT_THROW(r.FloatVec(), util::CheckError);
+}
+
+TEST(SerialTest, RawAndTailAndSkip) {
+  Writer inner;
+  inner.U64(99);
+  Writer w;
+  w.U64(inner.size());
+  w.Raw(inner.buffer());
+  w.U8(7);
+  Reader r(w.buffer());
+  const std::uint64_t framed = r.U64();
+  Reader sub(r.Tail().subspan(0, framed));
+  EXPECT_EQ(sub.U64(), 99u);
+  r.Skip(framed);
+  EXPECT_EQ(r.U8(), 7);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerialTest, AtomicWriteFileRoundTripsAndReplaces) {
+  const std::string path = ::testing::TempDir() + "serial_atomic_test.bin";
+  Writer first;
+  first.Str("generation-1");
+  AtomicWriteFile(path, first.buffer());
+  Writer second;
+  second.Str("generation-2 rather longer than the first");
+  AtomicWriteFile(path, second.buffer());
+
+  const auto bytes = ReadFileBytes(path);
+  Reader r(bytes);
+  EXPECT_EQ(r.Str(), "generation-2 rather longer than the first");
+  EXPECT_TRUE(r.AtEnd());
+  std::remove(path.c_str());
+}
+
+TEST(SerialTest, ReadMissingFileThrows) {
+  EXPECT_THROW(ReadFileBytes("/nonexistent/definitely/missing.bin"),
+               util::CheckError);
+}
+
+}  // namespace
+}  // namespace util::serial

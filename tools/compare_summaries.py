@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Diff two run-summary JSON files, ignoring wall-clock timing.
+
+Used by the CI kill-and-resume job: a checkpointed, killed, and resumed run
+must produce a summary identical to an uninterrupted reference except for
+fields measuring host wall-clock time (which can never be bit-identical).
+
+Exit status: 0 when equivalent, 1 with a field-by-field diff otherwise.
+"""
+
+import json
+import sys
+
+# Wall-clock measurements: legitimately different between runs.
+TIMING_FIELDS = ("wall_seconds", "defense_latency")
+
+
+def strip_timing(summary):
+    return {k: v for k, v in summary.items() if k not in TIMING_FIELDS}
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(f"usage: {argv[0]} reference.json candidate.json", file=sys.stderr)
+        return 2
+    with open(argv[1]) as f:
+        reference = strip_timing(json.load(f))
+    with open(argv[2]) as f:
+        candidate = strip_timing(json.load(f))
+    if reference == candidate:
+        print("summaries match (timing fields excluded)")
+        return 0
+    print("summaries differ:", file=sys.stderr)
+    for key in sorted(set(reference) | set(candidate)):
+        ref_value = reference.get(key, "<missing>")
+        cand_value = candidate.get(key, "<missing>")
+        if ref_value != cand_value:
+            print(f"  {key}: {ref_value!r} != {cand_value!r}", file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
