@@ -23,6 +23,11 @@
 //                     per-frame fault probabilities on client uplinks
 //   --fault-delay-ms  mean injected delay in milliseconds
 //   --fault-kill      fraction of clients whose connection dies mid-run
+//   --compress        identity | fp16 | int8 | topk-delta   [none]
+//                     update-compression codec; over tcp it is negotiated in
+//                     the handshake, inproc mirrors the same lossy round
+//                     trip so both transports stay bit-identical
+//   --list-codecs     print every registered codec name and exit
 //
 // Observability (see docs/OBSERVABILITY.md):
 //   --jsonl FILE       per-round telemetry as JSON lines
@@ -48,6 +53,7 @@
 #include <cstdio>
 #include <string>
 
+#include "compress/codec.h"
 #include "defense/registry.h"
 #include "fl/experiment.h"
 #include "fl/telemetry.h"
@@ -96,10 +102,16 @@ int main(int argc, char** argv) {
         "jsonl", "trace-out", "metrics-out", "log-level", "transport", "port",
         "fault-drop", "fault-delay", "fault-duplicate", "fault-truncate",
         "fault-delay-ms", "fault-kill", "checkpoint", "checkpoint-every",
-        "resume", "summary-json", "list-defenses",
+        "resume", "summary-json", "list-defenses", "compress", "list-codecs",
     });
     if (flags.GetBool("list-defenses", false)) {
       for (const std::string& name : defense::ListNames()) {
+        std::printf("%s\n", name.c_str());
+      }
+      return 0;
+    }
+    if (flags.GetBool("list-codecs", false)) {
+      for (const std::string& name : compress::ListNames()) {
         std::printf("%s\n", name.c_str());
       }
       return 0;
@@ -145,6 +157,13 @@ int main(int argc, char** argv) {
     config.defense_factory = [defense_name] {
       return defense::Make(defense_name);
     };
+    // --compress resolves through the codec registry the same way; unknown
+    // names fail fast with the full list.
+    config.compress = flags.GetString("compress", "");
+    AF_CHECK(config.compress.empty() ||
+             compress::Registry::Global().Has(config.compress))
+        << "unknown --compress: " << config.compress
+        << " (try --list-codecs)";
 
     if (flags.Has("checkpoint")) {
       config.checkpoint_path = flags.GetString("checkpoint", "");
@@ -176,6 +195,9 @@ int main(int argc, char** argv) {
                 config.num_clients, config.num_malicious, config.sim.rounds,
                 static_cast<unsigned long long>(seed),
                 fl::TransportKindName(config.transport));
+    if (!config.compress.empty()) {
+      std::printf("compress=%s\n", config.compress.c_str());
+    }
 
     fl::SimulationResult result = fl::RunExperiment(config);
     if (result.interrupted) {

@@ -25,6 +25,8 @@
 //   --defenses LIST      comma-separated defense names        [fedbuff,asyncfilter]
 //   --seeds LIST         comma-separated integer seeds        [1,2]
 //   --rounds, --clients, --malicious, --buffer, --threads     usual meanings
+//   --compress CODEC     update-compression codec applied to every cell
+//                        (identity | fp16 | int8 | topk-delta)  [none]
 //   --checkpoint-every N checkpoint cadence within a cell     [5]
 //   --quiet              suppress per-cell round output
 #include <atomic>
@@ -37,6 +39,7 @@
 #include <string>
 #include <vector>
 
+#include "compress/codec.h"
 #include "defense/registry.h"
 #include "fl/checkpoint.h"
 #include "fl/experiment.h"
@@ -119,7 +122,7 @@ int main(int argc, char** argv) {
     flags.RejectUnknown({
         "out", "profiles", "attacks", "defenses", "seeds", "rounds",
         "clients", "malicious", "buffer", "threads", "checkpoint-every",
-        "quiet",
+        "quiet", "compress",
     });
     const std::filesystem::path out_dir =
         flags.GetString("out", "sweep_out");
@@ -137,6 +140,10 @@ int main(int argc, char** argv) {
       AF_CHECK(defense::Registry::Global().Has(name))
           << "unknown defense in --defenses: " << name;
     }
+    const std::string compress_name = flags.GetString("compress", "");
+    AF_CHECK(compress_name.empty() ||
+             compress::Registry::Global().Has(compress_name))
+        << "unknown --compress: " << compress_name;
 
     std::vector<Cell> grid;
     for (const auto& profile : profiles) {
@@ -187,6 +194,7 @@ int main(int argc, char** argv) {
           static_cast<std::size_t>(flags.GetInt("rounds", 20));
       config.threads = static_cast<std::size_t>(flags.GetInt("threads", 0));
       config.attack = attacks::ParseAttackKind(cell.attack);
+      config.compress = compress_name;
       const std::string defense_name = cell.defense;
       config.defense_factory = [defense_name] {
         return defense::Make(defense_name);

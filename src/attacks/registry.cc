@@ -1,55 +1,40 @@
 #include "attacks/registry.h"
 
-#include <algorithm>
-#include <cctype>
-
 #include "attacks/adaptive.h"
 #include "attacks/gd.h"
 #include "attacks/lie.h"
 #include "attacks/min_opt.h"
 #include "util/check.h"
+#include "util/registry.h"
 
 namespace attacks {
 namespace {
 
-std::string Canonical(const std::string& name) {
-  std::string canon;
-  for (char c : name) {
-    if (c == '-' || c == '_' || c == ' ') {
-      continue;
-    }
-    canon.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
-  }
-  return canon;
+// Name resolution shares the canonicalization/alias mechanics with the
+// defense and codec registries (util::NamedRegistry); only the value type
+// — the grid enum — is attack-specific.
+util::NamedRegistry<AttackKind>& NameTable() {
+  static auto* table = [] {
+    auto* t = new util::NamedRegistry<AttackKind>("attack");
+    t->Register("none", {"noattack"}, AttackKind::kNone);
+    t->Register("gd", {"gradientdeviation"}, AttackKind::kGd);
+    t->Register("lie", {"littleisenough"}, AttackKind::kLie);
+    t->Register("minmax", {}, AttackKind::kMinMax);
+    t->Register("minsum", {}, AttackKind::kMinSum);
+    t->Register("adaptive", {}, AttackKind::kAdaptive);
+    t->Register("labelflip", {"dataflip"}, AttackKind::kLabelFlip);
+    return t;
+  }();
+  return *table;
 }
 
 }  // namespace
 
 AttackKind ParseAttackKind(const std::string& name) {
-  const std::string canon = Canonical(name);
-  if (canon == "none" || canon == "noattack" || canon.empty()) {
-    return AttackKind::kNone;
+  if (util::CanonicalName(name).empty()) {
+    return AttackKind::kNone;  // historical: empty spelling means no attack
   }
-  if (canon == "gd" || canon == "gradientdeviation") {
-    return AttackKind::kGd;
-  }
-  if (canon == "lie" || canon == "littleisenough") {
-    return AttackKind::kLie;
-  }
-  if (canon == "minmax") {
-    return AttackKind::kMinMax;
-  }
-  if (canon == "minsum") {
-    return AttackKind::kMinSum;
-  }
-  if (canon == "adaptive") {
-    return AttackKind::kAdaptive;
-  }
-  if (canon == "labelflip" || canon == "dataflip") {
-    return AttackKind::kLabelFlip;
-  }
-  AF_CHECK(false) << "unknown attack name: " << name;
-  return AttackKind::kNone;
+  return NameTable().Find(name);
 }
 
 const char* AttackKindName(AttackKind kind) {

@@ -1,10 +1,5 @@
 #include "defense/registry.h"
 
-#include <algorithm>
-#include <cctype>
-#include <map>
-#include <mutex>
-
 #include "defense/aflguard.h"
 #include "defense/bucketing.h"
 #include "defense/fldetector.h"
@@ -14,36 +9,15 @@
 #include "defense/trimmed_mean.h"
 #include "defense/zeno.h"
 #include "util/check.h"
+#include "util/registry.h"
 
 namespace defense {
 namespace {
 
-std::string Canonical(const std::string& name) {
-  std::string canon;
-  for (char c : name) {
-    if (c == '-' || c == '_' || c == ' ' || c == '+') {
-      continue;
-    }
-    canon.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
-  }
-  return canon;
-}
-
-struct Entry {
-  std::string display_name;  // registration-time spelling
-  DefenseFactory factory;
-};
-
-struct Table {
-  mutable std::mutex mu;
-  // canonical key → entry; aliases map to the same factory but are flagged
-  // so ListNames() only reports canonical spellings.
-  std::map<std::string, Entry> entries;
-  std::map<std::string, std::string> aliases;  // canonical alias → canonical key
-};
-
-Table& GlobalTable() {
-  static Table* table = new Table();
+// The mechanics (canonicalization, aliases, unknown-name errors) live in
+// util::NamedRegistry; this table only adds the defense-specific value type.
+util::NamedRegistry<DefenseFactory>& GlobalTable() {
+  static auto* table = new util::NamedRegistry<DefenseFactory>("defense");
   return *table;
 }
 
@@ -110,41 +84,12 @@ void Registry::Register(const std::string& name,
                         std::vector<std::string> aliases,
                         DefenseFactory factory) {
   AF_CHECK(factory != nullptr) << "registry: null factory for " << name;
-  const std::string key = Canonical(name);
-  AF_CHECK(!key.empty()) << "registry: empty defense name";
-  Table& table = GlobalTable();
-  std::lock_guard<std::mutex> lock(table.mu);
-  table.entries[key] = Entry{name, std::move(factory)};
-  for (const std::string& alias : aliases) {
-    table.aliases[Canonical(alias)] = key;
-  }
+  GlobalTable().Register(name, std::move(aliases), std::move(factory));
 }
 
 std::unique_ptr<Defense> Registry::Make(const std::string& name,
                                         const DefenseParams& params) const {
-  Table& table = GlobalTable();
-  DefenseFactory factory;
-  {
-    std::lock_guard<std::mutex> lock(table.mu);
-    std::string key = Canonical(name);
-    auto alias = table.aliases.find(key);
-    if (alias != table.aliases.end()) {
-      key = alias->second;
-    }
-    auto it = table.entries.find(key);
-    if (it == table.entries.end()) {
-      std::string known;
-      for (const auto& [k, entry] : table.entries) {
-        if (!known.empty()) {
-          known += ", ";
-        }
-        known += k;
-      }
-      AF_CHECK(false) << "unknown defense name: " << name
-                      << " (known: " << known << ")";
-    }
-    factory = it->second.factory;
-  }
+  const DefenseFactory factory = GlobalTable().Find(name);
   auto defense = factory(params);
   AF_CHECK(defense != nullptr) << "registry: factory for " << name
                                << " returned null";
@@ -152,21 +97,11 @@ std::unique_ptr<Defense> Registry::Make(const std::string& name,
 }
 
 bool Registry::Has(const std::string& name) const {
-  Table& table = GlobalTable();
-  std::lock_guard<std::mutex> lock(table.mu);
-  const std::string key = Canonical(name);
-  return table.entries.count(key) > 0 || table.aliases.count(key) > 0;
+  return GlobalTable().Has(name);
 }
 
 std::vector<std::string> Registry::ListNames() const {
-  Table& table = GlobalTable();
-  std::lock_guard<std::mutex> lock(table.mu);
-  std::vector<std::string> names;
-  names.reserve(table.entries.size());
-  for (const auto& [key, entry] : table.entries) {
-    names.push_back(key);
-  }
-  return names;  // std::map iteration → already sorted
+  return GlobalTable().ListNames();
 }
 
 std::unique_ptr<Defense> Make(const std::string& name,

@@ -7,11 +7,15 @@ namespace fl {
 
 InprocBackend::InprocBackend(std::vector<std::unique_ptr<Client>> clients,
                              util::ThreadPool* pool, std::uint64_t seed,
-                             LocalTrainConfig local)
+                             LocalTrainConfig local,
+                             const compress::Codec* codec)
     : clients_(std::move(clients)),
       pool_(pool),
       rngs_(seed),
-      local_(local) {
+      local_(local),
+      codec_(codec != nullptr && !compress::IsIdentity(*codec) ? codec
+                                                               : nullptr),
+      feedback_(codec_ != nullptr ? clients_.size() : 0) {
   AF_CHECK(!clients_.empty());
   AF_CHECK(pool_ != nullptr);
 }
@@ -36,6 +40,9 @@ std::vector<std::vector<float>> InprocBackend::Train(
   }
 
   std::vector<std::vector<float>> honest(jobs.size());
+  // Mirror of the wire's downlink policy: broadcast-safe codecs compress
+  // full params, delta-only codecs fall back to identity for the base.
+  const bool lossy_downlink = codec_ != nullptr && codec_->broadcast_safe();
   for (const auto& wave : waves) {
     AF_TRACE_SPAN("train.wave");
     pool_->ParallelFor(wave.size(), [&](std::size_t w) {
@@ -46,7 +53,17 @@ std::vector<std::vector<float>> InprocBackend::Train(
       const std::uint64_t stream_index =
           (static_cast<std::uint64_t>(cid) << 32) | job.job_index;
       auto rng = rngs_.Stream("client-train", stream_index);
-      honest[j] = clients_[cid]->TrainOnce(*job.base, local_, rng);
+      if (codec_ == nullptr) {
+        honest[j] = clients_[cid]->TrainOnce(*job.base, local_, rng);
+        return;
+      }
+      // Feedback stays per-client: each wave holds one job per client and
+      // waves run in job_index order, matching the tcp worker's sequential
+      // encode order.
+      const std::vector<float> base =
+          lossy_downlink ? compress::RoundTrip(*codec_, *job.base) : *job.base;
+      std::vector<float> delta = clients_[cid]->TrainOnce(base, local_, rng);
+      honest[j] = compress::RoundTrip(*codec_, delta, &feedback_[cid]);
     });
   }
   return honest;

@@ -13,6 +13,7 @@
 #include <memory>
 #include <vector>
 
+#include "compress/codec.h"
 #include "fl/client.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -48,12 +49,20 @@ class TrainBackend {
 };
 
 // Thread-pool execution in the simulator's own process.
+//
+// When a compression codec is set, every job mirrors the tcp transport's
+// lossy round trip — base params decode as a client would see them (for
+// broadcast-safe codecs), the honest delta decodes as the server would
+// receive it, with the same per-client error-feedback stream — so an inproc
+// run stays bit-identical to a quiet-wire tcp run under the same
+// --compress setting.
 class InprocBackend : public TrainBackend {
  public:
-  // `pool` must outlive the backend.
+  // `pool` must outlive the backend; `codec` (optional) is a process-lived
+  // registry singleton.
   InprocBackend(std::vector<std::unique_ptr<Client>> clients,
                 util::ThreadPool* pool, std::uint64_t seed,
-                LocalTrainConfig local);
+                LocalTrainConfig local, const compress::Codec* codec = nullptr);
 
   std::vector<std::vector<float>> Train(
       const std::vector<TrainJob>& jobs) override;
@@ -65,6 +74,8 @@ class InprocBackend : public TrainBackend {
   util::ThreadPool* pool_;
   util::RngFactory rngs_;
   LocalTrainConfig local_;
+  const compress::Codec* codec_ = nullptr;  // null or identity → no-op
+  std::vector<compress::FeedbackState> feedback_;  // per client, uplink only
 };
 
 }  // namespace fl

@@ -6,6 +6,7 @@
 #include <thread>
 #include <utility>
 
+#include "compress/codec.h"
 #include "net/server.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -170,6 +171,11 @@ void RunWorker(WorkerContext ctx) {
     std::deque<net::Frame> inbox;
     std::uint64_t data_frames_sent = 0;
     bool saw_shutdown = false;
+    // Negotiated uplink codec. Stays null — legacy identity bytes — until a
+    // CodecOffer arrives; an old server never sends one, so its first frame
+    // (a ModelBroadcast) lands below and the run proceeds uncompressed.
+    const compress::Codec* codec = nullptr;
+    compress::FeedbackState feedback;
 
     while (!saw_shutdown) {
       net::Frame frame;
@@ -181,6 +187,22 @@ void RunWorker(WorkerContext ctx) {
       }
       if (frame.type == net::MessageType::kShutdown) {
         break;
+      }
+      if (frame.type == net::MessageType::kCodecOffer) {
+        // Pick the first offered codec this build knows; identity otherwise.
+        const net::CodecOfferMsg offer = net::DecodeCodecOffer(frame);
+        std::string pick = "identity";
+        for (const std::string& name : offer.codecs) {
+          if (compress::Has(name)) {
+            pick = name;
+            break;
+          }
+        }
+        conn.SendFrame(net::EncodeCodecSelect({pick}),
+                       ctx.options.io_timeout_ms);
+        const compress::Codec& selected = compress::Get(pick);
+        codec = compress::IsIdentity(selected) ? nullptr : &selected;
+        continue;
       }
       if (frame.type != net::MessageType::kModelBroadcast) {
         continue;  // stray ack from a resolved resend race
@@ -198,10 +220,13 @@ void RunWorker(WorkerContext ctx) {
         AF_TRACE_SPAN("net.worker.train");
         update.delta = ctx.client->TrainOnce(job.params, ctx.local, rng);
       }
+      // Encode exactly once per job — resends reuse the frame, so retries
+      // stay byte-identical and the feedback residual advances once.
       if (!SendUpdateReliably(ctx, conn, injector,
-                              net::EncodeClientUpdate(update), job.job_index,
-                              inbox, data_frames_sent, backoff_rng,
-                              saw_shutdown)) {
+                              net::EncodeClientUpdate(update, codec,
+                                                      &feedback),
+                              job.job_index, inbox, data_frames_sent,
+                              backoff_rng, saw_shutdown)) {
         return;
       }
     }
@@ -255,7 +280,14 @@ class TcpBackend : public TrainBackend {
       msg.round = job.dispatch_round;
       msg.job_index = job.job_index;
       msg.params = *job.base;
-      if (!server_->SendTo(job.client_id, net::EncodeModelBroadcast(msg))) {
+      // Downlink codec: the client's negotiated pick when it can carry full
+      // params; identity (legacy bytes) for delta-only codecs.
+      const compress::Codec* codec = server_->ClientCodec(job.client_id);
+      if (codec != nullptr && !codec->broadcast_safe()) {
+        codec = nullptr;
+      }
+      if (!server_->SendTo(job.client_id,
+                           net::EncodeModelBroadcast(msg, codec))) {
         MarkDead(job.client_id);
         continue;
       }
@@ -401,6 +433,12 @@ SimulationResult DistributedDriver::Run() {
   net::ServerOptions server_options;
   server_options.port = impl.transport.port;
   server_options.io_timeout_ms = impl.transport.io_timeout_ms;
+  if (!impl.transport.codec.empty()) {
+    // Validate the name up front (throws with the known-codec list) and
+    // advertise it; clients pick it during their handshake.
+    compress::Get(impl.transport.codec);
+    server_options.advertised_codecs = {impl.transport.codec};
+  }
   impl.server = std::make_unique<net::Server>(server_options);
   AF_LOG(kInfo) << "net: server listening on 127.0.0.1:"
                 << impl.server->port();

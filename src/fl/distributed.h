@@ -18,6 +18,7 @@
 #pragma once
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "attacks/attack.h"
@@ -37,6 +38,13 @@ struct TransportOptions {
   int handshake_timeout_ms = 10000;
   net::RetryConfig retry;      // connect retry + update resend backoff
   net::FaultConfig faults;     // wire fault injection (off by default)
+  // Update-compression codec name (compress/codec.h). Empty → no codec
+  // negotiation, legacy wire bytes. Non-empty (including "identity") makes
+  // the server advertise it; clients pick it during the handshake, encode
+  // uplink deltas with it, and broadcast-safe codecs also compress the
+  // downlink. Delta-only codecs (int8, topk-delta) fall back to identity
+  // for broadcasts.
+  std::string codec;
 };
 
 class DistributedDriver {

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <numeric>
 
+#include "compress/codec.h"
 #include "core/async_filter.h"
 #include "data/partition.h"
 #include "defense/registry.h"
@@ -204,6 +205,9 @@ SimulationResult RunExperiment(const ExperimentConfig& config,
                                Simulation::BufferObserver observer) {
   AF_CHECK_GT(config.num_clients, 0u);
   AF_CHECK_LE(config.num_malicious, config.num_clients);
+  if (!config.compress.empty()) {
+    compress::Get(config.compress);  // fail fast on unknown codec names
+  }
 
   const auto wall_start = std::chrono::steady_clock::now();
   auto stamp_wall = [wall_start](SimulationResult result) {
@@ -294,10 +298,12 @@ SimulationResult RunExperiment(const ExperimentConfig& config,
         << "buffer observers are not supported with --transport=tcp";
     AF_CHECK(config.checkpoint_path.empty() && !config.resume)
         << "checkpoint/resume requires --transport=inproc";
+    TransportOptions transport = config.net;
+    transport.codec = config.compress;
     DistributedDriver driver(config.sim, model, std::move(clients),
                              malicious_ids, std::move(attack),
                              std::move(defense), &test, std::move(root),
-                             config.net);
+                             transport);
     return stamp_wall(driver.Run());
   }
 
@@ -312,6 +318,7 @@ SimulationResult RunExperiment(const ExperimentConfig& config,
   sim_spec.defense = std::move(defense);
   sim_spec.test_set = &test;
   sim_spec.server_root = std::move(root);
+  sim_spec.codec = config.compress;
   auto simulation = BuildSimulation(std::move(sim_spec));
   if (observer) {
     simulation->SetBufferObserver(std::move(observer));

@@ -81,6 +81,13 @@ struct ExperimentConfig {
   TransportKind transport = TransportKind::kInproc;
   TransportOptions net;  // only consulted when transport == kTcp
 
+  // Update-compression codec (compress/codec.h registry name; empty →
+  // none). Over tcp the codec is negotiated and applied on the wire; inproc
+  // runs mirror the same lossy round trip, so the two transports stay
+  // bit-identical under the same setting. Also compresses checkpoint model
+  // pools for broadcast-safe codecs.
+  std::string compress;
+
   // Resumable runs (inproc transport only; see fl/checkpoint.h). When
   // `checkpoint_path` is set the simulation writes a crash-safe checkpoint
   // every `checkpoint_every` completed rounds (0 → only on a stop request),

@@ -6,6 +6,7 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "compress/codec.h"
 #include "fl/checkpoint.h"
 #include "nn/serialize.h"
 #include "obs/metrics.h"
@@ -27,11 +28,19 @@ Simulation::Simulation(ExperimentSpec spec)
       rngs_(spec.sim.seed),
       participation_rng_(rngs_.Stream("participation")),
       server_rng_(rngs_.Stream("server-defense")) {
+  const compress::Codec* codec =
+      spec.codec.empty() ? nullptr : &compress::Get(spec.codec);
+  if (codec != nullptr && compress::IsIdentity(*codec)) {
+    codec = nullptr;  // identity is the no-op everywhere downstream
+  }
   if (spec.backend != nullptr) {
     AF_CHECK(spec.clients.empty())
         << "ExperimentSpec: set either `backend` or `clients`+`pool`, not both";
     AF_CHECK(spec.pool == nullptr)
         << "ExperimentSpec: `pool` belongs to the clients form";
+    AF_CHECK(codec == nullptr)
+        << "ExperimentSpec: `codec` belongs to the clients form (a caller "
+           "backend compresses on its own transport)";
     backend_ = spec.backend;
   } else {
     AF_CHECK(!spec.clients.empty())
@@ -39,8 +48,12 @@ Simulation::Simulation(ExperimentSpec spec)
     AF_CHECK(spec.pool != nullptr)
         << "ExperimentSpec: the clients form needs a thread `pool`";
     owned_backend_ = std::make_unique<InprocBackend>(
-        std::move(spec.clients), spec.pool, config_.seed, config_.local);
+        std::move(spec.clients), spec.pool, config_.seed, config_.local,
+        codec);
     backend_ = owned_backend_.get();
+    if (codec != nullptr && codec->broadcast_safe()) {
+      checkpoint_codec_ = codec;
+    }
   }
   malicious_.assign(backend_->ClientCount(), false);
   for (int id : spec.malicious_ids) {
@@ -526,7 +539,8 @@ void Simulation::SaveState(util::serial::Writer& w) const {
   // Model pool: the global model plus every distinct base model still
   // referenced by an in-flight job, deduplicated by identity so shared
   // snapshots serialize once. Parameter payloads use the AFPM framing
-  // shared with nn/serialize and the net/ wire protocol.
+  // shared with nn/serialize and the net/ wire protocol — or an AFCZ
+  // container when the run compresses checkpoints; LoadState sniffs.
   std::vector<Job> jobs;
   {
     auto queue = events_;  // copies are cheap: jobs share base pointers
@@ -547,7 +561,11 @@ void Simulation::SaveState(util::serial::Writer& w) const {
   w.U64(pool.size());
   for (const std::vector<float>* params : pool) {
     std::vector<std::uint8_t> block;
-    nn::AppendFlatParams(block, *params);
+    if (checkpoint_codec_ != nullptr) {
+      compress::AppendEncodedParams(block, *checkpoint_codec_, *params);
+    } else {
+      nn::AppendFlatParams(block, *params);
+    }
     w.U64(block.size());
     w.Raw(block);
   }
@@ -629,7 +647,8 @@ void Simulation::LoadState(util::serial::Reader& r) {
     std::span<const std::uint8_t> tail = r.Tail();
     AF_CHECK_LE(block_size, tail.size()) << "checkpoint: truncated model pool";
     std::size_t offset = 0;
-    auto params = nn::ParseFlatParams(tail.subspan(0, block_size), &offset);
+    auto params = compress::ParseAnyParams(tail.subspan(0, block_size),
+                                           &offset);
     AF_CHECK_EQ(offset, block_size) << "checkpoint: model block trailing bytes";
     AF_CHECK_EQ(params.size(), global_->size())
         << "checkpoint: pooled model size mismatch";

@@ -95,6 +95,14 @@ struct ExperimentSpec {
   // clean-dataset defenses).
   const data::Dataset* test_set = nullptr;
   data::Dataset server_root;
+
+  // Update-compression codec name (compress/codec.h); empty or "identity"
+  // → none. Only meaningful with the clients+pool form: the owned
+  // InprocBackend mirrors the wire's lossy round trip, and checkpoint model
+  // pools are written through the codec (broadcast-safe codecs only). The
+  // tcp transport compresses on the wire itself, so DistributedDriver
+  // leaves this empty.
+  std::string codec;
 };
 
 // Crash-safe checkpointing during Run() (see fl/checkpoint.h for the
@@ -186,6 +194,9 @@ class Simulation {
   nn::ModelSpec spec_;  // copied: the simulation outlives caller temporaries
   std::unique_ptr<TrainBackend> owned_backend_;  // inproc convenience form
   TrainBackend* backend_ = nullptr;
+  // Codec for checkpoint model-pool blocks (registry singleton; null →
+  // raw AFPM). LoadState sniffs, so it accepts either form regardless.
+  const compress::Codec* checkpoint_codec_ = nullptr;
   std::vector<bool> malicious_;
   std::unique_ptr<attacks::Attack> attack_;
   attacks::Coordinator coordinator_;

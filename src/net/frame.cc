@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "compress/codec.h"
 #include "nn/serialize.h"
 #include "obs/trace.h"
 #include "util/check.h"
@@ -31,9 +32,38 @@ bool KnownType(std::uint16_t type) {
     case MessageType::kClientUpdate:
     case MessageType::kAck:
     case MessageType::kShutdown:
+    case MessageType::kCodecOffer:
+    case MessageType::kCodecSelect:
       return true;
   }
   return false;
+}
+
+// Either a legacy raw AFPM block (codec null or identity) or an AFCZ
+// container; peers sniff the magic on decode.
+void AppendParams(std::vector<std::uint8_t>& out,
+                  std::span<const float> values, const compress::Codec* codec,
+                  compress::FeedbackState* feedback = nullptr) {
+  if (codec == nullptr || compress::IsIdentity(*codec)) {
+    nn::AppendFlatParams(out, values);
+    return;
+  }
+  compress::AppendEncodedParams(out, *codec, values, feedback);
+}
+
+void AppendName(std::vector<std::uint8_t>& out, const std::string& name) {
+  AF_CHECK_LE(name.size(), 255u) << "codec name too long: " << name;
+  out.push_back(static_cast<std::uint8_t>(name.size()));
+  out.insert(out.end(), name.begin(), name.end());
+}
+
+std::string ReadName(std::span<const std::uint8_t> bytes,
+                     std::size_t* offset) {
+  const auto len = ReadRaw<std::uint8_t>(bytes, offset);
+  AF_CHECK_LE(*offset + len, bytes.size()) << "truncated codec name";
+  std::string name(reinterpret_cast<const char*>(bytes.data() + *offset), len);
+  *offset += len;
+  return name;
 }
 
 void CheckType(const Frame& frame, MessageType expected) {
@@ -59,6 +89,10 @@ const char* MessageTypeName(MessageType type) {
       return "Ack";
     case MessageType::kShutdown:
       return "Shutdown";
+    case MessageType::kCodecOffer:
+      return "CodecOffer";
+    case MessageType::kCodecSelect:
+      return "CodecSelect";
   }
   return "?";
 }
@@ -102,14 +136,15 @@ std::size_t DecodeFrame(std::span<const std::uint8_t> buffer, Frame* out) {
   return kFrameHeaderBytes + static_cast<std::size_t>(length);
 }
 
-Frame EncodeModelBroadcast(const ModelBroadcastMsg& msg) {
+Frame EncodeModelBroadcast(const ModelBroadcastMsg& msg,
+                           const compress::Codec* codec) {
   Frame frame;
   frame.type = MessageType::kModelBroadcast;
   frame.payload.reserve(2 * sizeof(std::uint64_t) +
                         nn::FlatParamsWireSize(msg.params.size()));
   AppendRaw(frame.payload, msg.round);
   AppendRaw(frame.payload, msg.job_index);
-  nn::AppendFlatParams(frame.payload, msg.params);
+  AppendParams(frame.payload, msg.params, codec);
   return frame;
 }
 
@@ -119,12 +154,14 @@ ModelBroadcastMsg DecodeModelBroadcast(const Frame& frame) {
   std::size_t offset = 0;
   msg.round = ReadRaw<std::uint64_t>(frame.payload, &offset);
   msg.job_index = ReadRaw<std::uint64_t>(frame.payload, &offset);
-  msg.params = nn::ParseFlatParams(frame.payload, &offset);
+  msg.params = compress::ParseAnyParams(frame.payload, &offset);
   CheckFullyConsumed(frame, offset);
   return msg;
 }
 
-Frame EncodeClientUpdate(const ClientUpdateMsg& msg) {
+Frame EncodeClientUpdate(const ClientUpdateMsg& msg,
+                         const compress::Codec* codec,
+                         compress::FeedbackState* feedback) {
   Frame frame;
   frame.type = MessageType::kClientUpdate;
   frame.payload.reserve(sizeof(std::int32_t) + 3 * sizeof(std::uint64_t) +
@@ -133,7 +170,7 @@ Frame EncodeClientUpdate(const ClientUpdateMsg& msg) {
   AppendRaw(frame.payload, msg.job_index);
   AppendRaw(frame.payload, msg.base_round);
   AppendRaw(frame.payload, msg.num_samples);
-  nn::AppendFlatParams(frame.payload, msg.delta);
+  AppendParams(frame.payload, msg.delta, codec, feedback);
   return frame;
 }
 
@@ -145,7 +182,7 @@ ClientUpdateMsg DecodeClientUpdate(const Frame& frame) {
   msg.job_index = ReadRaw<std::uint64_t>(frame.payload, &offset);
   msg.base_round = ReadRaw<std::uint64_t>(frame.payload, &offset);
   msg.num_samples = ReadRaw<std::uint64_t>(frame.payload, &offset);
-  msg.delta = nn::ParseFlatParams(frame.payload, &offset);
+  msg.delta = compress::ParseAnyParams(frame.payload, &offset);
   CheckFullyConsumed(frame, offset);
   return msg;
 }
@@ -162,6 +199,46 @@ AckMsg DecodeAck(const Frame& frame) {
   AckMsg msg;
   std::size_t offset = 0;
   msg.value = ReadRaw<std::uint64_t>(frame.payload, &offset);
+  CheckFullyConsumed(frame, offset);
+  return msg;
+}
+
+Frame EncodeCodecOffer(const CodecOfferMsg& msg) {
+  Frame frame;
+  frame.type = MessageType::kCodecOffer;
+  AF_CHECK_LE(msg.codecs.size(), 0xFFFFu) << "too many offered codecs";
+  AppendRaw(frame.payload, static_cast<std::uint16_t>(msg.codecs.size()));
+  for (const std::string& name : msg.codecs) {
+    AppendName(frame.payload, name);
+  }
+  return frame;
+}
+
+CodecOfferMsg DecodeCodecOffer(const Frame& frame) {
+  CheckType(frame, MessageType::kCodecOffer);
+  CodecOfferMsg msg;
+  std::size_t offset = 0;
+  const auto count = ReadRaw<std::uint16_t>(frame.payload, &offset);
+  msg.codecs.reserve(count);
+  for (std::uint16_t i = 0; i < count; ++i) {
+    msg.codecs.push_back(ReadName(frame.payload, &offset));
+  }
+  CheckFullyConsumed(frame, offset);
+  return msg;
+}
+
+Frame EncodeCodecSelect(const CodecSelectMsg& msg) {
+  Frame frame;
+  frame.type = MessageType::kCodecSelect;
+  AppendName(frame.payload, msg.codec);
+  return frame;
+}
+
+CodecSelectMsg DecodeCodecSelect(const Frame& frame) {
+  CheckType(frame, MessageType::kCodecSelect);
+  CodecSelectMsg msg;
+  std::size_t offset = 0;
+  msg.codec = ReadName(frame.payload, &offset);
   CheckFullyConsumed(frame, offset);
   return msg;
 }

@@ -8,17 +8,34 @@
 //   u64 length  payload bytes that follow
 //
 // followed by `length` payload bytes. Parameter payloads reuse the AFPM
-// block from nn/serialize, so model bytes are identical on disk and on the
-// wire. Decoding is incremental (stream-friendly): DecodeFrame reports how
-// many bytes it consumed, or 0 when the buffer does not yet hold a whole
-// frame. Malformed input — bad magic, unknown version, absurd length —
-// throws util::CheckError; it never reads past the buffer.
+// block from nn/serialize — or, when a compression codec was negotiated, an
+// AFCZ container from compress/ — so model bytes are identical on disk and
+// on the wire. Decoders sniff the leading magic, so either form is always
+// accepted regardless of what was negotiated. Decoding is incremental
+// (stream-friendly): DecodeFrame reports how many bytes it consumed, or 0
+// when the buffer does not yet hold a whole frame. Malformed input — bad
+// magic, unknown version, absurd length — throws util::CheckError; it never
+// reads past the buffer.
+//
+// Codec negotiation (see docs/NETWORK.md): after the client's hello Ack, a
+// server configured with advertised codecs replies with a CodecOffer naming
+// them; the client answers with a CodecSelect naming its pick (identity when
+// nothing offered suits it). A server with no advertised codecs sends no
+// offer — the first post-hello frame is a ModelBroadcast, which a new client
+// reads as "old server: identity". Both fallbacks keep the wire bytes
+// exactly what they were before codecs existed.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
+
+namespace compress {
+class Codec;
+struct FeedbackState;
+}  // namespace compress
 
 namespace net {
 
@@ -27,6 +44,8 @@ enum class MessageType : std::uint16_t {
   kClientUpdate = 2,    // client → server: the resulting delta
   kAck = 3,             // both ways: connection hello / update receipt
   kShutdown = 4,        // server → client: run over, close cleanly
+  kCodecOffer = 5,      // server → client: codec names the server accepts
+  kCodecSelect = 6,     // client → server: the codec the client will use
 };
 
 const char* MessageTypeName(MessageType type);
@@ -80,14 +99,39 @@ struct AckMsg {
   std::uint64_t value = 0;
 };
 
-Frame EncodeModelBroadcast(const ModelBroadcastMsg& msg);
+// Codec names the server is willing to decode, preference-ordered.
+struct CodecOfferMsg {
+  std::vector<std::string> codecs;
+};
+
+// The codec the client will encode its updates with (and accepts on the
+// downlink, subject to broadcast-safety).
+struct CodecSelectMsg {
+  std::string codec;
+};
+
+// Parameter-bearing encoders take an optional negotiated codec: nullptr (or
+// the identity codec) emits the legacy raw AFPM block — byte-identical to
+// the pre-codec wire — anything else emits an AFCZ container. The update
+// encoder additionally threads the client's error-feedback state for codecs
+// that use it. Decoders sniff the magic, so they need no codec argument.
+Frame EncodeModelBroadcast(const ModelBroadcastMsg& msg,
+                           const compress::Codec* codec = nullptr);
 ModelBroadcastMsg DecodeModelBroadcast(const Frame& frame);
 
-Frame EncodeClientUpdate(const ClientUpdateMsg& msg);
+Frame EncodeClientUpdate(const ClientUpdateMsg& msg,
+                         const compress::Codec* codec = nullptr,
+                         compress::FeedbackState* feedback = nullptr);
 ClientUpdateMsg DecodeClientUpdate(const Frame& frame);
 
 Frame EncodeAck(const AckMsg& msg);
 AckMsg DecodeAck(const Frame& frame);
+
+Frame EncodeCodecOffer(const CodecOfferMsg& msg);
+CodecOfferMsg DecodeCodecOffer(const Frame& frame);
+
+Frame EncodeCodecSelect(const CodecSelectMsg& msg);
+CodecSelectMsg DecodeCodecSelect(const Frame& frame);
 
 Frame MakeShutdownFrame();
 

@@ -8,9 +8,11 @@
 #include <cerrno>
 #include <chrono>
 
+#include "compress/codec.h"
 #include "obs/trace.h"
 #include "util/check.h"
 #include "util/logging.h"
+#include "util/registry.h"
 
 namespace net {
 namespace {
@@ -95,8 +97,44 @@ bool Server::HandleFrame(Conn& conn, const Frame& frame) {
     }
     conn.client_id = client_id;
     by_client_[client_id] = &conn;
+    if (!options_.advertised_codecs.empty()) {
+      // Negotiation round: the handshake completes (and the connect
+      // callback fires) only once the client's CodecSelect arrives, so the
+      // driver never broadcasts before it knows the downlink codec.
+      QueueFrame(conn, EncodeCodecOffer({options_.advertised_codecs}));
+      return true;
+    }
+    conn.handshake_complete = true;
     if (on_connect_) {
       on_connect_(client_id);
+    }
+    return true;
+  }
+  if (!conn.handshake_complete) {
+    // Negotiation in flight: the only acceptable frame is the CodecSelect.
+    if (frame.type != MessageType::kCodecSelect) {
+      AF_LOG(kWarn) << "net: client " << conn.client_id << " sent "
+                    << MessageTypeName(frame.type)
+                    << " before codec negotiation finished; closing";
+      return false;
+    }
+    const CodecSelectMsg select = DecodeCodecSelect(frame);
+    const std::string key = util::CanonicalName(select.codec);
+    bool offered = key == "identity";
+    for (const std::string& name : options_.advertised_codecs) {
+      offered = offered || util::CanonicalName(name) == key;
+    }
+    if (!offered || !compress::Has(select.codec)) {
+      AF_LOG(kWarn) << "net: client " << conn.client_id
+                    << " selected unavailable codec '" << select.codec
+                    << "'; closing";
+      return false;
+    }
+    const compress::Codec& codec = compress::Get(select.codec);
+    conn.codec = compress::IsIdentity(codec) ? nullptr : &codec;
+    conn.handshake_complete = true;
+    if (on_connect_) {
+      on_connect_(conn.client_id);
     }
     return true;
   }
@@ -126,7 +164,10 @@ bool Server::HandleFrame(Conn& conn, const Frame& frame) {
       return true;  // stray receipt; harmless
     case MessageType::kShutdown:
       return false;  // client says goodbye
+    case MessageType::kCodecSelect:
+      return true;  // repeated select after negotiation; harmless
     case MessageType::kModelBroadcast:
+    case MessageType::kCodecOffer:
       AF_LOG(kWarn) << "net: client " << conn.client_id
                     << " sent a server-only frame; closing";
       return false;
@@ -167,7 +208,19 @@ bool Server::ReadConn(Conn& conn) {
     }
     conn.in.erase(conn.in.begin(),
                   conn.in.begin() + static_cast<std::ptrdiff_t>(consumed));
-    if (!HandleFrame(conn, frame)) {
+    // A structurally valid frame can still carry a malformed typed payload
+    // (truncated AFPM/AFCZ block, checksum mismatch, bad codec name). That
+    // must evict this connection, never unwind through the reactor.
+    bool keep = false;
+    try {
+      keep = HandleFrame(conn, frame);
+    } catch (const util::CheckError& e) {
+      AF_LOG(kWarn) << "net: malformed " << MessageTypeName(frame.type)
+                    << " payload from client " << conn.client_id << ": "
+                    << e.what();
+      return false;
+    }
+    if (!keep) {
       return false;
     }
   }
@@ -333,9 +386,17 @@ bool Server::Flush(int timeout_ms) {
   }
 }
 
+std::size_t Server::HandshakeCount() const {
+  std::size_t count = 0;
+  for (const auto& [id, conn] : by_client_) {
+    count += conn->handshake_complete ? 1 : 0;
+  }
+  return count;
+}
+
 bool Server::WaitForClients(std::size_t count, int timeout_ms) {
   const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
-  while (by_client_.size() < count) {
+  while (HandshakeCount() < count) {
     if (Clock::now() >= deadline) {
       return false;
     }
@@ -359,6 +420,11 @@ void Server::Evict(int client_id, const char* reason) {
 
 bool Server::IsConnected(int client_id) const {
   return by_client_.count(client_id) > 0;
+}
+
+const compress::Codec* Server::ClientCodec(int client_id) const {
+  auto it = by_client_.find(client_id);
+  return it == by_client_.end() ? nullptr : it->second->codec;
 }
 
 }  // namespace net

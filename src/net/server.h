@@ -13,6 +13,13 @@
 //       │                            │
 //       └── anything else / malformed / stalled / EOF ──▶ closed (+callback)
 //
+// When `advertised_codecs` is non-empty an extra negotiation round sits
+// between "identified" and update traffic: the server answers the hello
+// with a CodecOffer, the client replies with a CodecSelect, and only then
+// does the handshake count as complete (WaitForClients, connect callback).
+// With no advertised codecs the exchange is skipped and the wire is
+// byte-identical to the pre-codec protocol.
+//
 // Duplicate ClientUpdates (the fault injector's kDuplicate, or a client
 // resending an unacked update) are detected by per-connection job_index
 // bookkeeping: every copy is re-acked, only the first is delivered.
@@ -23,11 +30,16 @@
 #include <map>
 #include <memory>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "net/frame.h"
 #include "net/socket.h"
 #include "obs/metrics.h"
+
+namespace compress {
+class Codec;
+}  // namespace compress
 
 namespace net {
 
@@ -36,6 +48,10 @@ struct ServerOptions {
   // A connection with a partially received frame or unflushed writes older
   // than this is considered dead.
   int io_timeout_ms = 10000;
+  // Codec names offered to each client after its hello (preference order).
+  // Empty → no CodecOffer is sent and the handshake is the legacy two-step.
+  // "identity" is always acceptable in a CodecSelect even when not listed.
+  std::vector<std::string> advertised_codecs;
 };
 
 class Server {
@@ -80,10 +96,17 @@ class Server {
   bool IsConnected(int client_id) const;
   std::size_t ConnectedCount() const { return by_client_.size(); }
 
+  // The codec the client picked during negotiation; nullptr when the
+  // handshake was legacy (no offer) or the client chose identity. The
+  // driver uses this to encode downlink broadcasts the client can decode.
+  const compress::Codec* ClientCodec(int client_id) const;
+
  private:
   struct Conn {
     util::UniqueFd fd;
     int client_id = -1;  // -1 until the hello Ack arrives
+    bool handshake_complete = false;
+    const compress::Codec* codec = nullptr;  // negotiated; null = identity
     std::vector<std::uint8_t> in;
     std::vector<std::uint8_t> out;
     std::size_t out_offset = 0;  // already-written prefix of `out`
@@ -92,6 +115,7 @@ class Server {
   };
 
   void AcceptPending();
+  std::size_t HandshakeCount() const;
   // Appends the encoded frame to the connection's write queue (no flush).
   void QueueFrame(Conn& conn, const Frame& frame);
   // Reads and processes one connection; returns false when it must close.

@@ -47,19 +47,26 @@ std::vector<float> ParseFlatParams(std::span<const std::uint8_t> bytes,
   AF_CHECK(offset != nullptr);
   AF_CHECK_LE(*offset, bytes.size()) << "parse offset past end of buffer";
   std::span<const std::uint8_t> rest = bytes.subspan(*offset);
-  AF_CHECK_GE(rest.size(), kHeaderBytes) << "truncated AFPM header";
+  // Every failure names the offending absolute byte offset so a corrupt
+  // checkpoint or captured frame is locatable without a hex dump.
+  AF_CHECK_GE(rest.size(), kHeaderBytes)
+      << "truncated AFPM header at byte offset " << *offset << ": need "
+      << kHeaderBytes << " bytes, have " << rest.size();
   AF_CHECK(std::memcmp(rest.data(), kMagic, sizeof(kMagic)) == 0)
-      << "bad AFPM magic";
+      << "bad AFPM magic at byte offset " << *offset;
   const auto version = ReadRaw<std::uint32_t>(rest, sizeof(kMagic));
-  AF_CHECK_EQ(version, kVersion) << "unsupported AFPM version";
+  AF_CHECK_EQ(version, kVersion)
+      << "unsupported AFPM version at byte offset "
+      << *offset + sizeof(kMagic);
   const auto count =
       ReadRaw<std::uint64_t>(rest, sizeof(kMagic) + sizeof(version));
   // Bounds-check before allocating: a corrupt count must not trigger an
   // attempted multi-terabyte allocation.
   const std::size_t available = rest.size() - kHeaderBytes;
   AF_CHECK_LE(count, available / sizeof(float))
-      << "truncated AFPM payload: header declares " << count
-      << " floats but only " << available << " bytes follow";
+      << "truncated AFPM payload at byte offset " << *offset + kHeaderBytes
+      << ": header declares " << count << " floats but only " << available
+      << " bytes follow";
   std::vector<float> params(static_cast<std::size_t>(count));
   if (!params.empty()) {
     std::memcpy(params.data(), rest.data() + kHeaderBytes,
@@ -87,7 +94,13 @@ std::vector<float> LoadFlatParams(const std::string& path) {
   AF_CHECK(!in.bad()) << "read failed for " << path;
   std::size_t offset = 0;
   try {
-    return ParseFlatParams(buffer, &offset);
+    std::vector<float> params = ParseFlatParams(buffer, &offset);
+    // A checkpoint file is exactly one block; trailing bytes mean the file
+    // was corrupted or concatenated and must not be silently accepted.
+    AF_CHECK_EQ(offset, buffer.size())
+        << "trailing garbage after AFPM block at byte offset " << offset
+        << ": " << buffer.size() - offset << " extra bytes";
+    return params;
   } catch (const util::CheckError& e) {
     throw util::CheckError(std::string(e.what()) + " [file: " + path + "]");
   }

@@ -1,0 +1,126 @@
+// Shared string-keyed registrar behind every construction-by-name table.
+//
+// Three subsystems resolve user-facing names to implementations: attacks
+// (attacks/registry.h), defenses (defense/registry.h), and compression
+// codecs (compress/codec.h). They all want the same mechanics — canonical
+// name matching that ignores case and '-', '_', ' ', '+' separators, alias
+// spellings that resolve to the same entry, replace-on-re-register so tests
+// can stub entries, and an unknown-name error that lists what is available
+// — so the mechanics live here once and the subsystems keep only their
+// public façades.
+//
+// NamedRegistry is thread-safe; registration typically happens at
+// static-initialization time (see defense::RegistryEntry for the pattern)
+// but is allowed at any point.
+#pragma once
+
+#include <cctype>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace util {
+
+// Canonical key form: lower-cased with '-', '_', ' ' and '+' stripped, so
+// "Trimmed-Mean", "trimmed_mean" and "trimmedmean" collide intentionally.
+inline std::string CanonicalName(const std::string& name) {
+  std::string canon;
+  canon.reserve(name.size());
+  for (char c : name) {
+    if (c == '-' || c == '_' || c == ' ' || c == '+') {
+      continue;
+    }
+    canon.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  return canon;
+}
+
+template <typename Value>
+class NamedRegistry {
+ public:
+  // `subject` names what the registry holds ("defense", "codec", ...) and
+  // prefixes every error message.
+  explicit NamedRegistry(std::string subject) : subject_(std::move(subject)) {}
+
+  NamedRegistry(const NamedRegistry&) = delete;
+  NamedRegistry& operator=(const NamedRegistry&) = delete;
+
+  // Registers `value` under a canonical name plus aliases. Re-registering
+  // an existing name replaces it (lets tests stub entries).
+  void Register(const std::string& name, std::vector<std::string> aliases,
+                Value value) {
+    const std::string key = CanonicalName(name);
+    AF_CHECK(!key.empty()) << subject_ << " registry: empty name";
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_[key] = Entry{name, std::move(value)};
+    for (const std::string& alias : aliases) {
+      const std::string alias_key = CanonicalName(alias);
+      AF_CHECK(!alias_key.empty())
+          << subject_ << " registry: empty alias for " << name;
+      aliases_[alias_key] = key;
+    }
+  }
+
+  // Resolves `name` (or an alias of it); throws util::CheckError listing
+  // every known canonical name when nothing matches.
+  Value Find(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    const Entry* entry = Lookup(name);
+    if (entry == nullptr) {
+      std::string known;
+      for (const auto& [key, unused] : entries_) {
+        if (!known.empty()) {
+          known += ", ";
+        }
+        known += key;
+      }
+      AF_CHECK(false) << "unknown " << subject_ << " name: " << name
+                      << " (known: " << known << ")";
+    }
+    return entry->value;
+  }
+
+  bool Has(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return Lookup(name) != nullptr;
+  }
+
+  // Canonical (registration-time) keys, sorted; aliases are not listed.
+  std::vector<std::string> ListNames() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::string> names;
+    names.reserve(entries_.size());
+    for (const auto& [key, entry] : entries_) {
+      names.push_back(key);
+    }
+    return names;  // std::map iteration → already sorted
+  }
+
+ private:
+  struct Entry {
+    std::string display_name;  // registration-time spelling
+    Value value;
+  };
+
+  // Caller holds mu_.
+  const Entry* Lookup(const std::string& name) const {
+    std::string key = CanonicalName(name);
+    auto alias = aliases_.find(key);
+    if (alias != aliases_.end()) {
+      key = alias->second;
+    }
+    auto it = entries_.find(key);
+    return it == entries_.end() ? nullptr : &it->second;
+  }
+
+  const std::string subject_;
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+  std::map<std::string, std::string> aliases_;  // canonical alias → key
+};
+
+}  // namespace util

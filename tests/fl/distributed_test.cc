@@ -69,6 +69,70 @@ TEST(DistributedTest, SurvivesFaultyWireWithSameResult) {
   EXPECT_EQ(tcp.evicted_clients, 0u);
 }
 
+TEST(DistributedTest, CompressedTcpMatchesInprocBitExactly) {
+  // The compression acceptance bar: for every codec, a tcp run and an
+  // inproc run under the same --compress setting produce the same final
+  // model bit-for-bit. identity is trivially exact; fp16 and topk-delta
+  // work because the inproc backend mirrors the wire's lossy round trip
+  // (including the per-client error-feedback stream for topk-delta).
+  for (const char* codec : {"identity", "fp16", "topk-delta"}) {
+    SCOPED_TRACE(codec);
+    ExperimentConfig config = SmallConfig(64);
+    config.sim.rounds = 5;
+    config.attack = attacks::AttackKind::kLie;
+    config.defense = DefenseKind::kAsyncFilter;
+    config.compress = codec;
+
+    config.transport = TransportKind::kInproc;
+    const SimulationResult inproc = RunExperiment(config);
+
+    config.transport = TransportKind::kTcp;
+    const SimulationResult tcp = RunExperiment(config);
+
+    ASSERT_EQ(tcp.rounds.size(), inproc.rounds.size());
+    EXPECT_EQ(tcp.final_model, inproc.final_model);  // bit-exact
+    EXPECT_EQ(tcp.evicted_clients, 0u);
+  }
+}
+
+TEST(DistributedTest, IdentityCompressionLeavesResultUnchanged) {
+  // --compress=identity must be a true no-op: same bytes on the wire as a
+  // legacy run, same simulation result as no --compress at all.
+  ExperimentConfig config = SmallConfig(65);
+  config.sim.rounds = 5;
+  config.attack = attacks::AttackKind::kLie;
+  config.defense = DefenseKind::kAsyncFilter;
+  config.transport = TransportKind::kTcp;
+
+  const SimulationResult plain = RunExperiment(config);
+  config.compress = "identity";
+  const SimulationResult identity = RunExperiment(config);
+
+  EXPECT_EQ(identity.final_model, plain.final_model);
+  EXPECT_NEAR(identity.final_accuracy, plain.final_accuracy, 1e-9);
+}
+
+TEST(DistributedTest, SurvivesTruncatedCompressedFrames) {
+  // Truncated frames hard-close the sender's connection mid-frame; with a
+  // codec negotiated, the server must still reject the partial stream
+  // cleanly, evict, and finish every round from the survivors.
+  ExperimentConfig config = SmallConfig(66);
+  config.sim.rounds = 5;
+  config.attack = attacks::AttackKind::kLie;
+  config.defense = DefenseKind::kAsyncFilter;
+  config.transport = TransportKind::kTcp;
+  config.compress = "fp16";
+  config.net.faults.truncate_prob = 0.03;
+  config.net.faults.seed = 66;
+  config.net.job_timeout_ms = 30000;
+
+  const SimulationResult result = RunExperiment(config);
+
+  EXPECT_EQ(result.rounds.size(), config.sim.rounds);
+  EXPECT_LT(result.evicted_clients, config.num_clients);
+  EXPECT_GT(result.final_accuracy, 0.1);
+}
+
 TEST(DistributedTest, CompletesWhenFifthOfClientsDieMidRun) {
   // The graceful-degradation bar: kill 20% of the client connections mid-run
   // and the server must still finish every round, aggregating from the

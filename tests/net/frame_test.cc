@@ -5,6 +5,7 @@
 #include <cstring>
 #include <vector>
 
+#include "compress/codec.h"
 #include "util/check.h"
 
 namespace net {
@@ -116,6 +117,75 @@ TEST(FrameTest, TypedDecoderRejectsTrailingBytes) {
 TEST(FrameTest, EmptyModelRoundTrips) {
   const ModelBroadcastMsg msg = DecodeModelBroadcast(EncodeModelBroadcast({}));
   EXPECT_TRUE(msg.params.empty());
+}
+
+TEST(FrameTest, CodecOfferAndSelectRoundTrip) {
+  const CodecOfferMsg offer =
+      DecodeCodecOffer(EncodeCodecOffer({{"fp16", "int8", "identity"}}));
+  EXPECT_EQ(offer.codecs,
+            (std::vector<std::string>{"fp16", "int8", "identity"}));
+  EXPECT_TRUE(DecodeCodecOffer(EncodeCodecOffer({})).codecs.empty());
+  EXPECT_EQ(DecodeCodecSelect(EncodeCodecSelect({"topk-delta"})).codec,
+            "topk-delta");
+}
+
+TEST(FrameTest, IdentityCodecProducesLegacyBytes) {
+  // The null codec and the identity codec must emit the exact pre-codec
+  // wire format, so a mixed fleet interoperates frame-for-frame.
+  const ModelBroadcastMsg msg{.round = 3, .job_index = 9,
+                              .params = {1.0f, -2.0f, 0.5f}};
+  const Frame legacy = EncodeModelBroadcast(msg);
+  const Frame identity =
+      EncodeModelBroadcast(msg, &compress::Get("identity"));
+  EXPECT_EQ(identity.payload, legacy.payload);
+}
+
+TEST(FrameTest, CompressedBroadcastRoundTrips) {
+  ModelBroadcastMsg msg;
+  msg.round = 11;
+  msg.job_index = 4;
+  msg.params = {0.5f, -0.25f, 2.0f, 0.0f};  // half-representable → exact
+  const ModelBroadcastMsg decoded = DecodeModelBroadcast(
+      EncodeModelBroadcast(msg, &compress::Get("fp16")));
+  EXPECT_EQ(decoded.round, msg.round);
+  EXPECT_EQ(decoded.job_index, msg.job_index);
+  EXPECT_EQ(decoded.params, msg.params);
+}
+
+TEST(FrameTest, CompressedUpdateRoundTripsWithFeedback) {
+  ClientUpdateMsg msg;
+  msg.client_id = 5;
+  msg.job_index = 2;
+  msg.base_round = 1;
+  msg.num_samples = 64;
+  msg.delta.assign(40, 0.001f);
+  msg.delta[7] = 3.0f;
+  msg.delta[31] = -2.0f;
+
+  compress::FeedbackState feedback;
+  const ClientUpdateMsg decoded = DecodeClientUpdate(
+      EncodeClientUpdate(msg, &compress::Get("topk-delta"), &feedback));
+  EXPECT_EQ(decoded.client_id, msg.client_id);
+  EXPECT_EQ(decoded.job_index, msg.job_index);
+  ASSERT_EQ(decoded.delta.size(), msg.delta.size());
+  // k = 4 of 40: the two spikes survive (exactly — both are fp16 values),
+  // ties at 0.001 fill the remaining slots from the lowest index up, and
+  // every dropped element lands whole in the residual.
+  EXPECT_EQ(decoded.delta[7], 3.0f);
+  EXPECT_EQ(decoded.delta[31], -2.0f);
+  EXPECT_EQ(decoded.delta[2], 0.0f);
+  ASSERT_EQ(feedback.residual.size(), msg.delta.size());
+  EXPECT_EQ(feedback.residual[7], 0.0f);
+  EXPECT_FLOAT_EQ(feedback.residual[2], 0.001f);
+}
+
+TEST(FrameTest, CorruptCompressedPayloadThrows) {
+  Frame frame = EncodeClientUpdate(
+      {.client_id = 1, .job_index = 2, .base_round = 3, .num_samples = 4,
+       .delta = {1.0f, 2.0f, 3.0f, 4.0f}},
+      &compress::Get("fp16"));
+  frame.payload.back() ^= 0x01;  // body byte → checksum mismatch
+  EXPECT_THROW(DecodeClientUpdate(frame), util::CheckError);
 }
 
 TEST(FrameTest, DecodesBackToBackFramesIncrementally) {

@@ -4,9 +4,11 @@
 
 #include <atomic>
 #include <chrono>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "compress/codec.h"
 #include "net/server.h"
 #include "util/check.h"
 
@@ -108,7 +110,9 @@ TEST(SocketTest, ConnectRetryFailsAfterBoundedAttempts) {
 }
 
 TEST(ServerTest, HandshakeUpdateAckAndDedup) {
-  Server server(ServerOptions{.port = 0, .io_timeout_ms = 2000});
+  ServerOptions server_options;
+  server_options.io_timeout_ms = 2000;
+  Server server(server_options);
   std::vector<std::pair<int, std::uint64_t>> delivered;
   server.SetUpdateHandler([&](int client_id, ClientUpdateMsg msg) {
     delivered.emplace_back(client_id, msg.job_index);
@@ -169,6 +173,131 @@ TEST(ServerTest, EvictFiresDisconnectHandler) {
   ASSERT_EQ(gone.size(), 1u);
   EXPECT_EQ(gone[0], 3);
   client_thread.join();
+}
+
+TEST(ServerTest, CodecNegotiationCompletesHandshake) {
+  ServerOptions options;
+  options.advertised_codecs = {"fp16"};
+  Server server(options);
+
+  std::atomic<bool> got_offer{false};
+  std::thread client_thread([&got_offer, port = server.port()] {
+    Connection conn = ConnectWithRetry(port, RetryConfig{}, 3);
+    conn.SendFrame(EncodeAck({9}), 2000);  // hello
+    Frame frame;
+    EXPECT_TRUE(conn.RecvFrame(&frame, 5000));
+    const CodecOfferMsg offer = DecodeCodecOffer(frame);
+    EXPECT_EQ(offer.codecs, std::vector<std::string>{"fp16"});
+    got_offer = true;
+    conn.SendFrame(EncodeCodecSelect({"fp16"}), 2000);
+    // Stay connected until the server has seen the select and the test has
+    // asserted; the eviction below is our cue to leave.
+    while (conn.TryRecvFrame(&frame, 100) != Connection::RecvStatus::kEof) {
+    }
+  });
+
+  // WaitForClients counts completed handshakes, which here means the offer
+  // went out AND the select came back.
+  ASSERT_TRUE(server.WaitForClients(1, 5000));
+  EXPECT_TRUE(got_offer);
+  ASSERT_NE(server.ClientCodec(9), nullptr);
+  EXPECT_EQ(std::string(server.ClientCodec(9)->name()), "fp16");
+  server.Evict(9, "test done");
+  client_thread.join();
+}
+
+TEST(ServerTest, IdentitySelectionIsAlwaysAcceptedAndMapsToNull) {
+  ServerOptions options;
+  options.advertised_codecs = {"int8"};  // identity deliberately not listed
+  Server server(options);
+
+  std::thread client_thread([port = server.port()] {
+    Connection conn = ConnectWithRetry(port, RetryConfig{}, 3);
+    conn.SendFrame(EncodeAck({2}), 2000);
+    Frame frame;
+    EXPECT_TRUE(conn.RecvFrame(&frame, 5000));  // the offer
+    conn.SendFrame(EncodeCodecSelect({"identity"}), 2000);
+    while (conn.TryRecvFrame(&frame, 100) != Connection::RecvStatus::kEof) {
+    }
+  });
+
+  ASSERT_TRUE(server.WaitForClients(1, 5000));
+  EXPECT_EQ(server.ClientCodec(2), nullptr);  // null = legacy AFPM payloads
+  server.Evict(2, "test done");
+  client_thread.join();
+}
+
+TEST(ServerTest, MalformedCompressedUpdateEvictsClientNotServer) {
+  // A structurally valid frame whose compressed payload is corrupt (here: a
+  // flipped body byte that breaks the AFCZ checksum) must evict only that
+  // connection — the reactor keeps serving everyone else.
+  Server server(ServerOptions{});
+  std::vector<int> gone;
+  server.SetDisconnectHandler([&](int client_id) { gone.push_back(client_id); });
+
+  std::thread bad_client([port = server.port()] {
+    try {
+      Connection conn = ConnectWithRetry(port, RetryConfig{}, 3);
+      conn.SendFrame(EncodeAck({4}), 2000);
+      Frame frame = EncodeClientUpdate(
+          {.client_id = 4, .job_index = 0, .base_round = 0, .num_samples = 8,
+           .delta = {1.0f, 2.0f, 3.0f, 4.0f}},
+          &compress::Get("fp16"));
+      frame.payload.back() ^= 0x01;
+      conn.SendFrame(frame, 2000);
+      Frame reply;  // wait to be cut off
+      while (conn.TryRecvFrame(&reply, 100) != Connection::RecvStatus::kEof) {
+      }
+    } catch (const util::CheckError&) {
+      // Eviction can surface as ECONNRESET rather than a clean EOF; either
+      // way the server cut us off, which is exactly what this test wants.
+    }
+  });
+
+  // Don't gate on WaitForClients here: under load the hello and the corrupt
+  // update can land in one poll tick, so the connection is identified and
+  // evicted inside a single PollOnce and the transient connected state is
+  // never observable. The disconnect callback is the durable signal.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(15);
+  while (gone.empty() && std::chrono::steady_clock::now() < deadline) {
+    server.PollOnce(10);
+  }
+  bad_client.join();
+  ASSERT_EQ(gone, std::vector<int>{4});
+  EXPECT_EQ(server.ConnectedCount(), 0u);
+
+  // The server is still alive: a fresh client can complete a handshake and
+  // deliver a (well-formed) compressed update.
+  std::vector<std::uint64_t> delivered;
+  server.SetUpdateHandler([&](int /*client_id*/, ClientUpdateMsg msg) {
+    delivered.push_back(msg.job_index);
+  });
+  std::thread good_client([port = server.port()] {
+    try {
+      Connection conn = ConnectWithRetry(port, RetryConfig{}, 3);
+      conn.SendFrame(EncodeAck({5}), 2000);
+      conn.SendFrame(EncodeClientUpdate({.client_id = 5, .job_index = 7,
+                                         .num_samples = 8, .delta = {0.5f}},
+                                        &compress::Get("fp16")),
+                     2000);
+      Frame ack;
+      if (conn.RecvFrame(&ack, 10000)) {
+        EXPECT_EQ(DecodeAck(ack).value, 7u);
+      } else {
+        ADD_FAILURE() << "no ack for the well-formed compressed update";
+      }
+    } catch (const util::CheckError& error) {
+      ADD_FAILURE() << "good client failed: " << error.what();
+    }
+  });
+  const auto deadline2 =
+      std::chrono::steady_clock::now() + std::chrono::seconds(15);
+  while (delivered.empty() && std::chrono::steady_clock::now() < deadline2) {
+    server.PollOnce(10);
+  }
+  good_client.join();
+  ASSERT_EQ(delivered, std::vector<std::uint64_t>{7});
 }
 
 TEST(ServerTest, MalformedHelloClosesConnection) {

@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <string>
+#include <tuple>
 
 #include "nn/models.h"
 #include "util/check.h"
@@ -107,6 +109,73 @@ TEST_F(SerializeTest, BufferFormRoundTripsAndTracksOffset) {
   EXPECT_EQ(offset, FlatParamsWireSize(first.size()));
   EXPECT_EQ(ParseFlatParams(bytes, &offset), second);
   EXPECT_EQ(offset, bytes.size());
+}
+
+// Returns e.what() of the util::CheckError `fn` must throw.
+template <typename Fn>
+std::string ThrownMessage(Fn&& fn) {
+  try {
+    fn();
+  } catch (const util::CheckError& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected util::CheckError";
+  return {};
+}
+
+TEST_F(SerializeTest, TruncatedHeaderErrorNamesByteOffset) {
+  const std::vector<std::uint8_t> bytes{'A', 'F', 'P', 'M', 1};
+  std::size_t offset = 0;
+  const std::string message =
+      ThrownMessage([&] { std::ignore = ParseFlatParams(bytes, &offset); });
+  EXPECT_NE(message.find("truncated AFPM header at byte offset 0"),
+            std::string::npos)
+      << message;
+}
+
+TEST_F(SerializeTest, OversizedDeclaredCountErrorNamesByteOffset) {
+  std::vector<std::uint8_t> bytes;
+  AppendFlatParams(bytes, std::vector<float>{1.0f, 2.0f});
+  const std::uint64_t absurd = 1u << 20;
+  std::memcpy(bytes.data() + 8, &absurd, sizeof(absurd));  // count field
+  std::size_t offset = 0;
+  const std::string message =
+      ThrownMessage([&] { std::ignore = ParseFlatParams(bytes, &offset); });
+  EXPECT_NE(message.find("truncated AFPM payload at byte offset 16"),
+            std::string::npos)
+      << message;
+  EXPECT_NE(message.find("1048576 floats"), std::string::npos) << message;
+}
+
+TEST_F(SerializeTest, ErrorOffsetIsAbsoluteForSecondBlock) {
+  // Corruption in the second of two back-to-back blocks must be reported at
+  // the second block's absolute offset, not at zero.
+  std::vector<std::uint8_t> bytes;
+  AppendFlatParams(bytes, std::vector<float>{1.0f, 2.0f, 3.0f});
+  const std::size_t second_at = bytes.size();
+  AppendFlatParams(bytes, std::vector<float>{4.0f});
+  bytes[second_at] = 'X';  // second block's magic
+  std::size_t offset = 0;
+  std::ignore = ParseFlatParams(bytes, &offset);  // first block parses fine
+  const std::string message =
+      ThrownMessage([&] { std::ignore = ParseFlatParams(bytes, &offset); });
+  EXPECT_NE(message.find("bad AFPM magic at byte offset " +
+                         std::to_string(second_at)),
+            std::string::npos)
+      << message;
+}
+
+TEST_F(SerializeTest, TrailingGarbageAfterFileBlockThrows) {
+  SaveFlatParams(path_, std::vector<float>{1.0f, 2.0f});
+  std::ofstream out(path_, std::ios::binary | std::ios::app);
+  out << "junk";
+  out.close();
+  const std::string message =
+      ThrownMessage([&] { std::ignore = LoadFlatParams(path_); });
+  EXPECT_NE(message.find("trailing garbage after AFPM block at byte offset"),
+            std::string::npos)
+      << message;
+  EXPECT_NE(message.find("4 extra bytes"), std::string::npos) << message;
 }
 
 TEST_F(SerializeTest, BufferFormCorruptMagicThrows) {

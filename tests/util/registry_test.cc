@@ -1,0 +1,74 @@
+#include "util/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace util {
+namespace {
+
+TEST(CanonicalNameTest, StripsSeparatorsAndCase) {
+  EXPECT_EQ(CanonicalName("Trimmed-Mean"), "trimmedmean");
+  EXPECT_EQ(CanonicalName("trimmed_mean"), "trimmedmean");
+  EXPECT_EQ(CanonicalName("TRIMMED MEAN"), "trimmedmean");
+  EXPECT_EQ(CanonicalName("top-k+delta"), "topkdelta");
+  EXPECT_EQ(CanonicalName(""), "");
+  EXPECT_EQ(CanonicalName("-_ +"), "");
+}
+
+TEST(NamedRegistryTest, FindsByNameAliasAndAnySpelling) {
+  NamedRegistry<int> registry("widget");
+  registry.Register("Fast-Path", {"fp", "quick"}, 1);
+  EXPECT_EQ(registry.Find("fast-path"), 1);
+  EXPECT_EQ(registry.Find("FASTPATH"), 1);
+  EXPECT_EQ(registry.Find("fast_path"), 1);
+  EXPECT_EQ(registry.Find("fp"), 1);
+  EXPECT_EQ(registry.Find("Quick"), 1);
+  EXPECT_TRUE(registry.Has("fastpath"));
+  EXPECT_TRUE(registry.Has("quick"));
+  EXPECT_FALSE(registry.Has("slow"));
+}
+
+TEST(NamedRegistryTest, ReRegisterReplacesEntry) {
+  NamedRegistry<int> registry("widget");
+  registry.Register("thing", {}, 1);
+  registry.Register("Thing", {}, 2);  // same canonical key
+  EXPECT_EQ(registry.Find("thing"), 2);
+  EXPECT_EQ(registry.ListNames().size(), 1u);
+}
+
+TEST(NamedRegistryTest, ListNamesIsSortedCanonicalWithoutAliases) {
+  NamedRegistry<int> registry("widget");
+  registry.Register("zeta", {"z"}, 1);
+  registry.Register("Alpha-Two", {}, 2);
+  EXPECT_EQ(registry.ListNames(),
+            (std::vector<std::string>{"alphatwo", "zeta"}));
+}
+
+TEST(NamedRegistryTest, UnknownNameErrorNamesSubjectAndListsKnown) {
+  NamedRegistry<int> registry("widget");
+  registry.Register("alpha", {}, 1);
+  registry.Register("beta", {}, 2);
+  try {
+    registry.Find("gamma");
+    FAIL() << "expected util::CheckError";
+  } catch (const util::CheckError& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("unknown widget name: gamma"), std::string::npos)
+        << message;
+    EXPECT_NE(message.find("alpha"), std::string::npos) << message;
+    EXPECT_NE(message.find("beta"), std::string::npos) << message;
+  }
+}
+
+TEST(NamedRegistryTest, EmptyNameRejected) {
+  NamedRegistry<int> registry("widget");
+  EXPECT_THROW(registry.Register("- -", {}, 1), util::CheckError);
+  EXPECT_THROW(registry.Register("ok", {""}, 1), util::CheckError);
+}
+
+}  // namespace
+}  // namespace util
