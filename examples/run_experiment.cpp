@@ -33,9 +33,17 @@
 //   --jsonl FILE       per-round telemetry as JSON lines
 //   --trace-out FILE   Chrome trace-event JSON of the run's internal spans
 //                      (open in chrome://tracing or ui.perfetto.dev);
-//                      implicitly enables span collection
+//                      implicitly enables span collection; over tcp it also
+//                      enables trace-context propagation so client and
+//                      server spans share trace ids (tools/merge_traces.py)
 //   --metrics-out FILE metrics-registry snapshot JSON (counters, gauges,
 //                      latency histograms with p50/p95/p99)
+//   --metrics-port N   serve /metrics (Prometheus), /healthz, /spans over
+//                      HTTP on 127.0.0.1:N for the duration of the run
+//                      (0 = ephemeral; the bound port is printed)
+//   --audit FILE       defense-decision audit trail: one JSONL record per
+//                      update reaching the defense (verdict, score,
+//                      staleness, wire cost, latencies)
 //   --log-level LVL    trace | debug | info | warn | error
 //
 // Resumable runs (see docs/API.md "Checkpoints"):
@@ -51,6 +59,7 @@
 #include <atomic>
 #include <csignal>
 #include <cstdio>
+#include <memory>
 #include <string>
 
 #include "compress/codec.h"
@@ -59,6 +68,8 @@
 #include "fl/telemetry.h"
 #include "fl/trace.h"
 #include "nn/serialize.h"
+#include "obs/audit.h"
+#include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/check.h"
@@ -103,6 +114,7 @@ int main(int argc, char** argv) {
         "fault-drop", "fault-delay", "fault-duplicate", "fault-truncate",
         "fault-delay-ms", "fault-kill", "checkpoint", "checkpoint-every",
         "resume", "summary-json", "list-defenses", "compress", "list-codecs",
+        "metrics-port", "audit",
     });
     if (flags.GetBool("list-defenses", false)) {
       for (const std::string& name : defense::ListNames()) {
@@ -186,6 +198,25 @@ int main(int argc, char** argv) {
     config.net.faults.delay_ms = flags.GetDouble("fault-delay-ms", 5.0);
     config.net.faults.kill_fraction = flags.GetDouble("fault-kill", 0.0);
     config.net.faults.seed = seed;
+    // With tracing on, a tcp run also propagates trace context over the
+    // wire so client train spans and server defense spans share trace ids.
+    config.net.trace_context = flags.Has("trace-out");
+
+    // Live observability plane: scrape endpoint + audit trail. Both are
+    // observation-only — results are bit-identical with them on or off.
+    std::unique_ptr<obs::MetricsExporter> exporter;
+    if (flags.Has("metrics-port")) {
+      obs::MetricsExporterOptions exporter_options;
+      exporter_options.port =
+          static_cast<std::uint16_t>(flags.GetInt("metrics-port", 0));
+      exporter = std::make_unique<obs::MetricsExporter>(exporter_options);
+      std::printf("metrics endpoint: http://127.0.0.1:%u/metrics "
+                  "(/healthz, /spans)\n",
+                  static_cast<unsigned>(exporter->port()));
+    }
+    if (flags.Has("audit")) {
+      obs::AuditTrail::Global().Open(flags.GetString("audit", ""));
+    }
 
     const bool quiet = flags.GetBool("quiet", false);
     std::printf("profile=%s attack=%s defense=%s clients=%zu malicious=%zu "
@@ -200,6 +231,18 @@ int main(int argc, char** argv) {
     }
 
     fl::SimulationResult result = fl::RunExperiment(config);
+    if (flags.Has("audit")) {
+      std::printf("audit trail (%llu records) written to %s\n",
+                  static_cast<unsigned long long>(
+                      obs::AuditTrail::Global().RecordCount()),
+                  flags.GetString("audit", "").c_str());
+      obs::AuditTrail::Global().Close();
+    }
+    if (exporter != nullptr) {
+      std::printf("metrics endpoint served %llu requests\n",
+                  static_cast<unsigned long long>(
+                      exporter->requests_served()));
+    }
     if (result.interrupted) {
       std::printf("interrupted after %zu rounds; rerun with --resume to "
                   "continue from %s\n",

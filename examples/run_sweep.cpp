@@ -28,6 +28,8 @@
 //   --compress CODEC     update-compression codec applied to every cell
 //                        (identity | fp16 | int8 | topk-delta)  [none]
 //   --checkpoint-every N checkpoint cadence within a cell     [5]
+//   --metrics-port N     serve /metrics, /healthz, /spans over HTTP on
+//                        127.0.0.1:N for the sweep's duration (0 = ephemeral)
 //   --quiet              suppress per-cell round output
 #include <atomic>
 #include <cctype>
@@ -35,6 +37,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -44,6 +47,7 @@
 #include "fl/checkpoint.h"
 #include "fl/experiment.h"
 #include "fl/telemetry.h"
+#include "obs/export.h"
 #include "util/check.h"
 #include "util/flags.h"
 
@@ -122,11 +126,23 @@ int main(int argc, char** argv) {
     flags.RejectUnknown({
         "out", "profiles", "attacks", "defenses", "seeds", "rounds",
         "clients", "malicious", "buffer", "threads", "checkpoint-every",
-        "quiet", "compress",
+        "quiet", "compress", "metrics-port",
     });
     const std::filesystem::path out_dir =
         flags.GetString("out", "sweep_out");
     std::filesystem::create_directories(out_dir);
+
+    // Live scrape endpoint across the whole sweep: watch sim.round /
+    // sim.rounds advance cell by cell without touching the output files.
+    std::unique_ptr<obs::MetricsExporter> exporter;
+    if (flags.Has("metrics-port")) {
+      obs::MetricsExporterOptions exporter_options;
+      exporter_options.port =
+          static_cast<std::uint16_t>(flags.GetInt("metrics-port", 0));
+      exporter = std::make_unique<obs::MetricsExporter>(exporter_options);
+      std::printf("metrics endpoint: http://127.0.0.1:%u/metrics\n",
+                  static_cast<unsigned>(exporter->port()));
+    }
 
     const auto profiles = SplitList(flags.GetString("profiles", "fashionmnist"));
     const auto attack_names = SplitList(flags.GetString("attacks", "none,GD"));

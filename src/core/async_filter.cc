@@ -174,6 +174,7 @@ defense::AggregationResult AsyncFilter::Process(
 
   // Middle band disposition.
   defense::AggregationResult result;
+  result.scores = scores;
   result.verdicts.assign(updates.size(), defense::Verdict::kAccepted);
   for (std::size_t idx : rejected) {
     result.verdicts[idx] = defense::Verdict::kRejected;

@@ -46,6 +46,10 @@ struct AggregationResult {
   std::vector<Verdict> verdicts;
   // Updates to re-enqueue into the next buffer (mid-band deferral).
   std::vector<fl::ModelUpdate> deferred;
+  // Optional per-update suspicious scores, aligned with the input updates.
+  // Defenses that score (AsyncFilter) fill this for the audit trail; empty
+  // means "this defense does not score".
+  std::vector<double> scores;
 };
 
 class Defense {

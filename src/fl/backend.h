@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "compress/codec.h"
@@ -46,6 +47,20 @@ class TrainBackend {
   // never loses anyone.
   virtual bool IsAlive(int /*client_id*/) const { return true; }
   virtual std::size_t AliveCount() const { return ClientCount(); }
+
+  // Wire provenance of the update a (client, job) produced — codec name and
+  // encoded payload size. Backends with no wire return empty stats (the
+  // inproc default); the tcp backend reports what actually crossed the
+  // socket. Observability only: values land in the audit trail, never in
+  // aggregation.
+  struct WireStats {
+    std::string codec;
+    std::uint64_t wire_bytes = 0;
+  };
+  virtual WireStats UpdateWireStats(int /*client_id*/,
+                                    std::uint64_t /*job_index*/) const {
+    return {};
+  }
 };
 
 // Thread-pool execution in the simulator's own process.

@@ -3,7 +3,8 @@
 // Container format ("AFCK"), little-endian:
 //
 //   magic   "AFCK"                        4 bytes
-//   u32     format version (currently 1)
+//   u32     format version (currently 2: v1 + per-update observability
+//           sidecar — trace id, codec, wire bytes — in buffered updates)
 //   u64     payload size in bytes
 //   u64     FNV-1a checksum of the payload
 //   bytes   payload — Simulation::SaveState output; model parameters inside
@@ -27,7 +28,7 @@
 
 namespace fl {
 
-inline constexpr std::uint32_t kCheckpointVersion = 1;
+inline constexpr std::uint32_t kCheckpointVersion = 2;
 
 // Serializes `sim` (which must be at a round boundary — Run() calls this
 // between rounds) and writes it crash-safely to `path`. Throws

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "compress/codec.h"
+#include "fl/trace_context.h"
 #include "net/server.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -150,6 +151,7 @@ bool SendUpdateReliably(const WorkerContext& ctx, net::Connection& conn,
 }
 
 void RunWorker(WorkerContext ctx) {
+  util::SetThreadLogPrefix("client " + std::to_string(ctx.client_id));
   try {
     net::FaultInjector injector(ctx.options.faults, ctx.client_id);
     std::uint64_t jitter_state =
@@ -188,6 +190,13 @@ void RunWorker(WorkerContext ctx) {
       if (frame.type == net::MessageType::kShutdown) {
         break;
       }
+      if (frame.type == net::MessageType::kTraceOffer) {
+        net::DecodeTraceOffer(frame);
+        conn.SendFrame(
+            net::EncodeTraceSelect({ctx.options.trace_context}),
+            ctx.options.io_timeout_ms);
+        continue;
+      }
       if (frame.type == net::MessageType::kCodecOffer) {
         // Pick the first offered codec this build knows; identity otherwise.
         const net::CodecOfferMsg offer = net::DecodeCodecOffer(frame);
@@ -216,8 +225,18 @@ void RunWorker(WorkerContext ctx) {
       update.job_index = job.job_index;
       update.base_round = job.round;
       update.num_samples = ctx.client->num_samples();
+      // Echo the broadcast's trace id; the train span below and the
+      // server's defense span share it, which is the join key
+      // tools/merge_traces.py stitches timelines on.
+      update.trace_id = job.trace_id;
+      update.parent_span_id = TrainSpanId(job.trace_id);
       {
-        AF_TRACE_SPAN("net.worker.train");
+        obs::ScopedSpan span(
+            "net.worker.train",
+            job.trace_id == 0
+                ? obs::TraceContext{}
+                : obs::TraceContext{job.trace_id, TrainSpanId(job.trace_id),
+                                    job.parent_span_id});
         update.delta = ctx.client->TrainOnce(job.params, ctx.local, rng);
       }
       // Encode exactly once per job — resends reuse the frame, so retries
@@ -242,12 +261,13 @@ void RunWorker(WorkerContext ctx) {
 class TcpBackend : public TrainBackend {
  public:
   TcpBackend(net::Server* server, std::vector<std::size_t> num_samples,
-             const TransportOptions& options)
+             const TransportOptions& options, std::uint64_t seed)
       : server_(server),
         num_samples_(std::move(num_samples)),
         alive_(num_samples_.size(), true),
         alive_count_(num_samples_.size()),
         options_(options),
+        seed_(seed),
         rtt_us_(obs::DefaultRegistry().GetHistogram("net.job_rtt_us")) {
     server_->SetUpdateHandler(
         [this](int client_id, net::ClientUpdateMsg msg) {
@@ -280,6 +300,11 @@ class TcpBackend : public TrainBackend {
       msg.round = job.dispatch_round;
       msg.job_index = job.job_index;
       msg.params = *job.base;
+      if (options_.trace_context &&
+          server_->ClientTraceContext(job.client_id)) {
+        msg.trace_id = TraceIdFor(seed_, job.client_id, job.job_index);
+        msg.parent_span_id = DispatchSpanId(msg.trace_id);
+      }
       // Downlink codec: the client's negotiated pick when it can carry full
       // params; identity (legacy bytes) for delta-only codecs.
       const compress::Codec* codec = server_->ClientCodec(job.client_id);
@@ -323,6 +348,12 @@ class TcpBackend : public TrainBackend {
   }
   std::size_t AliveCount() const override { return alive_count_; }
 
+  WireStats UpdateWireStats(int client_id,
+                            std::uint64_t job_index) const override {
+    auto it = wire_stats_.find({client_id, job_index});
+    return it == wire_stats_.end() ? WireStats{} : it->second;
+  }
+
  private:
   struct Pending {
     std::size_t position = 0;
@@ -350,6 +381,9 @@ class TcpBackend : public TrainBackend {
         << "client " << client_id << " reported inconsistent sample count";
     rtt_us_.Record(static_cast<double>(NowNs() - it->second.sent_ns) / 1e3);
     AF_CHECK(current_deltas_ != nullptr);
+    const compress::Codec* codec = server_->ClientCodec(client_id);
+    wire_stats_[{client_id, msg.job_index}] = {
+        codec != nullptr ? codec->name() : "identity", msg.wire_bytes};
     (*current_deltas_)[it->second.position] = std::move(msg.delta);
     outstanding_.erase(it);
   }
@@ -361,8 +395,10 @@ class TcpBackend : public TrainBackend {
   std::vector<bool> alive_;
   std::size_t alive_count_ = 0;
   TransportOptions options_;
+  std::uint64_t seed_ = 0;
   obs::Histogram& rtt_us_;
   std::map<std::pair<int, std::uint64_t>, Pending> outstanding_;
+  std::map<std::pair<int, std::uint64_t>, WireStats> wire_stats_;
   std::vector<std::vector<float>>* current_deltas_ = nullptr;
 };
 
@@ -430,9 +466,15 @@ SimulationResult DistributedDriver::Run() {
   AF_TRACE_SPAN("net.driver.run");
   Impl& impl = *impl_;
 
+  // Resolve AF_LOG_LEVEL before any worker thread exists so every thread
+  // sees the same level from its first line, and tag the driver's own lines.
+  util::GetLogLevel();
+  util::SetThreadLogPrefix("server");
+
   net::ServerOptions server_options;
   server_options.port = impl.transport.port;
   server_options.io_timeout_ms = impl.transport.io_timeout_ms;
+  server_options.offer_trace_context = impl.transport.trace_context;
   if (!impl.transport.codec.empty()) {
     // Validate the name up front (throws with the known-codec list) and
     // advertise it; clients pick it during their handshake.
@@ -468,7 +510,7 @@ SimulationResult DistributedDriver::Run() {
         << impl.clients.size() << " clients completed the handshake";
 
     TcpBackend backend(impl.server.get(), std::move(num_samples),
-                       impl.transport);
+                       impl.transport, impl.config.seed);
     ExperimentSpec sim_spec;
     sim_spec.sim = impl.config;
     sim_spec.model = impl.spec;
@@ -482,9 +524,11 @@ SimulationResult DistributedDriver::Run() {
     result = simulation.Run();
   } catch (...) {
     impl.JoinWorkers();
+    util::SetThreadLogPrefix("");
     throw;
   }
   impl.JoinWorkers();
+  util::SetThreadLogPrefix("");
   return result;
 }
 

@@ -45,6 +45,12 @@ struct TransportOptions {
   // downlink. Delta-only codecs (int8, topk-delta) fall back to identity
   // for broadcasts.
   std::string codec;
+  // Trace-context propagation: the server offers it during the handshake
+  // and, for clients that accept, stamps each job's broadcast with a
+  // deterministic trace id (fl/trace_context.h) that the client echoes on
+  // its update. Ids are pure functions of (seed, client, job), so enabling
+  // this never perturbs results. Off → legacy wire bytes.
+  bool trace_context = false;
 };
 
 class DistributedDriver {

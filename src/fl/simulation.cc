@@ -8,7 +8,9 @@
 
 #include "compress/codec.h"
 #include "fl/checkpoint.h"
+#include "fl/trace_context.h"
 #include "nn/serialize.h"
+#include "obs/audit.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "stats/zipf.h"
@@ -210,6 +212,8 @@ SimulationResult Simulation::Run() {
                              .bucket_count = 12});
   obs::Counter& rounds_counter = registry.GetCounter("sim.rounds",
                                                      metric_labels);
+  obs::Gauge& round_gauge = registry.GetGauge("sim.round", metric_labels);
+  obs::AuditTrail& audit = obs::AuditTrail::Global();
 
   // Kick off every client (the paper's sampler selects all 100 each round).
   // A restored run skips this: its event queue, RNG positions, and job
@@ -221,6 +225,7 @@ SimulationResult Simulation::Run() {
   }
 
   while (round_ < config_.rounds) {
+    round_gauge.Set(static_cast<double>(round_));
     auto attack_rng = rngs_.Stream("attack", round_);
 
     // Fill the buffer up to the aggregation bound. Normally one pass; a
@@ -275,6 +280,19 @@ SimulationResult Simulation::Run() {
         update.arrival_round = round_;
         update.staleness = round_ - job.dispatch_round;
         update.num_samples = backend_->NumSamples(job.client_id);
+        // Observability sidecar. The trace id is a pure function of
+        // (seed, client, job) — the same id the tcp backend stamped on the
+        // broadcast — so it costs a mix, never an RNG draw. Wire stats and
+        // the queue-entry clock stamp only matter to the audit trail.
+        update.trace_id =
+            TraceIdFor(config_.seed, job.client_id, job.job_index);
+        if (audit.enabled()) {
+          TrainBackend::WireStats wire =
+              backend_->UpdateWireStats(job.client_id, job.job_index);
+          update.codec = std::move(wire.codec);
+          update.wire_bytes = wire.wire_bytes;
+          update.enqueued_ns = obs::TraceRecorder::NowNs();
+        }
         if (IsMalicious(job.client_id)) {
           coordinator_.Absorb(honest[j]);
           const auto window = coordinator_.Window();
@@ -335,6 +353,19 @@ SimulationResult Simulation::Run() {
     const auto defense_end = std::chrono::steady_clock::now();
     AF_CHECK_EQ(agg.verdicts.size(), buffer_.size());
 
+    const auto defense_start_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            defense_start.time_since_epoch())
+            .count());
+    const auto defense_end_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            defense_end.time_since_epoch())
+            .count());
+    const double defense_us =
+        static_cast<double>(defense_end_ns - defense_start_ns) / 1e3;
+    // Scores align with updates only when the defense filled them.
+    const bool has_scores = agg.scores.size() == buffer_.size();
+
     RoundRecord record;
     record.round = round_;
     record.sim_time = now_;
@@ -347,6 +378,7 @@ SimulationResult Simulation::Run() {
       ++record.staleness_histogram[buffer_[i].staleness];
       staleness_hist.Record(static_cast<double>(buffer_[i].staleness));
       const bool rejected = agg.verdicts[i] == defense::Verdict::kRejected;
+      const bool deferred = agg.verdicts[i] == defense::Verdict::kDeferred;
       const bool malicious = buffer_[i].is_malicious_truth;
       if (rejected) {
         ++record.rejected;
@@ -356,7 +388,7 @@ SimulationResult Simulation::Run() {
           ++record.confusion.false_positive;
         }
       } else {
-        if (agg.verdicts[i] == defense::Verdict::kDeferred) {
+        if (deferred) {
           ++record.deferred;
         } else {
           ++record.accepted;
@@ -366,6 +398,40 @@ SimulationResult Simulation::Run() {
         } else {
           ++record.confusion.true_negative;
         }
+      }
+      // Audit trail: one record per update the defense saw, in the same
+      // loop that tallies RoundRecord, so the two can never disagree.
+      if (audit.enabled()) {
+        obs::AuditRecord entry;
+        entry.round = round_;
+        entry.client_id = buffer_[i].client_id;
+        entry.staleness = buffer_[i].staleness;
+        entry.has_score = has_scores;
+        entry.score = has_scores ? agg.scores[i] : 0.0;
+        entry.verdict = rejected   ? obs::AuditVerdict::kFiltered
+                        : deferred ? obs::AuditVerdict::kDeferred
+                                   : obs::AuditVerdict::kKept;
+        entry.codec = buffer_[i].codec;
+        entry.wire_bytes = buffer_[i].wire_bytes;
+        if (buffer_[i].enqueued_ns != 0 &&
+            buffer_[i].enqueued_ns <= defense_start_ns) {
+          entry.queue_wait_us = static_cast<double>(defense_start_ns -
+                                                    buffer_[i].enqueued_ns) /
+                                1e3;
+        }
+        entry.scoring_us = defense_us;
+        entry.trace_id = buffer_[i].trace_id;
+        audit.Append(entry);
+      }
+      // Per-update defense span sharing the update's trace id; this is the
+      // server-side half of the cross-process timeline the client's
+      // net.worker.train span belongs to.
+      if (buffer_[i].trace_id != 0 &&
+          obs::TraceRecorder::Global().enabled()) {
+        const std::uint64_t trace_id = buffer_[i].trace_id;
+        obs::TraceRecorder::Global().Record(
+            "defense.process.update", defense_start_ns, defense_end_ns,
+            {trace_id, DefenseSpanId(trace_id), TrainSpanId(trace_id)});
       }
     }
     record.mean_staleness =
@@ -428,6 +494,7 @@ SimulationResult Simulation::Run() {
     }
   }
 
+  round_gauge.Set(static_cast<double>(round_));
   SimulationResult result = std::move(partial_);
   partial_ = SimulationResult{};
   result.final_model = *global_;
@@ -461,6 +528,12 @@ void SaveUpdate(util::serial::Writer& w, const ModelUpdate& update) {
   w.U64(update.num_samples);
   w.U8(update.is_malicious_truth ? 1 : 0);
   w.FloatVec(update.delta);
+  // Observability sidecar (checkpoint v2). enqueued_ns is deliberately not
+  // saved: a wall-clock queue latency is meaningless across process
+  // lifetimes, so restored updates report it as unknown.
+  w.U64(update.trace_id);
+  w.Str(update.codec);
+  w.U64(update.wire_bytes);
 }
 
 ModelUpdate LoadUpdate(util::serial::Reader& r) {
@@ -472,6 +545,9 @@ ModelUpdate LoadUpdate(util::serial::Reader& r) {
   update.num_samples = r.U64();
   update.is_malicious_truth = r.U8() != 0;
   update.delta = r.FloatVec();
+  update.trace_id = r.U64();
+  update.codec = r.Str();
+  update.wire_bytes = r.U64();
   return update;
 }
 

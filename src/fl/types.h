@@ -7,6 +7,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace fl {
@@ -25,6 +26,18 @@ struct ModelUpdate {
   // Ground truth for evaluation metrics ONLY. Defenses must never read it;
   // the simulator uses it to compute detection precision/recall.
   bool is_malicious_truth = false;
+
+  // Observability sidecar — never consulted by defenses or aggregation.
+  // trace_id: cross-process trace identity (fl/trace_context.h); always
+  // derivable, 0 only on updates restored from old checkpoints.
+  std::uint64_t trace_id = 0;
+  // Wire provenance (tcp transport only; empty/0 on inproc runs).
+  std::string codec;
+  std::uint64_t wire_bytes = 0;
+  // steady_clock stamp when the update entered the server buffer; feeds the
+  // audit trail's queue-wait latency. 0 = unknown (e.g. after a checkpoint
+  // restore — wall latencies are not meaningful across process lifetimes).
+  std::uint64_t enqueued_ns = 0;
 };
 
 }  // namespace fl

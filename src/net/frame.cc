@@ -34,9 +34,47 @@ bool KnownType(std::uint16_t type) {
     case MessageType::kShutdown:
     case MessageType::kCodecOffer:
     case MessageType::kCodecSelect:
+    case MessageType::kTraceOffer:
+    case MessageType::kTraceSelect:
       return true;
   }
   return false;
+}
+
+// Trailing trace-context block: u32 "AFTC" magic, u64 trace_id,
+// u64 parent_span_id. Appended only for traced messages; sniffed (never
+// required) on decode, so untraced wire bytes are unchanged.
+inline constexpr std::uint32_t kTraceBlockMagic = 0x43544641u;  // "AFTC" (LE)
+inline constexpr std::size_t kTraceBlockBytes =
+    sizeof(std::uint32_t) + 2 * sizeof(std::uint64_t);
+
+void AppendTraceBlock(std::vector<std::uint8_t>& out, std::uint64_t trace_id,
+                      std::uint64_t parent_span_id) {
+  if (trace_id == 0) {
+    return;
+  }
+  AppendRaw(out, kTraceBlockMagic);
+  AppendRaw(out, trace_id);
+  AppendRaw(out, parent_span_id);
+}
+
+// Consumes a trailing AFTC block iff exactly one sits at `*offset` at the
+// very end of the payload. Anything else (no block, short tail, other
+// trailing bytes) is left for CheckFullyConsumed to reject as before.
+void MaybeReadTraceBlock(const Frame& frame, std::size_t* offset,
+                         std::uint64_t* trace_id,
+                         std::uint64_t* parent_span_id) {
+  if (frame.payload.size() - *offset != kTraceBlockBytes) {
+    return;
+  }
+  std::size_t probe = *offset;
+  const auto magic = ReadRaw<std::uint32_t>(frame.payload, &probe);
+  if (magic != kTraceBlockMagic) {
+    return;
+  }
+  *trace_id = ReadRaw<std::uint64_t>(frame.payload, &probe);
+  *parent_span_id = ReadRaw<std::uint64_t>(frame.payload, &probe);
+  *offset = probe;
 }
 
 // Either a legacy raw AFPM block (codec null or identity) or an AFCZ
@@ -93,6 +131,10 @@ const char* MessageTypeName(MessageType type) {
       return "CodecOffer";
     case MessageType::kCodecSelect:
       return "CodecSelect";
+    case MessageType::kTraceOffer:
+      return "TraceOffer";
+    case MessageType::kTraceSelect:
+      return "TraceSelect";
   }
   return "?";
 }
@@ -145,6 +187,7 @@ Frame EncodeModelBroadcast(const ModelBroadcastMsg& msg,
   AppendRaw(frame.payload, msg.round);
   AppendRaw(frame.payload, msg.job_index);
   AppendParams(frame.payload, msg.params, codec);
+  AppendTraceBlock(frame.payload, msg.trace_id, msg.parent_span_id);
   return frame;
 }
 
@@ -155,6 +198,7 @@ ModelBroadcastMsg DecodeModelBroadcast(const Frame& frame) {
   msg.round = ReadRaw<std::uint64_t>(frame.payload, &offset);
   msg.job_index = ReadRaw<std::uint64_t>(frame.payload, &offset);
   msg.params = compress::ParseAnyParams(frame.payload, &offset);
+  MaybeReadTraceBlock(frame, &offset, &msg.trace_id, &msg.parent_span_id);
   CheckFullyConsumed(frame, offset);
   return msg;
 }
@@ -171,6 +215,7 @@ Frame EncodeClientUpdate(const ClientUpdateMsg& msg,
   AppendRaw(frame.payload, msg.base_round);
   AppendRaw(frame.payload, msg.num_samples);
   AppendParams(frame.payload, msg.delta, codec, feedback);
+  AppendTraceBlock(frame.payload, msg.trace_id, msg.parent_span_id);
   return frame;
 }
 
@@ -183,7 +228,9 @@ ClientUpdateMsg DecodeClientUpdate(const Frame& frame) {
   msg.base_round = ReadRaw<std::uint64_t>(frame.payload, &offset);
   msg.num_samples = ReadRaw<std::uint64_t>(frame.payload, &offset);
   msg.delta = compress::ParseAnyParams(frame.payload, &offset);
+  MaybeReadTraceBlock(frame, &offset, &msg.trace_id, &msg.parent_span_id);
   CheckFullyConsumed(frame, offset);
+  msg.wire_bytes = frame.payload.size();
   return msg;
 }
 
@@ -239,6 +286,34 @@ CodecSelectMsg DecodeCodecSelect(const Frame& frame) {
   CodecSelectMsg msg;
   std::size_t offset = 0;
   msg.codec = ReadName(frame.payload, &offset);
+  CheckFullyConsumed(frame, offset);
+  return msg;
+}
+
+Frame EncodeTraceOffer(const TraceOfferMsg&) {
+  Frame frame;
+  frame.type = MessageType::kTraceOffer;
+  return frame;
+}
+
+TraceOfferMsg DecodeTraceOffer(const Frame& frame) {
+  CheckType(frame, MessageType::kTraceOffer);
+  CheckFullyConsumed(frame, 0);
+  return TraceOfferMsg{};
+}
+
+Frame EncodeTraceSelect(const TraceSelectMsg& msg) {
+  Frame frame;
+  frame.type = MessageType::kTraceSelect;
+  frame.payload.push_back(msg.enabled ? 1 : 0);
+  return frame;
+}
+
+TraceSelectMsg DecodeTraceSelect(const Frame& frame) {
+  CheckType(frame, MessageType::kTraceSelect);
+  TraceSelectMsg msg;
+  std::size_t offset = 0;
+  msg.enabled = ReadRaw<std::uint8_t>(frame.payload, &offset) != 0;
   CheckFullyConsumed(frame, offset);
   return msg;
 }

@@ -24,6 +24,14 @@
 // offer — the first post-hello frame is a ModelBroadcast, which a new client
 // reads as "old server: identity". Both fallbacks keep the wire bytes
 // exactly what they were before codecs existed.
+//
+// Trace-context negotiation follows the same pattern with TraceOffer /
+// TraceSelect frames. When both sides opt in, ModelBroadcast and
+// ClientUpdate payloads may carry a 20-byte trailing AFTC block
+// (u32 "AFTC" magic, u64 trace_id, u64 parent_span_id) after the parameter
+// block. The block is emitted only when trace_id is non-zero and decoders
+// sniff for it, so an untraced run — or a legacy peer — sees wire bytes
+// identical to before trace propagation existed.
 #pragma once
 
 #include <cstddef>
@@ -46,6 +54,8 @@ enum class MessageType : std::uint16_t {
   kShutdown = 4,        // server → client: run over, close cleanly
   kCodecOffer = 5,      // server → client: codec names the server accepts
   kCodecSelect = 6,     // client → server: the codec the client will use
+  kTraceOffer = 7,      // server → client: server understands trace context
+  kTraceSelect = 8,     // client → server: client will attach trace context
 };
 
 const char* MessageTypeName(MessageType type);
@@ -82,6 +92,9 @@ struct ModelBroadcastMsg {
   std::uint64_t round = 0;
   std::uint64_t job_index = 0;
   std::vector<float> params;
+  // Cross-process trace context (0 = untraced → no AFTC block on the wire).
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span_id = 0;
 };
 
 // The client's report for one job.
@@ -91,6 +104,13 @@ struct ClientUpdateMsg {
   std::uint64_t base_round = 0;
   std::uint64_t num_samples = 0;
   std::vector<float> delta;
+  // Cross-process trace context (0 = untraced → no AFTC block on the wire).
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span_id = 0;
+  // Decode-side only: frame payload size in bytes, filled by
+  // DecodeClientUpdate so the server can audit per-update wire cost.
+  // Ignored by the encoder.
+  std::uint64_t wire_bytes = 0;
 };
 
 // Hello (value = client id, sent once after connecting) or update receipt
@@ -108,6 +128,15 @@ struct CodecOfferMsg {
 // downlink, subject to broadcast-safety).
 struct CodecSelectMsg {
   std::string codec;
+};
+
+// Server → client: "I understand AFTC trace-context blocks." Empty payload.
+struct TraceOfferMsg {};
+
+// Client → server: whether the client will attach trace context to its
+// updates (and accepts it on broadcasts).
+struct TraceSelectMsg {
+  bool enabled = false;
 };
 
 // Parameter-bearing encoders take an optional negotiated codec: nullptr (or
@@ -132,6 +161,12 @@ CodecOfferMsg DecodeCodecOffer(const Frame& frame);
 
 Frame EncodeCodecSelect(const CodecSelectMsg& msg);
 CodecSelectMsg DecodeCodecSelect(const Frame& frame);
+
+Frame EncodeTraceOffer(const TraceOfferMsg& msg);
+TraceOfferMsg DecodeTraceOffer(const Frame& frame);
+
+Frame EncodeTraceSelect(const TraceSelectMsg& msg);
+TraceSelectMsg DecodeTraceSelect(const Frame& frame);
 
 Frame MakeShutdownFrame();
 

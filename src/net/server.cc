@@ -47,7 +47,9 @@ Server::Server(ServerOptions options)
       evictions_(obs::DefaultRegistry().GetCounter("net.server.evictions")),
       duplicates_(obs::DefaultRegistry().GetCounter(
           "net.server.duplicate_updates")),
-      tick_us_(obs::DefaultRegistry().GetHistogram("net.server.tick_us")) {
+      tick_us_(obs::DefaultRegistry().GetHistogram("net.server.tick_us")),
+      connected_clients_(obs::DefaultRegistry().GetGauge(
+          "net.server.connected_clients")) {
   SetNonBlocking(listener_.fd());
 }
 
@@ -97,46 +99,55 @@ bool Server::HandleFrame(Conn& conn, const Frame& frame) {
     }
     conn.client_id = client_id;
     by_client_[client_id] = &conn;
+    // Negotiation rounds: the handshake completes (and the connect callback
+    // fires) only once every offered extension's select arrives, so the
+    // driver never broadcasts before it knows the downlink codec or whether
+    // the client understands trace context.
     if (!options_.advertised_codecs.empty()) {
-      // Negotiation round: the handshake completes (and the connect
-      // callback fires) only once the client's CodecSelect arrives, so the
-      // driver never broadcasts before it knows the downlink codec.
       QueueFrame(conn, EncodeCodecOffer({options_.advertised_codecs}));
-      return true;
+      conn.awaiting_codec_select = true;
     }
-    conn.handshake_complete = true;
-    if (on_connect_) {
-      on_connect_(client_id);
+    if (options_.offer_trace_context) {
+      QueueFrame(conn, EncodeTraceOffer({}));
+      conn.awaiting_trace_select = true;
     }
+    MaybeCompleteHandshake(conn);
     return true;
   }
   if (!conn.handshake_complete) {
-    // Negotiation in flight: the only acceptable frame is the CodecSelect.
-    if (frame.type != MessageType::kCodecSelect) {
-      AF_LOG(kWarn) << "net: client " << conn.client_id << " sent "
-                    << MessageTypeName(frame.type)
-                    << " before codec negotiation finished; closing";
-      return false;
+    // Negotiation in flight: only the selects we are waiting on are
+    // acceptable (in any order).
+    if (frame.type == MessageType::kCodecSelect &&
+        conn.awaiting_codec_select) {
+      const CodecSelectMsg select = DecodeCodecSelect(frame);
+      const std::string key = util::CanonicalName(select.codec);
+      bool offered = key == "identity";
+      for (const std::string& name : options_.advertised_codecs) {
+        offered = offered || util::CanonicalName(name) == key;
+      }
+      if (!offered || !compress::Has(select.codec)) {
+        AF_LOG(kWarn) << "net: client " << conn.client_id
+                      << " selected unavailable codec '" << select.codec
+                      << "'; closing";
+        return false;
+      }
+      const compress::Codec& codec = compress::Get(select.codec);
+      conn.codec = compress::IsIdentity(codec) ? nullptr : &codec;
+      conn.awaiting_codec_select = false;
+      MaybeCompleteHandshake(conn);
+      return true;
     }
-    const CodecSelectMsg select = DecodeCodecSelect(frame);
-    const std::string key = util::CanonicalName(select.codec);
-    bool offered = key == "identity";
-    for (const std::string& name : options_.advertised_codecs) {
-      offered = offered || util::CanonicalName(name) == key;
+    if (frame.type == MessageType::kTraceSelect &&
+        conn.awaiting_trace_select) {
+      conn.trace_context = DecodeTraceSelect(frame).enabled;
+      conn.awaiting_trace_select = false;
+      MaybeCompleteHandshake(conn);
+      return true;
     }
-    if (!offered || !compress::Has(select.codec)) {
-      AF_LOG(kWarn) << "net: client " << conn.client_id
-                    << " selected unavailable codec '" << select.codec
-                    << "'; closing";
-      return false;
-    }
-    const compress::Codec& codec = compress::Get(select.codec);
-    conn.codec = compress::IsIdentity(codec) ? nullptr : &codec;
-    conn.handshake_complete = true;
-    if (on_connect_) {
-      on_connect_(conn.client_id);
-    }
-    return true;
+    AF_LOG(kWarn) << "net: client " << conn.client_id << " sent "
+                  << MessageTypeName(frame.type)
+                  << " before negotiation finished; closing";
+    return false;
   }
   switch (frame.type) {
     case MessageType::kClientUpdate: {
@@ -165,9 +176,11 @@ bool Server::HandleFrame(Conn& conn, const Frame& frame) {
     case MessageType::kShutdown:
       return false;  // client says goodbye
     case MessageType::kCodecSelect:
+    case MessageType::kTraceSelect:
       return true;  // repeated select after negotiation; harmless
     case MessageType::kModelBroadcast:
     case MessageType::kCodecOffer:
+    case MessageType::kTraceOffer:
       AF_LOG(kWarn) << "net: client " << conn.client_id
                     << " sent a server-only frame; closing";
       return false;
@@ -252,6 +265,17 @@ bool Server::WriteConn(Conn& conn) {
   return true;
 }
 
+void Server::MaybeCompleteHandshake(Conn& conn) {
+  if (conn.awaiting_codec_select || conn.awaiting_trace_select) {
+    return;
+  }
+  conn.handshake_complete = true;
+  connected_clients_.Set(static_cast<double>(HandshakeCount()));
+  if (on_connect_) {
+    on_connect_(conn.client_id);
+  }
+}
+
 void Server::CloseConn(std::size_t index, const char* reason) {
   Conn& conn = *conns_[index];
   if (conn.client_id >= 0) {
@@ -259,6 +283,7 @@ void Server::CloseConn(std::size_t index, const char* reason) {
                   << " disconnected (" << reason << ")";
     by_client_.erase(conn.client_id);
     evictions_.Increment();
+    connected_clients_.Set(static_cast<double>(HandshakeCount()));
     if (on_disconnect_) {
       on_disconnect_(conn.client_id);
     }
@@ -425,6 +450,11 @@ bool Server::IsConnected(int client_id) const {
 const compress::Codec* Server::ClientCodec(int client_id) const {
   auto it = by_client_.find(client_id);
   return it == by_client_.end() ? nullptr : it->second->codec;
+}
+
+bool Server::ClientTraceContext(int client_id) const {
+  auto it = by_client_.find(client_id);
+  return it != by_client_.end() && it->second->trace_context;
 }
 
 }  // namespace net

@@ -52,6 +52,10 @@ struct ServerOptions {
   // Empty → no CodecOffer is sent and the handshake is the legacy two-step.
   // "identity" is always acceptable in a CodecSelect even when not listed.
   std::vector<std::string> advertised_codecs;
+  // Offer trace-context propagation (a TraceOffer after the hello); clients
+  // answer with a TraceSelect saying whether they will attach AFTC blocks.
+  // Off → no offer, wire identical to before trace propagation existed.
+  bool offer_trace_context = false;
 };
 
 class Server {
@@ -101,11 +105,19 @@ class Server {
   // driver uses this to encode downlink broadcasts the client can decode.
   const compress::Codec* ClientCodec(int client_id) const;
 
+  // Whether the client accepted trace-context propagation during its
+  // handshake. The driver only attaches AFTC blocks to broadcasts for
+  // clients that did.
+  bool ClientTraceContext(int client_id) const;
+
  private:
   struct Conn {
     util::UniqueFd fd;
     int client_id = -1;  // -1 until the hello Ack arrives
     bool handshake_complete = false;
+    bool awaiting_codec_select = false;  // offer sent, select pending
+    bool awaiting_trace_select = false;
+    bool trace_context = false;  // client accepted the TraceOffer
     const compress::Codec* codec = nullptr;  // negotiated; null = identity
     std::vector<std::uint8_t> in;
     std::vector<std::uint8_t> out;
@@ -116,6 +128,8 @@ class Server {
 
   void AcceptPending();
   std::size_t HandshakeCount() const;
+  // Marks the handshake done once no selects are pending; fires on_connect_.
+  void MaybeCompleteHandshake(Conn& conn);
   // Appends the encoded frame to the connection's write queue (no flush).
   void QueueFrame(Conn& conn, const Frame& frame);
   // Reads and processes one connection; returns false when it must close.
@@ -140,6 +154,7 @@ class Server {
   obs::Counter& evictions_;
   obs::Counter& duplicates_;
   obs::Histogram& tick_us_;
+  obs::Gauge& connected_clients_;
 };
 
 }  // namespace net

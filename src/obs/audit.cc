@@ -1,0 +1,117 @@
+#include "obs/audit.h"
+
+#include <stdexcept>
+
+#include "obs/json.h"
+#include "obs/trace.h"
+
+namespace obs {
+
+const char* AuditVerdictName(AuditVerdict verdict) {
+  switch (verdict) {
+    case AuditVerdict::kKept:
+      return "kept";
+    case AuditVerdict::kFiltered:
+      return "filtered";
+    case AuditVerdict::kDeferred:
+      return "deferred";
+  }
+  return "?";
+}
+
+AuditTrail& AuditTrail::Global() {
+  static AuditTrail* trail = new AuditTrail();
+  return *trail;
+}
+
+void AuditTrail::Open(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  out_.close();
+  out_.clear();
+  out_.open(path, std::ios::trunc);
+  if (!out_) {
+    throw std::runtime_error("cannot open audit output: " + path);
+  }
+  record_count_ = 0;
+  counts_.clear();
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void AuditTrail::Close() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  enabled_.store(false, std::memory_order_relaxed);
+  if (out_.is_open()) {
+    out_.flush();
+    out_.close();
+  }
+}
+
+void AuditTrail::Append(const AuditRecord& record) {
+  if (!enabled()) {
+    return;
+  }
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("round").UInt(record.round);
+  json.Key("client_id").Int(record.client_id);
+  json.Key("staleness").UInt(record.staleness);
+  if (record.has_score) {
+    json.Key("score").Number(record.score);
+  } else {
+    json.Key("score").Null();
+  }
+  json.Key("verdict").String(AuditVerdictName(record.verdict));
+  if (record.codec.empty()) {
+    json.Key("codec").Null();
+  } else {
+    json.Key("codec").String(record.codec);
+  }
+  if (record.wire_bytes == 0) {
+    json.Key("wire_bytes").Null();
+  } else {
+    json.Key("wire_bytes").UInt(record.wire_bytes);
+  }
+  if (record.queue_wait_us < 0.0) {
+    json.Key("queue_wait_us").Null();
+  } else {
+    json.Key("queue_wait_us").Number(record.queue_wait_us);
+  }
+  json.Key("scoring_us").Number(record.scoring_us);
+  if (record.trace_id == 0) {
+    json.Key("trace_id").Null();
+  } else {
+    json.Key("trace_id").String(TraceIdHex(record.trace_id));
+  }
+  json.EndObject();
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!out_.is_open()) {
+    return;  // lost a race with Close(); drop the record
+  }
+  out_ << json.str() << '\n';
+  ++record_count_;
+  AuditCounts& counts = counts_[record.client_id];
+  switch (record.verdict) {
+    case AuditVerdict::kKept:
+      ++counts.kept;
+      break;
+    case AuditVerdict::kFiltered:
+      ++counts.filtered;
+      break;
+    case AuditVerdict::kDeferred:
+      ++counts.deferred;
+      break;
+  }
+}
+
+std::uint64_t AuditTrail::RecordCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return record_count_;
+}
+
+std::map<int, AuditCounts> AuditTrail::CountsByClient() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counts_;
+}
+
+}  // namespace obs

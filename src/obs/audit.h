@@ -1,0 +1,86 @@
+// Defense-decision audit trail: one structured JSONL record per update that
+// reaches Defense::Process.
+//
+// The paper's detection-rate tables summarise verdicts away; this is the
+// forensic layer underneath them — per update, who sent it, how stale it
+// was, what the filter scored it, what the server decided, what it cost on
+// the wire and in queue/scoring time. Records stream to a JSONL file as
+// they happen (a crash loses at most the unflushed tail of the current
+// round) and the trail keeps in-memory per-client verdict tallies so tests
+// can cross-check the audit against SimulationResult exactly.
+//
+// Zero cost when closed: emitters guard on enabled(), a single relaxed
+// atomic load, and the simulator skips record construction entirely.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace obs {
+
+// The server's verdict, audit vocabulary: kept (aggregated), filtered
+// (rejected by the defense), deferred (re-enqueued into the next buffer).
+enum class AuditVerdict { kKept, kFiltered, kDeferred };
+
+const char* AuditVerdictName(AuditVerdict verdict);
+
+struct AuditRecord {
+  std::uint64_t round = 0;
+  int client_id = -1;
+  std::uint64_t staleness = 0;
+  // The defense's suspicious score for this update; not every defense
+  // produces one (has_score=false → null in the JSONL).
+  bool has_score = false;
+  double score = 0.0;
+  AuditVerdict verdict = AuditVerdict::kKept;
+  // Wire provenance (tcp transport only; empty/0 → null in the JSONL).
+  std::string codec;
+  std::uint64_t wire_bytes = 0;
+  // Latencies: wall-clock time the update sat buffered before the defense
+  // ran (negative → unknown → null), and the defense's scoring pass.
+  double queue_wait_us = -1.0;
+  double scoring_us = 0.0;
+  std::uint64_t trace_id = 0;  // 0 → null; hex string otherwise
+};
+
+// Per-client verdict tallies mirrored in memory as records are appended.
+struct AuditCounts {
+  std::uint64_t kept = 0;
+  std::uint64_t filtered = 0;
+  std::uint64_t deferred = 0;
+};
+
+class AuditTrail {
+ public:
+  // The process-wide trail the simulator appends to (closed by default).
+  static AuditTrail& Global();
+
+  // Opens `path` for appending records (truncates), resetting the tallies.
+  // Throws std::runtime_error when the file cannot be opened.
+  void Open(const std::string& path);
+
+  // Flushes and closes; enabled() turns false. Safe when already closed.
+  void Close();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // Writes one JSONL line and updates the in-memory tallies. No-op when
+  // closed.
+  void Append(const AuditRecord& record);
+
+  std::uint64_t RecordCount() const;
+  std::map<int, AuditCounts> CountsByClient() const;
+
+ private:
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;
+  std::ofstream out_;
+  std::uint64_t record_count_ = 0;
+  std::map<int, AuditCounts> counts_;
+};
+
+}  // namespace obs

@@ -1,0 +1,411 @@
+#include "obs/export.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <cctype>
+#include <cerrno>
+#include <charconv>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+
+#include "obs/json.h"
+#include "util/check.h"
+#include "util/fd.h"
+#include "util/logging.h"
+
+namespace obs {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// --- Prometheus text helpers ------------------------------------------
+
+// Metric names: [a-zA-Z_:][a-zA-Z0-9_:]*. Our dotted names map '.' (and
+// anything else outside the charset) to '_'.
+std::string SanitizeMetricName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    const bool ok = std::isalnum(static_cast<unsigned char>(c)) != 0 ||
+                    c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  if (out.empty() || std::isdigit(static_cast<unsigned char>(out[0])) != 0) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+// Label names: like metric names but without ':'.
+std::string SanitizeLabelName(const std::string& name) {
+  std::string out = SanitizeMetricName(name);
+  for (char& c : out) {
+    if (c == ':') {
+      c = '_';
+    }
+  }
+  return out;
+}
+
+// Label values: escape backslash, double quote, and newline (the spec's
+// three escapes).
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+// Sample values: shortest round-trip decimal; non-finite uses Prometheus
+// spellings (+Inf / -Inf / NaN), which also serve as `le` bounds.
+std::string FormatValue(double value) {
+  if (std::isnan(value)) {
+    return "NaN";
+  }
+  if (std::isinf(value)) {
+    return value > 0 ? "+Inf" : "-Inf";
+  }
+  char buf[64];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  AF_CHECK(ec == std::errc()) << "to_chars failed";
+  return std::string(buf, ptr);
+}
+
+// `{k1="v1",k2="v2"}` (or "" with no labels); `le`, when present, is
+// appended last.
+std::string FormatLabels(const Labels& labels, const std::string* le) {
+  if (labels.empty() && le == nullptr) {
+    return "";
+  }
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) {
+      out.push_back(',');
+    }
+    first = false;
+    out += SanitizeLabelName(key);
+    out += "=\"";
+    out += EscapeLabelValue(value);
+    out += "\"";
+  }
+  if (le != nullptr) {
+    if (!first) {
+      out.push_back(',');
+    }
+    out += "le=\"" + *le + "\"";
+  }
+  out.push_back('}');
+  return out;
+}
+
+const char* KindTypeName(MetricSnapshot::Kind kind) {
+  switch (kind) {
+    case MetricSnapshot::Kind::kCounter:
+      return "counter";
+    case MetricSnapshot::Kind::kGauge:
+      return "gauge";
+    case MetricSnapshot::Kind::kHistogram:
+      return "histogram";
+  }
+  return "untyped";
+}
+
+// --- /healthz helpers -------------------------------------------------
+
+double MaxGauge(const std::vector<MetricSnapshot>& snapshot,
+                const std::string& name) {
+  double max = 0.0;
+  for (const MetricSnapshot& metric : snapshot) {
+    if (metric.kind == MetricSnapshot::Kind::kGauge && metric.name == name) {
+      max = std::max(max, metric.gauge_value);
+    }
+  }
+  return max;
+}
+
+std::uint64_t SumCounters(const std::vector<MetricSnapshot>& snapshot,
+                          const std::string& name) {
+  std::uint64_t sum = 0;
+  for (const MetricSnapshot& metric : snapshot) {
+    if (metric.kind == MetricSnapshot::Kind::kCounter &&
+        metric.name == name) {
+      sum += metric.counter_value;
+    }
+  }
+  return sum;
+}
+
+double SumGauges(const std::vector<MetricSnapshot>& snapshot,
+                 const std::string& name) {
+  double sum = 0.0;
+  for (const MetricSnapshot& metric : snapshot) {
+    if (metric.kind == MetricSnapshot::Kind::kGauge && metric.name == name) {
+      sum += metric.gauge_value;
+    }
+  }
+  return sum;
+}
+
+}  // namespace
+
+std::string PrometheusText(const MetricsRegistry& registry) {
+  const std::vector<MetricSnapshot> snapshot = registry.Snapshot();
+  std::string out;
+  std::string last_typed;  // sanitized name the last # TYPE line covered
+  for (const MetricSnapshot& metric : snapshot) {
+    const std::string name = SanitizeMetricName(metric.name);
+    if (name != last_typed) {
+      out += "# TYPE " + name + " " + KindTypeName(metric.kind) + "\n";
+      last_typed = name;
+    }
+    switch (metric.kind) {
+      case MetricSnapshot::Kind::kCounter:
+        out += name + FormatLabels(metric.labels, nullptr) + " " +
+               std::to_string(metric.counter_value) + "\n";
+        break;
+      case MetricSnapshot::Kind::kGauge:
+        out += name + FormatLabels(metric.labels, nullptr) + " " +
+               FormatValue(metric.gauge_value) + "\n";
+        break;
+      case MetricSnapshot::Kind::kHistogram: {
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < metric.bucket_counts.size(); ++i) {
+          cumulative += metric.bucket_counts[i];
+          const std::string le = FormatValue(metric.bucket_bounds[i]);
+          out += name + "_bucket" + FormatLabels(metric.labels, &le) + " " +
+                 std::to_string(cumulative) + "\n";
+        }
+        out += name + "_sum" + FormatLabels(metric.labels, nullptr) + " " +
+               FormatValue(metric.hist_sum) + "\n";
+        out += name + "_count" + FormatLabels(metric.labels, nullptr) + " " +
+               std::to_string(metric.hist_count) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string HealthzJson(const MetricsRegistry& registry,
+                        const TraceRecorder& recorder) {
+  const std::vector<MetricSnapshot> snapshot = registry.Snapshot();
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("status").String("ok");
+  json.Key("round").Number(MaxGauge(snapshot, "sim.round"));
+  json.Key("connected_clients")
+      .Number(SumGauges(snapshot, "net.server.connected_clients"));
+  json.Key("evictions").UInt(SumCounters(snapshot, "net.server.evictions"));
+  json.Key("spans").UInt(recorder.SpanCount());
+  json.Key("dropped_spans").UInt(recorder.DroppedCount());
+  json.Key("metrics").UInt(registry.MetricCount());
+  json.EndObject();
+  return json.TakeString();
+}
+
+std::string SpansJson(const TraceRecorder& recorder, std::size_t max_spans) {
+  std::vector<SpanEvent> events = recorder.Snapshot();
+  const std::size_t start =
+      events.size() > max_spans ? events.size() - max_spans : 0;
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("total").UInt(events.size());
+  json.Key("dropped").UInt(recorder.DroppedCount());
+  json.Key("spans").BeginArray();
+  for (std::size_t i = start; i < events.size(); ++i) {
+    const SpanEvent& event = events[i];
+    json.BeginObject();
+    json.Key("name").String(event.name != nullptr ? event.name : "?");
+    json.Key("tid").UInt(event.thread_id);
+    json.Key("begin_ns").UInt(event.begin_ns);
+    json.Key("dur_ns").UInt(event.end_ns - event.begin_ns);
+    if (event.context.trace_id != 0) {
+      json.Key("trace_id").String(TraceIdHex(event.context.trace_id));
+      json.Key("span_id").String(TraceIdHex(event.context.span_id));
+      json.Key("parent_id").String(TraceIdHex(event.context.parent_id));
+    }
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  return json.TakeString();
+}
+
+// --- HTTP endpoint ----------------------------------------------------
+
+namespace {
+
+// Sends the whole buffer with a poll() deadline; returns false on error or
+// timeout (the scraper gets a truncated response and retries next scrape).
+bool SendAll(int fd, const std::string& data, int timeout_ms) {
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          deadline - Clock::now())
+                          .count();
+    if (left <= 0) {
+      return false;
+    }
+    pollfd pfd{fd, POLLOUT, 0};
+    const int ready = ::poll(&pfd, 1, static_cast<int>(left));
+    if (ready <= 0) {
+      if (ready < 0 && errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+        continue;
+      }
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::string HttpResponse(const char* status, const char* content_type,
+                         const std::string& body) {
+  std::string out = "HTTP/1.0 ";
+  out += status;
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: " + std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+// Reads until the end of the request head ("\r\n\r\n") or the deadline;
+// returns the request text (possibly partial on timeout).
+std::string RecvRequestHead(int fd, int timeout_ms) {
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  std::string request;
+  while (request.find("\r\n\r\n") == std::string::npos &&
+         request.size() < 8192) {
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          deadline - Clock::now())
+                          .count();
+    if (left <= 0) {
+      break;
+    }
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, static_cast<int>(left));
+    if (ready <= 0) {
+      if (ready < 0 && errno == EINTR) {
+        continue;
+      }
+      break;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      break;
+    }
+    request.append(chunk, static_cast<std::size_t>(n));
+  }
+  return request;
+}
+
+// "GET /metrics HTTP/1.0" → "/metrics"; empty on anything else.
+std::string ParseGetPath(const std::string& request) {
+  if (request.rfind("GET ", 0) != 0) {
+    return "";
+  }
+  const std::size_t start = 4;
+  const std::size_t end = request.find_first_of(" \r\n", start);
+  if (end == std::string::npos || end == start) {
+    return "";
+  }
+  return request.substr(start, end - start);
+}
+
+}  // namespace
+
+MetricsExporter::MetricsExporter(MetricsExporterOptions options)
+    : options_(options), listener_(options.port) {
+  thread_ = std::thread([this] { Serve(); });
+}
+
+MetricsExporter::~MetricsExporter() { Stop(); }
+
+void MetricsExporter::Stop() {
+  stop_.store(true, std::memory_order_relaxed);
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+}
+
+void MetricsExporter::Serve() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    pollfd pfd{listener_.fd(), POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 100);
+    if (ready < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      AF_LOG(kWarn) << "obs: exporter poll failed: "
+                    << util::ErrnoMessage(errno);
+      return;
+    }
+    if (ready == 0 || (pfd.revents & POLLIN) == 0) {
+      continue;
+    }
+    try {
+      util::UniqueFd conn = listener_.Accept();
+      HandleConnection(conn.get());
+    } catch (const std::exception& e) {
+      AF_LOG(kWarn) << "obs: exporter request failed: " << e.what();
+    }
+  }
+}
+
+void MetricsExporter::HandleConnection(int fd) {
+  const std::string request = RecvRequestHead(fd, options_.io_timeout_ms);
+  const std::string path = ParseGetPath(request);
+  std::string response;
+  if (path == "/metrics") {
+    response = HttpResponse("200 OK",
+                            "text/plain; version=0.0.4; charset=utf-8",
+                            PrometheusText(DefaultRegistry()));
+  } else if (path == "/healthz") {
+    response = HttpResponse(
+        "200 OK", "application/json",
+        HealthzJson(DefaultRegistry(), TraceRecorder::Global()));
+  } else if (path == "/spans") {
+    response = HttpResponse("200 OK", "application/json",
+                            SpansJson(TraceRecorder::Global(), 1024));
+  } else if (path.empty()) {
+    response = HttpResponse("400 Bad Request", "text/plain",
+                            "expected GET /metrics, /healthz, or /spans\n");
+  } else {
+    response = HttpResponse("404 Not Found", "text/plain",
+                            "unknown path; try /metrics, /healthz, /spans\n");
+  }
+  if (SendAll(fd, response, options_.io_timeout_ms)) {
+    requests_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace obs

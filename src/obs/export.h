@@ -1,0 +1,92 @@
+// Live observability plane: an embedded HTTP/1.0 exporter.
+//
+// A run (or the net::Server driving one) starts a MetricsExporter on a
+// loopback port and anything that speaks HTTP can watch it live:
+//
+//   /metrics  Prometheus text exposition (0.0.4) of the full
+//             MetricsRegistry — counters, gauges, histogram buckets with
+//             labels. `curl localhost:9464/metrics` or point a Prometheus
+//             scrape job at it.
+//   /healthz  One JSON object: round progress, connected clients,
+//             eviction count, span/metric totals.
+//   /spans    JSON of the most recent trace-ring spans (ids included), for
+//             a quick look without exporting a full Chrome trace.
+//
+// The exporter is a single serving thread over the existing net::Listener
+// primitive: poll + accept, one short-lived connection per request,
+// `Connection: close`. It is observation-only — it never touches an RNG
+// stream or simulation state, so a run with the exporter on produces
+// bit-identical results to one without. Off by default; when no exporter
+// is constructed there is no thread and no socket.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "net/socket.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace obs {
+
+// --- Formatting (pure; separately testable) ---------------------------
+
+// Prometheus text exposition 0.0.4 of every metric in `registry`. Metric
+// and label names are sanitised to the Prometheus charset (dots become
+// underscores); label values are escaped per the spec. Histograms emit
+// cumulative `_bucket{le=...}` series ending in `+Inf`, plus `_sum` and
+// `_count`.
+std::string PrometheusText(const MetricsRegistry& registry);
+
+// One JSON object summarising liveness: {"status","round",
+// "connected_clients","evictions","spans","metrics"}. Values are read from
+// the registry's `sim.round` / `net.server.connected_clients` gauges and
+// `net.server.evictions` counters (0 when a series does not exist yet).
+std::string HealthzJson(const MetricsRegistry& registry,
+                        const TraceRecorder& recorder);
+
+// JSON of the most recent `max_spans` spans in the recorder's ring.
+std::string SpansJson(const TraceRecorder& recorder, std::size_t max_spans);
+
+// --- The embedded endpoint --------------------------------------------
+
+struct MetricsExporterOptions {
+  std::uint16_t port = 0;  // 0 → ephemeral loopback port (see port())
+  // How long one request may take to arrive/flush before the connection is
+  // dropped; scrapers are local, so this is generous.
+  int io_timeout_ms = 2000;
+};
+
+class MetricsExporter {
+ public:
+  // Binds the port and starts the serving thread. Throws util::CheckError
+  // when the port cannot be bound.
+  explicit MetricsExporter(MetricsExporterOptions options = {});
+  ~MetricsExporter();  // Stop()
+
+  MetricsExporter(const MetricsExporter&) = delete;
+  MetricsExporter& operator=(const MetricsExporter&) = delete;
+
+  std::uint16_t port() const { return listener_.port(); }
+
+  // Joins the serving thread; idempotent.
+  void Stop();
+
+  std::uint64_t requests_served() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Serve();
+  void HandleConnection(int fd);
+
+  MetricsExporterOptions options_;
+  net::Listener listener_;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> requests_{0};
+  std::thread thread_;
+};
+
+}  // namespace obs

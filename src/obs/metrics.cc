@@ -173,6 +173,45 @@ Histogram& MetricsRegistry::GetHistogram(std::string_view name,
   return *Lookup(name, labels, Kind::kHistogram, &options).histogram;
 }
 
+std::vector<MetricSnapshot> MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<MetricSnapshot> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) {
+    MetricSnapshot snap;
+    snap.name = entry.name;
+    snap.labels = entry.labels;
+    switch (entry.kind) {
+      case Kind::kCounter:
+        snap.kind = MetricSnapshot::Kind::kCounter;
+        snap.counter_value = entry.counter->Value();
+        break;
+      case Kind::kGauge:
+        snap.kind = MetricSnapshot::Kind::kGauge;
+        snap.gauge_value = entry.gauge->Value();
+        break;
+      case Kind::kHistogram: {
+        snap.kind = MetricSnapshot::Kind::kHistogram;
+        const Histogram& h = *entry.histogram;
+        const std::size_t buckets = h.BucketCount();
+        snap.bucket_bounds.reserve(buckets);
+        snap.bucket_counts.reserve(buckets);
+        for (std::size_t i = 0; i < buckets; ++i) {
+          snap.bucket_bounds.push_back(h.BucketUpperBound(i));
+          snap.bucket_counts.push_back(h.BucketValue(i));
+          // Derived from the same bucket reads (not h.Count()) so a scrape
+          // taken mid-Record still satisfies count == +Inf bucket.
+          snap.hist_count += snap.bucket_counts.back();
+        }
+        snap.hist_sum = h.Sum();
+        break;
+      }
+    }
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
 std::size_t MetricsRegistry::MetricCount() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return entries_.size();

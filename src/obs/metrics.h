@@ -86,6 +86,23 @@ class Histogram {
   std::atomic<double> max_{0.0};
 };
 
+// Point-in-time copy of one registered metric, decoupled from the live
+// atomics so exporters (Prometheus text, /healthz) can format without
+// holding the registry mutex. For histograms the buckets are per-bucket
+// (non-cumulative) counts; the last bound is +inf (the overflow bucket).
+struct MetricSnapshot {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  Kind kind = Kind::kCounter;
+  std::string name;
+  Labels labels;
+  std::uint64_t counter_value = 0;
+  double gauge_value = 0.0;
+  std::vector<double> bucket_bounds;
+  std::vector<std::uint64_t> bucket_counts;
+  std::uint64_t hist_count = 0;
+  double hist_sum = 0.0;
+};
+
 // Name + labels → metric instance. Lookups take one mutex; the returned
 // references remain valid until Reset(). A metric name must keep one kind:
 // requesting "x" as a counter and later as a gauge throws.
@@ -95,6 +112,10 @@ class MetricsRegistry {
   Gauge& GetGauge(std::string_view name, const Labels& labels = {});
   Histogram& GetHistogram(std::string_view name, const Labels& labels = {},
                           const HistogramOptions& options = {});
+
+  // Stable copy of every metric, ordered by name then labels (the
+  // registry's key order), safe to take while hot paths keep recording.
+  std::vector<MetricSnapshot> Snapshot() const;
 
   // Full snapshot as a JSON object: {"counters":[...],"gauges":[...],
   // "histograms":[...]} with p50/p95/p99 and non-empty buckets inlined.

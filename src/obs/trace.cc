@@ -9,6 +9,16 @@
 
 namespace obs {
 
+std::string TraceIdHex(std::uint64_t id) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[id & 0xF];
+    id >>= 4;
+  }
+  return out;
+}
+
 TraceRecorder::TraceRecorder(TraceRecorderOptions options)
     : options_(options) {
   if (options_.shard_count == 0 || options_.shard_capacity == 0) {
@@ -40,7 +50,7 @@ std::uint32_t TraceRecorder::CurrentThreadId() {
 }
 
 void TraceRecorder::Record(const char* name, std::uint64_t begin_ns,
-                           std::uint64_t end_ns) {
+                           std::uint64_t end_ns, TraceContext context) {
   const std::uint32_t tid = CurrentThreadId();
   Shard& shard = shards_[tid % shards_.size()];
   std::lock_guard<std::mutex> lock(shard.mutex);
@@ -49,7 +59,7 @@ void TraceRecorder::Record(const char* name, std::uint64_t begin_ns,
   } else {
     ++shard.filled;
   }
-  shard.ring[shard.next] = SpanEvent{name, tid, begin_ns, end_ns};
+  shard.ring[shard.next] = SpanEvent{name, tid, begin_ns, end_ns, context};
   shard.next = (shard.next + 1) % shard.ring.size();
 }
 
@@ -119,6 +129,14 @@ void TraceRecorder::WriteChromeTrace(const std::string& path) const {
         static_cast<double>(event.end_ns - event.begin_ns) / 1e3);
     json.Key("pid").Int(1);
     json.Key("tid").Int(static_cast<std::int64_t>(event.thread_id));
+    if (event.context.trace_id != 0) {
+      // Hex strings, not numbers: 64-bit ids exceed JSON double precision.
+      json.Key("args").BeginObject();
+      json.Key("trace_id").String(TraceIdHex(event.context.trace_id));
+      json.Key("span_id").String(TraceIdHex(event.context.span_id));
+      json.Key("parent_id").String(TraceIdHex(event.context.parent_id));
+      json.EndObject();
+    }
     json.EndObject();
   }
   json.EndArray();

@@ -23,6 +23,17 @@
 
 namespace obs {
 
+// Cross-process span identity. All-zero (the default) means "no context":
+// the span is purely local, exactly what every span was before trace
+// propagation existed. Non-zero ids let spans recorded in different
+// processes (or different recorders) be stitched into one causal timeline —
+// tools/merge_traces.py joins on trace_id.
+struct TraceContext {
+  std::uint64_t trace_id = 0;   // one logical operation end to end
+  std::uint64_t span_id = 0;    // this span
+  std::uint64_t parent_id = 0;  // the span that caused it (0 = root)
+};
+
 struct SpanEvent {
   // Span names must have static storage duration (string literals); the
   // recorder stores the pointer, not a copy.
@@ -30,7 +41,12 @@ struct SpanEvent {
   std::uint32_t thread_id = 0;  // dense per-process id, stable per thread
   std::uint64_t begin_ns = 0;   // steady_clock, offset from an arbitrary epoch
   std::uint64_t end_ns = 0;
+  TraceContext context;  // zero ids → plain local span
 };
+
+// 16-digit zero-padded lowercase hex, the form trace ids take in every JSON
+// export (64-bit ids do not survive JSON's double precision as numbers).
+std::string TraceIdHex(std::uint64_t id);
 
 struct TraceRecorderOptions {
   std::size_t shard_count = 8;          // locks sharded by thread id
@@ -50,7 +66,8 @@ class TraceRecorder {
   }
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
-  void Record(const char* name, std::uint64_t begin_ns, std::uint64_t end_ns);
+  void Record(const char* name, std::uint64_t begin_ns, std::uint64_t end_ns,
+              TraceContext context = {});
 
   // Stable copy of everything currently buffered, ordered by begin time.
   std::vector<SpanEvent> Snapshot() const;
@@ -95,15 +112,17 @@ class TraceRecorder {
 // RAII span: samples the clock only when the global recorder is enabled.
 class ScopedSpan {
  public:
-  explicit ScopedSpan(const char* name) {
+  explicit ScopedSpan(const char* name, TraceContext context = {}) {
     if (TraceRecorder::Global().enabled()) {
       name_ = name;
+      context_ = context;
       begin_ns_ = TraceRecorder::NowNs();
     }
   }
   ~ScopedSpan() {
     if (name_ != nullptr) {
-      TraceRecorder::Global().Record(name_, begin_ns_, TraceRecorder::NowNs());
+      TraceRecorder::Global().Record(name_, begin_ns_, TraceRecorder::NowNs(),
+                                     context_);
     }
   }
   ScopedSpan(const ScopedSpan&) = delete;
@@ -111,6 +130,7 @@ class ScopedSpan {
 
  private:
   const char* name_ = nullptr;
+  TraceContext context_;
   std::uint64_t begin_ns_ = 0;
 };
 

@@ -85,6 +85,16 @@ std::optional<LogLevel> ParseLogLevel(const std::string& name) {
   return std::nullopt;
 }
 
+namespace {
+thread_local std::string g_thread_prefix;
+}  // namespace
+
+void SetThreadLogPrefix(std::string prefix) {
+  g_thread_prefix = std::move(prefix);
+}
+
+const std::string& ThreadLogPrefix() { return g_thread_prefix; }
+
 void SetLogLevel(LogLevel level) {
   std::call_once(g_env_once, [] {});  // mark env as consulted: explicit wins
   g_min_level = static_cast<int>(level);
@@ -105,8 +115,14 @@ void EmitLog(LogLevel level, const std::string& message) {
   char timestamp[40];
   FormatTimestamp(timestamp, sizeof(timestamp));
   std::lock_guard<std::mutex> lock(g_log_mutex);
-  std::fprintf(stderr, "[%s] [%s] %s\n", timestamp, LogLevelName(level),
-               message.c_str());
+  if (g_thread_prefix.empty()) {
+    std::fprintf(stderr, "[%s] [%s] %s\n", timestamp, LogLevelName(level),
+                 message.c_str());
+  } else {
+    std::fprintf(stderr, "[%s] [%s] [%s] %s\n", timestamp,
+                 LogLevelName(level), g_thread_prefix.c_str(),
+                 message.c_str());
+  }
 }
 
 }  // namespace internal

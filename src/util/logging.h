@@ -28,6 +28,13 @@ LogLevel GetLogLevel();
 std::optional<LogLevel> ParseLogLevel(const std::string& name);
 const char* LogLevelName(LogLevel level);
 
+// Thread-local tag prepended to every line this thread logs:
+// `[…] [INFO] [client 3] …`. Distributed runs interleave server and worker
+// threads on one stderr; the prefix makes each line attributable. Empty
+// (the default) adds nothing.
+void SetThreadLogPrefix(std::string prefix);
+const std::string& ThreadLogPrefix();
+
 namespace internal {
 void EmitLog(LogLevel level, const std::string& message);
 

@@ -4,7 +4,11 @@
 // the wire hostile. These are the slowest tests in the suite.
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string_view>
+
 #include "fl/experiment.h"
+#include "obs/trace.h"
 
 namespace fl {
 namespace {
@@ -131,6 +135,55 @@ TEST(DistributedTest, SurvivesTruncatedCompressedFrames) {
   EXPECT_EQ(result.rounds.size(), config.sim.rounds);
   EXPECT_LT(result.evicted_clients, config.num_clients);
   EXPECT_GT(result.final_accuracy, 0.1);
+}
+
+TEST(DistributedTest, TraceContextLinksClientTrainToServerDefenseSpans) {
+  // Cross-process trace propagation, end to end over real TCP: a client's
+  // net.worker.train span and the server's defense.process.update span for
+  // the same training job must share a trace id — and negotiating the
+  // extension must not perturb the simulation (bit-identical to inproc).
+  ExperimentConfig config = SmallConfig(67);
+  config.sim.rounds = 5;
+  config.attack = attacks::AttackKind::kLie;
+  config.defense = DefenseKind::kAsyncFilter;
+
+  config.transport = TransportKind::kInproc;
+  const SimulationResult inproc = RunExperiment(config);
+
+  obs::TraceRecorder& recorder = obs::TraceRecorder::Global();
+  recorder.Clear();
+  recorder.SetEnabled(true);
+  config.transport = TransportKind::kTcp;
+  config.net.trace_context = true;
+  const SimulationResult tcp = RunExperiment(config);
+  recorder.SetEnabled(false);
+
+  std::set<std::uint64_t> train_ids;
+  std::set<std::uint64_t> defense_ids;
+  for (const obs::SpanEvent& event : recorder.Snapshot()) {
+    if (event.context.trace_id == 0) {
+      continue;
+    }
+    const std::string_view name(event.name);
+    if (name == "net.worker.train") {
+      train_ids.insert(event.context.trace_id);
+    } else if (name == "defense.process.update") {
+      defense_ids.insert(event.context.trace_id);
+    }
+  }
+  recorder.Clear();
+
+  EXPECT_FALSE(train_ids.empty());
+  EXPECT_FALSE(defense_ids.empty());
+  std::size_t shared = 0;
+  for (std::uint64_t id : defense_ids) {
+    shared += train_ids.count(id);
+  }
+  EXPECT_GT(shared, 0u) << "no trace id links a client train span to a "
+                           "server defense span";
+
+  EXPECT_EQ(tcp.final_model, inproc.final_model);  // propagation is free
+  EXPECT_EQ(tcp.evicted_clients, 0u);
 }
 
 TEST(DistributedTest, CompletesWhenFifthOfClientsDieMidRun) {

@@ -1,0 +1,154 @@
+// The live observability plane's correctness contracts: the audit trail
+// reconciles exactly with SimulationResult, the /metrics exporter is
+// observation-only (bit-identical results on or off), and trace ids are
+// deterministic pure functions.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <string>
+
+#include "fl/experiment.h"
+#include "fl/trace_context.h"
+#include "obs/audit.h"
+#include "obs/export.h"
+#include "obs/json.h"
+
+namespace fl {
+namespace {
+
+ExperimentConfig TinyConfig(std::uint64_t seed) {
+  ExperimentConfig config =
+      MakeDefaultConfig(data::Profile::kFashionMnist, seed);
+  config.num_clients = 12;
+  config.num_malicious = 3;
+  config.train_pool = 600;
+  config.test_samples = 200;
+  config.partition_size = 40;
+  config.sim.buffer_goal = 6;
+  config.sim.rounds = 6;
+  config.sim.local.epochs = 1;
+  config.threads = 2;
+  return config;
+}
+
+// Close and clear the global audit trail around each test: it is
+// process-wide state shared with every other simulation-running test.
+class ObservabilityTest : public ::testing::Test {
+ protected:
+  void TearDown() override { obs::AuditTrail::Global().Close(); }
+};
+
+TEST_F(ObservabilityTest, AuditCountsReconcileExactlyWithSimulationResult) {
+  const std::string path = ::testing::TempDir() + "obs_audit_run.jsonl";
+  ExperimentConfig config = TinyConfig(71);
+  config.attack = attacks::AttackKind::kGd;
+  config.defense = DefenseKind::kAsyncFilter;
+
+  obs::AuditTrail& audit = obs::AuditTrail::Global();
+  audit.Open(path);
+  const SimulationResult result = RunExperiment(config);
+  audit.Close();
+
+  // The audit trail and RoundRecord are tallied in the same loop; their
+  // totals must agree exactly, per verdict.
+  std::size_t accepted = 0, rejected = 0, deferred = 0, buffered = 0;
+  for (const RoundRecord& round : result.rounds) {
+    accepted += round.accepted;
+    rejected += round.rejected;
+    deferred += round.deferred;
+    buffered += round.buffered;
+  }
+  std::uint64_t kept_total = 0, filtered_total = 0, deferred_total = 0;
+  for (const auto& [client, counts] : audit.CountsByClient()) {
+    EXPECT_GE(client, 0);
+    EXPECT_LT(client, static_cast<int>(config.num_clients));
+    kept_total += counts.kept;
+    filtered_total += counts.filtered;
+    deferred_total += counts.deferred;
+  }
+  EXPECT_EQ(kept_total, accepted);
+  EXPECT_EQ(filtered_total, rejected);
+  EXPECT_EQ(deferred_total, deferred);
+  EXPECT_EQ(audit.RecordCount(), buffered);
+
+  // Every line is one valid JSON object carrying a legal verdict, and the
+  // file has exactly one line per update the defense saw.
+  std::ifstream in(path);
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    std::string error;
+    ASSERT_TRUE(obs::JsonLint(line, &error)) << error << "\n" << line;
+    const bool legal = line.find("\"verdict\":\"kept\"") != std::string::npos ||
+                       line.find("\"verdict\":\"filtered\"") !=
+                           std::string::npos ||
+                       line.find("\"verdict\":\"deferred\"") !=
+                           std::string::npos;
+    EXPECT_TRUE(legal) << line;
+    ++lines;
+  }
+  in.close();
+  std::remove(path.c_str());
+  EXPECT_EQ(lines, buffered);
+}
+
+TEST_F(ObservabilityTest, AuditOnLeavesResultsBitIdentical) {
+  const std::string path = ::testing::TempDir() + "obs_audit_identical.jsonl";
+  ExperimentConfig config = TinyConfig(72);
+  config.attack = attacks::AttackKind::kGd;
+  config.defense = DefenseKind::kAsyncFilter;
+
+  const SimulationResult plain = RunExperiment(config);
+  obs::AuditTrail::Global().Open(path);
+  const SimulationResult audited = RunExperiment(config);
+  obs::AuditTrail::Global().Close();
+  std::remove(path.c_str());
+
+  EXPECT_EQ(audited.final_model, plain.final_model);  // bit-exact
+  EXPECT_EQ(audited.final_accuracy, plain.final_accuracy);
+}
+
+TEST_F(ObservabilityTest, ExporterOnLeavesResultsBitIdentical) {
+  ExperimentConfig config = TinyConfig(73);
+  config.attack = attacks::AttackKind::kGd;
+  config.defense = DefenseKind::kAsyncFilter;
+
+  const SimulationResult off = RunExperiment(config);
+  SimulationResult on;
+  {
+    obs::MetricsExporter exporter;  // live on an ephemeral port for the run
+    ASSERT_NE(exporter.port(), 0);
+    on = RunExperiment(config);
+  }
+  EXPECT_EQ(on.final_model, off.final_model);  // bit-exact
+  EXPECT_EQ(on.final_accuracy, off.final_accuracy);
+  EXPECT_EQ(on.rounds.size(), off.rounds.size());
+}
+
+TEST(TraceContextTest, TraceIdsAreDeterministicNonZeroAndDistinct) {
+  // Same (seed, client, job) → same id on server and client; trace-plane
+  // zero ("no context") can never be produced.
+  EXPECT_EQ(TraceIdFor(42, 3, 7), TraceIdFor(42, 3, 7));
+  std::set<std::uint64_t> ids;
+  for (int client = 0; client < 8; ++client) {
+    for (std::uint64_t job = 0; job < 8; ++job) {
+      const std::uint64_t id = TraceIdFor(42, client, job);
+      EXPECT_NE(id, 0u);
+      ids.insert(id);
+    }
+  }
+  EXPECT_EQ(ids.size(), 64u);  // no collisions across a small grid
+  EXPECT_NE(TraceIdFor(42, 3, 7), TraceIdFor(43, 3, 7));  // seed matters
+
+  // Span ids within a trace are distinct from each other and the trace id.
+  const std::uint64_t trace = TraceIdFor(42, 3, 7);
+  const std::set<std::uint64_t> span_ids{trace, DispatchSpanId(trace),
+                                         TrainSpanId(trace),
+                                         DefenseSpanId(trace)};
+  EXPECT_EQ(span_ids.size(), 4u);
+}
+
+}  // namespace
+}  // namespace fl

@@ -129,6 +129,71 @@ TEST(FrameTest, CodecOfferAndSelectRoundTrip) {
             "topk-delta");
 }
 
+TEST(FrameTest, TraceOfferAndSelectRoundTrip) {
+  DecodeTraceOffer(EncodeTraceOffer({}));  // empty payload, must not throw
+  EXPECT_TRUE(DecodeTraceSelect(EncodeTraceSelect({true})).enabled);
+  EXPECT_FALSE(DecodeTraceSelect(EncodeTraceSelect({false})).enabled);
+}
+
+TEST(FrameTest, TraceContextRoundTripsOnBroadcastAndUpdate) {
+  ModelBroadcastMsg broadcast;
+  broadcast.round = 2;
+  broadcast.job_index = 5;
+  broadcast.params = {1.0f, -1.0f};
+  broadcast.trace_id = 0x1111222233334444ull;
+  broadcast.parent_span_id = 0x5555666677778888ull;
+  const ModelBroadcastMsg b2 =
+      DecodeModelBroadcast(EncodeModelBroadcast(broadcast));
+  EXPECT_EQ(b2.params, broadcast.params);
+  EXPECT_EQ(b2.trace_id, broadcast.trace_id);
+  EXPECT_EQ(b2.parent_span_id, broadcast.parent_span_id);
+
+  ClientUpdateMsg update;
+  update.client_id = 3;
+  update.job_index = 5;
+  update.delta = {0.5f};
+  update.trace_id = 0xAAAAull;
+  update.parent_span_id = 0xBBBBull;
+  const Frame frame = EncodeClientUpdate(update);
+  const ClientUpdateMsg u2 = DecodeClientUpdate(frame);
+  EXPECT_EQ(u2.delta, update.delta);
+  EXPECT_EQ(u2.trace_id, update.trace_id);
+  EXPECT_EQ(u2.parent_span_id, update.parent_span_id);
+  // The decoder reports the wire cost of the whole payload.
+  EXPECT_EQ(u2.wire_bytes, frame.payload.size());
+}
+
+TEST(FrameTest, UntracedMessagesStayByteIdenticalToLegacy) {
+  // trace_id == 0 must not grow the payload by a single byte: legacy peers
+  // and untraced runs see the exact pre-trace wire format.
+  ModelBroadcastMsg broadcast{.round = 1, .job_index = 2,
+                              .params = {3.0f, 4.0f}};
+  const Frame untraced = EncodeModelBroadcast(broadcast);
+  broadcast.trace_id = 0x77ull;
+  const Frame traced = EncodeModelBroadcast(broadcast);
+  EXPECT_EQ(traced.payload.size(), untraced.payload.size() + 20);
+
+  ClientUpdateMsg update{.client_id = 1, .job_index = 2, .base_round = 0,
+                         .num_samples = 10, .delta = {1.0f}};
+  const Frame plain = EncodeClientUpdate(update);
+  const ClientUpdateMsg decoded = DecodeClientUpdate(plain);
+  EXPECT_EQ(decoded.trace_id, 0u);
+  EXPECT_EQ(decoded.parent_span_id, 0u);
+}
+
+TEST(FrameTest, TrailingGarbageStillThrowsWithTraceBlocksInPlay) {
+  // The trace block is sniffed by size + magic; arbitrary trailing bytes
+  // that are not a well-formed block must still fail decoding.
+  Frame frame = EncodeModelBroadcast({.round = 1, .params = {1.0f}});
+  frame.payload.push_back(0xAB);
+  EXPECT_THROW(DecodeModelBroadcast(frame), util::CheckError);
+
+  // Exactly 20 trailing bytes with the wrong magic are garbage, not a block.
+  Frame frame2 = EncodeModelBroadcast({.round = 1, .params = {1.0f}});
+  frame2.payload.resize(frame2.payload.size() + 20, 0x00);
+  EXPECT_THROW(DecodeModelBroadcast(frame2), util::CheckError);
+}
+
 TEST(FrameTest, IdentityCodecProducesLegacyBytes) {
   // The null codec and the identity codec must emit the exact pre-codec
   // wire format, so a mixed fleet interoperates frame-for-frame.

@@ -1,0 +1,151 @@
+// The defense-decision audit trail: JSONL schema (null rules included),
+// in-memory tallies, and closed-trail no-op behaviour.
+#include "obs/audit.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/trace.h"
+
+namespace obs {
+namespace {
+
+std::vector<std::string> ReadLines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    lines.push_back(line);
+  }
+  return lines;
+}
+
+bool Contains(const std::string& text, const std::string& needle) {
+  return text.find(needle) != std::string::npos;
+}
+
+TEST(AuditTrailTest, WritesOneValidJsonObjectPerRecord) {
+  const std::string path = ::testing::TempDir() + "audit_basic.jsonl";
+  AuditTrail trail;
+  trail.Open(path);
+  EXPECT_TRUE(trail.enabled());
+
+  AuditRecord scored;
+  scored.round = 3;
+  scored.client_id = 7;
+  scored.staleness = 2;
+  scored.has_score = true;
+  scored.score = 0.8125;
+  scored.verdict = AuditVerdict::kFiltered;
+  scored.codec = "fp16";
+  scored.wire_bytes = 1234;
+  scored.queue_wait_us = 55.5;
+  scored.scoring_us = 12.0;
+  scored.trace_id = 0xDEADBEEFull;
+  trail.Append(scored);
+
+  AuditRecord bare;  // every optional field at its "unknown" default
+  bare.round = 4;
+  bare.client_id = 1;
+  bare.verdict = AuditVerdict::kKept;
+  trail.Append(bare);
+  trail.Close();
+  EXPECT_FALSE(trail.enabled());
+
+  const auto lines = ReadLines(path);
+  std::remove(path.c_str());
+  ASSERT_EQ(lines.size(), 2u);
+  for (const std::string& line : lines) {
+    std::string error;
+    EXPECT_TRUE(JsonLint(line, &error)) << error << "\n" << line;
+  }
+  EXPECT_TRUE(Contains(lines[0], "\"verdict\":\"filtered\""));
+  EXPECT_TRUE(Contains(lines[0], "\"score\":0.8125"));
+  EXPECT_TRUE(Contains(lines[0], "\"codec\":\"fp16\""));
+  EXPECT_TRUE(Contains(lines[0], "\"wire_bytes\":1234"));
+  EXPECT_TRUE(
+      Contains(lines[0], "\"trace_id\":\"" + TraceIdHex(0xDEADBEEFull)));
+  // Unknowns are explicit nulls, never absent and never fake zeros.
+  EXPECT_TRUE(Contains(lines[1], "\"verdict\":\"kept\""));
+  EXPECT_TRUE(Contains(lines[1], "\"score\":null"));
+  EXPECT_TRUE(Contains(lines[1], "\"codec\":null"));
+  EXPECT_TRUE(Contains(lines[1], "\"wire_bytes\":null"));
+  EXPECT_TRUE(Contains(lines[1], "\"queue_wait_us\":null"));
+  EXPECT_TRUE(Contains(lines[1], "\"trace_id\":null"));
+}
+
+TEST(AuditTrailTest, TalliesPerClientVerdicts) {
+  const std::string path = ::testing::TempDir() + "audit_tallies.jsonl";
+  AuditTrail trail;
+  trail.Open(path);
+  for (int i = 0; i < 3; ++i) {
+    AuditRecord r;
+    r.client_id = 5;
+    r.verdict = AuditVerdict::kKept;
+    trail.Append(r);
+  }
+  AuditRecord filtered;
+  filtered.client_id = 5;
+  filtered.verdict = AuditVerdict::kFiltered;
+  trail.Append(filtered);
+  AuditRecord deferred;
+  deferred.client_id = 9;
+  deferred.verdict = AuditVerdict::kDeferred;
+  trail.Append(deferred);
+  trail.Close();
+  std::remove(path.c_str());
+
+  EXPECT_EQ(trail.RecordCount(), 5u);
+  const auto counts = trail.CountsByClient();
+  ASSERT_EQ(counts.size(), 2u);
+  EXPECT_EQ(counts.at(5).kept, 3u);
+  EXPECT_EQ(counts.at(5).filtered, 1u);
+  EXPECT_EQ(counts.at(5).deferred, 0u);
+  EXPECT_EQ(counts.at(9).deferred, 1u);
+}
+
+TEST(AuditTrailTest, ClosedTrailDropsAppendsSilently) {
+  AuditTrail trail;
+  EXPECT_FALSE(trail.enabled());
+  trail.Append({});  // must be a no-op, not a crash
+  EXPECT_EQ(trail.RecordCount(), 0u);
+  trail.Close();  // closing a closed trail is fine too
+}
+
+TEST(AuditTrailTest, ReopenTruncatesAndResetsTallies) {
+  const std::string path = ::testing::TempDir() + "audit_reopen.jsonl";
+  AuditTrail trail;
+  trail.Open(path);
+  AuditRecord r;
+  r.client_id = 2;
+  trail.Append(r);
+  trail.Close();
+
+  trail.Open(path);  // same file: truncate, zero the counters
+  EXPECT_EQ(trail.RecordCount(), 0u);
+  EXPECT_TRUE(trail.CountsByClient().empty());
+  trail.Close();
+  EXPECT_TRUE(ReadLines(path).empty());
+  std::remove(path.c_str());
+}
+
+TEST(AuditTrailTest, OpenThrowsOnUnwritablePath) {
+  AuditTrail trail;
+  EXPECT_THROW(trail.Open("/nonexistent-dir/audit.jsonl"),
+               std::runtime_error);
+  EXPECT_FALSE(trail.enabled());
+}
+
+TEST(AuditVerdictNameTest, CoversEveryVerdict) {
+  EXPECT_STREQ(AuditVerdictName(AuditVerdict::kKept), "kept");
+  EXPECT_STREQ(AuditVerdictName(AuditVerdict::kFiltered), "filtered");
+  EXPECT_STREQ(AuditVerdictName(AuditVerdict::kDeferred), "deferred");
+}
+
+}  // namespace
+}  // namespace obs

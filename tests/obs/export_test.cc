@@ -1,0 +1,202 @@
+// The live observability endpoint: Prometheus text formatting (pure
+// functions over a registry) and the embedded HTTP exporter end to end
+// over a real loopback socket.
+#include "obs/export.h"
+
+#include <gtest/gtest.h>
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "net/socket.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace obs {
+namespace {
+
+std::vector<std::string> Lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::stringstream stream(text);
+  std::string line;
+  while (std::getline(stream, line)) {
+    lines.push_back(line);
+  }
+  return lines;
+}
+
+bool Contains(const std::string& text, const std::string& needle) {
+  return text.find(needle) != std::string::npos;
+}
+
+TEST(PrometheusTextTest, SanitizesNamesAndEmitsTypes) {
+  MetricsRegistry registry;
+  registry.GetCounter("sim.updates_accepted").Increment(7);
+  registry.GetGauge("net.server.connected_clients").Set(12.0);
+
+  const std::string text = PrometheusText(registry);
+  // Dots become underscores; every family gets a # TYPE before samples.
+  EXPECT_TRUE(Contains(text, "# TYPE net_server_connected_clients gauge"));
+  EXPECT_TRUE(Contains(text, "net_server_connected_clients 12"));
+  EXPECT_TRUE(Contains(text, "# TYPE sim_updates_accepted counter"));
+  EXPECT_TRUE(Contains(text, "sim_updates_accepted 7"));
+  EXPECT_FALSE(Contains(text, "sim.updates"));  // no raw dots survive
+}
+
+TEST(PrometheusTextTest, EscapesLabelValues) {
+  MetricsRegistry registry;
+  registry.GetCounter("evil.counter", {{"defense", "back\\slash\"quote\n"}})
+      .Increment(1);
+  const std::string text = PrometheusText(registry);
+  EXPECT_TRUE(
+      Contains(text, "evil_counter{defense=\"back\\\\slash\\\"quote\\n\"} 1"));
+  // No raw newline may survive inside a sample line.
+  for (const std::string& line : Lines(text)) {
+    EXPECT_EQ(line.find("quote\n"), std::string::npos);
+  }
+}
+
+TEST(PrometheusTextTest, HistogramBucketsAreCumulativeEndingInInf) {
+  MetricsRegistry registry;
+  Histogram& hist = registry.GetHistogram(
+      "lat.us", {}, {.first_bound = 1.0, .growth = 2.0, .bucket_count = 4});
+  hist.Record(0.5);   // bucket le=1
+  hist.Record(1.5);   // bucket le=2
+  hist.Record(100.0); // overflow → only +Inf
+
+  const std::string text = PrometheusText(registry);
+  EXPECT_TRUE(Contains(text, "# TYPE lat_us histogram"));
+  EXPECT_TRUE(Contains(text, "lat_us_bucket{le=\"1\"} 1"));
+  EXPECT_TRUE(Contains(text, "lat_us_bucket{le=\"2\"} 2"));
+  EXPECT_TRUE(Contains(text, "lat_us_bucket{le=\"4\"} 2"));
+  EXPECT_TRUE(Contains(text, "lat_us_bucket{le=\"8\"} 2"));
+  EXPECT_TRUE(Contains(text, "lat_us_bucket{le=\"+Inf\"} 3"));
+  EXPECT_TRUE(Contains(text, "lat_us_count 3"));
+  EXPECT_TRUE(Contains(text, "lat_us_sum 102"));
+
+  // The +Inf bucket is the last bucket line and equals _count.
+  const auto lines = Lines(text);
+  std::string last_bucket;
+  for (const std::string& line : lines) {
+    if (line.rfind("lat_us_bucket", 0) == 0) {
+      last_bucket = line;
+    }
+  }
+  EXPECT_TRUE(Contains(last_bucket, "le=\"+Inf\""));
+}
+
+TEST(PrometheusTextTest, EmptyRegistryProducesEmptyExposition) {
+  MetricsRegistry registry;
+  EXPECT_TRUE(PrometheusText(registry).empty());
+}
+
+TEST(HealthzJsonTest, IsValidJsonWithExpectedKeys) {
+  MetricsRegistry registry;
+  registry.GetGauge("sim.round", {{"defense", "AsyncFilter"}}).Set(17.0);
+  registry.GetCounter("net.server.evictions").Increment(2);
+  TraceRecorder recorder;
+  recorder.Record("x", 1, 2);
+
+  const std::string json = HealthzJson(registry, recorder);
+  std::string error;
+  ASSERT_TRUE(JsonLint(json, &error)) << error << "\n" << json;
+  EXPECT_TRUE(Contains(json, "\"status\":\"ok\""));
+  EXPECT_TRUE(Contains(json, "\"round\":17"));
+  EXPECT_TRUE(Contains(json, "\"evictions\":2"));
+  EXPECT_TRUE(Contains(json, "\"spans\":1"));
+}
+
+TEST(SpansJsonTest, TailsSpansWithHexTraceIds) {
+  TraceRecorder recorder;
+  recorder.Record("plain", 10, 20);
+  recorder.Record("traced", 30, 40, {0xABCDull, 2, 1});
+
+  const std::string json = SpansJson(recorder, 16);
+  std::string error;
+  ASSERT_TRUE(JsonLint(json, &error)) << error << "\n" << json;
+  EXPECT_TRUE(Contains(json, "\"traced\""));
+  EXPECT_TRUE(Contains(json, TraceIdHex(0xABCDull)));
+  // The plain span carries no trace id field.
+  EXPECT_TRUE(Contains(json, "\"plain\""));
+}
+
+// --- HTTP round trips over a real loopback socket ----------------------
+
+std::string HttpGet(std::uint16_t port, const std::string& path) {
+  net::Connection conn = net::ConnectWithRetry(port, {}, 1);
+  const std::string request =
+      "GET " + path + " HTTP/1.0\r\nHost: localhost\r\n\r\n";
+  conn.SendBytes(
+      {reinterpret_cast<const std::uint8_t*>(request.data()), request.size()},
+      2000);
+  // The Connection fd may be non-blocking; poll before every read and stop
+  // on EOF (the server closes after each response — HTTP/1.0).
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    pollfd pfd{conn.fd(), POLLIN, 0};
+    if (::poll(&pfd, 1, 5000) <= 0) {
+      ADD_FAILURE() << "timed out waiting for the exporter's response";
+      break;
+    }
+    const ssize_t n = ::recv(conn.fd(), buf, sizeof(buf), 0);
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)) {
+      continue;
+    }
+    if (n <= 0) {
+      break;
+    }
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  return response;
+}
+
+std::string Body(const std::string& response) {
+  const auto pos = response.find("\r\n\r\n");
+  return pos == std::string::npos ? "" : response.substr(pos + 4);
+}
+
+TEST(MetricsExporterTest, ServesMetricsOverHttp) {
+  DefaultRegistry().GetCounter("export_test.requests").Increment(3);
+  MetricsExporter exporter;  // ephemeral port
+  ASSERT_NE(exporter.port(), 0);
+
+  const std::string response = HttpGet(exporter.port(), "/metrics");
+  EXPECT_TRUE(Contains(response, "HTTP/1.0 200 OK"));
+  EXPECT_TRUE(Contains(response, "text/plain; version=0.0.4"));
+  EXPECT_TRUE(Contains(Body(response), "export_test_requests 3"));
+  exporter.Stop();
+  EXPECT_GE(exporter.requests_served(), 1u);
+}
+
+TEST(MetricsExporterTest, ServesHealthzAndSpansAsValidJson) {
+  MetricsExporter exporter;
+  for (const char* path : {"/healthz", "/spans"}) {
+    SCOPED_TRACE(path);
+    const std::string response = HttpGet(exporter.port(), path);
+    EXPECT_TRUE(Contains(response, "HTTP/1.0 200 OK"));
+    EXPECT_TRUE(Contains(response, "application/json"));
+    std::string error;
+    EXPECT_TRUE(JsonLint(Body(response), &error)) << error;
+  }
+}
+
+TEST(MetricsExporterTest, UnknownPathIs404) {
+  MetricsExporter exporter;
+  const std::string response = HttpGet(exporter.port(), "/nope");
+  EXPECT_TRUE(Contains(response, "HTTP/1.0 404"));
+}
+
+TEST(MetricsExporterTest, StopIsIdempotentAndJoinsTheThread) {
+  MetricsExporter exporter;
+  exporter.Stop();
+  exporter.Stop();  // second call must be a no-op, not a crash
+}
+
+}  // namespace
+}  // namespace obs

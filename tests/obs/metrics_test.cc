@@ -115,6 +115,59 @@ TEST(HistogramTest, SingleValuePercentilesCollapseToIt) {
   EXPECT_DOUBLE_EQ(h.Percentile(0.99), 37.0);
 }
 
+TEST(HistogramTest, SamplesAboveTopBucketLandInOverflowAndClampToMax) {
+  // 4 finite buckets with bounds 1, 2, 4, 8 — everything beyond 8 goes
+  // into the implicit overflow bucket, and percentile extraction must
+  // clamp to the observed max instead of reporting +inf or a bucket edge.
+  Histogram h({.first_bound = 1.0, .growth = 2.0, .bucket_count = 4});
+  h.Record(1000.0);
+  h.Record(2000.0);
+  ASSERT_EQ(h.BucketCount(), 5u);  // 4 finite + overflow
+  EXPECT_EQ(h.BucketValue(4), 2u);
+  EXPECT_TRUE(std::isinf(h.BucketUpperBound(4)));
+  EXPECT_DOUBLE_EQ(h.Max(), 2000.0);
+  // Percentiles interpolate within the overflow bucket but must stay
+  // clamped to the observed [min, max] — finite, never +inf.
+  EXPECT_GE(h.Percentile(0.99), 1000.0);
+  EXPECT_LE(h.Percentile(0.99), 2000.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(1.0), 2000.0);
+  EXPECT_GE(h.Percentile(0.25), 1000.0);  // ≥ observed min
+}
+
+TEST(HistogramTest, PercentileBoundsAreClampedOnPathologicalInputs) {
+  Histogram h;
+  h.Record(5.0);
+  // p outside [0,1] must not read outside the bucket array.
+  EXPECT_DOUBLE_EQ(h.Percentile(-0.5), 5.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(2.0), 5.0);
+}
+
+TEST(RegistryTest, SnapshotCountMatchesBucketSumUnderConcurrentRecords) {
+  // The snapshot's hist_count is derived from the summed bucket reads, not
+  // the live count atomic, so a scrape racing Record() can never report
+  // _count != the +Inf cumulative bucket (Prometheus consistency).
+  MetricsRegistry registry;
+  Histogram& h = registry.GetHistogram("race.us");
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    std::uint64_t i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      h.Record(static_cast<double>(i++ % 1024));
+    }
+  });
+  for (int i = 0; i < 50; ++i) {
+    for (const MetricSnapshot& snapshot : registry.Snapshot()) {
+      std::uint64_t bucket_sum = 0;
+      for (std::uint64_t count : snapshot.bucket_counts) {
+        bucket_sum += count;
+      }
+      EXPECT_EQ(snapshot.hist_count, bucket_sum);
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
+}
+
 TEST(HistogramTest, ConcurrentRecordsFromThreadPoolCountExactly) {
   Histogram h;
   util::ThreadPool pool(4);

@@ -128,6 +128,55 @@ TEST_F(TraceTest, EmptyRecorderStillWritesValidTraceFile) {
   EXPECT_NE(contents.find("\"traceEvents\":[]"), std::string::npos);
 }
 
+TEST_F(TraceTest, TraceContextRidesAlongWithSpans) {
+  TraceRecorder recorder;
+  recorder.Record("plain", 10, 20);
+  recorder.Record("traced", 30, 40, {0x1234ull, 0x5678ull, 0x9ABCull});
+  const auto events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].context.trace_id, 0u);
+  EXPECT_EQ(events[1].context.trace_id, 0x1234ull);
+  EXPECT_EQ(events[1].context.span_id, 0x5678ull);
+  EXPECT_EQ(events[1].context.parent_id, 0x9ABCull);
+}
+
+TEST_F(TraceTest, ChromeTraceExportCarriesHexTraceIdArgs) {
+  TraceRecorder recorder;
+  recorder.Record("plain", 1000, 2000);
+  recorder.Record("traced", 3000, 4000, {0xDEADBEEFull, 7, 3});
+  const std::string path = ::testing::TempDir() + "chrome_trace_context.json";
+  recorder.WriteChromeTrace(path);
+  const std::string contents = ReadAll(path);
+  std::remove(path.c_str());
+  std::string error;
+  ASSERT_TRUE(JsonLint(contents, &error)) << error << "\n" << contents;
+  // Ids appear as 16-hex-digit strings (64-bit ids do not survive JSON
+  // doubles); a context-free span emits no trace_id arg at all.
+  EXPECT_NE(contents.find("\"trace_id\":\"" + TraceIdHex(0xDEADBEEFull)),
+            std::string::npos);
+  EXPECT_EQ(contents.find("\"trace_id\":\"" + TraceIdHex(0)),
+            std::string::npos);
+}
+
+TEST_F(TraceTest, TraceIdHexIsZeroPadded16DigitLowercase) {
+  EXPECT_EQ(TraceIdHex(0), "0000000000000000");
+  EXPECT_EQ(TraceIdHex(0xABCull), "0000000000000abc");
+  EXPECT_EQ(TraceIdHex(0xFFFFFFFFFFFFFFFFull), "ffffffffffffffff");
+}
+
+TEST_F(TraceTest, ScopedSpanPropagatesItsContext) {
+  TraceRecorder::Global().SetEnabled(true);
+  {
+    ScopedSpan span("ctx.span", {42, 43, 44});
+  }
+  TraceRecorder::Global().SetEnabled(false);
+  const auto events = TraceRecorder::Global().Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].context.trace_id, 42u);
+  EXPECT_EQ(events[0].context.span_id, 43u);
+  EXPECT_EQ(events[0].context.parent_id, 44u);
+}
+
 TEST_F(TraceTest, ConcurrentRecordingNeverLosesUnwrappedSpans) {
   TraceRecorder recorder;  // default capacity far exceeds this load
   util::ThreadPool pool(4);

@@ -11,7 +11,9 @@ accuracy-derived fields legitimately drift between a straight-through run
 and a resumed one; the kill-resume CI leg passes the known-lossy set
 explicitly rather than loosening the default bit-exact comparison.
 
-Exit status: 0 when equivalent, 1 with a field-by-field diff otherwise.
+Exit status: 0 when equivalent, 1 with a field-by-field diff, 2 when a
+summary file is missing or not valid JSON (so CI distinguishes "the runs
+disagreed" from "a run never produced its summary").
 """
 
 import argparse
@@ -24,6 +26,23 @@ TIMING_FIELDS = ("wall_seconds", "defense_latency")
 
 def strip_fields(summary, ignored):
     return {k: v for k, v in summary.items() if k not in ignored}
+
+
+def load_summary(path, ignored):
+    try:
+        with open(path) as f:
+            summary = json.load(f)
+    except OSError as e:
+        print(f"error: cannot read summary {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    except json.JSONDecodeError as e:
+        print(f"error: {path} is not valid JSON: {e}", file=sys.stderr)
+        sys.exit(2)
+    if not isinstance(summary, dict):
+        print(f"error: {path} is not a JSON object "
+              f"(got {type(summary).__name__})", file=sys.stderr)
+        sys.exit(2)
+    return strip_fields(summary, ignored)
 
 
 def main(argv):
@@ -41,10 +60,8 @@ def main(argv):
     ignored = set(TIMING_FIELDS)
     ignored.update(f for f in args.ignore.split(",") if f)
 
-    with open(args.reference) as f:
-        reference = strip_fields(json.load(f), ignored)
-    with open(args.candidate) as f:
-        candidate = strip_fields(json.load(f), ignored)
+    reference = load_summary(args.reference, ignored)
+    candidate = load_summary(args.candidate, ignored)
     if reference == candidate:
         extra = sorted(ignored - set(TIMING_FIELDS))
         suffix = f", also ignoring {', '.join(extra)}" if extra else ""

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Merge Chrome trace files into one cross-process timeline.
+
+Each input file (written by `run_experiment --trace-out` or
+TraceRecorder::WriteChromeTrace) becomes one process in the merged view:
+events keep their thread ids but get a distinct pid plus process_name
+metadata, so chrome://tracing / ui.perfetto.dev shows the sources stacked
+in one timeline.
+
+Spans that carry trace-context ids (args.trace_id, attached when a run
+propagates trace context — see docs/OBSERVABILITY.md) are the join key:
+a client's `net.worker.train` span and the server's
+`defense.process.update` span for the same training job share a trace_id,
+which is what makes the merged timeline causal rather than merely
+concurrent. The tool reports how many trace ids link a train span to a
+defense span; `--require-shared` turns "none" into exit status 1, which is
+how tests assert end-to-end propagation actually happened.
+
+Usage:
+  merge_traces.py --out merged.json server.json client0.json ...
+  merge_traces.py --out merged.json --require-shared run.json
+"""
+
+import argparse
+import json
+import os
+import sys
+
+TRAIN_SPAN = "net.worker.train"
+DEFENSE_SPAN = "defense.process.update"
+
+
+def load_events(path):
+    try:
+        with open(path) as f:
+            trace = json.load(f)
+    except OSError as e:
+        print(f"error: cannot read trace {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    except json.JSONDecodeError as e:
+        print(f"error: {path} is not valid JSON: {e}", file=sys.stderr)
+        sys.exit(2)
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        print(f"error: {path} has no traceEvents array", file=sys.stderr)
+        sys.exit(2)
+    return events
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="Merge Chrome traces into one timeline, joined on "
+                    "trace-context ids.")
+    parser.add_argument("traces", nargs="+", metavar="TRACE",
+                        help="Chrome trace JSON files to merge")
+    parser.add_argument("--out", required=True, metavar="FILE",
+                        help="merged Chrome trace output path")
+    parser.add_argument(
+        "--require-shared", action="store_true",
+        help=f"exit 1 unless at least one trace id appears on both a "
+             f"{TRAIN_SPAN} span and a {DEFENSE_SPAN} span")
+    args = parser.parse_args(argv[1:])
+
+    merged = []
+    train_ids = set()
+    defense_ids = set()
+    for pid, path in enumerate(args.traces):
+        name = os.path.basename(path)
+        merged.append({
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": name},
+        })
+        for event in load_events(path):
+            event = dict(event)
+            event["pid"] = pid
+            merged.append(event)
+            trace_id = (event.get("args") or {}).get("trace_id")
+            if trace_id is None:
+                continue
+            if event.get("name") == TRAIN_SPAN:
+                train_ids.add(trace_id)
+            elif event.get("name") == DEFENSE_SPAN:
+                defense_ids.add(trace_id)
+
+    shared = train_ids & defense_ids
+    with open(args.out, "w") as f:
+        json.dump({"traceEvents": merged}, f)
+
+    span_count = sum(1 for e in merged if e.get("ph") == "X")
+    print(f"merged {len(args.traces)} trace(s): {span_count} spans -> "
+          f"{args.out}")
+    print(f"trace ids: {len(train_ids)} on {TRAIN_SPAN}, "
+          f"{len(defense_ids)} on {DEFENSE_SPAN}, {len(shared)} shared")
+    if args.require_shared and not shared:
+        print("error: no trace id links a client train span to a server "
+              "defense span (was the run traced with --transport=tcp and "
+              "--trace-out?)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

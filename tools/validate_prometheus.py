@@ -1,0 +1,273 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text-exposition (0.0.4) scrape.
+
+Used by the CI scrape-smoke job: a live `/metrics` scrape from a running
+experiment is piped through this parser, which enforces the parts of the
+format a hand-rolled emitter is most likely to get wrong:
+
+  * metric names match `[a-zA-Z_:][a-zA-Z0-9_:]*`, label names match
+    `[a-zA-Z_][a-zA-Z0-9_]*`
+  * label values are properly escaped (`\\`, `\"`, `\n` only; no raw
+    newline or unescaped quote can survive a correct emitter)
+  * every sample is preceded by a `# TYPE` for its metric family
+  * sample values parse as floats (incl. `+Inf`, `-Inf`, `NaN`)
+  * histograms: bucket counts are cumulative (monotone non-decreasing in
+    `le`), the last bucket is `le="+Inf"`, and `_count` equals the
+    `+Inf` bucket, with `_sum` present — per label-set
+  * counters and histogram buckets/counts are non-negative
+
+`--require-prefix defense. --require-prefix net.` additionally asserts
+that at least one metric family with each (pre-sanitization dots become
+underscores) prefix appeared — the smoke test's "the run actually
+exported its series" check.
+
+Usage:
+  curl -s localhost:9464/metrics | validate_prometheus.py
+  validate_prometheus.py scrape.txt --require-prefix defense_ \
+      --require-prefix net_ --require-prefix compress_
+
+Exit status: 0 when valid, 1 with one line per violation otherwise.
+"""
+
+import argparse
+import math
+import re
+import sys
+
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+class Violations:
+    def __init__(self):
+        self.errors = []
+
+    def add(self, lineno, message):
+        self.errors.append(f"line {lineno}: {message}"
+                           if lineno else message)
+
+
+def parse_labels(text, lineno, v):
+    """Parse `key="value",...` (inside braces) -> dict, validating escapes."""
+    labels = {}
+    i = 0
+    n = len(text)
+    while i < n:
+        match = re.match(r'\s*([^=\s]+)\s*=\s*"', text[i:])
+        if not match:
+            v.add(lineno, f"malformed label pair at ...{text[i:]!r}")
+            return labels
+        name = match.group(1)
+        if not LABEL_NAME.match(name):
+            v.add(lineno, f"invalid label name {name!r}")
+        i += match.end()
+        value = []
+        closed = False
+        while i < n:
+            c = text[i]
+            if c == "\\":
+                if i + 1 >= n or text[i + 1] not in ('\\', '"', 'n'):
+                    v.add(lineno, f"invalid escape in label {name!r}")
+                    i += 1
+                    continue
+                value.append({"\\": "\\", '"': '"', "n": "\n"}[text[i + 1]])
+                i += 2
+            elif c == '"':
+                closed = True
+                i += 1
+                break
+            elif c == "\n":
+                v.add(lineno, f"raw newline in label {name!r}")
+                i += 1
+            else:
+                value.append(c)
+                i += 1
+        if not closed:
+            v.add(lineno, f"unterminated label value for {name!r}")
+        labels[name] = "".join(value)
+        rest = re.match(r"\s*,", text[i:])
+        if rest:
+            i += rest.end()
+        elif text[i:].strip():
+            v.add(lineno, f"junk after label pair: {text[i:]!r}")
+            break
+    return labels
+
+
+def parse_value(text, lineno, v):
+    text = text.strip()
+    if text in ("+Inf", "Inf"):
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    try:
+        return float(text)
+    except ValueError:
+        v.add(lineno, f"unparseable sample value {text!r}")
+        return None
+
+
+def base_family(name):
+    """Strip histogram/summary sample suffixes to the declared family."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def validate(text, require_prefixes):
+    v = Violations()
+    types = {}          # family -> declared type
+    # (family, frozenset(labels minus le)) -> {"buckets": [(le, val)],
+    #                                          "sum": x, "count": n}
+    histograms = {}
+    families_seen = set()
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] == "TYPE":
+                if len(parts) < 4:
+                    v.add(lineno, "malformed # TYPE line")
+                    continue
+                family, family_type = parts[2], parts[3].strip()
+                if not METRIC_NAME.match(family):
+                    v.add(lineno, f"invalid family name {family!r}")
+                if family_type not in TYPES:
+                    v.add(lineno, f"unknown type {family_type!r}")
+                if family in types:
+                    v.add(lineno, f"duplicate # TYPE for {family!r}")
+                types[family] = family_type
+            continue
+
+        match = re.match(r"^([^\s{]+)(\{(.*)\})?\s+(\S+)(\s+\S+)?\s*$", line)
+        if not match:
+            v.add(lineno, f"unparseable sample line {line!r}")
+            continue
+        name, _, label_text, value_text, _ = match.groups()
+        if not METRIC_NAME.match(name):
+            v.add(lineno, f"invalid metric name {name!r}")
+        labels = (parse_labels(label_text, lineno, v)
+                  if label_text is not None else {})
+        value = parse_value(value_text, lineno, v)
+
+        family = base_family(name)
+        families_seen.add(family)
+        families_seen.add(name)
+        family_type = types.get(family) or types.get(name)
+        if family_type is None:
+            v.add(lineno, f"sample {name!r} has no preceding # TYPE")
+            continue
+
+        if family_type == "counter" and value is not None and value < 0:
+            v.add(lineno, f"counter {name!r} is negative ({value})")
+
+        if family_type == "histogram":
+            key = (family,
+                   frozenset((k, val) for k, val in labels.items()
+                             if k != "le"))
+            hist = histograms.setdefault(
+                key, {"buckets": [], "sum": None, "count": None,
+                      "lineno": lineno})
+            if name.endswith("_bucket"):
+                if "le" not in labels:
+                    v.add(lineno, f"{name!r} bucket missing le label")
+                else:
+                    le = (math.inf if labels["le"] == "+Inf"
+                          else parse_value(labels["le"], lineno, v))
+                    hist["buckets"].append((le, value, lineno))
+            elif name.endswith("_sum"):
+                hist["sum"] = value
+            elif name.endswith("_count"):
+                hist["count"] = value
+            else:
+                v.add(lineno, f"bare sample {name!r} for histogram family")
+
+    for (family, _), hist in histograms.items():
+        buckets = hist["buckets"]
+        lineno = hist["lineno"]
+        if not buckets:
+            v.add(lineno, f"histogram {family!r} has no buckets")
+            continue
+        les = [b[0] for b in buckets]
+        if sorted(les) != les:
+            v.add(lineno, f"histogram {family!r} buckets not sorted by le")
+        if les[-1] != math.inf:
+            v.add(lineno, f"histogram {family!r} missing le=\"+Inf\" bucket")
+        prev = -math.inf
+        for le, value, bucket_lineno in buckets:
+            if value is None:
+                continue
+            if value < prev:
+                v.add(bucket_lineno,
+                      f"histogram {family!r} bucket le={le} count {value} "
+                      f"below previous bucket ({prev}) — not cumulative")
+            if value < 0:
+                v.add(bucket_lineno,
+                      f"histogram {family!r} negative bucket count")
+            prev = max(prev, value if value is not None else prev)
+        if hist["count"] is None:
+            v.add(lineno, f"histogram {family!r} missing _count")
+        elif les[-1] == math.inf and buckets[-1][1] is not None:
+            if hist["count"] != buckets[-1][1]:
+                v.add(lineno,
+                      f"histogram {family!r} _count ({hist['count']}) != "
+                      f"+Inf bucket ({buckets[-1][1]})")
+        if hist["sum"] is None:
+            v.add(lineno, f"histogram {family!r} missing _sum")
+
+    for prefix in require_prefixes:
+        if not any(f.startswith(prefix) for f in families_seen):
+            v.add(0, f"no metric family with required prefix {prefix!r}")
+
+    return v
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="Validate Prometheus text exposition (0.0.4).")
+    parser.add_argument("scrape", nargs="?", metavar="FILE",
+                        help="scrape to validate (default: stdin)")
+    parser.add_argument("--require-prefix", action="append", default=[],
+                        metavar="PREFIX",
+                        help="fail unless a metric family with this prefix "
+                             "is present (repeatable)")
+    args = parser.parse_args(argv[1:])
+
+    if args.scrape:
+        try:
+            with open(args.scrape) as f:
+                text = f.read()
+        except OSError as e:
+            print(f"error: cannot read scrape {args.scrape}: {e}",
+                  file=sys.stderr)
+            return 2
+    else:
+        text = sys.stdin.read()
+
+    if not text.strip():
+        print("error: empty scrape", file=sys.stderr)
+        return 1
+
+    v = validate(text, args.require_prefix)
+    if v.errors:
+        for error in v.errors:
+            print(f"error: {error}", file=sys.stderr)
+        print(f"{len(v.errors)} violation(s)", file=sys.stderr)
+        return 1
+
+    families = len([1 for line in text.splitlines()
+                    if line.startswith("# TYPE")])
+    samples = len([1 for line in text.splitlines()
+                   if line.strip() and not line.startswith("#")])
+    print(f"scrape valid: {families} families, {samples} samples")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
