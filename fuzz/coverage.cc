@@ -1,0 +1,147 @@
+// SanitizerCoverage hooks + crash-time input dumping.
+//
+// This translation unit must never itself be compiled with
+// -fsanitize-coverage (the hooks would recurse into themselves); the
+// instrumentation flag is scoped to the src/ directory in the build, so
+// fuzz/ stays clean by construction.
+//
+// Two instrumentation flavours feed the same map:
+//   * GCC's -fsanitize-coverage=trace-pc calls __sanitizer_cov_trace_pc()
+//     on every edge; the PC is mixed and folded with the previous location
+//     (AFL's prev_loc >> 1 idiom) so A→B and B→A are distinct edges.
+//   * Clang's trace-pc-guard flavour numbers its guards in
+//     __sanitizer_cov_trace_pc_guard_init and indexes the map directly.
+#include "coverage.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace fuzz::internal {
+
+std::uint8_t g_map[kMapSize];
+bool g_instrumented = false;
+const std::uint8_t* g_current_data = nullptr;
+std::size_t g_current_size = 0;
+char g_crash_dump_path[4096] = "crash-current";
+
+std::uint8_t BucketizeHitCount(std::uint8_t count) {
+  // 1, 2, 3, 4-7, 8-15, 16-31, 32-127, 128+ — AFL's count classes.
+  if (count == 0) return 0;
+  if (count == 1) return 1;
+  if (count == 2) return 2;
+  if (count == 3) return 4;
+  if (count <= 7) return 8;
+  if (count <= 15) return 16;
+  if (count <= 31) return 32;
+  if (count <= 127) return 64;
+  return 128;
+}
+
+namespace {
+
+// Async-signal-safe dump of the in-flight input. Uses raw syscalls only.
+void DumpCurrentInput() {
+  if (g_current_data == nullptr) {
+    return;
+  }
+  const int fd = ::open(g_crash_dump_path, O_WRONLY | O_CREAT | O_TRUNC,
+                        0644);
+  if (fd < 0) {
+    return;
+  }
+  std::size_t off = 0;
+  while (off < g_current_size) {
+    const ssize_t n = ::write(fd, g_current_data + off, g_current_size - off);
+    if (n <= 0) {
+      break;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  ::close(fd);
+  static const char kMsg[] = "fuzz: dumped in-flight input to ";
+  ::write(2, kMsg, sizeof(kMsg) - 1);
+  ::write(2, g_crash_dump_path, ::strlen(g_crash_dump_path));
+  ::write(2, "\n", 1);
+}
+
+void FatalSignalHandler(int sig) {
+  DumpCurrentInput();
+  // Restore default disposition and re-raise so the exit status (and any
+  // core dump / sanitizer report) is what the wrapper expects.
+  ::signal(sig, SIG_DFL);
+  ::raise(sig);
+}
+
+void SanitizerDeathCallback() { DumpCurrentInput(); }
+
+}  // namespace
+
+}  // namespace fuzz::internal
+
+// Provided by compiler-rt when a sanitizer runtime is linked; weak so the
+// plain build links without one.
+extern "C" __attribute__((weak)) void __sanitizer_set_death_callback(
+    void (*callback)());
+
+namespace fuzz::internal {
+
+void InstallCrashHandlers() {
+  static bool installed = false;
+  if (installed) {
+    return;
+  }
+  installed = true;
+  for (int sig : {SIGSEGV, SIGBUS, SIGILL, SIGFPE, SIGABRT}) {
+    ::signal(sig, &FatalSignalHandler);
+  }
+  // ASan's default on Linux is _exit(1) after the report — no SIGABRT — so
+  // the signal handlers alone would lose the input. The death callback
+  // covers that path.
+  if (&__sanitizer_set_death_callback != nullptr) {
+    __sanitizer_set_death_callback(&SanitizerDeathCallback);
+  }
+}
+
+}  // namespace fuzz::internal
+
+// --- Instrumentation hooks ---------------------------------------------
+
+extern "C" {
+
+// GCC (and clang) -fsanitize-coverage=trace-pc.
+void __sanitizer_cov_trace_pc() {
+  static thread_local std::uintptr_t prev = 0;
+  std::uint64_t h =
+      reinterpret_cast<std::uintptr_t>(__builtin_return_address(0));
+  // splitmix64 finalizer: spreads densely packed return addresses across
+  // the map.
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  fuzz::internal::g_map[(h ^ prev) & (fuzz::kMapSize - 1)]++;
+  prev = h >> 1;
+  fuzz::internal::g_instrumented = true;
+}
+
+// Clang -fsanitize-coverage=trace-pc-guard.
+void __sanitizer_cov_trace_pc_guard_init(std::uint32_t* start,
+                                         std::uint32_t* stop) {
+  static std::uint32_t next_id = 0;
+  for (std::uint32_t* guard = start; guard != stop; ++guard) {
+    if (*guard == 0) {
+      *guard = ++next_id;
+    }
+  }
+  fuzz::internal::g_instrumented = true;
+}
+
+void __sanitizer_cov_trace_pc_guard(std::uint32_t* guard) {
+  fuzz::internal::g_map[*guard & (fuzz::kMapSize - 1)]++;
+}
+
+}  // extern "C"

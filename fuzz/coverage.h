@@ -1,0 +1,35 @@
+// Coverage-map internals shared between the SanitizerCoverage hooks
+// (coverage.cc) and the engine (engine.cc). Not part of the harness API —
+// harnesses use fuzz::Observe()/ObserveString() from engine.h.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "engine.h"
+
+namespace fuzz::internal {
+
+// 8-bit hit counters, one per (hashed) edge or observed feature.
+extern std::uint8_t g_map[kMapSize];
+// Flipped the first time a compiler-instrumentation hook fires.
+extern bool g_instrumented;
+
+// Current input, exported so the fatal-signal / sanitizer-death handlers
+// can dump the bytes that were in flight when the process died.
+extern const std::uint8_t* g_current_data;
+extern std::size_t g_current_size;
+// Where the handlers write that dump (set by the engine; default
+// "crash-current" in the working directory).
+extern char g_crash_dump_path[4096];
+
+// Installs the SIGSEGV/SIGBUS/SIGILL/SIGFPE/SIGABRT handlers and, when the
+// process runs under a sanitizer runtime that offers it, the sanitizer
+// death callback. Idempotent.
+void InstallCrashHandlers();
+
+// AFL's count_class_lookup: collapses a raw hit count to one of 8 coarse
+// buckets so loop-count jitter does not read as novelty.
+std::uint8_t BucketizeHitCount(std::uint8_t count);
+
+}  // namespace fuzz::internal

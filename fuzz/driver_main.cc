@@ -1,0 +1,104 @@
+// Engine-mode main() for the fuzz targets: a libFuzzer-flavoured CLI over
+// fuzz::Engine. Excluded from the build when the targets link a real
+// libFuzzer runtime (-DASYNCFILTER_LIBFUZZER=ON), which brings its own
+// main.
+//
+//   fuzz_<target> [flags] [corpus_dir | input_file]...
+//
+//   -runs=N          mutation iterations (default 10000; 0 → replay the
+//                    loaded seeds once and exit — the regression mode)
+//   -seed=N          mutation RNG seed (default 1)
+//   -max_len=N       input size cap in bytes (default 4096)
+//   -max_seconds=S   wall-clock budget; 0 → none
+//   -dict=PATH       AFL++ dictionary (repeatable)
+//   -artifact_prefix=P   crash files land at Pcrash-<hash>
+//   -keep_going=1    keep fuzzing past recoverable crashes
+//   -save_corpus=1   write novel finds back to the first corpus dir
+//   -verbose=1       progress + seed logging
+//
+// Exit status: 0 when no crash was observed, 1 otherwise.
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "engine.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+int Target(const std::uint8_t* data, std::size_t size) {
+  return LLVMFuzzerTestOneInput(data, size);
+}
+
+bool ParseFlag(const char* arg, const char* name, std::string* value) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') {
+    return false;
+  }
+  *value = arg + len + 1;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fuzz::Options options;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    std::string value;
+    if (ParseFlag(arg, "-runs", &value)) {
+      options.runs = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "-seed", &value)) {
+      options.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "-max_len", &value)) {
+      options.max_len = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "-max_seconds", &value)) {
+      options.max_seconds = std::strtod(value.c_str(), nullptr);
+    } else if (ParseFlag(arg, "-dict", &value)) {
+      options.dict_paths.push_back(value);
+    } else if (ParseFlag(arg, "-artifact_prefix", &value)) {
+      options.artifact_prefix = value;
+    } else if (ParseFlag(arg, "-keep_going", &value)) {
+      options.keep_going = value != "0";
+    } else if (ParseFlag(arg, "-save_corpus", &value)) {
+      options.save_corpus = value != "0";
+    } else if (ParseFlag(arg, "-verbose", &value)) {
+      options.verbose = value != "0";
+    } else if (arg[0] == '-') {
+      std::fprintf(stderr, "unknown flag: %s\n", arg);
+      return 2;
+    } else {
+      struct stat st {};
+      if (::stat(arg, &st) == 0 && S_ISDIR(st.st_mode)) {
+        options.corpus_dirs.push_back(arg);
+      } else if (::stat(arg, &st) == 0 && S_ISREG(st.st_mode)) {
+        options.seed_files.push_back(arg);
+      } else {
+        // A named-but-missing regressions dir is fine (no crashers
+        // committed for this target yet); anything else is an error.
+        std::fprintf(stderr, "fuzz: %s does not exist — skipped\n", arg);
+      }
+    }
+  }
+
+  const fuzz::Stats stats = fuzz::Engine(&Target, options).Run();
+  std::fprintf(stderr,
+               "fuzz: done — %llu execs, %llu crashes, %zu corpus entries, "
+               "%zu features (%s coverage)\n",
+               static_cast<unsigned long long>(stats.execs),
+               static_cast<unsigned long long>(stats.crashes),
+               stats.corpus_entries, stats.features,
+               stats.instrumented ? "instrumented" : "fallback");
+  if (stats.crashes > 0) {
+    std::fprintf(stderr, "fuzz: last crash: %s (%s)\n",
+                 stats.last_crash_path.c_str(),
+                 stats.last_crash_what.c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,568 @@
+#include "engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <span>
+
+#include "coverage.h"
+#include "util/check.h"
+
+namespace fuzz {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t SplitMix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Fnv1a(std::span<const std::uint8_t> bytes) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (std::uint8_t byte : bytes) {
+    hash ^= byte;
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+std::vector<std::uint8_t> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  AF_CHECK(in.good()) << "fuzz: cannot open " << path;
+  return std::vector<std::uint8_t>((std::istreambuf_iterator<char>(in)),
+                                   std::istreambuf_iterator<char>());
+}
+
+void WriteFile(const std::string& path,
+               std::span<const std::uint8_t> bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  AF_CHECK(out.good()) << "fuzz: cannot open " << path << " for writing";
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  AF_CHECK(out.good()) << "fuzz: write failed for " << path;
+}
+
+// Interesting boundary values, AFL's tables extended with the 64-bit
+// counts our containers carry (2^31 / 2^32 / 2^63 neighborhoods are where
+// narrowing casts and size multiplications overflow).
+constexpr std::uint8_t kInteresting8[] = {0, 1, 16, 32, 64, 100,
+                                          127, 128, 255};
+constexpr std::uint16_t kInteresting16[] = {0,    1,    128,   255,  256,
+                                            512,  1000, 1024,  4096, 32767,
+                                            32768, 65535};
+constexpr std::uint32_t kInteresting32[] = {
+    0,          1,          32768,      65535,      65536,
+    100000000,  0x7fffffffu, 0x80000000u, 0xffffffffu};
+constexpr std::uint64_t kInteresting64[] = {
+    0,
+    1,
+    255,
+    65536,
+    0x7fffffffull,
+    0x80000000ull,
+    0x100000000ull,
+    0x7fffffffffffffffull,
+    0x8000000000000000ull,
+    0xffffffffffffffffull};
+
+}  // namespace
+
+// --- Feature sink -------------------------------------------------------
+
+void Observe(std::uint64_t value) {
+  std::uint64_t h = value;
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 29;
+  internal::g_map[h & (kMapSize - 1)]++;
+}
+
+void ObserveString(std::string_view text) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (char c : text) {
+    if (c >= '0' && c <= '9') {
+      continue;  // offsets/sizes vary per input; the check site does not
+    }
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  Observe(hash);
+}
+
+// --- Dictionary ---------------------------------------------------------
+
+std::vector<std::vector<std::uint8_t>> ParseDictionary(
+    std::string_view text) {
+  std::vector<std::vector<std::uint8_t>> tokens;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, eol == std::string_view::npos ? text.size() - pos : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_no;
+    // Trim whitespace; skip blanks and comments.
+    while (!line.empty() && (line.front() == ' ' || line.front() == '\t')) {
+      line.remove_prefix(1);
+    }
+    while (!line.empty() &&
+           (line.back() == ' ' || line.back() == '\t' || line.back() == '\r')) {
+      line.remove_suffix(1);
+    }
+    if (line.empty() || line.front() == '#') {
+      continue;
+    }
+    // AFL++ format: name="value" (the name — with an optional @level — is
+    // ignored; only the quoted token matters).
+    const std::size_t open = line.find('"');
+    AF_CHECK(open != std::string_view::npos && line.back() == '"' &&
+             line.size() >= open + 2)
+        << "fuzz: malformed dictionary line " << line_no;
+    std::string_view value = line.substr(open + 1, line.size() - open - 2);
+    std::vector<std::uint8_t> token;
+    for (std::size_t i = 0; i < value.size(); ++i) {
+      if (value[i] != '\\') {
+        token.push_back(static_cast<std::uint8_t>(value[i]));
+        continue;
+      }
+      AF_CHECK_LT(i + 1, value.size())
+          << "fuzz: dangling escape on dictionary line " << line_no;
+      const char kind = value[++i];
+      if (kind == '\\' || kind == '"') {
+        token.push_back(static_cast<std::uint8_t>(kind));
+      } else if (kind == 'x') {
+        AF_CHECK_LT(i + 2, value.size())
+            << "fuzz: truncated \\x escape on dictionary line " << line_no;
+        const auto nibble = [line_no](char c) -> std::uint8_t {
+          if (c >= '0' && c <= '9') return static_cast<std::uint8_t>(c - '0');
+          if (c >= 'a' && c <= 'f') return static_cast<std::uint8_t>(c - 'a' + 10);
+          if (c >= 'A' && c <= 'F') return static_cast<std::uint8_t>(c - 'A' + 10);
+          AF_CHECK(false) << "fuzz: bad hex digit on dictionary line "
+                          << line_no;
+          return 0;
+        };
+        token.push_back(
+            static_cast<std::uint8_t>(nibble(value[i + 1]) << 4 |
+                                      nibble(value[i + 2])));
+        i += 2;
+      } else {
+        AF_CHECK(false) << "fuzz: unknown escape '\\" << kind
+                        << "' on dictionary line " << line_no;
+      }
+    }
+    AF_CHECK(!token.empty())
+        << "fuzz: empty dictionary token on line " << line_no;
+    tokens.push_back(std::move(token));
+  }
+  return tokens;
+}
+
+std::vector<std::vector<std::uint8_t>> LoadDictionary(
+    const std::string& path) {
+  const std::vector<std::uint8_t> bytes = ReadFile(path);
+  return ParseDictionary(std::string_view(
+      reinterpret_cast<const char*>(bytes.data()), bytes.size()));
+}
+
+// --- Mutator ------------------------------------------------------------
+
+Mutator::Mutator(std::uint64_t seed,
+                 std::vector<std::vector<std::uint8_t>> dictionary)
+    : state_(seed ^ 0x6a09e667f3bcc908ULL),
+      dictionary_(std::move(dictionary)) {}
+
+void Mutator::SetSplicePool(
+    const std::vector<std::vector<std::uint8_t>>* pool) {
+  splice_pool_ = pool;
+}
+
+std::uint64_t Mutator::Next() { return SplitMix64(state_); }
+
+std::uint64_t Mutator::Below(std::uint64_t bound) {
+  return bound == 0 ? 0 : Next() % bound;
+}
+
+std::vector<std::uint8_t> Mutator::Mutate(
+    const std::vector<std::uint8_t>& base, std::size_t max_len) {
+  std::vector<std::uint8_t> out = base;
+  if (out.empty()) {
+    out.push_back(static_cast<std::uint8_t>(Next()));
+  }
+  // Stacked havoc: 1 << [0, 5) mutations per round, AFL-style.
+  const std::uint64_t stack = 1ull << Below(5);
+  for (std::uint64_t s = 0; s < stack; ++s) {
+    const std::uint64_t op = Below(12);
+    switch (op) {
+      case 0: {  // flip one bit
+        const std::size_t i = Below(out.size());
+        out[i] ^= static_cast<std::uint8_t>(1u << Below(8));
+        break;
+      }
+      case 1: {  // interesting 8-bit
+        out[Below(out.size())] =
+            kInteresting8[Below(std::size(kInteresting8))];
+        break;
+      }
+      case 2: {  // interesting 16-bit, little-endian
+        if (out.size() < 2) break;
+        const std::size_t i = Below(out.size() - 1);
+        const std::uint16_t v =
+            kInteresting16[Below(std::size(kInteresting16))];
+        std::memcpy(out.data() + i, &v, sizeof(v));
+        break;
+      }
+      case 3: {  // interesting 32-bit, little-endian
+        if (out.size() < 4) break;
+        const std::size_t i = Below(out.size() - 3);
+        const std::uint32_t v =
+            kInteresting32[Below(std::size(kInteresting32))];
+        std::memcpy(out.data() + i, &v, sizeof(v));
+        break;
+      }
+      case 4: {  // interesting 64-bit, little-endian (count fields)
+        if (out.size() < 8) break;
+        const std::size_t i = Below(out.size() - 7);
+        const std::uint64_t v =
+            kInteresting64[Below(std::size(kInteresting64))];
+        std::memcpy(out.data() + i, &v, sizeof(v));
+        break;
+      }
+      case 5: {  // add/subtract a small delta at a random byte
+        const std::size_t i = Below(out.size());
+        const std::uint8_t delta = static_cast<std::uint8_t>(1 + Below(35));
+        out[i] = Below(2) ? out[i] + delta : out[i] - delta;
+        break;
+      }
+      case 6: {  // delete a block
+        if (out.size() < 2) break;
+        const std::size_t len = 1 + Below(out.size() / 2);
+        const std::size_t i = Below(out.size() - len + 1);
+        out.erase(out.begin() + static_cast<std::ptrdiff_t>(i),
+                  out.begin() + static_cast<std::ptrdiff_t>(i + len));
+        break;
+      }
+      case 7: {  // duplicate a block
+        const std::size_t len = 1 + Below(std::min<std::size_t>(
+                                       out.size(), std::size_t{64}));
+        const std::size_t src = Below(out.size() - len + 1);
+        const std::size_t dst = Below(out.size() + 1);
+        std::vector<std::uint8_t> block(out.begin() + static_cast<std::ptrdiff_t>(src),
+                                        out.begin() + static_cast<std::ptrdiff_t>(src + len));
+        out.insert(out.begin() + static_cast<std::ptrdiff_t>(dst),
+                   block.begin(), block.end());
+        break;
+      }
+      case 8: {  // swap (shuffle) two equal-length blocks
+        if (out.size() < 4) break;
+        const std::size_t len = 1 + Below(out.size() / 4);
+        const std::size_t a = Below(out.size() - len + 1);
+        const std::size_t b = Below(out.size() - len + 1);
+        for (std::size_t i = 0; i < len; ++i) {
+          std::swap(out[a + i], out[b + i]);
+        }
+        break;
+      }
+      case 9: {  // dictionary token: overwrite or insert
+        if (dictionary_.empty()) break;
+        const auto& token = dictionary_[Below(dictionary_.size())];
+        if (Below(2) == 0 && token.size() <= out.size()) {
+          const std::size_t i = Below(out.size() - token.size() + 1);
+          std::copy(token.begin(), token.end(),
+                    out.begin() + static_cast<std::ptrdiff_t>(i));
+        } else {
+          const std::size_t i = Below(out.size() + 1);
+          out.insert(out.begin() + static_cast<std::ptrdiff_t>(i),
+                     token.begin(), token.end());
+        }
+        break;
+      }
+      case 10: {  // splice: our head + another corpus entry's tail
+        if (splice_pool_ == nullptr || splice_pool_->empty()) break;
+        const auto& other = (*splice_pool_)[Below(splice_pool_->size())];
+        if (other.empty()) break;
+        const std::size_t keep = Below(out.size() + 1);
+        const std::size_t from = Below(other.size());
+        out.resize(keep);
+        out.insert(out.end(), other.begin() + static_cast<std::ptrdiff_t>(from),
+                   other.end());
+        break;
+      }
+      default: {  // append random bytes (growth pressure)
+        const std::size_t len = 1 + Below(16);
+        for (std::size_t i = 0; i < len; ++i) {
+          out.push_back(static_cast<std::uint8_t>(Next()));
+        }
+        break;
+      }
+    }
+    if (out.empty()) {
+      out.push_back(static_cast<std::uint8_t>(Next()));
+    }
+  }
+  if (out.size() > max_len) {
+    out.resize(max_len);
+  }
+  return out;
+}
+
+// --- Engine -------------------------------------------------------------
+
+Engine::Engine(TargetFn target, Options options)
+    : target_(target),
+      options_(std::move(options)),
+      mutator_(options_.seed, [this] {
+        std::vector<std::vector<std::uint8_t>> dict;
+        for (const std::string& path : options_.dict_paths) {
+          auto tokens = LoadDictionary(path);
+          dict.insert(dict.end(), tokens.begin(), tokens.end());
+        }
+        return dict;
+      }()),
+      best_for_feature_(kMapSize, -1),
+      virgin_(kMapSize, 0),
+      rng_state_(options_.seed * 0x9e3779b97f4a7c15ULL + 1) {
+  AF_CHECK(target_ != nullptr) << "fuzz: null target";
+  internal::InstallCrashHandlers();
+  if (!options_.artifact_prefix.empty()) {
+    std::snprintf(internal::g_crash_dump_path,
+                  sizeof(internal::g_crash_dump_path), "%scrash-current",
+                  options_.artifact_prefix.c_str());
+  }
+}
+
+Engine::ExecOutcome Engine::ExecOne(const std::vector<std::uint8_t>& input) {
+  std::memset(internal::g_map, 0, sizeof(internal::g_map));
+  internal::g_current_data = input.data();
+  internal::g_current_size = input.size();
+  ++stats_.execs;
+  ExecOutcome outcome = ExecOutcome::kOk;
+  try {
+    target_(input.data(), input.size());
+  } catch (const util::CheckError& e) {
+    // The parsers' documented rejection path — signal, not a crash.
+    ObserveString(e.what());
+    outcome = ExecOutcome::kRejected;
+  } catch (const std::exception& e) {
+    stats_.last_crash_what = e.what();
+    outcome = ExecOutcome::kCrash;
+  } catch (...) {
+    stats_.last_crash_what = "non-std exception";
+    outcome = ExecOutcome::kCrash;
+  }
+  // Length novelty keeps the fallback mode exploring even when no check
+  // site distinguishes two inputs.
+  std::size_t bucket = 0;
+  for (std::size_t len = input.size(); len != 0; len >>= 1) {
+    ++bucket;
+  }
+  Observe(0x6c656e00u | bucket);
+  internal::g_current_data = nullptr;
+  internal::g_current_size = 0;
+  return outcome;
+}
+
+void Engine::SaveCrash(const std::vector<std::uint8_t>& input,
+                       const std::string& what) {
+  char name[64];
+  std::snprintf(name, sizeof(name), "crash-%016llx",
+                static_cast<unsigned long long>(Fnv1a(input)));
+  const std::string path = options_.artifact_prefix + name;
+  WriteFile(path, input);
+  stats_.last_crash_path = path;
+  std::fprintf(stderr, "fuzz: CRASH (%s) — input saved to %s\n",
+               what.c_str(), path.c_str());
+}
+
+void Engine::Step(const std::vector<std::uint8_t>& input, bool from_seed) {
+  const ExecOutcome outcome = ExecOne(input);
+  if (outcome == ExecOutcome::kCrash) {
+    ++stats_.crashes;
+    SaveCrash(input, stats_.last_crash_what);
+  }
+  // Novelty scan: any map cell whose bucketized count has unseen bits
+  // makes this input corpus-worthy.
+  std::vector<std::uint32_t> features;
+  bool novel = false;
+  for (std::size_t i = 0; i < kMapSize; ++i) {
+    const std::uint8_t hits = internal::g_map[i];
+    if (hits == 0) {
+      continue;
+    }
+    features.push_back(static_cast<std::uint32_t>(i));
+    const std::uint8_t bucket = internal::BucketizeHitCount(hits);
+    if ((virgin_[i] & bucket) != bucket) {
+      virgin_[i] |= bucket;
+      novel = true;
+    }
+  }
+  if (!novel && !(from_seed && corpus_.empty())) {
+    return;
+  }
+  Entry entry;
+  entry.bytes = input;
+  entry.features = std::move(features);
+  corpus_.push_back(std::move(entry));
+  stats_.corpus_entries = corpus_.size();
+  Cull();
+  if (options_.save_corpus && !from_seed && !options_.corpus_dirs.empty()) {
+    char name[64];
+    std::snprintf(name, sizeof(name), "%016llx",
+                  static_cast<unsigned long long>(Fnv1a(input)));
+    WriteFile(options_.corpus_dirs.front() + "/" + name, input);
+  }
+}
+
+void Engine::Cull() {
+  // AFL's top_rated: per feature, prefer the shortest input reaching it.
+  const std::size_t latest = corpus_.size() - 1;
+  for (std::uint32_t f : corpus_[latest].features) {
+    const std::int32_t cur = best_for_feature_[f];
+    if (cur < 0 ||
+        corpus_[latest].bytes.size() < corpus_[static_cast<std::size_t>(cur)].bytes.size()) {
+      best_for_feature_[f] = static_cast<std::int32_t>(latest);
+    }
+  }
+  for (Entry& entry : corpus_) {
+    entry.favored = false;
+  }
+  for (std::size_t i = 0; i < kMapSize; ++i) {
+    if (best_for_feature_[i] >= 0) {
+      corpus_[static_cast<std::size_t>(best_for_feature_[i])].favored = true;
+    }
+  }
+}
+
+std::size_t Engine::PickEntry() {
+  // Favored entries get 3/4 of the schedule.
+  if (SplitMix64(rng_state_) % 4 != 0) {
+    std::vector<std::size_t> favored;
+    for (std::size_t i = 0; i < corpus_.size(); ++i) {
+      if (corpus_[i].favored) {
+        favored.push_back(i);
+      }
+    }
+    if (!favored.empty()) {
+      return favored[SplitMix64(rng_state_) % favored.size()];
+    }
+  }
+  return SplitMix64(rng_state_) % corpus_.size();
+}
+
+void Engine::LoadSeeds() {
+  std::vector<std::string> files = options_.seed_files;
+  for (const std::string& dir : options_.corpus_dirs) {
+    std::error_code ec;
+    if (!std::filesystem::is_directory(dir, ec)) {
+      std::fprintf(stderr, "fuzz: corpus dir %s missing — skipped\n",
+                   dir.c_str());
+      continue;
+    }
+    std::vector<std::string> in_dir;
+    for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+      if (entry.is_regular_file()) {
+        in_dir.push_back(entry.path().string());
+      }
+    }
+    // directory_iterator order is unspecified; sort for determinism.
+    std::sort(in_dir.begin(), in_dir.end());
+    files.insert(files.end(), in_dir.begin(), in_dir.end());
+  }
+  for (const std::string& path : files) {
+    // Seeds replay at full length regardless of max_len (a committed
+    // regression must reproduce exactly); only mutations are capped.
+    std::vector<std::uint8_t> bytes = ReadFile(path);
+    if (options_.verbose) {
+      std::fprintf(stderr, "fuzz: seed %s (%zu bytes)\n", path.c_str(),
+                   bytes.size());
+    }
+    Step(bytes, /*from_seed=*/true);
+  }
+  if (corpus_.empty()) {
+    Step({0}, /*from_seed=*/true);  // something to mutate from
+  }
+}
+
+Stats Engine::Run() {
+  const auto start = Clock::now();
+  LoadSeeds();
+  if (stats_.crashes > 0 && !options_.keep_going) {
+    stats_.features = CountVirginFeatures();
+    stats_.instrumented = internal::g_instrumented;
+    stats_.corpus_entries = corpus_.size();
+    return stats_;
+  }
+  std::uint64_t next_report = 1024;
+  for (std::uint64_t i = 0; i < options_.runs; ++i) {
+    if (options_.max_seconds > 0.0 &&
+        std::chrono::duration<double>(Clock::now() - start).count() >
+            options_.max_seconds) {
+      std::fprintf(stderr, "fuzz: wall-clock budget reached after %llu execs\n",
+                   static_cast<unsigned long long>(stats_.execs));
+      break;
+    }
+    if (splice_view_.size() != corpus_.size()) {
+      splice_view_.clear();
+      splice_view_.reserve(corpus_.size());
+      for (const Entry& entry : corpus_) {
+        splice_view_.push_back(entry.bytes);
+      }
+    }
+    mutator_.SetSplicePool(&splice_view_);
+    const std::size_t pick = PickEntry();
+    const std::vector<std::uint8_t> input =
+        mutator_.Mutate(corpus_[pick].bytes, options_.max_len);
+    Step(input, /*from_seed=*/false);
+    if (stats_.crashes > 0 && !options_.keep_going) {
+      break;
+    }
+    if (options_.verbose && stats_.execs >= next_report) {
+      next_report *= 2;
+      std::fprintf(stderr,
+                   "fuzz: %llu execs, %zu corpus, %zu features%s\n",
+                   static_cast<unsigned long long>(stats_.execs),
+                   corpus_.size(), CountVirginFeatures(),
+                   internal::g_instrumented ? "" : " (fallback novelty)");
+    }
+  }
+  stats_.features = CountVirginFeatures();
+  stats_.instrumented = internal::g_instrumented;
+  stats_.corpus_entries = corpus_.size();
+  return stats_;
+}
+
+std::size_t Engine::CountVirginFeatures() const {
+  std::size_t count = 0;
+  for (std::uint8_t bits : virgin_) {
+    count += static_cast<std::size_t>(__builtin_popcount(bits));
+  }
+  return count;
+}
+
+std::vector<std::vector<std::uint8_t>> Engine::CorpusForTest() const {
+  std::vector<std::vector<std::uint8_t>> out;
+  out.reserve(corpus_.size());
+  for (const Entry& entry : corpus_) {
+    out.push_back(entry.bytes);
+  }
+  return out;
+}
+
+std::vector<std::size_t> Engine::FavoredForTest() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < corpus_.size(); ++i) {
+    if (corpus_[i].favored) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+}  // namespace fuzz

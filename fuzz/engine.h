@@ -1,0 +1,181 @@
+// Self-contained coverage-guided fuzzing engine (AFL/libFuzzer-style).
+//
+// The engine drives a libFuzzer-compatible entry point
+//
+//   extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+//
+// with a corpus of interesting inputs and a deterministic seeded mutator
+// (bitflips, interesting-value splices, block duplicate/delete/shuffle,
+// dictionary tokens, corpus splicing). "Interesting" is decided by a 64 KiB
+// 8-bit-counter coverage map in the AFL tradition:
+//
+//   * Instrumented builds (-DASYNCFILTER_FUZZ_SANCOV=ON adds
+//     -fsanitize-coverage=trace-pc to the af_* libraries; clang's
+//     trace-pc-guard flavour is also supported) feed real edge coverage
+//     into the map via the __sanitizer_cov_* hooks in coverage.cc.
+//   * Uninstrumented builds fall back to harness-reported novelty:
+//     Observe()/ObserveString() hash input-length buckets, parse outcomes,
+//     and digit-stripped util::CheckError messages (one feature per check
+//     site) into the same map, so the queue still grows toward new
+//     rejection paths without any compiler support.
+//
+// Counts are bucketized to 8 coarse hit-count classes before novelty
+// comparison, exactly like AFL's count_class_lookup, and the corpus is
+// culled AFL-style: for every map feature the smallest input reaching it is
+// "favored" and favored entries are mutated preferentially.
+//
+// Crashes are anything that is not a clean return or a util::CheckError
+// (the parsers' documented rejection contract): any other exception, or a
+// fatal signal / sanitizer abort, is recorded and the offending input is
+// written to `<artifact_prefix>crash-<fnv64>`. The same targets build
+// unchanged against real libFuzzer/AFL++ when a clang toolchain is
+// available (see fuzz/CMakeLists.txt and docs/FUZZING.md).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fuzz {
+
+// The libFuzzer entry-point signature the engine drives.
+using TargetFn = int (*)(const std::uint8_t* data, std::size_t size);
+
+// Coverage map geometry (shared with the hooks in coverage.cc).
+inline constexpr std::size_t kMapSize = 1u << 16;
+
+// --- Harness feature sink ----------------------------------------------
+
+// Hashes `value` into the coverage map like an edge hit. Harnesses call
+// this for semantic outcomes (parsed element count, decode success); it is
+// the only coverage source in uninstrumented builds and extra signal in
+// instrumented ones.
+void Observe(std::uint64_t value);
+
+// Observe() over `text` with decimal digits stripped, so a CheckError
+// message carrying variable offsets/sizes collapses to one stable feature
+// per check site.
+void ObserveString(std::string_view text);
+
+// --- Dictionary ---------------------------------------------------------
+
+// Parses AFL++ dictionary text: one `name="value"` per line, `#` comments,
+// \xNN / \\ / \" escapes inside the quoted value. Returns the raw token
+// byte strings; malformed lines throw util::CheckError naming the line.
+std::vector<std::vector<std::uint8_t>> ParseDictionary(std::string_view text);
+
+// ParseDictionary over the contents of `path`.
+std::vector<std::vector<std::uint8_t>> LoadDictionary(
+    const std::string& path);
+
+// --- Mutator ------------------------------------------------------------
+
+// Deterministic stacked-havoc mutator: with the same seed, the same
+// sequence of Mutate() calls over the same bases yields identical outputs.
+class Mutator {
+ public:
+  Mutator(std::uint64_t seed,
+          std::vector<std::vector<std::uint8_t>> dictionary);
+
+  // Sets the pool used by the splice mutation (borrowed; not owned).
+  void SetSplicePool(const std::vector<std::vector<std::uint8_t>>* pool);
+
+  // Returns a mutated copy of `base`, at most `max_len` bytes.
+  std::vector<std::uint8_t> Mutate(const std::vector<std::uint8_t>& base,
+                                   std::size_t max_len);
+
+ private:
+  std::uint64_t Next();  // splitmix64 over state_
+  std::uint64_t Below(std::uint64_t bound);
+
+  std::uint64_t state_;
+  std::vector<std::vector<std::uint8_t>> dictionary_;
+  const std::vector<std::vector<std::uint8_t>>* splice_pool_ = nullptr;
+};
+
+// --- Engine -------------------------------------------------------------
+
+struct Options {
+  std::uint64_t seed = 1;
+  std::size_t max_len = 1 << 12;
+  // Mutation iterations to run after seed loading; 0 → replay the loaded
+  // seeds once and exit (the ctest regression-replay mode).
+  std::uint64_t runs = 10000;
+  // Wall-clock budget in seconds; 0 → no budget. Whichever of runs /
+  // max_seconds trips first ends the loop.
+  double max_seconds = 0.0;
+  // Keep fuzzing after a recoverable (exception) crash instead of stopping
+  // at the first one. Fatal signals always terminate the process.
+  bool keep_going = false;
+  // Directories whose regular files seed the corpus; novel finds are
+  // written back to the first directory when save_corpus is set.
+  std::vector<std::string> corpus_dirs;
+  std::vector<std::string> seed_files;
+  bool save_corpus = false;
+  std::string artifact_prefix;  // crash files land at <prefix>crash-<hash>
+  std::vector<std::string> dict_paths;
+  bool verbose = false;
+};
+
+struct Stats {
+  std::uint64_t execs = 0;
+  std::uint64_t crashes = 0;
+  std::size_t corpus_entries = 0;
+  // Distinct bucketized coverage features observed (novel map bits).
+  std::size_t features = 0;
+  // Whether compiler instrumentation fed the map (vs fallback novelty).
+  bool instrumented = false;
+  std::string last_crash_path;
+  std::string last_crash_what;
+};
+
+class Engine {
+ public:
+  Engine(TargetFn target, Options options);
+
+  // Loads dictionaries and seeds, then fuzzes until the runs / max_seconds
+  // budget is exhausted (or the first crash unless keep_going). Returns
+  // cumulative stats; a non-zero `crashes` means artifacts were written.
+  Stats Run();
+
+  // Corpus introspection for tests: the byte strings currently queued.
+  std::vector<std::vector<std::uint8_t>> CorpusForTest() const;
+  // Indices of currently favored corpus entries (culling introspection).
+  std::vector<std::size_t> FavoredForTest() const;
+
+ private:
+  struct Entry {
+    std::vector<std::uint8_t> bytes;
+    std::vector<std::uint32_t> features;  // map indices this entry hits
+    bool favored = false;
+  };
+
+  enum class ExecOutcome { kOk, kRejected, kCrash };
+
+  ExecOutcome ExecOne(const std::vector<std::uint8_t>& input);
+  // Runs one input end to end: coverage reset, execution, novelty scan,
+  // corpus admission, crash artifact handling.
+  void Step(const std::vector<std::uint8_t>& input, bool from_seed);
+  void LoadSeeds();
+  std::size_t PickEntry();
+  void Cull();
+  std::size_t CountVirginFeatures() const;
+  void SaveCrash(const std::vector<std::uint8_t>& input,
+                 const std::string& what);
+
+  TargetFn target_;
+  Options options_;
+  Mutator mutator_;
+  std::vector<Entry> corpus_;
+  // For each map feature, the corpus entry with the shortest input
+  // reaching it (AFL's top_rated): favored = best for ≥ 1 feature.
+  std::vector<std::int32_t> best_for_feature_;
+  std::vector<std::uint8_t> virgin_;  // bucketized feature bits seen
+  std::vector<std::vector<std::uint8_t>> splice_view_;
+  Stats stats_;
+  std::uint64_t rng_state_;
+};
+
+}  // namespace fuzz

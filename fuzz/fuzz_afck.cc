@@ -1,0 +1,30 @@
+// Fuzz target: the AFCK checkpoint container and the full
+// Simulation::LoadState payload walk (fl/checkpoint, util::serial).
+//
+// A tiny but real Simulation is built once and restored from the fuzzed
+// bytes on every execution. The seed corpus (fuzz/make_corpus) writes a
+// valid checkpoint of the *same* simulation shape, so mutations reach deep
+// into the per-section state parsing (model pool, event queue, RNG
+// streams, deferred buffer) instead of dying at the spec-identity check.
+// A rejected payload may leave the simulation with partially loaded state;
+// that is fine for fuzzing — every LoadState re-reads all sections from
+// the top and the simulation is never Run() here.
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "fl/checkpoint.h"
+#include "harness_util.h"
+#include "tiny_sim.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  static std::unique_ptr<fuzz_harness::TinySimBundle> bundle =
+      fuzz_harness::BuildTinySim();
+  const std::span<const std::uint8_t> bytes(data, size);
+  const bool restored = fuzz_harness::GuardParse([&] {
+    fl::RestoreCheckpointBytes(bytes, *bundle->sim);
+  });
+  fuzz_harness::Observe(restored ? 0xAFCC1 : 0xAFCC0);
+  return 0;
+}

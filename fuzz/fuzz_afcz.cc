@@ -1,0 +1,59 @@
+// Fuzz target: the AFCZ compressed-container parser and the codec decode
+// bodies (compress/).
+//
+// The first input byte routes the exercise:
+//   0       ParseAnyParams — the production entry point (magic sniffing,
+//           container header validation, checksum, codec dispatch)
+//   1..4    a specific codec's DecodeBody with an adversarial `count`
+//           taken from the input, which must reject (CheckError) rather
+//           than allocate unbounded memory — the contract ParseAnyParams
+//           relies on
+// Everything after the routing prefix is the byte payload under test.
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "compress/codec.h"
+#include "harness_util.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size == 0) {
+    return 0;
+  }
+  const std::uint8_t mode = data[0] % 5;
+  const std::span<const std::uint8_t> rest(data + 1, size - 1);
+
+  if (mode == 0) {
+    std::size_t offset = 0;
+    fuzz_harness::GuardParse([&] {
+      while (offset < rest.size()) {
+        const std::vector<float> values =
+            compress::ParseAnyParams(rest, &offset);
+        fuzz_harness::Observe(0xAFC20 + (values.size() & 0xFF));
+      }
+      fuzz_harness::Observe(0xAFC21);
+    });
+    return 0;
+  }
+
+  // Raw DecodeBody: count is attacker-controlled (first 8 payload bytes),
+  // the rest is the body. Decoders must bound-check count against the
+  // body before allocating.
+  if (rest.size() < sizeof(std::uint64_t)) {
+    return 0;
+  }
+  std::uint64_t count;
+  std::memcpy(&count, rest.data(), sizeof(count));
+  const std::span<const std::uint8_t> body = rest.subspan(sizeof(count));
+  static const char* const kCodecs[] = {"identity", "fp16", "int8",
+                                        "topk-delta"};
+  const compress::Codec& codec = compress::Get(kCodecs[mode - 1]);
+  fuzz_harness::GuardParse([&] {
+    const std::vector<float> values = codec.DecodeBody(body, count);
+    fuzz_harness::Observe(0xAFC30 + mode);
+    fuzz_harness::Observe(values.size() & 0xFF);
+  });
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Fuzz target: the 16-byte frame protocol (net/frame) — incremental
+// DecodeFrame plus every typed payload decoder, including the embedded
+// AFPM/AFCZ parameter blocks and the trailing AFTC trace block.
+//
+// Invariant checked beyond memory safety: re-encoding a decoded frame
+// (header + raw payload) reproduces the consumed bytes exactly.
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "harness_util.h"
+#include "net/frame.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::span<const std::uint8_t> bytes(data, size);
+  std::size_t offset = 0;
+  fuzz_harness::GuardParse([&] {
+    // Stream-decode every complete frame in the buffer, as the server's
+    // read loop does.
+    while (true) {
+      net::Frame frame;
+      const std::size_t consumed =
+          net::DecodeFrame(bytes.subspan(offset), &frame);
+      if (consumed == 0) {
+        fuzz_harness::Observe(0xF401);  // partial frame → wait for bytes
+        break;
+      }
+      fuzz_harness::Observe(0xF410 + static_cast<std::uint64_t>(frame.type));
+
+      const std::vector<std::uint8_t> reencoded = net::EncodeFrame(frame);
+      if (reencoded.size() != consumed ||
+          std::memcmp(reencoded.data(), data + offset, consumed) != 0) {
+        std::abort();  // frame canonicality broken
+      }
+      offset += consumed;
+
+      // The typed decoders each validate their own payload framing; any
+      // of them rejecting is a feature, not the end of the stream.
+      fuzz_harness::GuardParse([&] {
+        switch (frame.type) {
+          case net::MessageType::kModelBroadcast: {
+            const auto msg = net::DecodeModelBroadcast(frame);
+            fuzz_harness::Observe(0xF420 + (msg.params.size() & 0xFF));
+            break;
+          }
+          case net::MessageType::kClientUpdate: {
+            const auto msg = net::DecodeClientUpdate(frame);
+            fuzz_harness::Observe(0xF430 + (msg.delta.size() & 0xFF));
+            fuzz_harness::Observe(msg.trace_id == 0 ? 0xF43E : 0xF43F);
+            break;
+          }
+          case net::MessageType::kAck:
+            net::DecodeAck(frame);
+            break;
+          case net::MessageType::kShutdown:
+            break;
+          case net::MessageType::kCodecOffer: {
+            const auto msg = net::DecodeCodecOffer(frame);
+            fuzz_harness::Observe(0xF440 + (msg.codecs.size() & 0xFF));
+            break;
+          }
+          case net::MessageType::kCodecSelect:
+            net::DecodeCodecSelect(frame);
+            break;
+          case net::MessageType::kTraceOffer:
+            net::DecodeTraceOffer(frame);
+            break;
+          case net::MessageType::kTraceSelect:
+            net::DecodeTraceSelect(frame);
+            break;
+        }
+      });
+    }
+  });
+  return 0;
+}

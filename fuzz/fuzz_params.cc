@@ -1,0 +1,39 @@
+// Fuzz target: the AFPM flat-parameter block parser (nn/serialize).
+//
+// Besides memory safety, asserts the format's canonicality: re-encoding a
+// successfully parsed block must reproduce the consumed bytes exactly
+// (AFPM has one fixed version and raw little-endian float payload, so
+// encode∘parse is the identity on valid prefixes). A violation aborts.
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "harness_util.h"
+#include "nn/serialize.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::span<const std::uint8_t> bytes(data, size);
+  std::size_t offset = 0;
+  fuzz_harness::GuardParse([&] {
+    // A buffer may carry several concatenated blocks (the wire form);
+    // parse until rejection or exhaustion.
+    while (offset < bytes.size()) {
+      const std::size_t block_start = offset;
+      const std::vector<float> params = nn::ParseFlatParams(bytes, &offset);
+      fuzz_harness::Observe(0xAF901 + (params.size() & 0xFF));
+
+      std::vector<std::uint8_t> reencoded;
+      nn::AppendFlatParams(reencoded, params);
+      if (reencoded.size() != offset - block_start ||
+          std::memcmp(reencoded.data(), data + block_start,
+                      reencoded.size()) != 0) {
+        std::abort();  // canonicality broken: parse/encode disagree
+      }
+    }
+    fuzz_harness::Observe(0xAF902);  // fully consumed
+  });
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Shared helpers for the LLVMFuzzerTestOneInput harnesses.
+//
+// The harnesses build in two modes:
+//   * engine mode (AF_FUZZ_ENGINE defined): linked against fuzz::Engine,
+//     whose Observe()/ObserveString() feed the fallback coverage map;
+//   * real-libFuzzer mode (flag absent): Observe is a no-op and
+//     util::CheckError — the parsers' documented rejection contract — must
+//     be swallowed here, since libFuzzer treats any escaping exception as
+//     a crash.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "util/check.h"
+
+#if defined(AF_FUZZ_ENGINE)
+#include "engine.h"
+#endif
+
+namespace fuzz_harness {
+
+inline void Observe(std::uint64_t value) {
+#if defined(AF_FUZZ_ENGINE)
+  fuzz::Observe(value);
+#else
+  (void)value;
+#endif
+}
+
+inline void ObserveString(std::string_view text) {
+#if defined(AF_FUZZ_ENGINE)
+  fuzz::ObserveString(text);
+#else
+  (void)text;
+#endif
+}
+
+// Runs `fn`; a util::CheckError is the expected malformed-input rejection
+// (observed as a feature, then swallowed). Everything else propagates and
+// is treated as a crash by whichever runtime is driving. Returns true when
+// `fn` completed without rejection.
+template <typename Fn>
+bool GuardParse(Fn&& fn) {
+  try {
+    fn();
+    return true;
+  } catch (const util::CheckError& e) {
+    ObserveString(e.what());
+    return false;
+  }
+}
+
+}  // namespace fuzz_harness

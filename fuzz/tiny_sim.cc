@@ -1,0 +1,62 @@
+#include "tiny_sim.h"
+
+#include <utility>
+#include <vector>
+
+#include "attacks/registry.h"
+#include "data/partition.h"
+#include "data/synthetic.h"
+#include "fl/client.h"
+#include "fl/experiment.h"
+#include "nn/models.h"
+#include "util/rng.h"
+
+namespace fuzz_harness {
+
+std::unique_ptr<TinySimBundle> BuildTinySim() {
+  auto bundle = std::make_unique<TinySimBundle>();
+  data::SyntheticGenerator gen(
+      data::MakeProfileSpec(data::Profile::kMnist, 8), kTinySimSeed);
+  bundle->train = gen.Generate(160, "train");
+  bundle->test = gen.Generate(40, "test");
+  bundle->train.sample_shape = {bundle->train.sample_dim()};
+  bundle->test.sample_shape = {bundle->test.sample_dim()};
+  const nn::ModelSpec model = nn::MakeMlp(bundle->train.sample_dim(), {6});
+
+  constexpr std::size_t kClients = 4;
+  auto rng = util::RngFactory(kTinySimSeed).Stream("partition");
+  auto partition =
+      data::DirichletPartition(bundle->train, kClients, 30, 0.5, rng);
+  std::vector<std::unique_ptr<fl::Client>> clients;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.push_back(std::make_unique<fl::Client>(
+        static_cast<int>(c), &bundle->train, std::move(partition[c]), model,
+        kTinySimSeed));
+  }
+
+  fl::SimulationConfig config;
+  config.buffer_goal = 3;
+  config.staleness_limit = 6;
+  config.rounds = kTinySimRounds;
+  config.seed = kTinySimSeed;
+  config.local.epochs = 1;
+  config.local.batch_size = 10;
+  config.local.optimizer = {nn::OptimizerKind::kSgd, 0.05, 0.9, 0.0};
+
+  attacks::AttackParams params;
+  params.total_clients = kClients;
+  params.malicious_clients = 1;
+
+  fl::ExperimentSpec spec;
+  spec.sim = config;
+  spec.model = model;
+  spec.clients = std::move(clients);
+  spec.pool = &bundle->pool;
+  spec.attack = attacks::MakeAttack(attacks::AttackKind::kNone, params);
+  spec.defense = fl::MakeDefense(fl::DefenseKind::kFedBuff);
+  spec.test_set = &bundle->test;
+  bundle->sim = fl::BuildSimulation(std::move(spec));
+  return bundle;
+}
+
+}  // namespace fuzz_harness

@@ -1,0 +1,35 @@
+// A minimal but complete fl::Simulation for the AFCK checkpoint fuzz
+// target and the corpus generator: synthetic data, a tiny MLP, a handful
+// of clients. Both sides MUST build the identical shape (same seed, same
+// spec) so a checkpoint written by make_corpus restores deep into
+// Simulation::LoadState inside the fuzz harness instead of failing the
+// spec-identity check at the first field.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "data/dataset.h"
+#include "fl/simulation.h"
+#include "util/thread_pool.h"
+
+namespace fuzz_harness {
+
+// Owns everything the simulation borrows (datasets, thread pool).
+struct TinySimBundle {
+  data::Dataset train;
+  data::Dataset test;
+  util::ThreadPool pool{1};
+  std::unique_ptr<fl::Simulation> sim;
+};
+
+inline constexpr std::uint64_t kTinySimSeed = 11;
+inline constexpr std::size_t kTinySimRounds = 3;
+
+// Builds the canonical tiny simulation (4 clients, 8×8 synthetic MNIST
+// profile, one hidden layer of 6 units, buffer of 3, AsyncFilter off —
+// FedBuff/no-defense keeps construction cheap and the checkpoint payload
+// small while still exercising every state section).
+std::unique_ptr<TinySimBundle> BuildTinySim();
+
+}  // namespace fuzz_harness

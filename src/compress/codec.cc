@@ -157,6 +157,9 @@ std::vector<float> ParseAnyParams(std::span<const std::uint8_t> bytes,
                          name_len);
   cursor += name_len;
   const auto count = ReadRaw<std::uint64_t>(rest, &cursor);
+  AF_CHECK_LE(count, kMaxDecodedElements)
+      << "AFCZ container declares " << count
+      << " elements; refusing anything above " << kMaxDecodedElements;
   const auto body_size = ReadRaw<std::uint64_t>(rest, &cursor);
   const auto checksum = ReadRaw<std::uint64_t>(rest, &cursor);
   // Bounds-check before any allocation: a corrupt size field must fail

@@ -42,6 +42,13 @@ namespace compress {
 
 inline constexpr std::uint32_t kContainerVersion = 1;
 
+// Upper bound on the element count a container header may declare (2^28
+// floats = 1 GiB decoded — comfortably above any real model here, far
+// below the counts that make `count * sizeof(T)` wrap or drive the
+// allocator into the ground). Decoders reject larger counts with
+// util::CheckError before allocating anything.
+inline constexpr std::uint64_t kMaxDecodedElements = 1ull << 28;
+
 class Codec {
  public:
   virtual ~Codec() = default;

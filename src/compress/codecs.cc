@@ -104,6 +104,9 @@ class Fp16Codec final : public Codec {
 
   std::vector<float> DecodeBody(std::span<const std::uint8_t> body,
                                 std::uint64_t count) const override {
+    AF_CHECK_LE(count, kMaxDecodedElements)
+        << "fp16 body declares " << count << " values; refusing anything "
+        << "above " << kMaxDecodedElements;
     AF_CHECK_EQ(body.size(), count * sizeof(std::uint16_t))
         << "fp16 body is " << body.size() << " bytes; expected "
         << count * sizeof(std::uint16_t) << " for " << count << " values";
@@ -184,9 +187,11 @@ class Int8Codec final : public Codec {
         << " quantized bytes; expected " << count;
     std::vector<float> values(static_cast<std::size_t>(count));
     for (std::size_t i = 0; i < values.size(); ++i) {
-      values[i] =
-          scale * static_cast<float>(static_cast<std::int32_t>(body[offset + i]) -
-                                     zero_point);
+      // Widen before subtracting: a hostile zero_point near INT32_MIN would
+      // overflow the int32 difference (UB) even though q is only 0..255.
+      values[i] = scale * static_cast<float>(
+                              static_cast<std::int64_t>(body[offset + i]) -
+                              static_cast<std::int64_t>(zero_point));
     }
     return values;
   }
@@ -243,6 +248,9 @@ class TopkDeltaCodec final : public Codec {
 
   std::vector<float> DecodeBody(std::span<const std::uint8_t> body,
                                 std::uint64_t count) const override {
+    AF_CHECK_LE(count, kMaxDecodedElements)
+        << "topk body declares " << count << " values; refusing anything "
+        << "above " << kMaxDecodedElements;
     std::size_t offset = 0;
     const auto k = ReadRaw<std::uint64_t>(body, &offset, "topk header");
     AF_CHECK_LE(k, count) << "topk body declares " << k << " entries for "

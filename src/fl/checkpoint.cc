@@ -57,11 +57,8 @@ void SaveCheckpoint(const std::string& path, const Simulation& sim) {
                  << millis << " ms)";
 }
 
-bool RestoreCheckpoint(const std::string& path, Simulation& sim) {
-  if (!CheckpointExists(path)) {
-    return false;
-  }
-  const std::vector<std::uint8_t> bytes = util::serial::ReadFileBytes(path);
+void RestoreCheckpointBytes(std::span<const std::uint8_t> bytes,
+                            Simulation& sim) {
   util::serial::Reader header(bytes);
 
   char magic[4] = {};
@@ -70,23 +67,34 @@ bool RestoreCheckpoint(const std::string& path, Simulation& sim) {
   std::memcpy(magic, tail.data(), sizeof(magic));
   header.Skip(sizeof(magic));
   AF_CHECK(std::memcmp(magic, kMagic, sizeof(magic)) == 0)
-      << "checkpoint: bad magic in " << path;
+      << "checkpoint: bad magic";
   const std::uint32_t version = header.U32();
   AF_CHECK_EQ(version, kCheckpointVersion)
-      << "checkpoint: unsupported format version in " << path;
+      << "checkpoint: unsupported format version";
   const std::uint64_t payload_size = header.U64();
   const std::uint64_t checksum = header.U64();
   AF_CHECK_EQ(payload_size, header.remaining())
-      << "checkpoint: payload size mismatch in " << path;
+      << "checkpoint: payload size mismatch";
 
   std::span<const std::uint8_t> payload = header.Tail();
-  AF_CHECK_EQ(Fnv1a(payload), checksum)
-      << "checkpoint: checksum mismatch in " << path;
+  AF_CHECK_EQ(Fnv1a(payload), checksum) << "checkpoint: checksum mismatch";
 
   util::serial::Reader reader(payload);
   sim.LoadState(reader);
   AF_CHECK(reader.AtEnd()) << "checkpoint: " << reader.remaining()
-                           << " unread payload bytes in " << path;
+                           << " unread payload bytes";
+}
+
+bool RestoreCheckpoint(const std::string& path, Simulation& sim) {
+  if (!CheckpointExists(path)) {
+    return false;
+  }
+  const std::vector<std::uint8_t> bytes = util::serial::ReadFileBytes(path);
+  try {
+    RestoreCheckpointBytes(bytes, sim);
+  } catch (const util::CheckError& e) {
+    throw util::CheckError(std::string(e.what()) + " [file: " + path + "]");
+  }
   obs::DefaultRegistry().GetCounter("checkpoint.restores").Increment();
   AF_LOG(kInfo) << "checkpoint: restored " << path << " at round "
                 << sim.current_round();

@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 
 #include "fl/simulation.h"
@@ -40,6 +41,15 @@ void SaveCheckpoint(const std::string& path, const Simulation& sim);
 // version mismatch, or a checkpoint taken from a different experiment
 // (seed/population/model/defense are verified before any state changes).
 bool RestoreCheckpoint(const std::string& path, Simulation& sim);
+
+// The in-memory form behind RestoreCheckpoint: parses one AFCK container
+// from `bytes` (magic, version, declared payload size, FNV-1a checksum)
+// and restores `sim` from its payload. Throws util::CheckError on any
+// malformed input — truncation, version mismatch, checksum failure, or a
+// payload the simulation rejects — without reading out of bounds. This is
+// also the fuzzing entry point for the checkpoint surface (fuzz/).
+void RestoreCheckpointBytes(std::span<const std::uint8_t> bytes,
+                            Simulation& sim);
 
 // True when `path` names an existing regular file (the sweep driver's
 // cheap "is there anything to resume" probe).

@@ -7,6 +7,8 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <limits>
+#include <new>
 
 #include "compress/codec.h"
 #include "obs/trace.h"
@@ -91,6 +93,15 @@ bool Server::HandleFrame(Conn& conn, const Frame& frame) {
       return false;
     }
     const AckMsg hello = DecodeAck(frame);
+    // client_id is int everywhere downstream; a value that truncates (or
+    // lands on the <0 "no id yet" sentinel) would let one connection
+    // register twice and leave a dangling by_client_ entry on close.
+    if (hello.value >
+        static_cast<std::uint64_t>(std::numeric_limits<int>::max())) {
+      AF_LOG(kWarn) << "net: handshake declared unrepresentable client id "
+                    << hello.value << "; closing";
+      return false;
+    }
     const int client_id = static_cast<int>(hello.value);
     if (by_client_.count(client_id) > 0) {
       AF_LOG(kWarn) << "net: duplicate handshake for client " << client_id
@@ -231,6 +242,13 @@ bool Server::ReadConn(Conn& conn) {
       AF_LOG(kWarn) << "net: malformed " << MessageTypeName(frame.type)
                     << " payload from client " << conn.client_id << ": "
                     << e.what();
+      return false;
+    } catch (const std::bad_alloc&) {
+      // A payload that validates structurally but still demands an absurd
+      // allocation is the sender's fault, not grounds to kill the reactor.
+      AF_LOG(kWarn) << "net: " << MessageTypeName(frame.type)
+                    << " payload from client " << conn.client_id
+                    << " exhausted memory during decode; closing";
       return false;
     }
     if (!keep) {

@@ -106,7 +106,11 @@ std::string Reader::Str() {
 
 std::vector<float> Reader::FloatVec() {
   const std::uint64_t n = U64();
-  Require(n * sizeof(float));
+  // Divide rather than multiply: n * sizeof(float) wraps for n >= 2^62,
+  // turning a hostile length into Require(0) and an unbounded allocation.
+  AF_CHECK_LE(n, (bytes_.size() - offset_) / sizeof(float))
+      << "serial: float vector declares " << n << " elements but only "
+      << bytes_.size() - offset_ << " bytes remain";
   std::vector<float> v(n);
   if (n > 0) {
     std::memcpy(v.data(), bytes_.data() + offset_, n * sizeof(float));
@@ -117,7 +121,9 @@ std::vector<float> Reader::FloatVec() {
 
 std::vector<double> Reader::DoubleVec() {
   const std::uint64_t n = U64();
-  Require(n * sizeof(double));
+  AF_CHECK_LE(n, (bytes_.size() - offset_) / sizeof(double))
+      << "serial: double vector declares " << n << " elements but only "
+      << bytes_.size() - offset_ << " bytes remain";
   std::vector<double> v(n);
   if (n > 0) {
     std::memcpy(v.data(), bytes_.data() + offset_, n * sizeof(double));

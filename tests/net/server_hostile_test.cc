@@ -1,0 +1,109 @@
+// Hostile-handshake regression tests distilled from the fuzzing subsystem
+// (fuzz_server_session found the original defect; see
+// fuzz/regressions/server_session/). A hello whose 64-bit id does not fit
+// in an int used to truncate — 0xFFFFFFFF became −1, the "no id yet"
+// sentinel, so one connection could register twice and leave a dangling
+// by_client_ entry behind on close.
+#include "net/server.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "net/frame.h"
+#include "net/socket.h"
+
+namespace net {
+namespace {
+
+RetryConfig FastRetry() {
+  RetryConfig retry;
+  retry.max_attempts = 10;
+  retry.initial_backoff_ms = 1.0;
+  return retry;
+}
+
+void PumpUntilClosed(Server& server, Connection& conn) {
+  Frame frame;
+  for (int i = 0; i < 200; ++i) {
+    server.PollOnce(1);
+    if (conn.TryRecvFrame(&frame, 5) == Connection::RecvStatus::kEof) {
+      return;
+    }
+  }
+  FAIL() << "server never closed the hostile connection";
+}
+
+TEST(ServerHostileTest, UnrepresentableHelloIdsAreRejected) {
+  Server server(ServerOptions{});
+  for (const std::uint64_t id :
+       {std::uint64_t{0xFFFFFFFFull},       // truncates to -1 (sentinel)
+        std::uint64_t{0x100000000ull},      // truncates to 0
+        std::uint64_t{0x80000000ull},       // INT_MAX + 1
+        ~std::uint64_t{0}}) {               // all ones
+    SCOPED_TRACE(id);
+    Connection conn = ConnectWithRetry(server.port(), FastRetry(), 3);
+    conn.SendFrame(EncodeAck({id}), 1000);
+    PumpUntilClosed(server, conn);
+    EXPECT_EQ(server.ConnectedCount(), 0u);
+    EXPECT_FALSE(server.WaitForClients(1, 0));
+  }
+}
+
+TEST(ServerHostileTest, BoundaryHelloIdStillWorks) {
+  Server server(ServerOptions{});
+  Connection conn = ConnectWithRetry(server.port(), FastRetry(), 3);
+  const std::uint64_t id = 0x7FFFFFFFull;  // INT_MAX: representable, valid
+  conn.SendFrame(EncodeAck({id}), 1000);
+  for (int i = 0; i < 200 && !server.IsConnected(0x7FFFFFFF); ++i) {
+    server.PollOnce(1);
+  }
+  EXPECT_TRUE(server.IsConnected(0x7FFFFFFF));
+  EXPECT_TRUE(server.WaitForClients(1, 0));
+}
+
+TEST(ServerHostileTest, GoodClientSurvivesHostileHello) {
+  Server server(ServerOptions{});
+  std::vector<int> disconnected;
+  server.SetDisconnectHandler(
+      [&disconnected](int id) { disconnected.push_back(id); });
+
+  Connection good = ConnectWithRetry(server.port(), FastRetry(), 3);
+  good.SendFrame(EncodeAck({1}), 1000);
+  for (int i = 0; i < 200 && !server.IsConnected(1); ++i) {
+    server.PollOnce(1);
+  }
+  ASSERT_TRUE(server.IsConnected(1));
+
+  Connection hostile = ConnectWithRetry(server.port(), FastRetry(), 3);
+  hostile.SendFrame(EncodeAck({0xFFFFFFFFull}), 1000);
+  PumpUntilClosed(server, hostile);
+
+  // Only the hostile connection fell; the established session is intact
+  // and the bookkeeping walk (WaitForClients dereferences every by_client_
+  // entry) stays clean — the dangling-pointer failure mode under ASan.
+  EXPECT_TRUE(server.IsConnected(1));
+  EXPECT_TRUE(server.WaitForClients(1, 0));
+  EXPECT_TRUE(disconnected.empty());
+
+  // The surviving client still receives real traffic.
+  ModelBroadcastMsg msg;
+  msg.round = 1;
+  msg.job_index = 9;
+  msg.params = {1.0f, 2.0f};
+  ASSERT_TRUE(server.SendTo(1, EncodeModelBroadcast(msg)));
+  server.Flush(1000);
+  Frame frame;
+  bool delivered = false;
+  for (int i = 0; i < 200 && !delivered; ++i) {
+    server.PollOnce(1);
+    delivered =
+        good.TryRecvFrame(&frame, 5) == Connection::RecvStatus::kFrame;
+  }
+  ASSERT_TRUE(delivered);
+  EXPECT_EQ(DecodeModelBroadcast(frame).job_index, 9u);
+}
+
+}  // namespace
+}  // namespace net

@@ -1,0 +1,168 @@
+#!/usr/bin/env python3
+"""Triage fuzzing crash artifacts: dedupe by failure signature, minimize.
+
+Usage:
+    tools/triage_crash.py BINARY CRASH [CRASH...] [--minimize] [-o DIR]
+
+BINARY is a fuzz target built by this repo (fuzz_params, fuzz_frame, ...);
+each CRASH is a crash-* artifact file or a directory of them. Every input
+is replayed with `BINARY -runs=0 FILE` and bucketed by a stable signature:
+
+  1. the top sanitizer stack frame   (`#0 0x... in frame file:line`)
+  2. an UBSan runtime-error line     (`file:line:col: runtime error: ...`)
+  3. the engine's crash line         (`fuzz: CRASH (what) — ...`)
+  4. otherwise: "no-repro" (the input no longer crashes this binary)
+
+with decimal digits stripped so varying offsets/sizes/addresses collapse
+into one bucket per defect. One representative per bucket is reported with
+a copy-pasteable repro command; --minimize greedily shrinks each
+representative (chunk removal, then byte removal) while the signature is
+preserved and writes the result next to the original as `<name>.min`.
+"""
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+# Signature extractors, tried in order. Digits are stripped afterwards so
+# addresses/sizes never split one defect into many buckets.
+_PATTERNS = [
+    re.compile(r"#0 0x[0-9a-f]+ in (.+)$", re.M),
+    re.compile(r"ERROR: (?:Address|Memory|Leak)Sanitizer:? ([^\n(]+)", re.M),
+    re.compile(r"runtime error: (.+)$", re.M),
+    re.compile(r"fuzz: CRASH \((.+?)\) — ", re.M),
+]
+
+
+def run_target(binary, path, timeout):
+    env = dict(os.environ)
+    env.setdefault("ASAN_OPTIONS", "abort_on_error=1")
+    try:
+        proc = subprocess.run(
+            [binary, "-runs=0", path],
+            capture_output=True,
+            text=True,
+            errors="replace",
+            timeout=timeout,
+            env=env,
+        )
+        return proc.returncode, proc.stderr + proc.stdout
+    except subprocess.TimeoutExpired as e:
+        out = (e.stderr or b"").decode("utf-8", "replace") if isinstance(
+            e.stderr, bytes) else (e.stderr or "")
+        return -1, out + "\n<timeout>"
+
+
+def signature(returncode, output):
+    for pattern in _PATTERNS:
+        match = pattern.search(output)
+        if match:
+            return re.sub(r"\d+", "", match.group(1)).strip()
+    if returncode != 0:
+        return "unrecognized-failure (exit %d)" % returncode
+    return None  # clean run
+
+
+def classify(binary, path, timeout):
+    return signature(*run_target(binary, path, timeout))
+
+
+def minimize(binary, data, sig, timeout):
+    """Greedy shrink: drop chunks (halving sizes), then single bytes, as
+    long as the input still reproduces the same signature."""
+
+    def still_crashes(candidate):
+        with tempfile.NamedTemporaryFile(delete=False) as tmp:
+            tmp.write(candidate)
+            name = tmp.name
+        try:
+            return classify(binary, name, timeout) == sig
+        finally:
+            os.unlink(name)
+
+    improved = True
+    while improved:
+        improved = False
+        chunk = max(1, len(data) // 2)
+        while chunk >= 1:
+            start = 0
+            while start < len(data):
+                candidate = data[:start] + data[start + chunk:]
+                if candidate != data and still_crashes(candidate):
+                    data = candidate
+                    improved = True
+                else:
+                    start += chunk
+            if chunk == 1:
+                break
+            chunk //= 2
+    return data
+
+
+def collect(paths):
+    files = []
+    for path in paths:
+        if os.path.isdir(path):
+            files.extend(
+                os.path.join(path, f) for f in sorted(os.listdir(path))
+                if os.path.isfile(os.path.join(path, f)))
+        else:
+            files.append(path)
+    return files
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("binary", help="fuzz target executable")
+    parser.add_argument("crashes", nargs="+",
+                        help="crash artifact files or directories of them")
+    parser.add_argument("--minimize", action="store_true",
+                        help="greedily shrink one representative per bucket")
+    parser.add_argument("--timeout", type=float, default=30.0,
+                        help="seconds per replay (default 30)")
+    args = parser.parse_args()
+
+    buckets = {}  # signature -> [paths]
+    clean = []
+    for path in collect(args.crashes):
+        sig = classify(args.binary, path, args.timeout)
+        if sig is None:
+            clean.append(path)
+        else:
+            buckets.setdefault(sig, []).append(path)
+
+    if clean:
+        print("no longer reproduce (%d):" % len(clean))
+        for path in clean:
+            print("  %s" % path)
+        print()
+
+    if not buckets:
+        print("no crashing inputs.")
+        return 0
+
+    print("%d distinct failure signature(s):\n" % len(buckets))
+    for sig, paths in sorted(buckets.items()):
+        rep = min(paths, key=os.path.getsize)
+        print("[%d input(s)] %s" % (len(paths), sig))
+        if args.minimize:
+            with open(rep, "rb") as f:
+                data = f.read()
+            small = minimize(args.binary, data, sig, args.timeout)
+            if len(small) < len(data):
+                out = rep + ".min"
+                with open(out, "wb") as f:
+                    f.write(small)
+                print("  minimized %d -> %d bytes: %s" %
+                      (len(data), len(small), out))
+                rep = out
+        print("  repro: %s -runs=0 %s\n" % (args.binary, rep))
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
