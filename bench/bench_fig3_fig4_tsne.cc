@@ -58,7 +58,7 @@ StudyResult RunStudy(bool iid, const std::string& csv_name) {
       return;
     }
     for (const auto& u : buffer) {
-      updates.push_back(u.delta);
+      updates.push_back(u.delta.ToVector());
       staleness.push_back(u.staleness);
     }
   });

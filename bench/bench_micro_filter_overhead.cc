@@ -25,10 +25,11 @@ std::vector<fl::ModelUpdate> MakeBuffer(std::size_t count, std::size_t dim,
     buffer[i].client_id = static_cast<int>(i);
     buffer[i].staleness = tau(rng);
     buffer[i].num_samples = 100;
-    buffer[i].delta.resize(dim);
-    for (float& x : buffer[i].delta) {
+    std::vector<float> delta(dim);
+    for (float& x : delta) {
       x = noise(rng);
     }
+    buffer[i].delta = std::move(delta);
   }
   return buffer;
 }

@@ -40,7 +40,7 @@ class NormClipDefense : public defense::Defense {
     std::vector<std::vector<float>> clipped;
     std::vector<double> weights;
     for (std::size_t i = 0; i < updates.size(); ++i) {
-      std::vector<float> delta = updates[i].delta;
+      std::vector<float> delta = updates[i].delta.ToVector();
       if (norms[i] > bound && norms[i] > 1e-12) {
         stats::Scale(delta, bound / norms[i]);
       }

@@ -17,8 +17,10 @@
 //   --quiet           suppress per-round output
 //
 // Distributed mode (see docs/NETWORK.md):
-//   --transport       inproc | tcp                        [inproc]
-//   --port            server port (tcp only; 0 = ephemeral loopback)
+//   --transport       inproc | tcp | shm                  [inproc]
+//                     shm = tcp handshake + control, data frames on
+//                     per-client shared-memory rings (same host only)
+//   --port            server port (tcp/shm; 0 = ephemeral loopback)
 //   --fault-drop, --fault-delay, --fault-duplicate, --fault-truncate
 //                     per-frame fault probabilities on client uplinks
 //   --fault-delay-ms  mean injected delay in milliseconds

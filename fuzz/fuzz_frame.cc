@@ -1,9 +1,12 @@
 // Fuzz target: the 16-byte frame protocol (net/frame) — incremental
 // DecodeFrame plus every typed payload decoder, including the embedded
-// AFPM/AFCZ parameter blocks and the trailing AFTC trace block.
+// AFPM/AFCZ parameter blocks, the trailing AFTC trace block, and the AFSH
+// shared-memory header sniffed from raw input.
 //
-// Invariant checked beyond memory safety: re-encoding a decoded frame
-// (header + raw payload) reproduces the consumed bytes exactly.
+// Invariants checked beyond memory safety: re-encoding a decoded frame
+// (header + raw payload) reproduces the consumed bytes exactly, and the
+// zero-copy DecodeFrameView agrees with the owning DecodeFrame byte for
+// byte on every input.
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
@@ -12,10 +15,19 @@
 
 #include "harness_util.h"
 #include "net/frame.h"
+#include "net/shm_ring.h"
 
 extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
                                       std::size_t size) {
   const std::span<const std::uint8_t> bytes(data, size);
+
+  // The AFSH shared-memory header validator sees exactly these bytes when a
+  // hostile peer maps a segment; drive it with the raw input.
+  fuzz_harness::GuardParse([&] {
+    net::ValidateShmHeader(bytes);
+    fuzz_harness::Observe(0xF4A0);  // a blob that validates as AFSH
+  });
+
   std::size_t offset = 0;
   fuzz_harness::GuardParse([&] {
     // Stream-decode every complete frame in the buffer, as the server's
@@ -24,9 +36,25 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
       net::Frame frame;
       const std::size_t consumed =
           net::DecodeFrame(bytes.subspan(offset), &frame);
+
+      // The zero-copy path must agree with the owning path exactly: same
+      // consumed count, same type, same payload bytes.
+      net::FrameView view;
+      const std::size_t view_consumed =
+          net::DecodeFrameView(bytes.subspan(offset), &view);
+      if (view_consumed != consumed) {
+        std::abort();  // view/owning decode disagree on framing
+      }
       if (consumed == 0) {
         fuzz_harness::Observe(0xF401);  // partial frame → wait for bytes
         break;
+      }
+      if (view.type != frame.type ||
+          view.payload.size() != frame.payload.size() ||
+          (!frame.payload.empty() &&
+           std::memcmp(view.payload.data(), frame.payload.data(),
+                       frame.payload.size()) != 0)) {
+        std::abort();  // view payload does not alias the same bytes
       }
       fuzz_harness::Observe(0xF410 + static_cast<std::uint64_t>(frame.type));
 
@@ -38,39 +66,61 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
       offset += consumed;
 
       // The typed decoders each validate their own payload framing; any
-      // of them rejecting is a feature, not the end of the stream.
+      // of them rejecting is a feature, not the end of the stream. Decode
+      // through the view so the span-based parameter parsers (zero-copy
+      // AFPM path) are the ones exercised.
       fuzz_harness::GuardParse([&] {
-        switch (frame.type) {
+        switch (view.type) {
           case net::MessageType::kModelBroadcast: {
-            const auto msg = net::DecodeModelBroadcast(frame);
+            const auto msg = net::DecodeModelBroadcast(view);
             fuzz_harness::Observe(0xF420 + (msg.params.size() & 0xFF));
             break;
           }
           case net::MessageType::kClientUpdate: {
-            const auto msg = net::DecodeClientUpdate(frame);
+            const auto msg = net::DecodeClientUpdate(view);
             fuzz_harness::Observe(0xF430 + (msg.delta.size() & 0xFF));
             fuzz_harness::Observe(msg.trace_id == 0 ? 0xF43E : 0xF43F);
+            // A delta view without a keepalive aliases the input buffer —
+            // it must sit entirely inside it.
+            if (!msg.delta.empty() && !msg.delta.has_keepalive()) {
+              const auto* lo =
+                  reinterpret_cast<const std::uint8_t*>(msg.delta.data());
+              if (lo < data || lo + msg.delta.size() * sizeof(float) >
+                                   data + size) {
+                std::abort();  // zero-copy view escaped the frame buffer
+              }
+            }
             break;
           }
           case net::MessageType::kAck:
-            net::DecodeAck(frame);
+            net::DecodeAck(view);
             break;
           case net::MessageType::kShutdown:
             break;
           case net::MessageType::kCodecOffer: {
-            const auto msg = net::DecodeCodecOffer(frame);
+            const auto msg = net::DecodeCodecOffer(view);
             fuzz_harness::Observe(0xF440 + (msg.codecs.size() & 0xFF));
             break;
           }
           case net::MessageType::kCodecSelect:
-            net::DecodeCodecSelect(frame);
+            net::DecodeCodecSelect(view);
             break;
           case net::MessageType::kTraceOffer:
-            net::DecodeTraceOffer(frame);
+            net::DecodeTraceOffer(view);
             break;
           case net::MessageType::kTraceSelect:
-            net::DecodeTraceSelect(frame);
+            net::DecodeTraceSelect(view);
             break;
+          case net::MessageType::kShmOffer: {
+            const auto msg = net::DecodeShmOffer(view);
+            fuzz_harness::Observe(0xF450 + (msg.name.size() & 0xFF));
+            break;
+          }
+          case net::MessageType::kShmSelect: {
+            const auto msg = net::DecodeShmSelect(view);
+            fuzz_harness::Observe(msg.enabled ? 0xF460 : 0xF461);
+            break;
+          }
         }
       });
     }

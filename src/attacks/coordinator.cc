@@ -8,8 +8,8 @@ Coordinator::Coordinator(std::size_t window) : capacity_(window) {
   AF_CHECK_GT(window, 0u);
 }
 
-void Coordinator::Absorb(const std::vector<float>& honest_update) {
-  window_.push_back(honest_update);
+void Coordinator::Absorb(std::span<const float> honest_update) {
+  window_.emplace_back(honest_update.begin(), honest_update.end());
   while (window_.size() > capacity_) {
     window_.pop_front();
   }

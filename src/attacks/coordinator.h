@@ -8,6 +8,7 @@
 
 #include <cstddef>
 #include <deque>
+#include <span>
 #include <vector>
 
 namespace attacks {
@@ -17,7 +18,7 @@ class Coordinator {
   explicit Coordinator(std::size_t window = 20);
 
   // Records one colluder's honest update.
-  void Absorb(const std::vector<float>& honest_update);
+  void Absorb(std::span<const float> honest_update);
 
   // Snapshot of the current window, oldest first.
   std::vector<std::vector<float>> Window() const;

@@ -106,6 +106,21 @@ void AppendEncodedParams(std::vector<std::uint8_t>& out, const Codec& codec,
 std::vector<float> ParseAnyParams(std::span<const std::uint8_t> bytes,
                                   std::size_t* offset);
 
+// Zero-copy form of ParseAnyParams. `values` aliases the input buffer on
+// the fast path — a raw AFPM block, or an AFCZ identity container, with a
+// 4-byte-aligned payload — and is then valid only as long as `bytes` is
+// (`keepalive` empty, `copied_bytes` 0). Lossy codecs and misaligned
+// payloads materialize into a buffer owned by `keepalive`, reporting the
+// bytes copied so callers can account them. Rejects malformed input
+// exactly as ParseAnyParams does.
+struct ParsedParamsView {
+  std::span<const float> values;
+  std::shared_ptr<const void> keepalive;
+  std::uint64_t copied_bytes = 0;
+};
+ParsedParamsView ParseAnyParamsView(std::span<const std::uint8_t> bytes,
+                                    std::size_t* offset);
+
 // Bytes AppendEncodedParams would emit for this codec and value vector
 // (encodes into a scratch buffer; intended for benches, not hot paths).
 std::size_t EncodedWireSize(const Codec& codec, std::span<const float> values);

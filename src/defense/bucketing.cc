@@ -35,7 +35,7 @@ AggregationResult Bucketing::Process(const FilterContext& context,
   std::vector<fl::ModelUpdate> bucket_means;
   for (std::size_t start = 0; start < order.size(); start += bucket_size_) {
     const std::size_t end = std::min(start + bucket_size_, order.size());
-    std::vector<std::vector<float>> members;
+    std::vector<std::span<const float>> members;
     std::size_t samples = 0;
     std::size_t staleness_sum = 0;
     for (std::size_t k = start; k < end; ++k) {

@@ -11,7 +11,7 @@ std::vector<float> WeightedAverage(const std::vector<fl::ModelUpdate>& updates,
                                    const std::vector<std::size_t>& indices,
                                    const StalenessWeightingConfig& weighting) {
   AF_CHECK(!indices.empty());
-  std::vector<std::vector<float>> deltas;
+  std::vector<std::span<const float>> deltas;
   std::vector<double> weights;
   deltas.reserve(indices.size());
   weights.reserve(indices.size());

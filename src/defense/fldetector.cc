@@ -241,7 +241,7 @@ AggregationResult FlDetector::Process(const FilterContext& context,
   }
 
   // 4. Update curvature pairs and per-client history.
-  std::vector<std::vector<float>> all_deltas;
+  std::vector<std::span<const float>> all_deltas;
   all_deltas.reserve(updates.size());
   for (const auto& update : updates) {
     all_deltas.push_back(update.delta);
@@ -260,7 +260,7 @@ AggregationResult FlDetector::Process(const FilterContext& context,
   has_prev_ = true;
   for (const auto& update : updates) {
     auto& history = clients_[update.client_id];
-    history.last_update = update.delta;
+    history.last_update = update.delta.ToVector();
     history.last_base_round = context.round;
   }
 

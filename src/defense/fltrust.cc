@@ -26,7 +26,7 @@ AggregationResult FlTrust::Process(const FilterContext& context,
       continue;
     }
     result.verdicts[i] = Verdict::kAccepted;
-    std::vector<float> scaled = updates[i].delta;
+    std::vector<float> scaled = updates[i].delta.ToVector();
     const double norm = stats::L2Norm(scaled);
     if (norm > 1e-12 && server_norm > 1e-12) {
       stats::Scale(scaled, server_norm / norm);

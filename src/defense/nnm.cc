@@ -32,7 +32,7 @@ AggregationResult NearestNeighborMixing::Process(
              stats::SquaredDistance(updates[i].delta, updates[b].delta);
     });
     // order[0] == i (distance 0); mix the first mix+1 entries.
-    std::vector<std::vector<float>> neighbours;
+    std::vector<std::span<const float>> neighbours;
     for (std::size_t k = 0; k <= mix && k < n; ++k) {
       neighbours.push_back(updates[order[k]].delta);
     }

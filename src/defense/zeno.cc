@@ -26,7 +26,7 @@ AggregationResult ZenoPlusPlus::Process(
     if (cos > 0.0 && score > 0.0) {
       result.verdicts[i] = Verdict::kAccepted;
       // Rescale to the server update's norm (Zeno++'s normalisation step).
-      std::vector<float> scaled = delta;
+      std::vector<float> scaled = delta.ToVector();
       if (client_norm > 1e-12 && server_norm > 1e-12) {
         stats::Scale(scaled, server_norm / client_norm);
       }

@@ -1,5 +1,6 @@
 #include "fl/backend.h"
 
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/check.h"
 
@@ -24,7 +25,7 @@ std::size_t InprocBackend::NumSamples(int client_id) const {
   return clients_[static_cast<std::size_t>(client_id)]->num_samples();
 }
 
-std::vector<std::vector<float>> InprocBackend::Train(
+std::vector<net::UpdateView> InprocBackend::Train(
     const std::vector<TrainJob>& jobs) {
   // Same-client jobs share a model instance; serialise them into waves so
   // each wave touches each client at most once.
@@ -39,7 +40,7 @@ std::vector<std::vector<float>> InprocBackend::Train(
     waves[wave].push_back(j);
   }
 
-  std::vector<std::vector<float>> honest(jobs.size());
+  std::vector<net::UpdateView> honest(jobs.size());
   // Mirror of the wire's downlink policy: broadcast-safe codecs compress
   // full params, delta-only codecs fall back to identity for the base.
   const bool lossy_downlink = codec_ != nullptr && codec_->broadcast_safe();
@@ -66,6 +67,11 @@ std::vector<std::vector<float>> InprocBackend::Train(
       honest[j] = compress::RoundTrip(*codec_, delta, &feedback_[cid]);
     });
   }
+  // Inproc jobs never serialize: every delta view takes ownership of the
+  // trained vector directly, zero copies per update.
+  obs::DefaultRegistry()
+      .GetCounter("transport.updates")
+      .Increment(static_cast<std::uint64_t>(jobs.size()));
   return honest;
 }
 

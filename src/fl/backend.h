@@ -16,6 +16,7 @@
 
 #include "compress/codec.h"
 #include "fl/client.h"
+#include "net/update_view.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -34,10 +35,13 @@ class TrainBackend {
  public:
   virtual ~TrainBackend() = default;
 
-  // Executes every job and returns the honest deltas by position. An empty
-  // delta marks a lost job — the client disconnected mid-round — and the
-  // simulator degrades gracefully (aggregates from survivors).
-  virtual std::vector<std::vector<float>> Train(
+  // Executes every job and returns the honest deltas by position, as
+  // ref-counted views (the tcp backend materializes each wire payload once
+  // into an arena; the inproc backend hands over the trained vectors with
+  // no copy at all). An empty delta marks a lost job — the client
+  // disconnected mid-round — and the simulator degrades gracefully
+  // (aggregates from survivors).
+  virtual std::vector<net::UpdateView> Train(
       const std::vector<TrainJob>& jobs) = 0;
 
   virtual std::size_t ClientCount() const = 0;
@@ -79,7 +83,7 @@ class InprocBackend : public TrainBackend {
                 util::ThreadPool* pool, std::uint64_t seed,
                 LocalTrainConfig local, const compress::Codec* codec = nullptr);
 
-  std::vector<std::vector<float>> Train(
+  std::vector<net::UpdateView> Train(
       const std::vector<TrainJob>& jobs) override;
   std::size_t ClientCount() const override { return clients_.size(); }
   std::size_t NumSamples(int client_id) const override;

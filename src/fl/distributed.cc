@@ -1,5 +1,8 @@
 #include "fl/distributed.h"
 
+#include <poll.h>
+
+#include <algorithm>
 #include <chrono>
 #include <deque>
 #include <map>
@@ -11,6 +14,7 @@
 #include "net/server.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/arena.h"
 #include "util/check.h"
 #include "util/logging.h"
 #include "util/rng.h"
@@ -48,14 +52,77 @@ struct WorkerContext {
   TransportOptions options;
 };
 
-// Sends `update_frame` through the fault injector and waits for the
-// server's Ack, resending on the retry schedule. Returns false when the
-// worker must die (connection intentionally killed, truncated, or the
-// server never acked). Broadcast frames that arrive while waiting are
-// parked in `inbox`.
-bool SendUpdateReliably(const WorkerContext& ctx, net::Connection& conn,
+// The worker's data path: frames go over the socket until a ShmSelect{true}
+// was sent, then over the segment's rings (the socket stays open purely as
+// the liveness signal — readability after activation means EOF).
+struct WorkerLink {
+  net::Connection* conn = nullptr;
+  net::ShmSegment* shm = nullptr;  // non-null once rings are active
+  std::vector<std::uint8_t> ring_in;  // undecoded downlink-ring bytes
+
+  void SendFrameBytes(std::span<const std::uint8_t> bytes, int timeout_ms) {
+    if (shm != nullptr) {
+      AF_CHECK(shm->uplink().WriteAll(bytes, timeout_ms))
+          << "shm uplink write timed out";
+      return;
+    }
+    conn->SendBytes(bytes, timeout_ms);
+  }
+
+  net::Connection::RecvStatus TryRecvFrame(net::Frame* out, int timeout_ms) {
+    if (shm == nullptr) {
+      return conn->TryRecvFrame(out, timeout_ms);
+    }
+    const auto deadline =
+        Clock::now() + std::chrono::milliseconds(
+                           timeout_ms < 0 ? kWorkerIdleTimeoutMs : timeout_ms);
+    while (true) {
+      net::FrameView view;
+      const std::size_t consumed = net::DecodeFrameView(ring_in, &view);
+      if (consumed != 0) {
+        out->type = view.type;
+        out->payload.assign(view.payload.begin(), view.payload.end());
+        ring_in.erase(ring_in.begin(),
+                      ring_in.begin() + static_cast<std::ptrdiff_t>(consumed));
+        return net::Connection::RecvStatus::kFrame;
+      }
+      if (shm->downlink().ReadSome(ring_in) > 0) {
+        continue;
+      }
+      pollfd pfd{conn->fd(), POLLIN, 0};
+      if (::poll(&pfd, 1, 0) > 0 &&
+          (pfd.revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+        return net::Connection::RecvStatus::kEof;
+      }
+      const auto left =
+          std::chrono::duration_cast<std::chrono::milliseconds>(deadline -
+                                                                Clock::now())
+              .count();
+      if (left <= 0) {
+        return net::Connection::RecvStatus::kTimeout;
+      }
+      // Short futex sleeps so the EOF poll above stays responsive.
+      shm->downlink().WaitReadable(
+          static_cast<int>(std::min<long long>(left, 50)));
+    }
+  }
+
+  bool RecvFrame(net::Frame* out, int timeout_ms) {
+    const auto status = TryRecvFrame(out, timeout_ms);
+    AF_CHECK(status != net::Connection::RecvStatus::kTimeout)
+        << "recv deadline elapsed";
+    return status == net::Connection::RecvStatus::kFrame;
+  }
+};
+
+// Sends the pre-encoded update frame through the fault injector and waits
+// for the server's Ack, resending on the retry schedule. Resends reuse the
+// same bytes, so retries stay byte-identical. Returns false when the worker
+// must die (connection intentionally killed, truncated, or the server never
+// acked). Broadcast frames that arrive while waiting are parked in `inbox`.
+bool SendUpdateReliably(const WorkerContext& ctx, WorkerLink& link,
                         net::FaultInjector& injector,
-                        const net::Frame& update_frame,
+                        std::span<const std::uint8_t> update_bytes,
                         std::uint64_t job_index,
                         std::deque<net::Frame>& inbox,
                         std::uint64_t& data_frames_sent,
@@ -76,7 +143,7 @@ bool SendUpdateReliably(const WorkerContext& ctx, net::Connection& conn,
     if (injector.doomed() && data_frames_sent >= injector.kill_after_frame()) {
       AF_LOG(kInfo) << "net: fault injector killing client "
                     << ctx.client_id << "'s connection";
-      conn.Close();
+      link.conn->Close();
       return false;
     }
     auto action = net::FaultInjector::Action::kDeliver;
@@ -90,25 +157,24 @@ bool SendUpdateReliably(const WorkerContext& ctx, net::Connection& conn,
     switch (action) {
       case net::FaultInjector::Action::kDrop:
         break;  // never hits the wire; the ack timeout triggers a resend
-      case net::FaultInjector::Action::kTruncate: {
+      case net::FaultInjector::Action::kTruncate:
         // A frame prefix then a hard close: the server sees a stream that
-        // dies mid-frame and evicts us.
-        const std::vector<std::uint8_t> bytes = EncodeFrame(update_frame);
-        conn.SendBytes(std::span(bytes).first(bytes.size() / 2),
-                       ctx.options.io_timeout_ms);
-        conn.Close();
+        // dies mid-frame and evicts us. (Faulted workers never activate
+        // shm, so this always acts on the real socket.)
+        link.conn->SendBytes(update_bytes.first(update_bytes.size() / 2),
+                             ctx.options.io_timeout_ms);
+        link.conn->Close();
         return false;
-      }
       case net::FaultInjector::Action::kDelay:
         SleepMs(injector.delay_ms());
-        conn.SendFrame(update_frame, ctx.options.io_timeout_ms);
+        link.SendFrameBytes(update_bytes, ctx.options.io_timeout_ms);
         break;
       case net::FaultInjector::Action::kDuplicate:
-        conn.SendFrame(update_frame, ctx.options.io_timeout_ms);
-        conn.SendFrame(update_frame, ctx.options.io_timeout_ms);
+        link.SendFrameBytes(update_bytes, ctx.options.io_timeout_ms);
+        link.SendFrameBytes(update_bytes, ctx.options.io_timeout_ms);
         break;
       case net::FaultInjector::Action::kDeliver:
-        conn.SendFrame(update_frame, ctx.options.io_timeout_ms);
+        link.SendFrameBytes(update_bytes, ctx.options.io_timeout_ms);
         break;
     }
 
@@ -123,7 +189,7 @@ bool SendUpdateReliably(const WorkerContext& ctx, net::Connection& conn,
         break;  // resend
       }
       net::Frame in;
-      const auto status = conn.TryRecvFrame(&in, static_cast<int>(left));
+      const auto status = link.TryRecvFrame(&in, static_cast<int>(left));
       if (status == net::Connection::RecvStatus::kTimeout) {
         break;  // resend
       }
@@ -146,7 +212,7 @@ bool SendUpdateReliably(const WorkerContext& ctx, net::Connection& conn,
   AF_LOG(kWarn) << "net: client " << ctx.client_id << " gave up on job "
                 << job_index << " after "
                 << ctx.options.retry.max_attempts << " attempts";
-  conn.Close();
+  link.conn->Close();
   return false;
 }
 
@@ -178,13 +244,17 @@ void RunWorker(WorkerContext ctx) {
     // (a ModelBroadcast) lands below and the run proceeds uncompressed.
     const compress::Codec* codec = nullptr;
     compress::FeedbackState feedback;
+    std::unique_ptr<net::ShmSegment> shm;
+    WorkerLink link;
+    link.conn = &conn;
+    std::vector<std::uint8_t> update_bytes;  // reused per-job encode scratch
 
     while (!saw_shutdown) {
       net::Frame frame;
       if (!inbox.empty()) {
         frame = std::move(inbox.front());
         inbox.pop_front();
-      } else if (!conn.RecvFrame(&frame, kWorkerIdleTimeoutMs)) {
+      } else if (!link.RecvFrame(&frame, kWorkerIdleTimeoutMs)) {
         break;  // server closed the connection
       }
       if (frame.type == net::MessageType::kShutdown) {
@@ -195,6 +265,30 @@ void RunWorker(WorkerContext ctx) {
         conn.SendFrame(
             net::EncodeTraceSelect({ctx.options.trace_context}),
             ctx.options.io_timeout_ms);
+        continue;
+      }
+      if (frame.type == net::MessageType::kShmOffer) {
+        const net::ShmOfferMsg offer = net::DecodeShmOffer(frame);
+        bool mapped = false;
+        // Fault injection acts on the socket (truncate, kill); a faulted
+        // worker that moved its data frames onto rings would make those
+        // faults meaningless, so it declines and stays on TCP.
+        if (!ctx.options.faults.Any()) {
+          try {
+            shm = net::ShmSegment::Open(
+                offer.name, static_cast<std::size_t>(offer.ring_bytes));
+            mapped = true;
+          } catch (const util::CheckError& e) {
+            AF_LOG(kWarn) << "net: shm segment " << offer.name
+                          << " rejected (" << e.what()
+                          << "); staying on TCP";
+          }
+        }
+        conn.SendFrame(net::EncodeShmSelect({mapped}),
+                       ctx.options.io_timeout_ms);
+        if (mapped) {
+          link.shm = shm.get();  // all data frames ride the rings from here
+        }
         continue;
       }
       if (frame.type == net::MessageType::kCodecOffer) {
@@ -239,11 +333,12 @@ void RunWorker(WorkerContext ctx) {
                                     job.parent_span_id});
         update.delta = ctx.client->TrainOnce(job.params, ctx.local, rng);
       }
-      // Encode exactly once per job — resends reuse the frame, so retries
-      // stay byte-identical and the feedback residual advances once.
-      if (!SendUpdateReliably(ctx, conn, injector,
-                              net::EncodeClientUpdate(update, codec,
-                                                      &feedback),
+      // Encode exactly once per job, straight into the reused scratch
+      // buffer — resends reuse the same bytes, so retries stay
+      // byte-identical and the feedback residual advances once.
+      update_bytes.clear();
+      net::AppendClientUpdateFrame(update_bytes, update, codec, &feedback);
+      if (!SendUpdateReliably(ctx, link, injector, update_bytes,
                               job.job_index, inbox, data_frames_sent,
                               backoff_rng, saw_shutdown)) {
         return;
@@ -284,10 +379,10 @@ class TcpBackend : public TrainBackend {
     server_->SetDisconnectHandler(nullptr);
   }
 
-  std::vector<std::vector<float>> Train(
+  std::vector<net::UpdateView> Train(
       const std::vector<TrainJob>& jobs) override {
     AF_TRACE_SPAN("net.backend.train");
-    std::vector<std::vector<float>> deltas(jobs.size());
+    std::vector<net::UpdateView> deltas(jobs.size());
     current_deltas_ = &deltas;
     outstanding_.clear();
 
@@ -299,7 +394,10 @@ class TcpBackend : public TrainBackend {
       net::ModelBroadcastMsg msg;
       msg.round = job.dispatch_round;
       msg.job_index = job.job_index;
-      msg.params = *job.base;
+      // Borrowed view over the shared base — the encoder reads it in place,
+      // no per-job copy of the model.
+      msg.params = net::UpdateView(std::span<const float>(*job.base),
+                                   job.base);
       if (options_.trace_context &&
           server_->ClientTraceContext(job.client_id)) {
         msg.trace_id = TraceIdFor(seed_, job.client_id, job.job_index);
@@ -384,7 +482,20 @@ class TcpBackend : public TrainBackend {
     const compress::Codec* codec = server_->ClientCodec(client_id);
     wire_stats_[{client_id, msg.job_index}] = {
         codec != nullptr ? codec->name() : "identity", msg.wire_bytes};
-    (*current_deltas_)[it->second.position] = std::move(msg.delta);
+    // The delta either owns its floats already (lossy decode materialized
+    // them) or aliases the connection's read buffer, which dies when this
+    // callback returns — that one gets the single counted uplink copy, into
+    // the arena.
+    if (msg.delta.has_keepalive()) {
+      (*current_deltas_)[it->second.position] = std::move(msg.delta);
+    } else {
+      obs::DefaultRegistry()
+          .GetCounter("transport.bytes_copied")
+          .Increment(static_cast<std::uint64_t>(msg.delta.size()) *
+                     sizeof(float));
+      (*current_deltas_)[it->second.position] =
+          net::UpdateView::CopyToArena(arena_, msg.delta);
+    }
     outstanding_.erase(it);
   }
 
@@ -399,7 +510,10 @@ class TcpBackend : public TrainBackend {
   obs::Histogram& rtt_us_;
   std::map<std::pair<int, std::uint64_t>, Pending> outstanding_;
   std::map<std::pair<int, std::uint64_t>, WireStats> wire_stats_;
-  std::vector<std::vector<float>>* current_deltas_ = nullptr;
+  // Uplink deltas materialize here; blocks free themselves once the last
+  // view into them dies (end of the aggregation round, typically).
+  util::Arena arena_;
+  std::vector<net::UpdateView>* current_deltas_ = nullptr;
 };
 
 }  // namespace
@@ -475,6 +589,8 @@ SimulationResult DistributedDriver::Run() {
   server_options.port = impl.transport.port;
   server_options.io_timeout_ms = impl.transport.io_timeout_ms;
   server_options.offer_trace_context = impl.transport.trace_context;
+  server_options.offer_shm = impl.transport.shm;
+  server_options.shm_ring_bytes = impl.transport.shm_ring_bytes;
   if (!impl.transport.codec.empty()) {
     // Validate the name up front (throws with the known-codec list) and
     // advertise it; clients pick it during their handshake.

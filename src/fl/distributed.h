@@ -26,6 +26,7 @@
 #include "fl/client.h"
 #include "fl/simulation.h"
 #include "net/fault_injector.h"
+#include "net/shm_ring.h"
 #include "net/socket.h"
 
 namespace fl {
@@ -51,6 +52,14 @@ struct TransportOptions {
   // its update. Ids are pure functions of (seed, client, job), so enabling
   // this never perturbs results. Off → legacy wire bytes.
   bool trace_context = false;
+  // Shared-memory rings (--transport=shm): the server offers each client an
+  // mmap'd two-ring segment after its hello; data frames then bypass the
+  // socket entirely. The frame bytes on the rings are identical to the TCP
+  // bytes, so results stay bit-identical across transports. Workers with
+  // fault injection configured decline the offer (faults act on the
+  // socket), and any mapping failure falls back to TCP per connection.
+  bool shm = false;
+  std::size_t shm_ring_bytes = net::kShmDefaultRingBytes;
 };
 
 class DistributedDriver {

@@ -31,6 +31,8 @@ const char* TransportKindName(TransportKind kind) {
       return "inproc";
     case TransportKind::kTcp:
       return "tcp";
+    case TransportKind::kShm:
+      return "shm";
   }
   return "?";
 }
@@ -46,8 +48,11 @@ TransportKind ParseTransportKind(const std::string& name) {
   if (canon == "tcp" || canon == "net" || canon == "distributed") {
     return TransportKind::kTcp;
   }
+  if (canon == "shm" || canon == "shared-memory") {
+    return TransportKind::kShm;
+  }
   AF_CHECK(false) << "unknown transport name: " << name
-                  << " (expected inproc or tcp)";
+                  << " (expected inproc, tcp, or shm)";
   return TransportKind::kInproc;
 }
 
@@ -290,16 +295,17 @@ SimulationResult RunExperiment(const ExperimentConfig& config,
     root = generator.Generate(config.sim.server_root_samples, "server-root");
   }
 
-  if (config.transport == TransportKind::kTcp) {
+  if (config.transport != TransportKind::kInproc) {
     // The distributed driver owns scheduling end to end; the buffer observer
     // hook is an in-process-only affordance, and checkpointing mid-run
     // worker state is not supported over the wire.
     AF_CHECK(observer == nullptr)
-        << "buffer observers are not supported with --transport=tcp";
+        << "buffer observers are not supported with --transport=tcp/shm";
     AF_CHECK(config.checkpoint_path.empty() && !config.resume)
         << "checkpoint/resume requires --transport=inproc";
     TransportOptions transport = config.net;
     transport.codec = config.compress;
+    transport.shm = config.transport == TransportKind::kShm;
     DistributedDriver driver(config.sim, model, std::move(clients),
                              malicious_ids, std::move(attack),
                              std::move(defense), &test, std::move(root),

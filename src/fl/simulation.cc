@@ -259,8 +259,7 @@ SimulationResult Simulation::Run() {
         train_jobs.push_back({job.client_id, job.job_index,
                               job.dispatch_round, job.base});
       }
-      const std::vector<std::vector<float>> honest =
-          backend_->Train(train_jobs);
+      const std::vector<net::UpdateView> honest = backend_->Train(train_jobs);
       AF_CHECK_EQ(honest.size(), batch.size());
 
       // Sequential report processing in arrival order (attacker coordination

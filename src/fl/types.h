@@ -10,6 +10,8 @@
 #include <string>
 #include <vector>
 
+#include "net/update_view.h"
+
 namespace fl {
 
 // One client report: the flattened parameter delta
@@ -21,7 +23,12 @@ struct ModelUpdate {
   std::size_t arrival_round = 0;  // server round when buffered
   std::size_t staleness = 0;      // arrival_round - base_round
   std::size_t num_samples = 0;    // aggregation weight (FedAvg-style)
-  std::vector<float> delta;
+  // Ref-counted immutable view: updates that arrive over the zero-copy
+  // transport share one arena materialization instead of owning a vector
+  // each; assigning a std::vector<float> still works (the view takes
+  // ownership). Read through span conversion / operator[]; rebuild-and-
+  // assign to "mutate".
+  net::UpdateView delta;
 
   // Ground truth for evaluation metrics ONLY. Defenses must never read it;
   // the simulator uses it to compute detection precision/recall.

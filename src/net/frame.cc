@@ -4,6 +4,7 @@
 
 #include "compress/codec.h"
 #include "nn/serialize.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/check.h"
 
@@ -36,6 +37,8 @@ bool KnownType(std::uint16_t type) {
     case MessageType::kCodecSelect:
     case MessageType::kTraceOffer:
     case MessageType::kTraceSelect:
+    case MessageType::kShmOffer:
+    case MessageType::kShmSelect:
       return true;
   }
   return false;
@@ -61,7 +64,7 @@ void AppendTraceBlock(std::vector<std::uint8_t>& out, std::uint64_t trace_id,
 // Consumes a trailing AFTC block iff exactly one sits at `*offset` at the
 // very end of the payload. Anything else (no block, short tail, other
 // trailing bytes) is left for CheckFullyConsumed to reject as before.
-void MaybeReadTraceBlock(const Frame& frame, std::size_t* offset,
+void MaybeReadTraceBlock(const FrameView& frame, std::size_t* offset,
                          std::uint64_t* trace_id,
                          std::uint64_t* parent_span_id) {
   if (frame.payload.size() - *offset != kTraceBlockBytes) {
@@ -89,6 +92,20 @@ void AppendParams(std::vector<std::uint8_t>& out,
   compress::AppendEncodedParams(out, *codec, values, feedback);
 }
 
+// Parses one parameter block as a view, charging any materialization to
+// transport.bytes_copied (the zero-copy path charges nothing).
+UpdateView ReadParamsView(std::span<const std::uint8_t> payload,
+                          std::size_t* offset) {
+  compress::ParsedParamsView parsed =
+      compress::ParseAnyParamsView(payload, offset);
+  if (parsed.copied_bytes > 0) {
+    static obs::Counter& copied =
+        obs::DefaultRegistry().GetCounter("transport.bytes_copied");
+    copied.Increment(parsed.copied_bytes);
+  }
+  return UpdateView(parsed.values, std::move(parsed.keepalive));
+}
+
 void AppendName(std::vector<std::uint8_t>& out, const std::string& name) {
   AF_CHECK_LE(name.size(), 255u) << "codec name too long: " << name;
   out.push_back(static_cast<std::uint8_t>(name.size()));
@@ -104,15 +121,56 @@ std::string ReadName(std::span<const std::uint8_t> bytes,
   return name;
 }
 
-void CheckType(const Frame& frame, MessageType expected) {
+void CheckType(const FrameView& frame, MessageType expected) {
   AF_CHECK(frame.type == expected)
       << "expected " << MessageTypeName(expected) << " frame, got "
       << MessageTypeName(frame.type);
 }
 
-void CheckFullyConsumed(const Frame& frame, std::size_t offset) {
+void CheckFullyConsumed(const FrameView& frame, std::size_t offset) {
   AF_CHECK_EQ(offset, frame.payload.size())
       << "trailing bytes in " << MessageTypeName(frame.type) << " payload";
+}
+
+// In-place frame framing: writes the header with a zero length, lets the
+// caller append the payload, then patches the length. This is how payloads
+// serialize straight into a connection's write buffer with no intermediate
+// vector.
+std::size_t BeginFrame(std::vector<std::uint8_t>& out, MessageType type) {
+  AppendRaw(out, kFrameMagic);
+  AppendRaw(out, kFrameVersion);
+  AppendRaw(out, static_cast<std::uint16_t>(type));
+  const std::size_t length_pos = out.size();
+  AppendRaw(out, std::uint64_t{0});
+  return length_pos;
+}
+
+void EndFrame(std::vector<std::uint8_t>& out, std::size_t length_pos) {
+  const std::uint64_t length = static_cast<std::uint64_t>(
+      out.size() - length_pos - sizeof(std::uint64_t));
+  AF_CHECK_LE(length, kMaxFramePayload) << "payload too large";
+  std::memcpy(out.data() + length_pos, &length, sizeof(length));
+}
+
+void AppendModelBroadcastPayload(std::vector<std::uint8_t>& out,
+                                 const ModelBroadcastMsg& msg,
+                                 const compress::Codec* codec) {
+  AppendRaw(out, msg.round);
+  AppendRaw(out, msg.job_index);
+  AppendParams(out, msg.params, codec);
+  AppendTraceBlock(out, msg.trace_id, msg.parent_span_id);
+}
+
+void AppendClientUpdatePayload(std::vector<std::uint8_t>& out,
+                               const ClientUpdateMsg& msg,
+                               const compress::Codec* codec,
+                               compress::FeedbackState* feedback) {
+  AppendRaw(out, msg.client_id);
+  AppendRaw(out, msg.job_index);
+  AppendRaw(out, msg.base_round);
+  AppendRaw(out, msg.num_samples);
+  AppendParams(out, msg.delta, codec, feedback);
+  AppendTraceBlock(out, msg.trace_id, msg.parent_span_id);
 }
 
 }  // namespace
@@ -135,24 +193,31 @@ const char* MessageTypeName(MessageType type) {
       return "TraceOffer";
     case MessageType::kTraceSelect:
       return "TraceSelect";
+    case MessageType::kShmOffer:
+      return "ShmOffer";
+    case MessageType::kShmSelect:
+      return "ShmSelect";
   }
   return "?";
 }
 
 std::vector<std::uint8_t> EncodeFrame(const Frame& frame) {
-  AF_TRACE_SPAN("net.frame.encode");
-  AF_CHECK_LE(frame.payload.size(), kMaxFramePayload) << "payload too large";
   std::vector<std::uint8_t> out;
   out.reserve(kFrameHeaderBytes + frame.payload.size());
-  AppendRaw(out, kFrameMagic);
-  AppendRaw(out, kFrameVersion);
-  AppendRaw(out, static_cast<std::uint16_t>(frame.type));
-  AppendRaw(out, static_cast<std::uint64_t>(frame.payload.size()));
-  out.insert(out.end(), frame.payload.begin(), frame.payload.end());
+  AppendFrameBytes(out, frame);
   return out;
 }
 
-std::size_t DecodeFrame(std::span<const std::uint8_t> buffer, Frame* out) {
+void AppendFrameBytes(std::vector<std::uint8_t>& out, const Frame& frame) {
+  AF_TRACE_SPAN("net.frame.encode");
+  AF_CHECK_LE(frame.payload.size(), kMaxFramePayload) << "payload too large";
+  const std::size_t length_pos = BeginFrame(out, frame.type);
+  out.insert(out.end(), frame.payload.begin(), frame.payload.end());
+  EndFrame(out, length_pos);
+}
+
+std::size_t DecodeFrameView(std::span<const std::uint8_t> buffer,
+                            FrameView* out) {
   AF_CHECK(out != nullptr);
   if (buffer.size() < kFrameHeaderBytes) {
     return 0;
@@ -172,10 +237,21 @@ std::size_t DecodeFrame(std::span<const std::uint8_t> buffer, Frame* out) {
     return 0;  // whole header but partial payload: wait for more bytes
   }
   out->type = static_cast<MessageType>(type);
-  out->payload.assign(buffer.begin() + kFrameHeaderBytes,
-                      buffer.begin() + kFrameHeaderBytes +
-                          static_cast<std::ptrdiff_t>(length));
+  out->payload =
+      buffer.subspan(kFrameHeaderBytes, static_cast<std::size_t>(length));
   return kFrameHeaderBytes + static_cast<std::size_t>(length);
+}
+
+std::size_t DecodeFrame(std::span<const std::uint8_t> buffer, Frame* out) {
+  AF_CHECK(out != nullptr);
+  FrameView view;
+  const std::size_t consumed = DecodeFrameView(buffer, &view);
+  if (consumed == 0) {
+    return 0;
+  }
+  out->type = view.type;
+  out->payload.assign(view.payload.begin(), view.payload.end());
+  return consumed;
 }
 
 Frame EncodeModelBroadcast(const ModelBroadcastMsg& msg,
@@ -184,20 +260,28 @@ Frame EncodeModelBroadcast(const ModelBroadcastMsg& msg,
   frame.type = MessageType::kModelBroadcast;
   frame.payload.reserve(2 * sizeof(std::uint64_t) +
                         nn::FlatParamsWireSize(msg.params.size()));
-  AppendRaw(frame.payload, msg.round);
-  AppendRaw(frame.payload, msg.job_index);
-  AppendParams(frame.payload, msg.params, codec);
-  AppendTraceBlock(frame.payload, msg.trace_id, msg.parent_span_id);
+  AppendModelBroadcastPayload(frame.payload, msg, codec);
   return frame;
 }
 
-ModelBroadcastMsg DecodeModelBroadcast(const Frame& frame) {
+void AppendModelBroadcastFrame(std::vector<std::uint8_t>& out,
+                               const ModelBroadcastMsg& msg,
+                               const compress::Codec* codec) {
+  out.reserve(out.size() + kFrameHeaderBytes + 2 * sizeof(std::uint64_t) +
+              nn::FlatParamsWireSize(msg.params.size()));
+  const std::size_t length_pos =
+      BeginFrame(out, MessageType::kModelBroadcast);
+  AppendModelBroadcastPayload(out, msg, codec);
+  EndFrame(out, length_pos);
+}
+
+ModelBroadcastMsg DecodeModelBroadcast(const FrameView& frame) {
   CheckType(frame, MessageType::kModelBroadcast);
   ModelBroadcastMsg msg;
   std::size_t offset = 0;
   msg.round = ReadRaw<std::uint64_t>(frame.payload, &offset);
   msg.job_index = ReadRaw<std::uint64_t>(frame.payload, &offset);
-  msg.params = compress::ParseAnyParams(frame.payload, &offset);
+  msg.params = ReadParamsView(frame.payload, &offset);
   MaybeReadTraceBlock(frame, &offset, &msg.trace_id, &msg.parent_span_id);
   CheckFullyConsumed(frame, offset);
   return msg;
@@ -210,16 +294,23 @@ Frame EncodeClientUpdate(const ClientUpdateMsg& msg,
   frame.type = MessageType::kClientUpdate;
   frame.payload.reserve(sizeof(std::int32_t) + 3 * sizeof(std::uint64_t) +
                         nn::FlatParamsWireSize(msg.delta.size()));
-  AppendRaw(frame.payload, msg.client_id);
-  AppendRaw(frame.payload, msg.job_index);
-  AppendRaw(frame.payload, msg.base_round);
-  AppendRaw(frame.payload, msg.num_samples);
-  AppendParams(frame.payload, msg.delta, codec, feedback);
-  AppendTraceBlock(frame.payload, msg.trace_id, msg.parent_span_id);
+  AppendClientUpdatePayload(frame.payload, msg, codec, feedback);
   return frame;
 }
 
-ClientUpdateMsg DecodeClientUpdate(const Frame& frame) {
+void AppendClientUpdateFrame(std::vector<std::uint8_t>& out,
+                             const ClientUpdateMsg& msg,
+                             const compress::Codec* codec,
+                             compress::FeedbackState* feedback) {
+  out.reserve(out.size() + kFrameHeaderBytes + sizeof(std::int32_t) +
+              3 * sizeof(std::uint64_t) +
+              nn::FlatParamsWireSize(msg.delta.size()));
+  const std::size_t length_pos = BeginFrame(out, MessageType::kClientUpdate);
+  AppendClientUpdatePayload(out, msg, codec, feedback);
+  EndFrame(out, length_pos);
+}
+
+ClientUpdateMsg DecodeClientUpdate(const FrameView& frame) {
   CheckType(frame, MessageType::kClientUpdate);
   ClientUpdateMsg msg;
   std::size_t offset = 0;
@@ -227,7 +318,7 @@ ClientUpdateMsg DecodeClientUpdate(const Frame& frame) {
   msg.job_index = ReadRaw<std::uint64_t>(frame.payload, &offset);
   msg.base_round = ReadRaw<std::uint64_t>(frame.payload, &offset);
   msg.num_samples = ReadRaw<std::uint64_t>(frame.payload, &offset);
-  msg.delta = compress::ParseAnyParams(frame.payload, &offset);
+  msg.delta = ReadParamsView(frame.payload, &offset);
   MaybeReadTraceBlock(frame, &offset, &msg.trace_id, &msg.parent_span_id);
   CheckFullyConsumed(frame, offset);
   msg.wire_bytes = frame.payload.size();
@@ -241,7 +332,7 @@ Frame EncodeAck(const AckMsg& msg) {
   return frame;
 }
 
-AckMsg DecodeAck(const Frame& frame) {
+AckMsg DecodeAck(const FrameView& frame) {
   CheckType(frame, MessageType::kAck);
   AckMsg msg;
   std::size_t offset = 0;
@@ -261,7 +352,7 @@ Frame EncodeCodecOffer(const CodecOfferMsg& msg) {
   return frame;
 }
 
-CodecOfferMsg DecodeCodecOffer(const Frame& frame) {
+CodecOfferMsg DecodeCodecOffer(const FrameView& frame) {
   CheckType(frame, MessageType::kCodecOffer);
   CodecOfferMsg msg;
   std::size_t offset = 0;
@@ -281,7 +372,7 @@ Frame EncodeCodecSelect(const CodecSelectMsg& msg) {
   return frame;
 }
 
-CodecSelectMsg DecodeCodecSelect(const Frame& frame) {
+CodecSelectMsg DecodeCodecSelect(const FrameView& frame) {
   CheckType(frame, MessageType::kCodecSelect);
   CodecSelectMsg msg;
   std::size_t offset = 0;
@@ -296,7 +387,7 @@ Frame EncodeTraceOffer(const TraceOfferMsg&) {
   return frame;
 }
 
-TraceOfferMsg DecodeTraceOffer(const Frame& frame) {
+TraceOfferMsg DecodeTraceOffer(const FrameView& frame) {
   CheckType(frame, MessageType::kTraceOffer);
   CheckFullyConsumed(frame, 0);
   return TraceOfferMsg{};
@@ -309,9 +400,43 @@ Frame EncodeTraceSelect(const TraceSelectMsg& msg) {
   return frame;
 }
 
-TraceSelectMsg DecodeTraceSelect(const Frame& frame) {
+TraceSelectMsg DecodeTraceSelect(const FrameView& frame) {
   CheckType(frame, MessageType::kTraceSelect);
   TraceSelectMsg msg;
+  std::size_t offset = 0;
+  msg.enabled = ReadRaw<std::uint8_t>(frame.payload, &offset) != 0;
+  CheckFullyConsumed(frame, offset);
+  return msg;
+}
+
+Frame EncodeShmOffer(const ShmOfferMsg& msg) {
+  Frame frame;
+  frame.type = MessageType::kShmOffer;
+  AppendName(frame.payload, msg.name);
+  AppendRaw(frame.payload, msg.ring_bytes);
+  return frame;
+}
+
+ShmOfferMsg DecodeShmOffer(const FrameView& frame) {
+  CheckType(frame, MessageType::kShmOffer);
+  ShmOfferMsg msg;
+  std::size_t offset = 0;
+  msg.name = ReadName(frame.payload, &offset);
+  msg.ring_bytes = ReadRaw<std::uint64_t>(frame.payload, &offset);
+  CheckFullyConsumed(frame, offset);
+  return msg;
+}
+
+Frame EncodeShmSelect(const ShmSelectMsg& msg) {
+  Frame frame;
+  frame.type = MessageType::kShmSelect;
+  frame.payload.push_back(msg.enabled ? 1 : 0);
+  return frame;
+}
+
+ShmSelectMsg DecodeShmSelect(const FrameView& frame) {
+  CheckType(frame, MessageType::kShmSelect);
+  ShmSelectMsg msg;
   std::size_t offset = 0;
   msg.enabled = ReadRaw<std::uint8_t>(frame.payload, &offset) != 0;
   CheckFullyConsumed(frame, offset);

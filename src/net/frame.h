@@ -12,10 +12,19 @@
 // AFCZ container from compress/ — so model bytes are identical on disk and
 // on the wire. Decoders sniff the leading magic, so either form is always
 // accepted regardless of what was negotiated. Decoding is incremental
-// (stream-friendly): DecodeFrame reports how many bytes it consumed, or 0
-// when the buffer does not yet hold a whole frame. Malformed input — bad
+// (stream-friendly): DecodeFrameView reports how many bytes it consumed, or
+// 0 when the buffer does not yet hold a whole frame. Malformed input — bad
 // magic, unknown version, absurd length — throws util::CheckError; it never
 // reads past the buffer.
+//
+// Zero-copy decode path: DecodeFrameView yields a FrameView whose payload
+// aliases the caller's buffer, and the typed decoders return messages whose
+// parameter fields are UpdateViews that alias that same buffer whenever the
+// float payload is 4-byte aligned (it is, at every offset this protocol
+// emits). Such a message is valid only as long as the buffer it was decoded
+// from — consumers either finish with it inside the read callback or
+// materialize it once into an arena. The legacy Frame/DecodeFrame pair
+// (owning payload vector) remains for blocking clients and tests.
 //
 // Codec negotiation (see docs/NETWORK.md): after the client's hello Ack, a
 // server configured with advertised codecs replies with a CodecOffer naming
@@ -32,6 +41,13 @@
 // block. The block is emitted only when trace_id is non-zero and decoders
 // sniff for it, so an untraced run — or a legacy peer — sees wire bytes
 // identical to before trace propagation existed.
+//
+// Shared-memory negotiation (see docs/NETWORK.md): a server running with
+// --transport=shm follows the hello with a ShmOffer naming an mmap-able
+// ring segment; the client answers with a ShmSelect saying whether it
+// mapped it. On acceptance both sides move data frames onto the rings (same
+// frame bytes, so bit-identity is free); on refusal — or with no offer —
+// the connection stays plain TCP.
 #pragma once
 
 #include <cstddef>
@@ -39,6 +55,8 @@
 #include <span>
 #include <string>
 #include <vector>
+
+#include "net/update_view.h"
 
 namespace compress {
 class Codec;
@@ -56,6 +74,8 @@ enum class MessageType : std::uint16_t {
   kCodecSelect = 6,     // client → server: the codec the client will use
   kTraceOffer = 7,      // server → client: server understands trace context
   kTraceSelect = 8,     // client → server: client will attach trace context
+  kShmOffer = 9,        // server → client: shared-memory ring segment name
+  kShmSelect = 10,      // client → server: whether the client mapped it
 };
 
 const char* MessageTypeName(MessageType type);
@@ -72,18 +92,44 @@ struct Frame {
   std::vector<std::uint8_t> payload;
 };
 
+// Non-owning frame: the payload aliases whatever buffer it was decoded
+// from. Implicitly constructible from a Frame so every typed decoder
+// accepts both forms.
+struct FrameView {
+  MessageType type = MessageType::kAck;
+  std::span<const std::uint8_t> payload;
+
+  FrameView() = default;
+  FrameView(MessageType t, std::span<const std::uint8_t> p)
+      : type(t), payload(p) {}
+  FrameView(const Frame& frame)  // NOLINT: adapter by design
+      : type(frame.type), payload(frame.payload) {}
+};
+
 // Header + payload as one contiguous byte vector.
 std::vector<std::uint8_t> EncodeFrame(const Frame& frame);
 
-// Attempts to decode one frame from the start of `buffer`. Returns the
-// number of bytes consumed (header + payload) and fills `out`, or returns 0
-// when the buffer holds only a frame prefix. Throws util::CheckError on bad
-// magic, unsupported version, unknown type, or an oversized length field.
+// Appends the encoded frame to `out` — the in-place form QueueFrame-style
+// call sites use so no intermediate byte vector is built.
+void AppendFrameBytes(std::vector<std::uint8_t>& out, const Frame& frame);
+
+// Attempts to decode one frame from the start of `buffer` without copying:
+// `out->payload` aliases `buffer`. Returns the number of bytes consumed
+// (header + payload), or 0 when the buffer holds only a frame prefix.
+// Throws util::CheckError on bad magic, unsupported version, unknown type,
+// or an oversized length field.
+std::size_t DecodeFrameView(std::span<const std::uint8_t> buffer,
+                            FrameView* out);
+
+// Owning form of DecodeFrameView (copies the payload into `out`).
 std::size_t DecodeFrame(std::span<const std::uint8_t> buffer, Frame* out);
 
 // --- Typed payloads ---------------------------------------------------
 // Decoders validate the frame type and payload framing; truncated or
-// trailing bytes throw util::CheckError.
+// trailing bytes throw util::CheckError. Decoded parameter fields
+// (ModelBroadcastMsg::params, ClientUpdateMsg::delta) alias the frame
+// buffer on the zero-copy path — see the header comment for the lifetime
+// rule.
 
 // One training job: "train from these base params". `round` is the server
 // round the job was dispatched in, `job_index` the per-client job counter
@@ -91,7 +137,7 @@ std::size_t DecodeFrame(std::span<const std::uint8_t> buffer, Frame* out);
 struct ModelBroadcastMsg {
   std::uint64_t round = 0;
   std::uint64_t job_index = 0;
-  std::vector<float> params;
+  UpdateView params;
   // Cross-process trace context (0 = untraced → no AFTC block on the wire).
   std::uint64_t trace_id = 0;
   std::uint64_t parent_span_id = 0;
@@ -103,7 +149,7 @@ struct ClientUpdateMsg {
   std::uint64_t job_index = 0;
   std::uint64_t base_round = 0;
   std::uint64_t num_samples = 0;
-  std::vector<float> delta;
+  UpdateView delta;
   // Cross-process trace context (0 = untraced → no AFTC block on the wire).
   std::uint64_t trace_id = 0;
   std::uint64_t parent_span_id = 0;
@@ -139,34 +185,70 @@ struct TraceSelectMsg {
   bool enabled = false;
 };
 
+// Server → client: a shared-memory ring segment (shm_open name) sized
+// `ring_bytes` per direction, for same-host data frames.
+struct ShmOfferMsg {
+  std::string name;
+  std::uint64_t ring_bytes = 0;
+};
+
+// Client → server: whether the segment was mapped and validated. false →
+// the connection stays TCP (the fallback is always legal).
+struct ShmSelectMsg {
+  bool enabled = false;
+};
+
 // Parameter-bearing encoders take an optional negotiated codec: nullptr (or
 // the identity codec) emits the legacy raw AFPM block — byte-identical to
 // the pre-codec wire — anything else emits an AFCZ container. The update
 // encoder additionally threads the client's error-feedback state for codecs
 // that use it. Decoders sniff the magic, so they need no codec argument.
+//
+// The Append*Frame forms serialize header + payload straight into `out`
+// (typically a connection's write buffer) with no intermediate Frame or
+// payload vector — the zero-copy write path.
 Frame EncodeModelBroadcast(const ModelBroadcastMsg& msg,
                            const compress::Codec* codec = nullptr);
-ModelBroadcastMsg DecodeModelBroadcast(const Frame& frame);
+void AppendModelBroadcastFrame(std::vector<std::uint8_t>& out,
+                               const ModelBroadcastMsg& msg,
+                               const compress::Codec* codec = nullptr);
+ModelBroadcastMsg DecodeModelBroadcast(const FrameView& frame);
+// The decoded params/delta view may alias the frame's payload bytes, so the
+// frame must outlive the message. A temporary Frame can't: these overloads
+// are deleted to make `DecodeX(EncodeX(...))` a compile error instead of a
+// use-after-free (bind the frame to a local first).
+ModelBroadcastMsg DecodeModelBroadcast(Frame&&) = delete;
 
 Frame EncodeClientUpdate(const ClientUpdateMsg& msg,
                          const compress::Codec* codec = nullptr,
                          compress::FeedbackState* feedback = nullptr);
-ClientUpdateMsg DecodeClientUpdate(const Frame& frame);
+void AppendClientUpdateFrame(std::vector<std::uint8_t>& out,
+                             const ClientUpdateMsg& msg,
+                             const compress::Codec* codec = nullptr,
+                             compress::FeedbackState* feedback = nullptr);
+ClientUpdateMsg DecodeClientUpdate(const FrameView& frame);
+ClientUpdateMsg DecodeClientUpdate(Frame&&) = delete;  // see above
 
 Frame EncodeAck(const AckMsg& msg);
-AckMsg DecodeAck(const Frame& frame);
+AckMsg DecodeAck(const FrameView& frame);
 
 Frame EncodeCodecOffer(const CodecOfferMsg& msg);
-CodecOfferMsg DecodeCodecOffer(const Frame& frame);
+CodecOfferMsg DecodeCodecOffer(const FrameView& frame);
 
 Frame EncodeCodecSelect(const CodecSelectMsg& msg);
-CodecSelectMsg DecodeCodecSelect(const Frame& frame);
+CodecSelectMsg DecodeCodecSelect(const FrameView& frame);
 
 Frame EncodeTraceOffer(const TraceOfferMsg& msg);
-TraceOfferMsg DecodeTraceOffer(const Frame& frame);
+TraceOfferMsg DecodeTraceOffer(const FrameView& frame);
 
 Frame EncodeTraceSelect(const TraceSelectMsg& msg);
-TraceSelectMsg DecodeTraceSelect(const Frame& frame);
+TraceSelectMsg DecodeTraceSelect(const FrameView& frame);
+
+Frame EncodeShmOffer(const ShmOfferMsg& msg);
+ShmOfferMsg DecodeShmOffer(const FrameView& frame);
+
+Frame EncodeShmSelect(const ShmSelectMsg& msg);
+ShmSelectMsg DecodeShmSelect(const FrameView& frame);
 
 Frame MakeShutdownFrame();
 

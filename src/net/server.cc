@@ -51,7 +51,9 @@ Server::Server(ServerOptions options)
           "net.server.duplicate_updates")),
       tick_us_(obs::DefaultRegistry().GetHistogram("net.server.tick_us")),
       connected_clients_(obs::DefaultRegistry().GetGauge(
-          "net.server.connected_clients")) {
+          "net.server.connected_clients")),
+      transport_updates_(
+          obs::DefaultRegistry().GetCounter("transport.updates")) {
   SetNonBlocking(listener_.fd());
 }
 
@@ -83,7 +85,7 @@ void Server::AcceptPending() {
   }
 }
 
-bool Server::HandleFrame(Conn& conn, const Frame& frame) {
+bool Server::HandleFrame(Conn& conn, const FrameView& frame) {
   frames_received_.Increment();
   if (conn.client_id < 0) {
     // First frame must be the hello Ack carrying the client id.
@@ -122,6 +124,22 @@ bool Server::HandleFrame(Conn& conn, const Frame& frame) {
       QueueFrame(conn, EncodeTraceOffer({}));
       conn.awaiting_trace_select = true;
     }
+    if (options_.offer_shm) {
+      // A segment that fails to create (shm mount full, name collision) is
+      // not fatal: skip the offer and the connection stays plain TCP.
+      try {
+        const std::string name = MakeShmName(port(), client_id);
+        conn.shm = ShmSegment::Create(name, options_.shm_ring_bytes);
+        QueueFrame(conn, EncodeShmOffer(
+                             {name, static_cast<std::uint64_t>(
+                                        options_.shm_ring_bytes)}));
+        conn.awaiting_shm_select = true;
+      } catch (const util::CheckError& e) {
+        AF_LOG(kWarn) << "net: shm segment for client " << client_id
+                      << " failed (" << e.what() << "); staying on TCP";
+        conn.shm.reset();
+      }
+    }
     MaybeCompleteHandshake(conn);
     return true;
   }
@@ -155,6 +173,20 @@ bool Server::HandleFrame(Conn& conn, const Frame& frame) {
       MaybeCompleteHandshake(conn);
       return true;
     }
+    if (frame.type == MessageType::kShmSelect && conn.awaiting_shm_select) {
+      const bool enabled = DecodeShmSelect(frame).enabled;
+      conn.awaiting_shm_select = false;
+      if (enabled && conn.shm) {
+        conn.shm_active = true;
+        AF_LOG(kInfo) << "net: client " << conn.client_id
+                      << " switched to shm rings (" << conn.shm->name()
+                      << ")";
+      } else {
+        conn.shm.reset();  // creator unlinks; connection stays TCP
+      }
+      MaybeCompleteHandshake(conn);
+      return true;
+    }
     AF_LOG(kWarn) << "net: client " << conn.client_id << " sent "
                   << MessageTypeName(frame.type)
                   << " before negotiation finished; closing";
@@ -177,6 +209,7 @@ bool Server::HandleFrame(Conn& conn, const Frame& frame) {
         duplicates_.Increment();
         return true;
       }
+      transport_updates_.Increment();
       if (on_update_) {
         on_update_(conn.client_id, std::move(msg));
       }
@@ -188,10 +221,12 @@ bool Server::HandleFrame(Conn& conn, const Frame& frame) {
       return false;  // client says goodbye
     case MessageType::kCodecSelect:
     case MessageType::kTraceSelect:
+    case MessageType::kShmSelect:
       return true;  // repeated select after negotiation; harmless
     case MessageType::kModelBroadcast:
     case MessageType::kCodecOffer:
     case MessageType::kTraceOffer:
+    case MessageType::kShmOffer:
       AF_LOG(kWarn) << "net: client " << conn.client_id
                     << " sent a server-only frame; closing";
       return false;
@@ -204,7 +239,15 @@ bool Server::ReadConn(Conn& conn) {
     std::uint8_t chunk[16384];
     const ssize_t n = ::recv(conn.fd.get(), chunk, sizeof(chunk), 0);
     if (n == 0) {
-      return false;  // EOF
+      // EOF — but a peer that closes right after its last send may leave
+      // complete frames buffered (in `conn.in`, and on the uplink ring for
+      // an shm connection). Deliver those before honoring the close.
+      if (conn.shm_active && conn.shm != nullptr) {
+        while (conn.shm->uplink().ReadSome(conn.in) > 0) {
+        }
+      }
+      ProcessInbuf(conn);
+      return false;
     }
     if (n < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
@@ -216,54 +259,89 @@ bool Server::ReadConn(Conn& conn) {
     bytes_in_.Increment(static_cast<std::uint64_t>(n));
     conn.last_progress_ns = NowNs();
   }
-  // Decode every complete frame; a malformed stream kills the connection.
-  while (true) {
-    Frame frame;
+  return ProcessInbuf(conn);
+}
+
+bool Server::ProcessInbuf(Conn& conn) {
+  // Decode every complete frame as a view over the scratch buffer — no
+  // per-frame payload vector. The consumed prefix is reclaimed once, after
+  // the batch, so every view handed to HandleFrame stays valid while it
+  // runs. A malformed stream kills the connection.
+  bool keep = true;
+  while (keep) {
+    FrameView frame;
     std::size_t consumed = 0;
     try {
-      consumed = DecodeFrame(conn.in, &frame);
+      consumed = DecodeFrameView(
+          std::span<const std::uint8_t>(conn.in).subspan(conn.in_offset),
+          &frame);
     } catch (const util::CheckError& e) {
       AF_LOG(kWarn) << "net: malformed frame from client " << conn.client_id
                     << ": " << e.what();
-      return false;
+      keep = false;
+      break;
     }
     if (consumed == 0) {
-      return true;
+      break;
     }
-    conn.in.erase(conn.in.begin(),
-                  conn.in.begin() + static_cast<std::ptrdiff_t>(consumed));
+    conn.in_offset += consumed;
     // A structurally valid frame can still carry a malformed typed payload
     // (truncated AFPM/AFCZ block, checksum mismatch, bad codec name). That
     // must evict this connection, never unwind through the reactor.
-    bool keep = false;
     try {
       keep = HandleFrame(conn, frame);
     } catch (const util::CheckError& e) {
       AF_LOG(kWarn) << "net: malformed " << MessageTypeName(frame.type)
                     << " payload from client " << conn.client_id << ": "
                     << e.what();
-      return false;
+      keep = false;
     } catch (const std::bad_alloc&) {
       // A payload that validates structurally but still demands an absurd
       // allocation is the sender's fault, not grounds to kill the reactor.
       AF_LOG(kWarn) << "net: " << MessageTypeName(frame.type)
                     << " payload from client " << conn.client_id
                     << " exhausted memory during decode; closing";
-      return false;
-    }
-    if (!keep) {
-      return false;
+      keep = false;
     }
   }
+  // Reclaim the decoded prefix (one memmove per batch, usually of nothing:
+  // a fully-consumed buffer just resets). Capacity is kept for reuse.
+  if (conn.in_offset == conn.in.size()) {
+    conn.in.clear();
+    conn.in_offset = 0;
+  } else if (conn.in_offset > 0) {
+    conn.in.erase(conn.in.begin(),
+                  conn.in.begin() + static_cast<std::ptrdiff_t>(
+                                        conn.in_offset));
+    conn.in_offset = 0;
+  }
+  return keep;
 }
 
 void Server::QueueFrame(Conn& conn, const Frame& frame) {
-  const std::vector<std::uint8_t> bytes = EncodeFrame(frame);
-  conn.out.insert(conn.out.end(), bytes.begin(), bytes.end());
+  AppendFrameBytes(conn.out, frame);
   frames_sent_.Increment();
 }
 
 bool Server::WriteConn(Conn& conn) {
+  if (conn.shm_active) {
+    // Data frames ride the downlink ring; the reactor never blocks on it.
+    // A full ring just leaves the remainder for the next tick — worker
+    // death is detected through the still-open socket, not here.
+    while (conn.out_offset < conn.out.size()) {
+      const std::size_t n = conn.shm->downlink().WriteSome(
+          std::span<const std::uint8_t>(conn.out).subspan(conn.out_offset));
+      if (n == 0) {
+        return true;
+      }
+      conn.out_offset += n;
+      bytes_out_.Increment(static_cast<std::uint64_t>(n));
+      conn.last_progress_ns = NowNs();
+    }
+    conn.out.clear();
+    conn.out_offset = 0;
+    return true;
+  }
   while (conn.out_offset < conn.out.size()) {
     const ssize_t n =
         ::send(conn.fd.get(), conn.out.data() + conn.out_offset,
@@ -284,7 +362,8 @@ bool Server::WriteConn(Conn& conn) {
 }
 
 void Server::MaybeCompleteHandshake(Conn& conn) {
-  if (conn.awaiting_codec_select || conn.awaiting_trace_select) {
+  if (conn.awaiting_codec_select || conn.awaiting_trace_select ||
+      conn.awaiting_shm_select) {
     return;
   }
   conn.handshake_complete = true;
@@ -312,6 +391,12 @@ void Server::CloseConn(std::size_t index, const char* reason) {
 void Server::PollOnce(int timeout_ms) {
   AF_TRACE_SPAN("net.server.poll");
   const auto tick_start = Clock::now();
+
+  // Rings have no fd, so poll cannot wake for them: while any shm
+  // connection is live the tick must not sleep long.
+  if (HasActiveShm() && timeout_ms > 1) {
+    timeout_ms = 1;
+  }
 
   std::vector<pollfd> pfds;
   pfds.reserve(conns_.size() + 1);
@@ -356,7 +441,7 @@ void Server::PollOnce(int timeout_ms) {
       CloseConn(i, "write failed");
       continue;
     }
-    const bool stalled_read = !conn.in.empty();
+    const bool stalled_read = conn.in.size() > conn.in_offset;
     const bool stalled_write = conn.out_offset < conn.out.size();
     if ((stalled_read || stalled_write) && options_.io_timeout_ms >= 0) {
       const std::uint64_t idle_ns = NowNs() - conn.last_progress_ns;
@@ -369,10 +454,45 @@ void Server::PollOnce(int timeout_ms) {
     }
   }
 
+  DrainShmConns();
+
   tick_us_.Record(
       std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
                                                             tick_start)
           .count());
+}
+
+void Server::DrainShmConns() {
+  // Backwards so CloseConn's erase cannot shift unvisited entries.
+  for (std::size_t i = conns_.size(); i-- > 0;) {
+    Conn& conn = *conns_[i];
+    if (!conn.shm_active) {
+      continue;
+    }
+    const std::size_t n = conn.shm->uplink().ReadSome(conn.in);
+    if (n > 0) {
+      bytes_in_.Increment(static_cast<std::uint64_t>(n));
+      conn.last_progress_ns = NowNs();
+      if (!ProcessInbuf(conn)) {
+        CloseConn(i, "peer closed or malformed stream");
+        continue;
+      }
+    }
+    // Flush anything the frames above queued (acks) plus any broadcast
+    // bytes a previously full ring left behind.
+    if (!WriteConn(conn)) {
+      CloseConn(i, "write failed");
+    }
+  }
+}
+
+bool Server::HasActiveShm() const {
+  for (const auto& conn : conns_) {
+    if (conn->shm_active) {
+      return true;
+    }
+  }
+  return false;
 }
 
 bool Server::SendTo(int client_id, const Frame& frame) {
@@ -473,6 +593,11 @@ const compress::Codec* Server::ClientCodec(int client_id) const {
 bool Server::ClientTraceContext(int client_id) const {
   auto it = by_client_.find(client_id);
   return it != by_client_.end() && it->second->trace_context;
+}
+
+bool Server::ClientUsesShm(int client_id) const {
+  auto it = by_client_.find(client_id);
+  return it != by_client_.end() && it->second->shm_active;
 }
 
 }  // namespace net

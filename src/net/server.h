@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "net/frame.h"
+#include "net/shm_ring.h"
 #include "net/socket.h"
 #include "obs/metrics.h"
 
@@ -56,10 +57,21 @@ struct ServerOptions {
   // answer with a TraceSelect saying whether they will attach AFTC blocks.
   // Off → no offer, wire identical to before trace propagation existed.
   bool offer_trace_context = false;
+  // Offer a shared-memory ring segment to each client after its hello
+  // (--transport=shm). A client that maps it moves data frames onto the
+  // rings; one that declines — or a segment that fails to create — stays on
+  // plain TCP. The socket remains open as the liveness signal either way.
+  bool offer_shm = false;
+  std::size_t shm_ring_bytes = kShmDefaultRingBytes;
 };
 
 class Server {
  public:
+  // The update's delta may be a zero-copy view into the connection's read
+  // buffer: it is valid only for the duration of the callback. A handler
+  // that keeps the update must materialize the view (arena copy / ToVector)
+  // before returning — unless the view carries its own keepalive
+  // (has_keepalive()), in which case it may be kept as-is.
   using UpdateHandler = std::function<void(int client_id, ClientUpdateMsg)>;
   using ClientHandler = std::function<void(int client_id)>;
 
@@ -110,6 +122,10 @@ class Server {
   // clients that did.
   bool ClientTraceContext(int client_id) const;
 
+  // Whether the client's connection negotiated (and activated) the
+  // shared-memory rings; false for plain-TCP clients and unknown ids.
+  bool ClientUsesShm(int client_id) const;
+
  private:
   struct Conn {
     util::UniqueFd fd;
@@ -117,9 +133,16 @@ class Server {
     bool handshake_complete = false;
     bool awaiting_codec_select = false;  // offer sent, select pending
     bool awaiting_trace_select = false;
+    bool awaiting_shm_select = false;
     bool trace_context = false;  // client accepted the TraceOffer
+    bool shm_active = false;     // data frames ride the rings, not the fd
+    std::unique_ptr<ShmSegment> shm;
     const compress::Codec* codec = nullptr;  // negotiated; null = identity
+    // Reusable receive scratch: bytes land at the end, frames decode as
+    // views from `in_offset`, and the consumed prefix is reclaimed once per
+    // read batch — no per-frame payload vector is ever built.
     std::vector<std::uint8_t> in;
+    std::size_t in_offset = 0;  // already-decoded prefix of `in`
     std::vector<std::uint8_t> out;
     std::size_t out_offset = 0;  // already-written prefix of `out`
     std::uint64_t last_progress_ns = 0;
@@ -134,9 +157,17 @@ class Server {
   void QueueFrame(Conn& conn, const Frame& frame);
   // Reads and processes one connection; returns false when it must close.
   bool ReadConn(Conn& conn);
-  bool HandleFrame(Conn& conn, const Frame& frame);
-  // Attempts to write pending bytes; returns false on a dead socket.
+  // Decodes and handles every complete frame in `conn.in`; returns false
+  // when the connection must close.
+  bool ProcessInbuf(Conn& conn);
+  bool HandleFrame(Conn& conn, const FrameView& frame);
+  // Attempts to write pending bytes (socket or downlink ring); returns
+  // false on a dead socket.
   bool WriteConn(Conn& conn);
+  // Drains every shm connection's uplink ring (the rings have no fd for
+  // poll to watch); called each tick.
+  void DrainShmConns();
+  bool HasActiveShm() const;
   void CloseConn(std::size_t index, const char* reason);
 
   ServerOptions options_;
@@ -155,6 +186,7 @@ class Server {
   obs::Counter& duplicates_;
   obs::Histogram& tick_us_;
   obs::Gauge& connected_clients_;
+  obs::Counter& transport_updates_;
 };
 
 }  // namespace net

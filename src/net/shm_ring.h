@@ -1,0 +1,143 @@
+// Shared-memory ring transport for same-host workers.
+//
+// One mmap'd POSIX shm segment per connection carries two SPSC byte rings —
+// uplink (client → server) and downlink (server → client) — that move the
+// exact same AFNT frame bytes as the TCP socket they replace, which is what
+// keeps --transport=shm bit-identical to tcp and inproc. Layout ("AFSH",
+// little-endian, all cursors free-running u64):
+//
+//   ShmHeader   u32 magic "AFSH" | u32 version | u64 ring_bytes
+//   RingControl uplink    head/tail cursors + futex doorbells (64B lanes)
+//   RingControl downlink
+//   bytes       uplink data   [ring_bytes]
+//   bytes       downlink data [ring_bytes]
+//
+// `ring_bytes` must be a power of two. Producers bump `head`, consumers
+// bump `tail`; the doorbell words (`data_seq`, bumped on produce, and
+// `space_seq`, bumped on consume) are futex words — non-PRIVATE, so the
+// blocking worker side can sleep on them across processes. The server's
+// reactor never blocks on a ring: it drains with TryRead/TryWrite on each
+// tick (PollOnce caps its poll timeout while shm connections exist).
+//
+// Negotiation rides the existing TCP handshake (ShmOffer / ShmSelect, see
+// net/frame.h); the socket stays open as the liveness signal and fallback.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace net {
+
+inline constexpr std::uint32_t kShmMagic = 0x48534641u;  // "AFSH" (LE)
+inline constexpr std::uint32_t kShmVersion = 1;
+inline constexpr std::size_t kShmDefaultRingBytes = std::size_t{1} << 22;
+
+// On-segment header; validated by ValidateShmHeader before any ring math.
+struct ShmHeader {
+  std::uint32_t magic = 0;
+  std::uint32_t version = 0;
+  std::uint64_t ring_bytes = 0;
+};
+
+// Per-direction control block. Cache-line lanes keep producer and consumer
+// cursors from false-sharing.
+struct ShmRingControl {
+  alignas(64) std::atomic<std::uint64_t> head;       // bytes produced
+  alignas(64) std::atomic<std::uint64_t> tail;       // bytes consumed
+  alignas(64) std::atomic<std::uint32_t> data_seq;   // doorbell: produce
+  alignas(64) std::atomic<std::uint32_t> space_seq;  // doorbell: consume
+};
+static_assert(sizeof(ShmRingControl) == 256);
+
+// Validates an AFSH header blob: magic, version, power-of-two ring size
+// within sane bounds. Throws util::CheckError on anything else. Pure
+// function so the fuzzer can drive it with hostile bytes.
+void ValidateShmHeader(std::span<const std::uint8_t> bytes);
+
+// Total segment size for a given per-direction ring capacity.
+std::size_t ShmSegmentBytes(std::size_t ring_bytes);
+
+// One direction over mapped memory the caller keeps alive. Single-producer
+// single-consumer; a byte stream, not a message queue — frames re-assemble
+// exactly as they do from a TCP stream.
+class ShmRing {
+ public:
+  ShmRing() = default;
+  ShmRing(ShmRingControl* control, std::uint8_t* data, std::size_t capacity);
+
+  std::size_t capacity() const { return capacity_; }
+
+  // Producer: appends up to bytes.size() bytes, returns how many fit.
+  std::size_t WriteSome(std::span<const std::uint8_t> bytes);
+
+  // Producer: writes all of `bytes`, futex-sleeping on the consumer's
+  // doorbell when full. Returns false when `timeout_ms` elapses first.
+  bool WriteAll(std::span<const std::uint8_t> bytes, int timeout_ms);
+
+  // Consumer: appends every currently-available byte to `out`, returns the
+  // count (0 = ring empty).
+  std::size_t ReadSome(std::vector<std::uint8_t>& out);
+
+  // Consumer: futex-sleeps until bytes are available (true) or `timeout_ms`
+  // elapses (false). A zero timeout is a pure poll.
+  bool WaitReadable(int timeout_ms);
+
+  std::size_t AvailableToRead() const;
+
+ private:
+  ShmRingControl* control_ = nullptr;
+  std::uint8_t* data_ = nullptr;
+  std::size_t capacity_ = 0;
+};
+
+// Owns the mapping (and, on the creating side, the shm name) of one
+// two-ring segment. `uplink` is always client → server.
+class ShmSegment {
+ public:
+  // Creates and maps a fresh segment (O_EXCL) named `name`; `ring_bytes`
+  // must be a power of two. Throws util::CheckError on any syscall failure
+  // — callers treat that as "no shm for this connection" and stay on TCP.
+  static std::unique_ptr<ShmSegment> Create(const std::string& name,
+                                            std::size_t ring_bytes);
+
+  // Maps an existing segment and validates its header against
+  // `expected_ring_bytes` from the ShmOffer. Throws util::CheckError on
+  // mismatch or syscall failure.
+  static std::unique_ptr<ShmSegment> Open(const std::string& name,
+                                          std::size_t expected_ring_bytes);
+
+  ~ShmSegment();
+
+  ShmSegment(const ShmSegment&) = delete;
+  ShmSegment& operator=(const ShmSegment&) = delete;
+
+  const std::string& name() const { return name_; }
+  std::size_t ring_bytes() const { return ring_bytes_; }
+
+  ShmRing& uplink() { return uplink_; }
+  ShmRing& downlink() { return downlink_; }
+
+ private:
+  ShmSegment(std::string name, bool owner, void* base, std::size_t map_bytes,
+             std::size_t ring_bytes);
+
+  std::string name_;
+  bool owner_ = false;  // creator unlinks the name on destruction
+  void* base_ = nullptr;
+  std::size_t map_bytes_ = 0;
+  std::size_t ring_bytes_ = 0;
+  ShmRing uplink_;
+  ShmRing downlink_;
+};
+
+// A process-unique shm name for one connection ("/afnt-<pid>-<port>-<id>-
+// <counter>"); the counter makes back-to-back runs in one process collide-
+// free.
+std::string MakeShmName(std::uint16_t port, int client_id);
+
+}  // namespace net

@@ -1,0 +1,103 @@
+// Reference-counted immutable float view — the update currency of the
+// zero-copy hot path.
+//
+// A model update crosses the system as an UpdateView: a span of float32s
+// plus a keepalive for whatever owns them. Three backing modes, all with
+// identical read semantics:
+//
+//   owned     — the view adopted a std::vector<float> (moved in, no copy);
+//               implicit conversions from vector/initializer_list keep
+//               call sites that used to build vectors compiling unchanged.
+//   arena     — the floats live in a util::Arena block; the keepalive is
+//               the block's shared_ptr, so the block outlives the view.
+//   borrowed  — a bare span with a caller-supplied (possibly empty)
+//               keepalive; used by decoders aliasing a frame buffer, valid
+//               only as long as that buffer (documented per API).
+//
+// This is a standalone header with no net/ link dependency — lower layers
+// (compress, fl/types) may include it freely; it sits in namespace net
+// because the wire is where views originate and where their lifetime rules
+// are defined.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstring>
+#include <initializer_list>
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "util/arena.h"
+
+namespace net {
+
+class UpdateView {
+ public:
+  UpdateView() = default;
+
+  // Borrowing: `values` must stay valid while `keepalive` (or the
+  // underlying buffer, when keepalive is empty) lives.
+  UpdateView(std::span<const float> values,
+             std::shared_ptr<const void> keepalive)
+      : values_(values), keepalive_(std::move(keepalive)) {}
+
+  // Owning: adopts the vector by move — no copy, the view is self-contained.
+  // Intentionally implicit: everything that used to produce a
+  // std::vector<float> update still assigns straight into an UpdateView.
+  UpdateView(std::vector<float> values) {
+    auto owned = std::make_shared<std::vector<float>>(std::move(values));
+    values_ = std::span<const float>(owned->data(), owned->size());
+    keepalive_ = std::move(owned);
+  }
+
+  UpdateView(std::initializer_list<float> values)
+      : UpdateView(std::vector<float>(values)) {}
+
+  static UpdateView Own(std::vector<float> values) {
+    return UpdateView(std::move(values));
+  }
+
+  // Copies `values` into `arena` (the one deliberate copy of the uplink
+  // path) and returns a view kept alive by the arena block.
+  static UpdateView CopyToArena(util::Arena& arena,
+                                std::span<const float> values) {
+    auto alloc = arena.AllocateSpan<float>(values.size());
+    if (!values.empty()) {
+      std::memcpy(alloc.data.data(), values.data(),
+                  values.size() * sizeof(float));
+    }
+    return UpdateView(alloc.data, std::move(alloc.keepalive));
+  }
+
+  const float* data() const { return values_.data(); }
+  std::size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+  float operator[](std::size_t i) const { return values_[i]; }
+  const float* begin() const { return values_.data(); }
+  const float* end() const { return values_.data() + values_.size(); }
+
+  std::span<const float> values() const { return values_; }
+  operator std::span<const float>() const { return values_; }
+
+  // Materializes an independent vector (always copies).
+  std::vector<float> ToVector() const {
+    return std::vector<float>(values_.begin(), values_.end());
+  }
+
+  // Whether this view is self-contained (owns or keeps alive its floats)
+  // rather than borrowing from an unmanaged buffer.
+  bool has_keepalive() const { return keepalive_ != nullptr; }
+
+  friend bool operator==(const UpdateView& a, const UpdateView& b) {
+    return a.values_.size() == b.values_.size() &&
+           std::equal(a.begin(), a.end(), b.begin());
+  }
+
+ private:
+  std::span<const float> values_;
+  std::shared_ptr<const void> keepalive_;
+};
+
+}  // namespace net

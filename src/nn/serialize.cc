@@ -42,8 +42,13 @@ void AppendFlatParams(std::vector<std::uint8_t>& out,
   out.insert(out.end(), data, data + params.size() * sizeof(float));
 }
 
-std::vector<float> ParseFlatParams(std::span<const std::uint8_t> bytes,
-                                   std::size_t* offset) {
+namespace {
+
+// Validates the AFPM block at `*offset` and returns the byte extent of its
+// float payload without copying anything. Shared by the copying and
+// zero-copy parse forms so they reject identical inputs identically.
+std::span<const std::uint8_t> ValidateFlatParams(
+    std::span<const std::uint8_t> bytes, std::size_t* offset) {
   AF_CHECK(offset != nullptr);
   AF_CHECK_LE(*offset, bytes.size()) << "parse offset past end of buffer";
   std::span<const std::uint8_t> rest = bytes.subspan(*offset);
@@ -67,13 +72,36 @@ std::vector<float> ParseFlatParams(std::span<const std::uint8_t> bytes,
       << "truncated AFPM payload at byte offset " << *offset + kHeaderBytes
       << ": header declares " << count << " floats but only " << available
       << " bytes follow";
-  std::vector<float> params(static_cast<std::size_t>(count));
+  return rest.subspan(kHeaderBytes,
+                      static_cast<std::size_t>(count) * sizeof(float));
+}
+
+}  // namespace
+
+std::vector<float> ParseFlatParams(std::span<const std::uint8_t> bytes,
+                                   std::size_t* offset) {
+  const std::span<const std::uint8_t> payload =
+      ValidateFlatParams(bytes, offset);
+  std::vector<float> params(payload.size() / sizeof(float));
   if (!params.empty()) {
-    std::memcpy(params.data(), rest.data() + kHeaderBytes,
-                params.size() * sizeof(float));
+    std::memcpy(params.data(), payload.data(), payload.size());
   }
   *offset += FlatParamsWireSize(params.size());
   return params;
+}
+
+std::optional<std::span<const float>> TryParseFlatParamsView(
+    std::span<const std::uint8_t> bytes, std::size_t* offset) {
+  const std::span<const std::uint8_t> payload =
+      ValidateFlatParams(bytes, offset);
+  if (reinterpret_cast<std::uintptr_t>(payload.data()) % alignof(float) !=
+      0) {
+    return std::nullopt;  // caller copies; no offset advance
+  }
+  const std::size_t count = payload.size() / sizeof(float);
+  *offset += FlatParamsWireSize(count);
+  return std::span<const float>(
+      reinterpret_cast<const float*>(payload.data()), count);
 }
 
 void SaveFlatParams(const std::string& path, std::span<const float> params) {

@@ -9,6 +9,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -35,6 +36,16 @@ void AppendFlatParams(std::vector<std::uint8_t>& out,
 // instead of attempting a huge allocation.
 std::vector<float> ParseFlatParams(std::span<const std::uint8_t> bytes,
                                    std::size_t* offset);
+
+// Zero-copy form: validates the same AFPM block but returns a float span
+// aliasing `bytes` instead of copying, advancing `*offset` past the block.
+// Returns std::nullopt — with `*offset` untouched — only when the float
+// payload is not 4-byte aligned within the buffer (the caller falls back to
+// the copying ParseFlatParams and accounts the copy). Malformed input
+// throws util::CheckError exactly as ParseFlatParams does. The span is
+// valid only as long as `bytes` is.
+std::optional<std::span<const float>> TryParseFlatParamsView(
+    std::span<const std::uint8_t> bytes, std::size_t* offset);
 
 // Bytes AppendFlatParams emits for `count` parameters (header included).
 std::size_t FlatParamsWireSize(std::size_t count);

@@ -6,6 +6,19 @@
 #include "util/check.h"
 
 namespace stats {
+namespace {
+
+std::vector<std::span<const float>> AsSpans(
+    const std::vector<std::vector<float>>& vectors) {
+  std::vector<std::span<const float>> spans;
+  spans.reserve(vectors.size());
+  for (const auto& v : vectors) {
+    spans.emplace_back(v);
+  }
+  return spans;
+}
+
+}  // namespace
 
 // The reductions below are the inner loops of Krum, k-means, Zeno++,
 // FLtrust, and AsyncFilter scoring; they dispatch to the unrolled
@@ -49,7 +62,7 @@ void Scale(std::span<float> v, double alpha) {
   tensor::kernels::Scale(v.data(), alpha, v.size());
 }
 
-std::vector<float> Mean(const std::vector<std::vector<float>>& vectors) {
+std::vector<float> Mean(const std::vector<std::span<const float>>& vectors) {
   AF_CHECK(!vectors.empty());
   const std::size_t dim = vectors.front().size();
   std::vector<double> acc(dim, 0.0);
@@ -66,8 +79,13 @@ std::vector<float> Mean(const std::vector<std::vector<float>>& vectors) {
   return mean;
 }
 
-std::vector<float> WeightedMean(const std::vector<std::vector<float>>& vectors,
-                                std::span<const double> weights) {
+std::vector<float> Mean(const std::vector<std::vector<float>>& vectors) {
+  return Mean(AsSpans(vectors));
+}
+
+std::vector<float> WeightedMean(
+    const std::vector<std::span<const float>>& vectors,
+    std::span<const double> weights) {
   AF_CHECK(!vectors.empty());
   AF_CHECK_EQ(vectors.size(), weights.size());
   const std::size_t dim = vectors.front().size();
@@ -91,7 +109,13 @@ std::vector<float> WeightedMean(const std::vector<std::vector<float>>& vectors,
   return mean;
 }
 
-std::vector<float> PerDimensionStd(const std::vector<std::vector<float>>& vectors) {
+std::vector<float> WeightedMean(const std::vector<std::vector<float>>& vectors,
+                                std::span<const double> weights) {
+  return WeightedMean(AsSpans(vectors), weights);
+}
+
+std::vector<float> PerDimensionStd(
+    const std::vector<std::span<const float>>& vectors) {
   AF_CHECK(!vectors.empty());
   const std::size_t dim = vectors.front().size();
   const double n = static_cast<double>(vectors.size());
@@ -111,6 +135,11 @@ std::vector<float> PerDimensionStd(const std::vector<std::vector<float>>& vector
     out[i] = static_cast<float>(std::sqrt(var > 0.0 ? var : 0.0));
   }
   return out;
+}
+
+std::vector<float> PerDimensionStd(
+    const std::vector<std::vector<float>>& vectors) {
+  return PerDimensionStd(AsSpans(vectors));
 }
 
 std::vector<float> Subtract(std::span<const float> a, std::span<const float> b) {

@@ -34,15 +34,22 @@ void Axpy(double alpha, std::span<const float> x, std::span<float> y);
 void Scale(std::span<float> v, double alpha);
 
 // Element-wise mean of a set of equally-sized vectors. `vectors` must be
-// non-empty.
+// non-empty. The span form is the canonical one (updates arrive as
+// zero-copy views); the vector form delegates.
+std::vector<float> Mean(const std::vector<std::span<const float>>& vectors);
 std::vector<float> Mean(const std::vector<std::vector<float>>& vectors);
 
 // Weighted element-wise mean; `weights` need not be normalised but their sum
 // must be positive.
+std::vector<float> WeightedMean(
+    const std::vector<std::span<const float>>& vectors,
+    std::span<const double> weights);
 std::vector<float> WeightedMean(const std::vector<std::vector<float>>& vectors,
                                 std::span<const double> weights);
 
 // Per-dimension (population) standard deviation across a set of vectors.
+std::vector<float> PerDimensionStd(
+    const std::vector<std::span<const float>>& vectors);
 std::vector<float> PerDimensionStd(const std::vector<std::vector<float>>& vectors);
 
 // out = a - b.

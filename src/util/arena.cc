@@ -1,0 +1,63 @@
+#include "util/arena.h"
+
+#include "util/check.h"
+
+namespace util {
+
+// operator new[] aligns char arrays to __STDCPP_DEFAULT_NEW_ALIGNMENT__
+// (≥ alignof(std::max_align_t) everywhere we build), so block bases satisfy
+// every alignment Allocate accepts.
+struct Arena::Block {
+  explicit Block(std::size_t n) : data(new std::uint8_t[n]), size(n) {}
+  std::unique_ptr<std::uint8_t[]> data;
+  std::size_t size;
+};
+
+Arena::Arena(std::size_t block_bytes) : block_bytes_(block_bytes) {
+  AF_CHECK_GT(block_bytes_, 0u) << "arena block size must be positive";
+}
+
+Arena::Allocation Arena::Allocate(std::size_t size, std::size_t align) {
+  AF_CHECK_GT(align, 0u);
+  AF_CHECK_EQ(align & (align - 1), 0u)
+      << "arena alignment must be a power of two, got " << align;
+  AF_CHECK_LE(align, alignof(std::max_align_t))
+      << "arena cannot over-align beyond " << alignof(std::max_align_t);
+
+  // Oversized request: dedicated block, exact fit, not retained for bumping.
+  if (size > block_bytes_) {
+    auto block = std::make_shared<Block>(size);
+    stats_.blocks_created += 1;
+    stats_.bytes_reserved += size;
+    stats_.bytes_allocated += size;
+    return {std::span<std::uint8_t>(block->data.get(), size),
+            std::shared_ptr<const void>(block, block->data.get())};
+  }
+
+  if (current_ != nullptr) {
+    const std::size_t aligned = (offset_ + align - 1) & ~(align - 1);
+    if (aligned + size <= current_->size) {
+      std::uint8_t* base = current_->data.get() + aligned;
+      offset_ = aligned + size;
+      stats_.bytes_allocated += size;
+      return {std::span<std::uint8_t>(base, size),
+              std::shared_ptr<const void>(current_, base)};
+    }
+  }
+
+  // Roll to a fresh block; the old one stays alive exactly as long as the
+  // keepalives already handed out from it.
+  current_ = std::make_shared<Block>(block_bytes_);
+  offset_ = size;
+  stats_.blocks_created += 1;
+  stats_.bytes_reserved += block_bytes_;
+  stats_.bytes_allocated += size;
+  return {std::span<std::uint8_t>(current_->data.get(), size),
+          std::shared_ptr<const void>(current_, current_->data.get())};
+}
+
+std::size_t Arena::current_block_free() const {
+  return current_ == nullptr ? 0 : current_->size - offset_;
+}
+
+}  // namespace util

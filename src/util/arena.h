@@ -1,0 +1,81 @@
+// Reference-counted block arena for transport buffers.
+//
+// The zero-copy update path needs a place to materialize float payloads
+// exactly once (decode-into-arena) and hand out views that may outlive the
+// reactor tick — an update sits in the server's aggregation buffer for many
+// rounds before the defense retires it. A classic bump arena with a global
+// Reset() cannot express that lifetime, so blocks here are individually
+// reference-counted: every Allocation carries a shared_ptr keepalive for
+// its backing block, the arena itself only holds the block it is currently
+// bumping into, and a block is freed when the last view into it dies. There
+// is no Reset to call and no way to use a span after its memory is gone.
+//
+// Single-threaded by design (one arena per reactor / per backend); the
+// keepalives it hands out are safe to destroy on any thread.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+
+namespace util {
+
+class Arena {
+ public:
+  static constexpr std::size_t kDefaultBlockBytes = std::size_t{1} << 20;
+
+  explicit Arena(std::size_t block_bytes = kDefaultBlockBytes);
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  // One arena allocation: `bytes` stays valid for as long as `keepalive`
+  // (or any copy of it) is alive, independent of the arena's own lifetime.
+  struct Allocation {
+    std::span<std::uint8_t> bytes;
+    std::shared_ptr<const void> keepalive;
+  };
+
+  // Returns `size` bytes aligned to `align` (a power of two ≤ the block's
+  // natural alignment). Requests larger than the block size get a dedicated
+  // block of exactly the requested size.
+  Allocation Allocate(std::size_t size,
+                      std::size_t align = alignof(std::max_align_t));
+
+  // Typed convenience: an uninitialized span of `count` Ts plus the
+  // keepalive for its block. T must be trivially destructible (the arena
+  // never runs destructors).
+  template <typename T>
+  struct TypedAllocation {
+    std::span<T> data;
+    std::shared_ptr<const void> keepalive;
+  };
+  template <typename T>
+  TypedAllocation<T> AllocateSpan(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>);
+    Allocation raw = Allocate(count * sizeof(T), alignof(T));
+    return {std::span<T>(reinterpret_cast<T*>(raw.bytes.data()), count),
+            std::move(raw.keepalive)};
+  }
+
+  struct Stats {
+    std::uint64_t blocks_created = 0;   // lifetime total
+    std::uint64_t bytes_reserved = 0;   // lifetime total block capacity
+    std::uint64_t bytes_allocated = 0;  // lifetime total handed out (padded)
+  };
+  const Stats& stats() const { return stats_; }
+
+  // Bytes still free in the block currently being bumped into (testing).
+  std::size_t current_block_free() const;
+
+ private:
+  struct Block;
+
+  std::size_t block_bytes_;
+  std::shared_ptr<Block> current_;  // only live reference the arena keeps
+  std::size_t offset_ = 0;          // bump cursor within current_
+  Stats stats_;
+};
+
+}  // namespace util

@@ -10,7 +10,7 @@ namespace {
 TEST(CoordinatorTest, AbsorbsUpToCapacity) {
   Coordinator coordinator(3);
   for (int i = 0; i < 5; ++i) {
-    coordinator.Absorb({static_cast<float>(i)});
+    coordinator.Absorb(std::vector<float>{static_cast<float>(i)});
   }
   EXPECT_EQ(coordinator.size(), 3u);
   auto window = coordinator.Window();
@@ -22,16 +22,16 @@ TEST(CoordinatorTest, AbsorbsUpToCapacity) {
 
 TEST(CoordinatorTest, WindowIsASnapshot) {
   Coordinator coordinator(4);
-  coordinator.Absorb({1.0f});
+  coordinator.Absorb(std::vector<float>{1.0f});
   auto window = coordinator.Window();
-  coordinator.Absorb({2.0f});
+  coordinator.Absorb(std::vector<float>{2.0f});
   EXPECT_EQ(window.size(), 1u);  // unchanged snapshot
   EXPECT_EQ(coordinator.size(), 2u);
 }
 
 TEST(CoordinatorTest, ResetClears) {
   Coordinator coordinator(4);
-  coordinator.Absorb({1.0f});
+  coordinator.Absorb(std::vector<float>{1.0f});
   coordinator.Reset();
   EXPECT_EQ(coordinator.size(), 0u);
 }

@@ -94,7 +94,7 @@ class FilterVsAttackTest
       defense::AggregationResult result = filter.Process(ctx, buffer);
 
       const std::vector<float> benign_mean = stats::Mean(benign);
-      std::vector<std::vector<float>> all;
+      std::vector<std::span<const float>> all;
       for (const auto& u : buffer) {
         all.push_back(u.delta);
       }

@@ -177,10 +177,11 @@ TEST_P(TheoremOneTest, BenignExpectedScoreIsLower) {
       u.staleness = tau;
       u.is_malicious_truth = is_malicious;
       if (is_malicious) {
-        u.delta.resize(dim);
+        std::vector<float> flipped(dim);
         for (std::size_t d = 0; d < dim; ++d) {
-          u.delta[d] = -honest[d];  // Theorem 1's -δ attack
+          flipped[d] = -honest[d];  // Theorem 1's -δ attack
         }
+        u.delta = std::move(flipped);
       } else {
         u.delta = honest;
       }

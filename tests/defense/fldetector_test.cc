@@ -34,11 +34,12 @@ class FlDetectorTest : public ::testing::Test {
       u.num_samples = 10;
       u.staleness = 0;
       u.base_round = round;
-      u.delta.resize(8);
+      std::vector<float> delta(8);
       const bool flip = i >= benign && (round % 2 == 1);
-      for (auto& x : u.delta) {
+      for (auto& x : delta) {
         x = (flip ? -1.0f : 1.0f) * (0.5f + noise(rng_));
       }
+      u.delta = std::move(delta);
       u.is_malicious_truth = i >= benign;
       updates.push_back(std::move(u));
     }

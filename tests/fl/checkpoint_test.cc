@@ -307,7 +307,7 @@ TEST_F(CheckpointTest, DeferredUpdateReentersNextBufferExactlyOnce) {
   sim->SetBufferObserver(
       [&](std::size_t round, const std::vector<ModelUpdate>& buffer) {
         for (const ModelUpdate& u : buffer) {
-          buffers[round].push_back(u.delta);
+          buffers[round].push_back(u.delta.ToVector());
         }
       });
   SimulationResult result = sim->Run();
@@ -345,7 +345,7 @@ TEST_F(CheckpointTest, DeferredUpdateSurvivesCheckpointRestore) {
       [&](std::size_t round, const std::vector<ModelUpdate>& buffer) {
         if (round == kDeferRound + 1) {
           for (const ModelUpdate& u : buffer) {
-            straight_reentry.push_back(u.delta);
+            straight_reentry.push_back(u.delta.ToVector());
           }
         }
       });
@@ -360,7 +360,7 @@ TEST_F(CheckpointTest, DeferredUpdateSurvivesCheckpointRestore) {
       [&](std::size_t round, const std::vector<ModelUpdate>& buffer) {
         if (round == kDeferRound) {
           for (const ModelUpdate& u : buffer) {
-            deferred_deltas.push_back(u.delta);
+            deferred_deltas.push_back(u.delta.ToVector());
           }
           stop.store(true, std::memory_order_relaxed);
         }
@@ -377,7 +377,7 @@ TEST_F(CheckpointTest, DeferredUpdateSurvivesCheckpointRestore) {
       [&](std::size_t round, const std::vector<ModelUpdate>& buffer) {
         if (round == kDeferRound + 1) {
           for (const ModelUpdate& u : buffer) {
-            resumed_reentry.push_back(u.delta);
+            resumed_reentry.push_back(u.delta.ToVector());
           }
         }
       });

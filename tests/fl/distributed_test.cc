@@ -50,6 +50,50 @@ TEST(DistributedTest, TcpMatchesInprocUnderLieAttack) {
   EXPECT_EQ(tcp.evicted_clients, 0u);
 }
 
+TEST(DistributedTest, ShmMatchesInprocAndTcpBitExactly) {
+  // The shm transport moves the exact same frame bytes over mmap'd rings,
+  // so all three transports must produce one SimulationResult, bit for bit.
+  ExperimentConfig config = SmallConfig(67);
+  config.attack = attacks::AttackKind::kLie;
+  config.defense = DefenseKind::kAsyncFilter;
+  config.sim.rounds = 6;
+
+  config.transport = TransportKind::kInproc;
+  const SimulationResult inproc = RunExperiment(config);
+
+  config.transport = TransportKind::kTcp;
+  const SimulationResult tcp = RunExperiment(config);
+
+  config.transport = TransportKind::kShm;
+  const SimulationResult shm = RunExperiment(config);
+
+  ASSERT_EQ(shm.rounds.size(), inproc.rounds.size());
+  EXPECT_EQ(shm.final_model, inproc.final_model);  // bit-exact
+  EXPECT_EQ(shm.final_model, tcp.final_model);     // bit-exact
+  EXPECT_NEAR(shm.final_accuracy, inproc.final_accuracy, 0.0);
+  EXPECT_EQ(shm.evicted_clients, 0u);
+}
+
+TEST(DistributedTest, ShmWithCodecMatchesInproc) {
+  // Compressed frames ride the rings unchanged too: shm + fp16 must equal
+  // inproc + fp16 (which mirrors the wire's lossy round trip).
+  ExperimentConfig config = SmallConfig(68);
+  config.attack = attacks::AttackKind::kLie;
+  config.defense = DefenseKind::kAsyncFilter;
+  config.sim.rounds = 5;
+  config.compress = "fp16";
+
+  config.transport = TransportKind::kInproc;
+  const SimulationResult inproc = RunExperiment(config);
+
+  config.transport = TransportKind::kShm;
+  const SimulationResult shm = RunExperiment(config);
+
+  ASSERT_EQ(shm.rounds.size(), inproc.rounds.size());
+  EXPECT_EQ(shm.final_model, inproc.final_model);  // bit-exact
+  EXPECT_EQ(shm.evicted_clients, 0u);
+}
+
 TEST(DistributedTest, SurvivesFaultyWireWithSameResult) {
   // Drops are resent, duplicates deduped, delays absorbed — none of them may
   // change what the server aggregates.

@@ -43,12 +43,17 @@ TEST(FrameTest, RoundTripsEveryMessageType) {
     EXPECT_EQ(decoded.payload, frame.payload);
   }
 
-  const ModelBroadcastMsg b2 = DecodeModelBroadcast(EncodeModelBroadcast(broadcast));
+  // Decoded views alias the frame payload, so the frames must stay alive
+  // for as long as the messages are inspected (a temporary here is a
+  // compile error by design).
+  const Frame broadcast_frame = EncodeModelBroadcast(broadcast);
+  const ModelBroadcastMsg b2 = DecodeModelBroadcast(broadcast_frame);
   EXPECT_EQ(b2.round, broadcast.round);
   EXPECT_EQ(b2.job_index, broadcast.job_index);
   EXPECT_EQ(b2.params, broadcast.params);
 
-  const ClientUpdateMsg u2 = DecodeClientUpdate(EncodeClientUpdate(update));
+  const Frame update_frame = EncodeClientUpdate(update);
+  const ClientUpdateMsg u2 = DecodeClientUpdate(update_frame);
   EXPECT_EQ(u2.client_id, update.client_id);
   EXPECT_EQ(u2.job_index, update.job_index);
   EXPECT_EQ(u2.base_round, update.base_round);
@@ -96,8 +101,10 @@ TEST(FrameTest, OversizedLengthThrows) {
 
 TEST(FrameTest, TypedDecoderRejectsWrongFrameType) {
   EXPECT_THROW(DecodeAck(EncodeModelBroadcast({})), util::CheckError);
-  EXPECT_THROW(DecodeModelBroadcast(EncodeAck({1})), util::CheckError);
-  EXPECT_THROW(DecodeClientUpdate(MakeShutdownFrame()), util::CheckError);
+  const Frame ack = EncodeAck({1});
+  EXPECT_THROW(DecodeModelBroadcast(ack), util::CheckError);
+  const Frame shutdown = MakeShutdownFrame();
+  EXPECT_THROW(DecodeClientUpdate(shutdown), util::CheckError);
 }
 
 TEST(FrameTest, TypedDecoderRejectsTruncatedPayload) {
@@ -115,7 +122,8 @@ TEST(FrameTest, TypedDecoderRejectsTrailingBytes) {
 }
 
 TEST(FrameTest, EmptyModelRoundTrips) {
-  const ModelBroadcastMsg msg = DecodeModelBroadcast(EncodeModelBroadcast({}));
+  const Frame frame = EncodeModelBroadcast({});
+  const ModelBroadcastMsg msg = DecodeModelBroadcast(frame);
   EXPECT_TRUE(msg.params.empty());
 }
 
@@ -142,8 +150,8 @@ TEST(FrameTest, TraceContextRoundTripsOnBroadcastAndUpdate) {
   broadcast.params = {1.0f, -1.0f};
   broadcast.trace_id = 0x1111222233334444ull;
   broadcast.parent_span_id = 0x5555666677778888ull;
-  const ModelBroadcastMsg b2 =
-      DecodeModelBroadcast(EncodeModelBroadcast(broadcast));
+  const Frame traced_frame = EncodeModelBroadcast(broadcast);
+  const ModelBroadcastMsg b2 = DecodeModelBroadcast(traced_frame);
   EXPECT_EQ(b2.params, broadcast.params);
   EXPECT_EQ(b2.trace_id, broadcast.trace_id);
   EXPECT_EQ(b2.parent_span_id, broadcast.parent_span_id);
@@ -210,8 +218,8 @@ TEST(FrameTest, CompressedBroadcastRoundTrips) {
   msg.round = 11;
   msg.job_index = 4;
   msg.params = {0.5f, -0.25f, 2.0f, 0.0f};  // half-representable → exact
-  const ModelBroadcastMsg decoded = DecodeModelBroadcast(
-      EncodeModelBroadcast(msg, &compress::Get("fp16")));
+  const Frame frame = EncodeModelBroadcast(msg, &compress::Get("fp16"));
+  const ModelBroadcastMsg decoded = DecodeModelBroadcast(frame);
   EXPECT_EQ(decoded.round, msg.round);
   EXPECT_EQ(decoded.job_index, msg.job_index);
   EXPECT_EQ(decoded.params, msg.params);
@@ -223,13 +231,15 @@ TEST(FrameTest, CompressedUpdateRoundTripsWithFeedback) {
   msg.job_index = 2;
   msg.base_round = 1;
   msg.num_samples = 64;
-  msg.delta.assign(40, 0.001f);
-  msg.delta[7] = 3.0f;
-  msg.delta[31] = -2.0f;
+  std::vector<float> delta(40, 0.001f);
+  delta[7] = 3.0f;
+  delta[31] = -2.0f;
+  msg.delta = std::move(delta);
 
   compress::FeedbackState feedback;
-  const ClientUpdateMsg decoded = DecodeClientUpdate(
-      EncodeClientUpdate(msg, &compress::Get("topk-delta"), &feedback));
+  const Frame frame =
+      EncodeClientUpdate(msg, &compress::Get("topk-delta"), &feedback);
+  const ClientUpdateMsg decoded = DecodeClientUpdate(frame);
   EXPECT_EQ(decoded.client_id, msg.client_id);
   EXPECT_EQ(decoded.job_index, msg.job_index);
   ASSERT_EQ(decoded.delta.size(), msg.delta.size());

@@ -1,0 +1,165 @@
+#include "net/shm_ring.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <numeric>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "util/check.h"
+
+namespace net {
+namespace {
+
+std::vector<std::uint8_t> HeaderBlob(std::uint32_t magic,
+                                     std::uint32_t version,
+                                     std::uint64_t ring_bytes) {
+  std::vector<std::uint8_t> blob(16);
+  std::memcpy(blob.data(), &magic, 4);
+  std::memcpy(blob.data() + 4, &version, 4);
+  std::memcpy(blob.data() + 8, &ring_bytes, 8);
+  return blob;
+}
+
+TEST(ShmHeaderTest, ValidHeaderPasses) {
+  EXPECT_NO_THROW(
+      ValidateShmHeader(HeaderBlob(kShmMagic, kShmVersion, 1 << 16)));
+}
+
+TEST(ShmHeaderTest, RejectsHostileHeaders) {
+  // Truncated.
+  EXPECT_THROW(ValidateShmHeader(std::vector<std::uint8_t>(7)),
+               util::CheckError);
+  // Bad magic.
+  EXPECT_THROW(
+      ValidateShmHeader(HeaderBlob(0xDEADBEEF, kShmVersion, 1 << 16)),
+      util::CheckError);
+  // Unknown version.
+  EXPECT_THROW(ValidateShmHeader(HeaderBlob(kShmMagic, 99, 1 << 16)),
+               util::CheckError);
+  // Ring size not a power of two.
+  EXPECT_THROW(ValidateShmHeader(HeaderBlob(kShmMagic, kShmVersion, 12345)),
+               util::CheckError);
+  // Absurd ring size.
+  EXPECT_THROW(
+      ValidateShmHeader(HeaderBlob(kShmMagic, kShmVersion, 1ull << 40)),
+      util::CheckError);
+  // Zero.
+  EXPECT_THROW(ValidateShmHeader(HeaderBlob(kShmMagic, kShmVersion, 0)),
+               util::CheckError);
+}
+
+TEST(ShmSegmentTest, CreateOpenRoundTrip) {
+  const std::string name = MakeShmName(12345, 7);
+  auto server = ShmSegment::Create(name, 1 << 14);
+  auto client = ShmSegment::Open(name, 1 << 14);
+
+  // Client produces on the uplink, server consumes.
+  std::vector<std::uint8_t> msg{1, 2, 3, 4, 5};
+  EXPECT_EQ(client->uplink().WriteSome(msg), msg.size());
+  std::vector<std::uint8_t> got;
+  EXPECT_EQ(server->uplink().ReadSome(got), msg.size());
+  EXPECT_EQ(got, msg);
+
+  // Server produces on the downlink, client consumes.
+  EXPECT_EQ(server->downlink().WriteSome(msg), msg.size());
+  got.clear();
+  EXPECT_EQ(client->downlink().ReadSome(got), msg.size());
+  EXPECT_EQ(got, msg);
+}
+
+TEST(ShmSegmentTest, OpenRejectsRingSizeMismatch) {
+  const std::string name = MakeShmName(12346, 8);
+  auto server = ShmSegment::Create(name, 1 << 14);
+  EXPECT_THROW(ShmSegment::Open(name, 1 << 15), util::CheckError);
+}
+
+TEST(ShmSegmentTest, OpenOfMissingNameThrows) {
+  EXPECT_THROW(ShmSegment::Open("/afnt-does-not-exist-xyz", 1 << 14),
+               util::CheckError);
+}
+
+TEST(ShmSegmentTest, CreateRejectsNonPowerOfTwo) {
+  EXPECT_THROW(ShmSegment::Create(MakeShmName(12347, 9), 5000),
+               util::CheckError);
+}
+
+TEST(ShmRingTest, StreamSurvivesManyWraparounds) {
+  const std::string name = MakeShmName(12348, 10);
+  auto server = ShmSegment::Create(name, 1 << 12);  // 4 KiB ring
+  auto client = ShmSegment::Open(name, 1 << 12);
+
+  // Push 64 KiB through in odd-sized chunks; bytes must come out exactly in
+  // order across many wraps.
+  std::vector<std::uint8_t> sent(64 * 1024);
+  std::iota(sent.begin(), sent.end(), std::uint8_t{0});
+  std::vector<std::uint8_t> received;
+  std::size_t written = 0;
+  while (received.size() < sent.size()) {
+    if (written < sent.size()) {
+      written += client->uplink().WriteSome(
+          std::span<const std::uint8_t>(sent).subspan(
+              written, std::min<std::size_t>(997, sent.size() - written)));
+    }
+    server->uplink().ReadSome(received);
+  }
+  EXPECT_EQ(received, sent);
+}
+
+TEST(ShmRingTest, WriteSomeStopsAtCapacity) {
+  const std::string name = MakeShmName(12349, 11);
+  auto server = ShmSegment::Create(name, 1 << 12);
+  auto client = ShmSegment::Open(name, 1 << 12);
+
+  std::vector<std::uint8_t> big(3 * (1 << 12), 0x77);
+  const std::size_t wrote = client->uplink().WriteSome(big);
+  EXPECT_EQ(wrote, std::size_t{1} << 12);  // exactly one ring's worth
+  EXPECT_EQ(server->uplink().AvailableToRead(), std::size_t{1} << 12);
+}
+
+TEST(ShmRingTest, WriteAllBlocksUntilConsumerDrains) {
+  const std::string name = MakeShmName(12350, 12);
+  auto server = ShmSegment::Create(name, 1 << 12);
+  auto client = ShmSegment::Open(name, 1 << 12);
+
+  std::vector<std::uint8_t> payload(3 * (1 << 12));
+  std::iota(payload.begin(), payload.end(), std::uint8_t{1});
+
+  std::thread producer([&] {
+    ASSERT_TRUE(client->uplink().WriteAll(payload, 10000));
+  });
+  std::vector<std::uint8_t> received;
+  while (received.size() < payload.size()) {
+    if (server->uplink().ReadSome(received) == 0) {
+      server->uplink().WaitReadable(50);
+    }
+  }
+  producer.join();
+  EXPECT_EQ(received, payload);
+}
+
+TEST(ShmRingTest, WriteAllTimesOutAgainstAbsentConsumer) {
+  const std::string name = MakeShmName(12351, 13);
+  auto server = ShmSegment::Create(name, 1 << 12);
+  auto client = ShmSegment::Open(name, 1 << 12);
+  (void)server;
+
+  std::vector<std::uint8_t> too_big(2 * (1 << 12), 0x42);
+  EXPECT_FALSE(client->uplink().WriteAll(too_big, 100));
+}
+
+TEST(ShmRingTest, WaitReadableTimesOutOnEmptyRing) {
+  const std::string name = MakeShmName(12352, 14);
+  auto server = ShmSegment::Create(name, 1 << 12);
+  EXPECT_FALSE(server->uplink().WaitReadable(50));
+}
+
+TEST(ShmNameTest, NamesAreUniquePerCall) {
+  EXPECT_NE(MakeShmName(1, 2), MakeShmName(1, 2));
+}
+
+}  // namespace
+}  // namespace net

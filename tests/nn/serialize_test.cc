@@ -186,6 +186,69 @@ TEST_F(SerializeTest, BufferFormCorruptMagicThrows) {
   EXPECT_THROW(ParseFlatParams(bytes, &offset), util::CheckError);
 }
 
+TEST_F(SerializeTest, ViewFormAliasesBufferAndTracksOffset) {
+  const std::vector<float> first{1.0f, -2.5f};
+  const std::vector<float> second{3.0f, 4.0f, 5.0f};
+  std::vector<std::uint8_t> bytes;
+  AppendFlatParams(bytes, first);
+  AppendFlatParams(bytes, second);
+
+  std::size_t offset = 0;
+  auto view = TryParseFlatParamsView(bytes, &offset);
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(std::vector<float>(view->begin(), view->end()), first);
+  EXPECT_EQ(offset, FlatParamsWireSize(first.size()));
+  // Zero copy: the span points into `bytes`, not at a fresh allocation.
+  EXPECT_GE(reinterpret_cast<const std::uint8_t*>(view->data()), bytes.data());
+  EXPECT_LE(reinterpret_cast<const std::uint8_t*>(view->data() + view->size()),
+            bytes.data() + bytes.size());
+
+  auto view2 = TryParseFlatParamsView(bytes, &offset);
+  ASSERT_TRUE(view2.has_value());
+  EXPECT_EQ(std::vector<float>(view2->begin(), view2->end()), second);
+  EXPECT_EQ(offset, bytes.size());
+}
+
+TEST_F(SerializeTest, ViewFormDeclinesMisalignedPayloadWithoutAdvancing) {
+  // A block whose float payload lands off 4-byte alignment must return
+  // nullopt with the offset untouched, so the caller can fall back to the
+  // copying parser from the same position.
+  std::vector<std::uint8_t> bytes(1, 0);  // 1 pad byte misaligns everything
+  AppendFlatParams(bytes, std::vector<float>{1.0f, 2.0f});
+  std::size_t offset = 1;
+  const auto view = TryParseFlatParamsView(bytes, &offset);
+  EXPECT_FALSE(view.has_value());
+  EXPECT_EQ(offset, 1u);  // untouched
+  // The copying parser accepts the identical block from the same offset.
+  EXPECT_EQ(ParseFlatParams(bytes, &offset), (std::vector<float>{1.0f, 2.0f}));
+  EXPECT_EQ(offset, bytes.size());
+}
+
+TEST_F(SerializeTest, ViewFormValidatesLikeCopyingParser) {
+  // Malformed input throws exactly as ParseFlatParams does — the view form
+  // must not trade validation for speed.
+  std::vector<std::uint8_t> bytes;
+  AppendFlatParams(bytes, std::vector<float>{1.0f, 2.0f});
+
+  std::vector<std::uint8_t> bad_magic = bytes;
+  bad_magic[0] = 'X';
+  std::size_t offset = 0;
+  EXPECT_THROW(std::ignore = TryParseFlatParamsView(bad_magic, &offset),
+               util::CheckError);
+
+  std::vector<std::uint8_t> truncated(bytes.begin(), bytes.end() - 3);
+  offset = 0;
+  EXPECT_THROW(std::ignore = TryParseFlatParamsView(truncated, &offset),
+               util::CheckError);
+
+  std::vector<std::uint8_t> absurd_count = bytes;
+  const std::uint64_t absurd = ~std::uint64_t{0} / sizeof(float);
+  std::memcpy(absurd_count.data() + 8, &absurd, sizeof(absurd));
+  offset = 0;
+  EXPECT_THROW(std::ignore = TryParseFlatParamsView(absurd_count, &offset),
+               util::CheckError);
+}
+
 TEST_F(SerializeTest, FileAndWireBytesAreIdentical) {
   const std::vector<float> params{0.5f, 1.5f, -3.0f};
   SaveFlatParams(path_, params);

@@ -83,7 +83,9 @@ TEST(VecOpsTest, MeanOfVectors) {
 }
 
 TEST(VecOpsTest, MeanOfEmptySetThrows) {
-  EXPECT_THROW(Mean({}), util::CheckError);
+  EXPECT_THROW(Mean(std::vector<std::vector<float>>{}), util::CheckError);
+  EXPECT_THROW(Mean(std::vector<std::span<const float>>{}),
+               util::CheckError);
 }
 
 TEST(VecOpsTest, WeightedMeanRespectsWeights) {

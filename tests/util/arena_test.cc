@@ -1,0 +1,109 @@
+#include "util/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "util/check.h"
+
+namespace util {
+namespace {
+
+TEST(ArenaTest, AllocationsAreDisjointAndWritable) {
+  Arena arena(1024);
+  auto a = arena.Allocate(100);
+  auto b = arena.Allocate(100);
+  std::memset(a.bytes.data(), 0xAA, a.bytes.size());
+  std::memset(b.bytes.data(), 0xBB, b.bytes.size());
+  EXPECT_EQ(a.bytes[99], 0xAA);
+  EXPECT_EQ(b.bytes[0], 0xBB);
+  EXPECT_TRUE(a.bytes.data() + a.bytes.size() <= b.bytes.data() ||
+              b.bytes.data() + b.bytes.size() <= a.bytes.data());
+}
+
+TEST(ArenaTest, RespectsAlignment) {
+  Arena arena(4096);
+  arena.Allocate(1);  // misalign the bump cursor
+  for (std::size_t align : {1u, 2u, 4u, 8u, 16u}) {
+    auto a = arena.Allocate(3, align);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(a.bytes.data()) % align, 0u)
+        << "align " << align;
+  }
+}
+
+TEST(ArenaTest, RejectsBadAlignment) {
+  Arena arena(1024);
+  EXPECT_THROW(arena.Allocate(8, 3), util::CheckError);  // not a power of two
+  EXPECT_THROW(arena.Allocate(8, 2 * alignof(std::max_align_t)),
+               util::CheckError);
+}
+
+TEST(ArenaTest, RollsOverToFreshBlockWhenFull) {
+  Arena arena(256);
+  arena.Allocate(200);
+  const auto before = arena.stats().blocks_created;
+  arena.Allocate(200);  // cannot fit in the remainder
+  EXPECT_EQ(arena.stats().blocks_created, before + 1);
+}
+
+TEST(ArenaTest, OversizedRequestGetsDedicatedBlock) {
+  Arena arena(256);
+  arena.Allocate(16);  // establish the bump block
+  auto big = arena.Allocate(10000);
+  EXPECT_EQ(big.bytes.size(), 10000u);
+  // The dedicated block must not consume the bump block: a small allocation
+  // still fits in the original block without creating another one.
+  const auto blocks = arena.stats().blocks_created;
+  arena.Allocate(16);
+  EXPECT_EQ(arena.stats().blocks_created, blocks);
+}
+
+TEST(ArenaTest, KeepaliveOutlivesArena) {
+  Arena::Allocation a;
+  {
+    Arena arena(1024);
+    a = arena.Allocate(64);
+    std::memset(a.bytes.data(), 0x5C, a.bytes.size());
+  }  // arena destroyed; the keepalive must keep the block mapped
+  for (std::uint8_t byte : a.bytes) {
+    ASSERT_EQ(byte, 0x5C);
+  }
+}
+
+TEST(ArenaTest, TypedSpanIsAlignedAndSized) {
+  Arena arena;
+  arena.Allocate(1);
+  auto floats = arena.AllocateSpan<float>(37);
+  EXPECT_EQ(floats.data.size(), 37u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(floats.data.data()) %
+                alignof(float),
+            0u);
+  for (std::size_t i = 0; i < floats.data.size(); ++i) {
+    floats.data[i] = static_cast<float>(i);
+  }
+  EXPECT_EQ(floats.data[36], 36.0f);
+}
+
+TEST(ArenaTest, StatsTrackReservationAndUse) {
+  Arena arena(512);
+  EXPECT_EQ(arena.stats().blocks_created, 0u);
+  arena.Allocate(100);
+  EXPECT_EQ(arena.stats().blocks_created, 1u);
+  EXPECT_EQ(arena.stats().bytes_reserved, 512u);
+  EXPECT_GE(arena.stats().bytes_allocated, 100u);
+  EXPECT_LE(arena.current_block_free(), 412u);
+}
+
+TEST(ArenaTest, ZeroByteAllocationIsValid) {
+  Arena arena;
+  auto a = arena.Allocate(0);
+  EXPECT_EQ(a.bytes.size(), 0u);
+  EXPECT_TRUE(a.keepalive != nullptr);
+}
+
+}  // namespace
+}  // namespace util
