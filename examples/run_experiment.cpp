@@ -1,9 +1,9 @@
 // General-purpose CLI runner: configure any experiment the library supports
 // without writing code, and export traces/checkpoints.
 //
-//   ./run_experiment --profile=fashionmnist --attack=GD --defense=asyncfilter \
-//                    --clients=50 --malicious=10 --rounds=20 --seed=7 \
-//                    --trace=run.csv --summary=summary.csv --save-model=model.afpm
+//   ./run_experiment --profile=fashionmnist --attack=GD --defense=asyncfilter
+//       --clients=50 --malicious=10 --rounds=20 --seed=7
+//       --trace=run.csv --summary=summary.csv --save-model=model.afpm
 //
 // Flags (all optional):
 //   --profile     mnist | fashionmnist | cifar10 | cinic10   [fashionmnist]
@@ -16,13 +16,24 @@
 //   --save-model FILE final global model checkpoint (AFPM binary)
 //   --quiet           suppress per-round output
 //
-// Distributed mode (see docs/NETWORK.md):
+// Distributed mode (see docs/NETWORK.md; parsed via fl::RuntimeOptions):
 //   --transport       inproc | tcp | shm                  [inproc]
 //                     shm = tcp handshake + control, data frames on
 //                     per-client shared-memory rings (same host only)
 //   --port            server port (tcp/shm; 0 = ephemeral loopback)
+//   --reactor-shards  server event-loop shards (1 = deterministic default,
+//                     <= 0 = one per core capped at 8)
+//   --clients-virtual run the fleet as a multiplexed virtual-client pool
+//                     instead of one thread+connection per client — this is
+//                     what makes 100k+ client populations fit on one box
+//   --pool-connections, --pool-workers
+//                     virtual-pool shape (0 = auto: ~1 connection per 64
+//                     clients / one worker per core)
+//   --pool-latency-ms, --pool-latency-zipf
+//                     per-client artificial latency model (timing only)
 //   --fault-drop, --fault-delay, --fault-duplicate, --fault-truncate
 //                     per-frame fault probabilities on client uplinks
+//                     (real fleet only)
 //   --fault-delay-ms  mean injected delay in milliseconds
 //   --fault-kill      fraction of clients whose connection dies mid-run
 //   --compress        identity | fp16 | int8 | topk-delta   [none]
@@ -63,10 +74,12 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "compress/codec.h"
 #include "defense/registry.h"
 #include "fl/experiment.h"
+#include "fl/runtime_options.h"
 #include "fl/telemetry.h"
 #include "fl/trace.h"
 #include "nn/serialize.h"
@@ -108,16 +121,17 @@ void HandleStopSignal(int /*signum*/) {
 int main(int argc, char** argv) {
   util::FlagParser flags(argc, argv);
   try {
-    flags.RejectUnknown({
+    std::vector<std::string> known = {
         "profile", "attack", "defense", "clients", "malicious", "buffer",
         "rounds", "staleness-limit", "dirichlet", "zipf", "seed", "gd-scale",
         "threads", "partition", "trace", "summary", "save-model", "quiet",
-        "jsonl", "trace-out", "metrics-out", "log-level", "transport", "port",
-        "fault-drop", "fault-delay", "fault-duplicate", "fault-truncate",
-        "fault-delay-ms", "fault-kill", "checkpoint", "checkpoint-every",
-        "resume", "summary-json", "list-defenses", "compress", "list-codecs",
-        "metrics-port", "audit",
-    });
+        "jsonl", "trace-out", "metrics-out", "log-level", "checkpoint",
+        "checkpoint-every", "resume", "summary-json", "list-defenses",
+        "list-codecs", "audit",
+    };
+    const auto& runtime_flags = fl::RuntimeOptions::FlagNames();
+    known.insert(known.end(), runtime_flags.begin(), runtime_flags.end());
+    flags.RejectUnknown(known);
     if (flags.GetBool("list-defenses", false)) {
       for (const std::string& name : defense::ListNames()) {
         std::printf("%s\n", name.c_str());
@@ -171,13 +185,14 @@ int main(int argc, char** argv) {
     config.defense_factory = [defense_name] {
       return defense::Make(defense_name);
     };
-    // --compress resolves through the codec registry the same way; unknown
-    // names fail fast with the full list.
-    config.compress = flags.GetString("compress", "");
-    AF_CHECK(config.compress.empty() ||
-             compress::Registry::Global().Has(config.compress))
-        << "unknown --compress: " << config.compress
-        << " (try --list-codecs)";
+    // The shared runtime surface: --transport/--fault-*/--compress/
+    // --metrics-port plus the virtual-pool and reactor knobs, validated as
+    // a unit (unknown codecs, virtual×faults conflicts, …) before dataset
+    // synthesis starts.
+    const fl::RuntimeOptions runtime =
+        fl::RuntimeOptions::FromFlags(flags, seed);
+    runtime.Validate();
+    runtime.ApplyTo(&config);
 
     if (flags.Has("checkpoint")) {
       config.checkpoint_path = flags.GetString("checkpoint", "");
@@ -189,17 +204,6 @@ int main(int argc, char** argv) {
       std::signal(SIGINT, HandleStopSignal);
     }
 
-    config.transport =
-        fl::ParseTransportKind(flags.GetString("transport", "inproc"));
-    config.net.port =
-        static_cast<std::uint16_t>(flags.GetInt("port", 0));
-    config.net.faults.drop_prob = flags.GetDouble("fault-drop", 0.0);
-    config.net.faults.delay_prob = flags.GetDouble("fault-delay", 0.0);
-    config.net.faults.duplicate_prob = flags.GetDouble("fault-duplicate", 0.0);
-    config.net.faults.truncate_prob = flags.GetDouble("fault-truncate", 0.0);
-    config.net.faults.delay_ms = flags.GetDouble("fault-delay-ms", 5.0);
-    config.net.faults.kill_fraction = flags.GetDouble("fault-kill", 0.0);
-    config.net.faults.seed = seed;
     // With tracing on, a tcp run also propagates trace context over the
     // wire so client train spans and server defense spans share trace ids.
     config.net.trace_context = flags.Has("trace-out");
@@ -207,10 +211,9 @@ int main(int argc, char** argv) {
     // Live observability plane: scrape endpoint + audit trail. Both are
     // observation-only — results are bit-identical with them on or off.
     std::unique_ptr<obs::MetricsExporter> exporter;
-    if (flags.Has("metrics-port")) {
+    if (runtime.has_metrics_port) {
       obs::MetricsExporterOptions exporter_options;
-      exporter_options.port =
-          static_cast<std::uint16_t>(flags.GetInt("metrics-port", 0));
+      exporter_options.port = runtime.metrics_port;
       exporter = std::make_unique<obs::MetricsExporter>(exporter_options);
       std::printf("metrics endpoint: http://127.0.0.1:%u/metrics "
                   "(/healthz, /spans)\n",

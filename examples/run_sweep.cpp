@@ -25,12 +25,20 @@
 //   --defenses LIST      comma-separated defense names        [fedbuff,asyncfilter]
 //   --seeds LIST         comma-separated integer seeds        [1,2]
 //   --rounds, --clients, --malicious, --buffer, --threads     usual meanings
-//   --compress CODEC     update-compression codec applied to every cell
-//                        (identity | fp16 | int8 | topk-delta)  [none]
 //   --checkpoint-every N checkpoint cadence within a cell     [5]
+//   --quiet              suppress per-cell round output
+//
+// Runtime flags (shared fl::RuntimeOptions surface, applied to every cell):
+//   --compress CODEC     update-compression codec (identity | fp16 | int8 |
+//                        topk-delta)                           [none]
+//   --transport KIND     inproc | tcp | shm                    [inproc]
+//                        (checkpoint/resume only works inproc; tcp/shm
+//                        cells restart from scratch when killed)
+//   --clients-virtual, --pool-connections, --pool-workers,
+//   --pool-latency-ms, --pool-latency-zipf, --reactor-shards, --port,
+//   --fault-*            see run_experiment.cpp
 //   --metrics-port N     serve /metrics, /healthz, /spans over HTTP on
 //                        127.0.0.1:N for the sweep's duration (0 = ephemeral)
-//   --quiet              suppress per-cell round output
 #include <atomic>
 #include <cctype>
 #include <csignal>
@@ -42,10 +50,10 @@
 #include <string>
 #include <vector>
 
-#include "compress/codec.h"
 #include "defense/registry.h"
 #include "fl/checkpoint.h"
 #include "fl/experiment.h"
+#include "fl/runtime_options.h"
 #include "fl/telemetry.h"
 #include "obs/export.h"
 #include "util/check.h"
@@ -123,22 +131,30 @@ struct Cell {
 int main(int argc, char** argv) {
   util::FlagParser flags(argc, argv);
   try {
-    flags.RejectUnknown({
+    std::vector<std::string> known = {
         "out", "profiles", "attacks", "defenses", "seeds", "rounds",
         "clients", "malicious", "buffer", "threads", "checkpoint-every",
-        "quiet", "compress", "metrics-port",
-    });
+        "quiet",
+    };
+    const auto& runtime_flags = fl::RuntimeOptions::FlagNames();
+    known.insert(known.end(), runtime_flags.begin(), runtime_flags.end());
+    flags.RejectUnknown(known);
     const std::filesystem::path out_dir =
         flags.GetString("out", "sweep_out");
     std::filesystem::create_directories(out_dir);
 
+    // The shared runtime surface (transport/faults/codec/pool), validated
+    // once and applied to every cell. Seed 0 here only feeds the fault
+    // injector default; each cell re-seeds it below.
+    fl::RuntimeOptions runtime = fl::RuntimeOptions::FromFlags(flags, 0);
+    runtime.Validate();
+
     // Live scrape endpoint across the whole sweep: watch sim.round /
     // sim.rounds advance cell by cell without touching the output files.
     std::unique_ptr<obs::MetricsExporter> exporter;
-    if (flags.Has("metrics-port")) {
+    if (runtime.has_metrics_port) {
       obs::MetricsExporterOptions exporter_options;
-      exporter_options.port =
-          static_cast<std::uint16_t>(flags.GetInt("metrics-port", 0));
+      exporter_options.port = runtime.metrics_port;
       exporter = std::make_unique<obs::MetricsExporter>(exporter_options);
       std::printf("metrics endpoint: http://127.0.0.1:%u/metrics\n",
                   static_cast<unsigned>(exporter->port()));
@@ -156,11 +172,6 @@ int main(int argc, char** argv) {
       AF_CHECK(defense::Registry::Global().Has(name))
           << "unknown defense in --defenses: " << name;
     }
-    const std::string compress_name = flags.GetString("compress", "");
-    AF_CHECK(compress_name.empty() ||
-             compress::Registry::Global().Has(compress_name))
-        << "unknown --compress: " << compress_name;
-
     std::vector<Cell> grid;
     for (const auto& profile : profiles) {
       for (const auto& attack : attack_names) {
@@ -210,15 +221,21 @@ int main(int argc, char** argv) {
           static_cast<std::size_t>(flags.GetInt("rounds", 20));
       config.threads = static_cast<std::size_t>(flags.GetInt("threads", 0));
       config.attack = attacks::ParseAttackKind(cell.attack);
-      config.compress = compress_name;
+      runtime.net.faults.seed = cell.seed;  // reproducible per cell
+      runtime.ApplyTo(&config);
       const std::string defense_name = cell.defense;
       config.defense_factory = [defense_name] {
         return defense::Make(defense_name);
       };
-      config.checkpoint_path = ckpt_path.string();
-      config.checkpoint_every =
-          static_cast<std::size_t>(flags.GetInt("checkpoint-every", 5));
-      config.resume = fl::CheckpointExists(ckpt_path.string());
+      // Mid-run checkpointing is an inproc-only affordance: distributed
+      // cells restart from scratch if the sweep dies mid-cell, but the
+      // summary done-markers still make the sweep itself resumable.
+      if (runtime.transport == fl::TransportKind::kInproc) {
+        config.checkpoint_path = ckpt_path.string();
+        config.checkpoint_every =
+            static_cast<std::size_t>(flags.GetInt("checkpoint-every", 5));
+        config.resume = fl::CheckpointExists(ckpt_path.string());
+      }
       config.stop_flag = &g_stop;
 
       std::printf("sweep: cell %s%s\n", cell.id.c_str(),

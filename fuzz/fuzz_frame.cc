@@ -121,6 +121,11 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
             fuzz_harness::Observe(msg.enabled ? 0xF460 : 0xF461);
             break;
           }
+          case net::MessageType::kHello: {
+            const auto msg = net::DecodeHello(view);
+            fuzz_harness::Observe(0xF470 + (msg.client_ids.size() & 0xFF));
+            break;
+          }
         }
       });
     }

@@ -133,6 +133,71 @@ void RunWellFormedSession(World& world) {
   }
 }
 
+// Multiplexed flavor: one connection announces two client ids with a
+// kHello, negotiates once, and must get a per-copy ack for each id's
+// update — proving the adversarial stream didn't corrupt the session
+// layer's mux bookkeeping either.
+void RunMuxSession(World& world) {
+  const int id_a = static_cast<int>(world.next_session_id++);
+  const int id_b = static_cast<int>(world.next_session_id++);
+  net::Connection conn =
+      net::ConnectWithRetry(world.server.port(), FastRetry(), 11);
+  conn.SendFrame(net::EncodeHello({{id_a, id_b}}), 1000);
+  bool codec_done = false;
+  bool trace_done = false;
+  for (int i = 0; i < 200 && !(codec_done && trace_done); ++i) {
+    world.server.PollOnce(1);
+    net::Frame frame;
+    if (conn.TryRecvFrame(&frame, 5) != net::Connection::RecvStatus::kFrame) {
+      continue;
+    }
+    if (frame.type == net::MessageType::kCodecOffer) {
+      conn.SendFrame(net::EncodeCodecSelect({"identity"}), 1000);
+      codec_done = true;
+    } else if (frame.type == net::MessageType::kTraceOffer) {
+      conn.SendFrame(net::EncodeTraceSelect({false}), 1000);
+      trace_done = true;
+    }
+  }
+  if (!(codec_done && trace_done)) {
+    throw std::runtime_error("invariant: mux handshake offers never arrived");
+  }
+  for (int i = 0;
+       i < 200 && !(world.server.IsConnected(id_a) &&
+                    world.server.IsConnected(id_b));
+       ++i) {
+    world.server.PollOnce(1);
+  }
+  if (!world.server.IsMultiplexed(id_a) || !world.server.IsMultiplexed(id_b)) {
+    throw std::runtime_error("invariant: mux session not marked multiplexed");
+  }
+  int acked = 0;
+  for (int id : {id_a, id_b}) {
+    net::ClientUpdateMsg update;
+    update.client_id = id;
+    update.job_index = 2;
+    update.num_samples = 5;
+    update.delta = {0.5f};
+    conn.SendFrame(net::EncodeClientUpdate(update), 1000);
+  }
+  for (int i = 0; i < 400 && acked < 2; ++i) {
+    world.server.PollOnce(1);
+    net::Frame frame;
+    if (conn.TryRecvFrame(&frame, 5) == net::Connection::RecvStatus::kFrame &&
+        frame.type == net::MessageType::kAck &&
+        net::DecodeAck(frame).value == 2) {
+      ++acked;
+    }
+  }
+  if (acked != 2) {
+    throw std::runtime_error("invariant: mux updates not acked per copy");
+  }
+  conn.Close();
+  for (int i = 0; i < 50 && world.server.IsConnected(id_a); ++i) {
+    world.server.PollOnce(1);
+  }
+}
+
 void InitWorld() {
   g_world = std::make_unique<World>();
   World& world = *g_world;
@@ -217,6 +282,9 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
     if (world.execs % 64 == 0) {
       ProbeGoodClient(world);
       RunWellFormedSession(world);
+    }
+    if (world.execs % 128 == 0) {
+      RunMuxSession(world);
     }
   } catch (const util::CheckError& e) {
     // Client-side socket helpers throw CheckError on timeouts/EPIPE; that

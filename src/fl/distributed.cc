@@ -126,18 +126,20 @@ bool SendUpdateReliably(const WorkerContext& ctx, WorkerLink& link,
                         std::uint64_t job_index,
                         std::deque<net::Frame>& inbox,
                         std::uint64_t& data_frames_sent,
-                        std::mt19937_64& backoff_rng, bool& saw_shutdown) {
+                        net::BackoffSchedule& backoff, bool& saw_shutdown) {
   obs::Counter& resends =
       obs::DefaultRegistry().GetCounter("net.update_resends");
   obs::Counter& faults = obs::DefaultRegistry().GetCounter(
       "net.faults_injected", {{"kind", "any"}});
   const bool inject = ctx.options.faults.Any();
+  // Each job is a fresh retry cycle; the schedule's RNG keeps advancing
+  // across cycles so repeated cycles stay decorrelated.
+  backoff.Reset();
 
   for (int attempt = 0; attempt < ctx.options.retry.max_attempts; ++attempt) {
     if (attempt > 0) {
       resends.Increment();
-      SleepMs(net::BackoffDelayMs(ctx.options.retry, attempt - 1,
-                                  backoff_rng));
+      SleepMs(backoff.NextDelayMs());
     }
     // Doomed connections die after their allotted number of data frames.
     if (injector.doomed() && data_frames_sent >= injector.kill_after_frame()) {
@@ -220,10 +222,12 @@ void RunWorker(WorkerContext ctx) {
   util::SetThreadLogPrefix("client " + std::to_string(ctx.client_id));
   try {
     net::FaultInjector injector(ctx.options.faults, ctx.client_id);
-    std::uint64_t jitter_state =
-        ctx.seed ^ (0xc0ffee123ull + static_cast<std::uint64_t>(
-                                         ctx.client_id));
-    std::mt19937_64 backoff_rng(util::SplitMix64(jitter_state));
+    // Decorrelated-jitter resend schedule, seeded per client so a fleet
+    // that stalls together fans back out instead of resending in lockstep.
+    net::BackoffSchedule backoff(
+        ctx.options.retry,
+        ctx.seed ^ (0xc0ffee123ull +
+                    static_cast<std::uint64_t>(ctx.client_id)));
 
     net::Connection conn = net::ConnectWithRetry(
         ctx.port, ctx.options.retry,
@@ -340,7 +344,7 @@ void RunWorker(WorkerContext ctx) {
       net::AppendClientUpdateFrame(update_bytes, update, codec, &feedback);
       if (!SendUpdateReliably(ctx, link, injector, update_bytes,
                               job.job_index, inbox, data_frames_sent,
-                              backoff_rng, saw_shutdown)) {
+                              backoff, saw_shutdown)) {
         return;
       }
     }
@@ -363,7 +367,21 @@ class TcpBackend : public TrainBackend {
         alive_count_(num_samples_.size()),
         options_(options),
         seed_(seed),
-        rtt_us_(obs::DefaultRegistry().GetHistogram("net.job_rtt_us")) {
+        rtt_us_(obs::DefaultRegistry().GetHistogram("net.job_rtt_us")),
+        combine_us_(
+            obs::DefaultRegistry().GetHistogram("shard.combine_us")) {
+    // Per-shard staging: updates land in the buffer of the reactor shard
+    // whose connection delivered them, and a single combine pass after the
+    // wait loop folds every shard into the round's delta slots — the first
+    // cut of a sharded aggregation path. Positions are unique per job, so
+    // the combine order never affects results.
+    const int shards = std::max(1, server_->reactor_shards());
+    staging_.resize(static_cast<std::size_t>(shards));
+    shard_updates_.reserve(static_cast<std::size_t>(shards));
+    for (int s = 0; s < shards; ++s) {
+      shard_updates_.push_back(&obs::DefaultRegistry().GetCounter(
+          "shard.updates", {{"shard", std::to_string(s)}}));
+    }
     server_->SetUpdateHandler(
         [this](int client_id, net::ClientUpdateMsg msg) {
           OnUpdate(client_id, std::move(msg));
@@ -398,6 +416,11 @@ class TcpBackend : public TrainBackend {
       // no per-job copy of the model.
       msg.params = net::UpdateView(std::span<const float>(*job.base),
                                    job.base);
+      // Multiplexed sessions need the AFVC block to demux the job;
+      // single-client sessions keep the legacy wire bytes.
+      if (server_->IsMultiplexed(job.client_id)) {
+        msg.client_id = job.client_id;
+      }
       if (options_.trace_context &&
           server_->ClientTraceContext(job.client_id)) {
         msg.trace_id = TraceIdFor(seed_, job.client_id, job.job_index);
@@ -433,6 +456,7 @@ class TcpBackend : public TrainBackend {
     // Push out any still-queued acks so workers stop resending while the
     // driver is busy aggregating/evaluating.
     server_->Flush(options_.io_timeout_ms);
+    CombineShards(deltas);
     current_deltas_ = nullptr;
     return deltas;
   }
@@ -482,21 +506,41 @@ class TcpBackend : public TrainBackend {
     const compress::Codec* codec = server_->ClientCodec(client_id);
     wire_stats_[{client_id, msg.job_index}] = {
         codec != nullptr ? codec->name() : "identity", msg.wire_bytes};
-    // The delta either owns its floats already (lossy decode materialized
-    // them) or aliases the connection's read buffer, which dies when this
-    // callback returns — that one gets the single counted uplink copy, into
-    // the arena.
+    // Stage into the reactor shard the update arrived on. The delta either
+    // owns its floats already (lossy decode materialized them) or aliases
+    // the connection's read buffer, which dies when this callback returns —
+    // that one gets the single counted uplink copy, into the arena.
+    const int shard = std::max(0, server_->ShardOfClient(client_id));
+    auto& slot = staging_[static_cast<std::size_t>(shard) % staging_.size()];
+    shard_updates_[static_cast<std::size_t>(shard) % shard_updates_.size()]
+        ->Increment();
     if (msg.delta.has_keepalive()) {
-      (*current_deltas_)[it->second.position] = std::move(msg.delta);
+      slot.emplace_back(it->second.position, std::move(msg.delta));
     } else {
       obs::DefaultRegistry()
           .GetCounter("transport.bytes_copied")
           .Increment(static_cast<std::uint64_t>(msg.delta.size()) *
                      sizeof(float));
-      (*current_deltas_)[it->second.position] =
-          net::UpdateView::CopyToArena(arena_, msg.delta);
+      slot.emplace_back(it->second.position,
+                        net::UpdateView::CopyToArena(arena_, msg.delta));
     }
     outstanding_.erase(it);
+  }
+
+  // Folds every shard's staged updates into the round's delta slots. Each
+  // job position appears at most once across all shards, so this is
+  // order-independent — shard count never changes results.
+  void CombineShards(std::vector<net::UpdateView>& deltas) {
+    const auto begin = Clock::now();
+    for (auto& shard : staging_) {
+      for (auto& [position, view] : shard) {
+        deltas[position] = std::move(view);
+      }
+      shard.clear();
+    }
+    combine_us_.Record(
+        std::chrono::duration<double, std::micro>(Clock::now() - begin)
+            .count());
   }
 
   void OnDisconnect(int client_id) { MarkDead(client_id); }
@@ -508,8 +552,13 @@ class TcpBackend : public TrainBackend {
   TransportOptions options_;
   std::uint64_t seed_ = 0;
   obs::Histogram& rtt_us_;
+  obs::Histogram& combine_us_;
+  std::vector<obs::Counter*> shard_updates_;
   std::map<std::pair<int, std::uint64_t>, Pending> outstanding_;
   std::map<std::pair<int, std::uint64_t>, WireStats> wire_stats_;
+  // Per-reactor-shard staging buffers: (delta position, update) pairs
+  // collected by OnUpdate and folded by CombineShards.
+  std::vector<std::vector<std::pair<std::size_t, net::UpdateView>>> staging_;
   // Uplink deltas materialize here; blocks free themselves once the last
   // view into them dies (end of the aggregation round, typically).
   util::Arena arena_;
@@ -522,20 +571,13 @@ class TcpBackend : public TrainBackend {
 // Driver
 
 struct DistributedDriver::Impl {
-  SimulationConfig config;
-  nn::ModelSpec spec;
-  std::vector<std::unique_ptr<Client>> clients;
-  std::vector<int> malicious_ids;
-  std::unique_ptr<attacks::Attack> attack;
-  std::unique_ptr<defense::Defense> defense;
-  const data::Dataset* test_set = nullptr;
-  data::Dataset server_root;
-  TransportOptions transport;
+  DistributedSpec spec;
 
   std::unique_ptr<net::Server> server;
-  std::vector<std::thread> workers;
+  std::vector<std::thread> workers;        // kReal fleet
+  std::unique_ptr<VirtualClientPool> pool; // kVirtual fleet
 
-  void JoinWorkers() {
+  void ShutdownFleet() {
     if (server != nullptr) {
       server->BroadcastShutdown();
       server->Flush(1000);
@@ -546,8 +588,21 @@ struct DistributedDriver::Impl {
       }
     }
     workers.clear();
+    if (pool != nullptr) {
+      pool->Stop();
+      pool.reset();
+    }
+    // Fleet sockets are closed now; drop the server so a second call (the
+    // destructor's) cannot re-broadcast shutdown into dead connections.
+    server.reset();
   }
 };
+
+DistributedDriver::DistributedDriver(DistributedSpec spec)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->spec = std::move(spec);
+  AF_CHECK(!impl_->spec.clients.empty());
+}
 
 DistributedDriver::DistributedDriver(
     SimulationConfig config, const nn::ModelSpec& spec,
@@ -556,21 +611,21 @@ DistributedDriver::DistributedDriver(
     std::unique_ptr<defense::Defense> defense, const data::Dataset* test_set,
     data::Dataset server_root, TransportOptions transport)
     : impl_(std::make_unique<Impl>()) {
-  impl_->config = config;
-  impl_->spec = spec;
-  impl_->clients = std::move(clients);
-  impl_->malicious_ids = std::move(malicious_ids);
-  impl_->attack = std::move(attack);
-  impl_->defense = std::move(defense);
-  impl_->test_set = test_set;
-  impl_->server_root = std::move(server_root);
-  impl_->transport = transport;
-  AF_CHECK(!impl_->clients.empty());
+  impl_->spec.sim = config;
+  impl_->spec.model = spec;
+  impl_->spec.clients = std::move(clients);
+  impl_->spec.malicious_ids = std::move(malicious_ids);
+  impl_->spec.attack = std::move(attack);
+  impl_->spec.defense = std::move(defense);
+  impl_->spec.test_set = test_set;
+  impl_->spec.server_root = std::move(server_root);
+  impl_->spec.transport = transport;
+  AF_CHECK(!impl_->spec.clients.empty());
 }
 
 DistributedDriver::~DistributedDriver() {
   try {
-    impl_->JoinWorkers();
+    impl_->ShutdownFleet();
   } catch (...) {
     // Destructor must not throw; workers exit on their idle timeout.
   }
@@ -579,6 +634,16 @@ DistributedDriver::~DistributedDriver() {
 SimulationResult DistributedDriver::Run() {
   AF_TRACE_SPAN("net.driver.run");
   Impl& impl = *impl_;
+  DistributedSpec& spec = impl.spec;
+  const bool virtual_fleet =
+      spec.pool.mode == ClientPoolSpec::Mode::kVirtual;
+  if (virtual_fleet) {
+    // Virtual clients send each update exactly once (no resend machinery),
+    // so fault injection would silently lose updates instead of testing
+    // recovery — force the real fleet for fault experiments.
+    AF_CHECK(!spec.transport.faults.Any())
+        << "fault injection requires the real (thread-per-client) fleet";
+  }
 
   // Resolve AF_LOG_LEVEL before any worker thread exists so every thread
   // sees the same level from its first line, and tag the driver's own lines.
@@ -586,64 +651,110 @@ SimulationResult DistributedDriver::Run() {
   util::SetThreadLogPrefix("server");
 
   net::ServerOptions server_options;
-  server_options.port = impl.transport.port;
-  server_options.io_timeout_ms = impl.transport.io_timeout_ms;
-  server_options.offer_trace_context = impl.transport.trace_context;
-  server_options.offer_shm = impl.transport.shm;
-  server_options.shm_ring_bytes = impl.transport.shm_ring_bytes;
-  if (!impl.transport.codec.empty()) {
+  server_options.port = spec.transport.port;
+  server_options.io_timeout_ms = spec.transport.io_timeout_ms;
+  server_options.reactor_shards = spec.transport.reactor_shards;
+  server_options.offer_trace_context = spec.transport.trace_context;
+  server_options.offer_shm = spec.transport.shm;
+  server_options.shm_ring_bytes = spec.transport.shm_ring_bytes;
+  if (!spec.transport.codec.empty()) {
     // Validate the name up front (throws with the known-codec list) and
     // advertise it; clients pick it during their handshake.
-    compress::Get(impl.transport.codec);
-    server_options.advertised_codecs = {impl.transport.codec};
+    compress::Get(spec.transport.codec);
+    server_options.advertised_codecs = {spec.transport.codec};
   }
   impl.server = std::make_unique<net::Server>(server_options);
   AF_LOG(kInfo) << "net: server listening on 127.0.0.1:"
-                << impl.server->port();
+                << impl.server->port() << " ("
+                << impl.server->reactor_backend() << ", "
+                << impl.server->reactor_shards() << " shard(s))";
 
   std::vector<std::size_t> num_samples;
-  num_samples.reserve(impl.clients.size());
-  for (const auto& client : impl.clients) {
+  num_samples.reserve(spec.clients.size());
+  for (const auto& client : spec.clients) {
     num_samples.push_back(client->num_samples());
   }
 
-  for (std::size_t c = 0; c < impl.clients.size(); ++c) {
-    WorkerContext ctx;
-    ctx.client_id = static_cast<int>(c);
-    ctx.client = impl.clients[c].get();
-    ctx.seed = impl.config.seed;
-    ctx.local = impl.config.local;
-    ctx.port = impl.server->port();
-    ctx.options = impl.transport;
-    impl.workers.emplace_back(RunWorker, std::move(ctx));
+  if (virtual_fleet) {
+    // The pool trains with the same (client_id, job_index)-keyed streams
+    // the thread-per-client workers use; Stream() is const, so the shared
+    // factory is safe across the engine's worker crew.
+    std::vector<Client*> fleet;
+    fleet.reserve(spec.clients.size());
+    for (const auto& client : spec.clients) {
+      fleet.push_back(client.get());
+    }
+    auto rngs = std::make_shared<util::RngFactory>(spec.sim.seed);
+    const LocalTrainConfig local = spec.sim.local;
+
+    VirtualPoolOptions pool_options;
+    pool_options.port = impl.server->port();
+    pool_options.num_clients = static_cast<int>(spec.clients.size());
+    pool_options.connections = spec.pool.connections;
+    pool_options.workers = spec.pool.workers;
+    pool_options.io_timeout_ms = spec.transport.io_timeout_ms;
+    pool_options.trace_context = spec.transport.trace_context;
+    pool_options.retry = spec.transport.retry;
+    pool_options.seed = spec.sim.seed;
+    pool_options.latency = spec.pool.latency;
+    impl.pool = std::make_unique<VirtualClientPool>(
+        pool_options,
+        [fleet, rngs, local](const VirtualJob& job) {
+          const std::uint64_t stream_index =
+              (static_cast<std::uint64_t>(job.client_id) << 32) |
+              job.job_index;
+          auto rng = rngs->Stream("client-train", stream_index);
+          return fleet[static_cast<std::size_t>(job.client_id)]->TrainOnce(
+              std::span<const float>(job.base), local, rng);
+        },
+        [fleet](int client_id) {
+          return static_cast<std::uint64_t>(
+              fleet[static_cast<std::size_t>(client_id)]->num_samples());
+        });
+    impl.pool->Start();
+    AF_LOG(kInfo) << "net: virtual pool up — " << spec.clients.size()
+                  << " clients over " << impl.pool->connection_count()
+                  << " connection(s), " << impl.pool->worker_count()
+                  << " worker(s)";
+  } else {
+    for (std::size_t c = 0; c < spec.clients.size(); ++c) {
+      WorkerContext ctx;
+      ctx.client_id = static_cast<int>(c);
+      ctx.client = spec.clients[c].get();
+      ctx.seed = spec.sim.seed;
+      ctx.local = spec.sim.local;
+      ctx.port = impl.server->port();
+      ctx.options = spec.transport;
+      impl.workers.emplace_back(RunWorker, std::move(ctx));
+    }
   }
 
   SimulationResult result;
   try {
     AF_CHECK(impl.server->WaitForClients(
-        impl.clients.size(), impl.transport.handshake_timeout_ms))
+        spec.clients.size(), spec.transport.handshake_timeout_ms))
         << "only " << impl.server->ConnectedCount() << " of "
-        << impl.clients.size() << " clients completed the handshake";
+        << spec.clients.size() << " clients completed the handshake";
 
     TcpBackend backend(impl.server.get(), std::move(num_samples),
-                       impl.transport, impl.config.seed);
+                       spec.transport, spec.sim.seed);
     ExperimentSpec sim_spec;
-    sim_spec.sim = impl.config;
-    sim_spec.model = impl.spec;
+    sim_spec.sim = spec.sim;
+    sim_spec.model = spec.model;
     sim_spec.backend = &backend;
-    sim_spec.malicious_ids = impl.malicious_ids;
-    sim_spec.attack = std::move(impl.attack);
-    sim_spec.defense = std::move(impl.defense);
-    sim_spec.test_set = impl.test_set;
-    sim_spec.server_root = std::move(impl.server_root);
+    sim_spec.malicious_ids = spec.malicious_ids;
+    sim_spec.attack = std::move(spec.attack);
+    sim_spec.defense = std::move(spec.defense);
+    sim_spec.test_set = spec.test_set;
+    sim_spec.server_root = std::move(spec.server_root);
     Simulation simulation(std::move(sim_spec));
     result = simulation.Run();
   } catch (...) {
-    impl.JoinWorkers();
+    impl.ShutdownFleet();
     util::SetThreadLogPrefix("");
     throw;
   }
-  impl.JoinWorkers();
+  impl.ShutdownFleet();
   util::SetThreadLogPrefix("");
   return result;
 }

@@ -3,18 +3,21 @@
 //
 // Topology (all loopback, one process):
 //
-//   driver thread                         worker threads (one per client)
+//   driver thread                         client fleet (ClientPoolSpec)
 //   ─────────────                         ──────────────────────────────
-//   net::Server (poll loop)  ◀── TCP ──▶  net::Connection + fl::Client
-//   Simulation + TcpBackend               train on ModelBroadcast,
-//   defense / aggregation                 reply ClientUpdate, await Ack
+//   net::Server (epoll reactor) ◀─ TCP ─▶ kReal: one thread + connection
+//   Simulation + TcpBackend               per client (blocking I/O)
+//   sharded staging → defense             kVirtual: VirtualClientPool —
+//                                         few connections, worker crew
 //
 // Training jobs carry the same (client_id, job_index)-keyed RNG streams as
 // the in-process simulator, so with a quiet wire a tcp run is
-// bit-identical to an inproc run of the same config. The wire is allowed
-// to be hostile: a net::FaultInjector on each client's uplink can drop,
-// delay, duplicate, or truncate frames and kill connections outright; the
-// server evicts the dead and keeps aggregating from the survivors.
+// bit-identical to an inproc run of the same config — in either fleet
+// mode. The wire is allowed to be hostile in kReal mode: a
+// net::FaultInjector on each client's uplink can drop, delay, duplicate,
+// or truncate frames and kill connections outright; the server evicts the
+// dead and keeps aggregating from the survivors. Virtual pools forbid
+// fault injection (updates are sent exactly once).
 #pragma once
 
 #include <memory>
@@ -24,6 +27,7 @@
 #include "attacks/attack.h"
 #include "defense/defense.h"
 #include "fl/client.h"
+#include "fl/client_pool.h"
 #include "fl/simulation.h"
 #include "net/fault_injector.h"
 #include "net/shm_ring.h"
@@ -37,6 +41,10 @@ struct TransportOptions {
   int job_timeout_ms = 120000; // evict a client that never answers a job
   int ack_timeout_ms = 250;    // client resend timer for unacked updates
   int handshake_timeout_ms = 10000;
+  // Reactor shards for the server's event loop: 1 (default) is fully
+  // deterministic; <=0 picks one per core capped at 8. Results are
+  // shard-count-invariant either way (updates land by job position).
+  int reactor_shards = 1;
   net::RetryConfig retry;      // connect retry + update resend backoff
   net::FaultConfig faults;     // wire fault injection (off by default)
   // Update-compression codec name (compress/codec.h). Empty → no codec
@@ -58,19 +66,42 @@ struct TransportOptions {
   // bytes, so results stay bit-identical across transports. Workers with
   // fault injection configured decline the offer (faults act on the
   // socket), and any mapping failure falls back to TCP per connection.
+  // Multiplexed (virtual-pool) connections are never offered rings.
   bool shm = false;
   std::size_t shm_ring_bytes = net::kShmDefaultRingBytes;
 };
 
+// Everything a distributed run needs, in one bag — the mirror of
+// ExperimentSpec for the over-the-wire mode. `pool` picks how the client
+// fleet executes (ClientPoolSpec in fl/client_pool.h).
+struct DistributedSpec {
+  SimulationConfig sim;
+  nn::ModelSpec model;
+  std::vector<std::unique_ptr<Client>> clients;
+  std::vector<int> malicious_ids;
+  std::unique_ptr<attacks::Attack> attack;
+  std::unique_ptr<defense::Defense> defense;
+  const data::Dataset* test_set = nullptr;
+  data::Dataset server_root;
+  TransportOptions transport;
+  ClientPoolSpec pool;
+};
+
 class DistributedDriver {
  public:
-  DistributedDriver(SimulationConfig config, const nn::ModelSpec& spec,
-                    std::vector<std::unique_ptr<Client>> clients,
-                    std::vector<int> malicious_ids,
-                    std::unique_ptr<attacks::Attack> attack,
-                    std::unique_ptr<defense::Defense> defense,
-                    const data::Dataset* test_set, data::Dataset server_root,
-                    TransportOptions transport);
+  explicit DistributedDriver(DistributedSpec spec);
+
+  // One-release migration shim for the positional form; always runs the
+  // thread-per-client (kReal) fleet.
+  [[deprecated("use fl::DistributedSpec")]] DistributedDriver(
+      SimulationConfig config, const nn::ModelSpec& spec,
+      std::vector<std::unique_ptr<Client>> clients,
+      std::vector<int> malicious_ids,
+      std::unique_ptr<attacks::Attack> attack,
+      std::unique_ptr<defense::Defense> defense,
+      const data::Dataset* test_set, data::Dataset server_root,
+      TransportOptions transport);
+
   ~DistributedDriver();
 
   DistributedDriver(const DistributedDriver&) = delete;
@@ -78,7 +109,8 @@ class DistributedDriver {
 
   // Brings the fleet up, runs the full simulation over the wire, shuts the
   // fleet down. Throws util::CheckError when the fleet cannot start (e.g.
-  // no client completes the handshake).
+  // no client completes the handshake) or when the spec is inconsistent
+  // (fault injection on a virtual pool).
   SimulationResult Run();
 
  private:

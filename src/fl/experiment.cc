@@ -303,13 +303,20 @@ SimulationResult RunExperiment(const ExperimentConfig& config,
         << "buffer observers are not supported with --transport=tcp/shm";
     AF_CHECK(config.checkpoint_path.empty() && !config.resume)
         << "checkpoint/resume requires --transport=inproc";
-    TransportOptions transport = config.net;
-    transport.codec = config.compress;
-    transport.shm = config.transport == TransportKind::kShm;
-    DistributedDriver driver(config.sim, model, std::move(clients),
-                             malicious_ids, std::move(attack),
-                             std::move(defense), &test, std::move(root),
-                             transport);
+    DistributedSpec dist_spec;
+    dist_spec.sim = config.sim;
+    dist_spec.model = model;
+    dist_spec.clients = std::move(clients);
+    dist_spec.malicious_ids = malicious_ids;
+    dist_spec.attack = std::move(attack);
+    dist_spec.defense = std::move(defense);
+    dist_spec.test_set = &test;
+    dist_spec.server_root = std::move(root);
+    dist_spec.transport = config.net;
+    dist_spec.transport.codec = config.compress;
+    dist_spec.transport.shm = config.transport == TransportKind::kShm;
+    dist_spec.pool = config.pool;
+    DistributedDriver driver(std::move(dist_spec));
     return stamp_wall(driver.Run());
   }
 

@@ -83,6 +83,9 @@ struct ExperimentConfig {
   std::size_t threads = 0;  // 0 → hardware concurrency
   TransportKind transport = TransportKind::kInproc;
   TransportOptions net;  // only consulted when transport == kTcp
+  // Client fleet shape for distributed transports: real threads (default)
+  // or a multiplexed virtual pool (fl/client_pool.h). Ignored inproc.
+  ClientPoolSpec pool;
 
   // Update-compression codec (compress/codec.h registry name; empty →
   // none). Over tcp the codec is negotiated and applied on the wire; inproc

@@ -66,56 +66,6 @@ Simulation::Simulation(ExperimentSpec spec)
   Init();
 }
 
-namespace {
-
-ExperimentSpec MakeSpec(SimulationConfig config, const nn::ModelSpec& model,
-                        std::vector<int> malicious_ids,
-                        std::unique_ptr<attacks::Attack> attack,
-                        std::unique_ptr<defense::Defense> defense,
-                        const data::Dataset* test_set,
-                        data::Dataset server_root) {
-  ExperimentSpec spec;
-  spec.sim = config;
-  spec.model = model;
-  spec.malicious_ids = std::move(malicious_ids);
-  spec.attack = std::move(attack);
-  spec.defense = std::move(defense);
-  spec.test_set = test_set;
-  spec.server_root = std::move(server_root);
-  return spec;
-}
-
-}  // namespace
-
-Simulation::Simulation(SimulationConfig config, const nn::ModelSpec& spec,
-                       TrainBackend* backend, std::vector<int> malicious_ids,
-                       std::unique_ptr<attacks::Attack> attack,
-                       std::unique_ptr<defense::Defense> defense,
-                       const data::Dataset* test_set, data::Dataset server_root)
-    : Simulation([&] {
-        ExperimentSpec s =
-            MakeSpec(config, spec, std::move(malicious_ids), std::move(attack),
-                     std::move(defense), test_set, std::move(server_root));
-        s.backend = backend;
-        return s;
-      }()) {}
-
-Simulation::Simulation(SimulationConfig config, const nn::ModelSpec& spec,
-                       std::vector<std::unique_ptr<Client>> clients,
-                       std::vector<int> malicious_ids,
-                       std::unique_ptr<attacks::Attack> attack,
-                       std::unique_ptr<defense::Defense> defense,
-                       const data::Dataset* test_set, data::Dataset server_root,
-                       util::ThreadPool* pool)
-    : Simulation([&] {
-        ExperimentSpec s =
-            MakeSpec(config, spec, std::move(malicious_ids), std::move(attack),
-                     std::move(defense), test_set, std::move(server_root));
-        s.clients = std::move(clients);
-        s.pool = pool;
-        return s;
-      }()) {}
-
 std::unique_ptr<Simulation> BuildSimulation(ExperimentSpec spec) {
   return std::make_unique<Simulation>(std::move(spec));
 }

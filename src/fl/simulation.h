@@ -116,24 +116,10 @@ struct CheckpointPolicy {
 
 class Simulation {
  public:
-  // The one constructor: named fields instead of positional soup.
+  // The one constructor: named fields instead of positional soup. (The
+  // deprecated positional forms completed their one-release grace period
+  // and are gone.)
   explicit Simulation(ExperimentSpec spec);
-
-  // Deprecated positional forms, kept as thin shims for one release.
-  [[deprecated("use fl::ExperimentSpec + fl::BuildSimulation")]]
-  Simulation(SimulationConfig config, const nn::ModelSpec& spec,
-             TrainBackend* backend, std::vector<int> malicious_ids,
-             std::unique_ptr<attacks::Attack> attack,
-             std::unique_ptr<defense::Defense> defense,
-             const data::Dataset* test_set, data::Dataset server_root);
-  [[deprecated("use fl::ExperimentSpec + fl::BuildSimulation")]]
-  Simulation(SimulationConfig config, const nn::ModelSpec& spec,
-             std::vector<std::unique_ptr<Client>> clients,
-             std::vector<int> malicious_ids,
-             std::unique_ptr<attacks::Attack> attack,
-             std::unique_ptr<defense::Defense> defense,
-             const data::Dataset* test_set, data::Dataset server_root,
-             util::ThreadPool* pool);
 
   // Optional observer invoked with the full buffer just before each
   // aggregation (used by the Fig. 3/4 t-SNE study).

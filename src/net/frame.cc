@@ -39,6 +39,7 @@ bool KnownType(std::uint16_t type) {
     case MessageType::kTraceSelect:
     case MessageType::kShmOffer:
     case MessageType::kShmSelect:
+    case MessageType::kHello:
       return true;
   }
   return false;
@@ -78,6 +79,69 @@ void MaybeReadTraceBlock(const FrameView& frame, std::size_t* offset,
   *trace_id = ReadRaw<std::uint64_t>(frame.payload, &probe);
   *parent_span_id = ReadRaw<std::uint64_t>(frame.payload, &probe);
   *offset = probe;
+}
+
+// Trailing client-id block for multiplexed broadcasts: u32 "AFVC" magic,
+// i32 client_id. Always the very last bytes of the payload when present.
+inline constexpr std::uint32_t kClientBlockMagic = 0x43564641u;  // "AFVC"
+inline constexpr std::size_t kClientBlockBytes =
+    sizeof(std::uint32_t) + sizeof(std::int32_t);
+
+void AppendClientBlock(std::vector<std::uint8_t>& out,
+                       std::int32_t client_id) {
+  if (client_id < 0) {
+    return;
+  }
+  AppendRaw(out, kClientBlockMagic);
+  AppendRaw(out, client_id);
+}
+
+// Sniffs the trailing AFVC (last) and AFTC (second-to-last) blocks. The
+// AFVC interpretation commits only when the full tail parses — the last 8
+// bytes carry the magic and a non-negative id, and the bytes between
+// `*offset` and the block are empty or exactly one AFTC block. Otherwise
+// everything rolls back to the legacy lone-AFTC sniff, so a pre-mux
+// payload whose final params bytes happen to spell "AFVC" still decodes
+// exactly as before.
+void MaybeReadTrailingBlocks(const FrameView& frame, std::size_t* offset,
+                             std::uint64_t* trace_id,
+                             std::uint64_t* parent_span_id,
+                             std::int32_t* client_id) {
+  const std::size_t remaining = frame.payload.size() - *offset;
+  if (client_id != nullptr && remaining >= kClientBlockBytes) {
+    const std::size_t tail = frame.payload.size() - kClientBlockBytes;
+    std::size_t probe = tail;
+    const auto magic = ReadRaw<std::uint32_t>(frame.payload, &probe);
+    if (magic == kClientBlockMagic) {
+      const auto cid = ReadRaw<std::int32_t>(frame.payload, &probe);
+      const std::size_t middle = tail - *offset;
+      if (cid >= 0 && (middle == 0 || middle == kTraceBlockBytes)) {
+        bool consistent = true;
+        std::uint64_t tid = 0;
+        std::uint64_t psid = 0;
+        if (middle == kTraceBlockBytes) {
+          std::size_t trace_probe = *offset;
+          if (ReadRaw<std::uint32_t>(frame.payload, &trace_probe) ==
+              kTraceBlockMagic) {
+            tid = ReadRaw<std::uint64_t>(frame.payload, &trace_probe);
+            psid = ReadRaw<std::uint64_t>(frame.payload, &trace_probe);
+          } else {
+            consistent = false;
+          }
+        }
+        if (consistent) {
+          if (middle == kTraceBlockBytes) {
+            *trace_id = tid;
+            *parent_span_id = psid;
+          }
+          *client_id = cid;
+          *offset = frame.payload.size();
+          return;
+        }
+      }
+    }
+  }
+  MaybeReadTraceBlock(frame, offset, trace_id, parent_span_id);
 }
 
 // Either a legacy raw AFPM block (codec null or identity) or an AFCZ
@@ -159,6 +223,7 @@ void AppendModelBroadcastPayload(std::vector<std::uint8_t>& out,
   AppendRaw(out, msg.job_index);
   AppendParams(out, msg.params, codec);
   AppendTraceBlock(out, msg.trace_id, msg.parent_span_id);
+  AppendClientBlock(out, msg.client_id);
 }
 
 void AppendClientUpdatePayload(std::vector<std::uint8_t>& out,
@@ -197,6 +262,8 @@ const char* MessageTypeName(MessageType type) {
       return "ShmOffer";
     case MessageType::kShmSelect:
       return "ShmSelect";
+    case MessageType::kHello:
+      return "Hello";
   }
   return "?";
 }
@@ -282,7 +349,8 @@ ModelBroadcastMsg DecodeModelBroadcast(const FrameView& frame) {
   msg.round = ReadRaw<std::uint64_t>(frame.payload, &offset);
   msg.job_index = ReadRaw<std::uint64_t>(frame.payload, &offset);
   msg.params = ReadParamsView(frame.payload, &offset);
-  MaybeReadTraceBlock(frame, &offset, &msg.trace_id, &msg.parent_span_id);
+  MaybeReadTrailingBlocks(frame, &offset, &msg.trace_id, &msg.parent_span_id,
+                          &msg.client_id);
   CheckFullyConsumed(frame, offset);
   return msg;
 }
@@ -439,6 +507,37 @@ ShmSelectMsg DecodeShmSelect(const FrameView& frame) {
   ShmSelectMsg msg;
   std::size_t offset = 0;
   msg.enabled = ReadRaw<std::uint8_t>(frame.payload, &offset) != 0;
+  CheckFullyConsumed(frame, offset);
+  return msg;
+}
+
+Frame EncodeHello(const HelloMsg& msg) {
+  Frame frame;
+  frame.type = MessageType::kHello;
+  AF_CHECK_LE(msg.client_ids.size(), 1u << 20) << "too many hello client ids";
+  AppendRaw(frame.payload, static_cast<std::uint32_t>(msg.client_ids.size()));
+  for (const std::int32_t id : msg.client_ids) {
+    AF_CHECK_GE(id, 0) << "negative hello client id";
+    AppendRaw(frame.payload, id);
+  }
+  return frame;
+}
+
+HelloMsg DecodeHello(const FrameView& frame) {
+  CheckType(frame, MessageType::kHello);
+  HelloMsg msg;
+  std::size_t offset = 0;
+  const auto count = ReadRaw<std::uint32_t>(frame.payload, &offset);
+  AF_CHECK_LE(count, 1u << 20) << "hello client-id count " << count
+                               << " exceeds limit";
+  // Bounds before reserve so a hostile count can't balloon the allocation.
+  AF_CHECK_LE(offset + std::size_t{count} * sizeof(std::int32_t),
+              frame.payload.size())
+      << "truncated hello payload";
+  msg.client_ids.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    msg.client_ids.push_back(ReadRaw<std::int32_t>(frame.payload, &offset));
+  }
   CheckFullyConsumed(frame, offset);
   return msg;
 }

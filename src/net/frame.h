@@ -76,6 +76,7 @@ enum class MessageType : std::uint16_t {
   kTraceSelect = 8,     // client → server: client will attach trace context
   kShmOffer = 9,        // server → client: shared-memory ring segment name
   kShmSelect = 10,      // client → server: whether the client mapped it
+  kHello = 11,          // client → server: multiplexed hello (many client ids)
 };
 
 const char* MessageTypeName(MessageType type);
@@ -141,6 +142,11 @@ struct ModelBroadcastMsg {
   // Cross-process trace context (0 = untraced → no AFTC block on the wire).
   std::uint64_t trace_id = 0;
   std::uint64_t parent_span_id = 0;
+  // Which multiplexed client the job targets. -1 (single-client sessions)
+  // emits no AFVC block, keeping legacy wire bytes unchanged; >= 0 appends
+  // a trailing 8-byte AFVC block (u32 "AFVC" magic, i32 client_id) after
+  // any AFTC block, so a virtual-client pool can demux jobs on one socket.
+  std::int32_t client_id = -1;
 };
 
 // The client's report for one job.
@@ -198,6 +204,13 @@ struct ShmSelectMsg {
   bool enabled = false;
 };
 
+// Client → server: multiplexed hello. One connection announces every
+// client id it will carry; the server binds them all to this session.
+// Single-client peers keep sending the legacy hello Ack instead.
+struct HelloMsg {
+  std::vector<std::int32_t> client_ids;
+};
+
 // Parameter-bearing encoders take an optional negotiated codec: nullptr (or
 // the identity codec) emits the legacy raw AFPM block — byte-identical to
 // the pre-codec wire — anything else emits an AFCZ container. The update
@@ -249,6 +262,9 @@ ShmOfferMsg DecodeShmOffer(const FrameView& frame);
 
 Frame EncodeShmSelect(const ShmSelectMsg& msg);
 ShmSelectMsg DecodeShmSelect(const FrameView& frame);
+
+Frame EncodeHello(const HelloMsg& msg);
+HelloMsg DecodeHello(const FrameView& frame);
 
 Frame MakeShutdownFrame();
 

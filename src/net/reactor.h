@@ -1,0 +1,80 @@
+// Sharded fd-readiness reactor: the half of the old poll()-era server that
+// cared about sockets, split out so sessions (net/session.h) never touch an
+// fd and transports register uniformly.
+//
+// On Linux the reactor is built from epoll: N shard epoll fds, connections
+// hash-assigned to shards, nested inside one master epoll so a single
+// Wait() call sleeps on everything and dispatch cost is O(ready), not
+// O(connections). Everywhere else — or with AF_REACTOR=poll in the
+// environment — a poll()-based implementation sits behind the identical
+// interface (kqueue would slot in the same way), so the fallback is always
+// testable on the primary platform.
+//
+// All registration and Wait() calls belong to one owner thread; Wakeup() is
+// the one cross-thread entry point (it interrupts a blocked Wait, which is
+// how the virtual-client pool's workers nudge the pump loop when they
+// finish a job). Events are level-triggered: a connection with unread bytes
+// or unflushed write interest reports ready again on the next Wait.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace net {
+
+struct ReactorEvent {
+  int fd = -1;
+  bool readable = false;
+  bool writable = false;
+  bool error = false;   // EPOLLERR / POLLERR / POLLNVAL
+  bool hangup = false;  // EPOLLHUP / POLLHUP
+};
+
+struct ReactorOptions {
+  // Shard count; <= 0 picks one shard per core, capped at 8. One shard is
+  // the fully deterministic default the distributed driver uses.
+  int shards = 1;
+};
+
+class Reactor {
+ public:
+  explicit Reactor(ReactorOptions options = {});
+  ~Reactor();
+
+  Reactor(const Reactor&) = delete;
+  Reactor& operator=(const Reactor&) = delete;
+
+  // Registers `fd` with level-triggered read interest and hash-assigns it
+  // to a shard. The fd must stay valid until Remove.
+  void Add(int fd);
+  // Toggles write interest (read interest is permanent until Remove).
+  // No-op when the interest already matches.
+  void SetWantWrite(int fd, bool want_write);
+  void Remove(int fd);
+
+  // Blocks up to `timeout_ms` (0 → immediate, < 0 → indefinitely) and
+  // appends one entry per ready fd to `out` (not cleared). Returns the
+  // number of events appended. A pending Wakeup() makes Wait return
+  // promptly with whatever is ready.
+  std::size_t Wait(int timeout_ms, std::vector<ReactorEvent>* out);
+
+  // Interrupts a concurrent Wait from any thread. Sticky: a wakeup posted
+  // while no Wait is in progress makes the next Wait return immediately.
+  void Wakeup();
+
+  // Stable shard assignment for a registered fd; -1 for unknown fds.
+  int ShardOf(int fd) const;
+  int shard_count() const;
+  std::size_t watched_count() const;
+
+  // "epoll" or "poll" — which implementation this build/environment picked.
+  const char* backend_name() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace net

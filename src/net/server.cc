@@ -1,20 +1,17 @@
 #include "net/server.h"
 
 #include <fcntl.h>
-#include <poll.h>
 #include <sys/socket.h>
 
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
-#include <limits>
 #include <new>
 
-#include "compress/codec.h"
+#include "net/session.h"
 #include "obs/trace.h"
 #include "util/check.h"
 #include "util/logging.h"
-#include "util/registry.h"
 
 namespace net {
 namespace {
@@ -37,9 +34,90 @@ void SetNonBlocking(int fd) {
 
 }  // namespace
 
+// One accepted connection: socket buffers plus the protocol Session, wired
+// back into the server through the Session::Host interface.
+struct Server::Conn : Session::Host {
+  Server* server = nullptr;
+  util::UniqueFd fd;
+  std::unique_ptr<Session> session;
+  bool shm_active = false;  // data frames ride the rings, not the fd
+  std::unique_ptr<ShmSegment> shm;
+  // Reusable receive scratch: bytes land at the end, frames decode as
+  // views from `in_offset`, and the consumed prefix is reclaimed once per
+  // read batch — no per-frame payload vector is ever built.
+  std::vector<std::uint8_t> in;
+  std::size_t in_offset = 0;  // already-decoded prefix of `in`
+  std::vector<std::uint8_t> out;
+  std::size_t out_offset = 0;  // already-written prefix of `out`
+  std::uint64_t last_progress_ns = 0;
+
+  // --- Session::Host ---------------------------------------------------
+  void SendFrame(const Frame& frame) override {
+    server->QueueFrame(*this, frame);
+  }
+
+  bool BindClient(int client_id) override {
+    if (server->by_client_.count(client_id) > 0) {
+      AF_LOG(kWarn) << "net: duplicate handshake for client " << client_id
+                    << "; closing new connection";
+      return false;
+    }
+    server->by_client_[client_id] = this;
+    return true;
+  }
+
+  void OnHandshakeComplete() override {
+    server->connected_clients_.Set(
+        static_cast<double>(server->HandshakeCount()));
+    if (server->on_connect_) {
+      for (const int id : session->client_ids()) {
+        server->on_connect_(id);
+      }
+    }
+  }
+
+  void OnUpdate(int client_id, ClientUpdateMsg msg) override {
+    server->transport_updates_.Increment();
+    if (server->on_update_) {
+      server->on_update_(client_id, std::move(msg));
+    }
+  }
+
+  void OnDuplicateUpdate(int, std::uint64_t) override {
+    server->duplicates_.Increment();
+  }
+
+  std::string CreateShmSegment(int client_id,
+                               std::size_t ring_bytes) override {
+    // A segment that fails to create (shm mount full, name collision) is
+    // not fatal: no offer is sent and the connection stays plain TCP.
+    try {
+      const std::string name = MakeShmName(server->port(), client_id);
+      shm = ShmSegment::Create(name, ring_bytes);
+      return name;
+    } catch (const util::CheckError& e) {
+      AF_LOG(kWarn) << "net: shm segment for client " << client_id
+                    << " failed (" << e.what() << "); staying on TCP";
+      shm.reset();
+      return std::string();
+    }
+  }
+
+  void SetShmActive(bool active) override {
+    if (active && shm != nullptr) {
+      shm_active = true;
+      AF_LOG(kInfo) << "net: client " << session->primary_id()
+                    << " switched to shm rings (" << shm->name() << ")";
+    } else {
+      shm.reset();  // creator unlinks; connection stays TCP
+    }
+  }
+};
+
 Server::Server(ServerOptions options)
     : options_(options),
       listener_(options.port),
+      reactor_(ReactorOptions{options.reactor_shards}),
       frames_received_(obs::DefaultRegistry().GetCounter(
           "net.server.frames_received")),
       frames_sent_(obs::DefaultRegistry().GetCounter(
@@ -55,6 +133,7 @@ Server::Server(ServerOptions options)
       transport_updates_(
           obs::DefaultRegistry().GetCounter("transport.updates")) {
   SetNonBlocking(listener_.fd());
+  reactor_.Add(listener_.fd());
 }
 
 Server::~Server() = default;
@@ -79,159 +158,17 @@ void Server::AcceptPending() {
     }
     SetNonBlocking(fd);
     auto conn = std::make_unique<Conn>();
+    conn->server = this;
     conn->fd.reset(fd);
     conn->last_progress_ns = NowNs();
-    conns_.push_back(std::move(conn));
+    conn->session = std::make_unique<Session>(
+        conn.get(),
+        Session::Options{options_.advertised_codecs,
+                         options_.offer_trace_context, options_.offer_shm,
+                         options_.shm_ring_bytes});
+    reactor_.Add(fd);
+    conns_.emplace(fd, std::move(conn));
   }
-}
-
-bool Server::HandleFrame(Conn& conn, const FrameView& frame) {
-  frames_received_.Increment();
-  if (conn.client_id < 0) {
-    // First frame must be the hello Ack carrying the client id.
-    if (frame.type != MessageType::kAck) {
-      AF_LOG(kWarn) << "net: connection sent " << MessageTypeName(frame.type)
-                    << " before handshake; closing";
-      return false;
-    }
-    const AckMsg hello = DecodeAck(frame);
-    // client_id is int everywhere downstream; a value that truncates (or
-    // lands on the <0 "no id yet" sentinel) would let one connection
-    // register twice and leave a dangling by_client_ entry on close.
-    if (hello.value >
-        static_cast<std::uint64_t>(std::numeric_limits<int>::max())) {
-      AF_LOG(kWarn) << "net: handshake declared unrepresentable client id "
-                    << hello.value << "; closing";
-      return false;
-    }
-    const int client_id = static_cast<int>(hello.value);
-    if (by_client_.count(client_id) > 0) {
-      AF_LOG(kWarn) << "net: duplicate handshake for client " << client_id
-                    << "; closing new connection";
-      return false;
-    }
-    conn.client_id = client_id;
-    by_client_[client_id] = &conn;
-    // Negotiation rounds: the handshake completes (and the connect callback
-    // fires) only once every offered extension's select arrives, so the
-    // driver never broadcasts before it knows the downlink codec or whether
-    // the client understands trace context.
-    if (!options_.advertised_codecs.empty()) {
-      QueueFrame(conn, EncodeCodecOffer({options_.advertised_codecs}));
-      conn.awaiting_codec_select = true;
-    }
-    if (options_.offer_trace_context) {
-      QueueFrame(conn, EncodeTraceOffer({}));
-      conn.awaiting_trace_select = true;
-    }
-    if (options_.offer_shm) {
-      // A segment that fails to create (shm mount full, name collision) is
-      // not fatal: skip the offer and the connection stays plain TCP.
-      try {
-        const std::string name = MakeShmName(port(), client_id);
-        conn.shm = ShmSegment::Create(name, options_.shm_ring_bytes);
-        QueueFrame(conn, EncodeShmOffer(
-                             {name, static_cast<std::uint64_t>(
-                                        options_.shm_ring_bytes)}));
-        conn.awaiting_shm_select = true;
-      } catch (const util::CheckError& e) {
-        AF_LOG(kWarn) << "net: shm segment for client " << client_id
-                      << " failed (" << e.what() << "); staying on TCP";
-        conn.shm.reset();
-      }
-    }
-    MaybeCompleteHandshake(conn);
-    return true;
-  }
-  if (!conn.handshake_complete) {
-    // Negotiation in flight: only the selects we are waiting on are
-    // acceptable (in any order).
-    if (frame.type == MessageType::kCodecSelect &&
-        conn.awaiting_codec_select) {
-      const CodecSelectMsg select = DecodeCodecSelect(frame);
-      const std::string key = util::CanonicalName(select.codec);
-      bool offered = key == "identity";
-      for (const std::string& name : options_.advertised_codecs) {
-        offered = offered || util::CanonicalName(name) == key;
-      }
-      if (!offered || !compress::Has(select.codec)) {
-        AF_LOG(kWarn) << "net: client " << conn.client_id
-                      << " selected unavailable codec '" << select.codec
-                      << "'; closing";
-        return false;
-      }
-      const compress::Codec& codec = compress::Get(select.codec);
-      conn.codec = compress::IsIdentity(codec) ? nullptr : &codec;
-      conn.awaiting_codec_select = false;
-      MaybeCompleteHandshake(conn);
-      return true;
-    }
-    if (frame.type == MessageType::kTraceSelect &&
-        conn.awaiting_trace_select) {
-      conn.trace_context = DecodeTraceSelect(frame).enabled;
-      conn.awaiting_trace_select = false;
-      MaybeCompleteHandshake(conn);
-      return true;
-    }
-    if (frame.type == MessageType::kShmSelect && conn.awaiting_shm_select) {
-      const bool enabled = DecodeShmSelect(frame).enabled;
-      conn.awaiting_shm_select = false;
-      if (enabled && conn.shm) {
-        conn.shm_active = true;
-        AF_LOG(kInfo) << "net: client " << conn.client_id
-                      << " switched to shm rings (" << conn.shm->name()
-                      << ")";
-      } else {
-        conn.shm.reset();  // creator unlinks; connection stays TCP
-      }
-      MaybeCompleteHandshake(conn);
-      return true;
-    }
-    AF_LOG(kWarn) << "net: client " << conn.client_id << " sent "
-                  << MessageTypeName(frame.type)
-                  << " before negotiation finished; closing";
-    return false;
-  }
-  switch (frame.type) {
-    case MessageType::kClientUpdate: {
-      ClientUpdateMsg msg = DecodeClientUpdate(frame);
-      if (msg.client_id != conn.client_id) {
-        AF_LOG(kWarn) << "net: client " << conn.client_id
-                      << " sent update claiming id " << msg.client_id
-                      << "; closing";
-        return false;
-      }
-      // Ack every copy so the sender stops retrying; deliver only the
-      // first. Queue-only (no immediate flush): a flush failure here would
-      // destroy `conn` while ReadConn is still using it.
-      QueueFrame(conn, EncodeAck({msg.job_index}));
-      if (!conn.delivered_jobs.insert(msg.job_index).second) {
-        duplicates_.Increment();
-        return true;
-      }
-      transport_updates_.Increment();
-      if (on_update_) {
-        on_update_(conn.client_id, std::move(msg));
-      }
-      return true;
-    }
-    case MessageType::kAck:
-      return true;  // stray receipt; harmless
-    case MessageType::kShutdown:
-      return false;  // client says goodbye
-    case MessageType::kCodecSelect:
-    case MessageType::kTraceSelect:
-    case MessageType::kShmSelect:
-      return true;  // repeated select after negotiation; harmless
-    case MessageType::kModelBroadcast:
-    case MessageType::kCodecOffer:
-    case MessageType::kTraceOffer:
-    case MessageType::kShmOffer:
-      AF_LOG(kWarn) << "net: client " << conn.client_id
-                    << " sent a server-only frame; closing";
-      return false;
-  }
-  return false;
 }
 
 bool Server::ReadConn(Conn& conn) {
@@ -265,7 +202,7 @@ bool Server::ReadConn(Conn& conn) {
 bool Server::ProcessInbuf(Conn& conn) {
   // Decode every complete frame as a view over the scratch buffer — no
   // per-frame payload vector. The consumed prefix is reclaimed once, after
-  // the batch, so every view handed to HandleFrame stays valid while it
+  // the batch, so every view handed to the session stays valid while it
   // runs. A malformed stream kills the connection.
   bool keep = true;
   while (keep) {
@@ -276,8 +213,8 @@ bool Server::ProcessInbuf(Conn& conn) {
           std::span<const std::uint8_t>(conn.in).subspan(conn.in_offset),
           &frame);
     } catch (const util::CheckError& e) {
-      AF_LOG(kWarn) << "net: malformed frame from client " << conn.client_id
-                    << ": " << e.what();
+      AF_LOG(kWarn) << "net: malformed frame from client "
+                    << conn.session->primary_id() << ": " << e.what();
       keep = false;
       break;
     }
@@ -285,21 +222,22 @@ bool Server::ProcessInbuf(Conn& conn) {
       break;
     }
     conn.in_offset += consumed;
+    frames_received_.Increment();
     // A structurally valid frame can still carry a malformed typed payload
     // (truncated AFPM/AFCZ block, checksum mismatch, bad codec name). That
     // must evict this connection, never unwind through the reactor.
     try {
-      keep = HandleFrame(conn, frame);
+      keep = conn.session->HandleFrame(frame);
     } catch (const util::CheckError& e) {
       AF_LOG(kWarn) << "net: malformed " << MessageTypeName(frame.type)
-                    << " payload from client " << conn.client_id << ": "
-                    << e.what();
+                    << " payload from client " << conn.session->primary_id()
+                    << ": " << e.what();
       keep = false;
     } catch (const std::bad_alloc&) {
       // A payload that validates structurally but still demands an absurd
       // allocation is the sender's fault, not grounds to kill the reactor.
       AF_LOG(kWarn) << "net: " << MessageTypeName(frame.type)
-                    << " payload from client " << conn.client_id
+                    << " payload from client " << conn.session->primary_id()
                     << " exhausted memory during decode; closing";
       keep = false;
     }
@@ -348,7 +286,7 @@ bool Server::WriteConn(Conn& conn) {
                conn.out.size() - conn.out_offset, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
-        return true;  // kernel buffer full; retry next tick
+        return true;  // kernel buffer full; retry when writable
       }
       return false;  // EPIPE / ECONNRESET
     }
@@ -361,96 +299,105 @@ bool Server::WriteConn(Conn& conn) {
   return true;
 }
 
-void Server::MaybeCompleteHandshake(Conn& conn) {
-  if (conn.awaiting_codec_select || conn.awaiting_trace_select ||
-      conn.awaiting_shm_select) {
-    return;
-  }
-  conn.handshake_complete = true;
-  connected_clients_.Set(static_cast<double>(HandshakeCount()));
-  if (on_connect_) {
-    on_connect_(conn.client_id);
-  }
+void Server::UpdateWriteInterest(Conn& conn) {
+  // Shm connections flush through DrainShmConns each tick; the socket
+  // carries no data frames, so it never needs write readiness.
+  const bool want =
+      !conn.shm_active && conn.out_offset < conn.out.size();
+  reactor_.SetWantWrite(conn.fd.get(), want);
 }
 
-void Server::CloseConn(std::size_t index, const char* reason) {
-  Conn& conn = *conns_[index];
-  if (conn.client_id >= 0) {
-    AF_LOG(kInfo) << "net: client " << conn.client_id
-                  << " disconnected (" << reason << ")";
-    by_client_.erase(conn.client_id);
+void Server::CloseConn(Conn& conn, const char* reason) {
+  const int fd = conn.fd.get();
+  reactor_.Remove(fd);
+  for (const int id : conn.session->client_ids()) {
+    AF_LOG(kInfo) << "net: client " << id << " disconnected (" << reason
+                  << ")";
+    by_client_.erase(id);
     evictions_.Increment();
-    connected_clients_.Set(static_cast<double>(HandshakeCount()));
     if (on_disconnect_) {
-      on_disconnect_(conn.client_id);
+      on_disconnect_(id);
     }
   }
-  conns_.erase(conns_.begin() + static_cast<std::ptrdiff_t>(index));
+  if (!conn.session->client_ids().empty()) {
+    connected_clients_.Set(static_cast<double>(HandshakeCount()));
+  }
+  conns_.erase(fd);  // destroys conn
 }
 
 void Server::PollOnce(int timeout_ms) {
   AF_TRACE_SPAN("net.server.poll");
   const auto tick_start = Clock::now();
 
-  // Rings have no fd, so poll cannot wake for them: while any shm
+  // Rings have no fd, so the reactor cannot wake for them: while any shm
   // connection is live the tick must not sleep long.
   if (HasActiveShm() && timeout_ms > 1) {
     timeout_ms = 1;
   }
 
-  std::vector<pollfd> pfds;
-  pfds.reserve(conns_.size() + 1);
-  pfds.push_back({listener_.fd(), POLLIN, 0});
-  for (const auto& conn : conns_) {
-    short events = POLLIN;
-    if (conn->out_offset < conn->out.size()) {
-      events |= POLLOUT;
+  events_.clear();
+  reactor_.Wait(timeout_ms, &events_);
+
+  // Connection events first, accepts last: an fd freed by a close in this
+  // batch can then be reused by a fresh accept without a stale event from
+  // the old connection landing on the new one.
+  bool accept_ready = false;
+  for (const ReactorEvent& event : events_) {
+    if (event.fd == listener_.fd()) {
+      accept_ready = accept_ready || event.readable || event.error;
+      continue;
     }
-    pfds.push_back({conn->fd.get(), events, 0});
+    auto it = conns_.find(event.fd);
+    if (it == conns_.end()) {
+      continue;  // closed earlier in this batch
+    }
+    Conn& conn = *it->second;
+    if (event.error) {
+      CloseConn(conn, "socket error");
+      continue;
+    }
+    if (event.readable) {
+      if (!ReadConn(conn)) {
+        CloseConn(conn, "peer closed or malformed stream");
+        continue;
+      }
+    } else if (event.hangup) {
+      // Only treat HUP as fatal once the read side is drained.
+      CloseConn(conn, "hangup");
+      continue;
+    }
+    // Always attempt a write after events: reads may have queued acks.
+    if (!WriteConn(conn)) {
+      CloseConn(conn, "write failed");
+      continue;
+    }
+    UpdateWriteInterest(conn);
   }
-
-  const int ready = ::poll(pfds.data(), pfds.size(), timeout_ms);
-  AF_CHECK_GE(ready, 0) << "poll failed: " << util::ErrnoMessage(errno);
-
-  if (pfds[0].revents & POLLIN) {
+  if (accept_ready) {
     AcceptPending();
   }
 
-  // Walk connections backwards so CloseConn's erase cannot shift unvisited
-  // entries. pfds was sized before AcceptPending, so new conns wait a tick.
-  const std::size_t polled = pfds.size() - 1;
-  for (std::size_t i = polled; i-- > 0;) {
-    Conn& conn = *conns_[i];
-    const short revents = pfds[i + 1].revents;
-    if (revents & (POLLERR | POLLNVAL)) {
-      CloseConn(i, "socket error");
-      continue;
-    }
-    if (revents & POLLIN) {
-      if (!ReadConn(conn)) {
-        CloseConn(i, "peer closed or malformed stream");
+  // Stall eviction: a connection stuck mid-frame or mid-write past the io
+  // timeout is dead. Collect first — CloseConn mutates conns_.
+  if (options_.io_timeout_ms >= 0) {
+    std::vector<Conn*> stalled;
+    const std::uint64_t now_ns = NowNs();
+    for (const auto& [fd, conn] : conns_) {
+      const bool stalled_read = conn->in.size() > conn->in_offset;
+      const bool stalled_write = conn->out_offset < conn->out.size();
+      if (!stalled_read && !stalled_write) {
         continue;
       }
-    } else if (revents & POLLHUP) {
-      // Only treat HUP as fatal once the read side is drained.
-      CloseConn(i, "hangup");
-      continue;
-    }
-    // Always attempt a write: reads may have queued acks this tick.
-    if (!WriteConn(conn)) {
-      CloseConn(i, "write failed");
-      continue;
-    }
-    const bool stalled_read = conn.in.size() > conn.in_offset;
-    const bool stalled_write = conn.out_offset < conn.out.size();
-    if ((stalled_read || stalled_write) && options_.io_timeout_ms >= 0) {
-      const std::uint64_t idle_ns = NowNs() - conn.last_progress_ns;
+      const std::uint64_t idle_ns = now_ns - conn->last_progress_ns;
       if (idle_ns / 1000000 >
           static_cast<std::uint64_t>(options_.io_timeout_ms)) {
-        CloseConn(i, stalled_read ? "read stalled mid-frame"
-                                  : "write stalled");
-        continue;
+        stalled.push_back(conn.get());
       }
+    }
+    for (Conn* conn : stalled) {
+      const bool stalled_read = conn->in.size() > conn->in_offset;
+      CloseConn(*conn,
+                stalled_read ? "read stalled mid-frame" : "write stalled");
     }
   }
 
@@ -463,31 +410,33 @@ void Server::PollOnce(int timeout_ms) {
 }
 
 void Server::DrainShmConns() {
-  // Backwards so CloseConn's erase cannot shift unvisited entries.
-  for (std::size_t i = conns_.size(); i-- > 0;) {
-    Conn& conn = *conns_[i];
-    if (!conn.shm_active) {
-      continue;
+  // Collect first: CloseConn mutates conns_ mid-iteration otherwise.
+  std::vector<Conn*> shm_conns;
+  for (const auto& [fd, conn] : conns_) {
+    if (conn->shm_active) {
+      shm_conns.push_back(conn.get());
     }
-    const std::size_t n = conn.shm->uplink().ReadSome(conn.in);
+  }
+  for (Conn* conn : shm_conns) {
+    const std::size_t n = conn->shm->uplink().ReadSome(conn->in);
     if (n > 0) {
       bytes_in_.Increment(static_cast<std::uint64_t>(n));
-      conn.last_progress_ns = NowNs();
-      if (!ProcessInbuf(conn)) {
-        CloseConn(i, "peer closed or malformed stream");
+      conn->last_progress_ns = NowNs();
+      if (!ProcessInbuf(*conn)) {
+        CloseConn(*conn, "peer closed or malformed stream");
         continue;
       }
     }
     // Flush anything the frames above queued (acks) plus any broadcast
     // bytes a previously full ring left behind.
-    if (!WriteConn(conn)) {
-      CloseConn(i, "write failed");
+    if (!WriteConn(*conn)) {
+      CloseConn(*conn, "write failed");
     }
   }
 }
 
 bool Server::HasActiveShm() const {
-  for (const auto& conn : conns_) {
+  for (const auto& [fd, conn] : conns_) {
     if (conn->shm_active) {
       return true;
     }
@@ -505,13 +454,10 @@ bool Server::SendTo(int client_id, const Frame& frame) {
   // Opportunistic immediate flush keeps broadcasts prompt without waiting a
   // tick.
   if (!WriteConn(conn)) {
-    for (std::size_t i = 0; i < conns_.size(); ++i) {
-      if (conns_[i].get() == &conn) {
-        CloseConn(i, "write failed");
-        return false;
-      }
-    }
+    CloseConn(conn, "write failed");
+    return false;
   }
+  UpdateWriteInterest(conn);
   return true;
 }
 
@@ -533,7 +479,7 @@ bool Server::Flush(int timeout_ms) {
   const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
   while (true) {
     bool pending = false;
-    for (const auto& conn : conns_) {
+    for (const auto& [fd, conn] : conns_) {
       if (conn->out_offset < conn->out.size()) {
         pending = true;
         break;
@@ -552,7 +498,7 @@ bool Server::Flush(int timeout_ms) {
 std::size_t Server::HandshakeCount() const {
   std::size_t count = 0;
   for (const auto& [id, conn] : by_client_) {
-    count += conn->handshake_complete ? 1 : 0;
+    count += conn->session->handshake_complete() ? 1 : 0;
   }
   return count;
 }
@@ -573,12 +519,7 @@ void Server::Evict(int client_id, const char* reason) {
   if (it == by_client_.end()) {
     return;
   }
-  for (std::size_t i = 0; i < conns_.size(); ++i) {
-    if (conns_[i].get() == it->second) {
-      CloseConn(i, reason);
-      return;
-    }
-  }
+  CloseConn(*it->second, reason);
 }
 
 bool Server::IsConnected(int client_id) const {
@@ -587,17 +528,28 @@ bool Server::IsConnected(int client_id) const {
 
 const compress::Codec* Server::ClientCodec(int client_id) const {
   auto it = by_client_.find(client_id);
-  return it == by_client_.end() ? nullptr : it->second->codec;
+  return it == by_client_.end() ? nullptr : it->second->session->codec();
 }
 
 bool Server::ClientTraceContext(int client_id) const {
   auto it = by_client_.find(client_id);
-  return it != by_client_.end() && it->second->trace_context;
+  return it != by_client_.end() && it->second->session->trace_context();
 }
 
 bool Server::ClientUsesShm(int client_id) const {
   auto it = by_client_.find(client_id);
   return it != by_client_.end() && it->second->shm_active;
+}
+
+bool Server::IsMultiplexed(int client_id) const {
+  auto it = by_client_.find(client_id);
+  return it != by_client_.end() && it->second->session->multiplexed();
+}
+
+int Server::ShardOfClient(int client_id) const {
+  auto it = by_client_.find(client_id);
+  return it == by_client_.end() ? -1
+                                : reactor_.ShardOf(it->second->fd.get());
 }
 
 }  // namespace net

@@ -1,39 +1,34 @@
-// poll()-driven TCP server event loop for the distributed run mode.
+// TCP server event loop for the distributed run mode, built on the sharded
+// net::Reactor (fd readiness) and net::Session (protocol state machine).
 //
-// Single-threaded reactor: the driver thread calls PollOnce() to pump one
-// tick — accept new connections, drain readable sockets into per-connection
-// buffers, decode complete frames, flush pending writes — and registers
-// callbacks for the three application events (client handshake, client
-// update, disconnect). All sockets are non-blocking; a connection that
-// stays stalled mid-frame or mid-write past `io_timeout_ms` is evicted.
+// Single-threaded: the driver thread calls PollOnce() to pump one tick —
+// accept new connections, drain readable sockets into per-connection
+// buffers, decode complete frames into each connection's Session, flush
+// pending writes — and registers callbacks for the three application
+// events (client handshake, client update, disconnect). All sockets are
+// non-blocking; a connection that stays stalled mid-frame or mid-write past
+// `io_timeout_ms` is evicted.
 //
-// Protocol state machine per connection:
-//
-//   accepted ──Ack{client_id}──▶ identified ──ClientUpdate*──▶ ...
-//       │                            │
-//       └── anything else / malformed / stalled / EOF ──▶ closed (+callback)
-//
-// When `advertised_codecs` is non-empty an extra negotiation round sits
-// between "identified" and update traffic: the server answers the hello
-// with a CodecOffer, the client replies with a CodecSelect, and only then
-// does the handshake count as complete (WaitForClients, connect callback).
-// With no advertised codecs the exchange is skipped and the wire is
-// byte-identical to the pre-codec protocol.
-//
-// Duplicate ClientUpdates (the fault injector's kDuplicate, or a client
-// resending an unacked update) are detected by per-connection job_index
-// bookkeeping: every copy is re-acked, only the first is delivered.
+// Scale: connections are hash-assigned to reactor shards (epoll on Linux,
+// poll fallback elsewhere or with AF_REACTOR=poll), so a tick costs
+// O(ready fds), not O(connections) — tens of thousands of concurrent
+// connections are sustained by one loop. A connection may be *multiplexed*:
+// a kHello frame binds many client ids (a virtual-client pool) to one
+// socket, and broadcasts to those ids carry a trailing AFVC client-id block
+// so the pool can demux. Protocol behavior — handshake ordering, codec/
+// trace/shm negotiation, (client_id, job_index)-keyed update dedup with
+// re-acks, eviction policy — lives in net/session.h.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
-#include <set>
 #include <string>
 #include <vector>
 
 #include "net/frame.h"
+#include "net/reactor.h"
 #include "net/shm_ring.h"
 #include "net/socket.h"
 #include "obs/metrics.h"
@@ -61,8 +56,12 @@ struct ServerOptions {
   // (--transport=shm). A client that maps it moves data frames onto the
   // rings; one that declines — or a segment that fails to create — stays on
   // plain TCP. The socket remains open as the liveness signal either way.
+  // Multiplexed (kHello) sessions are never offered a segment.
   bool offer_shm = false;
   std::size_t shm_ring_bytes = kShmDefaultRingBytes;
+  // Reactor shards (see net/reactor.h). 1 is the deterministic default;
+  // <= 0 picks one shard per core, capped at 8.
+  int reactor_shards = 1;
 };
 
 class Server {
@@ -106,7 +105,8 @@ class Server {
   bool WaitForClients(std::size_t count, int timeout_ms);
 
   // Drops the client's connection (e.g. job deadline exceeded). Fires the
-  // disconnect handler.
+  // disconnect handler. On a multiplexed connection this evicts every
+  // client id bound to it — the pool behind the socket is one peer.
   void Evict(int client_id, const char* reason);
 
   bool IsConnected(int client_id) const;
@@ -126,54 +126,46 @@ class Server {
   // shared-memory rings; false for plain-TCP clients and unknown ids.
   bool ClientUsesShm(int client_id) const;
 
+  // Whether the client rides a multiplexed (kHello) session. Broadcasts to
+  // such clients must carry the AFVC client-id block so the pool can demux.
+  bool IsMultiplexed(int client_id) const;
+
+  // Reactor shard the client's connection is assigned to; -1 when unknown.
+  int ShardOfClient(int client_id) const;
+
+  int reactor_shards() const { return reactor_.shard_count(); }
+  const char* reactor_backend() const { return reactor_.backend_name(); }
+
  private:
-  struct Conn {
-    util::UniqueFd fd;
-    int client_id = -1;  // -1 until the hello Ack arrives
-    bool handshake_complete = false;
-    bool awaiting_codec_select = false;  // offer sent, select pending
-    bool awaiting_trace_select = false;
-    bool awaiting_shm_select = false;
-    bool trace_context = false;  // client accepted the TraceOffer
-    bool shm_active = false;     // data frames ride the rings, not the fd
-    std::unique_ptr<ShmSegment> shm;
-    const compress::Codec* codec = nullptr;  // negotiated; null = identity
-    // Reusable receive scratch: bytes land at the end, frames decode as
-    // views from `in_offset`, and the consumed prefix is reclaimed once per
-    // read batch — no per-frame payload vector is ever built.
-    std::vector<std::uint8_t> in;
-    std::size_t in_offset = 0;  // already-decoded prefix of `in`
-    std::vector<std::uint8_t> out;
-    std::size_t out_offset = 0;  // already-written prefix of `out`
-    std::uint64_t last_progress_ns = 0;
-    std::set<std::uint64_t> delivered_jobs;  // dedup of resent updates
-  };
+  struct Conn;
+  friend struct Conn;
 
   void AcceptPending();
   std::size_t HandshakeCount() const;
-  // Marks the handshake done once no selects are pending; fires on_connect_.
-  void MaybeCompleteHandshake(Conn& conn);
   // Appends the encoded frame to the connection's write queue (no flush).
   void QueueFrame(Conn& conn, const Frame& frame);
   // Reads and processes one connection; returns false when it must close.
   bool ReadConn(Conn& conn);
-  // Decodes and handles every complete frame in `conn.in`; returns false
-  // when the connection must close.
+  // Decodes every complete frame in `conn.in` into the session; returns
+  // false when the connection must close.
   bool ProcessInbuf(Conn& conn);
-  bool HandleFrame(Conn& conn, const FrameView& frame);
   // Attempts to write pending bytes (socket or downlink ring); returns
   // false on a dead socket.
   bool WriteConn(Conn& conn);
+  // Syncs the reactor's write interest with the connection's outbox.
+  void UpdateWriteInterest(Conn& conn);
   // Drains every shm connection's uplink ring (the rings have no fd for
-  // poll to watch); called each tick.
+  // the reactor to watch); called each tick.
   void DrainShmConns();
   bool HasActiveShm() const;
-  void CloseConn(std::size_t index, const char* reason);
+  void CloseConn(Conn& conn, const char* reason);
 
   ServerOptions options_;
   Listener listener_;
-  std::vector<std::unique_ptr<Conn>> conns_;
+  Reactor reactor_;
+  std::map<int, std::unique_ptr<Conn>> conns_;  // keyed by fd
   std::map<int, Conn*> by_client_;
+  std::vector<ReactorEvent> events_;  // scratch reused across ticks
   UpdateHandler on_update_;
   ClientHandler on_connect_;
   ClientHandler on_disconnect_;

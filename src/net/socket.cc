@@ -52,23 +52,28 @@ obs::Counter& BytesCounter(const char* direction) {
 
 }  // namespace
 
-double BackoffDelayMs(const RetryConfig& config, int attempt,
-                      std::mt19937_64& rng) {
-  double delay = config.initial_backoff_ms;
-  for (int i = 0; i < attempt; ++i) {
-    delay *= config.multiplier;
-    if (delay >= config.max_backoff_ms) {
-      delay = config.max_backoff_ms;
-      break;
-    }
+BackoffSchedule::BackoffSchedule(const RetryConfig& config,
+                                 std::uint64_t seed)
+    : config_(config) {
+  std::uint64_t state = seed;
+  rng_.seed(util::SplitMix64(state));
+  Reset();
+}
+
+void BackoffSchedule::Reset() { prev_ms_ = config_.initial_backoff_ms; }
+
+double BackoffSchedule::NextDelayMs() {
+  const double base = config_.initial_backoff_ms;
+  const double ceiling = std::min(
+      config_.max_backoff_ms,
+      std::max(base, prev_ms_ * std::max(config_.multiplier, 1.0)));
+  if (ceiling <= base) {
+    prev_ms_ = base;
+    return prev_ms_;
   }
-  delay = std::min(delay, config.max_backoff_ms);
-  if (config.jitter > 0.0) {
-    std::uniform_real_distribution<double> jitter(1.0 - config.jitter,
-                                                  1.0 + config.jitter);
-    delay *= jitter(rng);
-  }
-  return delay;
+  std::uniform_real_distribution<double> dist(base, ceiling);
+  prev_ms_ = dist(rng_);
+  return prev_ms_;
 }
 
 Connection::Connection(util::UniqueFd fd) : fd_(std::move(fd)) {
@@ -191,8 +196,7 @@ util::UniqueFd Listener::Accept() {
 Connection ConnectWithRetry(std::uint16_t port, const RetryConfig& retry,
                             std::uint64_t seed) {
   AF_CHECK_GT(retry.max_attempts, 0);
-  std::uint64_t state = seed;
-  std::mt19937_64 rng(util::SplitMix64(state));
+  BackoffSchedule backoff(retry, seed);
   obs::Counter& retries =
       obs::DefaultRegistry().GetCounter("net.connect_retries");
 
@@ -200,9 +204,8 @@ Connection ConnectWithRetry(std::uint16_t port, const RetryConfig& retry,
   for (int attempt = 0; attempt < retry.max_attempts; ++attempt) {
     if (attempt > 0) {
       retries.Increment();
-      const double delay = BackoffDelayMs(retry, attempt - 1, rng);
-      std::this_thread::sleep_for(
-          std::chrono::duration<double, std::milli>(delay));
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          backoff.NextDelayMs()));
     }
     util::UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
     AF_CHECK(fd.valid()) << "socket failed: " << util::ErrnoMessage(errno);

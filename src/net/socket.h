@@ -17,19 +17,37 @@
 
 namespace net {
 
-// Bounded retry schedule: attempt i sleeps
-// min(initial_backoff_ms · multiplier^i, max_backoff_ms) · (1 ± jitter).
+// Bounded retry schedule with decorrelated jitter (see BackoffSchedule).
 struct RetryConfig {
   int max_attempts = 5;
   double initial_backoff_ms = 10.0;
-  double multiplier = 2.0;
+  double multiplier = 2.0;  // growth ceiling per retry
   double max_backoff_ms = 2000.0;
-  double jitter = 0.25;  // uniform fraction around the nominal delay
 };
 
-// Backoff before retry number `attempt` (0-based); jitter drawn from `rng`.
-double BackoffDelayMs(const RetryConfig& config, int attempt,
-                      std::mt19937_64& rng);
+// Decorrelated-jitter backoff: every delay is drawn uniformly from
+// [initial_backoff_ms, min(max_backoff_ms, prev · multiplier)], with prev
+// seeded at initial_backoff_ms. Unlike a fixed exponential-plus-jitter
+// schedule, consecutive delays are decorrelated from each other AND from
+// other clients' schedules — so 10k clients that lost their server at the
+// same instant fan out instead of reconnecting in lockstep waves. Seeded →
+// fully deterministic per (config, seed).
+class BackoffSchedule {
+ public:
+  BackoffSchedule(const RetryConfig& config, std::uint64_t seed);
+
+  // The next delay; call once per retry.
+  double NextDelayMs();
+
+  // Restarts the schedule at the base delay (a new retry cycle). The RNG
+  // keeps advancing so repeated cycles stay decorrelated.
+  void Reset();
+
+ private:
+  RetryConfig config_;
+  std::mt19937_64 rng_;
+  double prev_ms_ = 0.0;
+};
 
 // A connected TCP stream socket (blocking mode). All deadlines are enforced
 // with poll(); hitting one throws util::CheckError.

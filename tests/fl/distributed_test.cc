@@ -230,6 +230,59 @@ TEST(DistributedTest, TraceContextLinksClientTrainToServerDefenseSpans) {
   EXPECT_EQ(tcp.evicted_clients, 0u);
 }
 
+TEST(DistributedTest, VirtualPoolTcpMatchesInprocBitExactly) {
+  // The virtual-client pool multiplexes the whole fleet over a handful of
+  // TCP connections and a worker crew — but it draws from the same
+  // (client, job)-keyed RNG streams and the server assigns results by job
+  // position, so the run must stay bit-identical to inproc.
+  ExperimentConfig config = SmallConfig(69);
+  config.attack = attacks::AttackKind::kLie;
+  config.defense = DefenseKind::kAsyncFilter;
+  config.sim.rounds = 6;
+
+  config.transport = TransportKind::kInproc;
+  const SimulationResult inproc = RunExperiment(config);
+
+  config.transport = TransportKind::kTcp;
+  config.pool.mode = ClientPoolSpec::Mode::kVirtual;
+  config.pool.connections = 4;
+  config.pool.workers = 3;
+  const SimulationResult virt = RunExperiment(config);
+
+  ASSERT_EQ(virt.rounds.size(), inproc.rounds.size());
+  EXPECT_EQ(virt.final_model, inproc.final_model);  // bit-exact
+  EXPECT_NEAR(virt.final_accuracy, inproc.final_accuracy, 0.0);
+  EXPECT_EQ(virt.evicted_clients, 0u);
+}
+
+TEST(DistributedTest, ShardedReactorMatchesSingleShardBitExactly) {
+  // Reactor sharding only changes which epoll fd wakes the loop; per-shard
+  // staging buffers are combined by job position before the defense pass,
+  // so shard count must never leak into the result.
+  ExperimentConfig config = SmallConfig(70);
+  config.attack = attacks::AttackKind::kLie;
+  config.defense = DefenseKind::kAsyncFilter;
+  config.sim.rounds = 5;
+  config.transport = TransportKind::kTcp;
+
+  config.net.reactor_shards = 1;
+  const SimulationResult one_shard = RunExperiment(config);
+
+  config.net.reactor_shards = 4;
+  const SimulationResult four_shards = RunExperiment(config);
+
+  // And the virtual pool over a sharded reactor, all at once.
+  config.pool.mode = ClientPoolSpec::Mode::kVirtual;
+  config.pool.connections = 5;
+  config.pool.workers = 2;
+  const SimulationResult pooled = RunExperiment(config);
+
+  EXPECT_EQ(four_shards.final_model, one_shard.final_model);  // bit-exact
+  EXPECT_EQ(pooled.final_model, one_shard.final_model);       // bit-exact
+  EXPECT_EQ(four_shards.evicted_clients, 0u);
+  EXPECT_EQ(pooled.evicted_clients, 0u);
+}
+
 TEST(DistributedTest, CompletesWhenFifthOfClientsDieMidRun) {
   // The graceful-degradation bar: kill 20% of the client connections mid-run
   // and the server must still finish every round, aggregating from the

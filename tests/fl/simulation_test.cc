@@ -236,26 +236,24 @@ TEST_F(SimulationTest, DefenseOverheadIsRecorded) {
   }
 }
 
-// The deprecated positional constructor still works (shim over the spec
-// form); its call sites are expected to migrate to fl::ExperimentSpec.
-TEST_F(SimulationTest, DeprecatedPositionalConstructorStillRuns) {
+// The spec form is the only constructor (the deprecated positional shims
+// completed their one-release grace period and were removed).
+TEST_F(SimulationTest, SpecConstructorRuns) {
   Parts& parts = MakeParts(12, 15);
   SimulationConfig config = SmallConfig(15);
   config.rounds = 2;
   util::ThreadPool pool(2);
   attacks::AttackParams params;
   params.total_clients = 12;
-#if defined(__GNUC__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-  Simulation sim(config, parts.spec, std::move(parts.clients), {},
-                 attacks::MakeAttack(attacks::AttackKind::kNone, params),
-                 std::make_unique<defense::NoDefense>(), &parts.test,
-                 data::Dataset{}, &pool);
-#if defined(__GNUC__)
-#pragma GCC diagnostic pop
-#endif
+  ExperimentSpec spec;
+  spec.sim = config;
+  spec.model = parts.spec;
+  spec.clients = std::move(parts.clients);
+  spec.pool = &pool;
+  spec.attack = attacks::MakeAttack(attacks::AttackKind::kNone, params);
+  spec.defense = std::make_unique<defense::NoDefense>();
+  spec.test_set = &parts.test;
+  Simulation sim(std::move(spec));
   SimulationResult result = sim.Run();
   EXPECT_EQ(result.rounds.size(), 2u);
 }

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <string>
@@ -15,29 +16,64 @@
 namespace net {
 namespace {
 
-TEST(BackoffTest, GrowsGeometricallyAndCaps) {
+TEST(BackoffTest, DelaysStayWithinDecorrelatedBounds) {
+  // Every delay must land in [base, cap], and — decorrelated jitter — in
+  // [base, prev * multiplier] before the cap binds.
   RetryConfig config;
   config.initial_backoff_ms = 10.0;
-  config.multiplier = 2.0;
-  config.max_backoff_ms = 50.0;
-  config.jitter = 0.0;
-  std::mt19937_64 rng(1);
-  EXPECT_DOUBLE_EQ(BackoffDelayMs(config, 0, rng), 10.0);
-  EXPECT_DOUBLE_EQ(BackoffDelayMs(config, 1, rng), 20.0);
-  EXPECT_DOUBLE_EQ(BackoffDelayMs(config, 2, rng), 40.0);
-  EXPECT_DOUBLE_EQ(BackoffDelayMs(config, 3, rng), 50.0);
-  EXPECT_DOUBLE_EQ(BackoffDelayMs(config, 10, rng), 50.0);
+  config.multiplier = 3.0;
+  config.max_backoff_ms = 200.0;
+  BackoffSchedule schedule(config, 42);
+  double prev = config.initial_backoff_ms;
+  for (int i = 0; i < 200; ++i) {
+    const double delay = schedule.NextDelayMs();
+    EXPECT_GE(delay, config.initial_backoff_ms);
+    EXPECT_LE(delay, config.max_backoff_ms);
+    EXPECT_LE(delay, std::max(config.initial_backoff_ms,
+                              prev * config.multiplier) +
+                         1e-9);
+    prev = delay;
+  }
 }
 
-TEST(BackoffTest, JitterStaysWithinFraction) {
+TEST(BackoffTest, DeterministicPerSeedAndDecorrelatedAcrossSeeds) {
   RetryConfig config;
-  config.initial_backoff_ms = 100.0;
-  config.jitter = 0.25;
-  std::mt19937_64 rng(7);
-  for (int i = 0; i < 100; ++i) {
-    const double delay = BackoffDelayMs(config, 0, rng);
-    EXPECT_GE(delay, 75.0);
-    EXPECT_LE(delay, 125.0);
+  BackoffSchedule a(config, 7);
+  BackoffSchedule b(config, 7);
+  BackoffSchedule c(config, 8);
+  bool any_differs = false;
+  for (int i = 0; i < 50; ++i) {
+    const double da = a.NextDelayMs();
+    EXPECT_DOUBLE_EQ(da, b.NextDelayMs());  // same seed → same schedule
+    any_differs = any_differs || da != c.NextDelayMs();
+  }
+  EXPECT_TRUE(any_differs);  // different seeds → different schedules
+}
+
+TEST(BackoffTest, ResetRestartsAtBaseButKeepsAdvancingRng) {
+  RetryConfig config;
+  config.initial_backoff_ms = 5.0;
+  config.multiplier = 2.0;
+  config.max_backoff_ms = 1000.0;
+  BackoffSchedule schedule(config, 99);
+  // First post-Reset draw is bounded by base * multiplier (prev == base).
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    schedule.Reset();
+    const double first = schedule.NextDelayMs();
+    EXPECT_GE(first, config.initial_backoff_ms);
+    EXPECT_LE(first, config.initial_backoff_ms * config.multiplier);
+  }
+}
+
+TEST(BackoffTest, DegenerateConfigPinsToBase) {
+  // multiplier <= 1 (or cap == base) collapses the window to a point.
+  RetryConfig config;
+  config.initial_backoff_ms = 10.0;
+  config.multiplier = 1.0;
+  config.max_backoff_ms = 10.0;
+  BackoffSchedule schedule(config, 1);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(schedule.NextDelayMs(), 10.0);
   }
 }
 
