@@ -59,12 +59,15 @@ std::vector<std::vector<double>> SeedCentroids(
   return centroids;
 }
 
-KMeansResult RunOnce(const std::vector<std::vector<double>>& points,
-                     std::size_t k, std::mt19937_64& rng,
-                     std::size_t max_iterations) {
+// Lloyd iterations from the given seed centroids; shared by the k-means++
+// restarts and the warm-started entry point (KMeansFromCentroids).
+KMeansResult Lloyd(const std::vector<std::vector<double>>& points,
+                   std::vector<std::vector<double>> seed_centroids,
+                   std::size_t max_iterations) {
   const std::size_t dim = points.front().size();
+  const std::size_t k = seed_centroids.size();
   KMeansResult result;
-  result.centroids = SeedCentroids(points, k, rng);
+  result.centroids = std::move(seed_centroids);
   result.assignment.assign(points.size(), 0);
 
   for (std::size_t iter = 0; iter < max_iterations; ++iter) {
@@ -132,6 +135,12 @@ KMeansResult RunOnce(const std::vector<std::vector<double>>& points,
   return result;
 }
 
+KMeansResult RunOnce(const std::vector<std::vector<double>>& points,
+                     std::size_t k, std::mt19937_64& rng,
+                     std::size_t max_iterations) {
+  return Lloyd(points, SeedCentroids(points, k, rng), max_iterations);
+}
+
 }  // namespace
 
 KMeansResult KMeans(const std::vector<std::vector<double>>& points,
@@ -155,6 +164,23 @@ KMeansResult KMeans(const std::vector<std::vector<double>>& points,
     }
   }
   return best;
+}
+
+KMeansResult KMeansFromCentroids(
+    const std::vector<std::vector<double>>& points,
+    std::vector<std::vector<double>> initial_centroids,
+    std::size_t max_iterations) {
+  AF_TRACE_SPAN("kmeans.warm");
+  AF_CHECK(!points.empty());
+  AF_CHECK(!initial_centroids.empty());
+  const std::size_t dim = points.front().size();
+  for (const auto& p : points) {
+    AF_CHECK_EQ(p.size(), dim);
+  }
+  for (const auto& c : initial_centroids) {
+    AF_CHECK_EQ(c.size(), dim);
+  }
+  return Lloyd(points, std::move(initial_centroids), max_iterations);
 }
 
 KMeansResult KMeans1D(std::span<const double> values, std::size_t k,

@@ -31,6 +31,18 @@ KMeansResult KMeans(const std::vector<std::vector<double>>& points,
                     std::size_t k, std::mt19937_64& rng,
                     const KMeansOptions& options = {});
 
+// Warm-started k-means: plain Lloyd iterations from caller-provided seed
+// centroids — no k-means++ seeding, no restarts, no RNG draws. The streaming
+// scorer reuses the previous round's centroids here so re-clustering after a
+// buffer mutation converges in a couple of iterations instead of paying
+// seeding + restarts every time. Deterministic: same points + same seed
+// centroids → same result. Empty clusters are re-seeded on the farthest
+// point, exactly as in KMeans.
+KMeansResult KMeansFromCentroids(
+    const std::vector<std::vector<double>>& points,
+    std::vector<std::vector<double>> initial_centroids,
+    std::size_t max_iterations = 100);
+
 // 1-D convenience wrapper.
 KMeansResult KMeans1D(std::span<const double> values, std::size_t k,
                       std::mt19937_64& rng, const KMeansOptions& options = {});

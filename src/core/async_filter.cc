@@ -1,11 +1,13 @@
 #include "core/async_filter.h"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 
 #include "cluster/kmeans.h"
 #include "core/suspicious_score.h"
 #include "defense/registry.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/check.h"
 
@@ -49,13 +51,79 @@ const defense::RegistryEntry kRegisterAsyncFilterRejectMid{
           VariantOptions(3, MidBandPolicy::kReject));
     }};
 
+// Indices whose score interval could straddle a cluster-band boundary and
+// therefore need exact rescoring before the verdict is trusted.
+//
+// The distance bounds are certified (|own_i − exact_i| ≤ bounds_i); at the
+// score level they propagate conservatively: every own-distance has relative
+// error ≤ rel_i, and an RMS/L2 denominator over values with relative error
+// ≤ rel_max has relative error ≤ rel_max itself, so
+//   score_i ∈ score_i · [(1 − rel_i)/(1 + rel_max), (1 + rel_i)/(1 − rel_max)].
+std::vector<std::size_t> FindBorderline(const std::vector<double>& scores,
+                                        const std::vector<double>& own,
+                                        const std::vector<double>& bounds,
+                                        const cluster::KMeansResult& clustering) {
+  const std::size_t n = scores.size();
+  std::vector<double> rel(n, 0.0);
+  double rel_max = 0.0;
+  bool all_borderline = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (bounds[i] <= 0.0) {
+      continue;
+    }
+    const double denom = own[i] - bounds[i];
+    if (denom <= 0.0) {
+      all_borderline = true;  // bound swallows the distance entirely
+      break;
+    }
+    rel[i] = bounds[i] / denom;
+    rel_max = std::max(rel_max, rel[i]);
+  }
+  std::vector<std::size_t> borderline;
+  if (all_borderline || rel_max >= 0.5) {
+    borderline.resize(n);
+    std::iota(borderline.begin(), borderline.end(), 0u);
+    return borderline;
+  }
+
+  std::vector<double> centers;
+  centers.reserve(clustering.centroids.size());
+  for (const auto& c : clustering.centroids) {
+    centers.push_back(c[0]);
+  }
+  std::sort(centers.begin(), centers.end());
+  std::vector<double> cuts;  // band boundaries: midpoints between centroids
+  for (std::size_t b = 0; b + 1 < centers.size(); ++b) {
+    cuts.push_back(0.5 * (centers[b] + centers[b + 1]));
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (bounds[i] <= 0.0) {
+      continue;
+    }
+    const double lo = scores[i] * (1.0 - rel[i]) / (1.0 + rel_max);
+    const double hi = scores[i] * (1.0 + rel[i]) / (1.0 - rel_max);
+    for (double cut : cuts) {
+      if (lo <= cut && cut <= hi) {
+        borderline.push_back(i);
+        break;
+      }
+    }
+  }
+  return borderline;
+}
+
 }  // namespace
 
 void EnsureAsyncFilterRegistered() {
   // Static initialization of this translation unit did the actual work.
 }
 
-AsyncFilter::AsyncFilter(AsyncFilterOptions options) : options_(options) {
+AsyncFilter::AsyncFilter(AsyncFilterOptions options)
+    : options_(options),
+      scorer_(options.scorer_mode.value_or(score::ScorerModeFromEnv())),
+      degenerate_rounds_(
+          &obs::DefaultRegistry().GetCounter("defense.degenerate_rounds")) {
   AF_CHECK_GE(options_.num_clusters, 2u);
   AF_CHECK_LE(options_.num_clusters, 3u);
 }
@@ -70,6 +138,9 @@ std::string AsyncFilter::Name() const {
 void AsyncFilter::Reset() {
   bank_.Reset();
   deferral_counts_.clear();
+  scorer_.Clear();
+  scorer_.ClearReferences();
+  kmeans_state_.Reset();
 }
 
 void AsyncFilter::SaveState(util::serial::Writer& w) const {
@@ -80,6 +151,9 @@ void AsyncFilter::SaveState(util::serial::Writer& w) const {
     w.U64(key.second);
     w.U64(count);
   }
+  // Warm-start centroids are cross-round state: a resumed run must take the
+  // identical warm/cold clustering branch with identical seeds.
+  kmeans_state_.Save(w);
 }
 
 void AsyncFilter::LoadState(util::serial::Reader& r) {
@@ -91,6 +165,46 @@ void AsyncFilter::LoadState(util::serial::Reader& r) {
     const std::size_t base_round = r.U64();
     deferral_counts_[{client, base_round}] = r.U64();
   }
+  kmeans_state_.Load(r);
+}
+
+std::vector<int> AsyncFilter::SyncScorer(
+    const std::vector<fl::ModelUpdate>& updates) {
+  // The buffer's spans are only valid for this Process call, so the slot set
+  // is rebuilt per round; the references (group estimates) live in the bank
+  // but mutate during absorption, so they re-register too. What survives
+  // across rounds is the warm-start clustering state and, within the round,
+  // every cached norm/distance for the repeated queries below.
+  scorer_.Clear();
+  scorer_.ClearReferences();
+  std::vector<int> slots;
+  slots.reserve(updates.size());
+  for (const auto& update : updates) {
+    slots.push_back(scorer_.Insert(update.delta));
+  }
+  for (std::size_t tau : bank_.Groups()) {
+    scorer_.SetReference(tau, bank_.Estimate(tau));
+  }
+  return slots;
+}
+
+bool AsyncFilter::QuantizedScores(const std::vector<fl::ModelUpdate>& updates,
+                                  const std::vector<int>& slots,
+                                  std::vector<double>* own,
+                                  std::vector<double>* bounds) {
+  if (scorer_.mode() != score::ScorerMode::kQuantized ||
+      options_.normalization == ScoreNormalization::kEq7CrossGroup) {
+    return false;
+  }
+  own->resize(updates.size());
+  bounds->resize(updates.size());
+  for (std::size_t i = 0; i < updates.size(); ++i) {
+    const score::StreamingScorer::ApproxDistance d =
+        scorer_.ApproxDistanceToReference(updates[i].staleness, slots[i]);
+    (*own)[i] = d.value;
+    (*bounds)[i] = d.exact ? 0.0 : d.bound;
+  }
+  return true;
 }
 
 defense::AggregationResult AsyncFilter::Process(
@@ -119,28 +233,62 @@ defense::AggregationResult AsyncFilter::Process(
     }
   }
 
-  // Step 2 (Eq. 6–7): suspicious scores.
+  // Step 2 (Eq. 6–7): suspicious scores, answered by the streaming scorer.
+  const std::vector<int> slots = SyncScorer(updates);
+  std::vector<double> own;
+  std::vector<double> bounds;
   std::vector<double> scores;
+  const bool quantized = QuantizedScores(updates, slots, &own, &bounds);
   {
     AF_TRACE_SPAN("filter.score");
-    scores = ComputeSuspiciousScores(updates, bank_, options_.normalization);
+    if (quantized) {
+      scores = NormalizeOwnDistances(updates, own, options_.normalization);
+    } else {
+      scores = ComputeSuspiciousScores(updates, scorer_, slots,
+                                       options_.normalization);
+    }
   }
 
   std::vector<std::size_t> accepted;
   std::vector<std::size_t> mid;
   std::vector<std::size_t> rejected;
+  defense::AggregationResult result;
 
   const std::size_t k = std::min<std::size_t>(options_.num_clusters,
                                               updates.size());
   if (ScoresDegenerate(scores) || k < 2) {
-    // Nothing to separate: everything is accepted (matches FedBuff).
+    // Nothing to separate: everything is accepted (matches FedBuff). The
+    // fallback is legitimate but must not be silent — a poisoned buffer that
+    // manages to flatten the score spread would otherwise pass unexamined.
     accepted.resize(updates.size());
     std::iota(accepted.begin(), accepted.end(), 0u);
+    result.reason =
+        updates.size() < 2 ? "buffer_too_small" : "scores_degenerate";
+    degenerate_rounds_->Increment();
   } else {
-    // Step 3: k-means over the 1-D scores; order bands by centroid.
+    // Step 3: k-means over the 1-D scores, warm-started from the previous
+    // round's centroids; order bands by centroid.
     AF_TRACE_SPAN("filter.cluster");
     cluster::KMeansResult clustering =
-        cluster::KMeans1D(scores, k, *context.rng);
+        score::WarmKMeans1D(scores, k, *context.rng, kmeans_state_);
+    if (quantized) {
+      // Candidate verdicts came from int8 distances; exactly rescore every
+      // update whose certified score interval straddles a band boundary,
+      // then re-cluster so the final verdicts rest on exact borderline
+      // scores.
+      const std::vector<std::size_t> borderline =
+          FindBorderline(scores, own, bounds, clustering);
+      if (!borderline.empty()) {
+        for (std::size_t idx : borderline) {
+          own[idx] = scorer_.DistanceToReference(updates[idx].staleness,
+                                                 slots[idx]);
+          bounds[idx] = 0.0;
+        }
+        scores = NormalizeOwnDistances(updates, own, options_.normalization);
+        clustering = score::WarmKMeans1D(scores, k, *context.rng,
+                                         kmeans_state_);
+      }
+    }
     std::vector<std::size_t> band_order(k);
     std::iota(band_order.begin(), band_order.end(), 0u);
     std::sort(band_order.begin(), band_order.end(),
@@ -169,11 +317,11 @@ defense::AggregationResult AsyncFilter::Process(
       } else {
         accepted.swap(rejected);
       }
+      result.reason = "empty_accept_band";
     }
   }
 
   // Middle band disposition.
-  defense::AggregationResult result;
   result.scores = scores;
   result.verdicts.assign(updates.size(), defense::Verdict::kAccepted);
   for (std::size_t idx : rejected) {

@@ -4,40 +4,21 @@
 #include <cmath>
 #include <map>
 
+#include "score/scorer.h"
 #include "stats/vec_ops.h"
 #include "util/check.h"
 
 namespace core {
 
-std::vector<double> ComputeSuspiciousScores(
-    const std::vector<fl::ModelUpdate>& updates, const MovingAverageBank& bank,
+std::vector<double> NormalizeOwnDistances(
+    const std::vector<fl::ModelUpdate>& updates, const std::vector<double>& own,
     ScoreNormalization normalization) {
-  const std::vector<std::size_t> groups = bank.Groups();
-  AF_CHECK(!groups.empty());
-
-  // Eq. 6: distance of every update to its own group's estimate.
-  std::vector<double> own(updates.size(), 0.0);
-  for (std::size_t i = 0; i < updates.size(); ++i) {
-    const auto& update = updates[i];
-    AF_CHECK(bank.HasGroup(update.staleness))
-        << "update staleness " << update.staleness << " not absorbed";
-    own[i] = stats::Distance(bank.Estimate(update.staleness), update.delta);
-  }
-
+  AF_CHECK_EQ(own.size(), updates.size());
   std::vector<double> scores(updates.size(), 0.0);
   switch (normalization) {
-    case ScoreNormalization::kEq7CrossGroup: {
-      for (std::size_t i = 0; i < updates.size(); ++i) {
-        double sum_sq = 0.0;
-        for (std::size_t tau : groups) {
-          const double d =
-              stats::Distance(bank.Estimate(tau), updates[i].delta);
-          sum_sq += d * d;
-        }
-        scores[i] = sum_sq > 1e-24 ? own[i] / std::sqrt(sum_sq) : 0.0;
-      }
+    case ScoreNormalization::kEq7CrossGroup:
+      AF_CHECK(false) << "kEq7CrossGroup needs cross-group distances";
       return scores;
-    }
     case ScoreNormalization::kBufferNorm: {
       double sum_sq = 0.0;
       for (double d : own) {
@@ -75,6 +56,68 @@ std::vector<double> ComputeSuspiciousScores(
     scores[i] = own[i] / rms;
   }
   return scores;
+}
+
+std::vector<double> ComputeSuspiciousScores(
+    const std::vector<fl::ModelUpdate>& updates, const MovingAverageBank& bank,
+    ScoreNormalization normalization) {
+  const std::vector<std::size_t> groups = bank.Groups();
+  AF_CHECK(!groups.empty());
+
+  // Eq. 6: distance of every update to its own group's estimate.
+  std::vector<double> own(updates.size(), 0.0);
+  for (std::size_t i = 0; i < updates.size(); ++i) {
+    const auto& update = updates[i];
+    AF_CHECK(bank.HasGroup(update.staleness))
+        << "update staleness " << update.staleness << " not absorbed";
+    own[i] = stats::Distance(bank.Estimate(update.staleness), update.delta);
+  }
+
+  if (normalization == ScoreNormalization::kEq7CrossGroup) {
+    std::vector<double> scores(updates.size(), 0.0);
+    for (std::size_t i = 0; i < updates.size(); ++i) {
+      double sum_sq = 0.0;
+      for (std::size_t tau : groups) {
+        const double d = stats::Distance(bank.Estimate(tau), updates[i].delta);
+        sum_sq += d * d;
+      }
+      scores[i] = sum_sq > 1e-24 ? own[i] / std::sqrt(sum_sq) : 0.0;
+    }
+    return scores;
+  }
+  return NormalizeOwnDistances(updates, own, normalization);
+}
+
+std::vector<double> ComputeSuspiciousScores(
+    const std::vector<fl::ModelUpdate>& updates, score::StreamingScorer& scorer,
+    const std::vector<int>& slots, ScoreNormalization normalization) {
+  AF_CHECK_EQ(slots.size(), updates.size());
+
+  std::vector<double> own(updates.size(), 0.0);
+  for (std::size_t i = 0; i < updates.size(); ++i) {
+    const auto& update = updates[i];
+    AF_CHECK(scorer.HasReference(update.staleness))
+        << "update staleness " << update.staleness << " has no reference";
+    own[i] = scorer.DistanceToReference(update.staleness, slots[i]);
+  }
+
+  if (normalization == ScoreNormalization::kEq7CrossGroup) {
+    // Cross-group distances go through the scorer too, so the incremental
+    // backend can serve repeats from its reference cache.
+    std::vector<double> scores(updates.size(), 0.0);
+    const std::vector<std::uint64_t> groups = scorer.ReferenceKeys();
+    AF_CHECK(!groups.empty());
+    for (std::size_t i = 0; i < updates.size(); ++i) {
+      double sum_sq = 0.0;
+      for (std::uint64_t tau : groups) {
+        const double d = scorer.DistanceToReference(tau, slots[i]);
+        sum_sq += d * d;
+      }
+      scores[i] = sum_sq > 1e-24 ? own[i] / std::sqrt(sum_sq) : 0.0;
+    }
+    return scores;
+  }
+  return NormalizeOwnDistances(updates, own, normalization);
 }
 
 bool ScoresDegenerate(const std::vector<double>& scores, double epsilon) {

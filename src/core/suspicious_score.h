@@ -28,6 +28,10 @@
 #include "core/staleness_groups.h"
 #include "fl/types.h"
 
+namespace score {
+class StreamingScorer;
+}  // namespace score
+
 namespace core {
 
 enum class ScoreNormalization {
@@ -46,6 +50,25 @@ enum class ScoreNormalization {
 std::vector<double> ComputeSuspiciousScores(
     const std::vector<fl::ModelUpdate>& updates, const MovingAverageBank& bank,
     ScoreNormalization normalization = ScoreNormalization::kGroupRms);
+
+// Streaming-scorer path: same semantics, but every distance is answered by
+// the scorer — recomputed in exact mode, served from the norm/reference
+// caches in incremental mode, identical bits either way (both evaluate
+// √(‖ref‖² + ‖ω‖² − 2⟨ref, ω⟩) through the same kernels). The caller must
+// have registered a reference per staleness group (keyed by the staleness
+// value) and inserted update i at slots[i].
+std::vector<double> ComputeSuspiciousScores(
+    const std::vector<fl::ModelUpdate>& updates, score::StreamingScorer& scorer,
+    const std::vector<int>& slots,
+    ScoreNormalization normalization = ScoreNormalization::kGroupRms);
+
+// Eq. 7 normalization applied to precomputed own-group distances. Exposed
+// for the quantized candidate path, which normalizes *approximate* distances
+// before deciding which updates need exact rescoring. kEq7CrossGroup is not
+// representable from own[] alone and must not be passed here.
+std::vector<double> NormalizeOwnDistances(
+    const std::vector<fl::ModelUpdate>& updates, const std::vector<double>& own,
+    ScoreNormalization normalization);
 
 // True when max−min spread is numerically meaningless for clustering.
 bool ScoresDegenerate(const std::vector<double>& scores, double epsilon = 1e-9);

@@ -50,6 +50,11 @@ struct AggregationResult {
   // Defenses that score (AsyncFilter) fill this for the audit trail; empty
   // means "this defense does not score".
   std::vector<double> scores;
+  // Why this round's verdicts deviate from the defense's normal filtering
+  // path (e.g. "scores_degenerate" when AsyncFilter cannot separate the
+  // buffer and accepts everything). Empty on ordinary rounds. Propagated to
+  // the audit trail so silent fallbacks leave a visible trace.
+  std::string reason;
 };
 
 class Defense {

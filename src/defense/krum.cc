@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <numeric>
 
-#include "stats/vec_ops.h"
 #include "util/check.h"
 
 namespace defense {
@@ -28,11 +27,17 @@ AggregationResult Krum::Process(const FilterContext& context,
   }
   const std::size_t neighbours = n - m - 2;
 
-  // Pairwise squared distances.
+  // Pairwise squared distances, answered by the streaming scorer (cached
+  // norms + Gram dots; AF_SCORER=exact recomputes the identical formula).
+  scorer_.Clear();
+  std::vector<int> slots(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    slots[i] = scorer_.Insert(updates[i].delta);
+  }
   std::vector<double> d2(n * n, 0.0);
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = i + 1; j < n; ++j) {
-      double d = stats::SquaredDistance(updates[i].delta, updates[j].delta);
+      double d = scorer_.PairwiseSquaredDistance(slots[i], slots[j]);
       d2[i * n + j] = d;
       d2[j * n + i] = d;
     }

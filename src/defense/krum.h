@@ -6,6 +6,7 @@
 #pragma once
 
 #include "defense/defense.h"
+#include "score/scorer.h"
 
 namespace defense {
 
@@ -21,6 +22,9 @@ class Krum : public Defense {
  private:
   double fraction_;
   bool multi_;
+  // Pairwise-distance backend: the Gram plane caches every ⟨ω_i, ω_j⟩ so the
+  // n × n distance table is assembled from cached norms and dots.
+  score::StreamingScorer scorer_;
 };
 
 }  // namespace defense

@@ -22,14 +22,25 @@ AggregationResult NearestNeighborMixing::Process(
   const std::size_t m = static_cast<std::size_t>(fraction_ * static_cast<double>(n));
   const std::size_t mix = n > m + 1 ? n - m - 1 : n - 1;  // neighbours mixed in
 
+  // Distances come from the streaming scorer: each of the n²/2 pairs is
+  // computed once and served from the Gram cache thereafter, instead of
+  // being recomputed inside the sort comparator.
+  scorer_.Clear();
+  std::vector<int> slots(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    slots[i] = scorer_.Insert(updates[i].delta);
+  }
   std::vector<std::vector<float>> mixed;
   mixed.reserve(n);
   std::vector<std::size_t> order(n);
+  std::vector<double> row(n);
   for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      row[j] = scorer_.PairwiseSquaredDistance(slots[i], slots[j]);
+    }
     std::iota(order.begin(), order.end(), 0u);
     std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-      return stats::SquaredDistance(updates[i].delta, updates[a].delta) <
-             stats::SquaredDistance(updates[i].delta, updates[b].delta);
+      return row[a] < row[b];
     });
     // order[0] == i (distance 0); mix the first mix+1 entries.
     std::vector<std::span<const float>> neighbours;

@@ -6,6 +6,7 @@
 #include "defense/fltrust.h"
 #include "defense/krum.h"
 #include "defense/nnm.h"
+#include "defense/timeseries.h"
 #include "defense/trimmed_mean.h"
 #include "defense/zeno.h"
 #include "util/check.h"
@@ -74,6 +75,10 @@ Registry& Registry::Global() {
     r->Register("bucketing", {},
                 [](const DefenseParams& p) {
                   return std::make_unique<Bucketing>(p.bucket_size);
+                });
+    r->Register("tsdetect", {"timeseries"},
+                [](const DefenseParams&) {
+                  return std::make_unique<TimeSeriesDetector>();
                 });
     return r;
   }();

@@ -1,0 +1,169 @@
+#include "defense/timeseries.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/vec_ops.h"
+#include "util/check.h"
+
+namespace defense {
+namespace {
+
+// Variance floor for z-scoring: absolute epsilon plus a relative term so a
+// client with a very steady trajectory (tiny stddev) does not turn ordinary
+// jitter into huge z values.
+double DeviationFloor(double mean) {
+  return 1e-9 + 1e-3 * std::fabs(mean);
+}
+
+}  // namespace
+
+TimeSeriesDetector::TimeSeriesDetector(TimeSeriesDetectorOptions options)
+    : options_(options) {
+  AF_CHECK_GE(options_.ring_windows, 1u);
+  AF_CHECK_GE(options_.window, 1u);
+}
+
+void TimeSeriesDetector::Reset() {
+  prev_aggregate_.clear();
+  clients_.clear();
+}
+
+std::array<double, TimeSeriesDetector::kFeatures> TimeSeriesDetector::Features(
+    const fl::ModelUpdate& update, const ClientTrack& track) const {
+  std::array<double, kFeatures> f{};
+  f[0] = stats::L2Norm(update.delta);
+  f[1] = prev_aggregate_.empty()
+             ? 0.0
+             : stats::CosineSimilarity(update.delta, prev_aggregate_);
+  f[2] = track.prev_update.empty()
+             ? 0.0
+             : stats::Distance(update.delta, track.prev_update) /
+                   (1.0 + static_cast<double>(update.staleness));
+  return f;
+}
+
+double TimeSeriesDetector::AnomalyScore(
+    const std::array<double, kFeatures>& features,
+    const ClientTrack& track) const {
+  if (track.observations < options_.min_history) {
+    return 0.0;
+  }
+  double worst = 0.0;
+  for (std::size_t f = 0; f < kFeatures; ++f) {
+    stats::RunningStats merged;
+    for (const stats::RunningStats& window : track.rings[f]) {
+      merged.Merge(window);
+    }
+    if (merged.count() < 2) {
+      continue;
+    }
+    const double dev = std::max(merged.stddev(), DeviationFloor(merged.mean()));
+    worst = std::max(worst, std::fabs(features[f] - merged.mean()) / dev);
+  }
+  return worst;
+}
+
+void TimeSeriesDetector::Absorb(ClientTrack& track,
+                                const std::array<double, kFeatures>& features,
+                                const fl::ModelUpdate& update) {
+  if (track.rings[0].empty()) {
+    for (auto& ring : track.rings) {
+      ring.assign(options_.ring_windows, stats::RunningStats{});
+    }
+  }
+  if (track.in_window == options_.window) {
+    track.ring_pos = (track.ring_pos + 1) % options_.ring_windows;
+    for (auto& ring : track.rings) {
+      ring[track.ring_pos] = stats::RunningStats{};  // drop the oldest window
+    }
+    track.in_window = 0;
+  }
+  for (std::size_t f = 0; f < kFeatures; ++f) {
+    track.rings[f][track.ring_pos].Add(features[f]);
+  }
+  ++track.in_window;
+  ++track.observations;
+  track.prev_update.assign(update.delta.begin(), update.delta.end());
+}
+
+AggregationResult TimeSeriesDetector::Process(
+    const FilterContext& context, const std::vector<fl::ModelUpdate>& updates) {
+  AF_CHECK(!updates.empty());
+
+  std::vector<double> scores(updates.size(), 0.0);
+  std::vector<std::array<double, kFeatures>> features(updates.size());
+  std::vector<std::size_t> accepted;
+  std::vector<std::size_t> rejected;
+  for (std::size_t i = 0; i < updates.size(); ++i) {
+    ClientTrack& track = clients_[updates[i].client_id];
+    features[i] = Features(updates[i], track);
+    scores[i] = AnomalyScore(features[i], track);
+    if (scores[i] > options_.z_threshold) {
+      rejected.push_back(i);
+    } else {
+      accepted.push_back(i);
+    }
+  }
+
+  // Absorb accepted trajectories only: a rejected update must not poison the
+  // history it was judged against. Absorption happens after the whole buffer
+  // is scored so same-round peers of one client are judged on equal footing.
+  for (std::size_t idx : accepted) {
+    Absorb(clients_[updates[idx].client_id], features[idx], updates[idx]);
+  }
+
+  AggregationResult result =
+      MakeFilterResult(updates, accepted, rejected, context.staleness_weighting);
+  result.scores = std::move(scores);
+  if (!result.aggregated_delta.empty()) {
+    prev_aggregate_ = result.aggregated_delta;
+  }
+  return result;
+}
+
+void TimeSeriesDetector::SaveState(util::serial::Writer& w) const {
+  w.FloatVec(prev_aggregate_);
+  w.U64(clients_.size());
+  for (const auto& [client_id, track] : clients_) {
+    w.I64(client_id);
+    w.U64(track.observations);
+    w.U64(track.ring_pos);
+    w.U64(track.in_window);
+    w.FloatVec(track.prev_update);
+    w.U64(track.rings[0].size());
+    for (const auto& ring : track.rings) {
+      for (const stats::RunningStats& window : ring) {
+        w.U64(window.count());
+        w.F64(window.mean());
+        w.F64(window.m2());
+      }
+    }
+  }
+}
+
+void TimeSeriesDetector::LoadState(util::serial::Reader& r) {
+  prev_aggregate_ = r.FloatVec();
+  clients_.clear();
+  const std::uint64_t n = r.U64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const int client_id = static_cast<int>(r.I64());
+    ClientTrack& track = clients_[client_id];
+    track.observations = r.U64();
+    track.ring_pos = r.U64();
+    track.in_window = r.U64();
+    track.prev_update = r.FloatVec();
+    const std::uint64_t slots = r.U64();
+    for (auto& ring : track.rings) {
+      ring.assign(slots, stats::RunningStats{});
+      for (stats::RunningStats& window : ring) {
+        const std::uint64_t count = r.U64();
+        const double mean = r.F64();
+        const double m2 = r.F64();
+        window.RestoreState(count, mean, m2);
+      }
+    }
+  }
+}
+
+}  // namespace defense

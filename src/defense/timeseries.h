@@ -1,0 +1,85 @@
+// Cross-round multidimensional time-series anomaly detection ("tsdetect").
+//
+// AsyncFilter judges an update against its staleness group *within* a round;
+// this detector judges it against the sending client's own history *across*
+// rounds. Per client it tracks a three-dimensional trajectory:
+//
+//   norm    ‖ω‖₂                         — magnitude of the update
+//   cosine  cos(ω, Δ_global)             — alignment with the direction the
+//                                          global model moved last round
+//   drift   ‖ω − ω_prev‖₂ / (1 + τ)     — staleness-adjusted step from the
+//                                          client's previous update
+//
+// Each feature accumulates into a ring of stats::RunningStats windows: the
+// current window absorbs `window` observations, then the ring advances and
+// the oldest window is dropped — bounded history without storing raw
+// trajectories. An arriving update is z-scored per feature against the
+// merged ring statistics; the anomaly score is the worst feature's |z|, and
+// scores above `z_threshold` are rejected. Clients with fewer than
+// `min_history` observations are accepted on faith (no basis to judge), so a
+// model-poisoning client betrays itself the moment its trajectory departs
+// from its own warm-up behaviour.
+//
+// Fully deterministic (no RNG) and checkpointable: SaveState serializes the
+// complete per-client ring state key-sorted, so kill-resume is bit-identical.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "defense/defense.h"
+#include "stats/running_stats.h"
+
+namespace defense {
+
+struct TimeSeriesDetectorOptions {
+  std::size_t ring_windows = 4;   // RunningStats windows retained per feature
+  std::size_t window = 8;         // observations absorbed per window
+  std::size_t min_history = 3;    // observations before a client is judged
+  double z_threshold = 3.5;       // reject when the worst |z| exceeds this
+};
+
+class TimeSeriesDetector : public Defense {
+ public:
+  static constexpr std::size_t kFeatures = 3;
+
+  explicit TimeSeriesDetector(TimeSeriesDetectorOptions options = {});
+
+  AggregationResult Process(const FilterContext& context,
+                            const std::vector<fl::ModelUpdate>& updates) override;
+  std::string Name() const override { return "TSDetect"; }
+  void Reset() override;
+  // Cross-round state: the previous global delta, and per client the feature
+  // rings, ring cursor, observation count and previous update. Serialized
+  // key-sorted (std::map) so identical states produce identical bytes;
+  // options are configuration, not state.
+  void SaveState(util::serial::Writer& w) const override;
+  void LoadState(util::serial::Reader& r) override;
+
+ private:
+  struct ClientTrack {
+    // rings[f][slot]: per-feature ring of window statistics.
+    std::array<std::vector<stats::RunningStats>, kFeatures> rings;
+    std::size_t ring_pos = 0;     // slot currently absorbing
+    std::size_t in_window = 0;    // observations absorbed into that slot
+    std::uint64_t observations = 0;
+    std::vector<float> prev_update;
+  };
+
+  std::array<double, kFeatures> Features(const fl::ModelUpdate& update,
+                                         const ClientTrack& track) const;
+  // Worst-feature |z| against the merged ring statistics; 0 until the track
+  // holds min_history observations.
+  double AnomalyScore(const std::array<double, kFeatures>& features,
+                      const ClientTrack& track) const;
+  void Absorb(ClientTrack& track, const std::array<double, kFeatures>& features,
+              const fl::ModelUpdate& update);
+
+  TimeSeriesDetectorOptions options_;
+  std::vector<float> prev_aggregate_;  // last round's aggregated delta
+  std::map<int, ClientTrack> clients_;
+};
+
+}  // namespace defense

@@ -604,25 +604,6 @@ DistributedDriver::DistributedDriver(DistributedSpec spec)
   AF_CHECK(!impl_->spec.clients.empty());
 }
 
-DistributedDriver::DistributedDriver(
-    SimulationConfig config, const nn::ModelSpec& spec,
-    std::vector<std::unique_ptr<Client>> clients,
-    std::vector<int> malicious_ids, std::unique_ptr<attacks::Attack> attack,
-    std::unique_ptr<defense::Defense> defense, const data::Dataset* test_set,
-    data::Dataset server_root, TransportOptions transport)
-    : impl_(std::make_unique<Impl>()) {
-  impl_->spec.sim = config;
-  impl_->spec.model = spec;
-  impl_->spec.clients = std::move(clients);
-  impl_->spec.malicious_ids = std::move(malicious_ids);
-  impl_->spec.attack = std::move(attack);
-  impl_->spec.defense = std::move(defense);
-  impl_->spec.test_set = test_set;
-  impl_->spec.server_root = std::move(server_root);
-  impl_->spec.transport = transport;
-  AF_CHECK(!impl_->spec.clients.empty());
-}
-
 DistributedDriver::~DistributedDriver() {
   try {
     impl_->ShutdownFleet();

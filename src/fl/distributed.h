@@ -91,17 +91,6 @@ class DistributedDriver {
  public:
   explicit DistributedDriver(DistributedSpec spec);
 
-  // One-release migration shim for the positional form; always runs the
-  // thread-per-client (kReal) fleet.
-  [[deprecated("use fl::DistributedSpec")]] DistributedDriver(
-      SimulationConfig config, const nn::ModelSpec& spec,
-      std::vector<std::unique_ptr<Client>> clients,
-      std::vector<int> malicious_ids,
-      std::unique_ptr<attacks::Attack> attack,
-      std::unique_ptr<defense::Defense> defense,
-      const data::Dataset* test_set, data::Dataset server_root,
-      TransportOptions transport);
-
   ~DistributedDriver();
 
   DistributedDriver(const DistributedDriver&) = delete;

@@ -370,6 +370,7 @@ SimulationResult Simulation::Run() {
         }
         entry.scoring_us = defense_us;
         entry.trace_id = buffer_[i].trace_id;
+        entry.reason = agg.reason;
         audit.Append(entry);
       }
       // Per-update defense span sharing the update's trace id; this is the

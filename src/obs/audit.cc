@@ -82,6 +82,11 @@ void AuditTrail::Append(const AuditRecord& record) {
   } else {
     json.Key("trace_id").String(TraceIdHex(record.trace_id));
   }
+  if (record.reason.empty()) {
+    json.Key("reason").Null();
+  } else {
+    json.Key("reason").String(record.reason);
+  }
   json.EndObject();
 
   std::lock_guard<std::mutex> lock(mutex_);

@@ -45,6 +45,9 @@ struct AuditRecord {
   double queue_wait_us = -1.0;
   double scoring_us = 0.0;
   std::uint64_t trace_id = 0;  // 0 → null; hex string otherwise
+  // Why this round deviated from the defense's normal filtering path
+  // (AggregationResult::reason, e.g. "scores_degenerate"); empty → null.
+  std::string reason;
 };
 
 // Per-client verdict tallies mirrored in memory as records are appended.

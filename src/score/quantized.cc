@@ -1,0 +1,74 @@
+#include "score/quantized.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace score {
+
+QuantizedVec Quantize(std::span<const float> v) {
+  QuantizedVec q;
+  q.codes.resize(v.size());
+  double max_abs = 0.0;
+  double l1 = 0.0;
+  for (float x : v) {
+    const double a = std::fabs(static_cast<double>(x));
+    if (a > max_abs) {
+      max_abs = a;
+    }
+    l1 += a;
+  }
+  q.l1_norm = l1;
+  if (max_abs == 0.0) {
+    q.scale = 0.0;
+    return q;  // codes already zero-initialized
+  }
+  q.scale = max_abs / 127.0;
+  const double inv = 127.0 / max_abs;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    // Round-to-nearest; |v_i| ≤ max_abs keeps codes in [−127, 127].
+    const double scaled = static_cast<double>(v[i]) * inv;
+    q.codes[i] = static_cast<std::int8_t>(std::lrint(scaled));
+  }
+  return q;
+}
+
+double ApproxDot(const QuantizedVec& a, const QuantizedVec& b) {
+  AF_CHECK_EQ(a.size(), b.size());
+  // Unrolled int accumulation: per-element products fit in int16 ((±127)²),
+  // partial sums in int32 for 2^16 elements, folded into int64 in chunks so
+  // arbitrary dimensions never overflow.
+  const std::int8_t* pa = a.codes.data();
+  const std::int8_t* pb = b.codes.data();
+  std::size_t n = a.size();
+  std::int64_t total = 0;
+  while (n > 0) {
+    const std::size_t chunk = n < 65536 ? n : 65536;
+    std::int32_t acc0 = 0, acc1 = 0, acc2 = 0, acc3 = 0;
+    std::size_t i = 0;
+    for (; i + 4 <= chunk; i += 4) {
+      acc0 += static_cast<std::int32_t>(pa[i + 0]) * pb[i + 0];
+      acc1 += static_cast<std::int32_t>(pa[i + 1]) * pb[i + 1];
+      acc2 += static_cast<std::int32_t>(pa[i + 2]) * pb[i + 2];
+      acc3 += static_cast<std::int32_t>(pa[i + 3]) * pb[i + 3];
+    }
+    for (; i < chunk; ++i) {
+      acc0 += static_cast<std::int32_t>(pa[i]) * pb[i];
+    }
+    total += static_cast<std::int64_t>(acc0) + acc1 + acc2 + acc3;
+    pa += chunk;
+    pb += chunk;
+    n -= chunk;
+  }
+  return a.scale * b.scale * static_cast<double>(total);
+}
+
+double DotErrorBound(const QuantizedVec& a, const QuantizedVec& b) {
+  AF_CHECK_EQ(a.size(), b.size());
+  const double ea = a.scale * 0.5;
+  const double eb = b.scale * 0.5;
+  return eb * a.l1_norm + ea * b.l1_norm +
+         static_cast<double>(a.size()) * ea * eb;
+}
+
+}  // namespace score

@@ -1,0 +1,43 @@
+// Int8 candidate scoring with certified error bounds.
+//
+// The streaming scorer's optional fast path: quantize a float vector to
+// symmetric int8 (scale = max|x| / 127) once, then approximate dot products
+// and distances from the 4×-smaller codes. Every approximation carries a
+// rigorous error bound derived from the per-element rounding radius
+// (scale / 2), so a caller can tell exactly when an approximate score is
+// good enough to classify an update and when the float path must be
+// consulted — "quantized candidates, exact rescoring of the borderline".
+//
+// Bound derivation for dot(a, b) with codes qa, qb and scales sa, sb:
+//   |a_i − sa·qa_i| ≤ sa/2 per element (round-to-nearest), hence
+//   |⟨a,b⟩ − sa·sb·Σ qa_i·qb_i|
+//     ≤ (sb/2)·‖a‖₁ + (sa/2)·‖b‖₁ + n·(sa/2)·(sb/2)
+// with ‖·‖₁ precomputed at quantization time.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace score {
+
+struct QuantizedVec {
+  std::vector<std::int8_t> codes;
+  double scale = 0.0;    // dequantize: x_i ≈ scale * codes[i]
+  double l1_norm = 0.0;  // ‖x‖₁ of the ORIGINAL floats (for error bounds)
+
+  bool empty() const { return codes.empty(); }
+  std::size_t size() const { return codes.size(); }
+};
+
+// Symmetric per-vector int8 quantization (round-to-nearest). An all-zero
+// vector quantizes to scale 0 with all-zero codes and exact bounds.
+QuantizedVec Quantize(std::span<const float> v);
+
+// Approximate ⟨a, b⟩ from the codes. Sizes must match.
+double ApproxDot(const QuantizedVec& a, const QuantizedVec& b);
+
+// Upper bound on |ApproxDot(a, b) − exact dot|.
+double DotErrorBound(const QuantizedVec& a, const QuantizedVec& b);
+
+}  // namespace score

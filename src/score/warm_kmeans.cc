@@ -1,0 +1,45 @@
+#include "score/warm_kmeans.h"
+
+#include <utility>
+
+#include "util/serial.h"
+
+namespace score {
+
+void WarmKMeansState::Save(util::serial::Writer& w) const {
+  w.U64(centroids.size());
+  for (const std::vector<double>& c : centroids) {
+    w.DoubleVec(c);
+  }
+}
+
+void WarmKMeansState::Load(util::serial::Reader& r) {
+  const std::uint64_t count = r.U64();
+  centroids.clear();
+  centroids.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    centroids.push_back(r.DoubleVec());
+  }
+}
+
+cluster::KMeansResult WarmKMeans1D(std::span<const double> values,
+                                   std::size_t k, std::mt19937_64& rng,
+                                   WarmKMeansState& state,
+                                   const cluster::KMeansOptions& options) {
+  cluster::KMeansResult result;
+  if (state.WarmFor(k) && values.size() >= k) {
+    std::vector<std::vector<double>> points;
+    points.reserve(values.size());
+    for (double v : values) {
+      points.push_back({v});
+    }
+    result = cluster::KMeansFromCentroids(points, state.centroids,
+                                          options.max_iterations);
+  } else {
+    result = cluster::KMeans1D(values, k, rng, options);
+  }
+  state.centroids = result.centroids;
+  return result;
+}
+
+}  // namespace score

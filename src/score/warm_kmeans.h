@@ -1,0 +1,48 @@
+// Warm-started k-means for cross-round re-clustering.
+//
+// AsyncFilter re-clusters the buffer's suspicious scores every round (and,
+// in streaming mode, after every buffer mutation). Consecutive clusterings
+// see nearly the same score distribution, so Lloyd started from the previous
+// centroids converges in a couple of iterations — no k-means++ seeding, no
+// restarts, no RNG draws. The first call (or a k change) falls back to the
+// cold seeded path; every later call is warm and fully deterministic.
+//
+// WarmKMeansState is cross-round defense state: it serializes through
+// Save/Load so a killed-and-resumed run takes the identical warm/cold branch
+// with identical seed centroids, keeping kill-resume bit-identical.
+#pragma once
+
+#include <cstddef>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "cluster/kmeans.h"
+
+namespace util::serial {
+class Writer;
+class Reader;
+}  // namespace util::serial
+
+namespace score {
+
+struct WarmKMeansState {
+  std::vector<std::vector<double>> centroids;  // previous result, k × dim
+
+  bool WarmFor(std::size_t k) const { return centroids.size() == k; }
+  void Reset() { centroids.clear(); }
+
+  void Save(util::serial::Writer& w) const;
+  void Load(util::serial::Reader& r);
+};
+
+// Clusters 1-D values into k groups, warm-starting from `state` when its
+// centroid count matches k (deterministic, no RNG) and falling back to the
+// seeded cluster::KMeans1D otherwise. On return `state` holds the new
+// centroids for the next call.
+cluster::KMeansResult WarmKMeans1D(std::span<const double> values,
+                                   std::size_t k, std::mt19937_64& rng,
+                                   WarmKMeansState& state,
+                                   const cluster::KMeansOptions& options = {});
+
+}  // namespace score

@@ -22,6 +22,29 @@ double RunningStats::variance() const {
 
 double RunningStats::stddev() const { return std::sqrt(variance()); }
 
+void RunningStats::RestoreState(std::size_t count, double mean, double m2) {
+  count_ = count;
+  mean_ = mean;
+  m2_ = m2;
+}
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double n = na + nb;
+  const double delta = other.mean_ - mean_;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  count_ += other.count_;
+}
+
 void VectorMovingAverage::Add(std::span<const float> v) {
   if (count_ == 0) {
     acc_.assign(v.begin(), v.end());

@@ -19,6 +19,16 @@ class RunningStats {
   double variance() const;
   double stddev() const;
 
+  // Checkpoint access: (count, mean, m2) is the complete Welford state;
+  // restoring it reproduces the estimator bit-identically.
+  double m2() const { return m2_; }
+  void RestoreState(std::size_t count, double mean, double m2);
+
+  // Folds `other` in (Chan et al. parallel update) — the merged stats equal
+  // what a single accumulator over both sample streams would hold, up to
+  // the usual floating-point reassociation.
+  void Merge(const RunningStats& other);
+
  private:
   std::size_t count_ = 0;
   double mean_ = 0.0;

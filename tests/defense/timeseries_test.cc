@@ -1,0 +1,188 @@
+#include "defense/timeseries.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "defense/registry.h"
+#include "util/serial.h"
+
+namespace defense {
+namespace {
+
+fl::ModelUpdate Update(int client, std::vector<float> delta,
+                       std::size_t staleness = 0) {
+  fl::ModelUpdate u;
+  u.client_id = client;
+  u.staleness = staleness;
+  u.delta = std::move(delta);
+  u.num_samples = 10;
+  return u;
+}
+
+FilterContext Context(const std::vector<float>& global) {
+  FilterContext ctx;
+  ctx.global_model = global;
+  ctx.max_staleness = 20;
+  return ctx;
+}
+
+// One round for a set of clients, each sending center + small deterministic
+// jitter so the per-client trajectory has nonzero variance.
+std::vector<fl::ModelUpdate> Round(std::mt19937_64& rng, int clients,
+                                   float center) {
+  std::normal_distribution<float> noise(0.0f, 0.05f);
+  std::vector<fl::ModelUpdate> updates;
+  for (int c = 0; c < clients; ++c) {
+    std::vector<float> delta(8);
+    for (float& x : delta) {
+      x = center + noise(rng);
+    }
+    updates.push_back(Update(c, std::move(delta)));
+  }
+  return updates;
+}
+
+TEST(TimeSeriesDetectorTest, RegisteredAsTsDetect) {
+  EXPECT_TRUE(Registry::Global().Has("tsdetect"));
+  EXPECT_TRUE(Registry::Global().Has("timeseries"));  // alias
+  auto built = Make("tsdetect");
+  ASSERT_NE(built, nullptr);
+  EXPECT_EQ(built->Name(), "TSDetect");
+  const auto names = ListNames();
+  EXPECT_NE(std::find(names.begin(), names.end(), "tsdetect"), names.end());
+}
+
+TEST(TimeSeriesDetectorTest, AcceptsEveryoneDuringWarmup) {
+  TimeSeriesDetector detector;
+  std::vector<float> global(8, 0.0f);
+  std::mt19937_64 rng(1);
+  // min_history = 3: the first three rounds have no basis to judge.
+  for (int round = 0; round < 3; ++round) {
+    auto updates = Round(rng, 4, 1.0f);
+    auto result = detector.Process(Context(global), updates);
+    for (auto v : result.verdicts) {
+      EXPECT_EQ(v, Verdict::kAccepted) << "round " << round;
+    }
+    for (double s : result.scores) {
+      EXPECT_EQ(s, 0.0) << "round " << round;
+    }
+  }
+}
+
+TEST(TimeSeriesDetectorTest, RejectsTrajectoryJumpAfterWarmup) {
+  TimeSeriesDetector detector;
+  std::vector<float> global(8, 0.0f);
+  std::mt19937_64 rng(2);
+  for (int round = 0; round < 6; ++round) {
+    auto updates = Round(rng, 4, 1.0f);
+    (void)detector.Process(Context(global), updates);
+  }
+  // Client 0 suddenly sends a 50× magnitude update in the opposite
+  // direction; its own history convicts it, the steady clients pass.
+  auto updates = Round(rng, 4, 1.0f);
+  updates[0].delta = std::vector<float>(8, -50.0f);
+  auto result = detector.Process(Context(global), updates);
+  EXPECT_EQ(result.verdicts[0], Verdict::kRejected);
+  for (std::size_t i = 1; i < result.verdicts.size(); ++i) {
+    EXPECT_EQ(result.verdicts[i], Verdict::kAccepted) << "client " << i;
+  }
+  EXPECT_GT(result.scores[0], 3.5);
+}
+
+TEST(TimeSeriesDetectorTest, RejectedUpdatesDoNotPoisonHistory) {
+  TimeSeriesDetector detector;
+  std::vector<float> global(8, 0.0f);
+  std::mt19937_64 rng(3);
+  for (int round = 0; round < 6; ++round) {
+    auto updates = Round(rng, 4, 1.0f);
+    (void)detector.Process(Context(global), updates);
+  }
+  // The attacker repeats the same outlier every round. If rejected updates
+  // leaked into the ring statistics, the outlier would gradually become
+  // "normal" for that client; it must keep getting rejected instead.
+  for (int round = 0; round < 8; ++round) {
+    auto updates = Round(rng, 4, 1.0f);
+    updates[0].delta = std::vector<float>(8, -50.0f);
+    auto result = detector.Process(Context(global), updates);
+    EXPECT_EQ(result.verdicts[0], Verdict::kRejected) << "round " << round;
+  }
+}
+
+TEST(TimeSeriesDetectorTest, NewClientMidRunGetsItsOwnWarmup) {
+  TimeSeriesDetector detector;
+  std::vector<float> global(8, 0.0f);
+  std::mt19937_64 rng(4);
+  for (int round = 0; round < 5; ++round) {
+    auto updates = Round(rng, 3, 1.0f);
+    (void)detector.Process(Context(global), updates);
+  }
+  // Client 7 appears for the first time with an unusual update: no history,
+  // accepted on faith.
+  auto updates = Round(rng, 3, 1.0f);
+  updates.push_back(Update(7, std::vector<float>(8, -20.0f)));
+  auto result = detector.Process(Context(global), updates);
+  EXPECT_EQ(result.verdicts.back(), Verdict::kAccepted);
+  EXPECT_EQ(result.scores.back(), 0.0);
+}
+
+TEST(TimeSeriesDetectorTest, SaveLoadRoundTripIsBitIdentical) {
+  TimeSeriesDetector live;
+  std::vector<float> global(8, 0.0f);
+  std::mt19937_64 rng(5);
+  for (int round = 0; round < 7; ++round) {
+    auto updates = Round(rng, 5, 1.0f);
+    (void)live.Process(Context(global), updates);
+  }
+
+  util::serial::Writer w;
+  live.SaveState(w);
+  const auto bytes = w.Take();
+  TimeSeriesDetector resumed;
+  util::serial::Reader r(bytes);
+  resumed.LoadState(r);
+  EXPECT_TRUE(r.AtEnd());
+
+  // Saving the resumed detector reproduces the same bytes…
+  util::serial::Writer w2;
+  resumed.SaveState(w2);
+  EXPECT_EQ(w2.buffer(), bytes);
+
+  // …and both detectors score identical futures identically, including an
+  // anomaly whose z-score depends on the restored ring statistics.
+  std::mt19937_64 rng_live = rng;
+  std::mt19937_64 rng_resumed = rng;
+  for (int round = 0; round < 3; ++round) {
+    auto updates_live = Round(rng_live, 5, 1.0f);
+    auto updates_resumed = Round(rng_resumed, 5, 1.0f);
+    if (round == 1) {
+      updates_live[2].delta = std::vector<float>(8, 30.0f);
+      updates_resumed[2].delta = std::vector<float>(8, 30.0f);
+    }
+    auto a = live.Process(Context(global), updates_live);
+    auto b = resumed.Process(Context(global), updates_resumed);
+    EXPECT_EQ(a.scores, b.scores) << "round " << round;
+    EXPECT_EQ(a.verdicts, b.verdicts) << "round " << round;
+    EXPECT_EQ(a.aggregated_delta, b.aggregated_delta) << "round " << round;
+  }
+}
+
+TEST(TimeSeriesDetectorTest, ResetClearsAllHistory) {
+  TimeSeriesDetector detector;
+  std::vector<float> global(8, 0.0f);
+  std::mt19937_64 rng(6);
+  for (int round = 0; round < 6; ++round) {
+    auto updates = Round(rng, 4, 1.0f);
+    (void)detector.Process(Context(global), updates);
+  }
+  detector.Reset();
+  // Post-reset, even a wild update is accepted: the history is gone.
+  auto updates = Round(rng, 4, 1.0f);
+  updates[0].delta = std::vector<float>(8, -50.0f);
+  auto result = detector.Process(Context(global), updates);
+  EXPECT_EQ(result.verdicts[0], Verdict::kAccepted);
+}
+
+}  // namespace
+}  // namespace defense

@@ -19,6 +19,7 @@
 #include "data/partition.h"
 #include "data/synthetic.h"
 #include "defense/fldetector.h"
+#include "defense/timeseries.h"
 #include "fl/simulation.h"
 #include "util/check.h"
 #include "util/rng.h"
@@ -278,6 +279,15 @@ TEST_F(CheckpointTest, KillResumeBitIdenticalAsyncFilterDeferMid) {
 TEST_F(CheckpointTest, KillResumeBitIdenticalFlDetector) {
   RunKillResumeTest(
       "fldetector", [] { return std::make_unique<defense::FlDetector>(); },
+      {0, 1, 2}, attacks::AttackKind::kGd);
+}
+
+TEST_F(CheckpointTest, KillResumeBitIdenticalTsDetect) {
+  // Per-client trajectory rings + the previous aggregate must cross the
+  // checkpoint boundary bit-exactly or post-resume z-scores drift.
+  RunKillResumeTest(
+      "tsdetect",
+      [] { return std::make_unique<defense::TimeSeriesDetector>(); },
       {0, 1, 2}, attacks::AttackKind::kGd);
 }
 

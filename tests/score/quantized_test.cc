@@ -1,0 +1,159 @@
+#include "score/quantized.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "core/async_filter.h"
+#include "stats/vec_ops.h"
+#include "util/rng.h"
+
+namespace score {
+namespace {
+
+std::vector<float> RandomVec(std::mt19937_64& rng, std::size_t dim,
+                             float sigma = 1.0f) {
+  std::normal_distribution<float> dist(0.0f, sigma);
+  std::vector<float> v(dim);
+  for (float& x : v) {
+    x = dist(rng);
+  }
+  return v;
+}
+
+TEST(QuantizeTest, RoundTripStaysWithinHalfScale) {
+  std::mt19937_64 rng(1);
+  const auto v = RandomVec(rng, 300);
+  const QuantizedVec q = Quantize(v);
+  ASSERT_EQ(q.size(), v.size());
+  ASSERT_GT(q.scale, 0.0);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_LE(std::fabs(static_cast<double>(v[i]) - q.scale * q.codes[i]),
+              q.scale / 2.0 + 1e-12);
+  }
+}
+
+TEST(QuantizeTest, AllZeroVectorIsExact) {
+  const std::vector<float> zeros(64, 0.0f);
+  const QuantizedVec q = Quantize(zeros);
+  EXPECT_EQ(q.scale, 0.0);
+  EXPECT_EQ(q.l1_norm, 0.0);
+  const QuantizedVec other = Quantize(zeros);
+  EXPECT_EQ(ApproxDot(q, other), 0.0);
+  EXPECT_EQ(DotErrorBound(q, other), 0.0);
+}
+
+TEST(QuantizeTest, L1NormMatchesOriginalFloats) {
+  std::mt19937_64 rng(2);
+  const auto v = RandomVec(rng, 100);
+  const QuantizedVec q = Quantize(v);
+  double l1 = 0.0;
+  for (float x : v) {
+    l1 += std::fabs(static_cast<double>(x));
+  }
+  EXPECT_DOUBLE_EQ(q.l1_norm, l1);
+}
+
+// The load-bearing property: the certified bound really bounds the error,
+// across dimensions (unroll tails), magnitudes, and sign patterns.
+TEST(ApproxDotTest, ErrorNeverExceedsCertifiedBound) {
+  std::mt19937_64 rng(3);
+  for (std::size_t dim : {1u, 3u, 64u, 257u, 4704u}) {
+    for (int trial = 0; trial < 10; ++trial) {
+      const float sigma = trial % 2 == 0 ? 1.0f : 40.0f;
+      const auto a = RandomVec(rng, dim, sigma);
+      const auto b = RandomVec(rng, dim, 1.0f);
+      const QuantizedVec qa = Quantize(a);
+      const QuantizedVec qb = Quantize(b);
+      double exact = 0.0;
+      for (std::size_t i = 0; i < dim; ++i) {
+        exact += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+      }
+      const double approx = ApproxDot(qa, qb);
+      const double bound = DotErrorBound(qa, qb);
+      EXPECT_LE(std::fabs(approx - exact), bound)
+          << "dim " << dim << " trial " << trial;
+      // And the bound is useful, not vacuous: for unit-scale vectors it
+      // stays far below the magnitude of a typical dot product.
+      if (sigma == 1.0f && dim >= 64) {
+        EXPECT_LT(bound, dim * 0.05);
+      }
+    }
+  }
+}
+
+TEST(ApproxDotTest, SelfDotApproximatesSquaredNorm) {
+  std::mt19937_64 rng(4);
+  const auto v = RandomVec(rng, 512);
+  const QuantizedVec q = Quantize(v);
+  double exact = 0.0;
+  for (float x : v) {
+    exact += static_cast<double>(x) * static_cast<double>(x);
+  }
+  EXPECT_LE(std::fabs(ApproxDot(q, q) - exact), DotErrorBound(q, q));
+}
+
+// End-to-end verdict invariance on a LeNet-sized fixture: the quantized
+// candidate path (approx scores + exact rescoring of borderline updates)
+// must reproduce the exact backend's verdicts bit-for-bit — speed may
+// change, decisions may not.
+TEST(QuantizedVerdictInvarianceTest, LeNetFixtureMatchesExactBackend) {
+  constexpr std::size_t kDim = 4704;  // LeNet conv1 activation volume
+  constexpr std::size_t kRounds = 5;
+  constexpr std::size_t kClients = 14;
+
+  core::AsyncFilterOptions exact_opts;
+  exact_opts.scorer_mode = ScorerMode::kExact;
+  core::AsyncFilterOptions quant_opts;
+  quant_opts.scorer_mode = ScorerMode::kQuantized;
+  core::AsyncFilter exact_filter(exact_opts);
+  core::AsyncFilter quant_filter(quant_opts);
+
+  std::vector<float> global(kDim, 0.0f);
+  std::mt19937_64 exact_rng = util::RngFactory(42).Stream("quant-invariance");
+  std::mt19937_64 quant_rng = util::RngFactory(42).Stream("quant-invariance");
+
+  std::mt19937_64 data_rng(99);
+  std::normal_distribution<float> noise(0.0f, 0.05f);
+  for (std::size_t round = 0; round < kRounds; ++round) {
+    std::vector<fl::ModelUpdate> updates;
+    for (std::size_t c = 0; c < kClients; ++c) {
+      fl::ModelUpdate u;
+      u.client_id = static_cast<int>(c);
+      u.base_round = round;
+      u.staleness = c % 3;
+      u.num_samples = 10;
+      // Last two clients are strong outliers; the rest form a benign
+      // cluster with mild non-IID spread so borderline scores exist.
+      const float center = c + 2 < kClients ? 0.2f : -4.0f;
+      u.is_malicious_truth = c + 2 >= kClients;
+      std::vector<float> delta(kDim);
+      for (float& x : delta) {
+        x = center + noise(data_rng);
+      }
+      u.delta = std::move(delta);
+      updates.push_back(std::move(u));
+    }
+
+    defense::FilterContext exact_ctx;
+    exact_ctx.round = round;
+    exact_ctx.global_model = global;
+    exact_ctx.max_staleness = 20;
+    exact_ctx.rng = &exact_rng;
+    defense::FilterContext quant_ctx = exact_ctx;
+    quant_ctx.rng = &quant_rng;
+
+    const auto exact_result = exact_filter.Process(exact_ctx, updates);
+    const auto quant_result = quant_filter.Process(quant_ctx, updates);
+
+    ASSERT_EQ(quant_result.verdicts, exact_result.verdicts)
+        << "round " << round;
+    ASSERT_EQ(quant_result.aggregated_delta, exact_result.aggregated_delta)
+        << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace score

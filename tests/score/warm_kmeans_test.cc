@@ -1,0 +1,132 @@
+#include "score/warm_kmeans.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "cluster/kmeans.h"
+#include "util/serial.h"
+
+namespace score {
+namespace {
+
+std::vector<double> ThreeBlobs(std::mt19937_64& rng, std::size_t per_blob) {
+  std::vector<double> values;
+  for (double center : {0.0, 5.0, 10.0}) {
+    std::normal_distribution<double> dist(center, 0.3);
+    for (std::size_t i = 0; i < per_blob; ++i) {
+      values.push_back(dist(rng));
+    }
+  }
+  return values;
+}
+
+TEST(WarmKMeansTest, ColdCallMatchesSeededKMeansAndPrimesState) {
+  std::mt19937_64 data_rng(1);
+  const auto values = ThreeBlobs(data_rng, 12);
+
+  WarmKMeansState state;
+  EXPECT_FALSE(state.WarmFor(3));
+  std::mt19937_64 rng_a(7);
+  std::mt19937_64 rng_b(7);
+  const auto warm_path = WarmKMeans1D(values, 3, rng_a, state);
+  const auto cold = cluster::KMeans1D(values, 3, rng_b);
+  EXPECT_EQ(warm_path.assignment, cold.assignment);
+  EXPECT_EQ(warm_path.centroids, cold.centroids);
+  // The call primed the state for next round.
+  EXPECT_TRUE(state.WarmFor(3));
+  EXPECT_EQ(state.centroids, cold.centroids);
+}
+
+TEST(WarmKMeansTest, WarmCallDrawsNoRandomness) {
+  std::mt19937_64 data_rng(2);
+  const auto values = ThreeBlobs(data_rng, 10);
+
+  WarmKMeansState state;
+  std::mt19937_64 rng(11);
+  (void)WarmKMeans1D(values, 3, rng, state);
+  ASSERT_TRUE(state.WarmFor(3));
+
+  // Second call is warm: the RNG must not advance.
+  std::mt19937_64 before = rng;
+  const auto warm = WarmKMeans1D(values, 3, rng, state);
+  EXPECT_EQ(rng, before);
+  // And it reproduces the stable clustering of the same data.
+  EXPECT_EQ(warm.centroids, state.centroids);
+}
+
+TEST(WarmKMeansTest, KChangeFallsBackToColdPath) {
+  std::mt19937_64 data_rng(3);
+  const auto values = ThreeBlobs(data_rng, 10);
+
+  WarmKMeansState state;
+  std::mt19937_64 rng(13);
+  (void)WarmKMeans1D(values, 3, rng, state);
+  ASSERT_TRUE(state.WarmFor(3));
+
+  // Asking for k=2 cannot reuse 3 centroids: cold path, state re-primed.
+  std::mt19937_64 rng_a(17);
+  std::mt19937_64 rng_b(17);
+  const auto result = WarmKMeans1D(values, 2, rng_a, state);
+  const auto cold = cluster::KMeans1D(values, 2, rng_b);
+  EXPECT_EQ(result.centroids, cold.centroids);
+  EXPECT_TRUE(state.WarmFor(2));
+  EXPECT_FALSE(state.WarmFor(3));
+}
+
+TEST(WarmKMeansTest, TooFewValuesForWarmStartUsesColdPath) {
+  WarmKMeansState state;
+  state.centroids = {{0.0}, {5.0}, {10.0}};
+  const std::vector<double> values = {1.0, 2.0};
+  std::mt19937_64 rng_a(19);
+  std::mt19937_64 rng_b(19);
+  const auto result = WarmKMeans1D(values, 2, rng_a, state);
+  const auto cold = cluster::KMeans1D(values, 2, rng_b);
+  EXPECT_EQ(result.centroids, cold.centroids);
+}
+
+TEST(WarmKMeansStateTest, SaveLoadRoundTripsBitExactly) {
+  WarmKMeansState state;
+  state.centroids = {{0.125}, {5.0e-300}, {10.75, -3.5}};
+
+  util::serial::Writer w;
+  state.Save(w);
+  const auto bytes = w.Take();
+
+  WarmKMeansState loaded;
+  loaded.centroids = {{99.0}};  // must be replaced wholesale
+  util::serial::Reader r(bytes);
+  loaded.Load(r);
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_EQ(loaded.centroids, state.centroids);
+}
+
+TEST(WarmKMeansStateTest, ResumedStateTakesIdenticalWarmBranch) {
+  std::mt19937_64 data_rng(4);
+  const auto values = ThreeBlobs(data_rng, 8);
+
+  WarmKMeansState state;
+  std::mt19937_64 rng(23);
+  (void)WarmKMeans1D(values, 3, rng, state);
+
+  util::serial::Writer w;
+  state.Save(w);
+  const auto bytes = w.Take();
+  WarmKMeansState resumed;
+  util::serial::Reader r(bytes);
+  resumed.Load(r);
+
+  // Next-round data, both states, no RNG needed on the warm branch.
+  std::mt19937_64 data_rng2(5);
+  const auto next = ThreeBlobs(data_rng2, 8);
+  std::mt19937_64 rng_a(29);
+  std::mt19937_64 rng_b(31);  // different seed: must not matter when warm
+  const auto from_live = WarmKMeans1D(next, 3, rng_a, state);
+  const auto from_resumed = WarmKMeans1D(next, 3, rng_b, resumed);
+  EXPECT_EQ(from_live.centroids, from_resumed.centroids);
+  EXPECT_EQ(from_live.assignment, from_resumed.assignment);
+}
+
+}  // namespace
+}  // namespace score

@@ -32,6 +32,59 @@ TEST(RunningStatsTest, EmptyStatsAreZero) {
   EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
 }
 
+TEST(RunningStatsTest, RestoreStateReproducesBitIdenticalEstimator) {
+  RunningStats rs;
+  for (double x : {0.1, 0.2, 0.35, 0.7}) {
+    rs.Add(x);
+  }
+  RunningStats restored;
+  restored.RestoreState(rs.count(), rs.mean(), rs.m2());
+  EXPECT_EQ(restored.count(), rs.count());
+  EXPECT_EQ(restored.mean(), rs.mean());
+  EXPECT_EQ(restored.m2(), rs.m2());
+  // Continuing both streams stays bit-identical.
+  rs.Add(1.25);
+  restored.Add(1.25);
+  EXPECT_EQ(restored.mean(), rs.mean());
+  EXPECT_EQ(restored.m2(), rs.m2());
+}
+
+TEST(RunningStatsTest, MergeEqualsSingleStreamAccumulation) {
+  const std::vector<double> stream = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  RunningStats whole;
+  for (double x : stream) {
+    whole.Add(x);
+  }
+  RunningStats left, right;
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    (i < 3 ? left : right).Add(stream[i]);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-12);
+}
+
+TEST(RunningStatsTest, MergeWithEmptySidesIsIdentity) {
+  RunningStats rs;
+  rs.Add(1.0);
+  rs.Add(3.0);
+  const double mean = rs.mean();
+  const double m2 = rs.m2();
+
+  RunningStats empty;
+  rs.Merge(empty);  // merging in an empty accumulator changes nothing
+  EXPECT_EQ(rs.count(), 2u);
+  EXPECT_EQ(rs.mean(), mean);
+  EXPECT_EQ(rs.m2(), m2);
+
+  RunningStats target;
+  target.Merge(rs);  // merging into an empty accumulator copies the state
+  EXPECT_EQ(target.count(), 2u);
+  EXPECT_NEAR(target.mean(), mean, 1e-15);
+  EXPECT_NEAR(target.m2(), m2, 1e-15);
+}
+
 TEST(VectorMovingAverageTest, FirstObservationIsTheMean) {
   VectorMovingAverage ma;
   std::vector<float> v{1.0f, 2.0f};
